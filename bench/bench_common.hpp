@@ -1,0 +1,53 @@
+// Shared helpers for the benchmark harness binaries.
+//
+// Every bench prints the paper-style table to stdout, writes a
+// machine-readable CSV under bench_results/, and, where the paper reports
+// concrete values, prints a paper-vs-measured comparison so EXPERIMENTS.md
+// can be regenerated from bench output alone.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace dc::bench {
+
+/// Creates (if needed) and returns the CSV output directory.
+inline std::string results_dir() {
+  const char* env = std::getenv("DC_BENCH_RESULTS_DIR");
+  const std::string dir = env != nullptr ? env : "bench_results";
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  return dir;
+}
+
+/// Opens bench_results/<name>.csv.
+inline CsvWriter open_csv(const std::string& name) {
+  return CsvWriter(results_dir() + "/" + name + ".csv");
+}
+
+/// One paper-reported value next to the measured one.
+struct PaperRef {
+  std::string metric;
+  std::string paper;
+  std::string measured;
+};
+
+inline void print_paper_comparison(const std::vector<PaperRef>& refs) {
+  std::puts("paper vs measured (absolute values are trace-dependent; the");
+  std::puts("orderings and rough factors are the reproduction target):");
+  std::size_t width = 0;
+  for (const PaperRef& ref : refs) width = std::max(width, ref.metric.size());
+  for (const PaperRef& ref : refs) {
+    std::printf("  %-*s  paper: %-14s  measured: %s\n",
+                static_cast<int>(width), ref.metric.c_str(), ref.paper.c_str(),
+                ref.measured.c_str());
+  }
+  std::puts("");
+}
+
+}  // namespace dc::bench

@@ -1,0 +1,130 @@
+// diag_dynamics: diagnostic deep-dive into one provider's resource dynamics
+// under each system model. Not a paper figure; used to understand *why* the
+// DawningCloud policy lands where it does (grant churn, idle carpet, release
+// behaviour) when calibrating the synthetic traces.
+//
+// Usage: diag_dynamics [nasa|blue|montage]
+#include <cstdio>
+#include <string>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/drp_runner.hpp"
+#include "core/htc_server.hpp"
+#include "core/job_emulator.hpp"
+#include "core/paper.hpp"
+#include "sched/first_fit.hpp"
+#include "util/histogram.hpp"
+#include "core/systems.hpp"
+#include "util/strings.hpp"
+#include "workload/trace_stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  const std::string which = argc > 1 ? argv[1] : "blue";
+
+  core::ConsolidationWorkload workload;
+  std::string provider;
+  double used_node_hours = 0.0;
+  if (which == "nasa" || which == "blue") {
+    core::HtcWorkloadSpec spec =
+        which == "nasa" ? core::paper_nasa_spec() : core::paper_blue_spec();
+    provider = spec.name;
+    used_node_hours =
+        workload::compute_stats(spec.trace).demand_node_hours;
+    workload = core::single_htc_workload(std::move(spec));
+  } else {
+    core::MtcWorkloadSpec spec = core::paper_montage_spec();
+    spec.submit_time = 0;
+    provider = spec.name;
+    used_node_hours = to_hours(spec.dag.total_work());
+    workload = core::single_mtc_workload(std::move(spec));
+  }
+
+  std::printf("%s: submitted demand %.0f node*hours\n\n", provider.c_str(),
+              used_node_hours);
+
+  // Grant/release dynamics of a manual DawningCloud run (HTC only).
+  if (!workload.htc.empty()) {
+    const core::HtcWorkloadSpec& spec = workload.htc.front();
+    sim::Simulator sim;
+    core::ResourceProvisionService provision(
+        cluster::ResourcePool::unbounded(), core::ProvisionPolicy{});
+    sched::FirstFitScheduler first_fit;
+    core::HtcServer::Config config;
+    config.name = spec.name;
+    config.policy = spec.policy;
+    config.scheduler = &first_fit;
+    core::HtcServer server(sim, provision, std::move(config));
+    sim.schedule_at(0, [&server] { server.start(); });
+    core::JobEmulator emulator(sim);
+    emulator.emulate_trace(spec.trace, [&server](const workload::TraceJob& j) {
+      server.submit(j.runtime, j.nodes);
+    });
+    const SimTime horizon = workload.effective_horizon();
+    sim.run_until(horizon);
+
+    std::int64_t open_leases = 0, open_nodes = 0;
+    RunningStats grant_sizes;
+    RunningStats grant_hours;
+    for (const cluster::Lease& lease : server.ledger().leases()) {
+      if (lease.tag == "initial") continue;
+      grant_sizes.add(static_cast<double>(lease.nodes));
+      const SimTime end = lease.end == kNever ? horizon : lease.end;
+      grant_hours.add(to_hours(end - lease.start));
+      if (lease.end == kNever) {
+        ++open_leases;
+        open_nodes += lease.nodes;
+      }
+    }
+    std::printf(
+        "DawningCloud grants: %lld total, mean size %.1f nodes, mean held "
+        "%.1f h, still open at horizon: %lld (%lld nodes)\n\n",
+        grant_sizes.count(), grant_sizes.mean(), grant_hours.mean(),
+        static_cast<long long>(open_leases),
+        static_cast<long long>(open_nodes));
+  }
+  // Lower bound for any elastic policy holding at least B nodes: run the
+  // workload with unlimited immediate resources (DRP concurrency) and
+  // integrate max(B, concurrency) per hour.
+  if (!workload.htc.empty()) {
+    const core::HtcWorkloadSpec& spec = workload.htc.front();
+    sim::Simulator sim;
+    core::ResourceProvisionService provision(
+        cluster::ResourcePool::unbounded(), core::ProvisionPolicy{});
+    core::DrpRunner runner(sim, provision, spec.name);
+    core::JobEmulator emulator(sim);
+    emulator.emulate_trace(spec.trace, [&runner](const workload::TraceJob& j) {
+      runner.submit_job(j.runtime, j.nodes);
+    });
+    const SimTime horizon = workload.effective_horizon();
+    sim.run_until(horizon);
+    const auto series = runner.held_usage().hourly_mean_series(horizon);
+    const double b = static_cast<double>(spec.policy.initial_nodes);
+    double floor_nh = 0.0;
+    for (double level : series) floor_nh += std::max(b, level);
+    std::printf("elastic floor (hold >= B=%lld, track concurrency): %.0f "
+                "node*hours\n\n",
+                static_cast<long long>(spec.policy.initial_nodes), floor_nh);
+  }
+
+  std::printf("%-14s %10s %10s %10s %8s %8s %9s %9s\n", "system", "billed",
+              "exact", "billed/use", "peak", "adjust", "completed", "events");
+  for (const auto& result : core::run_all_systems(workload)) {
+    const core::ProviderResult& p = result.provider(provider);
+    std::printf("%-14s %10lld %10.0f %10.2f %8lld %8lld %9lld %9llu\n",
+                system_model_name(result.model),
+                static_cast<long long>(p.consumption_node_hours),
+                p.exact_node_hours,
+                used_node_hours > 0
+                    ? static_cast<double>(p.consumption_node_hours) /
+                          used_node_hours
+                    : 0.0,
+                static_cast<long long>(p.peak_nodes),
+                static_cast<long long>(result.adjusted_nodes),
+                static_cast<long long>(p.completed_jobs),
+                static_cast<unsigned long long>(result.simulated_events));
+  }
+  return 0;
+}

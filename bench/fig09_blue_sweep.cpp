@@ -1,0 +1,60 @@
+// Figure 9: resource consumption and completed jobs vs. the DawningCloud
+// tuning parameters (B = initial resources, R = threshold ratio of
+// obtaining resources) for the SDSC BLUE trace.
+//
+// Paper: B is swept 10..80 and R 1.0..2.0; B80_R1.5 is chosen as the final
+// configuration ("to save the resource consumption and improve the
+// throughputs").
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+
+int main() {
+  using namespace dc;
+  const core::HtcWorkloadSpec base = core::paper_blue_spec();
+
+  const std::vector<std::int64_t> b_values = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<double> r_values = {1.0, 1.2, 1.4, 1.5, 1.6, 1.8, 2.0};
+
+  // The grid points are independent simulations: sweep them in parallel,
+  // collecting results by index so output order matches a sequential run.
+  std::vector<std::pair<std::int64_t, double>> grid;
+  for (std::int64_t b : b_values) {
+    for (double r : r_values) grid.emplace_back(b, r);
+  }
+  const auto results = parallel_map_index<core::ProviderResult>(
+      grid.size(), [&](std::size_t i) {
+        core::HtcWorkloadSpec spec = base;
+        spec.policy = core::ResourceManagementPolicy::htc(
+            grid[i].first, grid[i].second, /*max=*/144);
+        return core::run_system(core::SystemModel::kDawningCloud,
+                                core::single_htc_workload(spec))
+            .provider("BLUE");
+      });
+
+  auto csv = bench::open_csv("fig09_blue_sweep");
+  csv.header({"B", "R", "consumption_node_hours", "completed_jobs"});
+  TextTable table({"B", "R", "resource consumption", "completed jobs"});
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto& p = results[i];
+    csv.cell(grid[i].first).cell(grid[i].second, 2)
+        .cell(p.consumption_node_hours).cell(p.completed_jobs);
+    csv.end_row();
+    table.cell(str_format("B%lld", static_cast<long long>(grid[i].first)))
+        .cell(grid[i].second, 1)
+        .cell(p.consumption_node_hours)
+        .cell(p.completed_jobs);
+    table.end_row();
+  }
+  std::puts(table
+                .render("Figure 9: consumption & completed jobs vs (B, R) "
+                        "for BLUE trace (paper picks B80_R1.5)")
+                .c_str());
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Figure 12: total resource consumption of the resource provider, with all
+// three service providers (NASA, BLUE, Montage) consolidated on one
+// platform, under each of the four systems.
+//
+// Paper: DawningCloud saves 29.7% of the DCS/SSP total and 29.0% of the DRP
+// total.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const auto results = core::run_all_systems(core::paper_consolidation());
+
+  std::puts(metrics::format_resource_provider_report(results).c_str());
+
+  const auto& dcs = metrics::result_for(results, core::SystemModel::kDcs);
+  const auto& drp = metrics::result_for(results, core::SystemModel::kDrp);
+  const auto& dc = metrics::result_for(results, core::SystemModel::kDawningCloud);
+  bench::print_paper_comparison({
+      {"DawningCloud total vs DCS/SSP", "saves 29.7%",
+       str_format("saves %.1f%%",
+                  metrics::saved_percent(dcs.total_consumption_node_hours,
+                                         dc.total_consumption_node_hours))},
+      {"DawningCloud total vs DRP", "saves 29.0%",
+       str_format("saves %.1f%%",
+                  metrics::saved_percent(drp.total_consumption_node_hours,
+                                         dc.total_consumption_node_hours))},
+  });
+
+  auto csv = bench::open_csv("fig12_total_consumption");
+  metrics::write_results_csv(csv, results);
+  return 0;
+}

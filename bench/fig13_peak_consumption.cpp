@@ -1,0 +1,73 @@
+// Figure 13: peak resource consumption of the resource provider (nodes per
+// hour) under the consolidated three-provider workload.
+//
+// Paper: DawningCloud's peak is 1.06x that of DCS/SSP and 0.21x that of
+// DRP — dynamic provisioning smooths demand, while DRP's run-immediately
+// model forces the provider to plan capacity for the sum of all transient
+// backlogs.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+#include "util/ascii_chart.hpp"
+
+int main() {
+  using namespace dc;
+  const auto results = core::run_all_systems(core::paper_consolidation());
+
+  std::puts(
+      "Figure 13: peak resource consumption (max concurrent nodes, hourly)\n");
+  std::printf("%-14s %12s\n", "system", "peak nodes");
+  for (const auto& result : results) {
+    std::printf("%-14s %12lld\n", system_model_name(result.model),
+                static_cast<long long>(result.peak_nodes));
+  }
+  std::puts("");
+
+  const auto& dcs = metrics::result_for(results, core::SystemModel::kDcs);
+  const auto& drp = metrics::result_for(results, core::SystemModel::kDrp);
+  const auto& dc = metrics::result_for(results, core::SystemModel::kDawningCloud);
+  const auto ratio = [](std::int64_t a, std::int64_t b) {
+    return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+  };
+  bench::print_paper_comparison({
+      {"DawningCloud peak / DCS-SSP peak", "1.06x",
+       str_format("%.2fx", ratio(dc.peak_nodes, dcs.peak_nodes))},
+      {"DawningCloud peak / DRP peak", "0.21x",
+       str_format("%.2fx", ratio(dc.peak_nodes, drp.peak_nodes))},
+  });
+
+  // Terminal view of the hourly platform usage.
+  std::vector<ChartSeries> chart;
+  for (const auto& result : results) {
+    if (result.model == core::SystemModel::kSsp) continue;  // == DCS
+    ChartSeries series;
+    series.label = system_model_name(result.model);
+    for (std::int64_t level : result.hourly_peak_series) {
+      series.values.push_back(static_cast<double>(level));
+    }
+    chart.push_back(std::move(series));
+  }
+  ChartOptions chart_options;
+  chart_options.x_label = "hours 0..336 (two weeks)";
+  std::puts(render_chart(chart, chart_options).c_str());
+
+  // Full hourly peak series for re-plotting the figure.
+  auto csv = bench::open_csv("fig13_peak_consumption");
+  csv.header({"hour", "DCS", "SSP", "DRP", "DawningCloud"});
+  std::size_t hours = 0;
+  for (const auto& result : results) {
+    hours = std::max(hours, result.hourly_peak_series.size());
+  }
+  for (std::size_t h = 0; h < hours; ++h) {
+    csv.cell(static_cast<std::int64_t>(h));
+    for (const auto& result : results) {
+      csv.cell(h < result.hourly_peak_series.size()
+                   ? result.hourly_peak_series[h]
+                   : 0);
+    }
+    csv.end_row();
+  }
+  return 0;
+}

@@ -1,0 +1,109 @@
+// The generalized n x m case (paper Section 6 future work): n resource
+// providers provisioning to m service providers of heterogeneous
+// workloads, under each placement policy.
+//
+// The experiment scales the paper's three-provider workload to m = 3, 6
+// and 12 service providers (re-seeded variants of NASA/BLUE/Montage) and
+// distributes them over n = 1, 2 and 4 resource providers with staggered
+// capacities and prices. Reported per configuration: total consumption,
+// per-host peaks (capacity planning), revenue split, and unplaced TREs.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/federation.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+namespace {
+
+using namespace dc;
+
+core::ConsolidationWorkload scaled_workload(int m_triples) {
+  core::ConsolidationWorkload workload;
+  for (int i = 0; i < m_triples; ++i) {
+    const auto seed_base = static_cast<std::uint64_t>(100 * i);
+    core::HtcWorkloadSpec nasa = core::paper_nasa_spec(42 + seed_base);
+    nasa.name = str_format("NASA-%d", i);
+    workload.htc.push_back(std::move(nasa));
+    core::HtcWorkloadSpec blue = core::paper_blue_spec(43 + seed_base);
+    blue.name = str_format("BLUE-%d", i);
+    workload.htc.push_back(std::move(blue));
+    core::MtcWorkloadSpec montage = core::paper_montage_spec(7 + seed_base);
+    montage.name = str_format("Montage-%d", i);
+    montage.submit_time = (4 + 2 * i) * kDay + 14 * kHour;
+    workload.mtc.push_back(std::move(montage));
+  }
+  return workload;
+}
+
+std::vector<core::ResourceProviderSpec> make_providers(int n,
+                                                       std::int64_t demand) {
+  std::vector<core::ResourceProviderSpec> providers;
+  for (int i = 0; i < n; ++i) {
+    core::ResourceProviderSpec spec;
+    spec.name = str_format("RP%d", i);
+    // Staggered capacities summing to ~1.2x the total subscription demand,
+    // and staggered prices so kCheapest has something to optimize.
+    spec.capacity = demand * (12 + 3 * i) / (10 * n);
+    spec.price_per_node_hour = 0.10 + 0.02 * i;
+    providers.push_back(std::move(spec));
+  }
+  return providers;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dc;
+  auto csv = bench::open_csv("future_nxm");
+  csv.header({"n_providers", "m_service_providers", "placement",
+              "total_node_hours", "total_cost_usd", "unplaced",
+              "max_host_peak"});
+
+  for (int m_triples : {1, 2, 4}) {
+    const auto workload = scaled_workload(m_triples);
+    std::int64_t demand = 0;
+    for (const auto& spec : workload.htc) demand += spec.fixed_nodes;
+    for (const auto& spec : workload.mtc) demand += spec.fixed_nodes;
+
+    for (int n : {1, 2, 4}) {
+      const auto providers = make_providers(n, demand);
+      for (const auto placement :
+           {core::PlacementPolicy::kFirstFit, core::PlacementPolicy::kLeastLoaded,
+            core::PlacementPolicy::kCheapest}) {
+        const auto result =
+            core::run_federated_dsp(providers, workload, placement);
+        std::int64_t max_peak = 0;
+        for (const auto& host : result.resource_providers) {
+          max_peak = std::max(max_peak, host.peak_nodes);
+        }
+        std::printf(
+            "n=%d m=%2zu placement=%-13s total=%7lld node*h  cost=$%-8.0f "
+            "unplaced=%lld  max host peak=%lld\n",
+            n, workload.htc.size() + workload.mtc.size(),
+            placement_policy_name(placement),
+            static_cast<long long>(result.total_consumption_node_hours),
+            result.total_cost_usd, static_cast<long long>(result.unplaced),
+            static_cast<long long>(max_peak));
+        csv.cell(static_cast<std::int64_t>(n))
+            .cell(static_cast<std::int64_t>(workload.htc.size() +
+                                            workload.mtc.size()))
+            .cell(std::string_view(placement_policy_name(placement)))
+            .cell(result.total_consumption_node_hours)
+            .cell(result.total_cost_usd, 2)
+            .cell(result.unplaced)
+            .cell(max_peak);
+        csv.end_row();
+      }
+    }
+    std::puts("");
+  }
+
+  // Detail view for the paper-size case on two providers.
+  const auto detail = core::run_federated_dsp(
+      make_providers(2, 438), scaled_workload(1),
+      core::PlacementPolicy::kLeastLoaded);
+  std::puts(core::format_federation_report(detail).c_str());
+  return 0;
+}

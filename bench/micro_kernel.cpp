@@ -1,0 +1,122 @@
+// Performance microbenchmarks (google-benchmark) for the simulator
+// substrate: regression guardrails that keep the sweep benches fast.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/first_fit.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+#include "workload/swf.hpp"
+
+namespace {
+
+using namespace dc;
+
+void BM_EventQueueThroughput(benchmark::State& state) {
+  const auto events = static_cast<std::int64_t>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator sim;
+    Rng rng(7);
+    std::int64_t counter = 0;
+    for (std::int64_t i = 0; i < events; ++i) {
+      sim.schedule_at(rng.uniform_int(0, 1'000'000), [&counter] { ++counter; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(counter);
+  }
+  state.SetItemsProcessed(state.iterations() * events);
+}
+BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_PeriodicTimers(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fires = 0;
+    for (int i = 0; i < 16; ++i) {
+      sim.start_periodic(i + 1, 60, [&fires](SimTime) { ++fires; });
+    }
+    sim.run_until(24 * kHour);
+    benchmark::DoNotOptimize(fires);
+  }
+}
+BENCHMARK(BM_PeriodicTimers);
+
+void BM_SwfRoundTrip(benchmark::State& state) {
+  const workload::Trace trace = workload::make_nasa_ipsc(42);
+  std::ostringstream out;
+  workload::write_swf(out, trace.to_swf());
+  const std::string text = out.str();
+  for (auto _ : state) {
+    auto parsed = workload::parse_swf_string(text);
+    benchmark::DoNotOptimize(parsed);
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(text.size()));
+}
+BENCHMARK(BM_SwfRoundTrip);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto trace = workload::make_sdsc_blue(seed++);
+    benchmark::DoNotOptimize(trace);
+  }
+}
+BENCHMARK(BM_TraceGeneration);
+
+void BM_MontageGeneration(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    auto dag = workflow::make_paper_montage(seed++);
+    benchmark::DoNotOptimize(dag);
+  }
+}
+BENCHMARK(BM_MontageGeneration);
+
+void BM_SchedulerSelect(benchmark::State& state) {
+  const auto queue_size = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  std::vector<sched::Job> jobs(queue_size);
+  for (std::size_t i = 0; i < queue_size; ++i) {
+    jobs[i].id = static_cast<sched::JobId>(i);
+    jobs[i].nodes = rng.uniform_int(1, 64);
+    jobs[i].runtime = rng.uniform_int(60, 7200);
+  }
+  std::vector<const sched::Job*> queue;
+  for (const auto& job : jobs) queue.push_back(&job);
+  const sched::FirstFitScheduler first_fit;
+  const sched::EasyBackfillScheduler backfill;
+  for (auto _ : state) {
+    auto a = first_fit.select(queue, {}, 128, 0);
+    auto b = backfill.select(queue, {}, 128, 0);
+    benchmark::DoNotOptimize(a);
+    benchmark::DoNotOptimize(b);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(queue_size));
+}
+BENCHMARK(BM_SchedulerSelect)->Arg(64)->Arg(1024);
+
+void BM_FullSystemRun(benchmark::State& state) {
+  const auto model = static_cast<core::SystemModel>(state.range(0));
+  const auto workload = core::paper_consolidation();
+  for (auto _ : state) {
+    auto result = core::run_system(model, workload);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_FullSystemRun)
+    ->Arg(static_cast<int>(core::SystemModel::kDcs))
+    ->Arg(static_cast<int>(core::SystemModel::kDrp))
+    ->Arg(static_cast<int>(core::SystemModel::kDawningCloud))
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

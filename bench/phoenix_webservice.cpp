@@ -1,0 +1,98 @@
+// Extension: PhoenixCloud-style web-service consolidation.
+//
+// DawningCloud descends from PhoenixCloud (paper references [12]/[21]),
+// whose result was that consolidating *web service* workloads with batch
+// jobs cuts total consumption. This bench adds a web-service provider
+// (diurnal demand curve, 20..100 nodes) next to the paper's three
+// MTC/HTC providers and compares:
+//
+//   fixed   — the WSS holds its peak for the whole period (DCS/SSP style)
+//   elastic — the WSS tracks demand with 10% headroom (DSP style)
+//
+// reporting consumption, SLA violations, and the platform totals with all
+// four providers consolidated.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "core/provision_service.hpp"
+#include "core/wss_server.hpp"
+#include "metrics/report.hpp"
+#include "sim/simulator.hpp"
+#include "workload/demand_profile.hpp"
+
+int main() {
+  using namespace dc;
+  const workload::DemandProfile profile =
+      workload::make_web_demand(workload::WebDemandSpec{}, /*seed=*/21);
+  const SimTime horizon = profile.period();
+
+  std::printf("web-service demand: peak %lld nodes, mean %.1f, %lld "
+              "node*hours over %zu hours\n\n",
+              static_cast<long long>(profile.peak()), profile.mean(),
+              static_cast<long long>(profile.total_node_hours()),
+              profile.hours());
+
+  struct Row {
+    const char* mode;
+    std::int64_t billed;
+    double violations;
+  };
+  std::vector<Row> rows;
+  for (const bool elastic : {false, true}) {
+    sim::Simulator sim;
+    core::ResourceProvisionService provision(cluster::ResourcePool::unbounded());
+    core::WssServer::Config config;
+    config.name = "webservice";
+    if (elastic) {
+      config.policy = core::WssServer::ElasticPolicy{};
+    } else {
+      config.fixed_nodes = profile.peak();
+    }
+    core::WssServer server(sim, provision, std::move(config), profile);
+    sim.schedule_at(0, [&server] { server.start(); });
+    sim.run_until(horizon);
+    server.shutdown();
+    rows.push_back({elastic ? "elastic (DSP)" : "fixed (DCS/SSP)",
+                    server.ledger().billed_node_hours(horizon),
+                    server.violation_node_hours()});
+  }
+
+  TextTable table({"provisioning", "billed node*hours", "SLA violation node*hours",
+                   "saved vs fixed"});
+  for (const Row& row : rows) {
+    table.cell(row.mode)
+        .cell(row.billed)
+        .cell(row.violations, 1)
+        .cell(str_format("%.1f%%",
+                         metrics::saved_percent(rows.front().billed, row.billed)));
+    table.end_row();
+  }
+  std::puts(table.render("Web-service RE: fixed vs elastic provisioning").c_str());
+
+  // Four-provider consolidation: the paper's three + the web service, all
+  // under DSP, versus all under fixed provisioning.
+  const auto batch = core::run_all_systems(core::paper_consolidation());
+  const auto& dcs = metrics::result_for(batch, core::SystemModel::kDcs);
+  const auto& dawning =
+      metrics::result_for(batch, core::SystemModel::kDawningCloud);
+  const std::int64_t fixed_total =
+      dcs.total_consumption_node_hours + rows[0].billed;
+  const std::int64_t dsp_total =
+      dawning.total_consumption_node_hours + rows[1].billed;
+  std::printf("four-provider consolidation (NASA + BLUE + Montage + web):\n");
+  std::printf("  all fixed (DCS/SSP + peak-sized WSS): %lld node*hours\n",
+              static_cast<long long>(fixed_total));
+  std::printf("  all DSP  (DawningCloud + elastic WSS): %lld node*hours "
+              "(saves %.1f%%)\n",
+              static_cast<long long>(dsp_total),
+              metrics::saved_percent(fixed_total, dsp_total));
+
+  auto csv = bench::open_csv("phoenix_webservice");
+  csv.header({"mode", "billed_node_hours", "violation_node_hours"});
+  for (const Row& row : rows) {
+    csv.cell(std::string_view(row.mode)).cell(row.billed).cell(row.violations, 2);
+    csv.end_row();
+  }
+  return 0;
+}

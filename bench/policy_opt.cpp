@@ -1,0 +1,61 @@
+// Policy optimization (the paper's Section 6 future work): search for the
+// optimal (B, R) per workload instead of hand-tuning from the Figure 9-11
+// sweeps, and compare the optimum against the paper's picks.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "core/tuning.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const std::vector<std::int64_t> b_grid = {10, 20, 30, 40, 50, 60, 70, 80};
+  const std::vector<double> r_htc = {1.0, 1.2, 1.4, 1.6, 1.8, 2.0};
+  const std::vector<double> r_mtc = {2, 4, 6, 8, 10, 12, 14, 16};
+
+  auto csv = bench::open_csv("policy_opt");
+  csv.header({"provider", "B", "R", "consumption_node_hours", "quality"});
+
+  struct PaperPick {
+    const char* provider;
+    std::int64_t b;
+    double r;
+  };
+  const PaperPick picks[] = {{"NASA", 40, 1.2}, {"BLUE", 80, 1.5},
+                             {"Montage", 10, 8.0}};
+
+  for (const PaperPick& pick : picks) {
+    core::TuningResult result;
+    if (std::string(pick.provider) == "Montage") {
+      core::MtcWorkloadSpec spec = core::paper_montage_spec();
+      spec.submit_time = 0;
+      // The MTC tradeoff is throughput-vs-cost (DRP-like full expansion is
+      // ~8% faster at ~4x the resources); a 10% quality tolerance lets the
+      // tuner land on the paper-style frontier point instead of the
+      // max-throughput corner.
+      core::TuningObjective objective;
+      objective.quality_tolerance = 0.10;
+      result = core::tune_mtc_policy(spec, b_grid, r_mtc, objective);
+    } else {
+      const core::HtcWorkloadSpec spec = std::string(pick.provider) == "NASA"
+                                             ? core::paper_nasa_spec()
+                                             : core::paper_blue_spec();
+      result = core::tune_htc_policy(spec, b_grid, r_htc);
+    }
+    std::fputs(core::format_tuning_report(pick.provider, result).c_str(),
+               stdout);
+    std::printf("  paper's hand-tuned pick: B=%lld R=%.1f\n\n",
+                static_cast<long long>(pick.b), pick.r);
+    for (const core::TuningCandidate& candidate : result.evaluated) {
+      csv.cell(std::string_view(pick.provider))
+          .cell(candidate.b)
+          .cell(candidate.r, 2)
+          .cell(candidate.consumption_node_hours)
+          .cell(candidate.quality, 3);
+      csv.end_row();
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension: the quality-of-service side of the economics.
+//
+// The paper reports resource consumption and throughput but not queueing
+// delay — which is exactly what the DRP model buys with its extra
+// node*hours ("all jobs run immediately without queuing"). This bench
+// completes the picture: mean/max job wait per system per provider, so the
+// consumption savings of Tables 2-3 can be weighed against the latency
+// cost the service provider's users pay.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const auto results = core::run_all_systems(core::paper_consolidation());
+
+  auto csv = bench::open_csv("qos_wait_times");
+  csv.header({"system", "provider", "mean_wait_seconds", "max_wait_seconds",
+              "consumption_node_hours"});
+  for (const char* provider : {"NASA", "BLUE", "Montage"}) {
+    TextTable table({"system", "mean wait", "max wait", "node*hours"});
+    for (const auto& result : results) {
+      const auto& p = result.provider(provider);
+      table.cell(system_model_name(result.model))
+          .cell(str_format("%7.0f s", p.mean_wait_seconds))
+          .cell(str_format("%7lld s",
+                           static_cast<long long>(p.max_wait_seconds)))
+          .cell(p.consumption_node_hours);
+      table.end_row();
+      csv.cell(std::string_view(system_model_name(result.model)))
+          .cell(p.provider)
+          .cell(p.mean_wait_seconds, 1)
+          .cell(p.max_wait_seconds)
+          .cell(p.consumption_node_hours);
+      csv.end_row();
+    }
+    std::puts(table
+                  .render(str_format("Job wait times: %s provider", provider))
+                  .c_str());
+  }
+  std::puts("DRP's extra consumption is the price of zero queueing; the");
+  std::puts("DSP policy's (B, R) choice trades these explicitly.");
+  return 0;
+}

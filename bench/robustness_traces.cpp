@@ -1,0 +1,100 @@
+// Robustness: do the paper's conclusions generalize beyond its two traces?
+//
+// Runs the four systems over five workload families spanning the
+// (utilization, job length, width) space — the paper's NASA/BLUE plus
+// KTH-like (light, very short jobs), CTC-like (mid-size, mixed), and a
+// capability-class workload (few wide long jobs). Expected pattern: the
+// DRP-vs-DCS margin tracks the demand-weighted rounding overhead and the
+// fixed system's utilization slack, while DawningCloud's saving tracks how
+// far utilization sits below 100% and how deep the demand valleys are.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "util/parallel.hpp"
+#include "workload/models.hpp"
+#include "workload/trace_stats.hpp"
+
+int main() {
+  using namespace dc;
+  struct Family {
+    workload::SyntheticTraceSpec spec;
+    std::uint64_t seed;
+    std::int64_t b;  // DawningCloud initial nodes
+    double r;
+  };
+  const std::vector<Family> families = {
+      {workload::nasa_ipsc_spec(), 42, 40, 1.2},
+      {workload::sdsc_blue_spec(), 43, 80, 1.5},
+      {workload::kth_sp2_like_spec(), 11, 20, 1.2},
+      {workload::ctc_sp2_like_spec(), 12, 120, 1.5},
+      {workload::capability_like_spec(), 13, 64, 1.5},
+  };
+
+  struct Row {
+    std::string name;
+    double utilization;
+    double sub_hour;
+    double drp_saved;
+    double dawning_saved;
+    std::int64_t completed_dcs;
+    std::int64_t completed_dawning;
+  };
+  const auto rows = parallel_map_index<Row>(families.size(), [&](std::size_t i) {
+    const Family& family = families[i];
+    core::HtcWorkloadSpec spec;
+    spec.name = family.spec.name;
+    spec.trace = workload::generate_trace(family.spec, family.seed);
+    spec.fixed_nodes = family.spec.capacity_nodes;
+    spec.policy = core::ResourceManagementPolicy::htc(
+        family.b, family.r, family.spec.capacity_nodes);
+    const auto stats = workload::compute_stats(spec.trace);
+    const auto results =
+        core::run_all_systems(core::single_htc_workload(spec));
+    const auto base = metrics::result_for(results, core::SystemModel::kDcs)
+                          .provider(spec.name);
+    const auto drp = metrics::result_for(results, core::SystemModel::kDrp)
+                         .provider(spec.name);
+    const auto dawning =
+        metrics::result_for(results, core::SystemModel::kDawningCloud)
+            .provider(spec.name);
+    return Row{spec.name,
+               stats.utilization,
+               stats.sub_hour_job_fraction,
+               metrics::saved_percent(base.consumption_node_hours,
+                                      drp.consumption_node_hours),
+               metrics::saved_percent(base.consumption_node_hours,
+                                      dawning.consumption_node_hours),
+               base.completed_jobs,
+               dawning.completed_jobs};
+  });
+
+  auto csv = bench::open_csv("robustness_traces");
+  csv.header({"family", "utilization", "sub_hour_fraction", "drp_saved",
+              "dawning_saved", "completed_dcs", "completed_dawning"});
+  TextTable table({"workload family", "util %", "sub-hour %", "DRP saved",
+                   "DawningCloud saved", "done (DCS/DC)"});
+  for (const Row& row : rows) {
+    table.cell(row.name)
+        .cell(100 * row.utilization, 1)
+        .cell(100 * row.sub_hour, 1)
+        .cell(str_format("%+.1f%%", row.drp_saved))
+        .cell(str_format("%+.1f%%", row.dawning_saved))
+        .cell(str_format("%lld/%lld",
+                         static_cast<long long>(row.completed_dcs),
+                         static_cast<long long>(row.completed_dawning)));
+    table.end_row();
+    csv.cell(row.name).cell(row.utilization, 4).cell(row.sub_hour, 4)
+        .cell(row.drp_saved, 2).cell(row.dawning_saved, 2)
+        .cell(row.completed_dcs).cell(row.completed_dawning);
+    csv.end_row();
+  }
+  std::puts(table
+                .render("Cross-trace robustness: four systems over five "
+                        "workload families")
+                .c_str());
+  return 0;
+}

@@ -1,0 +1,11 @@
+// Table 1: the comparison of different usage models (DCS, SSP, DRP, DSP).
+// Rendered from the system models' static traits so the table cannot drift
+// from the implementation.
+#include <cstdio>
+
+#include "metrics/report.hpp"
+
+int main() {
+  std::puts(dc::metrics::format_model_comparison_table().c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Table 2: the metrics of the service providers for the NASA iPSC trace.
+//
+// Paper values: DCS 2603 jobs / 43008 node*h; SSP same; DRP 2603 / 54118
+// (-25.8%); DawningCloud (B=40, R=1.2) 2603 / 29014 (+32.5%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const core::ConsolidationWorkload workload =
+      core::single_htc_workload(core::paper_nasa_spec());
+  const auto results = core::run_all_systems(workload);
+
+  std::puts(metrics::format_htc_provider_table(
+                results, "NASA",
+                "Table 2: the metrics of the service providers for NASA trace")
+                .c_str());
+
+  const auto& dcs = metrics::result_for(results, core::SystemModel::kDcs);
+  const auto& drp = metrics::result_for(results, core::SystemModel::kDrp);
+  const auto& dc = metrics::result_for(results, core::SystemModel::kDawningCloud);
+  bench::print_paper_comparison({
+      {"DCS consumption (node*h)", "43008",
+       std::to_string(dcs.provider("NASA").consumption_node_hours)},
+      {"DRP saved vs DCS", "-25.8%",
+       str_format("%.1f%%", metrics::saved_percent(
+                                dcs.provider("NASA").consumption_node_hours,
+                                drp.provider("NASA").consumption_node_hours))},
+      {"DawningCloud saved vs DCS", "32.5%",
+       str_format("%.1f%%", metrics::saved_percent(
+                                dcs.provider("NASA").consumption_node_hours,
+                                dc.provider("NASA").consumption_node_hours))},
+      {"completed jobs (all systems)", "2603",
+       str_format("%lld / %lld / %lld",
+                  static_cast<long long>(dcs.provider("NASA").completed_jobs),
+                  static_cast<long long>(drp.provider("NASA").completed_jobs),
+                  static_cast<long long>(dc.provider("NASA").completed_jobs))},
+  });
+
+  auto csv = bench::open_csv("table2_nasa");
+  metrics::write_results_csv(csv, results);
+  return 0;
+}

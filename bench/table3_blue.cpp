@@ -1,0 +1,46 @@
+// Table 3: the metrics of the service provider for the SDSC BLUE trace.
+//
+// Paper values: DCS 2649 jobs / 48384 node*h; SSP same; DRP 2657 / 35838
+// (25.9%); DawningCloud (B=80, R=1.5) 2653 / 35201 (27.2%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const core::ConsolidationWorkload workload =
+      core::single_htc_workload(core::paper_blue_spec());
+  const auto results = core::run_all_systems(workload);
+
+  std::puts(metrics::format_htc_provider_table(
+                results, "BLUE",
+                "Table 3: the metrics of the service provider for BLUE trace")
+                .c_str());
+
+  const auto& dcs = metrics::result_for(results, core::SystemModel::kDcs);
+  const auto& drp = metrics::result_for(results, core::SystemModel::kDrp);
+  const auto& dc = metrics::result_for(results, core::SystemModel::kDawningCloud);
+  bench::print_paper_comparison({
+      {"DCS consumption (node*h)", "48384",
+       std::to_string(dcs.provider("BLUE").consumption_node_hours)},
+      {"DRP saved vs DCS", "25.9%",
+       str_format("%.1f%%", metrics::saved_percent(
+                                dcs.provider("BLUE").consumption_node_hours,
+                                drp.provider("BLUE").consumption_node_hours))},
+      {"DawningCloud saved vs DCS", "27.2%",
+       str_format("%.1f%%", metrics::saved_percent(
+                                dcs.provider("BLUE").consumption_node_hours,
+                                dc.provider("BLUE").consumption_node_hours))},
+      {"completed jobs DCS/DRP/DC", "2649 / 2657 / 2653",
+       str_format("%lld / %lld / %lld",
+                  static_cast<long long>(dcs.provider("BLUE").completed_jobs),
+                  static_cast<long long>(drp.provider("BLUE").completed_jobs),
+                  static_cast<long long>(dc.provider("BLUE").completed_jobs))},
+  });
+
+  auto csv = bench::open_csv("table3_blue");
+  metrics::write_results_csv(csv, results);
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Table 4: the metrics of the service provider for the Montage workload.
+//
+// Paper values: DCS 2.49 tasks/s / 166 node*h; SSP same; DRP 2.71 / 662
+// (-298.8%); DawningCloud (B=10, R=8) 2.49 / 166 (0%).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  core::MtcWorkloadSpec spec = core::paper_montage_spec();
+  spec.submit_time = 0;  // isolated run: submit at t=0
+  const core::ConsolidationWorkload workload =
+      core::single_mtc_workload(std::move(spec));
+  const auto results = core::run_all_systems(workload);
+
+  std::puts(metrics::format_mtc_provider_table(
+                results, "Montage",
+                "Table 4: the metrics of the service provider for Montage")
+                .c_str());
+
+  const auto& dcs = metrics::result_for(results, core::SystemModel::kDcs);
+  const auto& drp = metrics::result_for(results, core::SystemModel::kDrp);
+  const auto& dc = metrics::result_for(results, core::SystemModel::kDawningCloud);
+  bench::print_paper_comparison({
+      {"DCS consumption (node*h)", "166",
+       std::to_string(dcs.provider("Montage").consumption_node_hours)},
+      {"DRP consumption (node*h)", "662 (-298.8%)",
+       str_format("%lld (%.1f%%)",
+                  static_cast<long long>(
+                      drp.provider("Montage").consumption_node_hours),
+                  metrics::saved_percent(
+                      dcs.provider("Montage").consumption_node_hours,
+                      drp.provider("Montage").consumption_node_hours))},
+      {"DawningCloud consumption", "166 (0%)",
+       std::to_string(dc.provider("Montage").consumption_node_hours)},
+      {"tasks/s DCS / DRP / DC", "2.49 / 2.71 / 2.49",
+       str_format("%.2f / %.2f / %.2f",
+                  dcs.provider("Montage").tasks_per_second,
+                  drp.provider("Montage").tasks_per_second,
+                  dc.provider("Montage").tasks_per_second)},
+  });
+
+  auto csv = bench::open_csv("table4_montage");
+  metrics::write_results_csv(csv, results);
+  return 0;
+}

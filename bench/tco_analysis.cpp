@@ -1,0 +1,47 @@
+// Section 4.5.5: total cost of ownership of the service provider in the
+// SSP and DCS systems.
+//
+// Paper: TCO_dcs = $3,160/month (15-node dual-CPU cluster: $120k CapEx over
+// 8 years + $30k maintenance + $1.6k/month energy/space); TCO_ssp =
+// $2,260/month (30 EC2 instances at $0.10/h + <=1,000 GB inbound at
+// $0.10/GB) = 71.5% of the DCS cost.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "cost/tco.hpp"
+#include "metrics/report.hpp"
+
+int main() {
+  using namespace dc;
+  const cost::TcoComparison comparison = cost::paper_tco_comparison();
+  std::puts(cost::format_tco_report(comparison).c_str());
+
+  bench::print_paper_comparison({
+      {"TCO DCS ($/month)", "3160", str_format("%.0f", comparison.dcs_per_month)},
+      {"TCO SSP ($/month)", "2260", str_format("%.0f", comparison.ssp_per_month)},
+      {"SSP / DCS", "71.5%",
+       str_format("%.1f%%", 100.0 * comparison.ssp_over_dcs)},
+  });
+
+  // Bonus: convert the measured consumption of each system into on-demand
+  // dollars, connecting Tables 2-4 to the cost model.
+  const auto results = core::run_all_systems(core::paper_consolidation());
+  TextTable table({"system", "total node*hours", "on-demand cost ($ @ 0.10/h)"});
+  for (const auto& result : results) {
+    table.cell(system_model_name(result.model))
+        .cell(result.total_consumption_node_hours)
+        .cell(cost::consumption_cost_usd(result.total_consumption_node_hours), 0);
+    table.end_row();
+  }
+  std::puts(table.render("Consolidated consumption priced at EC2 rates").c_str());
+
+  auto csv = bench::open_csv("tco_analysis");
+  csv.header({"model", "tco_usd_per_month"});
+  csv.cell(std::string_view("DCS")).cell(comparison.dcs_per_month, 2);
+  csv.end_row();
+  csv.cell(std::string_view("SSP")).cell(comparison.ssp_per_month, 2);
+  csv.end_row();
+  return 0;
+}

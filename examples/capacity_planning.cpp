@@ -1,0 +1,85 @@
+// capacity_planning: how many nodes must the resource provider actually
+// buy? Figure 13's practical consequence, computed by binary search.
+//
+// For DRP and DawningCloud, find the smallest bounded platform capacity at
+// which the consolidated three-provider workload suffers no rejected
+// resource requests (DRP rejections drop jobs; DawningCloud rejections
+// force queueing). Then compare with the fixed systems' requirement (the
+// sum of the DCS sizes, 438 nodes) and price the difference.
+#include <cstdio>
+
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "cost/tco.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace dc;
+
+/// Smallest capacity in [lo, hi] with zero rejected requests.
+std::int64_t min_capacity_without_rejections(core::SystemModel model,
+                                             const core::ConsolidationWorkload& workload,
+                                             std::int64_t lo, std::int64_t hi) {
+  auto rejections_at = [&](std::int64_t capacity) {
+    core::RunOptions options;
+    options.platform_capacity = capacity;
+    return core::run_system(model, workload, options).rejected_requests;
+  };
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    if (rejections_at(mid) == 0) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dc;
+  // The binary search probes undersized platforms on purpose; silence the
+  // servers' rejection warnings.
+  Log::set_level(LogLevel::kError);
+  const auto workload = core::paper_consolidation();
+  const std::int64_t fixed_requirement = 128 + 144 + 166;
+
+  std::puts("Capacity planning for the consolidated three-provider workload");
+  std::printf("  DCS/SSP fixed requirement:     %lld nodes\n\n",
+              static_cast<long long>(fixed_requirement));
+
+  struct Row {
+    core::SystemModel model;
+    std::int64_t capacity;
+  };
+  std::vector<Row> rows;
+  for (core::SystemModel model :
+       {core::SystemModel::kDawningCloud, core::SystemModel::kDrp}) {
+    const std::int64_t capacity =
+        min_capacity_without_rejections(model, workload, 1, 4096);
+    rows.push_back({model, capacity});
+    std::printf("  %-14s needs %4lld nodes for zero rejections (%.2fx the "
+                "fixed requirement)\n",
+                system_model_name(model), static_cast<long long>(capacity),
+                static_cast<double>(capacity) /
+                    static_cast<double>(fixed_requirement));
+  }
+
+  std::puts("\nOwnership cost of that platform (scaled Section 4.5.5 model):");
+  std::printf("  fixed (DCS/SSP)  $%8.0f per month\n",
+              cost::dcs_cost_for_nodes(fixed_requirement));
+  for (const Row& row : rows) {
+    std::printf("  %-15s  $%8.0f per month\n",
+                system_model_name(row.model),
+                cost::dcs_cost_for_nodes(row.capacity));
+  }
+  std::puts("\nA DRP-facing provider must capacity-plan for every transient"
+            "\nbacklog; the DSP model's subscription-capped elasticity keeps"
+            "\nthe buildout near the fixed systems' size while billing ~24%"
+            "\nfewer node*hours (Figure 12).");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// consolidation: the paper's full experiment — two HTC providers (NASA,
+// BLUE) and one MTC provider (Montage) consolidated on one cloud platform,
+// evaluated under all four usage models. This is the programmatic version
+// of Section 4's evaluation; the bench/ binaries print the individual
+// tables and figures.
+//
+// Usage: consolidation [--csv out.csv] [--extra-htc N] [--config file.dcfg]
+//   --extra-htc N  adds N more synthetic HTC providers, exercising the
+//                  generalized m-provider case from the paper's future work.
+//   --config FILE  loads the providers from an experiment description file
+//                  (the Section 2.2 requirement description model) instead
+//                  of the built-in paper workload.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/description.hpp"
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "workload/models.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  std::string csv_path;
+  std::string config_path;
+  int extra_htc = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--extra-htc") == 0 && i + 1 < argc) {
+      extra_htc = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--config") == 0 && i + 1 < argc) {
+      config_path = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--csv out.csv] [--extra-htc N] [--config FILE]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  core::ConsolidationWorkload workload;
+  if (!config_path.empty()) {
+    auto parsed = core::read_experiment_description(config_path);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    workload = std::move(*parsed);
+  } else {
+    workload = core::paper_consolidation();
+  }
+  for (int i = 0; i < extra_htc; ++i) {
+    core::HtcWorkloadSpec spec =
+        core::paper_nasa_spec(1000 + static_cast<std::uint64_t>(i));
+    spec.name = "ORG" + std::to_string(i);
+    workload.htc.push_back(std::move(spec));
+  }
+
+  std::printf("Consolidating %zu HTC + %zu MTC service providers on one "
+              "cloud platform\n\n",
+              workload.htc.size(), workload.mtc.size());
+
+  const auto results = core::run_all_systems(workload);
+
+  for (const auto& spec : workload.htc) {
+    std::puts(metrics::format_htc_provider_table(
+                  results, spec.name, "HTC provider: " + spec.name)
+                  .c_str());
+  }
+  for (const auto& spec : workload.mtc) {
+    std::puts(metrics::format_mtc_provider_table(
+                  results, spec.name, "MTC provider: " + spec.name)
+                  .c_str());
+  }
+  std::puts(metrics::format_resource_provider_report(results).c_str());
+  std::puts(metrics::format_overhead_report(results).c_str());
+
+  if (!csv_path.empty()) {
+    CsvWriter csv(csv_path);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", csv_path.c_str());
+      return 1;
+    }
+    metrics::write_results_csv(csv, results);
+    std::printf("wrote %s\n", csv_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+// federation: the generalized n-provider cloud market (the paper's future
+// work). Three resource providers with different capacities and prices
+// compete for six service providers' TREs; the example contrasts the three
+// placement policies and prints each provider's books.
+//
+// Usage: federation [placement]   (first-fit | least-loaded | cheapest)
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/federation.hpp"
+#include "core/paper.hpp"
+#include "util/strings.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+
+  core::PlacementPolicy placement = core::PlacementPolicy::kLeastLoaded;
+  if (argc > 1) {
+    const std::string arg = argv[1];
+    if (arg == "first-fit") placement = core::PlacementPolicy::kFirstFit;
+    else if (arg == "least-loaded") placement = core::PlacementPolicy::kLeastLoaded;
+    else if (arg == "cheapest") placement = core::PlacementPolicy::kCheapest;
+    else {
+      std::fprintf(stderr, "unknown placement: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  // Six service providers: two re-seeded copies of each paper workload.
+  core::ConsolidationWorkload workload;
+  for (int i = 0; i < 2; ++i) {
+    const auto seeds = static_cast<std::uint64_t>(10 * i);
+    auto nasa = core::paper_nasa_spec(42 + seeds);
+    nasa.name = str_format("NASA-%d", i);
+    workload.htc.push_back(std::move(nasa));
+    auto blue = core::paper_blue_spec(43 + seeds);
+    blue.name = str_format("BLUE-%d", i);
+    workload.htc.push_back(std::move(blue));
+    auto montage = core::paper_montage_spec(7 + seeds);
+    montage.name = str_format("Montage-%d", i);
+    montage.submit_time = (6 + 3 * i) * kDay;
+    workload.mtc.push_back(std::move(montage));
+  }
+
+  // Three resource providers: a big incumbent, a mid-size one, and a small
+  // discounter.
+  const std::vector<core::ResourceProviderSpec> providers = {
+      {"MegaCloud", 600, 0.12},
+      {"MidCloud", 350, 0.10},
+      {"BudgetCloud", 200, 0.08},
+  };
+
+  std::printf("Placement policy: %s\n\n", placement_policy_name(placement));
+  const auto result = core::run_federated_dsp(providers, workload, placement);
+
+  std::puts("TRE placements:");
+  for (const auto& decision : result.placements) {
+    std::printf("  %-10s (subscription %3lld nodes) -> %s\n",
+                decision.service_provider.c_str(),
+                static_cast<long long>(decision.subscription),
+                decision.resource_provider.empty()
+                    ? "UNPLACED"
+                    : decision.resource_provider.c_str());
+  }
+  std::puts("");
+  std::puts(core::format_federation_report(result).c_str());
+
+  std::puts("Service-provider outcomes:");
+  for (const auto& provider : result.service_providers) {
+    std::printf("  %-10s completed %5lld  consumption %6lld node*h  "
+                "mean wait %.0fs\n",
+                provider.provider.c_str(),
+                static_cast<long long>(provider.completed_jobs),
+                static_cast<long long>(provider.consumption_node_hours),
+                provider.mean_wait_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,78 @@
+// gated_pipeline: the trigger monitor driving a nightly observation
+// pipeline.
+//
+// Section 3.1.2's trigger monitor watches external conditions ("the
+// changes of database's record or files") and releases workflow stages
+// when they fire. This example models a telescope campaign: three nights
+// of observations, each night's Montage mosaic gated on its data arriving
+// from the instrument — the reduction stages are submitted up front but
+// run only when their night's trigger fires.
+#include <cstdio>
+
+#include "core/mtc_server.hpp"
+#include "core/provision_service.hpp"
+#include "sched/fcfs.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/montage.hpp"
+
+int main() {
+  using namespace dc;
+  sim::Simulator sim;
+  core::ResourceProvisionService provision(cluster::ResourcePool::unbounded());
+  sched::FcfsScheduler fcfs;
+
+  core::MtcServer::MtcConfig config;
+  config.name = "observatory";
+  config.policy = core::ResourceManagementPolicy::mtc(/*B=*/8, /*R=*/8.0);
+  config.scheduler = &fcfs;
+  config.destroy_when_complete = true;
+  core::MtcServer server(sim, provision, std::move(config));
+
+  // Build one Montage per night and gate every root (mProjectPP) task on
+  // that night's data-arrival trigger.
+  workflow::MontageParams params;
+  params.inputs = 40;  // 244 tasks per night
+  std::vector<core::MtcServer::GatedSubmission> submissions;
+  sim.schedule_at(0, [&] {
+    server.start();
+    for (std::uint64_t night = 0; night < 3; ++night) {
+      const workflow::Dag dag =
+          workflow::make_montage(params, /*seed=*/100 + night);
+      submissions.push_back(server.submit_workflow_gated(dag, dag.roots()));
+      std::printf("campaign: night-%llu mosaic registered (%zu tasks, "
+                  "%zu gated roots)\n",
+                  static_cast<unsigned long long>(night), dag.size(),
+                  submissions.back().triggers.size());
+    }
+  });
+
+  // Data lands at 22:00 each night; the trigger monitor fires then.
+  for (std::uint64_t night = 0; night < 3; ++night) {
+    const SimTime arrival = static_cast<SimTime>(night) * kDay + 22 * kHour;
+    sim.schedule_at(arrival, [&, night] {
+      std::printf("[%s] night-%llu data arrived -> firing %zu triggers\n",
+                  format_time(sim.now()).c_str(),
+                  static_cast<unsigned long long>(night),
+                  submissions[night].triggers.size());
+      for (const auto trigger : submissions[night].triggers) {
+        server.fire_trigger(trigger);
+      }
+    });
+    // Sample the TRE shortly after each arrival.
+    sim.schedule_at(arrival + 5 * kMinute, [&] {
+      std::printf("[%s] owned=%lld busy=%lld completed=%lld\n",
+                  format_time(sim.now()).c_str(),
+                  static_cast<long long>(server.owned()),
+                  static_cast<long long>(server.busy()),
+                  static_cast<long long>(server.completed_tasks()));
+    });
+  }
+
+  sim.run_until(4 * kDay);
+  std::printf("\ncampaign complete: %lld tasks, %lld node*hours billed "
+              "(TRE destroyed after the last mosaic)\n",
+              static_cast<long long>(server.completed_tasks()),
+              static_cast<long long>(
+                  server.ledger().billed_node_hours(4 * kDay)));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: consolidate one small HTC provider and one small MTC provider
+// on a cloud platform and compare all four usage models.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+#include "workload/trace_stats.hpp"
+
+int main() {
+  using namespace dc;
+
+  // A small synthetic HTC trace: 3 days, 64 nodes, moderate load.
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = "demo-htc";
+  trace_spec.capacity_nodes = 64;
+  trace_spec.period = 3 * kDay;
+  trace_spec.jobs_per_day = 120;
+  trace_spec.bursts_per_day = 2.0;
+  trace_spec.burst_jobs_min = 4;
+  trace_spec.burst_jobs_max = 12;
+  trace_spec.width_weights = {{1, 0.3}, {2, 0.2}, {4, 0.2}, {8, 0.15},
+                              {16, 0.1}, {32, 0.04}, {64, 0.01}};
+  workload::Trace trace = workload::generate_trace(trace_spec, /*seed=*/1);
+  std::puts(workload::format_stats(trace, workload::compute_stats(trace)).c_str());
+
+  // A small Montage workflow: 40 inputs -> 40 + 158 + 40 + 6 = 244 tasks.
+  workflow::MontageParams montage_params;
+  montage_params.inputs = 40;
+  workflow::Dag dag = workflow::make_montage(montage_params, /*seed=*/2);
+  std::printf("montage: %zu tasks, critical path %llds, max level width %zu\n\n",
+              dag.size(), static_cast<long long>(dag.critical_path()),
+              dag.max_level_width());
+
+  // Consolidate both providers and run every system model.
+  core::ConsolidationWorkload workload;
+  workload.htc.push_back(core::HtcWorkloadSpec{
+      "demo-htc", trace, /*fixed_nodes=*/64,
+      core::ResourceManagementPolicy::htc(/*B=*/16, /*R=*/1.5)});
+  workload.mtc.push_back(core::MtcWorkloadSpec{
+      "demo-mtc", dag, /*submit_time=*/kDay + 10 * kHour, /*fixed_nodes=*/40,
+      core::ResourceManagementPolicy::mtc(/*B=*/5, /*R=*/8.0)});
+
+  const std::vector<core::SystemResult> results =
+      core::run_all_systems(workload);
+
+  std::puts(metrics::format_model_comparison_table().c_str());
+  std::puts(metrics::format_htc_provider_table(results, "demo-htc",
+                                               "HTC service provider metrics")
+                .c_str());
+  std::puts(metrics::format_mtc_provider_table(results, "demo-mtc",
+                                               "MTC service provider metrics")
+                .c_str());
+  std::puts(metrics::format_resource_provider_report(results).c_str());
+  std::puts(metrics::format_overhead_report(results).c_str());
+  return 0;
+}

@@ -1,0 +1,69 @@
+// web_provider: a web-service organization on the cloud platform
+// (PhoenixCloud-style, the lineage DawningCloud builds on).
+//
+// Shows the demand-profile substrate and the WSS runtime environment:
+// prints the demand curve, runs fixed-peak vs elastic provisioning, and
+// reports the bill and the SLA violations of each.
+//
+// Usage: web_provider [peak_nodes] [headroom]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/provision_service.hpp"
+#include "core/wss_server.hpp"
+#include "sim/simulator.hpp"
+#include "util/ascii_chart.hpp"
+#include "workload/demand_profile.hpp"
+
+int main(int argc, char** argv) {
+  using namespace dc;
+  workload::WebDemandSpec demand_spec;
+  if (argc > 1) demand_spec.peak_nodes = std::strtoll(argv[1], nullptr, 10);
+  double headroom = argc > 2 ? std::strtod(argv[2], nullptr) : 0.10;
+
+  const workload::DemandProfile profile =
+      workload::make_web_demand(demand_spec, /*seed=*/77);
+  const SimTime horizon = profile.period();
+
+  std::printf("web-service demand over two weeks: base %lld, peak %lld, "
+              "mean %.1f nodes\n\n",
+              static_cast<long long>(demand_spec.base_nodes),
+              static_cast<long long>(profile.peak()), profile.mean());
+  ChartSeries series{"demand (nodes)", {}};
+  for (std::int64_t level : profile.hourly()) {
+    series.values.push_back(static_cast<double>(level));
+  }
+  ChartOptions chart_options;
+  chart_options.height = 12;
+  chart_options.x_label = "hours 0..336";
+  std::puts(render_chart({series}, chart_options).c_str());
+
+  for (const bool elastic : {false, true}) {
+    sim::Simulator sim;
+    core::ResourceProvisionService provision(cluster::ResourcePool::unbounded());
+    core::WssServer::Config config;
+    config.name = elastic ? "elastic" : "fixed";
+    if (elastic) {
+      core::WssServer::ElasticPolicy policy;
+      policy.headroom = headroom;
+      config.policy = policy;
+    } else {
+      config.fixed_nodes = profile.peak();
+    }
+    core::WssServer server(sim, provision, std::move(config), profile);
+    sim.schedule_at(0, [&server] { server.start(); });
+    sim.run_until(horizon);
+    server.shutdown();
+    std::printf(
+        "%-8s provisioning: %6lld node*hours billed, %7.1f node*hours of "
+        "SLA violation (%llds in violation)\n",
+        elastic ? "elastic" : "fixed",
+        static_cast<long long>(server.ledger().billed_node_hours(horizon)),
+        server.violation_node_hours(),
+        static_cast<long long>(server.violation_seconds()));
+  }
+  std::printf("\n(headroom %.0f%%; raise it to trade node*hours for SLA "
+              "safety on flash crowds)\n",
+              100.0 * headroom);
+  return 0;
+}

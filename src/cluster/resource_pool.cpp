@@ -1,0 +1,49 @@
+#include "cluster/resource_pool.hpp"
+
+#include <cassert>
+#include <limits>
+
+#include "util/strings.hpp"
+
+namespace dc::cluster {
+
+ResourcePool::ResourcePool(NodeCount capacity) : capacity_(capacity) {
+  assert(capacity >= 0);
+}
+
+ResourcePool ResourcePool::unbounded() { return ResourcePool(); }
+
+NodeCount ResourcePool::capacity() const {
+  assert(capacity_.has_value() && "unbounded pool has no capacity");
+  return *capacity_;
+}
+
+NodeCount ResourcePool::free() const {
+  if (!capacity_) return std::numeric_limits<NodeCount>::max();
+  return *capacity_ - allocated_;
+}
+
+bool ResourcePool::can_allocate(NodeCount count) const {
+  assert(count >= 0);
+  if (!capacity_) return true;
+  return allocated_ + count <= *capacity_;
+}
+
+Status ResourcePool::allocate(NodeCount count) {
+  assert(count >= 0);
+  if (!can_allocate(count)) {
+    return Status::resource_exhausted(
+        str_format("requested %lld nodes, only %lld free",
+                   static_cast<long long>(count), static_cast<long long>(free())));
+  }
+  allocated_ += count;
+  return Status::ok();
+}
+
+void ResourcePool::release(NodeCount count) {
+  assert(count >= 0);
+  assert(count <= allocated_ && "releasing more nodes than allocated");
+  allocated_ -= count;
+}
+
+}  // namespace dc::cluster

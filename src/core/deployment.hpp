@@ -1,0 +1,70 @@
+// The CSF's deployment service and per-node agents, modeled mechanically.
+//
+// Section 3.1.2: "The deployment service is a collection of services for
+// deploying and booting operating system, the CSF and TREs. ... The agent
+// is responsible for downloading the required software package, starting
+// or stopping service daemon." Creating a TRE on N nodes therefore costs:
+//
+//   download: package_size / min(per-node bandwidth, repo bandwidth / N)
+//             — all N agents pull concurrently from a shared repository,
+//             so wide TREs are bandwidth-bound on the repo link;
+//   start:    a fixed daemon startup once the package is installed.
+//
+// LifecycleService can be constructed over this model, making the
+// Inexistent -> Planning -> Created -> Running timeline a function of the
+// requested TRE size instead of fixed constants.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace dc::core {
+
+/// A TRE software package in the repository.
+struct PackageSpec {
+  std::string name = "tre";
+  double size_mb = 200.0;
+};
+
+class DeploymentService {
+ public:
+  struct Config {
+    /// Shared repository uplink, split across concurrently-downloading
+    /// agents.
+    double repository_bandwidth_mbps = 1000.0;
+    /// Per-node download cap (the node's NIC / disk).
+    double node_bandwidth_mbps = 100.0;
+    /// Agent time to start the TRE daemons after installation.
+    SimDuration daemon_start = 5;
+  };
+
+  DeploymentService() : DeploymentService(Config{}) {}
+  explicit DeploymentService(Config config) : config_(config) {}
+
+  /// Time to deploy `package` onto `nodes` nodes in parallel.
+  SimDuration deploy_latency(const PackageSpec& package,
+                             std::int64_t nodes) const {
+    if (nodes <= 0) return 0;
+    const double per_node_rate =
+        std::min(config_.node_bandwidth_mbps,
+                 config_.repository_bandwidth_mbps / static_cast<double>(nodes));
+    // Bandwidth in Mbit/s, size in MB: seconds = MB * 8 / Mbps.
+    const double seconds = package.size_mb * 8.0 / per_node_rate;
+    return static_cast<SimDuration>(std::llround(std::ceil(seconds)));
+  }
+
+  /// Daemon startup time (independent of node count: agents start in
+  /// parallel).
+  SimDuration start_latency() const { return config_.daemon_start; }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace dc::core

@@ -1,0 +1,64 @@
+// The service-provider requirement description model.
+//
+// Section 2.2, step 1: "A service provider specifies its requirement for
+// runtime environment (RE), including types of workloads: MTC or HTC, size
+// of resources, types of operating system ... In our technical report [21]
+// we have given out a description model for describing the diversities of
+// requirements of different service providers."
+//
+// This module implements that description model as a line-oriented text
+// format the CSF web portal would accept, plus a whole-experiment config
+// that wires providers to workload sources:
+//
+//   # one stanza per service provider
+//   provider NASA
+//     workload        htc
+//     initial-nodes   40            # B
+//     threshold-ratio 1.2           # R
+//     subscription    128           # provision-policy cap (0 = unlimited)
+//     fixed-nodes     128           # RE size in the SSP/DCS systems
+//     os              linux
+//     trace           swf:nasa.swf  # or synthetic:nasa / synthetic:blue
+//   end
+//
+//   provider Montage
+//     workload        mtc
+//     initial-nodes   10
+//     threshold-ratio 8
+//     fixed-nodes     166
+//     submit-time     739h          # suffixes: s m h d
+//     workflow        wff:montage.wff   # or montage:166
+//   end
+//
+// Unknown keys fail the parse with a line-numbered message.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/systems.hpp"
+#include "util/status.hpp"
+
+namespace dc::core {
+
+/// Parses a whole experiment description into a consolidation workload.
+/// Relative file paths in trace/workflow sources resolve against
+/// `base_dir` (empty = current directory).
+StatusOr<ConsolidationWorkload> parse_experiment_description(
+    std::istream& in, const std::string& base_dir = {});
+
+StatusOr<ConsolidationWorkload> parse_experiment_description_string(
+    const std::string& text, const std::string& base_dir = {});
+
+StatusOr<ConsolidationWorkload> read_experiment_description(
+    const std::string& path);
+
+/// Serializes a workload back to the description format (synthetic and
+/// in-memory sources are written as synthetic:/inline references where
+/// possible; traces without a known source are annotated).
+std::string describe_experiment(const ConsolidationWorkload& workload);
+
+/// Parses a duration token: plain seconds or with a s/m/h/d suffix.
+StatusOr<SimDuration> parse_duration(std::string_view token);
+
+}  // namespace dc::core

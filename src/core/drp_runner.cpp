@@ -1,0 +1,137 @@
+#include "core/drp_runner.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dc::core {
+
+DrpRunner::DrpRunner(sim::Simulator& simulator,
+                     ResourceProvisionService& provision, std::string name)
+    : simulator_(simulator), provision_(provision), name_(std::move(name)) {
+  // End users of one organization are aggregated as one uncapped consumer.
+  consumer_ = provision_.register_consumer(name_, /*subscription_cap=*/0);
+}
+
+void DrpRunner::record_completion(SimTime now) {
+  finish_times_.push_back(now);
+  last_finish_ = std::max(last_finish_, now);
+}
+
+void DrpRunner::submit_job(SimDuration runtime, std::int64_t nodes) {
+  assert(runtime >= 1 && nodes >= 1);
+  const SimTime now = simulator_.now();
+  if (first_submit_ == kNever) first_submit_ = now;
+  ++submitted_;
+  // The provider pool is effectively unbounded for end users (EC2
+  // semantics); a bounded pool rejecting here would drop the job.
+  if (!provision_.request(now, consumer_, nodes)) return;
+  held_.change(now, nodes);
+  ledger_.record(now, now + setup_latency_ + runtime, nodes, "job");
+  simulator_.schedule_in(setup_latency_ + runtime, [this, nodes] {
+    const SimTime at = simulator_.now();
+    provision_.release(at, consumer_, nodes);
+    held_.change(at, -nodes);
+    record_completion(at);
+  });
+}
+
+void DrpRunner::submit_workflow(const workflow::Dag& dag) {
+  assert(dag.validate().is_ok());
+  const SimTime now = simulator_.now();
+  if (first_submit_ == kNever) first_submit_ = now;
+  runs_.push_back(WorkflowRun{});
+  WorkflowRun& run = runs_.back();
+  run.dag = dag;
+  run.submitted = now;
+  run.remaining = static_cast<std::int64_t>(dag.size());
+  run.pending_parents.resize(dag.size());
+  const std::size_t run_index = runs_.size() - 1;
+  std::vector<workflow::TaskId> ready;
+  for (std::size_t i = 0; i < dag.size(); ++i) {
+    run.pending_parents[i] = dag.parent_count(static_cast<workflow::TaskId>(i));
+    if (run.pending_parents[i] == 0) {
+      ready.push_back(static_cast<workflow::TaskId>(i));
+    }
+  }
+  for (workflow::TaskId task : ready) start_task(run_index, task);
+}
+
+void DrpRunner::start_task(std::size_t run_index, workflow::TaskId task) {
+  WorkflowRun& run = runs_[run_index];
+  const workflow::Task& t = run.dag.task(task);
+  const SimTime now = simulator_.now();
+  ++submitted_;
+  // Acquire VMs from the user's pool, growing it when no idle VM exists.
+  // Montage tasks are single-node; wider tasks grow the pool by their
+  // width. Reused idle VMs are already set up; fresh ones pay the boot
+  // latency before the task can start.
+  bool grew_pool = false;
+  for (std::int64_t needed = t.nodes; needed > 0; --needed) {
+    if (run.idle_vms > 0) {
+      --run.idle_vms;
+      continue;
+    }
+    if (!provision_.request(now, consumer_, 1)) continue;  // unbounded in experiments
+    held_.change(now, 1);
+    run.vm_leases.push_back(ledger_.open(now, 1, "vm"));
+    ++run.pool_size;
+    grew_pool = true;
+    peak_pool_ = std::max(peak_pool_, run.pool_size);
+  }
+  const SimDuration boot = grew_pool ? setup_latency_ : 0;
+  simulator_.schedule_in(boot + t.runtime, [this, run_index, task] {
+    finish_task(run_index, task);
+  });
+}
+
+void DrpRunner::finish_task(std::size_t run_index, workflow::TaskId task) {
+  WorkflowRun& run = runs_[run_index];
+  const SimTime now = simulator_.now();
+  run.idle_vms += run.dag.task(task).nodes;
+  record_completion(now);
+  assert(run.remaining > 0);
+  --run.remaining;
+  std::vector<workflow::TaskId> ready;
+  for (workflow::TaskId child : run.dag.children(task)) {
+    auto& pending = run.pending_parents[static_cast<std::size_t>(child)];
+    assert(pending > 0);
+    if (--pending == 0) ready.push_back(child);
+  }
+  for (workflow::TaskId next : ready) start_task(run_index, next);
+
+  if (run.remaining == 0) {
+    // Campaign over: the user returns every leased VM.
+    for (cluster::LeaseId lease : run.vm_leases) ledger_.close(lease, now);
+    provision_.release(now, consumer_, run.pool_size);
+    held_.change(now, -run.pool_size);
+    run.pool_size = 0;
+    run.idle_vms = 0;
+    run.vm_leases.clear();
+  }
+}
+
+std::int64_t DrpRunner::completed_jobs(SimTime horizon) const {
+  return static_cast<std::int64_t>(
+      std::count_if(finish_times_.begin(), finish_times_.end(),
+                    [horizon](SimTime t) { return t <= horizon; }));
+}
+
+SimDuration DrpRunner::makespan(SimTime horizon) const {
+  if (first_submit_ == kNever) return 0;
+  bool all_done = true;
+  for (const WorkflowRun& run : runs_) {
+    if (run.remaining != 0) all_done = false;
+  }
+  const SimTime end =
+      all_done && last_finish_ != kNever ? last_finish_ : horizon;
+  return end - first_submit_;
+}
+
+double DrpRunner::tasks_per_second(SimTime horizon) const {
+  const SimDuration span = makespan(horizon);
+  if (span <= 0) return 0.0;
+  return static_cast<double>(completed_jobs(horizon)) /
+         static_cast<double>(span);
+}
+
+}  // namespace dc::core

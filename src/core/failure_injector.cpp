@@ -1,0 +1,40 @@
+#include "core/failure_injector.hpp"
+
+#include <cassert>
+
+namespace dc::core {
+
+void FailureInjector::start(SimTime until) {
+  assert(!servers_.empty() && "nothing to fail");
+  schedule_next(until);
+}
+
+void FailureInjector::schedule_next(SimTime until) {
+  const auto gap = static_cast<SimDuration>(
+      rng_.exponential(static_cast<double>(config_.mean_time_between_failures)));
+  const SimTime at = simulator_.now() + std::max<SimDuration>(1, gap);
+  if (at >= until) return;
+  simulator_.schedule_at(at, [this, until] {
+    // Pick a victim server weighted by its current holding (bigger TREs
+    // own more hardware, so they fail more often).
+    std::vector<double> weights;
+    weights.reserve(servers_.size());
+    for (const HtcServer* server : servers_) {
+      weights.push_back(static_cast<double>(std::max<std::int64_t>(
+          server->is_shutdown() ? 0 : server->owned(), 0)));
+    }
+    double total = 0.0;
+    for (double w : weights) total += w;
+    if (total > 0.0) {
+      HtcServer* victim = servers_[rng_.weighted_index(weights)];
+      const std::int64_t nodes = rng_.uniform_int(config_.min_failed_nodes,
+                                                  config_.max_failed_nodes);
+      ++events_;
+      nodes_failed_ += std::min(nodes, victim->owned());
+      jobs_killed_ += victim->fail_nodes(nodes);
+    }
+    schedule_next(until);
+  });
+}
+
+}  // namespace dc::core

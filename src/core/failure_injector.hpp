@@ -1,0 +1,54 @@
+// Random node-failure injection.
+//
+// Drives HtcServer::fail_nodes with a Poisson failure process, for
+// robustness testing and the availability ablation: how much do the four
+// systems' metrics move when hardware is unreliable? (The paper assumes
+// perfect nodes; a production release cannot.)
+#pragma once
+
+#include <vector>
+
+#include "core/htc_server.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace dc::core {
+
+class FailureInjector {
+ public:
+  struct Config {
+    /// Mean time between failure events across the watched servers.
+    SimDuration mean_time_between_failures = 12 * kHour;
+    /// Nodes lost per event (uniform range).
+    std::int64_t min_failed_nodes = 1;
+    std::int64_t max_failed_nodes = 4;
+    std::uint64_t seed = 1337;
+  };
+
+  FailureInjector(sim::Simulator& simulator, Config config)
+      : simulator_(simulator), config_(config), rng_(config.seed) {}
+
+  /// Adds a server to the failure domain (non-owning; must outlive the
+  /// injector's scheduled events).
+  void watch(HtcServer* server) { servers_.push_back(server); }
+
+  /// Starts injecting from the current simulation time until `until`.
+  void start(SimTime until);
+
+  std::int64_t failure_events() const { return events_; }
+  std::int64_t nodes_failed() const { return nodes_failed_; }
+  std::int64_t jobs_killed() const { return jobs_killed_; }
+
+ private:
+  void schedule_next(SimTime until);
+
+  sim::Simulator& simulator_;
+  Config config_;
+  Rng rng_;
+  std::vector<HtcServer*> servers_;
+  std::int64_t events_ = 0;
+  std::int64_t nodes_failed_ = 0;
+  std::int64_t jobs_killed_ = 0;
+};
+
+}  // namespace dc::core

@@ -1,0 +1,273 @@
+#include "core/federation.hpp"
+
+#include <cassert>
+#include <memory>
+
+#include "core/htc_server.hpp"
+#include "core/job_emulator.hpp"
+#include "core/mtc_server.hpp"
+#include "core/provision_service.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/first_fit.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+namespace dc::core {
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kLeastLoaded: return "least-loaded";
+    case PlacementPolicy::kCheapest: return "cheapest";
+  }
+  return "?";
+}
+
+const FederatedProviderResult& FederationResult::resource_provider(
+    const std::string& name) const {
+  for (const FederatedProviderResult& provider : resource_providers) {
+    if (provider.name == name) return provider;
+  }
+  assert(false && "unknown resource provider");
+  return resource_providers.front();
+}
+
+namespace {
+
+struct HostState {
+  ResourceProviderSpec spec;
+  std::unique_ptr<ResourceProvisionService> provision;
+  std::int64_t committed = 0;
+  std::int64_t hosted = 0;
+};
+
+/// Subscription a TRE reserves at admission: its policy cap, falling back
+/// to the SSP/DCS fixed size, falling back to the initial resources.
+std::int64_t subscription_of(std::int64_t max_nodes, std::int64_t fixed_nodes,
+                             std::int64_t initial_nodes) {
+  if (max_nodes > 0) return max_nodes;
+  if (fixed_nodes > 0) return fixed_nodes;
+  return initial_nodes;
+}
+
+/// Picks a host for `subscription` nodes, or -1 if none fits.
+std::ptrdiff_t place(std::vector<HostState>& hosts, PlacementPolicy policy,
+                     std::int64_t subscription) {
+  std::ptrdiff_t chosen = -1;
+  for (std::ptrdiff_t i = 0; i < static_cast<std::ptrdiff_t>(hosts.size()); ++i) {
+    HostState& host = hosts[static_cast<std::size_t>(i)];
+    if (host.committed + subscription > host.spec.capacity) continue;
+    if (chosen < 0) {
+      chosen = i;
+      if (policy == PlacementPolicy::kFirstFit) break;
+      continue;
+    }
+    HostState& best = hosts[static_cast<std::size_t>(chosen)];
+    switch (policy) {
+      case PlacementPolicy::kFirstFit:
+        break;  // already taken the first fit
+      case PlacementPolicy::kLeastLoaded: {
+        const double host_load =
+            static_cast<double>(host.committed + subscription) /
+            static_cast<double>(host.spec.capacity);
+        const double best_load =
+            static_cast<double>(best.committed + subscription) /
+            static_cast<double>(best.spec.capacity);
+        if (host_load < best_load) chosen = i;
+        break;
+      }
+      case PlacementPolicy::kCheapest: {
+        if (host.spec.price_per_node_hour < best.spec.price_per_node_hour) {
+          chosen = i;
+        } else if (host.spec.price_per_node_hour ==
+                       best.spec.price_per_node_hour &&
+                   host.committed < best.committed) {
+          chosen = i;
+        }
+        break;
+      }
+    }
+  }
+  return chosen;
+}
+
+}  // namespace
+
+FederationResult run_federated_dsp(
+    const std::vector<ResourceProviderSpec>& providers,
+    const ConsolidationWorkload& workload, PlacementPolicy placement,
+    const RunOptions& options) {
+  assert(!providers.empty());
+  const SimTime horizon = workload.effective_horizon();
+
+  sim::Simulator sim;
+  JobEmulator emulator(sim);
+  sched::FirstFitScheduler first_fit;
+  sched::FcfsScheduler fcfs;
+
+  std::vector<HostState> hosts;
+  hosts.reserve(providers.size());
+  for (const ResourceProviderSpec& spec : providers) {
+    assert(spec.capacity > 0);
+    HostState host;
+    host.spec = spec;
+    host.provision = std::make_unique<ResourceProvisionService>(
+        cluster::ResourcePool(spec.capacity), ProvisionPolicy{});
+    hosts.push_back(std::move(host));
+  }
+
+  FederationResult result;
+  result.horizon = horizon;
+
+  struct HostedServer {
+    std::ptrdiff_t host = -1;
+    std::unique_ptr<HtcServer> htc;
+    std::unique_ptr<MtcServer> mtc;
+  };
+  std::vector<HostedServer> servers;
+
+  for (const HtcWorkloadSpec& spec : workload.htc) {
+    const std::int64_t subscription = subscription_of(
+        spec.policy.max_nodes, spec.fixed_nodes, spec.policy.initial_nodes);
+    const std::ptrdiff_t host_index = place(hosts, placement, subscription);
+    result.placements.push_back(
+        {spec.name,
+         host_index >= 0 ? hosts[static_cast<std::size_t>(host_index)].spec.name
+                         : std::string{},
+         subscription});
+    if (host_index < 0) {
+      ++result.unplaced;
+      continue;
+    }
+    HostState& host = hosts[static_cast<std::size_t>(host_index)];
+    host.committed += subscription;
+    ++host.hosted;
+
+    HtcServer::Config config;
+    config.name = spec.name;
+    config.policy = spec.policy;
+    config.scheduler = &first_fit;
+    config.setup_latency = options.setup_latency;
+    HostedServer hosted;
+    hosted.host = host_index;
+    hosted.htc =
+        std::make_unique<HtcServer>(sim, *host.provision, std::move(config));
+    HtcServer* server = hosted.htc.get();
+    sim.schedule_at(0, [server] { server->start(); });
+    emulator.emulate_trace(spec.trace, [server](const workload::TraceJob& job) {
+      server->submit(job.runtime, job.nodes);
+    });
+    servers.push_back(std::move(hosted));
+  }
+
+  for (const MtcWorkloadSpec& spec : workload.mtc) {
+    const std::int64_t subscription = subscription_of(
+        spec.policy.max_nodes, spec.fixed_nodes, spec.policy.initial_nodes);
+    const std::ptrdiff_t host_index = place(hosts, placement, subscription);
+    result.placements.push_back(
+        {spec.name,
+         host_index >= 0 ? hosts[static_cast<std::size_t>(host_index)].spec.name
+                         : std::string{},
+         subscription});
+    if (host_index < 0) {
+      ++result.unplaced;
+      continue;
+    }
+    HostState& host = hosts[static_cast<std::size_t>(host_index)];
+    host.committed += subscription;
+    ++host.hosted;
+
+    MtcServer::MtcConfig config;
+    config.name = spec.name;
+    config.policy = spec.policy;
+    config.scheduler = &fcfs;
+    config.destroy_when_complete = true;
+    config.setup_latency = options.setup_latency;
+    HostedServer hosted;
+    hosted.host = host_index;
+    hosted.mtc =
+        std::make_unique<MtcServer>(sim, *host.provision, std::move(config));
+    MtcServer* server = hosted.mtc.get();
+    const workflow::Dag* dag = &spec.dag;
+    emulator.emulate_at(spec.submit_time, [server, dag] {
+      server->start();
+      server->submit_workflow(*dag);
+    });
+    servers.push_back(std::move(hosted));
+  }
+
+  sim.run_until(horizon);
+  for (HostedServer& hosted : servers) {
+    if (hosted.htc) hosted.htc->shutdown();
+    if (hosted.mtc) hosted.mtc->shutdown();
+  }
+
+  // Per-service-provider results + per-host billing.
+  std::vector<std::int64_t> host_billed(hosts.size(), 0);
+  for (const HostedServer& hosted : servers) {
+    const HtcServer* server =
+        hosted.htc ? hosted.htc.get() : hosted.mtc.get();
+    ProviderResult provider;
+    provider.provider = server->name();
+    provider.type = hosted.mtc ? WorkloadType::kMtc : WorkloadType::kHtc;
+    provider.submitted_jobs = server->submitted_jobs();
+    provider.completed_jobs = server->completed_jobs(horizon);
+    provider.consumption_node_hours =
+        server->ledger().billed_node_hours_with_quantum(horizon,
+                                                        options.billing_quantum);
+    provider.exact_node_hours = server->ledger().exact_node_hours(horizon);
+    provider.peak_nodes = server->held_usage().peak();
+    if (hosted.mtc) {
+      provider.makespan = hosted.mtc->makespan(horizon);
+      provider.tasks_per_second = hosted.mtc->tasks_per_second(horizon);
+    }
+    result.total_consumption_node_hours += provider.consumption_node_hours;
+    result.total_cost_usd +=
+        static_cast<double>(provider.consumption_node_hours) *
+        hosts[static_cast<std::size_t>(hosted.host)].spec.price_per_node_hour;
+    host_billed[static_cast<std::size_t>(hosted.host)] +=
+        provider.consumption_node_hours;
+    result.service_providers.push_back(std::move(provider));
+  }
+
+  for (std::size_t i = 0; i < hosts.size(); ++i) {
+    const HostState& host = hosts[i];
+    FederatedProviderResult fed;
+    fed.name = host.spec.name;
+    fed.capacity = host.spec.capacity;
+    fed.hosted_tres = host.hosted;
+    fed.committed_subscription = host.committed;
+    fed.billed_node_hours = host_billed[i];
+    fed.revenue_usd =
+        static_cast<double>(host_billed[i]) * host.spec.price_per_node_hour;
+    fed.peak_nodes = host.provision->usage().peak();
+    fed.adjusted_nodes = host.provision->adjustments().total_adjusted_nodes();
+    result.resource_providers.push_back(std::move(fed));
+  }
+  return result;
+}
+
+std::string format_federation_report(const FederationResult& result) {
+  TextTable hosts({"resource provider", "capacity", "TREs", "committed",
+                   "billed node*h", "revenue $", "peak", "adjusted"});
+  for (const FederatedProviderResult& provider : result.resource_providers) {
+    hosts.cell(provider.name)
+        .cell(provider.capacity)
+        .cell(provider.hosted_tres)
+        .cell(provider.committed_subscription)
+        .cell(provider.billed_node_hours)
+        .cell(provider.revenue_usd, 0)
+        .cell(provider.peak_nodes)
+        .cell(provider.adjusted_nodes);
+    hosts.end_row();
+  }
+  std::string out = hosts.render("Federated resource providers");
+  out += str_format(
+      "total: %lld node*hours, $%.0f, %lld unplaced service provider(s)\n",
+      static_cast<long long>(result.total_consumption_node_hours),
+      result.total_cost_usd, static_cast<long long>(result.unplaced));
+  return out;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,83 @@
+// Federated DSP: n resource providers x m service providers.
+//
+// The paper's future work (Section 6): "a more formal framework to model
+// and discuss the generalized case in that n resource providers provision
+// resources to m service providers of heterogeneous workloads." This
+// module implements that generalization on top of the DSP machinery: each
+// resource provider runs its own provision service over a bounded pool
+// with its own price; a placement policy assigns every service provider's
+// TRE to one resource provider at creation time (by subscription size);
+// the TREs then run the unmodified Section 3.2 elastic policies against
+// their host's provision service.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/systems.hpp"
+
+namespace dc::core {
+
+/// One resource provider in the federation.
+struct ResourceProviderSpec {
+  std::string name;
+  /// Hard platform capacity (nodes).
+  std::int64_t capacity = 0;
+  /// On-demand price charged to service providers.
+  double price_per_node_hour = 0.10;
+};
+
+/// How TREs are assigned to resource providers. Placement reserves the
+/// TRE's subscription (its max_nodes, falling back to the fixed size) up
+/// front, which is the conservative capacity-planning reading of the DSP
+/// model: a provider never admits more subscription than it can honour.
+enum class PlacementPolicy {
+  kFirstFit,     // first provider with enough uncommitted capacity
+  kLeastLoaded,  // provider with the lowest committed fraction after admit
+  kCheapest,     // lowest price among providers that fit (ties: least loaded)
+};
+
+const char* placement_policy_name(PlacementPolicy policy);
+
+struct PlacementDecision {
+  std::string service_provider;
+  std::string resource_provider;  // empty if unplaced
+  std::int64_t subscription = 0;
+};
+
+struct FederatedProviderResult {
+  std::string name;
+  std::int64_t capacity = 0;
+  std::int64_t hosted_tres = 0;
+  std::int64_t committed_subscription = 0;
+  std::int64_t billed_node_hours = 0;
+  double revenue_usd = 0.0;
+  std::int64_t peak_nodes = 0;
+  std::int64_t adjusted_nodes = 0;
+};
+
+struct FederationResult {
+  SimTime horizon = 0;
+  std::vector<PlacementDecision> placements;
+  std::vector<FederatedProviderResult> resource_providers;
+  std::vector<ProviderResult> service_providers;
+  std::int64_t total_consumption_node_hours = 0;
+  double total_cost_usd = 0.0;
+  /// Service providers no resource provider could admit.
+  std::int64_t unplaced = 0;
+
+  const FederatedProviderResult& resource_provider(const std::string& name) const;
+};
+
+/// Runs the consolidated workload across the federation under the
+/// DawningCloud (DSP) model. Deterministic.
+FederationResult run_federated_dsp(
+    const std::vector<ResourceProviderSpec>& providers,
+    const ConsolidationWorkload& workload, PlacementPolicy placement,
+    const RunOptions& options = {});
+
+/// Formats per-resource-provider and aggregate results.
+std::string format_federation_report(const FederationResult& result);
+
+}  // namespace dc::core

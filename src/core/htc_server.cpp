@@ -1,0 +1,346 @@
+#include "core/htc_server.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dc::core {
+
+HtcServer::HtcServer(sim::Simulator& simulator,
+                     ResourceProvisionService& provision, Config config)
+    : simulator_(simulator), provision_(provision), config_(std::move(config)) {
+  assert(config_.scheduler != nullptr && "server needs a scheduler");
+  assert((config_.policy.has_value() || config_.fixed_nodes > 0) &&
+         "fixed-mode server needs a positive size");
+  consumer_ = provision_.register_consumer(
+      config_.name, config_.policy ? config_.policy->max_nodes : 0,
+      config_.priority);
+}
+
+bool HtcServer::start() {
+  assert(!started_ && "server already started");
+  const SimTime now = simulator_.now();
+  const std::int64_t initial = config_.policy
+                                   ? config_.policy->initial_nodes
+                                   : config_.fixed_nodes;
+  if (!provision_.request(now, consumer_, initial)) {
+    Log::at(LogLevel::kWarn, now, config_.name.c_str(),
+            "startup request for %lld nodes rejected",
+            static_cast<long long>(initial));
+    return false;
+  }
+  held_.change(now, initial);
+  initial_lease_ = ledger_.open(now, initial, "initial");
+  started_ = true;
+  owned_ = initial;
+  if (config_.setup_latency > 0) {
+    in_setup_ += initial;
+    simulator_.schedule_in(config_.setup_latency, [this, initial] {
+      in_setup_ -= initial;
+      if (!shutdown_) dispatch();
+    });
+  }
+
+  if (config_.policy) {
+    scan_timer_ = simulator_.start_periodic(
+        now + config_.policy->scan_interval, config_.policy->scan_interval,
+        [this](SimTime at) { scan(at); });
+  }
+  Log::at(LogLevel::kInfo, now, config_.name.c_str(),
+          "started with %lld %s nodes", static_cast<long long>(initial),
+          config_.policy ? "initial" : "fixed");
+  return true;
+}
+
+void HtcServer::shutdown() {
+  if (!started_ || shutdown_) return;
+  // Mark first: releases below may fire waiting-grant callbacks for this
+  // server, which must take their shutdown branch instead of re-growing
+  // the holding mid-teardown.
+  shutdown_ = true;
+  const SimTime now = simulator_.now();
+  if (scan_timer_ != sim::kInvalidTimer) {
+    simulator_.stop_timer(scan_timer_);
+    scan_timer_ = sim::kInvalidTimer;
+  }
+  for (Grant& grant : grants_) {
+    if (!grant.active) continue;
+    if (grant.timer != sim::kInvalidTimer) simulator_.stop_timer(grant.timer);
+    grant.active = false;
+    ledger_.close(grant.lease, now);
+    owned_ -= grant.nodes;
+    held_.change(now, -grant.nodes);
+    provision_.release(now, consumer_, grant.nodes);
+  }
+  if (initial_lease_) {
+    ledger_.close(*initial_lease_, now);
+    held_.change(now, -owned_);
+    const std::int64_t initial = owned_;
+    owned_ = 0;
+    initial_lease_.reset();
+    provision_.release(now, consumer_, initial);
+  }
+  Log::at(LogLevel::kInfo, now, config_.name.c_str(), "shut down");
+}
+
+sched::JobId HtcServer::submit(SimDuration runtime, std::int64_t nodes,
+                               std::int64_t task_id) {
+  if (!started_ || shutdown_) {
+    // No runtime environment to serve the job (startup was rejected by the
+    // provision service, or the TRE was already destroyed): the submission
+    // is dropped, as a real portal would refuse it.
+    ++dropped_jobs_;
+    return -1;
+  }
+  assert(runtime >= 1 && nodes >= 1);
+  const SimTime now = simulator_.now();
+  const auto id = static_cast<sched::JobId>(jobs_.size());
+  sched::Job job;
+  job.id = id;
+  job.submit = now;
+  job.runtime = runtime;
+  job.nodes = nodes;
+  job.task_id = task_id;
+  job.state = sched::JobState::kQueued;
+  jobs_.push_back(job);
+  queue_.push(id);
+  if (first_submit_ == kNever) first_submit_ = now;
+  dispatch();
+  return id;
+}
+
+void HtcServer::dispatch() {
+  if (queue_.empty()) return;
+  std::vector<const sched::Job*> queued;
+  queued.reserve(queue_.size());
+  for (sched::JobId id : queue_.items()) {
+    queued.push_back(&jobs_[static_cast<std::size_t>(id)]);
+  }
+  std::vector<const sched::Job*> running;
+  running.reserve(running_.size());
+  for (sched::JobId id : running_) {
+    running.push_back(&jobs_[static_cast<std::size_t>(id)]);
+  }
+  const SimTime now = simulator_.now();
+  const std::vector<std::size_t> picks =
+      config_.scheduler->select(queued, running, dispatchable_idle(), now);
+  if (picks.empty()) return;
+
+  std::int64_t started_nodes = 0;
+  for (std::size_t pos : picks) {
+    sched::Job& job = jobs_[static_cast<std::size_t>(queue_.items()[pos])];
+    assert(job.state == sched::JobState::kQueued);
+    job.state = sched::JobState::kRunning;
+    job.start = now;
+    started_nodes += job.nodes;
+    running_.push_back(job.id);
+    completion_events_[job.id] = simulator_.schedule_in(
+        job.runtime, [this, id = job.id] { on_job_complete(id); });
+  }
+  assert(started_nodes <= dispatchable_idle() &&
+         "scheduler oversubscribed idle nodes");
+  busy_ += started_nodes;
+  queue_.remove_positions(picks);
+}
+
+void HtcServer::on_job_complete(sched::JobId id) {
+  sched::Job& job = jobs_[static_cast<std::size_t>(id)];
+  assert(job.state == sched::JobState::kRunning);
+  const SimTime now = simulator_.now();
+  job.state = sched::JobState::kCompleted;
+  job.finish = now;
+  busy_ -= job.nodes;
+  ++completed_;
+  last_finish_ = now;
+  running_.erase(std::find(running_.begin(), running_.end(), id));
+  completion_events_.erase(id);
+
+  // Workflow layer first: completing a task may release dependents into the
+  // queue, which the dispatch below can start in the same event.
+  if (completion_callback_) completion_callback_(job);
+  dispatch();
+  if (drained() && drained_callback_) drained_callback_(now);
+}
+
+std::int64_t HtcServer::queued_demand() const {
+  std::int64_t demand = 0;
+  for (sched::JobId id : queue_.items()) {
+    demand += jobs_[static_cast<std::size_t>(id)].nodes;
+  }
+  return demand;
+}
+
+std::int64_t HtcServer::biggest_queued() const {
+  std::int64_t biggest = 0;
+  for (sched::JobId id : queue_.items()) {
+    biggest = std::max(biggest, jobs_[static_cast<std::size_t>(id)].nodes);
+  }
+  return biggest;
+}
+
+void HtcServer::scan(SimTime now) {
+  assert(config_.policy.has_value());
+  if (shutdown_ || queue_.empty() || waiting_grant_) return;
+  const ResourceManagementPolicy& policy = *config_.policy;
+  const std::int64_t demand = policy_demand();
+  const double ratio = owned_ > 0
+                           ? static_cast<double>(demand) /
+                                 static_cast<double>(owned_)
+                           : std::numeric_limits<double>::infinity();
+
+  // Requests are clamped to the provider's subscription (max_nodes).
+  const std::int64_t headroom =
+      policy.max_nodes > 0 ? policy.max_nodes - owned_
+                           : std::numeric_limits<std::int64_t>::max();
+  if (headroom <= 0) return;
+
+  if (ratio > policy.threshold_ratio) {
+    // Rule (2): many jobs would queue unless the server requests more.
+    const std::int64_t dr1 = std::min(demand - owned_, headroom);
+    if (dr1 > 0) acquire_dynamic(dr1, "DR1");
+  } else {
+    // Rule (3): the biggest queued job cannot fit the current holding.
+    const std::int64_t biggest = biggest_queued();
+    if (biggest > owned_) {
+      const std::int64_t dr2 = std::min(biggest - owned_, headroom);
+      acquire_dynamic(dr2, "DR2");
+    }
+  }
+}
+
+bool HtcServer::acquire_dynamic(std::int64_t amount, const char* tag) {
+  assert(amount > 0);
+  const SimTime now = simulator_.now();
+  const std::size_t waiting_before = provision_.waiting_requests();
+  if (!provision_.request_or_wait(
+          now, consumer_, amount,
+          // Under the provider's queue-by-priority contention mode the
+          // grant may arrive later; the waiting flag keeps the scan from
+          // piling up further requests meanwhile.
+          [this, amount, tag_text = std::string(tag)](SimTime at) {
+            waiting_grant_ = false;
+            if (shutdown_) {
+              // TRE destroyed while waiting: hand the nodes straight back.
+              provision_.release(at, consumer_, amount);
+              return;
+            }
+            apply_grant(at, amount, tag_text.c_str());
+          })) {
+    if (provision_.waiting_requests() > waiting_before) {
+      waiting_grant_ = true;
+    } else {
+      ++rejected_grants_;
+      Log::at(LogLevel::kDebug, now, config_.name.c_str(),
+              "%s request for %lld nodes rejected", tag,
+              static_cast<long long>(amount));
+    }
+    return false;
+  }
+  apply_grant(now, amount, tag);
+  return true;
+}
+
+void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
+  owned_ += amount;
+  if (config_.setup_latency > 0) {
+    // Billing and holding begin at the grant; the scheduler can only use
+    // the nodes once the setup policy's work completes.
+    in_setup_ += amount;
+    simulator_.schedule_in(config_.setup_latency, [this, amount] {
+      in_setup_ -= amount;
+      if (!shutdown_) dispatch();
+    });
+  }
+  held_.change(now, amount);
+  ++dynamic_grants_;
+  const cluster::LeaseId lease = ledger_.open(
+      now, amount, str_format("%s#%lld", tag,
+                              static_cast<long long>(dynamic_grants_)));
+  grants_.push_back(Grant{amount, lease, sim::kInvalidTimer, true});
+  const std::size_t grant_index = grants_.size() - 1;
+
+  // "After obtaining enough resources ... the server registers a timer,
+  // once per hour, to check idle resources. If there are idle resources
+  // with the size equal with or more than the value of DR, the server will
+  // release the resources with the size of the DR."
+  const SimDuration interval = config_.policy->idle_check_interval;
+  grants_[grant_index].timer = simulator_.start_periodic(
+      now + interval, interval, [this, grant_index](SimTime at) {
+        Grant& grant = grants_[grant_index];
+        if (!grant.active) return;
+        if (idle() >= grant.nodes) {
+          // Copy out and settle local state before telling the provision
+          // service: under queue-by-priority contention the release can
+          // re-enter apply_grant (another grant for this very server),
+          // which reallocates grants_ and would dangle `grant`.
+          const std::int64_t nodes = grant.nodes;
+          const cluster::LeaseId lease = grant.lease;
+          const sim::TimerId timer = grant.timer;
+          grant.active = false;
+          grant.timer = sim::kInvalidTimer;
+          ledger_.close(lease, at);
+          owned_ -= nodes;
+          held_.change(at, -nodes);
+          simulator_.stop_timer(timer);
+          provision_.release(at, consumer_, nodes);
+        }
+      });
+
+  Log::at(LogLevel::kDebug, now, config_.name.c_str(),
+          "%s granted %lld nodes (owned now %lld)", tag,
+          static_cast<long long>(amount), static_cast<long long>(owned_));
+  dispatch();
+}
+
+std::int64_t HtcServer::fail_nodes(std::int64_t count) {
+  assert(count >= 0);
+  if (!started_ || shutdown_ || count == 0) return 0;
+  const SimTime now = simulator_.now();
+  count = std::min(count, owned_);
+
+  // Idle nodes absorb failures first; the provider swaps them silently.
+  std::int64_t to_kill = std::max<std::int64_t>(0, count - idle());
+  std::int64_t killed = 0;
+  while (to_kill > 0 && !running_.empty()) {
+    // Most recently started job dies first.
+    const sched::JobId id = running_.back();
+    running_.pop_back();
+    sched::Job& job = jobs_[static_cast<std::size_t>(id)];
+    assert(job.state == sched::JobState::kRunning);
+    simulator_.cancel(completion_events_[id]);
+    completion_events_.erase(id);
+    busy_ -= job.nodes;
+    to_kill -= std::min(to_kill, job.nodes);
+    // Retry from scratch: back into the queue, progress lost.
+    job.state = sched::JobState::kQueued;
+    job.start = kNever;
+    queue_.push(id);
+    ++job_retries_;
+    ++killed;
+  }
+  // The replacement hardware gets the RE packages reinstalled: the swap is
+  // metered as a reclaim plus a re-grant (Section 4.5.4 accounting) while
+  // the holding itself never leaves the consumer (a release/re-request
+  // round-trip could lose the capacity to a waiting competitor under
+  // queue-by-priority contention).
+  provision_.record_hardware_swap(now, consumer_, count);
+  Log::at(LogLevel::kInfo, now, config_.name.c_str(),
+          "%lld nodes failed, %lld jobs re-queued",
+          static_cast<long long>(count), static_cast<long long>(killed));
+  dispatch();
+  return killed;
+}
+
+std::int64_t HtcServer::completed_jobs(SimTime horizon) const {
+  std::int64_t count = 0;
+  for (const sched::Job& job : jobs_) {
+    if (job.state == sched::JobState::kCompleted && job.finish <= horizon) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace dc::core

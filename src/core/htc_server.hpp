@@ -1,0 +1,210 @@
+// The HTC server: queue management, scheduling, and the Section 3.2.2.1
+// elastic resource-management policy.
+//
+// This class is the workhorse of every queue-based system in the paper:
+//  * With an elastic policy it is the DawningCloud HTC TRE's server: scan
+//    the queue every minute, request DR1/DR2 dynamic resources from the
+//    provision service, release them via per-grant hourly idle checks.
+//  * Without a policy it is the SSP/DCS server: a fixed-size resource
+//    holding with the same queue and scheduler.
+//  * The MTC server (mtc_server.hpp) layers workflow dependency tracking on
+//    top of this engine and shortens the scan interval to three seconds.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/billing.hpp"
+#include "cluster/usage_recorder.hpp"
+#include "core/policies.hpp"
+#include "core/provision_service.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulator.hpp"
+
+namespace dc::core {
+
+class HtcServer {
+ public:
+  struct Config {
+    std::string name = "htc";
+    /// Resource size in fixed mode (SSP/DCS); ignored when `policy` is set.
+    std::int64_t fixed_nodes = 0;
+    /// Elastic mode: the DSP resource-management policy (B, R, intervals).
+    std::optional<ResourceManagementPolicy> policy;
+    /// Selection policy; non-owning, must outlive the server.
+    const sched::Scheduler* scheduler = nullptr;
+    /// Consumer priority at the provision service (higher is served first
+    /// from the waiting queue under queue-by-priority contention).
+    int priority = 0;
+    /// Time between a grant and the nodes becoming usable (stopping /
+    /// uninstalling the previous RE's packages, installing and starting
+    /// this one's — the paper measures 15.743 s per node, done in
+    /// parallel across the granted nodes). Billing starts at the grant;
+    /// jobs can only be dispatched onto the nodes after setup. Zero by
+    /// default (the paper's tables exclude setup from the hour-quantized
+    /// results and report it separately in Figure 14).
+    SimDuration setup_latency = 0;
+  };
+
+  HtcServer(sim::Simulator& simulator, ResourceProvisionService& provision,
+            Config config);
+  virtual ~HtcServer() = default;
+  HtcServer(const HtcServer&) = delete;
+  HtcServer& operator=(const HtcServer&) = delete;
+
+  /// Starts the server at the current simulation time: acquires the initial
+  /// (elastic) or fixed resources and, in elastic mode, starts the queue
+  /// scan timer. Returns false if the provision service rejected the
+  /// startup request.
+  bool start();
+
+  /// Stops timers, releases every held node back to the provision service
+  /// and closes all open leases at the current time. Idempotent.
+  void shutdown();
+
+  /// Submits a job at the current simulation time. Returns its id, or -1
+  /// if the server has no runtime environment (startup rejected or TRE
+  /// destroyed), in which case the job is counted as dropped.
+  sched::JobId submit(SimDuration runtime, std::int64_t nodes,
+                      std::int64_t task_id = -1);
+
+  /// Invoked after a job completes (before the drained check); the MTC
+  /// layer uses this to release dependent tasks.
+  void set_completion_callback(std::function<void(const sched::Job&)> cb) {
+    completion_callback_ = std::move(cb);
+  }
+
+  /// Injects a crash of `count` of this TRE's nodes at the current time.
+  /// The resource provider replaces failed hardware transparently (EC2
+  /// semantics: the holding and its billing are unchanged, the swap is
+  /// counted as a node adjustment), but jobs running on failed nodes are
+  /// lost and re-queued from scratch. Idle nodes absorb failures first;
+  /// then the most recently started jobs die (they occupy the "newest"
+  /// nodes). Returns the number of jobs killed.
+  std::int64_t fail_nodes(std::int64_t count);
+
+  /// Jobs killed by node failures and re-queued.
+  std::int64_t job_retries() const { return job_retries_; }
+
+  /// Invoked whenever the server becomes drained (empty queue, nothing
+  /// running) after having run at least one job.
+  void set_drained_callback(std::function<void(SimTime)> cb) {
+    drained_callback_ = std::move(cb);
+  }
+
+  // --- state queries -------------------------------------------------------
+  bool started() const { return started_; }
+  bool is_shutdown() const { return shutdown_; }
+  bool elastic() const { return config_.policy.has_value(); }
+  const std::string& name() const { return config_.name; }
+
+  std::int64_t owned() const { return owned_; }
+  std::int64_t busy() const { return busy_; }
+  std::int64_t idle() const { return owned_ - busy_; }
+  /// Nodes currently undergoing setup (not yet dispatchable).
+  std::int64_t in_setup() const { return in_setup_; }
+  /// Idle nodes the scheduler may actually use right now.
+  std::int64_t dispatchable_idle() const { return owned_ - in_setup_ - busy_; }
+  std::size_t queue_length() const { return queue_.size(); }
+  bool drained() const { return queue_.empty() && busy_ == 0; }
+
+  /// Accumulated resource demand of queued jobs (the numerator of the
+  /// "ratio of obtaining resources").
+  std::int64_t queued_demand() const;
+  /// Demand of the biggest queued job (the DR2 trigger).
+  std::int64_t biggest_queued() const;
+
+  // --- metrics -------------------------------------------------------------
+  const std::vector<sched::Job>& jobs() const { return jobs_; }
+  std::int64_t submitted_jobs() const {
+    return static_cast<std::int64_t>(jobs_.size());
+  }
+  std::int64_t completed_jobs(
+      SimTime horizon = std::numeric_limits<SimTime>::max()) const;
+  SimTime first_submit() const { return first_submit_; }
+  SimTime last_finish() const { return last_finish_; }
+
+  const cluster::LeaseLedger& ledger() const { return ledger_; }
+  const cluster::UsageRecorder& held_usage() const { return held_; }
+
+  std::int64_t dynamic_grants() const { return dynamic_grants_; }
+  std::int64_t rejected_grants() const { return rejected_grants_; }
+  /// Jobs refused because the server had no runtime environment.
+  std::int64_t dropped_jobs() const { return dropped_jobs_; }
+
+ protected:
+  sim::Simulator& simulator() { return simulator_; }
+
+  /// Demand signal driving the DR1 rule. For HTC this is the queued demand
+  /// only ("the ratio of the accumulated resource demands of all jobs in
+  /// the queue to the current resources owned", Section 3.2.2.1). The MTC
+  /// server overrides it to count running workflow jobs as well (Section
+  /// 3.2.2.2: "each job in queue that constitutes a workflow is
+  /// calculated"), which is what makes the Montage TRE converge to exactly
+  /// the 166-node steady state reported in Section 4.5.2.
+  virtual std::int64_t policy_demand() const { return queued_demand(); }
+
+ private:
+  /// Runs the scheduler over the queue and starts the selected jobs.
+  void dispatch();
+  void on_job_complete(sched::JobId id);
+  /// Periodic policy evaluation (Section 3.2.2.1 rules).
+  void scan(SimTime now);
+  /// Requests `amount` dynamic nodes; on success opens a lease and arms the
+  /// per-grant hourly idle-release timer. Under the provider's
+  /// queue-by-priority contention mode an unsatisfied request waits and
+  /// the grant is applied when the callback fires.
+  bool acquire_dynamic(std::int64_t amount, const char* tag);
+  /// Bookkeeping for a successful dynamic grant.
+  void apply_grant(SimTime now, std::int64_t amount, const char* tag);
+
+  sim::Simulator& simulator_;
+  ResourceProvisionService& provision_;
+  Config config_;
+  ResourceProvisionService::ConsumerId consumer_ = 0;
+
+  bool started_ = false;
+  bool shutdown_ = false;
+  std::int64_t owned_ = 0;
+  std::int64_t busy_ = 0;
+  std::int64_t in_setup_ = 0;
+
+  std::vector<sched::Job> jobs_;  // indexed by JobId
+  sched::JobQueue queue_;
+  std::vector<sched::JobId> running_;
+  /// Pending completion event per running job (for failure cancellation).
+  std::unordered_map<sched::JobId, sim::EventId> completion_events_;
+
+  cluster::LeaseLedger ledger_;
+  cluster::UsageRecorder held_;
+  std::optional<cluster::LeaseId> initial_lease_;
+
+  struct Grant {
+    std::int64_t nodes;
+    cluster::LeaseId lease;
+    sim::TimerId timer = sim::kInvalidTimer;
+    bool active = true;
+  };
+  std::vector<Grant> grants_;
+
+  sim::TimerId scan_timer_ = sim::kInvalidTimer;
+  std::int64_t completed_ = 0;
+  SimTime first_submit_ = kNever;
+  SimTime last_finish_ = kNever;
+  std::int64_t dynamic_grants_ = 0;
+  std::int64_t rejected_grants_ = 0;
+  std::int64_t dropped_jobs_ = 0;
+  std::int64_t job_retries_ = 0;
+  /// A dynamic request is waiting in the provider's priority queue; the
+  /// scan must not pile up more requests meanwhile.
+  bool waiting_grant_ = false;
+
+  std::function<void(const sched::Job&)> completion_callback_;
+  std::function<void(SimTime)> drained_callback_;
+};
+
+}  // namespace dc::core

@@ -1,0 +1,119 @@
+#include "core/lifecycle.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace dc::core {
+
+const char* tre_state_name(TreState state) {
+  switch (state) {
+    case TreState::kInexistent: return "inexistent";
+    case TreState::kPlanning: return "planning";
+    case TreState::kCreated: return "created";
+    case TreState::kRunning: return "running";
+    case TreState::kDestroyed: return "destroyed";
+  }
+  return "?";
+}
+
+const char* workload_type_name(WorkloadType type) {
+  switch (type) {
+    case WorkloadType::kHtc: return "HTC";
+    case WorkloadType::kMtc: return "MTC";
+  }
+  return "?";
+}
+
+LifecycleService::LifecycleService(sim::Simulator& simulator,
+                                   Latencies latencies)
+    : simulator_(simulator), latencies_(latencies) {}
+
+LifecycleService::LifecycleService(sim::Simulator& simulator,
+                                   DeploymentModel model)
+    : simulator_(simulator), deployment_(std::move(model)) {}
+
+LifecycleService::Latencies LifecycleService::latencies_for(
+    const TreSpec& spec) const {
+  if (!deployment_) return latencies_;
+  const PackageSpec& package = spec.type == WorkloadType::kMtc
+                                   ? deployment_->mtc_package
+                                   : deployment_->htc_package;
+  Latencies latencies;
+  latencies.validate = deployment_->validate;
+  latencies.deploy = deployment_->service.deploy_latency(
+      package, std::max<std::int64_t>(1, spec.requested_initial_nodes));
+  latencies.start = deployment_->service.start_latency();
+  return latencies;
+}
+
+void LifecycleService::advance(TreId id, TreState next) {
+  auto& record = records_.at(static_cast<std::size_t>(id));
+  record.state = next;
+  transitions_.push_back({id, next, simulator_.now()});
+}
+
+StatusOr<TreId> LifecycleService::create_tre(
+    const TreSpec& spec, std::function<void(SimTime)> on_running) {
+  if (spec.provider_name.empty()) {
+    return Status::invalid_argument("TRE request needs a provider name");
+  }
+  if (spec.requested_initial_nodes < 0) {
+    return Status::invalid_argument(
+        str_format("invalid initial resource request: %lld",
+                   static_cast<long long>(spec.requested_initial_nodes)));
+  }
+  const TreId id = static_cast<TreId>(records_.size());
+  records_.push_back(Record{spec, TreState::kInexistent});
+
+  // The transitions are chained so that even with zero latencies they fire
+  // in order within one simulation instant.
+  const Latencies latencies = latencies_for(spec);
+  simulator_.schedule_in(
+      latencies.validate,
+      [this, id, latencies, cb = std::move(on_running)]() mutable {
+        // Inexistent -> Planning after validation.
+        advance(id, TreState::kPlanning);
+        simulator_.schedule_in(
+            latencies.deploy, [this, id, latencies, cb = std::move(cb)]() mutable {
+              // Planning -> Created once the deployment service has
+              // installed the TRE's software packages.
+              advance(id, TreState::kCreated);
+              simulator_.schedule_in(
+                  latencies.start, [this, id, cb = std::move(cb)] {
+                    // Created -> Running once the agents started the TRE
+                    // components (server, scheduler, portal).
+                    advance(id, TreState::kRunning);
+                    if (cb) cb(simulator_.now());
+                  });
+            });
+      });
+  return id;
+}
+
+Status LifecycleService::destroy_tre(TreId id,
+                                     std::function<void(SimTime)> on_destroyed) {
+  if (id < 0 || static_cast<std::size_t>(id) >= records_.size()) {
+    return Status::not_found(str_format("no such TRE: %lld",
+                                        static_cast<long long>(id)));
+  }
+  auto& record = records_[static_cast<std::size_t>(id)];
+  if (record.state != TreState::kRunning) {
+    return Status::failed_precondition(
+        str_format("TRE %lld is %s, not running",
+                   static_cast<long long>(id), tre_state_name(record.state)));
+  }
+  advance(id, TreState::kDestroyed);
+  if (on_destroyed) on_destroyed(simulator_.now());
+  return Status::ok();
+}
+
+TreState LifecycleService::state(TreId id) const {
+  return records_.at(static_cast<std::size_t>(id)).state;
+}
+
+const TreSpec& LifecycleService::spec(TreId id) const {
+  return records_.at(static_cast<std::size_t>(id)).spec;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,59 @@
+#include "core/paper.hpp"
+
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace dc::core {
+
+HtcWorkloadSpec paper_nasa_spec(std::uint64_t seed) {
+  HtcWorkloadSpec spec;
+  spec.name = "NASA";
+  spec.trace = workload::make_nasa_ipsc(seed);
+  spec.fixed_nodes = 128;  // the trace's maximal resource requirement
+  // B40_R1.2 (Figure 10's tuned point); subscription = the DCS size.
+  spec.policy = ResourceManagementPolicy::htc(40, 1.2, /*max=*/128);
+  return spec;
+}
+
+HtcWorkloadSpec paper_blue_spec(std::uint64_t seed) {
+  HtcWorkloadSpec spec;
+  spec.name = "BLUE";
+  spec.trace = workload::make_sdsc_blue(seed);
+  spec.fixed_nodes = 144;
+  // B80_R1.5 (Figure 9's tuned point); subscription = the DCS size.
+  spec.policy = ResourceManagementPolicy::htc(80, 1.5, /*max=*/144);
+  return spec;
+}
+
+MtcWorkloadSpec paper_montage_spec(std::uint64_t seed) {
+  MtcWorkloadSpec spec;
+  spec.name = "Montage";
+  spec.dag = workflow::make_paper_montage(seed);
+  // Second Tuesday, 14:00 — peak consolidation pressure.
+  spec.submit_time = 8 * kDay + 14 * kHour;
+  spec.fixed_nodes = 166;  // the workflow's steady-state demand (Section 4.4)
+  spec.policy = ResourceManagementPolicy::mtc(10, 8.0);  // B10_R8
+  return spec;
+}
+
+ConsolidationWorkload paper_consolidation(PaperSeeds seeds) {
+  ConsolidationWorkload workload;
+  workload.htc.push_back(paper_nasa_spec(seeds.nasa));
+  workload.htc.push_back(paper_blue_spec(seeds.blue));
+  workload.mtc.push_back(paper_montage_spec(seeds.montage));
+  return workload;
+}
+
+ConsolidationWorkload single_htc_workload(HtcWorkloadSpec spec) {
+  ConsolidationWorkload workload;
+  workload.htc.push_back(std::move(spec));
+  return workload;
+}
+
+ConsolidationWorkload single_mtc_workload(MtcWorkloadSpec spec) {
+  ConsolidationWorkload workload;
+  workload.mtc.push_back(std::move(spec));
+  return workload;
+}
+
+}  // namespace dc::core

@@ -1,0 +1,44 @@
+// The paper's exact experiment configuration (Section 4.4, 4.5).
+//
+// Three service providers consolidated on one resource provider:
+//  * "NASA"    — HTC, NASA iPSC trace, RE size 128, DawningCloud B=40 R=1.2
+//  * "BLUE"    — HTC, SDSC BLUE trace, RE size 144, DawningCloud B=80 R=1.5
+//  * "Montage" — MTC, 1,000-task Montage workflow, RE size 166,
+//                DawningCloud B=10 R=8
+//
+// The (B, R) choices are the paper's tuned values from Figures 9-11; the
+// sweep benches re-derive them.
+#pragma once
+
+#include <cstdint>
+
+#include "core/systems.hpp"
+
+namespace dc::core {
+
+struct PaperSeeds {
+  std::uint64_t nasa = 42;
+  std::uint64_t blue = 43;
+  std::uint64_t montage = 7;
+};
+
+/// The NASA HTC provider spec (without the other providers).
+HtcWorkloadSpec paper_nasa_spec(std::uint64_t seed = PaperSeeds{}.nasa);
+
+/// The BLUE HTC provider spec.
+HtcWorkloadSpec paper_blue_spec(std::uint64_t seed = PaperSeeds{}.blue);
+
+/// The Montage MTC provider spec. The workflow is submitted mid-experiment
+/// (second week, working hours) — the consolidation window where all three
+/// providers are active.
+MtcWorkloadSpec paper_montage_spec(std::uint64_t seed = PaperSeeds{}.montage);
+
+/// The full three-provider consolidation workload of Section 4.
+ConsolidationWorkload paper_consolidation(PaperSeeds seeds = {});
+
+/// A single-provider workload (used by the per-table benches, which
+/// evaluate each service provider's metrics in isolation, like Tables 2-4).
+ConsolidationWorkload single_htc_workload(HtcWorkloadSpec spec);
+ConsolidationWorkload single_mtc_workload(MtcWorkloadSpec spec);
+
+}  // namespace dc::core

@@ -1,0 +1,129 @@
+#include "core/provision_service.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dc::core {
+
+ResourceProvisionService::ResourceProvisionService(cluster::ResourcePool pool,
+                                                   ProvisionPolicy policy)
+    : pool_(pool),
+      policy_(policy),
+      adjustments_(policy.setup_seconds_per_node) {}
+
+ResourceProvisionService::ConsumerId ResourceProvisionService::register_consumer(
+    std::string name, std::int64_t subscription_cap, int priority) {
+  assert(subscription_cap >= 0);
+  consumers_.push_back(Consumer{std::move(name), subscription_cap, 0, priority});
+  return consumers_.size() - 1;
+}
+
+bool ResourceProvisionService::try_grant(SimTime now, ConsumerId consumer,
+                                         std::int64_t nodes) {
+  Consumer& c = consumers_[consumer];
+  if (c.cap > 0 && c.held + nodes > c.cap) return false;
+  if (!pool_.allocate(nodes).is_ok()) return false;
+  c.held += nodes;
+  usage_.change(now, nodes);
+  if (policy_.count_adjustments) adjustments_.record(now, nodes);
+  return true;
+}
+
+bool ResourceProvisionService::request(SimTime now, ConsumerId consumer,
+                                       std::int64_t nodes) {
+  assert(consumer < consumers_.size());
+  if (nodes <= 0) return true;
+  if (try_grant(now, consumer, nodes)) return true;
+  ++rejected_;
+  return false;
+}
+
+bool ResourceProvisionService::request_or_wait(
+    SimTime now, ConsumerId consumer, std::int64_t nodes,
+    std::function<void(SimTime)> on_granted) {
+  assert(consumer < consumers_.size());
+  if (nodes <= 0) return true;
+  if (try_grant(now, consumer, nodes)) return true;
+  const Consumer& c = consumers_[consumer];
+  const bool cap_violation = c.cap > 0 && c.held + nodes > c.cap;
+  if (policy_.contention == ProvisionPolicy::ContentionMode::kReject ||
+      cap_violation) {
+    ++rejected_;
+    return false;
+  }
+  waiting_.push_back(
+      WaitingRequest{consumer, nodes, next_sequence_++, std::move(on_granted)});
+  return false;
+}
+
+void ResourceProvisionService::drain_waiting(SimTime now) {
+  // Grant callbacks may themselves release resources (recursing into a
+  // drain) or queue new requests; the guard flattens the recursion into
+  // iterations of the outer loop so `waiting_` is never mutated while
+  // being traversed.
+  if (draining_) {
+    redrain_ = true;
+    return;
+  }
+  draining_ = true;
+  do {
+    redrain_ = false;
+    if (waiting_.empty()) break;
+    std::vector<WaitingRequest> pending = std::move(waiting_);
+    waiting_.clear();
+    // Highest priority first, FIFO within a priority.
+    std::stable_sort(pending.begin(), pending.end(),
+                     [this](const WaitingRequest& a, const WaitingRequest& b) {
+                       const int pa = consumers_[a.consumer].priority;
+                       const int pb = consumers_[b.consumer].priority;
+                       if (pa != pb) return pa > pb;
+                       return a.sequence < b.sequence;
+                     });
+    bool blocked = false;
+    for (WaitingRequest& request : pending) {
+      // Strict priority order: once the highest-priority request cannot be
+      // served, nothing behind it may jump the queue.
+      if (!blocked && try_grant(now, request.consumer, request.nodes)) {
+        if (request.on_granted) request.on_granted(now);
+        continue;
+      }
+      blocked = true;
+      waiting_.push_back(std::move(request));
+    }
+  } while (redrain_);
+  draining_ = false;
+}
+
+void ResourceProvisionService::release(SimTime now, ConsumerId consumer,
+                                       std::int64_t nodes) {
+  assert(consumer < consumers_.size());
+  if (nodes <= 0) return;
+  Consumer& c = consumers_[consumer];
+  assert(nodes <= c.held && "consumer releasing more than it holds");
+  c.held -= nodes;
+  pool_.release(nodes);
+  usage_.change(now, -nodes);
+  if (policy_.count_adjustments) adjustments_.record(now, nodes);
+  drain_waiting(now);
+}
+
+void ResourceProvisionService::record_hardware_swap(SimTime now,
+                                                    ConsumerId consumer,
+                                                    std::int64_t nodes) {
+  assert(consumer < consumers_.size());
+  assert(nodes >= 0 && nodes <= consumers_[consumer].held);
+  if (nodes <= 0 || !policy_.count_adjustments) return;
+  adjustments_.record(now, nodes);  // reclaim the failed hardware
+  adjustments_.record(now, nodes);  // install the RE on the replacement
+}
+
+std::int64_t ResourceProvisionService::held_by(ConsumerId consumer) const {
+  return consumers_.at(consumer).held;
+}
+
+std::int64_t ResourceProvisionService::subscription_cap(
+    ConsumerId consumer) const {
+  return consumers_.at(consumer).cap;
+}
+
+}  // namespace dc::core

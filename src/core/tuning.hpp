@@ -1,0 +1,63 @@
+// Resource-management policy auto-tuning.
+//
+// The paper tunes (B, R) by hand from the Figures 9-11 sweeps ("to save
+// the resource consumption and improve the throughputs") and names the
+// search for optimal policies as future work (Section 6). This module
+// implements that search: evaluate a (B, R) grid under the DawningCloud
+// system, keep the configurations whose service quality (completed jobs,
+// or tasks/s for MTC) is within a tolerance of the best seen, and among
+// those pick the cheapest; then refine around the winner with a local
+// search at half-step granularity.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/systems.hpp"
+
+namespace dc::core {
+
+struct TuningObjective {
+  /// A candidate qualifies if its service metric is at least
+  /// (1 - tolerance) * the best metric over the grid.
+  double quality_tolerance = 0.002;
+  /// Local refinement passes around the grid winner (0 = grid only).
+  int refine_rounds = 1;
+};
+
+struct TuningCandidate {
+  std::int64_t b = 0;
+  double r = 0.0;
+  std::int64_t consumption_node_hours = 0;
+  /// Completed jobs (HTC) or tasks/s scaled by 1e6 (MTC) — the comparable
+  /// service-quality metric.
+  double quality = 0.0;
+};
+
+struct TuningResult {
+  ResourceManagementPolicy best;
+  TuningCandidate best_candidate;
+  /// Everything evaluated, in evaluation order (grid first, then
+  /// refinements) — the data behind a Figure 9/10/11-style plot.
+  std::vector<TuningCandidate> evaluated;
+};
+
+/// Tunes an HTC provider's (B, R). `spec.policy.max_nodes` is preserved;
+/// only B and R are searched. Quality = completed jobs within the horizon.
+TuningResult tune_htc_policy(const HtcWorkloadSpec& spec,
+                             const std::vector<std::int64_t>& b_grid,
+                             const std::vector<double>& r_grid,
+                             const TuningObjective& objective = {});
+
+/// Tunes an MTC provider's (B, R). Quality = tasks per second.
+TuningResult tune_mtc_policy(const MtcWorkloadSpec& spec,
+                             const std::vector<std::int64_t>& b_grid,
+                             const std::vector<double>& r_grid,
+                             const TuningObjective& objective = {});
+
+/// Formats the result as a short report (winner + frontier).
+std::string format_tuning_report(const std::string& provider,
+                                 const TuningResult& result);
+
+}  // namespace dc::core

@@ -1,0 +1,40 @@
+#include "cost/tco.hpp"
+
+#include "util/strings.hpp"
+
+namespace dc::cost {
+
+TcoComparison paper_tco_comparison() {
+  const DcsCostModel dcs;
+  const Ec2CostModel ec2;
+  TcoComparison comparison;
+  comparison.dcs_per_month = dcs.tco_per_month();
+  // 30 instances match the DCS configuration; inbound transfer is bounded
+  // by 1,000 GB/month from the system logs.
+  comparison.ssp_per_month = ec2.tco_per_month(30, 1000.0);
+  comparison.ssp_over_dcs = comparison.ssp_per_month / comparison.dcs_per_month;
+  return comparison;
+}
+
+std::string format_tco_report(const TcoComparison& comparison) {
+  std::string out;
+  out += "Total cost of ownership of the service provider (Section 4.5.5)\n";
+  out += str_format("  TCO (DCS system) : $%.0f per month\n",
+                    comparison.dcs_per_month);
+  out += str_format("  TCO (SSP on EC2) : $%.0f per month\n",
+                    comparison.ssp_per_month);
+  out += str_format("  SSP / DCS        : %.1f%%\n",
+                    100.0 * comparison.ssp_over_dcs);
+  return out;
+}
+
+double consumption_cost_usd(std::int64_t node_hours, const Ec2CostModel& model) {
+  return static_cast<double>(node_hours) * model.usd_per_instance_hour;
+}
+
+double dcs_cost_for_nodes(std::int64_t nodes, const DcsCostModel& model) {
+  // The reference deployment's capacity equals 30 normalized nodes.
+  return model.tco_per_month() / 30.0 * static_cast<double>(nodes);
+}
+
+}  // namespace dc::cost

@@ -1,0 +1,85 @@
+#include "metrics/markdown.hpp"
+
+#include <cassert>
+
+#include "metrics/report.hpp"
+#include "util/strings.hpp"
+
+namespace dc::metrics {
+namespace {
+
+std::string escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '|') out += "\\|";
+    else out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows) {
+  std::string out = "|";
+  for (const std::string& cell : header) out += " " + escape(cell) + " |";
+  out += "\n|";
+  for (std::size_t i = 0; i < header.size(); ++i) out += "---|";
+  out += "\n";
+  for (const auto& row : rows) {
+    assert(row.size() == header.size());
+    out += "|";
+    for (const std::string& cell : row) out += " " + escape(cell) + " |";
+    out += "\n";
+  }
+  return out;
+}
+
+std::string markdown_htc_provider_table(
+    const std::vector<core::SystemResult>& systems,
+    const std::string& provider) {
+  const std::int64_t baseline =
+      result_for(systems, core::SystemModel::kDcs)
+          .provider(provider)
+          .consumption_node_hours;
+  std::vector<std::vector<std::string>> rows;
+  for (const core::SystemResult& system : systems) {
+    const core::ProviderResult& p = system.provider(provider);
+    rows.push_back(
+        {std::string(system_model_name(system.model)),
+         std::to_string(p.completed_jobs),
+         std::to_string(p.consumption_node_hours),
+         system.model == core::SystemModel::kDcs
+             ? std::string("—")
+             : str_format("%.1f%%",
+                          saved_percent(baseline, p.consumption_node_hours))});
+  }
+  return markdown_table(
+      {"configuration", "completed jobs", "node·hours", "saved"}, rows);
+}
+
+std::string markdown_mtc_provider_table(
+    const std::vector<core::SystemResult>& systems,
+    const std::string& provider) {
+  const std::int64_t baseline =
+      result_for(systems, core::SystemModel::kDcs)
+          .provider(provider)
+          .consumption_node_hours;
+  std::vector<std::vector<std::string>> rows;
+  for (const core::SystemResult& system : systems) {
+    const core::ProviderResult& p = system.provider(provider);
+    rows.push_back(
+        {std::string(system_model_name(system.model)),
+         str_format("%.2f", p.tasks_per_second),
+         std::to_string(p.consumption_node_hours),
+         system.model == core::SystemModel::kDcs
+             ? std::string("—")
+             : str_format("%.1f%%",
+                          saved_percent(baseline, p.consumption_node_hours))});
+  }
+  return markdown_table({"configuration", "tasks/s", "node·hours", "saved"},
+                        rows);
+}
+
+}  // namespace dc::metrics

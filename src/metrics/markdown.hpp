@@ -1,0 +1,27 @@
+// Markdown rendering of results — the EXPERIMENTS.md generator.
+//
+// Every bench prints fixed-width console tables; these helpers render the
+// same data as GitHub-flavored markdown so documentation tables can be
+// regenerated from bench output instead of hand-edited.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/systems.hpp"
+
+namespace dc::metrics {
+
+/// A generic markdown table.
+std::string markdown_table(const std::vector<std::string>& header,
+                           const std::vector<std::vector<std::string>>& rows);
+
+/// The Tables 2/3-style per-provider comparison as markdown (DCS baseline).
+std::string markdown_htc_provider_table(
+    const std::vector<core::SystemResult>& systems, const std::string& provider);
+
+/// The Table 4-style MTC comparison as markdown.
+std::string markdown_mtc_provider_table(
+    const std::vector<core::SystemResult>& systems, const std::string& provider);
+
+}  // namespace dc::metrics

@@ -1,0 +1,164 @@
+#include "metrics/report.hpp"
+
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace dc::metrics {
+
+using core::SystemModel;
+using core::SystemResult;
+
+double saved_percent(std::int64_t baseline_node_hours, std::int64_t node_hours) {
+  if (baseline_node_hours == 0) return 0.0;
+  return 100.0 *
+         (1.0 - static_cast<double>(node_hours) /
+                    static_cast<double>(baseline_node_hours));
+}
+
+const SystemResult& result_for(const std::vector<SystemResult>& systems,
+                               SystemModel model) {
+  for (const SystemResult& result : systems) {
+    if (result.model == model) return result;
+  }
+  assert(false && "missing system result");
+  return systems.front();
+}
+
+std::string format_htc_provider_table(const std::vector<SystemResult>& systems,
+                                      const std::string& provider,
+                                      const std::string& title) {
+  const std::int64_t baseline =
+      result_for(systems, SystemModel::kDcs)
+          .provider(provider)
+          .consumption_node_hours;
+  TextTable table({"configuration", "completed jobs", "resource consumption",
+                   "saved resources"});
+  for (const SystemResult& system : systems) {
+    const core::ProviderResult& p = system.provider(provider);
+    table.cell(std::string(system_model_name(system.model)) + " system")
+        .cell(p.completed_jobs)
+        .cell(p.consumption_node_hours);
+    if (system.model == SystemModel::kDcs) {
+      table.cell("/");
+    } else {
+      table.cell(str_format("%.1f%%",
+                            saved_percent(baseline, p.consumption_node_hours)));
+    }
+    table.end_row();
+  }
+  return table.render(title);
+}
+
+std::string format_mtc_provider_table(const std::vector<SystemResult>& systems,
+                                      const std::string& provider,
+                                      const std::string& title) {
+  const std::int64_t baseline =
+      result_for(systems, SystemModel::kDcs)
+          .provider(provider)
+          .consumption_node_hours;
+  TextTable table({"configuration", "tasks per second", "resource consumption",
+                   "saved resources"});
+  for (const SystemResult& system : systems) {
+    const core::ProviderResult& p = system.provider(provider);
+    table.cell(std::string(system_model_name(system.model)) + " system")
+        .cell(p.tasks_per_second, 2)
+        .cell(p.consumption_node_hours);
+    if (system.model == SystemModel::kDcs) {
+      table.cell("/");
+    } else {
+      table.cell(str_format("%.1f%%",
+                            saved_percent(baseline, p.consumption_node_hours)));
+    }
+    table.end_row();
+  }
+  return table.render(title);
+}
+
+std::string format_resource_provider_report(
+    const std::vector<SystemResult>& systems) {
+  const SystemResult& dcs = result_for(systems, SystemModel::kDcs);
+  TextTable table({"system", "total consumption (node*hour)",
+                   "peak (nodes/hour)", "total vs DCS/SSP", "peak vs DCS/SSP"});
+  for (const SystemResult& system : systems) {
+    table.cell(system_model_name(system.model))
+        .cell(system.total_consumption_node_hours)
+        .cell(system.peak_nodes)
+        .cell(str_format("%.1f%%",
+                         saved_percent(dcs.total_consumption_node_hours,
+                                       system.total_consumption_node_hours)))
+        .cell(str_format("%.2fx", dcs.peak_nodes == 0
+                                      ? 0.0
+                                      : static_cast<double>(system.peak_nodes) /
+                                            static_cast<double>(dcs.peak_nodes)));
+    table.end_row();
+  }
+  return table.render(
+      "Resource provider metrics (Figures 12 & 13): total and peak "
+      "consumption");
+}
+
+std::string format_overhead_report(const std::vector<SystemResult>& systems) {
+  TextTable table({"system", "adjusted nodes (accumulated)",
+                   "overhead (seconds)", "overhead (s/hour)"});
+  for (const SystemResult& system : systems) {
+    table.cell(system_model_name(system.model))
+        .cell(system.adjusted_nodes)
+        .cell(system.overhead_seconds, 1)
+        .cell(system.overhead_seconds_per_hour, 1);
+    table.end_row();
+  }
+  return table.render(
+      "Management overhead (Figure 14): accumulated node adjustments, "
+      "15.743 s setup per adjusted node");
+}
+
+std::string format_model_comparison_table() {
+  TextTable table({"", "DCS", "SSP", "DRP", "DSP"});
+  const SystemModel order[] = {SystemModel::kDcs, SystemModel::kSsp,
+                               SystemModel::kDrp, SystemModel::kDawningCloud};
+  table.cell("resource property");
+  for (SystemModel model : order) table.cell(system_traits(model).resource_property);
+  table.end_row();
+  table.cell("runtime environment");
+  for (SystemModel model : order) {
+    table.cell(system_traits(model).runtime_environment);
+  }
+  table.end_row();
+  table.cell("resources provision for RE");
+  for (SystemModel model : order) table.cell(system_traits(model).provisioning);
+  table.end_row();
+  return table.render("Table 1: comparison of usage models");
+}
+
+void write_results_csv(CsvWriter& csv,
+                       const std::vector<SystemResult>& systems) {
+  csv.header({"system", "provider", "type", "submitted", "completed",
+              "tasks_per_second", "consumption_node_hours", "exact_node_hours",
+              "provider_peak_nodes", "makespan_seconds", "mean_wait_seconds",
+              "max_wait_seconds", "platform_total_node_hours",
+              "platform_peak_nodes", "adjusted_nodes", "overhead_seconds"});
+  for (const SystemResult& system : systems) {
+    for (const core::ProviderResult& p : system.providers) {
+      csv.cell(std::string_view(system_model_name(system.model)))
+          .cell(p.provider)
+          .cell(std::string_view(workload_type_name(p.type)))
+          .cell(p.submitted_jobs)
+          .cell(p.completed_jobs)
+          .cell(p.tasks_per_second, 4)
+          .cell(p.consumption_node_hours)
+          .cell(p.exact_node_hours, 2)
+          .cell(p.peak_nodes)
+          .cell(p.makespan)
+          .cell(p.mean_wait_seconds, 1)
+          .cell(p.max_wait_seconds)
+          .cell(system.total_consumption_node_hours)
+          .cell(system.peak_nodes)
+          .cell(system.adjusted_nodes)
+          .cell(system.overhead_seconds, 1);
+      csv.end_row();
+    }
+  }
+}
+
+}  // namespace dc::metrics

@@ -1,0 +1,58 @@
+// Report formatting for the paper's tables and figures.
+//
+// Section 4.3 metrics: per service provider, the number of completed jobs
+// (HTC) or tasks per second (MTC) and the node*hour resource consumption;
+// per resource provider, the total and peak consumption plus the
+// accumulated node adjustments. Tables render in the paper's layout with
+// "saved resources" percentages against the DCS baseline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/systems.hpp"
+#include "util/csv.hpp"
+
+namespace dc::metrics {
+
+/// Paper convention: percent of the DCS system's consumption saved.
+/// Negative values (printed like the paper's "-25.8%") mean *more*
+/// consumption than the baseline.
+double saved_percent(std::int64_t baseline_node_hours,
+                     std::int64_t node_hours);
+
+/// Renders a Table 2/3-style comparison (completed jobs, consumption,
+/// saved %) for one HTC provider across systems. The DCS row must be
+/// present as the baseline.
+std::string format_htc_provider_table(
+    const std::vector<core::SystemResult>& systems,
+    const std::string& provider, const std::string& title);
+
+/// Renders a Table 4-style comparison (tasks/s, consumption, saved %) for
+/// one MTC provider across systems.
+std::string format_mtc_provider_table(
+    const std::vector<core::SystemResult>& systems,
+    const std::string& provider, const std::string& title);
+
+/// Renders Figure 12/13 numbers: total and peak platform consumption per
+/// system, with ratios against DCS/SSP and DRP.
+std::string format_resource_provider_report(
+    const std::vector<core::SystemResult>& systems);
+
+/// Renders Figure 14 numbers: accumulated node adjustments and overhead.
+std::string format_overhead_report(
+    const std::vector<core::SystemResult>& systems);
+
+/// Renders the paper's Table 1 (usage-model traits).
+std::string format_model_comparison_table();
+
+/// Finds the result for `model`; asserts it exists.
+const core::SystemResult& result_for(
+    const std::vector<core::SystemResult>& systems, core::SystemModel model);
+
+/// Writes one CSV row per (system, provider) pair: the machine-readable
+/// companion every bench emits.
+void write_results_csv(CsvWriter& csv,
+                       const std::vector<core::SystemResult>& systems);
+
+}  // namespace dc::metrics

@@ -1,0 +1,95 @@
+#include "sched/conservative_backfill.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace dc::sched {
+namespace {
+
+/// A piecewise-constant availability profile over future time, built from
+/// running-job releases and consumed by reservations.
+class Profile {
+ public:
+  Profile(SimTime now, std::int64_t idle) { avail_[now] = idle; }
+
+  /// Adds `nodes` becoming free at time `at`.
+  void add_release(SimTime at, std::int64_t nodes) {
+    ensure_point(at);
+    for (auto it = avail_.lower_bound(at); it != avail_.end(); ++it) {
+      it->second += nodes;
+    }
+  }
+
+  /// Earliest time >= `from` at which `nodes` are continuously available
+  /// for `duration` seconds.
+  SimTime earliest_fit(SimTime from, std::int64_t nodes,
+                       SimDuration duration) const {
+    auto start_it = avail_.lower_bound(from);
+    if (start_it == avail_.end() || start_it->first != from) {
+      // Availability at `from` equals the previous breakpoint's level.
+      --start_it;
+    }
+    for (auto it = start_it; it != avail_.end(); ++it) {
+      const SimTime candidate = std::max(from, it->first);
+      if (fits(candidate, nodes, duration)) return candidate;
+    }
+    return kNever;  // unreachable: the profile ends at full availability
+  }
+
+  /// Reserves `nodes` over [start, start+duration).
+  void reserve(SimTime start, std::int64_t nodes, SimDuration duration) {
+    ensure_point(start);
+    ensure_point(start + duration);
+    for (auto it = avail_.lower_bound(start);
+         it != avail_.end() && it->first < start + duration; ++it) {
+      it->second -= nodes;
+    }
+  }
+
+ private:
+  bool fits(SimTime start, std::int64_t nodes, SimDuration duration) const {
+    auto it = avail_.upper_bound(start);
+    --it;  // segment containing `start`
+    for (; it != avail_.end() && it->first < start + duration; ++it) {
+      if (it->second < nodes) return false;
+    }
+    return true;
+  }
+
+  void ensure_point(SimTime at) {
+    auto it = avail_.upper_bound(at);
+    if (it == avail_.begin()) {
+      avail_[at];  // before the first point: level 0
+      return;
+    }
+    --it;
+    if (it->first != at) avail_[at] = it->second;
+  }
+
+  std::map<SimTime, std::int64_t> avail_;
+};
+
+}  // namespace
+
+std::vector<std::size_t> ConservativeBackfillScheduler::select(
+    std::span<const Job* const> queue, std::span<const Job* const> running,
+    std::int64_t idle_nodes, SimTime now) const {
+  Profile profile(now, idle_nodes);
+  for (const Job* job : running) {
+    // A job can be "running" with expected_end == now when its completion
+    // event sits later in the current simulation instant; its nodes are
+    // not usable by this dispatch, so releases are clamped to the future.
+    profile.add_release(std::max(job->expected_end(), now + 1), job->nodes);
+  }
+  std::vector<std::size_t> picks;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    const Job* job = queue[i];
+    const SimTime start = profile.earliest_fit(now, job->nodes, job->runtime);
+    if (start == kNever) continue;  // wider than the machine will ever be
+    profile.reserve(start, job->nodes, job->runtime);
+    if (start == now) picks.push_back(i);
+  }
+  return picks;
+}
+
+}  // namespace dc::sched

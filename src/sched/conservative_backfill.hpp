@@ -1,0 +1,23 @@
+// Conservative backfilling — the stricter cousin of EASY, added as an
+// extension scheduler. Every queued job (not just the head) receives a
+// reservation in queue order against the simulated future release profile;
+// a later job may start now only if doing so delays no earlier job's
+// reservation. Stronger fairness guarantees than EASY, usually less
+// backfilling.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dc::sched {
+
+class ConservativeBackfillScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(std::span<const Job* const> queue,
+                                  std::span<const Job* const> running,
+                                  std::int64_t idle_nodes,
+                                  SimTime now) const override;
+
+  const char* name() const override { return "conservative-backfill"; }
+};
+
+}  // namespace dc::sched

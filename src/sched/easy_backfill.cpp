@@ -1,0 +1,71 @@
+#include "sched/easy_backfill.hpp"
+
+#include <algorithm>
+
+namespace dc::sched {
+
+std::vector<std::size_t> EasyBackfillScheduler::select(
+    std::span<const Job* const> queue, std::span<const Job* const> running,
+    std::int64_t idle_nodes, SimTime now) const {
+  std::vector<std::size_t> picks;
+  std::int64_t idle = idle_nodes;
+
+  // Start head-of-queue jobs while they fit.
+  std::size_t head = 0;
+  while (head < queue.size() && queue[head]->nodes <= idle) {
+    picks.push_back(head);
+    idle -= queue[head]->nodes;
+    ++head;
+  }
+  if (head >= queue.size()) return picks;
+
+  // The blocked head job gets a reservation: find the earliest time its
+  // width is available, releasing running jobs in completion order.
+  struct Release {
+    SimTime at;
+    std::int64_t nodes;
+  };
+  std::vector<Release> releases;
+  releases.reserve(running.size() + picks.size());
+  for (const Job* job : running) {
+    // Releases cannot take effect within the current instant (a job whose
+    // completion event is later in this same second is still holding its
+    // nodes for this dispatch).
+    releases.push_back({std::max(job->expected_end(), now + 1), job->nodes});
+  }
+  // Jobs we just decided to start also hold nodes until now + runtime.
+  for (std::size_t pos : picks) {
+    releases.push_back({now + queue[pos]->runtime, queue[pos]->nodes});
+  }
+  std::sort(releases.begin(), releases.end(),
+            [](const Release& a, const Release& b) { return a.at < b.at; });
+
+  const std::int64_t head_need = queue[head]->nodes;
+  std::int64_t avail = idle;
+  SimTime shadow_time = now;        // when the head job can start
+  std::int64_t extra_at_shadow = 0;  // nodes free beyond head_need then
+  for (const Release& release : releases) {
+    if (avail >= head_need) break;
+    shadow_time = release.at;
+    avail += release.nodes;
+  }
+  extra_at_shadow = avail - head_need;
+
+  // Backfill: a later job may start now if it fits the idle nodes and
+  // either finishes before the shadow time or fits the spare nodes at it.
+  for (std::size_t i = head + 1; i < queue.size() && idle > 0; ++i) {
+    const Job* job = queue[i];
+    if (job->nodes > idle) continue;
+    const bool ends_before_shadow = now + job->runtime <= shadow_time;
+    const bool fits_spare = job->nodes <= extra_at_shadow;
+    if (ends_before_shadow || fits_spare) {
+      picks.push_back(i);
+      idle -= job->nodes;
+      if (!ends_before_shadow) extra_at_shadow -= job->nodes;
+    }
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+}  // namespace dc::sched

@@ -1,0 +1,26 @@
+// EASY backfilling — an extension beyond the paper's first-fit policy,
+// used by the ablation bench (bench/ablation_backfill) to quantify how much
+// of DawningCloud's saving depends on the scheduling policy versus the
+// dynamic provisioning policy.
+//
+// EASY (Lifka, Argonne/IBM SP): the head-of-queue job receives a
+// reservation at the earliest time enough nodes free up; any later job may
+// start now if it fits the idle nodes and will not delay that reservation
+// (using declared runtimes as estimates).
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dc::sched {
+
+class EasyBackfillScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(std::span<const Job* const> queue,
+                                  std::span<const Job* const> running,
+                                  std::int64_t idle_nodes,
+                                  SimTime now) const override;
+
+  const char* name() const override { return "easy-backfill"; }
+};
+
+}  // namespace dc::sched

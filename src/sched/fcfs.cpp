@@ -1,0 +1,18 @@
+#include "sched/fcfs.hpp"
+
+namespace dc::sched {
+
+std::vector<std::size_t> FcfsScheduler::select(
+    std::span<const Job* const> queue, std::span<const Job* const> running,
+    std::int64_t idle_nodes, SimTime now) const {
+  std::vector<std::size_t> picks;
+  std::int64_t remaining = idle_nodes;
+  for (std::size_t i = 0; i < queue.size(); ++i) {
+    if (queue[i]->nodes > remaining) break;  // strict order: no skipping
+    picks.push_back(i);
+    remaining -= queue[i]->nodes;
+  }
+  return picks;
+}
+
+}  // namespace dc::sched

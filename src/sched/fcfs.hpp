@@ -1,0 +1,23 @@
+// FCFS scheduling (the paper's MTC policy, Section 4.4).
+//
+// "For MTC workload, firstly we generate the job flow according to the
+// dependency constraints, and then we choose the FCFS (First Come First
+// Served) scheduling policy." Strict head-of-queue order: if the head does
+// not fit the idle nodes, nothing behind it may jump ahead.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dc::sched {
+
+class FcfsScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(std::span<const Job* const> queue,
+                                  std::span<const Job* const> running,
+                                  std::int64_t idle_nodes,
+                                  SimTime now) const override;
+
+  const char* name() const override { return "fcfs"; }
+};
+
+}  // namespace dc::sched

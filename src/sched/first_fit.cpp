@@ -1,0 +1,19 @@
+#include "sched/first_fit.hpp"
+
+namespace dc::sched {
+
+std::vector<std::size_t> FirstFitScheduler::select(
+    std::span<const Job* const> queue, std::span<const Job* const> running,
+    std::int64_t idle_nodes, SimTime now) const {
+  std::vector<std::size_t> picks;
+  std::int64_t remaining = idle_nodes;
+  for (std::size_t i = 0; i < queue.size() && remaining > 0; ++i) {
+    if (queue[i]->nodes <= remaining) {
+      picks.push_back(i);
+      remaining -= queue[i]->nodes;
+    }
+  }
+  return picks;
+}
+
+}  // namespace dc::sched

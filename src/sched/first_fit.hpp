@@ -1,0 +1,23 @@
+// First-fit scheduling (the paper's HTC policy, Section 4.4).
+//
+// "The first-fit scheduling algorithm scans all the queued jobs in the
+// order of job arrival and chooses the first job, whose resources
+// requirement can be met by the system, to execute." Applied repeatedly
+// until no queued job fits the remaining idle nodes.
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace dc::sched {
+
+class FirstFitScheduler final : public Scheduler {
+ public:
+  std::vector<std::size_t> select(std::span<const Job* const> queue,
+                                  std::span<const Job* const> running,
+                                  std::int64_t idle_nodes,
+                                  SimTime now) const override;
+
+  const char* name() const override { return "first-fit"; }
+};
+
+}  // namespace dc::sched

@@ -1,0 +1,34 @@
+// Scheduler interface.
+//
+// A scheduler is a pure selection policy: given the queued jobs (arrival
+// order), the currently running jobs, and the idle node count, it picks
+// which queue positions to start now. The owning server performs the actual
+// state changes, so one policy serves every system (DCS, SSP, DawningCloud)
+// and every TRE type.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sched/job.hpp"
+#include "util/time.hpp"
+
+namespace dc::sched {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Returns ascending queue positions of jobs to start now. Every selected
+  /// job must fit: the sum of selected widths must not exceed `idle_nodes`.
+  /// `running` carries node widths and expected completion times for
+  /// policies that reason about the future (backfilling).
+  virtual std::vector<std::size_t> select(std::span<const Job* const> queue,
+                                          std::span<const Job* const> running,
+                                          std::int64_t idle_nodes,
+                                          SimTime now) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace dc::sched

@@ -1,0 +1,29 @@
+#include "sched/sjf.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace dc::sched {
+
+std::vector<std::size_t> SjfScheduler::select(
+    std::span<const Job* const> queue, std::span<const Job* const> running,
+    std::int64_t idle_nodes, SimTime now) const {
+  std::vector<std::size_t> order(queue.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&queue](std::size_t a, std::size_t b) {
+                     return queue[a]->runtime < queue[b]->runtime;
+                   });
+  std::vector<std::size_t> picks;
+  std::int64_t remaining = idle_nodes;
+  for (std::size_t pos : order) {
+    if (queue[pos]->nodes <= remaining) {
+      picks.push_back(pos);
+      remaining -= queue[pos]->nodes;
+    }
+  }
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
+
+}  // namespace dc::sched

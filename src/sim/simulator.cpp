@@ -1,0 +1,105 @@
+#include "sim/simulator.hpp"
+
+namespace dc::sim {
+
+EventId Simulator::schedule_at(SimTime t, Callback fn) {
+  assert(t >= now_ && "cannot schedule into the past");
+  assert(fn && "callback must be callable");
+  const EventId id = next_id_++;
+  queue_.push(QueueEntry{t, next_seq_++, id});
+  handlers_.emplace(id, std::move(fn));
+  return id;
+}
+
+bool Simulator::cancel(EventId id) {
+  // The queue entry stays behind as a tombstone; it is skipped at pop time.
+  return handlers_.erase(id) > 0;
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    const QueueEntry entry = queue_.top();
+    auto it = handlers_.find(entry.id);
+    if (it == handlers_.end()) {
+      queue_.pop();  // cancelled: discard tombstone
+      continue;
+    }
+    assert(entry.time >= now_);
+    now_ = entry.time;
+    // Move the callback out before popping so the handler may schedule or
+    // cancel events (including itself being re-entrant-safe).
+    Callback fn = std::move(it->second);
+    handlers_.erase(it);
+    queue_.pop();
+    ++processed_;
+    fn();
+    return true;
+  }
+  return false;
+}
+
+void Simulator::run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && step()) {
+  }
+}
+
+void Simulator::run_until(SimTime horizon) {
+  assert(horizon >= now_);
+  stop_requested_ = false;
+  while (!stop_requested_) {
+    // Peek for the next live event and check its time against the horizon.
+    bool found = false;
+    while (!queue_.empty()) {
+      const QueueEntry& entry = queue_.top();
+      if (handlers_.find(entry.id) == handlers_.end()) {
+        queue_.pop();
+        continue;
+      }
+      found = true;
+      break;
+    }
+    if (!found || queue_.top().time > horizon) break;
+    step();
+  }
+  now_ = horizon;
+}
+
+void Simulator::arm_timer(TimerId id, SimTime fire_at) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return;
+  it->second.pending_event = schedule_at(fire_at, [this, id] {
+    auto timer_it = timers_.find(id);
+    if (timer_it == timers_.end()) return;  // stopped meanwhile
+    const SimTime fired_at = now_;
+    // Re-arm before invoking so the callback may stop the timer.
+    arm_timer(id, fired_at + timer_it->second.period);
+    // Re-lookup: arm_timer may rehash the map. Invoke through a copy so the
+    // callback may stop (erase) its own timer without destroying the
+    // std::function it is executing from.
+    timer_it = timers_.find(id);
+    if (timer_it == timers_.end()) return;
+    TimerCallback fn = timer_it->second.fn;
+    fn(fired_at);
+  });
+}
+
+TimerId Simulator::start_periodic(SimTime first_fire, SimDuration period,
+                                  TimerCallback fn) {
+  assert(period > 0 && "periodic timer needs a positive period");
+  assert(first_fire >= now_);
+  const TimerId id = next_timer_id_++;
+  timers_.emplace(id, TimerState{period, std::move(fn), kInvalidEvent});
+  arm_timer(id, first_fire);
+  return id;
+}
+
+bool Simulator::stop_timer(TimerId id) {
+  auto it = timers_.find(id);
+  if (it == timers_.end()) return false;
+  if (it->second.pending_event != kInvalidEvent) cancel(it->second.pending_event);
+  timers_.erase(it);
+  return true;
+}
+
+}  // namespace dc::sim

@@ -1,0 +1,121 @@
+// Discrete-event simulation kernel.
+//
+// This kernel replaces the paper's 100x-sped-up wall-clock emulation (see
+// DESIGN.md, substitution table). All DawningCloud daemons — the HTC/MTC
+// servers, the resource provision service, the lifecycle service, and the
+// job emulator — are event handlers driven by one Simulator instance.
+//
+// Guarantees:
+//   * Events fire in nondecreasing time order.
+//   * Events scheduled for the same time fire in scheduling (FIFO) order,
+//     which makes experiments fully deterministic.
+//   * Cancellation is O(1); cancelled events are skipped at pop time.
+//
+// The kernel is single-threaded. Parameter sweeps parallelize by running
+// one Simulator per thread (see bench/), which is both simpler and faster
+// than a locked shared kernel.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace dc::sim {
+
+/// Identifies a scheduled (one-shot) event; valid until it fires or is
+/// cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = 0;
+
+/// Identifies a periodic timer.
+using TimerId = std::uint64_t;
+inline constexpr TimerId kInvalidTimer = 0;
+
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+  using TimerCallback = std::function<void(SimTime)>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time (seconds).
+  SimTime now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (must be >= now()).
+  EventId schedule_at(SimTime t, Callback fn);
+
+  /// Schedules `fn` after `delay` seconds (delay >= 0).
+  EventId schedule_in(SimDuration delay, Callback fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Returns false if it already fired or was
+  /// already cancelled.
+  bool cancel(EventId id);
+
+  /// Starts a periodic timer: first fires at `first_fire`, then every
+  /// `period` seconds until stopped. The callback receives the fire time.
+  TimerId start_periodic(SimTime first_fire, SimDuration period, TimerCallback fn);
+
+  /// Stops a periodic timer. Returns false if it was not active.
+  bool stop_timer(TimerId id);
+
+  /// Runs until the event queue is empty or a stop is requested.
+  void run();
+
+  /// Processes all events with time <= horizon, then advances the clock to
+  /// exactly `horizon`.
+  void run_until(SimTime horizon);
+
+  /// Requests that run()/run_until() return after the current event.
+  void request_stop() { stop_requested_ = true; }
+
+  /// Number of events executed so far (excludes cancelled).
+  std::uint64_t events_processed() const { return processed_; }
+
+  /// Number of events currently pending (includes not-yet-collected
+  /// cancelled entries; exact pending count is pending_live()).
+  std::size_t pending_live() const { return handlers_.size(); }
+
+ private:
+  struct QueueEntry {
+    SimTime time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    bool operator>(const QueueEntry& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  /// Pops and executes the next live event. Returns false if none remain.
+  bool step();
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  EventId next_id_ = 1;
+  TimerId next_timer_id_ = 1;
+  std::uint64_t processed_ = 0;
+  bool stop_requested_ = false;
+
+  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
+  std::unordered_map<EventId, Callback> handlers_;
+
+  struct TimerState {
+    SimDuration period;
+    TimerCallback fn;
+    EventId pending_event = kInvalidEvent;
+  };
+  std::unordered_map<TimerId, TimerState> timers_;
+
+  void arm_timer(TimerId id, SimTime fire_at);
+};
+
+}  // namespace dc::sim

@@ -1,0 +1,108 @@
+#include "util/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.hpp"
+
+namespace dc {
+namespace {
+
+constexpr char kGlyphs[] = {'*', '+', 'o', 'x', '#', '@'};
+
+/// Resamples values to exactly `width` buckets by averaging.
+std::vector<double> resample(const std::vector<double>& values,
+                             std::size_t width) {
+  std::vector<double> out(width, 0.0);
+  if (values.empty() || width == 0) return out;
+  for (std::size_t c = 0; c < width; ++c) {
+    const double begin = static_cast<double>(c) *
+                         static_cast<double>(values.size()) /
+                         static_cast<double>(width);
+    double end = static_cast<double>(c + 1) *
+                 static_cast<double>(values.size()) /
+                 static_cast<double>(width);
+    auto lo = static_cast<std::size_t>(begin);
+    auto hi = static_cast<std::size_t>(std::ceil(end));
+    hi = std::min(hi, values.size());
+    if (hi <= lo) hi = lo + 1;
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi && i < values.size(); ++i) sum += values[i];
+    out[c] = sum / static_cast<double>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options) {
+  if (series.empty() || options.width == 0 || options.height == 0) return {};
+
+  double y_min = options.y_min;
+  double y_max = options.y_max;
+  if (y_max <= y_min) {
+    y_max = y_min;
+    for (const ChartSeries& s : series) {
+      for (double v : s.values) y_max = std::max(y_max, v);
+    }
+    if (y_max <= y_min) y_max = y_min + 1.0;
+  }
+
+  std::vector<std::vector<double>> sampled;
+  sampled.reserve(series.size());
+  for (const ChartSeries& s : series) {
+    sampled.push_back(resample(s.values, options.width));
+  }
+
+  // Plot grid: rows top (y_max) to bottom (y_min).
+  std::vector<std::string> grid(options.height,
+                                std::string(options.width, ' '));
+  for (std::size_t si = 0; si < sampled.size(); ++si) {
+    const char glyph = kGlyphs[si % sizeof(kGlyphs)];
+    for (std::size_t c = 0; c < options.width; ++c) {
+      const double v = std::clamp(sampled[si][c], y_min, y_max);
+      const double frac = (v - y_min) / (y_max - y_min);
+      auto row = static_cast<std::size_t>(
+          std::llround(frac * static_cast<double>(options.height - 1)));
+      grid[options.height - 1 - row][c] = glyph;
+    }
+  }
+
+  // Y-axis labels on the top, middle and bottom rows.
+  std::string out;
+  const std::size_t label_width = 10;
+  for (std::size_t r = 0; r < options.height; ++r) {
+    std::string label(label_width, ' ');
+    if (r == 0 || r == options.height / 2 || r == options.height - 1) {
+      const double frac =
+          1.0 - static_cast<double>(r) / static_cast<double>(options.height - 1);
+      label = str_format("%9.1f ", y_min + frac * (y_max - y_min));
+    }
+    out += label;
+    out += '|';
+    out += grid[r];
+    out += '\n';
+  }
+  out += std::string(label_width, ' ');
+  out += '+';
+  out.append(options.width, '-');
+  out += '\n';
+  if (!options.x_label.empty()) {
+    out += std::string(label_width + 1, ' ');
+    out += options.x_label;
+    out += '\n';
+  }
+  std::string legend = std::string(label_width + 1, ' ');
+  for (std::size_t si = 0; si < series.size(); ++si) {
+    if (si > 0) legend += "   ";
+    legend += kGlyphs[si % sizeof(kGlyphs)];
+    legend += " ";
+    legend += series[si].label;
+  }
+  out += legend;
+  out += '\n';
+  return out;
+}
+
+}  // namespace dc

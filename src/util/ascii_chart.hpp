@@ -1,0 +1,35 @@
+// Terminal line charts for figure series.
+//
+// The bench binaries write full CSVs for external plotting, but a quick
+// look at a series (Figure 13's hourly platform usage, a demand profile, a
+// sweep curve) shouldn't require leaving the terminal. render_series draws
+// one or more series as a block-character chart with a labeled y-axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace dc {
+
+struct ChartSeries {
+  std::string label;
+  std::vector<double> values;
+};
+
+struct ChartOptions {
+  std::size_t width = 100;   // columns for the plot area
+  std::size_t height = 16;   // rows for the plot area
+  double y_min = 0.0;
+  /// y_max <= y_min means auto-scale to the data.
+  double y_max = 0.0;
+  std::string x_label;
+};
+
+/// Renders the series as an ASCII chart. Multiple series share the axes and
+/// are drawn with distinct glyphs ('*', '+', 'o', 'x', ...); a legend line
+/// follows the plot. Series longer than `width` are downsampled by
+/// averaging buckets; shorter series are stretched.
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const ChartOptions& options = {});
+
+}  // namespace dc

@@ -1,0 +1,118 @@
+#include "util/csv.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.hpp"
+
+namespace dc {
+namespace {
+
+bool needs_quoting(std::string_view text) {
+  return text.find_first_of(",\"\n") != std::string_view::npos;
+}
+
+std::string quote(std::string_view text) {
+  std::string out = "\"";
+  for (char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {}
+
+CsvWriter& CsvWriter::cell(std::string_view text) {
+  if (row_started_) out_ << ',';
+  out_ << (needs_quoting(text) ? quote(text) : std::string(text));
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::cell(std::int64_t value) {
+  return cell(std::string_view(std::to_string(value)));
+}
+
+CsvWriter& CsvWriter::cell(double value, int precision) {
+  return cell(std::string_view(str_format("%.*f", precision, value)));
+}
+
+void CsvWriter::end_row() {
+  out_ << '\n';
+  row_started_ = false;
+}
+
+void CsvWriter::header(const std::vector<std::string>& names) {
+  for (const auto& name : names) cell(name);
+  end_row();
+}
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TextTable& TextTable::cell(std::string_view text) {
+  current_.push_back({std::string(text), /*numeric=*/false});
+  return *this;
+}
+
+TextTable& TextTable::cell(std::int64_t value) {
+  current_.push_back({std::to_string(value), /*numeric=*/true});
+  return *this;
+}
+
+TextTable& TextTable::cell(double value, int precision) {
+  current_.push_back({str_format("%.*f", precision, value), /*numeric=*/true});
+  return *this;
+}
+
+void TextTable::end_row() {
+  assert(current_.size() == header_.size() && "row width must match header");
+  rows_.push_back(std::move(current_));
+  current_.clear();
+}
+
+std::string TextTable::render(std::string_view title) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].text.size());
+    }
+  }
+
+  std::string out;
+  if (!title.empty()) {
+    out.append(title);
+    out.push_back('\n');
+  }
+  auto append_padded = [&](const std::string& text, std::size_t width,
+                           bool right_align) {
+    const std::size_t pad = width - text.size();
+    if (right_align) out.append(pad, ' ');
+    out.append(text);
+    if (!right_align) out.append(pad, ' ');
+  };
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) out.append("  ");
+    append_padded(header_[c], widths[c], /*right_align=*/false);
+  }
+  out.push_back('\n');
+  std::size_t rule = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) rule += widths[c] + (c > 0 ? 2 : 0);
+  out.append(rule, '-');
+  out.push_back('\n');
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) out.append("  ");
+      append_padded(row[c].text, widths[c], row[c].numeric);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace dc

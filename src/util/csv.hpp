@@ -1,0 +1,64 @@
+// CSV and fixed-width console table output.
+//
+// Every bench binary emits (a) a human-readable table matching the paper's
+// layout and (b) a machine-readable CSV next to it, so figures can be
+// re-plotted without re-running the sweep.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace dc {
+
+/// Streams rows to a CSV file. Fields containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens (truncates) `path`. Check ok() before writing.
+  explicit CsvWriter(const std::string& path);
+
+  bool ok() const { return out_.good(); }
+
+  CsvWriter& cell(std::string_view text);
+  CsvWriter& cell(std::int64_t value);
+  CsvWriter& cell(double value, int precision = 6);
+  /// Ends the current row.
+  void end_row();
+
+  void header(const std::vector<std::string>& names);
+
+ private:
+  std::ofstream out_;
+  bool row_started_ = false;
+};
+
+/// Accumulates rows and renders an aligned fixed-width table to a string.
+/// Column widths are computed from content; numeric columns right-align.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  TextTable& cell(std::string_view text);
+  TextTable& cell(std::int64_t value);
+  TextTable& cell(double value, int precision = 2);
+  void end_row();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with a title line, a header, and a separator rule.
+  std::string render(std::string_view title = "") const;
+
+ private:
+  struct Cell {
+    std::string text;
+    bool numeric = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<std::vector<Cell>> rows_;
+  std::vector<Cell> current_;
+};
+
+}  // namespace dc

@@ -1,0 +1,20 @@
+#include "util/log.hpp"
+
+namespace dc {
+
+LogLevel Log::level_ = LogLevel::kWarn;
+std::FILE* Log::stream_ = stderr;
+
+const char* Log::level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace dc

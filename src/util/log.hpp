@@ -1,0 +1,77 @@
+// Leveled, optionally sim-time-stamped logging.
+//
+// The emulated daemons (HTC/MTC servers, provision service, lifecycle
+// service) log their decisions through this facility; tests silence it and
+// the examples turn on kInfo to narrate runs.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace dc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Process-wide logger. Not thread-safe by design: the simulator is
+/// single-threaded per experiment; parallel sweeps run one Simulator (and
+/// thus one log stream, usually kOff) per thread.
+class Log {
+ public:
+  static LogLevel level() { return level_; }
+  static void set_level(LogLevel level) { level_ = level; }
+
+  /// Sink for messages; defaults to stderr.
+  static void set_stream(std::FILE* stream) { stream_ = stream; }
+
+  static bool enabled(LogLevel level) { return level >= level_; }
+
+  /// printf-style logging with a simulated-time prefix.
+  template <typename... Args>
+  static void at(LogLevel level, SimTime now, const char* component,
+                 const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    std::string prefix = "[" + format_time(now) + "] [" + level_name(level) +
+                         "] [" + component + "] ";
+    std::fputs(prefix.c_str(), stream_);
+    std::fprintf(stream_, fmt, args...);
+    std::fputc('\n', stream_);
+  }
+
+  template <typename... Args>
+  static void raw(LogLevel level, const char* fmt, Args... args) {
+    if (!enabled(level)) return;
+    std::fprintf(stream_, fmt, args...);
+    std::fputc('\n', stream_);
+  }
+
+  static const char* level_name(LogLevel level);
+
+ private:
+  static LogLevel level_;
+  static std::FILE* stream_;
+};
+
+/// RAII guard that temporarily changes the log level (used by tests).
+class ScopedLogLevel {
+ public:
+  explicit ScopedLogLevel(LogLevel level) : previous_(Log::level()) {
+    Log::set_level(level);
+  }
+  ~ScopedLogLevel() { Log::set_level(previous_); }
+  ScopedLogLevel(const ScopedLogLevel&) = delete;
+  ScopedLogLevel& operator=(const ScopedLogLevel&) = delete;
+
+ private:
+  LogLevel previous_;
+};
+
+}  // namespace dc

@@ -1,0 +1,41 @@
+#include "util/parallel.hpp"
+
+#include <cstdlib>
+
+namespace dc {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DC_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<std::size_t>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+void parallel_for_index(std::size_t count,
+                        const std::function<void(std::size_t)>& fn,
+                        std::size_t threads) {
+  if (threads == 0) threads = default_thread_count();
+  threads = std::min(threads, count);
+  if (count == 0) return;
+  if (threads <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&] {
+      while (true) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        fn(i);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+}
+
+}  // namespace dc

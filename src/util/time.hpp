@@ -1,0 +1,60 @@
+// Simulation time primitives.
+//
+// All simulation clocks in DawningCloud are integer seconds (SimTime).
+// The paper's billing quantum is one hour (Section 4.4: "we set a quite long
+// time unit: one hour to decrease the management overhead"), so hour
+// arithmetic helpers live here too.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace dc {
+
+/// Simulation time in whole seconds since the start of the experiment.
+using SimTime = std::int64_t;
+
+/// A duration in whole seconds.
+using SimDuration = std::int64_t;
+
+inline constexpr SimDuration kSecond = 1;
+inline constexpr SimDuration kMinute = 60;
+inline constexpr SimDuration kHour = 3600;
+inline constexpr SimDuration kDay = 24 * kHour;
+inline constexpr SimDuration kWeek = 7 * kDay;
+
+/// Sentinel for "no time" / unset timestamps.
+inline constexpr SimTime kNever = -1;
+
+/// Ceiling division for non-negative integers; used for billing quanta.
+constexpr std::int64_t ceil_div(std::int64_t numerator, std::int64_t denominator) {
+  return (numerator + denominator - 1) / denominator;
+}
+
+/// Number of whole billing hours covering `duration` seconds (minimum 0).
+/// A zero-length lease is billed zero hours; any positive duration rounds up.
+constexpr std::int64_t billed_hours(SimDuration duration) {
+  return duration <= 0 ? 0 : ceil_div(duration, kHour);
+}
+
+/// Converts seconds to fractional hours (for exact, non-quantized integrals).
+constexpr double to_hours(SimDuration duration) {
+  return static_cast<double>(duration) / static_cast<double>(kHour);
+}
+
+/// Formats a sim time as "Dd HH:MM:SS" for logs and reports.
+inline std::string format_time(SimTime t) {
+  const bool neg = t < 0;
+  if (neg) t = -t;
+  const std::int64_t days = t / kDay;
+  const std::int64_t hours = (t % kDay) / kHour;
+  const std::int64_t minutes = (t % kHour) / kMinute;
+  const std::int64_t seconds = t % kMinute;
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%s%lldd %02lld:%02lld:%02lld", neg ? "-" : "",
+                static_cast<long long>(days), static_cast<long long>(hours),
+                static_cast<long long>(minutes), static_cast<long long>(seconds));
+  return buf;
+}
+
+}  // namespace dc

@@ -1,0 +1,149 @@
+#include "workflow/dag.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <queue>
+
+namespace dc::workflow {
+
+TaskId Dag::add_task(std::string name, SimDuration runtime, std::int64_t nodes) {
+  assert(runtime >= 1 && nodes >= 1);
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(Task{id, std::move(name), runtime, nodes});
+  children_.emplace_back();
+  parents_.emplace_back();
+  return id;
+}
+
+void Dag::add_dependency(TaskId parent, TaskId child) {
+  assert(parent >= 0 && static_cast<std::size_t>(parent) < tasks_.size());
+  assert(child >= 0 && static_cast<std::size_t>(child) < tasks_.size());
+  assert(parent != child && "self-dependency");
+  auto& kids = children_[static_cast<std::size_t>(parent)];
+  if (std::find(kids.begin(), kids.end(), child) != kids.end()) return;
+  kids.push_back(child);
+  parents_[static_cast<std::size_t>(child)].push_back(parent);
+  ++edge_count_;
+}
+
+std::vector<TaskId> Dag::roots() const {
+  std::vector<TaskId> out;
+  for (const Task& t : tasks_) {
+    if (parents_[static_cast<std::size_t>(t.id)].empty()) out.push_back(t.id);
+  }
+  return out;
+}
+
+std::vector<TaskId> Dag::sinks() const {
+  std::vector<TaskId> out;
+  for (const Task& t : tasks_) {
+    if (children_[static_cast<std::size_t>(t.id)].empty()) out.push_back(t.id);
+  }
+  return out;
+}
+
+Status Dag::validate() const {
+  // Kahn's algorithm; if not all tasks are emitted, there is a cycle.
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) indegree[i] = parents_[i].size();
+  std::queue<TaskId> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::size_t emitted = 0;
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    ++emitted;
+    for (TaskId child : children_[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
+    }
+  }
+  if (emitted != tasks_.size()) {
+    return Status::failed_precondition("workflow graph contains a cycle");
+  }
+  return Status::ok();
+}
+
+std::vector<TaskId> Dag::topological_order() const {
+  std::vector<std::size_t> indegree(tasks_.size());
+  for (std::size_t i = 0; i < tasks_.size(); ++i) indegree[i] = parents_[i].size();
+  std::queue<TaskId> ready;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    if (indegree[i] == 0) ready.push(static_cast<TaskId>(i));
+  }
+  std::vector<TaskId> order;
+  order.reserve(tasks_.size());
+  while (!ready.empty()) {
+    const TaskId id = ready.front();
+    ready.pop();
+    order.push_back(id);
+    for (TaskId child : children_[static_cast<std::size_t>(id)]) {
+      if (--indegree[static_cast<std::size_t>(child)] == 0) ready.push(child);
+    }
+  }
+  assert(order.size() == tasks_.size() && "topological_order on cyclic graph");
+  return order;
+}
+
+std::vector<std::vector<TaskId>> Dag::levels() const {
+  std::vector<std::size_t> level(tasks_.size(), 0);
+  std::size_t max_level = 0;
+  for (TaskId id : topological_order()) {
+    for (TaskId parent : parents_[static_cast<std::size_t>(id)]) {
+      level[static_cast<std::size_t>(id)] =
+          std::max(level[static_cast<std::size_t>(id)],
+                   level[static_cast<std::size_t>(parent)] + 1);
+    }
+    max_level = std::max(max_level, level[static_cast<std::size_t>(id)]);
+  }
+  std::vector<std::vector<TaskId>> out(tasks_.empty() ? 0 : max_level + 1);
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    out[level[i]].push_back(static_cast<TaskId>(i));
+  }
+  return out;
+}
+
+SimDuration Dag::critical_path() const {
+  std::vector<SimDuration> finish(tasks_.size(), 0);
+  SimDuration longest = 0;
+  for (TaskId id : topological_order()) {
+    SimDuration start = 0;
+    for (TaskId parent : parents_[static_cast<std::size_t>(id)]) {
+      start = std::max(start, finish[static_cast<std::size_t>(parent)]);
+    }
+    finish[static_cast<std::size_t>(id)] =
+        start + tasks_[static_cast<std::size_t>(id)].runtime;
+    longest = std::max(longest, finish[static_cast<std::size_t>(id)]);
+  }
+  return longest;
+}
+
+SimDuration Dag::total_work() const {
+  SimDuration total = 0;
+  for (const Task& t : tasks_) total += t.runtime;
+  return total;
+}
+
+std::size_t Dag::max_level_width() const {
+  std::size_t widest = 0;
+  for (const auto& level : levels()) widest = std::max(widest, level.size());
+  return widest;
+}
+
+void Dag::scale_runtimes(double factor) {
+  assert(factor > 0.0);
+  for (Task& t : tasks_) {
+    t.runtime = std::max<SimDuration>(
+        1, static_cast<SimDuration>(
+               std::llround(static_cast<double>(t.runtime) * factor)));
+  }
+}
+
+double Dag::mean_runtime() const {
+  if (tasks_.empty()) return 0.0;
+  return static_cast<double>(total_work()) / static_cast<double>(tasks_.size());
+}
+
+}  // namespace dc::workflow

@@ -1,0 +1,95 @@
+// Workflow DAG model.
+//
+// MTC applications "can be decomposed to a set of small jobs with
+// dependencies, whose running time is short" (Section 3.1.1). A Dag holds
+// those jobs (tasks) and their control-flow dependencies; the MTC server
+// releases a task to its scheduler queue once every parent has completed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace dc::workflow {
+
+using TaskId = std::int64_t;
+
+struct Task {
+  TaskId id = 0;
+  std::string name;         // stage name, e.g. "mDiffFit"
+  SimDuration runtime = 1;  // seconds
+  std::int64_t nodes = 1;   // node width (Montage tasks are single-node)
+};
+
+class Dag {
+ public:
+  /// Adds a task and returns its id (ids are dense, starting at 0).
+  TaskId add_task(std::string name, SimDuration runtime, std::int64_t nodes = 1);
+
+  /// Declares that `child` cannot start until `parent` completes.
+  /// Duplicate edges are ignored.
+  void add_dependency(TaskId parent, TaskId child);
+
+  std::size_t size() const { return tasks_.size(); }
+  bool empty() const { return tasks_.empty(); }
+  const Task& task(TaskId id) const { return tasks_.at(static_cast<std::size_t>(id)); }
+  Task& task(TaskId id) { return tasks_.at(static_cast<std::size_t>(id)); }
+  const std::vector<Task>& tasks() const { return tasks_; }
+
+  const std::vector<TaskId>& children(TaskId id) const {
+    return children_.at(static_cast<std::size_t>(id));
+  }
+  const std::vector<TaskId>& parents(TaskId id) const {
+    return parents_.at(static_cast<std::size_t>(id));
+  }
+  std::size_t parent_count(TaskId id) const { return parents(id).size(); }
+  std::size_t edge_count() const { return edge_count_; }
+
+  /// Tasks with no parents.
+  std::vector<TaskId> roots() const;
+
+  /// Tasks with no children.
+  std::vector<TaskId> sinks() const;
+
+  /// OK iff the graph is acyclic (edge endpoints are range-checked at
+  /// insertion time).
+  Status validate() const;
+
+  /// Topological order (Kahn). Requires a valid DAG.
+  std::vector<TaskId> topological_order() const;
+
+  /// Level decomposition: level of a task = 1 + max(level of parents),
+  /// roots at level 0. Returns tasks grouped by level.
+  std::vector<std::vector<TaskId>> levels() const;
+
+  /// Length (seconds) of the longest runtime-weighted path — the makespan
+  /// lower bound with unlimited resources, i.e. what the DRP system should
+  /// approach.
+  SimDuration critical_path() const;
+
+  /// Sum of all task runtimes in seconds.
+  SimDuration total_work() const;
+
+  /// Max number of tasks that can be simultaneously ready assuming all
+  /// earlier levels complete together — an upper bound proxy for DRP's peak
+  /// resource demand.
+  std::size_t max_level_width() const;
+
+  /// Multiplies every task runtime by `factor` (>= 1 second result), used
+  /// to calibrate the mean task runtime.
+  void scale_runtimes(double factor);
+
+  /// Mean task runtime in seconds.
+  double mean_runtime() const;
+
+ private:
+  std::vector<Task> tasks_;
+  std::vector<std::vector<TaskId>> children_;
+  std::vector<std::vector<TaskId>> parents_;
+  std::size_t edge_count_ = 0;
+};
+
+}  // namespace dc::workflow

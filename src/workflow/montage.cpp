@@ -1,0 +1,99 @@
+#include "workflow/montage.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dc::workflow {
+namespace {
+
+SimDuration sample(Rng& rng, double mean, double cv) {
+  const double value = rng.lognormal_mean_cv(mean, cv);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(value)));
+}
+
+}  // namespace
+
+Dag make_montage(const MontageParams& params, std::uint64_t seed) {
+  assert(params.inputs >= 2);
+  Rng rng(seed);
+  Dag dag;
+  const std::int64_t n = params.inputs;
+  const std::int64_t diffs = 4 * n - 2;
+
+  std::vector<TaskId> projects;
+  projects.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    projects.push_back(
+        dag.add_task("mProjectPP", sample(rng, params.mean_project, params.project_cv)));
+  }
+
+  // Each mDiffFit compares one overlapping pair of reprojected images. We
+  // pair image i with a nearby image (sky neighbours), cycling through
+  // offsets so every project feeds multiple diffs, as in real mosaics.
+  std::vector<TaskId> diff_tasks;
+  diff_tasks.reserve(static_cast<std::size_t>(diffs));
+  for (std::int64_t d = 0; d < diffs; ++d) {
+    const TaskId diff =
+        dag.add_task("mDiffFit", sample(rng, params.mean_diff, params.runtime_cv));
+    const std::int64_t a = d % n;
+    const std::int64_t offset = 1 + (d / n) % (n - 1);
+    const std::int64_t b = (a + offset) % n;
+    dag.add_dependency(projects[static_cast<std::size_t>(a)], diff);
+    dag.add_dependency(projects[static_cast<std::size_t>(b)], diff);
+    diff_tasks.push_back(diff);
+  }
+
+  const TaskId concat =
+      dag.add_task("mConcatFit", sample(rng, params.mean_concat, params.runtime_cv));
+  for (TaskId diff : diff_tasks) dag.add_dependency(diff, concat);
+
+  const TaskId bgmodel =
+      dag.add_task("mBgModel", sample(rng, params.mean_bgmodel, params.runtime_cv));
+  dag.add_dependency(concat, bgmodel);
+
+  std::vector<TaskId> backgrounds;
+  backgrounds.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) {
+    const TaskId bg = dag.add_task(
+        "mBackground", sample(rng, params.mean_background, params.runtime_cv));
+    dag.add_dependency(bgmodel, bg);
+    dag.add_dependency(projects[static_cast<std::size_t>(i)], bg);
+    backgrounds.push_back(bg);
+  }
+
+  const TaskId imgtbl =
+      dag.add_task("mImgtbl", sample(rng, params.mean_imgtbl, params.runtime_cv));
+  for (TaskId bg : backgrounds) dag.add_dependency(bg, imgtbl);
+
+  const TaskId add =
+      dag.add_task("mAdd", sample(rng, params.mean_add, params.runtime_cv));
+  dag.add_dependency(imgtbl, add);
+
+  const TaskId shrink =
+      dag.add_task("mShrink", sample(rng, params.mean_shrink, params.runtime_cv));
+  dag.add_dependency(add, shrink);
+
+  const TaskId jpeg =
+      dag.add_task("mJPEG", sample(rng, params.mean_jpeg, params.runtime_cv));
+  dag.add_dependency(shrink, jpeg);
+
+  // Calibrate the mean task runtime to the published value. Integer
+  // rounding perturbs the mean slightly, so iterate a couple of times.
+  for (int pass = 0; pass < 3; ++pass) {
+    const double mean = dag.mean_runtime();
+    if (mean <= 0.0) break;
+    const double factor = params.mean_runtime / mean;
+    if (std::abs(factor - 1.0) < 0.002) break;
+    dag.scale_runtimes(factor);
+  }
+  return dag;
+}
+
+Dag make_paper_montage(std::uint64_t seed) {
+  return make_montage(MontageParams{}, seed);
+}
+
+}  // namespace dc::workflow

@@ -1,0 +1,77 @@
+#include "workflow/pegasus.hpp"
+
+#include <cassert>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace dc::workflow {
+namespace {
+
+SimDuration sample(Rng& rng, double mean, double cv) {
+  const double value = rng.lognormal_mean_cv(mean, cv);
+  return std::max<SimDuration>(1, static_cast<SimDuration>(std::llround(value)));
+}
+
+}  // namespace
+
+Dag make_epigenomics(const EpigenomicsParams& params, std::uint64_t seed) {
+  assert(params.chains >= 1 && params.depth >= 1);
+  Rng rng(seed);
+  Dag dag;
+  const char* stage_names[] = {"fastqSplit", "filterContams", "sol2sanger",
+                               "fastq2bfq", "map", "mapMerge"};
+  std::vector<TaskId> chain_tails;
+  chain_tails.reserve(static_cast<std::size_t>(params.chains));
+  for (std::int64_t c = 0; c < params.chains; ++c) {
+    TaskId previous = -1;
+    for (std::int64_t d = 0; d < params.depth; ++d) {
+      const char* name =
+          stage_names[static_cast<std::size_t>(d) %
+                      (sizeof(stage_names) / sizeof(stage_names[0]))];
+      const TaskId task = dag.add_task(
+          name, sample(rng, params.mean_stage_runtime, params.runtime_cv));
+      if (previous >= 0) dag.add_dependency(previous, task);
+      previous = task;
+    }
+    chain_tails.push_back(previous);
+  }
+  const TaskId merge = dag.add_task(
+      "mapMergeGlobal", sample(rng, params.mean_merge_runtime, params.runtime_cv));
+  for (TaskId tail : chain_tails) dag.add_dependency(tail, merge);
+  const TaskId pileup = dag.add_task(
+      "maqIndex", sample(rng, params.mean_merge_runtime, params.runtime_cv));
+  dag.add_dependency(merge, pileup);
+  const TaskId final_task = dag.add_task(
+      "pileup", sample(rng, params.mean_merge_runtime, params.runtime_cv));
+  dag.add_dependency(pileup, final_task);
+  return dag;
+}
+
+Dag make_cybershake(const CybershakeParams& params, std::uint64_t seed) {
+  assert(params.ruptures >= 1 && params.variations >= 1);
+  Rng rng(seed);
+  Dag dag;
+  std::vector<TaskId> peaks;
+  peaks.reserve(static_cast<std::size_t>(params.ruptures * params.variations));
+  for (std::int64_t r = 0; r < params.ruptures; ++r) {
+    const TaskId extract = dag.add_task(
+        "ExtractSGT", sample(rng, params.mean_extract_runtime, params.runtime_cv));
+    for (std::int64_t v = 0; v < params.variations; ++v) {
+      const TaskId synth = dag.add_task(
+          "SeismogramSynthesis",
+          sample(rng, params.mean_synth_runtime, params.runtime_cv));
+      dag.add_dependency(extract, synth);
+      const TaskId peak = dag.add_task(
+          "PeakValCalc", sample(rng, params.mean_peak_runtime, params.runtime_cv));
+      dag.add_dependency(synth, peak);
+      peaks.push_back(peak);
+    }
+  }
+  const TaskId zip = dag.add_task(
+      "ZipPSA", sample(rng, params.mean_zip_runtime, params.runtime_cv));
+  for (TaskId peak : peaks) dag.add_dependency(peak, zip);
+  return dag;
+}
+
+}  // namespace dc::workflow

@@ -1,0 +1,47 @@
+// Additional Pegasus-style scientific workflow families.
+//
+// Section 3.1.1 notes "there are diversities of MTC workloads"; the paper
+// evaluates one (Montage). These generators reproduce the structure of two
+// other canonical Pegasus workflows so the MTC results can be checked
+// across workflow shapes (bench/mtc_families):
+//
+//  * Epigenomics — C independent chains of depth D (sequence filtering /
+//    mapping per lane) merging into a global pipeline: long critical path,
+//    narrow steady-state parallelism. The regime where DRP's
+//    run-immediately model buys the least.
+//  * CyberShake — R ruptures, each fanning out V variations
+//    (extract -> V x synthesis -> V x peak ground motion -> zip): very wide
+//    transient parallelism, like Montage's mDiffFit level but deeper.
+#pragma once
+
+#include <cstdint>
+
+#include "workflow/dag.hpp"
+
+namespace dc::workflow {
+
+struct EpigenomicsParams {
+  std::int64_t chains = 32;   // parallel lanes
+  std::int64_t depth = 6;     // pipeline stages per lane
+  double mean_stage_runtime = 40.0;
+  double runtime_cv = 0.4;
+  double mean_merge_runtime = 120.0;
+};
+
+/// chains*depth lane tasks + 1 merge + 2 global stages.
+Dag make_epigenomics(const EpigenomicsParams& params, std::uint64_t seed);
+
+struct CybershakeParams {
+  std::int64_t ruptures = 20;
+  std::int64_t variations = 30;  // per rupture
+  double mean_extract_runtime = 60.0;
+  double mean_synth_runtime = 15.0;
+  double mean_peak_runtime = 5.0;
+  double runtime_cv = 0.4;
+  double mean_zip_runtime = 90.0;
+};
+
+/// ruptures * (1 + 2*variations) + 1 zip tasks.
+Dag make_cybershake(const CybershakeParams& params, std::uint64_t seed);
+
+}  // namespace dc::workflow

@@ -1,0 +1,114 @@
+#include "workflow/wff.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dc::workflow {
+
+void write_wff(std::ostream& out, const Dag& dag) {
+  out << "% dawningcloud workflow v1\n";
+  out << "% tasks: " << dag.size() << " edges: " << dag.edge_count() << '\n';
+  for (const Task& t : dag.tasks()) {
+    out << "task " << t.id << ' ' << t.name << ' ' << t.nodes << ' '
+        << t.runtime << '\n';
+  }
+  for (const Task& t : dag.tasks()) {
+    for (TaskId child : dag.children(t.id)) {
+      out << "edge " << t.id << ' ' << child << '\n';
+    }
+  }
+}
+
+std::string to_wff_string(const Dag& dag) {
+  std::ostringstream out;
+  write_wff(out, dag);
+  return out.str();
+}
+
+Status write_wff_file(const std::string& path, const Dag& dag) {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open for writing: " + path);
+  write_wff(out, dag);
+  if (!out.good()) return Status::internal("write failed: " + path);
+  return Status::ok();
+}
+
+StatusOr<Dag> parse_wff(std::istream& in) {
+  Dag dag;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view view = trim(line);
+    if (view.empty() || view.front() == '%') continue;
+    const auto tokens = split_ws(view);
+    if (tokens[0] == "task") {
+      if (tokens.size() != 5) {
+        return Status::invalid_argument(
+            str_format("line %zu: task needs 4 fields", line_no));
+      }
+      auto id = parse_int(tokens[1]);
+      auto nodes = parse_int(tokens[3]);
+      auto runtime = parse_int(tokens[4]);
+      if (!id.is_ok() || !nodes.is_ok() || !runtime.is_ok()) {
+        return Status::invalid_argument(
+            str_format("line %zu: malformed task fields", line_no));
+      }
+      if (*id != static_cast<TaskId>(dag.size())) {
+        return Status::invalid_argument(
+            str_format("line %zu: task ids must be dense and in order "
+                       "(expected %zu, got %lld)",
+                       line_no, dag.size(), static_cast<long long>(*id)));
+      }
+      if (*runtime < 1 || *nodes < 1) {
+        return Status::invalid_argument(
+            str_format("line %zu: runtime and nodes must be >= 1", line_no));
+      }
+      dag.add_task(std::string(tokens[2]), *runtime, *nodes);
+    } else if (tokens[0] == "edge") {
+      if (tokens.size() != 3) {
+        return Status::invalid_argument(
+            str_format("line %zu: edge needs 2 fields", line_no));
+      }
+      auto parent = parse_int(tokens[1]);
+      auto child = parse_int(tokens[2]);
+      if (!parent.is_ok() || !child.is_ok()) {
+        return Status::invalid_argument(
+            str_format("line %zu: malformed edge fields", line_no));
+      }
+      const auto n = static_cast<TaskId>(dag.size());
+      if (*parent < 0 || *parent >= n || *child < 0 || *child >= n) {
+        return Status::out_of_range(
+            str_format("line %zu: edge endpoint out of range", line_no));
+      }
+      if (*parent == *child) {
+        return Status::invalid_argument(
+            str_format("line %zu: self-edge", line_no));
+      }
+      dag.add_dependency(*parent, *child);
+    } else {
+      return Status::invalid_argument(
+          str_format("line %zu: unknown directive '%.*s'", line_no,
+                     static_cast<int>(tokens[0].size()), tokens[0].data()));
+    }
+  }
+  if (auto status = dag.validate(); !status.is_ok()) return status;
+  return dag;
+}
+
+StatusOr<Dag> parse_wff_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_wff(in);
+}
+
+StatusOr<Dag> read_wff_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open workflow file: " + path);
+  return parse_wff(in);
+}
+
+}  // namespace dc::workflow

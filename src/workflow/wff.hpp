@@ -1,0 +1,33 @@
+// Workflow file format (WFF) — a minimal DAX-like text serialization.
+//
+// The paper's workload file "includes the task name, run time, inputs,
+// outputs and the list of control-flow dependencies of each job" (Section
+// 4.2). WFF captures the simulation-relevant subset in a line-oriented
+// format the MTC web-portal path (job emulator) parses:
+//
+//   % comment
+//   task <id> <name> <nodes> <runtime_seconds>
+//   edge <parent_id> <child_id>
+//
+// Task ids must be dense 0..n-1 and declared before use in edges.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/status.hpp"
+#include "workflow/dag.hpp"
+
+namespace dc::workflow {
+
+/// Serializes a DAG to WFF.
+void write_wff(std::ostream& out, const Dag& dag);
+std::string to_wff_string(const Dag& dag);
+Status write_wff_file(const std::string& path, const Dag& dag);
+
+/// Parses WFF; validates density of ids, edge endpoints, and acyclicity.
+StatusOr<Dag> parse_wff(std::istream& in);
+StatusOr<Dag> parse_wff_string(const std::string& text);
+StatusOr<Dag> read_wff_file(const std::string& path);
+
+}  // namespace dc::workflow

@@ -1,0 +1,67 @@
+#include "workload/demand_profile.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace dc::workload {
+
+DemandProfile::DemandProfile(std::vector<std::int64_t> hourly_nodes)
+    : hourly_(std::move(hourly_nodes)) {
+  for (std::int64_t level : hourly_) {
+    assert(level >= 0);
+    (void)level;
+  }
+}
+
+std::int64_t DemandProfile::at(SimTime t) const {
+  if (t < 0) return 0;
+  const auto slot = static_cast<std::size_t>(t / kHour);
+  if (slot >= hourly_.size()) return 0;
+  return hourly_[slot];
+}
+
+std::int64_t DemandProfile::peak() const {
+  std::int64_t peak = 0;
+  for (std::int64_t level : hourly_) peak = std::max(peak, level);
+  return peak;
+}
+
+double DemandProfile::mean() const {
+  if (hourly_.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::int64_t level : hourly_) sum += static_cast<double>(level);
+  return sum / static_cast<double>(hourly_.size());
+}
+
+std::int64_t DemandProfile::total_node_hours() const {
+  std::int64_t total = 0;
+  for (std::int64_t level : hourly_) total += level;
+  return total;
+}
+
+DemandProfile make_web_demand(const WebDemandSpec& spec, std::uint64_t seed) {
+  assert(spec.base_nodes >= 0 && spec.peak_nodes >= spec.base_nodes);
+  Rng rng(seed);
+  const auto hours = static_cast<std::size_t>(ceil_div(spec.period, kHour));
+  std::vector<std::int64_t> hourly(hours);
+  for (std::size_t h = 0; h < hours; ++h) {
+    const std::size_t hour_of_day = h % 24;
+    const std::size_t day = h / 24;
+    const bool weekend = (day % 7) >= 5;
+    // Diurnal curve: trough at 04:00, peak at 15:00.
+    const double phase = 2.0 * std::numbers::pi *
+                         (static_cast<double>(hour_of_day) - 15.0) / 24.0;
+    const double swing = 0.5 * (1.0 + std::cos(phase));  // 1 at peak, 0 at trough
+    double demand = static_cast<double>(spec.base_nodes) +
+                    swing * static_cast<double>(spec.peak_nodes - spec.base_nodes);
+    if (weekend) demand *= spec.weekend_factor;
+    if (rng.bernoulli(spec.spike_probability)) demand *= spec.spike_multiplier;
+    demand *= 1.0 + spec.noise * (2.0 * rng.uniform() - 1.0);
+    hourly[h] = std::max<std::int64_t>(0, static_cast<std::int64_t>(std::llround(demand)));
+  }
+  return DemandProfile(std::move(hourly));
+}
+
+}  // namespace dc::workload

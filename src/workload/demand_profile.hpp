@@ -1,0 +1,60 @@
+// Time-varying node-demand profiles for web-service workloads.
+//
+// DawningCloud descends from PhoenixCloud (the paper's references [12] and
+// [21]), which consolidates *web service* applications with batch jobs. A
+// web service is not a job stream: it is a concurrent-capacity requirement
+// demand(t) that the runtime environment must meet continuously. This
+// module models such profiles and generates realistic web-traffic shapes
+// (diurnal swing, weekend dips, flash crowds) so the consolidation
+// experiments can include a PhoenixCloud-style fourth provider.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dc::workload {
+
+/// Piecewise-constant node demand over hourly slots.
+class DemandProfile {
+ public:
+  DemandProfile() = default;
+  explicit DemandProfile(std::vector<std::int64_t> hourly_nodes);
+
+  /// Demand during the slot containing `t`; 0 beyond the profile's end.
+  std::int64_t at(SimTime t) const;
+
+  std::int64_t peak() const;
+  double mean() const;
+  std::size_t hours() const { return hourly_.size(); }
+  SimTime period() const { return static_cast<SimTime>(hourly_.size()) * kHour; }
+  const std::vector<std::int64_t>& hourly() const { return hourly_; }
+
+  /// Node*hours under the curve.
+  std::int64_t total_node_hours() const;
+
+ private:
+  std::vector<std::int64_t> hourly_;
+};
+
+/// Generator parameters for a web-service demand curve.
+struct WebDemandSpec {
+  SimTime period = 2 * kWeek;
+  /// Overnight floor and weekday-afternoon ceiling of the demand.
+  std::int64_t base_nodes = 20;
+  std::int64_t peak_nodes = 100;
+  /// Weekend demand multiplier.
+  double weekend_factor = 0.6;
+  /// Per-hour probability of a flash crowd, multiplying demand.
+  double spike_probability = 0.01;
+  double spike_multiplier = 1.8;
+  /// Relative noise on each hourly value.
+  double noise = 0.08;
+};
+
+/// Deterministic in (spec, seed).
+DemandProfile make_web_demand(const WebDemandSpec& spec, std::uint64_t seed);
+
+}  // namespace dc::workload

@@ -1,0 +1,286 @@
+#include "workload/models.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace dc::workload {
+namespace {
+
+double multiplier_for_day(const SyntheticTraceSpec& spec, std::int64_t day) {
+  if (spec.daily_multipliers.empty()) return 1.0;
+  return spec.daily_multipliers[static_cast<std::size_t>(day) %
+                                spec.daily_multipliers.size()];
+}
+
+/// Instantaneous arrival rate (jobs/second) at time t.
+double rate_at(const SyntheticTraceSpec& spec, double t) {
+  const auto day = static_cast<std::int64_t>(t / static_cast<double>(kDay));
+  const double base = spec.jobs_per_day / static_cast<double>(kDay);
+  const double tod = t - static_cast<double>(day * kDay);
+  // Peak at 14:00, trough at 02:00.
+  const double phase =
+      2.0 * std::numbers::pi * (tod / static_cast<double>(kDay) - 14.0 / 24.0);
+  const double diurnal = 1.0 + spec.diurnal_amplitude * std::cos(phase);
+  return base * multiplier_for_day(spec, day) * diurnal;
+}
+
+std::int64_t sample_width(const SyntheticTraceSpec& spec, Rng& rng) {
+  std::vector<double> weights;
+  weights.reserve(spec.width_weights.size());
+  for (const auto& [width, weight] : spec.width_weights) weights.push_back(weight);
+  const std::size_t idx = rng.weighted_index(weights);
+  return spec.width_weights[idx].first;
+}
+
+SimDuration sample_runtime(const SyntheticTraceSpec& spec, Rng& rng) {
+  double runtime = 0.0;
+  switch (spec.runtime_model) {
+    case SyntheticTraceSpec::RuntimeModel::kHyperExp:
+      runtime = rng.hyperexponential(spec.hyper_p, spec.hyper_mean1,
+                                     spec.hyper_mean2);
+      break;
+    case SyntheticTraceSpec::RuntimeModel::kLognormalWalltime:
+      if (rng.uniform() < spec.walltime_aligned_p && !spec.walltime_hours.empty()) {
+        // Job runs until just under a whole-hour walltime limit (killed or
+        // self-terminating near the limit), as on walltime-queued systems.
+        const auto idx = static_cast<std::size_t>(rng.uniform_int(
+            0, static_cast<std::int64_t>(spec.walltime_hours.size()) - 1));
+        const double limit =
+            static_cast<double>(spec.walltime_hours[idx]) *
+            static_cast<double>(kHour);
+        runtime = limit - rng.uniform(10.0, 300.0);
+      } else {
+        runtime = rng.lognormal_mean_cv(spec.logn_mean, spec.logn_cv);
+      }
+      break;
+  }
+  auto out = static_cast<SimDuration>(std::llround(runtime));
+  return std::clamp(out, spec.min_runtime, spec.max_runtime);
+}
+
+}  // namespace
+
+Trace generate_trace(const SyntheticTraceSpec& spec, std::uint64_t seed) {
+  assert(spec.capacity_nodes > 0 && spec.period > 0);
+  assert(spec.diurnal_amplitude >= 0.0 && spec.diurnal_amplitude < 1.0);
+  Rng rng(seed);
+
+  const double submit_horizon =
+      static_cast<double>(spec.period - spec.submit_margin);
+  double max_mult = 0.0;
+  for (double m : spec.daily_multipliers) max_mult = std::max(max_mult, m);
+  if (spec.daily_multipliers.empty()) max_mult = 1.0;
+  const double max_rate = spec.jobs_per_day / static_cast<double>(kDay) *
+                          max_mult * (1.0 + spec.diurnal_amplitude);
+
+  std::vector<double> arrival_times = sample_nhpp(
+      rng, submit_horizon, max_rate, [&](double t) { return rate_at(spec, t); });
+
+  // Batch-submission bursts: each burst adds a cluster of jobs at one
+  // instant, biased toward busier days (burst time accepted with the same
+  // thinning as regular arrivals, floor 25%).
+  if (spec.bursts_per_day > 0.0) {
+    const double expected_bursts =
+        spec.bursts_per_day * static_cast<double>(spec.period) /
+        static_cast<double>(kDay);
+    // Poisson draw via counting exponential gaps.
+    std::int64_t bursts = 0;
+    for (double acc = rng.exponential(1.0); acc < expected_bursts;
+         acc += rng.exponential(1.0)) {
+      ++bursts;
+    }
+    for (std::int64_t b = 0; b < bursts; ++b) {
+      double t = 0.0;
+      do {
+        t = rng.uniform(0.0, submit_horizon);
+      } while (rng.uniform() * max_rate >
+               std::max(rate_at(spec, t), 0.25 * max_rate));
+      const std::int64_t count =
+          rng.uniform_int(spec.burst_jobs_min, spec.burst_jobs_max);
+      for (std::int64_t i = 0; i < count; ++i) arrival_times.push_back(t);
+    }
+    std::sort(arrival_times.begin(), arrival_times.end());
+  }
+
+  std::vector<TraceJob> jobs;
+  jobs.reserve(arrival_times.size());
+  std::int64_t next_id = 1;
+  for (double t : arrival_times) {
+    TraceJob job;
+    job.id = next_id++;
+    job.submit = static_cast<SimTime>(t);
+    job.nodes = sample_width(spec, rng);
+    job.runtime = sample_runtime(spec, rng);
+    jobs.push_back(job);
+  }
+
+  if (spec.ensure_full_width_job && !jobs.empty()) {
+    const bool has_full = std::any_of(
+        jobs.begin(), jobs.end(),
+        [&](const TraceJob& j) { return j.nodes == spec.capacity_nodes; });
+    if (!has_full) {
+      // Widen the first job: a full-machine job can only start when the
+      // machine is otherwise empty (first-fit never drains around it under
+      // continuous traffic), and the trace opens with an empty system. Real
+      // archive traces likewise carry their widest jobs at quiet points.
+      jobs.front().nodes = spec.capacity_nodes;
+    }
+  }
+
+  Trace trace(spec.name, spec.capacity_nodes, std::move(jobs));
+  trace.set_period(spec.period);
+  return trace;
+}
+
+SyntheticTraceSpec nasa_ipsc_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "NASA-iPSC-synthetic";
+  spec.capacity_nodes = 128;
+  spec.period = 2 * kWeek;
+  spec.submit_margin = 8 * kHour;
+  spec.jobs_per_day = 205.0;
+  // "the arrived jobs varied each day": mild weekday/weekend modulation.
+  spec.daily_multipliers = {1.05, 1.10, 1.00, 1.10, 1.05, 0.70, 0.65,
+                            1.10, 1.05, 1.10, 1.00, 1.05, 0.70, 0.65};
+  // Strong day/night swing, as in the archive trace; the overnight demand
+  // valleys are when DawningCloud's hourly idle checks release dynamic
+  // resources.
+  spec.diurnal_amplitude = 0.70;
+  spec.bursts_per_day = 1.5;
+  spec.burst_jobs_min = 5;
+  spec.burst_jobs_max = 14;
+  // Power-of-two widths, as on the iPSC/860 hypercube. Full-machine jobs
+  // are very rare: under first-fit they can only start when everything
+  // else has drained, so more than a handful would starve behind the
+  // continuous small-job traffic (in every system, including the paper's).
+  spec.width_weights = {{1, 0.18}, {2, 0.12}, {4, 0.14}, {8, 0.17},
+                        {16, 0.15}, {32, 0.14}, {64, 0.092}, {128, 0.008}};
+  // Short jobs dominate: 90% with mean 15 min, 10% with mean 100 min.
+  spec.runtime_model = SyntheticTraceSpec::RuntimeModel::kHyperExp;
+  spec.hyper_p = 0.90;
+  spec.hyper_mean1 = 750.0;
+  spec.hyper_mean2 = 6300.0;
+  spec.min_runtime = 10;
+  spec.max_runtime = 8 * kHour;
+  spec.target_utilization = 0.42;
+  return spec;
+}
+
+SyntheticTraceSpec sdsc_blue_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "SDSC-BLUE-synthetic";
+  spec.capacity_nodes = 144;
+  spec.period = 2 * kWeek;
+  spec.submit_margin = 6 * kHour;
+  spec.jobs_per_day = 185.0;
+  // Quiet first week, busy second week (Section 4.2), with weekday/weekend
+  // structure inside each week.
+  spec.daily_multipliers = {0.68, 0.60, 0.70, 0.66, 0.62, 0.52, 0.56,
+                            1.55, 1.62, 1.50, 1.66, 1.58, 0.95, 0.88};
+  spec.diurnal_amplitude = 0.50;
+  spec.bursts_per_day = 1.5;
+  spec.burst_jobs_min = 4;
+  spec.burst_jobs_max = 12;
+  // The one full-width (144-node) job required by the paper's RE sizing is
+  // injected at the trace start by ensure_full_width_job; recurring
+  // full-width jobs would starve under first-fit (see nasa_ipsc_spec).
+  spec.width_weights = {{1, 0.38}, {2, 0.21}, {4, 0.15}, {8, 0.11},
+                        {16, 0.085}, {32, 0.045}, {64, 0.02}};
+  // Long jobs; more than half run out to whole-hour walltime limits, which
+  // is what keeps DRP's hourly rounding penalty small on this trace.
+  spec.runtime_model = SyntheticTraceSpec::RuntimeModel::kLognormalWalltime;
+  spec.logn_mean = 3900.0;
+  spec.logn_cv = 1.1;
+  spec.walltime_aligned_p = 0.60;
+  spec.walltime_hours = {1, 1, 2, 2, 4, 4};
+  spec.min_runtime = 120;
+  spec.max_runtime = 12 * kHour;
+  spec.target_utilization = 0.65;
+  return spec;
+}
+
+SyntheticTraceSpec kth_sp2_like_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "KTH-SP2-like";
+  spec.capacity_nodes = 100;
+  spec.period = 2 * kWeek;
+  spec.submit_margin = 6 * kHour;
+  spec.jobs_per_day = 560.0;
+  spec.daily_multipliers = {1.1, 1.1, 1.0, 1.1, 1.0, 0.5, 0.45};
+  spec.diurnal_amplitude = 0.6;
+  spec.bursts_per_day = 1.0;
+  spec.burst_jobs_min = 4;
+  spec.burst_jobs_max = 10;
+  spec.width_weights = {{1, 0.35}, {2, 0.2}, {4, 0.18}, {8, 0.14},
+                        {16, 0.08}, {32, 0.04}, {64, 0.01}};
+  spec.runtime_model = SyntheticTraceSpec::RuntimeModel::kHyperExp;
+  spec.hyper_p = 0.95;
+  spec.hyper_mean1 = 420.0;  // seven minutes
+  spec.hyper_mean2 = 4200.0;
+  spec.min_runtime = 5;
+  spec.max_runtime = 4 * kHour;
+  spec.target_utilization = 0.25;
+  return spec;
+}
+
+SyntheticTraceSpec ctc_sp2_like_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "CTC-SP2-like";
+  spec.capacity_nodes = 430;
+  spec.period = 2 * kWeek;
+  spec.submit_margin = 6 * kHour;
+  spec.jobs_per_day = 320.0;
+  spec.daily_multipliers = {1.05, 1.1, 1.05, 1.1, 1.0, 0.7, 0.65};
+  spec.diurnal_amplitude = 0.5;
+  spec.bursts_per_day = 2.0;
+  spec.burst_jobs_min = 5;
+  spec.burst_jobs_max = 15;
+  spec.width_weights = {{1, 0.3}, {2, 0.15}, {4, 0.15}, {8, 0.13},
+                        {16, 0.12}, {32, 0.09}, {64, 0.045}, {128, 0.015}};
+  spec.runtime_model = SyntheticTraceSpec::RuntimeModel::kLognormalWalltime;
+  spec.logn_mean = 2800.0;
+  spec.logn_cv = 1.4;
+  spec.walltime_aligned_p = 0.35;
+  spec.walltime_hours = {1, 1, 2, 4};
+  spec.min_runtime = 30;
+  spec.max_runtime = 10 * kHour;
+  spec.target_utilization = 0.55;
+  return spec;
+}
+
+SyntheticTraceSpec capability_like_spec() {
+  SyntheticTraceSpec spec;
+  spec.name = "capability-like";
+  spec.capacity_nodes = 256;
+  spec.period = 2 * kWeek;
+  spec.submit_margin = 12 * kHour;
+  spec.jobs_per_day = 10.0;  // few jobs
+  spec.daily_multipliers = {1.0};
+  spec.diurnal_amplitude = 0.2;
+  spec.bursts_per_day = 0.0;
+  // Half-machine jobs are the widest recurring class; the single
+  // full-machine job comes from ensure_full_width_job (recurring
+  // full-width jobs starve under first-fit, see nasa_ipsc_spec).
+  spec.width_weights = {{32, 0.30}, {64, 0.37}, {128, 0.33}};
+  spec.runtime_model = SyntheticTraceSpec::RuntimeModel::kLognormalWalltime;
+  spec.logn_mean = 14000.0;
+  spec.logn_cv = 0.8;
+  spec.walltime_aligned_p = 0.5;
+  spec.walltime_hours = {2, 4, 6, 8, 12};
+  spec.min_runtime = kHour / 2;
+  spec.max_runtime = 12 * kHour;
+  spec.target_utilization = 0.60;
+  return spec;
+}
+
+Trace make_nasa_ipsc(std::uint64_t seed) {
+  return generate_trace(nasa_ipsc_spec(), seed);
+}
+
+Trace make_sdsc_blue(std::uint64_t seed) {
+  return generate_trace(sdsc_blue_spec(), seed);
+}
+
+}  // namespace dc::workload

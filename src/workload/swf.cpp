@@ -1,0 +1,146 @@
+#include "workload/swf.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "util/strings.hpp"
+
+namespace dc::workload {
+namespace {
+
+Status parse_record_line(std::string_view line, std::size_t line_no,
+                         SwfRecord& out) {
+  const auto tokens = split_ws(line);
+  if (tokens.size() != 18) {
+    return Status::invalid_argument(
+        str_format("line %zu: expected 18 SWF fields, got %zu", line_no,
+                   tokens.size()));
+  }
+  std::int64_t values[18];
+  for (std::size_t i = 0; i < 18; ++i) {
+    if (i == 5) continue;  // avg_cpu_time is fractional
+    auto parsed = parse_int(tokens[i]);
+    if (!parsed.is_ok()) {
+      // Some archive traces store fractional seconds in integer fields;
+      // accept a float and truncate.
+      auto as_double = parse_double(tokens[i]);
+      if (!as_double.is_ok()) {
+        return Status::invalid_argument(
+            str_format("line %zu field %zu: %s", line_no, i + 1,
+                       parsed.status().message().c_str()));
+      }
+      values[i] = static_cast<std::int64_t>(*as_double);
+      continue;
+    }
+    values[i] = *parsed;
+  }
+  auto cpu = parse_double(tokens[5]);
+  if (!cpu.is_ok()) {
+    return Status::invalid_argument(
+        str_format("line %zu field 6: %s", line_no,
+                   cpu.status().message().c_str()));
+  }
+
+  out.job_number = values[0];
+  out.submit_time = values[1];
+  out.wait_time = values[2];
+  out.run_time = values[3];
+  out.allocated_procs = values[4];
+  out.avg_cpu_time = *cpu;
+  out.used_memory_kb = values[6];
+  out.requested_procs = values[7];
+  out.requested_time = values[8];
+  out.requested_memory_kb = values[9];
+  out.status = values[10];
+  out.user_id = values[11];
+  out.group_id = values[12];
+  out.executable_id = values[13];
+  out.queue_number = values[14];
+  out.partition_number = values[15];
+  out.preceding_job = values[16];
+  out.think_time = values[17];
+  return Status::ok();
+}
+
+void parse_header_line(std::string_view line, SwfHeader& header) {
+  // ";  Key: Value" — anything after ';' up to the first ':' is the key.
+  std::string_view body = trim(line.substr(1));
+  const std::size_t colon = body.find(':');
+  if (colon == std::string_view::npos) return;  // free-form comment
+  const std::string key{trim(body.substr(0, colon))};
+  const std::string value{trim(body.substr(colon + 1))};
+  if (!key.empty()) header.set(key, value);
+}
+
+}  // namespace
+
+std::optional<std::int64_t> SwfHeader::int_field(const std::string& key) const {
+  auto it = fields.find(key);
+  if (it == fields.end()) return std::nullopt;
+  // Header values may carry trailing commentary ("128  (iPSC/860 nodes)");
+  // parse the leading token.
+  const auto tokens = split_ws(it->second);
+  if (tokens.empty()) return std::nullopt;
+  auto parsed = parse_int(tokens[0]);
+  if (!parsed.is_ok()) return std::nullopt;
+  return *parsed;
+}
+
+StatusOr<SwfFile> parse_swf(std::istream& in) {
+  SwfFile file;
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string_view view = trim(line);
+    if (view.empty()) continue;
+    if (view.front() == ';') {
+      parse_header_line(view, file.header);
+      continue;
+    }
+    SwfRecord record;
+    if (auto status = parse_record_line(view, line_no, record); !status.is_ok()) {
+      return status;
+    }
+    file.records.push_back(record);
+  }
+  return file;
+}
+
+StatusOr<SwfFile> parse_swf_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_swf(in);
+}
+
+StatusOr<SwfFile> read_swf_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::not_found("cannot open SWF file: " + path);
+  return parse_swf(in);
+}
+
+void write_swf(std::ostream& out, const SwfFile& file) {
+  for (const auto& [key, value] : file.header.fields) {
+    out << "; " << key << ": " << value << '\n';
+  }
+  for (const SwfRecord& r : file.records) {
+    out << r.job_number << ' ' << r.submit_time << ' ' << r.wait_time << ' '
+        << r.run_time << ' ' << r.allocated_procs << ' ' << r.avg_cpu_time
+        << ' ' << r.used_memory_kb << ' ' << r.requested_procs << ' '
+        << r.requested_time << ' ' << r.requested_memory_kb << ' ' << r.status
+        << ' ' << r.user_id << ' ' << r.group_id << ' ' << r.executable_id
+        << ' ' << r.queue_number << ' ' << r.partition_number << ' '
+        << r.preceding_job << ' ' << r.think_time << '\n';
+  }
+}
+
+Status write_swf_file(const std::string& path, const SwfFile& file) {
+  std::ofstream out(path);
+  if (!out) return Status::internal("cannot open for writing: " + path);
+  write_swf(out, file);
+  if (!out.good()) return Status::internal("write failed: " + path);
+  return Status::ok();
+}
+
+}  // namespace dc::workload

@@ -1,0 +1,69 @@
+#include "workload/trace_stats.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace dc::workload {
+
+TraceStats compute_stats(const Trace& trace) {
+  TraceStats stats;
+  stats.period = trace.period();
+  stats.job_count = static_cast<std::int64_t>(trace.size());
+  SimTime prev_submit = kNever;
+  std::int64_t sub_hour = 0;
+  for (const TraceJob& job : trace.jobs()) {
+    const double demand_nh =
+        static_cast<double>(job.nodes) * to_hours(job.runtime);
+    stats.demand_node_hours += demand_nh;
+    stats.runtime_seconds.add(static_cast<double>(job.runtime));
+    stats.width_nodes.add(static_cast<double>(job.nodes));
+    stats.max_width = std::max(stats.max_width, job.nodes);
+    if (prev_submit != kNever) {
+      stats.interarrival_seconds.add(static_cast<double>(job.submit - prev_submit));
+    }
+    prev_submit = job.submit;
+    if (job.runtime < kHour) ++sub_hour;
+    if (job.submit < stats.period / 2) {
+      stats.first_half_demand += demand_nh;
+    } else {
+      stats.second_half_demand += demand_nh;
+    }
+  }
+  if (stats.job_count > 0) {
+    stats.sub_hour_job_fraction =
+        static_cast<double>(sub_hour) / static_cast<double>(stats.job_count);
+  }
+  const double capacity_hours =
+      static_cast<double>(trace.capacity_nodes()) * to_hours(stats.period);
+  if (capacity_hours > 0) {
+    stats.utilization = stats.demand_node_hours / capacity_hours;
+  }
+  return stats;
+}
+
+std::string format_stats(const Trace& trace, const TraceStats& stats) {
+  std::string out;
+  out += str_format("trace %s: %lld jobs over %s on %lld nodes\n",
+                    trace.name().c_str(),
+                    static_cast<long long>(stats.job_count),
+                    format_time(stats.period).c_str(),
+                    static_cast<long long>(trace.capacity_nodes()));
+  out += str_format("  utilization      %.1f%% (%.0f node*hours demand)\n",
+                    100.0 * stats.utilization, stats.demand_node_hours);
+  out += str_format("  runtime          mean %.0fs  cv %.2f  max %.0fs\n",
+                    stats.runtime_seconds.mean(), stats.runtime_seconds.cv(),
+                    stats.runtime_seconds.max());
+  out += str_format("  width            mean %.1f  max %lld nodes\n",
+                    stats.width_nodes.mean(),
+                    static_cast<long long>(stats.max_width));
+  out += str_format("  interarrival     mean %.0fs\n",
+                    stats.interarrival_seconds.mean());
+  out += str_format("  sub-hour jobs    %.1f%%\n",
+                    100.0 * stats.sub_hour_job_fraction);
+  out += str_format("  demand halves    %.0f / %.0f node*hours\n",
+                    stats.first_half_demand, stats.second_half_demand);
+  return out;
+}
+
+}  // namespace dc::workload

@@ -1,0 +1,109 @@
+#include "cluster/billing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace dc::cluster {
+namespace {
+
+TEST(LeaseLedger, RecordsCompleteLease) {
+  LeaseLedger ledger;
+  ledger.record(0, 90 * kMinute, 10, "job");
+  // 1.5 hours rounds up to 2 billed hours.
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 20);
+  EXPECT_DOUBLE_EQ(ledger.exact_node_hours(kDay), 15.0);
+}
+
+TEST(LeaseLedger, OpenLeaseClosesAtHorizon) {
+  LeaseLedger ledger;
+  ledger.open(kHour, 4, "initial");
+  EXPECT_EQ(ledger.billed_node_hours(3 * kHour), 8);  // held 2h
+  EXPECT_EQ(ledger.billed_node_hours(3 * kHour + 1), 12);
+}
+
+TEST(LeaseLedger, CloseFixesTheEnd) {
+  LeaseLedger ledger;
+  const LeaseId id = ledger.open(0, 5);
+  ledger.close(id, 2 * kHour);
+  EXPECT_EQ(ledger.billed_node_hours(100 * kHour), 10);
+}
+
+TEST(LeaseLedger, ZeroDurationLeaseBillsNothing) {
+  LeaseLedger ledger;
+  ledger.record(10, 10, 100, "instant");
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 0);
+}
+
+TEST(LeaseLedger, ExactHourBillsExactly) {
+  LeaseLedger ledger;
+  ledger.record(0, kHour, 7, "one-hour");
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 7);
+  ledger.record(0, kHour + 1, 7, "one-hour-plus");
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 7 + 14);
+}
+
+TEST(LeaseLedger, MultipleLeasesSum) {
+  LeaseLedger ledger;
+  ledger.record(0, 30 * kMinute, 2, "a");
+  ledger.record(kHour, 3 * kHour, 3, "b");
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 2 * 1 + 3 * 2);
+  EXPECT_EQ(ledger.lease_count(), 2u);
+}
+
+TEST(LeaseLedger, CustomQuantum) {
+  LeaseLedger ledger;
+  ledger.record(0, 10 * kMinute, 6, "short");
+  // 15-minute quantum: ceil(10/15) = 1 quantum = 0.25h -> 6*0.25 = 1.5,
+  // integer math: 6 * 1 * 900 / 3600 = 1.
+  EXPECT_EQ(ledger.billed_node_hours_with_quantum(kDay, 15 * kMinute), 1);
+  // One-minute quantum: 6 nodes * 10 quanta * 60/3600 = 1.
+  EXPECT_EQ(ledger.billed_node_hours_with_quantum(kDay, kMinute), 1);
+  // Four-hour quantum: 6 * 1 * 4 = 24.
+  EXPECT_EQ(ledger.billed_node_hours_with_quantum(kDay, 4 * kHour), 24);
+}
+
+TEST(LeaseLedger, BilledAlwaysAtLeastExact) {
+  // Property: quantized billing never undercuts the exact integral.
+  Rng rng(77);
+  LeaseLedger ledger;
+  for (int i = 0; i < 500; ++i) {
+    const SimTime start = rng.uniform_int(0, 100 * kHour);
+    const SimDuration duration = rng.uniform_int(1, 20 * kHour);
+    ledger.record(start, start + duration, rng.uniform_int(1, 64));
+  }
+  const SimTime horizon = 200 * kHour;
+  EXPECT_GE(static_cast<double>(ledger.billed_node_hours(horizon)),
+            ledger.exact_node_hours(horizon) - 1e-6);
+  // And is within one quantum-hour per lease of exact.
+  double max_over = 0.0;
+  for (const Lease& lease : ledger.leases()) max_over += lease.nodes;
+  EXPECT_LE(static_cast<double>(ledger.billed_node_hours(horizon)),
+            ledger.exact_node_hours(horizon) + max_over);
+}
+
+TEST(AdjustmentMeter, AccumulatesAndConvertsToSeconds) {
+  AdjustmentMeter meter;
+  meter.record(0, 10);
+  meter.record(kHour, 5);
+  EXPECT_EQ(meter.total_adjusted_nodes(), 15);
+  EXPECT_NEAR(meter.overhead_seconds(), 15 * 15.743, 1e-9);
+  EXPECT_EQ(meter.events().size(), 2u);
+}
+
+TEST(AdjustmentMeter, ZeroAdjustmentsIgnored) {
+  AdjustmentMeter meter;
+  meter.record(0, 0);
+  EXPECT_EQ(meter.total_adjusted_nodes(), 0);
+  EXPECT_TRUE(meter.events().empty());
+}
+
+TEST(AdjustmentMeter, PerHourRate) {
+  AdjustmentMeter meter(10.0);
+  meter.record(0, 36);
+  EXPECT_DOUBLE_EQ(meter.overhead_seconds_per_hour(2 * kHour), 180.0);
+  EXPECT_DOUBLE_EQ(meter.overhead_seconds_per_hour(0), 0.0);
+}
+
+}  // namespace
+}  // namespace dc::cluster

@@ -1,0 +1,56 @@
+#include "cluster/resource_pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::cluster {
+namespace {
+
+TEST(ResourcePool, BoundedAllocateAndRelease) {
+  ResourcePool pool(100);
+  EXPECT_TRUE(pool.is_bounded());
+  EXPECT_EQ(pool.capacity(), 100);
+  EXPECT_EQ(pool.free(), 100);
+
+  EXPECT_TRUE(pool.allocate(60).is_ok());
+  EXPECT_EQ(pool.allocated(), 60);
+  EXPECT_EQ(pool.free(), 40);
+
+  pool.release(25);
+  EXPECT_EQ(pool.allocated(), 35);
+}
+
+TEST(ResourcePool, RejectsOverAllocationWithoutSideEffects) {
+  ResourcePool pool(10);
+  ASSERT_TRUE(pool.allocate(8).is_ok());
+  const Status status = pool.allocate(3);
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.allocated(), 8) << "failed allocation must not change state";
+}
+
+TEST(ResourcePool, ExactFitSucceeds) {
+  ResourcePool pool(10);
+  EXPECT_TRUE(pool.allocate(10).is_ok());
+  EXPECT_EQ(pool.free(), 0);
+  EXPECT_FALSE(pool.can_allocate(1));
+  EXPECT_TRUE(pool.can_allocate(0));
+}
+
+TEST(ResourcePool, UnboundedNeverRejects) {
+  ResourcePool pool = ResourcePool::unbounded();
+  EXPECT_FALSE(pool.is_bounded());
+  EXPECT_TRUE(pool.allocate(1'000'000).is_ok());
+  EXPECT_TRUE(pool.can_allocate(1'000'000'000));
+  EXPECT_EQ(pool.allocated(), 1'000'000);
+  pool.release(1'000'000);
+  EXPECT_EQ(pool.allocated(), 0);
+}
+
+TEST(ResourcePool, ZeroAllocationAlwaysSucceeds) {
+  ResourcePool pool(0);
+  EXPECT_TRUE(pool.allocate(0).is_ok());
+  EXPECT_FALSE(pool.allocate(1).is_ok());
+}
+
+}  // namespace
+}  // namespace dc::cluster

@@ -1,0 +1,101 @@
+#include "cluster/usage_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::cluster {
+namespace {
+
+TEST(UsageRecorder, EmptyRecorder) {
+  UsageRecorder recorder;
+  EXPECT_EQ(recorder.current(), 0);
+  EXPECT_EQ(recorder.peak(), 0);
+  EXPECT_DOUBLE_EQ(recorder.node_hours(kHour), 0.0);
+}
+
+TEST(UsageRecorder, TracksCurrentAndPeak) {
+  UsageRecorder recorder;
+  recorder.change(0, 10);
+  recorder.change(100, 5);
+  recorder.change(200, -12);
+  EXPECT_EQ(recorder.current(), 3);
+  EXPECT_EQ(recorder.peak(), 15);
+}
+
+TEST(UsageRecorder, NodeHoursIntegralIsExact) {
+  UsageRecorder recorder;
+  // 10 nodes for the first hour, 20 for the second, 0 afterwards.
+  recorder.change(0, 10);
+  recorder.change(kHour, 10);
+  recorder.change(2 * kHour, -20);
+  EXPECT_DOUBLE_EQ(recorder.node_hours(3 * kHour), 30.0);
+}
+
+TEST(UsageRecorder, IntegralExtendsLastLevelToHorizon) {
+  UsageRecorder recorder;
+  recorder.change(0, 4);
+  EXPECT_DOUBLE_EQ(recorder.node_hours(10 * kHour), 40.0);
+}
+
+TEST(UsageRecorder, SameTimeChangesCoalesce) {
+  UsageRecorder recorder;
+  recorder.change(50, 3);
+  recorder.change(50, 2);
+  EXPECT_EQ(recorder.breakpoints().size(), 1u);
+  EXPECT_EQ(recorder.breakpoints().back().level, 5);
+}
+
+TEST(UsageRecorder, HourlyPeakSeries) {
+  UsageRecorder recorder;
+  recorder.change(0, 10);
+  recorder.change(30 * kMinute, 20);   // spike to 30 inside hour 0
+  recorder.change(45 * kMinute, -25);  // down to 5
+  recorder.change(kHour, 15);          // hour 1 at 20
+  const auto series = recorder.hourly_peak_series(2 * kHour);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0], 30);
+  EXPECT_EQ(series[1], 20);
+}
+
+TEST(UsageRecorder, SegmentEndingOnHourBoundaryStaysOut) {
+  UsageRecorder recorder;
+  recorder.change(0, 7);
+  recorder.change(kHour, -7);  // drops exactly at the boundary
+  const auto series = recorder.hourly_peak_series(2 * kHour);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0], 7);
+  EXPECT_EQ(series[1], 0);
+}
+
+TEST(UsageRecorder, HourlyMeanSeries) {
+  UsageRecorder recorder;
+  recorder.change(0, 10);
+  recorder.change(30 * kMinute, 10);  // 10 for half the hour, 20 for the rest
+  const auto series = recorder.hourly_mean_series(kHour);
+  ASSERT_EQ(series.size(), 1u);
+  EXPECT_DOUBLE_EQ(series[0], 15.0);
+}
+
+TEST(UsageRecorder, MeanSeriesSumsToIntegral) {
+  UsageRecorder recorder;
+  recorder.change(10, 3);
+  recorder.change(5000, 14);
+  recorder.change(7300, -9);
+  recorder.change(10000, -8);
+  const SimTime horizon = 4 * kHour;
+  const auto series = recorder.hourly_mean_series(horizon);
+  double total = 0.0;
+  for (double level : series) total += level;
+  EXPECT_NEAR(total, recorder.node_hours(horizon), 1e-9);
+}
+
+TEST(UsageRecorder, PartialLastHour) {
+  UsageRecorder recorder;
+  recorder.change(0, 6);
+  const auto series = recorder.hourly_peak_series(kHour + 30 * kMinute);
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_EQ(series[0], 6);
+  EXPECT_EQ(series[1], 6);
+}
+
+}  // namespace
+}  // namespace dc::cluster

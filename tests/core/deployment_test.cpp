@@ -1,0 +1,93 @@
+#include "core/deployment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/lifecycle.hpp"
+#include "sim/simulator.hpp"
+
+namespace dc::core {
+namespace {
+
+TEST(DeploymentService, SmallTreIsNodeBandwidthBound) {
+  DeploymentService service;  // 1000 Mbps repo, 100 Mbps per node
+  const PackageSpec package{"tre", 100.0};  // 100 MB = 800 Mbit
+  // 5 nodes: repo share 200 > node cap 100 -> 8 s per node.
+  EXPECT_EQ(service.deploy_latency(package, 5), 8);
+  // 1 node: same.
+  EXPECT_EQ(service.deploy_latency(package, 1), 8);
+}
+
+TEST(DeploymentService, WideTreIsRepositoryBound) {
+  DeploymentService service;
+  const PackageSpec package{"tre", 100.0};
+  // 100 nodes: repo share 10 Mbps -> 80 s.
+  EXPECT_EQ(service.deploy_latency(package, 100), 80);
+  // 200 nodes: 5 Mbps -> 160 s; latency grows linearly past the knee.
+  EXPECT_EQ(service.deploy_latency(package, 200), 160);
+}
+
+TEST(DeploymentService, ZeroNodesIsFree) {
+  DeploymentService service;
+  EXPECT_EQ(service.deploy_latency(PackageSpec{}, 0), 0);
+}
+
+TEST(DeploymentService, LatencyScalesWithPackageSize) {
+  DeploymentService service;
+  const PackageSpec small{"s", 50.0};
+  const PackageSpec big{"b", 500.0};
+  EXPECT_LT(service.deploy_latency(small, 10), service.deploy_latency(big, 10));
+}
+
+TEST(LifecycleWithDeployment, DeployTimeDependsOnRequestedSize) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim, LifecycleService::DeploymentModel{});
+
+  SimTime small_running = kNever, big_running = kNever;
+  auto small = lifecycle.create_tre(
+      TreSpec{"small", WorkloadType::kHtc, 10, "linux"},
+      [&](SimTime at) { small_running = at; });
+  auto big = lifecycle.create_tre(
+      TreSpec{"big", WorkloadType::kHtc, 166, "linux"},
+      [&](SimTime at) { big_running = at; });
+  ASSERT_TRUE(small.is_ok() && big.is_ok());
+  sim.run();
+  EXPECT_NE(small_running, kNever);
+  EXPECT_NE(big_running, kNever);
+  EXPECT_LT(small_running, big_running)
+      << "a 166-node TRE saturates the repository and deploys slower";
+}
+
+TEST(LifecycleWithDeployment, MtcPackageIsHeavier) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim, LifecycleService::DeploymentModel{});
+  SimTime htc_running = kNever, mtc_running = kNever;
+  auto htc = lifecycle.create_tre(TreSpec{"h", WorkloadType::kHtc, 20, "linux"},
+                                  [&](SimTime at) { htc_running = at; });
+  auto mtc = lifecycle.create_tre(TreSpec{"m", WorkloadType::kMtc, 20, "linux"},
+                                  [&](SimTime at) { mtc_running = at; });
+  ASSERT_TRUE(htc.is_ok() && mtc.is_ok());
+  sim.run();
+  EXPECT_LT(htc_running, mtc_running)
+      << "the MTC TRE ships the workflow portal and trigger monitor";
+}
+
+TEST(LifecycleWithDeployment, TimelineMatchesModel) {
+  sim::Simulator sim;
+  LifecycleService::DeploymentModel model;
+  LifecycleService lifecycle(sim, model);
+  const TreSpec spec{"p", WorkloadType::kHtc, 40, "linux"};
+  auto id = lifecycle.create_tre(spec, nullptr);
+  ASSERT_TRUE(id.is_ok());
+  sim.run();
+  const auto& transitions = lifecycle.transitions();
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].time, model.validate);
+  const SimDuration deploy =
+      model.service.deploy_latency(model.htc_package, 40);
+  EXPECT_EQ(transitions[1].time, model.validate + deploy);
+  EXPECT_EQ(transitions[2].time,
+            model.validate + deploy + model.service.start_latency());
+}
+
+}  // namespace
+}  // namespace dc::core

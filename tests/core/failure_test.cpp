@@ -1,0 +1,131 @@
+#include "core/failure_injector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mtc_server.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/first_fit.hpp"
+#include "workflow/montage.hpp"
+
+namespace dc::core {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  HtcServer& make_fixed(std::int64_t nodes) {
+    HtcServer::Config config;
+    config.name = "f";
+    config.fixed_nodes = nodes;
+    config.scheduler = &first_fit_;
+    server_ = std::make_unique<HtcServer>(sim_, provision_, std::move(config));
+    return *server_;
+  }
+
+  sim::Simulator sim_;
+  ResourceProvisionService provision_{cluster::ResourcePool::unbounded()};
+  sched::FirstFitScheduler first_fit_;
+  std::unique_ptr<HtcServer> server_;
+};
+
+TEST_F(FailureTest, IdleNodesAbsorbFailuresWithoutKillingJobs) {
+  HtcServer& server = make_fixed(10);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit(1000, 4);
+  });
+  sim_.schedule_at(10, [&] {
+    EXPECT_EQ(server.fail_nodes(6), 0) << "6 idle nodes absorb the failure";
+  });
+  sim_.run();
+  EXPECT_EQ(server.completed_jobs(), 1);
+  EXPECT_EQ(server.job_retries(), 0);
+  EXPECT_EQ(server.last_finish(), 1000) << "the job was never interrupted";
+  EXPECT_EQ(server.owned(), 10) << "failed hardware replaced transparently";
+}
+
+TEST_F(FailureTest, FailureKillsAndRetriesTheYoungestJob) {
+  HtcServer& server = make_fixed(10);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit(1000, 6);  // older job
+  });
+  sim_.schedule_at(100, [&] { server.submit(1000, 4); });  // younger job
+  sim_.schedule_at(200, [&] {
+    EXPECT_EQ(server.fail_nodes(2), 1) << "no idle: the younger job dies";
+  });
+  sim_.run();
+  EXPECT_EQ(server.completed_jobs(), 2) << "the retry eventually completes";
+  EXPECT_EQ(server.job_retries(), 1);
+  // Older job untouched (finishes at 1000); retry restarted at 200 and ran
+  // its full 1000 s again.
+  EXPECT_EQ(server.jobs()[0].finish, 1000);
+  EXPECT_EQ(server.jobs()[1].finish, 1200);
+}
+
+TEST_F(FailureTest, FailureBeyondHoldingIsClamped) {
+  HtcServer& server = make_fixed(4);
+  sim_.schedule_at(0, [&] { server.start(); });
+  sim_.schedule_at(1, [&] { server.fail_nodes(100); });
+  sim_.run();
+  EXPECT_EQ(server.owned(), 4);
+  EXPECT_EQ(provision_.allocated(), 4);
+}
+
+TEST_F(FailureTest, FailuresCountAsAdjustments) {
+  HtcServer& server = make_fixed(8);
+  sim_.schedule_at(0, [&] { server.start(); });
+  sim_.schedule_at(1, [&] { server.fail_nodes(3); });
+  sim_.run();
+  // start grant (8) + swap reclaim (3) + swap re-grant (3).
+  EXPECT_EQ(provision_.adjustments().total_adjusted_nodes(), 14);
+}
+
+TEST_F(FailureTest, MtcTaskRetryKeepsWorkflowConsistent) {
+  sched::FcfsScheduler fcfs;
+  MtcServer::MtcConfig config;
+  config.name = "mtc";
+  config.fixed_nodes = 166;
+  config.scheduler = &fcfs;
+  MtcServer server(sim_, provision_, std::move(config));
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  // Kill nodes mid-flight, repeatedly.
+  for (SimTime t = 20; t <= 200; t += 60) {
+    sim_.schedule_at(t, [&] { server.fail_nodes(30); });
+  }
+  sim_.run_until(kDay);
+  EXPECT_TRUE(server.all_workflows_complete())
+      << "retries must not wedge the DAG";
+  EXPECT_EQ(server.completed_tasks(), 1000);
+  EXPECT_GT(server.job_retries(), 0);
+}
+
+TEST_F(FailureTest, InjectorDrivesWeightedFailures) {
+  HtcServer& server = make_fixed(64);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    for (int i = 0; i < 50; ++i) server.submit(20 * kHour, 1);
+  });
+  FailureInjector::Config config;
+  config.mean_time_between_failures = 2 * kHour;
+  config.min_failed_nodes = 2;
+  config.max_failed_nodes = 5;
+  FailureInjector injector(sim_, config);
+  injector.watch(&server);
+  sim_.schedule_at(1, [&] { injector.start(24 * kHour); });
+  sim_.run_until(48 * kHour);
+  EXPECT_GT(injector.failure_events(), 3);
+  EXPECT_GT(injector.nodes_failed(), 0);
+  EXPECT_EQ(injector.jobs_killed(), server.job_retries());
+  EXPECT_EQ(server.completed_jobs(), 50) << "all jobs finish despite failures";
+}
+
+TEST_F(FailureTest, FailNodesOnUnstartedServerIsNoop) {
+  HtcServer& server = make_fixed(4);
+  EXPECT_EQ(server.fail_nodes(2), 0);
+}
+
+}  // namespace
+}  // namespace dc::core

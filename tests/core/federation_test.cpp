@@ -1,0 +1,176 @@
+#include "core/federation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/systems.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace dc::core {
+namespace {
+
+HtcWorkloadSpec fed_htc(const std::string& name, std::uint64_t seed) {
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = name;
+  trace_spec.capacity_nodes = 24;
+  trace_spec.period = kDay;
+  trace_spec.submit_margin = 2 * kHour;
+  trace_spec.jobs_per_day = 100;
+  trace_spec.width_weights = {{1, 0.5}, {2, 0.3}, {4, 0.15}, {24, 0.05}};
+  trace_spec.hyper_mean1 = 500;
+  trace_spec.hyper_mean2 = 2000;
+
+  HtcWorkloadSpec spec;
+  spec.name = name;
+  spec.trace = workload::generate_trace(trace_spec, seed);
+  spec.fixed_nodes = 24;
+  spec.policy = ResourceManagementPolicy::htc(6, 1.5, 24);
+  return spec;
+}
+
+MtcWorkloadSpec fed_mtc(const std::string& name) {
+  workflow::MontageParams params;
+  params.inputs = 12;  // 76 tasks
+  MtcWorkloadSpec spec;
+  spec.name = name;
+  spec.dag = workflow::make_montage(params, 9);
+  spec.submit_time = 4 * kHour;
+  spec.fixed_nodes = 12;
+  spec.policy = ResourceManagementPolicy::mtc(3, 8.0, 12);
+  return spec;
+}
+
+ConsolidationWorkload fed_workload() {
+  ConsolidationWorkload workload;
+  workload.htc.push_back(fed_htc("h0", 1));
+  workload.htc.push_back(fed_htc("h1", 2));
+  workload.mtc.push_back(fed_mtc("m0"));
+  return workload;
+}
+
+TEST(Federation, PlacesEveryTreWhenCapacitySuffices) {
+  const std::vector<ResourceProviderSpec> providers = {
+      {"A", 40, 0.10}, {"B", 40, 0.12}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kFirstFit);
+  EXPECT_EQ(result.unplaced, 0);
+  EXPECT_EQ(result.placements.size(), 3u);
+  EXPECT_EQ(result.service_providers.size(), 3u);
+  for (const auto& provider : result.service_providers) {
+    EXPECT_GT(provider.completed_jobs, 0) << provider.provider;
+  }
+}
+
+TEST(Federation, FirstFitFillsInOrder) {
+  // Subscriptions: 24 + 24 + 12. First-fit on a 50-capacity first host
+  // packs h0 and h1 (48), then m0 goes to the second host.
+  const std::vector<ResourceProviderSpec> providers = {
+      {"A", 50, 0.10}, {"B", 50, 0.10}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kFirstFit);
+  EXPECT_EQ(result.placements[0].resource_provider, "A");
+  EXPECT_EQ(result.placements[1].resource_provider, "A");
+  EXPECT_EQ(result.placements[2].resource_provider, "B");
+  EXPECT_EQ(result.resource_provider("A").hosted_tres, 2);
+  EXPECT_EQ(result.resource_provider("B").hosted_tres, 1);
+}
+
+TEST(Federation, LeastLoadedBalances) {
+  const std::vector<ResourceProviderSpec> providers = {
+      {"A", 50, 0.10}, {"B", 50, 0.10}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kLeastLoaded);
+  // h0 -> A (both empty), h1 -> B (A at 24/50), m0 -> whichever is lighter
+  // after adding 12: A (24+12=36) vs B (24+12=36) tie -> A kept? Least
+  // loaded picks strictly lower load, so the first candidate (A) stays.
+  EXPECT_EQ(result.placements[0].resource_provider, "A");
+  EXPECT_EQ(result.placements[1].resource_provider, "B");
+  EXPECT_EQ(result.resource_provider("A").hosted_tres +
+                result.resource_provider("B").hosted_tres,
+            3);
+  EXPECT_LE(result.resource_provider("A").committed_subscription, 36);
+  EXPECT_LE(result.resource_provider("B").committed_subscription, 36);
+}
+
+TEST(Federation, CheapestPrefersLowPrice) {
+  const std::vector<ResourceProviderSpec> providers = {
+      {"pricey", 200, 0.50}, {"budget", 200, 0.08}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kCheapest);
+  for (const auto& placement : result.placements) {
+    EXPECT_EQ(placement.resource_provider, "budget");
+  }
+  EXPECT_EQ(result.resource_provider("pricey").billed_node_hours, 0);
+  EXPECT_GT(result.resource_provider("budget").revenue_usd, 0.0);
+}
+
+TEST(Federation, OverflowsToNextProviderAndReportsUnplaced) {
+  const std::vector<ResourceProviderSpec> providers = {{"only", 30, 0.10}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kFirstFit);
+  // Only one 24-subscription TRE fits; the second HTC (24) doesn't; the
+  // MTC (12) doesn't fit either once 24 are committed... capacity 30:
+  // h0 (24) admitted, h1 (24) rejected, m0 (12) rejected (24+12 > 30).
+  EXPECT_EQ(result.unplaced, 2);
+  EXPECT_EQ(result.service_providers.size(), 1u);
+  EXPECT_EQ(result.placements[1].resource_provider, "");
+}
+
+TEST(Federation, RevenueEqualsBilledTimesPrice) {
+  const std::vector<ResourceProviderSpec> providers = {{"A", 100, 0.25}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kFirstFit);
+  const auto& host = result.resource_provider("A");
+  EXPECT_DOUBLE_EQ(host.revenue_usd,
+                   0.25 * static_cast<double>(host.billed_node_hours));
+  EXPECT_DOUBLE_EQ(result.total_cost_usd, host.revenue_usd);
+}
+
+TEST(Federation, SingleProviderMatchesPlainDawningCloudRun) {
+  // With one resource provider big enough for everything, the federation
+  // degenerates to the plain DawningCloud system.
+  const auto workload = fed_workload();
+  const std::vector<ResourceProviderSpec> providers = {{"big", 1000, 0.10}};
+  const auto federated =
+      run_federated_dsp(providers, workload, PlacementPolicy::kFirstFit);
+  const auto plain = run_system(SystemModel::kDawningCloud, workload);
+  ASSERT_EQ(federated.service_providers.size(), plain.providers.size());
+  EXPECT_EQ(federated.total_consumption_node_hours,
+            plain.total_consumption_node_hours);
+  for (std::size_t i = 0; i < plain.providers.size(); ++i) {
+    EXPECT_EQ(federated.service_providers[i].completed_jobs,
+              plain.providers[i].completed_jobs);
+    EXPECT_EQ(federated.service_providers[i].consumption_node_hours,
+              plain.providers[i].consumption_node_hours);
+  }
+}
+
+TEST(Federation, PeakRespectsEachHostCapacity) {
+  const std::vector<ResourceProviderSpec> providers = {
+      {"A", 40, 0.10}, {"B", 30, 0.10}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kLeastLoaded);
+  for (const auto& host : result.resource_providers) {
+    EXPECT_LE(host.peak_nodes, host.capacity) << host.name;
+  }
+}
+
+TEST(Federation, ReportFormats) {
+  const std::vector<ResourceProviderSpec> providers = {{"A", 100, 0.10}};
+  const auto result = run_federated_dsp(providers, fed_workload(),
+                                        PlacementPolicy::kFirstFit);
+  const std::string report = format_federation_report(result);
+  EXPECT_NE(report.find("Federated resource providers"), std::string::npos);
+  EXPECT_NE(report.find("A"), std::string::npos);
+  EXPECT_NE(report.find("unplaced"), std::string::npos);
+}
+
+TEST(Federation, PlacementPolicyNames) {
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kFirstFit), "first-fit");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kLeastLoaded),
+               "least-loaded");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kCheapest), "cheapest");
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,111 @@
+#include "core/lifecycle.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::core {
+namespace {
+
+TEST(Lifecycle, ZeroLatencyTreReachesRunningImmediately) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim);
+  SimTime running_at = kNever;
+  auto id = lifecycle.create_tre(
+      TreSpec{"prov", WorkloadType::kHtc, 10, "linux"},
+      [&](SimTime at) { running_at = at; });
+  ASSERT_TRUE(id.is_ok());
+  EXPECT_EQ(lifecycle.state(*id), TreState::kInexistent);
+  sim.run();
+  EXPECT_EQ(lifecycle.state(*id), TreState::kRunning);
+  EXPECT_EQ(running_at, 0);
+}
+
+TEST(Lifecycle, LatenciesDriveTheStateMachineTimeline) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim, {.validate = 5, .deploy = 60, .start = 10});
+  SimTime running_at = kNever;
+  auto id = lifecycle.create_tre(TreSpec{"prov", WorkloadType::kMtc, 4, "linux"},
+                                 [&](SimTime at) { running_at = at; });
+  ASSERT_TRUE(id.is_ok());
+
+  sim.run_until(4);
+  EXPECT_EQ(lifecycle.state(*id), TreState::kInexistent);
+  sim.run_until(5);
+  EXPECT_EQ(lifecycle.state(*id), TreState::kPlanning);
+  sim.run_until(65);
+  EXPECT_EQ(lifecycle.state(*id), TreState::kCreated);
+  sim.run_until(75);
+  EXPECT_EQ(lifecycle.state(*id), TreState::kRunning);
+  EXPECT_EQ(running_at, 75);
+
+  // Audit trail: Planning -> Created -> Running at the right times.
+  ASSERT_EQ(lifecycle.transitions().size(), 3u);
+  EXPECT_EQ(lifecycle.transitions()[0].state, TreState::kPlanning);
+  EXPECT_EQ(lifecycle.transitions()[0].time, 5);
+  EXPECT_EQ(lifecycle.transitions()[1].state, TreState::kCreated);
+  EXPECT_EQ(lifecycle.transitions()[1].time, 65);
+  EXPECT_EQ(lifecycle.transitions()[2].state, TreState::kRunning);
+  EXPECT_EQ(lifecycle.transitions()[2].time, 75);
+}
+
+TEST(Lifecycle, RejectsInvalidSpecs) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim);
+  EXPECT_FALSE(lifecycle.create_tre(TreSpec{"", WorkloadType::kHtc, 1, "l"},
+                                    nullptr)
+                   .is_ok());
+  EXPECT_FALSE(lifecycle.create_tre(TreSpec{"p", WorkloadType::kHtc, -1, "l"},
+                                    nullptr)
+                   .is_ok());
+}
+
+TEST(Lifecycle, DestroyRequiresRunningState) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim);
+  auto id = lifecycle.create_tre(TreSpec{"p", WorkloadType::kHtc, 1, "l"},
+                                 nullptr);
+  ASSERT_TRUE(id.is_ok());
+  // Not yet running.
+  EXPECT_FALSE(lifecycle.destroy_tre(*id, nullptr).is_ok());
+  sim.run();
+  SimTime destroyed_at = kNever;
+  EXPECT_TRUE(
+      lifecycle.destroy_tre(*id, [&](SimTime at) { destroyed_at = at; }).is_ok());
+  EXPECT_EQ(lifecycle.state(*id), TreState::kDestroyed);
+  EXPECT_EQ(destroyed_at, 0);
+  // Double destroy fails.
+  EXPECT_FALSE(lifecycle.destroy_tre(*id, nullptr).is_ok());
+}
+
+TEST(Lifecycle, DestroyUnknownTreIsNotFound) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim);
+  EXPECT_EQ(lifecycle.destroy_tre(99, nullptr).code(), StatusCode::kNotFound);
+}
+
+TEST(Lifecycle, StateAndTypeNames) {
+  EXPECT_STREQ(tre_state_name(TreState::kInexistent), "inexistent");
+  EXPECT_STREQ(tre_state_name(TreState::kPlanning), "planning");
+  EXPECT_STREQ(tre_state_name(TreState::kCreated), "created");
+  EXPECT_STREQ(tre_state_name(TreState::kRunning), "running");
+  EXPECT_STREQ(tre_state_name(TreState::kDestroyed), "destroyed");
+  EXPECT_STREQ(workload_type_name(WorkloadType::kHtc), "HTC");
+  EXPECT_STREQ(workload_type_name(WorkloadType::kMtc), "MTC");
+}
+
+TEST(Lifecycle, MultipleTresTrackedIndependently) {
+  sim::Simulator sim;
+  LifecycleService lifecycle(sim, {.validate = 0, .deploy = 10, .start = 0});
+  auto a = lifecycle.create_tre(TreSpec{"a", WorkloadType::kHtc, 1, "l"}, nullptr);
+  sim.run_until(5);
+  auto b = lifecycle.create_tre(TreSpec{"b", WorkloadType::kMtc, 1, "l"}, nullptr);
+  ASSERT_TRUE(a.is_ok() && b.is_ok());
+  sim.run_until(10);
+  EXPECT_EQ(lifecycle.state(*a), TreState::kRunning);
+  EXPECT_EQ(lifecycle.state(*b), TreState::kPlanning);
+  sim.run_until(15);
+  EXPECT_EQ(lifecycle.state(*b), TreState::kRunning);
+  EXPECT_EQ(lifecycle.tre_count(), 2u);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,295 @@
+#include "core/mtc_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/fcfs.hpp"
+#include "sim/simulator.hpp"
+#include "workflow/montage.hpp"
+
+namespace dc::core {
+namespace {
+
+workflow::Dag chain3() {
+  workflow::Dag dag;
+  dag.add_task("a", 10);
+  dag.add_task("b", 20);
+  dag.add_task("c", 30);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(1, 2);
+  return dag;
+}
+
+// --- TriggerMonitor (pure dependency bookkeeping) ----------------------------
+
+TEST(TriggerMonitor, ReleasesRootsOnSubmission) {
+  TriggerMonitor monitor;
+  std::vector<workflow::TaskId> ready;
+  monitor.add_workflow(chain3(), ready);
+  EXPECT_EQ(ready, std::vector<workflow::TaskId>{0});
+  EXPECT_FALSE(monitor.all_complete());
+}
+
+TEST(TriggerMonitor, ReleasesChildrenWhenAllParentsDone) {
+  workflow::Dag dag;
+  dag.add_task("p1", 1);
+  dag.add_task("p2", 1);
+  dag.add_task("child", 1);
+  dag.add_dependency(0, 2);
+  dag.add_dependency(1, 2);
+
+  TriggerMonitor monitor;
+  std::vector<workflow::TaskId> ready;
+  const auto wf = monitor.add_workflow(dag, ready);
+  ready.clear();
+  monitor.on_task_complete(wf, 0, ready);
+  EXPECT_TRUE(ready.empty()) << "child needs both parents";
+  monitor.on_task_complete(wf, 1, ready);
+  EXPECT_EQ(ready, std::vector<workflow::TaskId>{2});
+}
+
+TEST(TriggerMonitor, DetectsWorkflowCompletion) {
+  TriggerMonitor monitor;
+  std::vector<workflow::TaskId> ready;
+  const auto wf = monitor.add_workflow(chain3(), ready);
+  EXPECT_FALSE(monitor.on_task_complete(wf, 0, ready));
+  EXPECT_FALSE(monitor.on_task_complete(wf, 1, ready));
+  EXPECT_TRUE(monitor.on_task_complete(wf, 2, ready));
+  EXPECT_TRUE(monitor.all_complete());
+}
+
+TEST(TriggerMonitor, TracksMultipleWorkflows) {
+  TriggerMonitor monitor;
+  std::vector<workflow::TaskId> ready;
+  const auto wf1 = monitor.add_workflow(chain3(), ready);
+  const auto wf2 = monitor.add_workflow(chain3(), ready);
+  EXPECT_EQ(monitor.workflow_count(), 2u);
+  for (workflow::TaskId t : {0, 1, 2}) monitor.on_task_complete(wf1, t, ready);
+  EXPECT_TRUE(monitor.workflow_complete(wf1));
+  EXPECT_FALSE(monitor.workflow_complete(wf2));
+  EXPECT_FALSE(monitor.all_complete());
+  for (workflow::TaskId t : {0, 1, 2}) monitor.on_task_complete(wf2, t, ready);
+  EXPECT_TRUE(monitor.all_complete());
+}
+
+TEST(TriggerMonitor, ExternalTriggerGatesRootTask) {
+  TriggerMonitor monitor;
+  const auto wf = monitor.register_workflow(chain3());
+  const auto trigger = monitor.add_external_trigger(wf, 0);
+  std::vector<workflow::TaskId> ready;
+  monitor.release_initial(wf, ready);
+  EXPECT_TRUE(ready.empty()) << "root gated by an unfired trigger";
+  EXPECT_FALSE(monitor.trigger_fired(trigger));
+  monitor.fire_trigger(trigger, ready);
+  EXPECT_EQ(ready, std::vector<workflow::TaskId>{0});
+  EXPECT_TRUE(monitor.trigger_fired(trigger));
+  // Firing again is idempotent.
+  ready.clear();
+  monitor.fire_trigger(trigger, ready);
+  EXPECT_TRUE(ready.empty());
+}
+
+TEST(TriggerMonitor, TriggerOnMidStageWaitsForBothConditions) {
+  TriggerMonitor monitor;
+  const auto wf = monitor.register_workflow(chain3());
+  const auto trigger = monitor.add_external_trigger(wf, 1);  // gate "b"
+  std::vector<workflow::TaskId> ready;
+  monitor.release_initial(wf, ready);
+  ASSERT_EQ(ready, std::vector<workflow::TaskId>{0});
+  ready.clear();
+  // Parent completes first: still gated.
+  monitor.on_task_complete(wf, 0, ready);
+  EXPECT_TRUE(ready.empty());
+  // Trigger fires: now released.
+  monitor.fire_trigger(trigger, ready);
+  EXPECT_EQ(ready, std::vector<workflow::TaskId>{1});
+}
+
+TEST(TriggerMonitor, TriggerBeforeParentCompletion) {
+  TriggerMonitor monitor;
+  const auto wf = monitor.register_workflow(chain3());
+  const auto trigger = monitor.add_external_trigger(wf, 1);
+  std::vector<workflow::TaskId> ready;
+  monitor.release_initial(wf, ready);
+  ready.clear();
+  monitor.fire_trigger(trigger, ready);
+  EXPECT_TRUE(ready.empty()) << "parents still pending";
+  monitor.on_task_complete(wf, 0, ready);
+  EXPECT_EQ(ready, std::vector<workflow::TaskId>{1});
+}
+
+// --- MtcServer ----------------------------------------------------------------
+
+class MtcServerTest : public ::testing::Test {
+ protected:
+  MtcServer& make_fixed(std::int64_t nodes, bool destroy_when_complete = true) {
+    MtcServer::MtcConfig config;
+    config.name = "mtc";
+    config.fixed_nodes = nodes;
+    config.scheduler = &scheduler_;
+    config.destroy_when_complete = destroy_when_complete;
+    server_ = std::make_unique<MtcServer>(sim_, provision_, std::move(config));
+    return *server_;
+  }
+
+  MtcServer& make_elastic(ResourceManagementPolicy policy) {
+    MtcServer::MtcConfig config;
+    config.name = "mtc";
+    config.policy = policy;
+    config.scheduler = &scheduler_;
+    server_ = std::make_unique<MtcServer>(sim_, provision_, std::move(config));
+    return *server_;
+  }
+
+  sim::Simulator sim_;
+  ResourceProvisionService provision_{cluster::ResourcePool::unbounded()};
+  sched::FcfsScheduler scheduler_;
+  std::unique_ptr<MtcServer> server_;
+};
+
+TEST_F(MtcServerTest, ChainExecutesSequentially) {
+  MtcServer& server = make_fixed(4);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(chain3());
+  });
+  sim_.run();
+  EXPECT_TRUE(server.all_workflows_complete());
+  EXPECT_EQ(server.completed_tasks(), 3);
+  // Chain makespan = 10 + 20 + 30.
+  EXPECT_EQ(server.makespan(kHour), 60);
+}
+
+TEST_F(MtcServerTest, DependenciesNeverViolated) {
+  MtcServer& server = make_fixed(166);
+  const workflow::Dag dag = workflow::make_paper_montage();
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(dag);
+  });
+  sim_.run();
+  ASSERT_TRUE(server.all_workflows_complete());
+  ASSERT_EQ(server.jobs().size(), 1000u);
+  // A task's job is only submitted once its parents completed (the trigger
+  // monitor enforces this), so dependency safety reduces to: every job
+  // starts at or after its submit time, and the makespan is bounded below
+  // by the critical path.
+  for (const sched::Job& job : server.jobs()) {
+    EXPECT_GE(job.start, job.submit);
+    EXPECT_EQ(job.state, sched::JobState::kCompleted);
+  }
+  EXPECT_GE(server.makespan(kDay), dag.critical_path());
+}
+
+TEST_F(MtcServerTest, AutoDestroyClosesLeasesAtCompletion) {
+  MtcServer& server = make_fixed(166);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  sim_.run_until(2 * kWeek);
+  EXPECT_TRUE(server.is_shutdown()) << "TRE destroyed when campaign ended";
+  // Billed one hour of 166 nodes, not two weeks (Table 4's DCS/SSP row).
+  EXPECT_EQ(server.ledger().billed_node_hours(2 * kWeek), 166);
+  EXPECT_EQ(provision_.allocated(), 0);
+}
+
+TEST_F(MtcServerTest, WithoutAutoDestroyLeaseRunsOn) {
+  MtcServer& server = make_fixed(166, /*destroy_when_complete=*/false);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  sim_.run_until(10 * kHour);
+  EXPECT_FALSE(server.is_shutdown());
+  server.shutdown();
+  EXPECT_EQ(server.ledger().billed_node_hours(10 * kHour), 1660);
+}
+
+TEST_F(MtcServerTest, ElasticConvergesToSteadyStateDemand) {
+  // The Section 4.5.2 result: B=10, R=8 grows to exactly the 166-node
+  // steady state at the first 3-second scan (DR1 = 166 - 10 = 156, since
+  // MTC demand counts queued + running workflow jobs).
+  MtcServer& server = make_elastic(ResourceManagementPolicy::mtc(10, 8.0));
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  sim_.run_until(10);
+  EXPECT_EQ(server.owned(), 166);
+  sim_.run_until(2 * kHour);
+  EXPECT_TRUE(server.all_workflows_complete());
+  EXPECT_EQ(server.ledger().billed_node_hours(2 * kHour), 166);
+}
+
+TEST_F(MtcServerTest, ElasticLowThresholdExpandsAtDiffLevel) {
+  // With R=2 the 662-wide mDiffFit level (ratio ~4) triggers expansion
+  // beyond 166 — the Figure 11 sweep's expensive corner.
+  MtcServer& server = make_elastic(ResourceManagementPolicy::mtc(10, 2.0));
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  sim_.run_until(2 * kHour);
+  EXPECT_TRUE(server.all_workflows_complete());
+  EXPECT_GT(server.ledger().billed_node_hours(2 * kHour), 400);
+}
+
+TEST_F(MtcServerTest, TasksPerSecondMetric) {
+  MtcServer& server = make_fixed(166);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(workflow::make_paper_montage());
+  });
+  sim_.run_until(kDay);
+  const double tps = server.tasks_per_second(kDay);
+  EXPECT_GT(tps, 2.0);
+  EXPECT_LT(tps, 3.5);
+  EXPECT_NEAR(tps, 1000.0 / static_cast<double>(server.makespan(kDay)), 1e-9);
+}
+
+TEST_F(MtcServerTest, MakespanFallsBackToHorizonWhenUnfinished) {
+  MtcServer& server = make_fixed(1, /*destroy_when_complete=*/false);
+  workflow::Dag dag;
+  dag.add_task("long", 10 * kHour);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(dag);
+  });
+  sim_.run_until(kHour);
+  EXPECT_FALSE(server.all_workflows_complete());
+  EXPECT_EQ(server.makespan(kHour), kHour);
+  EXPECT_EQ(server.completed_tasks(kHour), 0);
+}
+
+TEST_F(MtcServerTest, GatedWorkflowWaitsForSimulatedDataArrival) {
+  // Stage "b" of the chain waits for an external condition (the watched
+  // file changes at t=500) on top of its dataflow parent (done at t=10).
+  MtcServer& server = make_fixed(4, /*destroy_when_complete=*/false);
+  MtcServer::GatedSubmission submission;
+  sim_.schedule_at(0, [&] {
+    server.start();
+    submission = server.submit_workflow_gated(chain3(), {1});
+  });
+  sim_.schedule_at(500, [&] { server.fire_trigger(submission.triggers[0]); });
+  sim_.run_until(kHour);
+  ASSERT_TRUE(server.all_workflows_complete());
+  // a: 0..10; b: released at 500, runs 20; c: 530..560.
+  EXPECT_EQ(server.jobs()[1].start, 500);
+  EXPECT_EQ(server.last_finish(), 550);
+}
+
+TEST_F(MtcServerTest, TwoWorkflowsInterleave) {
+  MtcServer& server = make_fixed(8, /*destroy_when_complete=*/true);
+  sim_.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(chain3());
+    server.submit_workflow(chain3());
+  });
+  sim_.run();
+  EXPECT_TRUE(server.all_workflows_complete());
+  EXPECT_EQ(server.completed_tasks(), 6);
+  EXPECT_TRUE(server.is_shutdown());
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,147 @@
+// Property tests over the elastic policy space: for every (B, R, seed)
+// combination the server must uphold its invariants regardless of how the
+// workload exercises it.
+#include <gtest/gtest.h>
+
+#include "core/htc_server.hpp"
+#include "core/job_emulator.hpp"
+#include "sched/first_fit.hpp"
+#include "sim/simulator.hpp"
+#include "workload/models.hpp"
+
+namespace dc::core {
+namespace {
+
+struct PolicyCase {
+  std::int64_t b;
+  double r;
+  std::int64_t max_nodes;
+  std::uint64_t seed;
+};
+
+void PrintTo(const PolicyCase& c, std::ostream* os) {
+  *os << "B" << c.b << "_R" << c.r << "_max" << c.max_nodes << "_seed"
+      << c.seed;
+}
+
+class PolicyProperty : public ::testing::TestWithParam<PolicyCase> {};
+
+workload::Trace small_trace(std::uint64_t seed) {
+  workload::SyntheticTraceSpec spec;
+  spec.name = "prop";
+  spec.capacity_nodes = 48;
+  spec.period = 2 * kDay;
+  spec.submit_margin = 3 * kHour;
+  spec.jobs_per_day = 200;
+  spec.bursts_per_day = 2;
+  spec.burst_jobs_min = 3;
+  spec.burst_jobs_max = 10;
+  spec.width_weights = {{1, 0.4}, {2, 0.25}, {4, 0.18}, {8, 0.1},
+                        {16, 0.05}, {48, 0.02}};
+  spec.hyper_mean1 = 600;
+  spec.hyper_mean2 = 5000;
+  return workload::generate_trace(spec, seed);
+}
+
+TEST_P(PolicyProperty, ServerInvariantsHoldForEveryPolicyPoint) {
+  const PolicyCase& param = GetParam();
+  const workload::Trace trace = small_trace(param.seed);
+  const SimTime horizon = trace.period();
+
+  sim::Simulator sim;
+  ResourceProvisionService provision(cluster::ResourcePool::unbounded());
+  sched::FirstFitScheduler first_fit;
+  HtcServer::Config config;
+  config.name = "prop";
+  config.policy =
+      ResourceManagementPolicy::htc(param.b, param.r, param.max_nodes);
+  config.scheduler = &first_fit;
+  HtcServer server(sim, provision, std::move(config));
+  sim.schedule_at(0, [&] { server.start(); });
+  JobEmulator emulator(sim);
+  // A job wider than the subscription can never run (DR2 is clamped to the
+  // cap); clamp widths so every job is feasible and conservation holds.
+  const std::int64_t widest =
+      param.max_nodes > 0 ? param.max_nodes : trace.capacity_nodes();
+  emulator.emulate_trace(trace, [&](const workload::TraceJob& job) {
+    server.submit(job.runtime, std::min(job.nodes, widest));
+  });
+
+  int violations = 0;
+  for (SimTime t = 15 * kMinute; t <= horizon; t += 15 * kMinute) {
+    sim.schedule_at(t, [&] {
+      if (server.busy() > server.owned()) ++violations;
+      if (server.owned() < param.b) ++violations;  // B never released
+      if (param.max_nodes > 0 && server.owned() > param.max_nodes) ++violations;
+      if (provision.allocated() != server.owned()) ++violations;
+    });
+  }
+  sim.run_until(horizon);
+  EXPECT_EQ(violations, 0);
+
+  // Billing sanity: billed covers the exact integral, and at least B for
+  // the whole run.
+  EXPECT_GE(static_cast<double>(server.ledger().billed_node_hours(horizon)),
+            server.ledger().exact_node_hours(horizon) - 1e-6);
+  EXPECT_GE(server.ledger().billed_node_hours(horizon),
+            param.b * (horizon / kHour));
+
+  // Work conservation: everything submitted eventually runs (jobs fit the
+  // subscription, the trace leaves a drain margin, and we allow spillover
+  // past the horizon for jobs still running).
+  EXPECT_EQ(server.submitted_jobs(),
+            static_cast<std::int64_t>(trace.size()));
+  sim.run_until(horizon + 2 * kDay);
+  EXPECT_EQ(server.completed_jobs(), server.submitted_jobs());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PolicyProperty,
+    ::testing::Values(PolicyCase{4, 1.0, 48, 1}, PolicyCase{4, 2.0, 48, 2},
+                      PolicyCase{12, 1.2, 48, 3}, PolicyCase{12, 1.5, 0, 4},
+                      PolicyCase{24, 1.0, 0, 5}, PolicyCase{24, 1.8, 48, 6},
+                      PolicyCase{48, 1.5, 48, 7}, PolicyCase{8, 1.2, 16, 8}));
+
+class ContentionProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ContentionProperty, BoundedPlatformNeverOverAllocatesUnderAnyMode) {
+  for (const auto mode : {ProvisionPolicy::ContentionMode::kReject,
+                          ProvisionPolicy::ContentionMode::kQueueByPriority}) {
+    const workload::Trace trace = small_trace(GetParam());
+    sim::Simulator sim;
+    ProvisionPolicy policy;
+    policy.contention = mode;
+    ResourceProvisionService provision(cluster::ResourcePool(30), policy);
+    sched::FirstFitScheduler first_fit;
+    HtcServer::Config config;
+    config.name = "bounded";
+    config.policy = ResourceManagementPolicy::htc(6, 1.2, 0);
+    config.scheduler = &first_fit;
+    HtcServer server(sim, provision, std::move(config));
+    sim.schedule_at(0, [&] { server.start(); });
+    JobEmulator emulator(sim);
+    emulator.emulate_trace(trace, [&](const workload::TraceJob& job) {
+      // Clamp widths to the platform bound so every job is feasible.
+      server.submit(job.runtime, std::min<std::int64_t>(job.nodes, 30));
+    });
+    int violations = 0;
+    for (SimTime t = kHour; t <= trace.period(); t += kHour) {
+      sim.schedule_at(t, [&] {
+        if (provision.allocated() > 30) ++violations;
+        if (server.owned() > 30) ++violations;
+      });
+    }
+    sim.run_until(trace.period());
+    EXPECT_EQ(violations, 0) << "mode "
+                             << (mode == ProvisionPolicy::ContentionMode::kReject
+                                     ? "reject"
+                                     : "queue");
+    EXPECT_GT(server.completed_jobs(), 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ContentionProperty,
+                         ::testing::Values(21u, 22u, 23u));
+
+}  // namespace
+}  // namespace dc::core

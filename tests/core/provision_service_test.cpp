@@ -1,0 +1,146 @@
+#include "core/provision_service.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::core {
+namespace {
+
+TEST(ProvisionService, GrantsAndReclaims) {
+  ResourceProvisionService service(cluster::ResourcePool(100));
+  const auto tre = service.register_consumer("tre");
+  EXPECT_TRUE(service.request(0, tre, 40));
+  EXPECT_EQ(service.allocated(), 40);
+  EXPECT_EQ(service.held_by(tre), 40);
+  service.release(kHour, tre, 15);
+  EXPECT_EQ(service.allocated(), 25);
+  EXPECT_EQ(service.held_by(tre), 25);
+}
+
+TEST(ProvisionService, AllOrNothingOnPoolExhaustion) {
+  ResourceProvisionService service(cluster::ResourcePool(50));
+  const auto a = service.register_consumer("a");
+  const auto b = service.register_consumer("b");
+  EXPECT_TRUE(service.request(0, a, 40));
+  EXPECT_FALSE(service.request(0, b, 20)) << "partial grants are not allowed";
+  EXPECT_EQ(service.allocated(), 40) << "rejected request changes nothing";
+  EXPECT_EQ(service.rejected_requests(), 1);
+  EXPECT_TRUE(service.request(0, b, 10));
+}
+
+TEST(ProvisionService, SubscriptionCapRejectsExcess) {
+  ResourceProvisionService service(cluster::ResourcePool::unbounded());
+  const auto tre = service.register_consumer("capped", /*subscription_cap=*/64);
+  EXPECT_EQ(service.subscription_cap(tre), 64);
+  EXPECT_TRUE(service.request(0, tre, 60));
+  EXPECT_FALSE(service.request(0, tre, 5));
+  EXPECT_EQ(service.rejected_requests(), 1);
+  EXPECT_TRUE(service.request(0, tre, 4));
+  EXPECT_EQ(service.held_by(tre), 64);
+}
+
+TEST(ProvisionService, CapIsPerConsumer) {
+  ResourceProvisionService service(cluster::ResourcePool::unbounded());
+  const auto a = service.register_consumer("a", 10);
+  const auto b = service.register_consumer("b");  // uncapped
+  EXPECT_FALSE(service.request(0, a, 11));
+  EXPECT_TRUE(service.request(0, b, 100000));
+}
+
+TEST(ProvisionService, UsageAndAdjustmentBookkeeping) {
+  ResourceProvisionService service(cluster::ResourcePool::unbounded());
+  const auto tre = service.register_consumer("tre");
+  service.request(0, tre, 10);
+  service.request(kHour, tre, 5);
+  service.release(2 * kHour, tre, 15);
+  EXPECT_EQ(service.usage().peak(), 15);
+  EXPECT_EQ(service.usage().current(), 0);
+  EXPECT_DOUBLE_EQ(service.usage().node_hours(2 * kHour), 25.0);
+  // Adjustments count both grants and reclaims: 10 + 5 + 15.
+  EXPECT_EQ(service.adjustments().total_adjusted_nodes(), 30);
+}
+
+TEST(ProvisionService, DcsPolicyDisablesAdjustmentCounting) {
+  ProvisionPolicy policy;
+  policy.count_adjustments = false;
+  ResourceProvisionService service(cluster::ResourcePool::unbounded(), policy);
+  const auto tre = service.register_consumer("tre");
+  service.request(0, tre, 10);
+  service.release(kHour, tre, 10);
+  EXPECT_EQ(service.adjustments().total_adjusted_nodes(), 0);
+  EXPECT_EQ(service.usage().peak(), 10) << "usage is still tracked";
+}
+
+TEST(ProvisionService, WaitingQueueGrantsOnRelease) {
+  ProvisionPolicy policy;
+  policy.contention = ProvisionPolicy::ContentionMode::kQueueByPriority;
+  ResourceProvisionService service(cluster::ResourcePool(10), policy);
+  const auto holder = service.register_consumer("holder");
+  const auto waiter = service.register_consumer("waiter");
+  ASSERT_TRUE(service.request(0, holder, 8));
+
+  SimTime granted_at = kNever;
+  EXPECT_FALSE(service.request_or_wait(
+      1, waiter, 5, [&](SimTime at) { granted_at = at; }));
+  EXPECT_EQ(service.waiting_requests(), 1u);
+  EXPECT_EQ(granted_at, kNever);
+
+  service.release(100, holder, 4);
+  EXPECT_EQ(granted_at, 100);
+  EXPECT_EQ(service.held_by(waiter), 5);
+  EXPECT_EQ(service.waiting_requests(), 0u);
+}
+
+TEST(ProvisionService, WaitingQueueHonorsPriorityStrictly) {
+  ProvisionPolicy policy;
+  policy.contention = ProvisionPolicy::ContentionMode::kQueueByPriority;
+  ResourceProvisionService service(cluster::ResourcePool(10), policy);
+  const auto holder = service.register_consumer("holder");
+  const auto low = service.register_consumer("low", 0, /*priority=*/1);
+  const auto high = service.register_consumer("high", 0, /*priority=*/5);
+  ASSERT_TRUE(service.request(0, holder, 10));
+
+  std::vector<std::string> grant_order;
+  service.request_or_wait(1, low, 2, [&](SimTime) { grant_order.push_back("low"); });
+  service.request_or_wait(2, high, 6, [&](SimTime) { grant_order.push_back("high"); });
+
+  // Freeing 3 nodes is not enough for the high-priority request; the
+  // low-priority one must NOT jump the queue.
+  service.release(10, holder, 3);
+  EXPECT_TRUE(grant_order.empty());
+  service.release(20, holder, 4);  // 7 free: high (6) grants, then low (2)? 1 left
+  EXPECT_EQ(grant_order, std::vector<std::string>{"high"});
+  service.release(30, holder, 3);  // 4 free (high holds 6): low grants
+  EXPECT_EQ(grant_order, (std::vector<std::string>{"high", "low"}));
+}
+
+TEST(ProvisionService, RejectModeNeverQueues) {
+  ResourceProvisionService service(cluster::ResourcePool(4));
+  const auto a = service.register_consumer("a");
+  ASSERT_TRUE(service.request(0, a, 4));
+  bool granted = false;
+  EXPECT_FALSE(service.request_or_wait(1, a, 1, [&](SimTime) { granted = true; }));
+  EXPECT_EQ(service.waiting_requests(), 0u);
+  service.release(2, a, 4);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(service.rejected_requests(), 1);
+}
+
+TEST(ProvisionService, CapViolationRejectsEvenInQueueMode) {
+  ProvisionPolicy policy;
+  policy.contention = ProvisionPolicy::ContentionMode::kQueueByPriority;
+  ResourceProvisionService service(cluster::ResourcePool::unbounded(), policy);
+  const auto capped = service.register_consumer("capped", /*subscription_cap=*/4);
+  EXPECT_FALSE(service.request_or_wait(0, capped, 5, nullptr));
+  EXPECT_EQ(service.waiting_requests(), 0u)
+      << "a request the consumer may never hold cannot wait";
+}
+
+TEST(ProvisionService, ZeroRequestsAlwaysSucceed) {
+  ResourceProvisionService service(cluster::ResourcePool(1));
+  const auto tre = service.register_consumer("tre", 1);
+  EXPECT_TRUE(service.request(0, tre, 0));
+  EXPECT_EQ(service.rejected_requests(), 0);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,101 @@
+#include "core/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace dc::core {
+namespace {
+
+HtcWorkloadSpec tiny_htc() {
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = "tiny";
+  trace_spec.capacity_nodes = 16;
+  trace_spec.period = kDay;
+  trace_spec.submit_margin = 2 * kHour;
+  trace_spec.jobs_per_day = 120;
+  trace_spec.width_weights = {{1, 0.5}, {2, 0.3}, {4, 0.15}, {16, 0.05}};
+  trace_spec.hyper_mean1 = 400;
+  trace_spec.hyper_mean2 = 2500;
+
+  HtcWorkloadSpec spec;
+  spec.name = "tiny";
+  spec.trace = workload::generate_trace(trace_spec, 3);
+  spec.fixed_nodes = 16;
+  spec.policy = ResourceManagementPolicy::htc(4, 1.5, 16);
+  return spec;
+}
+
+TEST(Tuning, EvaluatesTheWholeGridPlusRefinements) {
+  const auto result = tune_htc_policy(tiny_htc(), {2, 8}, {1.0, 2.0});
+  EXPECT_GE(result.evaluated.size(), 4u);
+  // The winner is one of the evaluated candidates.
+  bool found = false;
+  for (const auto& candidate : result.evaluated) {
+    if (candidate.b == result.best.initial_nodes &&
+        candidate.r == result.best.threshold_ratio) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Tuning, WinnerIsCheapestAmongQualityQualified) {
+  const auto result = tune_htc_policy(tiny_htc(), {2, 4, 8, 12}, {1.0, 1.5, 2.0});
+  double best_quality = 0.0;
+  for (const auto& candidate : result.evaluated) {
+    best_quality = std::max(best_quality, candidate.quality);
+  }
+  const double floor = best_quality * (1.0 - 0.002);
+  EXPECT_GE(result.best_candidate.quality, floor);
+  for (const auto& candidate : result.evaluated) {
+    if (candidate.quality >= floor) {
+      EXPECT_LE(result.best_candidate.consumption_node_hours,
+                candidate.consumption_node_hours);
+    }
+  }
+}
+
+TEST(Tuning, PreservesNonSearchedPolicyFields) {
+  HtcWorkloadSpec spec = tiny_htc();
+  spec.policy.max_nodes = 16;
+  spec.policy.scan_interval = 2 * kMinute;
+  const auto result = tune_htc_policy(spec, {4}, {1.5});
+  EXPECT_EQ(result.best.max_nodes, 16);
+  EXPECT_EQ(result.best.scan_interval, 2 * kMinute);
+}
+
+TEST(Tuning, MtcHighToleranceFindsTheEfficientFrontier) {
+  workflow::MontageParams params;
+  params.inputs = 30;  // 184 tasks
+  MtcWorkloadSpec spec;
+  spec.name = "wf";
+  spec.dag = workflow::make_montage(params, 2);
+  spec.fixed_nodes = 30;
+  spec.policy = ResourceManagementPolicy::mtc(4, 8.0);
+
+  TuningObjective lenient;
+  lenient.quality_tolerance = 0.15;
+  const auto frontier = tune_mtc_policy(spec, {4, 8}, {2.0, 6.0}, lenient);
+  TuningObjective strict;
+  strict.quality_tolerance = 0.0005;
+  const auto fastest = tune_mtc_policy(spec, {4, 8}, {2.0, 6.0}, strict);
+  // A lenient tolerance can only make the chosen configuration cheaper.
+  EXPECT_LE(frontier.best_candidate.consumption_node_hours,
+            fastest.best_candidate.consumption_node_hours);
+  EXPECT_GE(fastest.best_candidate.quality, frontier.best_candidate.quality);
+}
+
+TEST(Tuning, DeterministicReport) {
+  const auto a = tune_htc_policy(tiny_htc(), {4, 8}, {1.2, 1.8});
+  const auto b = tune_htc_policy(tiny_htc(), {4, 8}, {1.2, 1.8});
+  EXPECT_EQ(a.best.initial_nodes, b.best.initial_nodes);
+  EXPECT_EQ(a.best.threshold_ratio, b.best.threshold_ratio);
+  const std::string report = format_tuning_report("tiny", a);
+  EXPECT_NE(report.find("tiny"), std::string::npos);
+  EXPECT_NE(report.find("best policy"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,55 @@
+#include "cost/tco.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::cost {
+namespace {
+
+TEST(DcsCostModel, PaperConstants) {
+  const DcsCostModel model;
+  // $120,000 over 96 months = $1,250/month depreciation.
+  EXPECT_DOUBLE_EQ(model.capex_depreciation_per_month(), 1250.0);
+  // $30,000 over 96 months = $312.50/month maintenance.
+  EXPECT_DOUBLE_EQ(model.maintenance_per_month(), 312.5);
+  EXPECT_DOUBLE_EQ(model.opex_per_month(), 312.5 + 1600.0);
+  // TCO_dcs ~= $3,160/month as published (paper rounds 3162.50 down).
+  EXPECT_NEAR(model.tco_per_month(), 3160.0, 5.0);
+}
+
+TEST(Ec2CostModel, PaperConstants) {
+  const Ec2CostModel model;
+  // 30 instances * 24h * 30 days * $0.10 = $2,160.
+  EXPECT_DOUBLE_EQ(model.instance_cost_per_month(30), 2160.0);
+  EXPECT_DOUBLE_EQ(model.transfer_cost_per_month(1000.0), 100.0);
+  EXPECT_DOUBLE_EQ(model.tco_per_month(30, 1000.0), 2260.0);
+}
+
+TEST(PaperComparison, SspIsAbout71Percent) {
+  const TcoComparison comparison = paper_tco_comparison();
+  EXPECT_NEAR(comparison.dcs_per_month, 3162.5, 0.01);
+  EXPECT_DOUBLE_EQ(comparison.ssp_per_month, 2260.0);
+  EXPECT_NEAR(comparison.ssp_over_dcs, 0.715, 0.002);
+}
+
+TEST(PaperComparison, ReportMentionsBothTcos) {
+  const std::string out = format_tco_report(paper_tco_comparison());
+  EXPECT_NE(out.find("2260"), std::string::npos);
+  EXPECT_NE(out.find("71.5%"), std::string::npos);
+}
+
+TEST(ConsumptionCost, PricesNodeHours) {
+  EXPECT_DOUBLE_EQ(consumption_cost_usd(1000), 100.0);
+  Ec2CostModel custom;
+  custom.usd_per_instance_hour = 0.25;
+  EXPECT_DOUBLE_EQ(consumption_cost_usd(100, custom), 25.0);
+}
+
+TEST(DcsCostModel, ScalesWithDepreciationCycle) {
+  DcsCostModel model;
+  model.depreciation_years = 4.0;
+  EXPECT_DOUBLE_EQ(model.capex_depreciation_per_month(), 2500.0);
+  EXPECT_GT(model.tco_per_month(), DcsCostModel{}.tco_per_month());
+}
+
+}  // namespace
+}  // namespace dc::cost

@@ -1,0 +1,94 @@
+// Cross-system invariants, parameterized over trace seeds: relations that
+// must hold between the four usage models on ANY workload, not just the
+// calibrated paper one.
+#include <gtest/gtest.h>
+
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "workload/models.hpp"
+
+namespace dc::core {
+namespace {
+
+class CrossSystem : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  static ConsolidationWorkload workload(std::uint64_t seed) {
+    workload::SyntheticTraceSpec spec;
+    spec.name = "x";
+    spec.capacity_nodes = 40;
+    spec.period = 3 * kDay;
+    spec.submit_margin = 4 * kHour;
+    spec.jobs_per_day = 180;
+    spec.width_weights = {{1, 0.45}, {2, 0.25}, {4, 0.15}, {8, 0.1},
+                          {40, 0.05}};
+    spec.hyper_mean1 = 700;
+    spec.hyper_mean2 = 4000;
+    ConsolidationWorkload out;
+    HtcWorkloadSpec htc;
+    htc.name = "x";
+    htc.trace = workload::generate_trace(spec, seed);
+    htc.fixed_nodes = 40;
+    htc.policy = ResourceManagementPolicy::htc(10, 1.5, 40);
+    out.htc.push_back(std::move(htc));
+    return out;
+  }
+};
+
+TEST_P(CrossSystem, UniversalRelations) {
+  const auto results = run_all_systems(workload(GetParam()));
+  const auto& dcs = metrics::result_for(results, SystemModel::kDcs);
+  const auto& ssp = metrics::result_for(results, SystemModel::kSsp);
+  const auto& drp = metrics::result_for(results, SystemModel::kDrp);
+  const auto& dawning = metrics::result_for(results, SystemModel::kDawningCloud);
+
+  // DCS and SSP are mechanically identical.
+  EXPECT_EQ(dcs.total_consumption_node_hours, ssp.total_consumption_node_hours);
+  EXPECT_EQ(dcs.peak_nodes, ssp.peak_nodes);
+  EXPECT_EQ(dcs.provider("x").completed_jobs, ssp.provider("x").completed_jobs);
+
+  // Fixed systems' consumption is exactly size x period.
+  EXPECT_EQ(dcs.provider("x").consumption_node_hours, 40 * 72);
+
+  // DRP completes at least as many jobs as any queue-based system (no
+  // queueing), with zero wait.
+  EXPECT_GE(drp.provider("x").completed_jobs, dcs.provider("x").completed_jobs);
+  EXPECT_GE(drp.provider("x").completed_jobs,
+            dawning.provider("x").completed_jobs);
+  EXPECT_DOUBLE_EQ(drp.provider("x").mean_wait_seconds, 0.0);
+
+  // The subscription cap bounds DawningCloud's peak by the fixed size.
+  EXPECT_LE(dawning.provider("x").peak_nodes, 40);
+  EXPECT_LE(dawning.peak_nodes, dcs.peak_nodes);
+
+  // DawningCloud can never exceed the fixed systems' consumption when
+  // capped at their size (it holds a subset of the nodes at all times).
+  EXPECT_LE(dawning.total_consumption_node_hours,
+            dcs.total_consumption_node_hours);
+
+  // Billing dominates the exact integral everywhere.
+  for (const auto& result : results) {
+    for (const auto& provider : result.providers) {
+      EXPECT_LE(provider.exact_node_hours,
+                static_cast<double>(provider.consumption_node_hours) + 1e-6);
+    }
+    // The hourly series' maximum is the reported peak.
+    std::int64_t series_max = 0;
+    for (std::int64_t level : result.hourly_peak_series) {
+      series_max = std::max(series_max, level);
+    }
+    EXPECT_EQ(series_max, result.peak_nodes)
+        << system_model_name(result.model);
+  }
+
+  // Adjustment accounting: DCS has none; SSP exactly startup+teardown.
+  EXPECT_EQ(dcs.adjusted_nodes, 0);
+  EXPECT_EQ(ssp.adjusted_nodes, 2 * 40);
+  EXPECT_GE(drp.adjusted_nodes, dawning.adjusted_nodes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSystem,
+                         ::testing::Values(31u, 32u, 33u, 34u, 35u));
+
+}  // namespace
+}  // namespace dc::core

@@ -1,0 +1,56 @@
+#include "metrics/markdown.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::metrics {
+namespace {
+
+using core::ProviderResult;
+using core::SystemModel;
+using core::SystemResult;
+
+std::vector<SystemResult> fake_results() {
+  std::vector<SystemResult> results;
+  const SystemModel models[] = {SystemModel::kDcs, SystemModel::kSsp,
+                                SystemModel::kDrp, SystemModel::kDawningCloud};
+  const std::int64_t consumptions[] = {1000, 1000, 1258, 675};
+  for (int i = 0; i < 4; ++i) {
+    SystemResult result;
+    result.model = models[i];
+    ProviderResult provider;
+    provider.provider = "P";
+    provider.completed_jobs = 42;
+    provider.tasks_per_second = 2.49;
+    provider.consumption_node_hours = consumptions[i];
+    result.providers.push_back(provider);
+    results.push_back(result);
+  }
+  return results;
+}
+
+TEST(MarkdownTable, BasicStructure) {
+  const std::string out =
+      markdown_table({"a", "b"}, {{"1", "2"}, {"3", "4"}});
+  EXPECT_EQ(out, "| a | b |\n|---|---|\n| 1 | 2 |\n| 3 | 4 |\n");
+}
+
+TEST(MarkdownTable, EscapesPipes) {
+  const std::string out = markdown_table({"h"}, {{"a|b"}});
+  EXPECT_NE(out.find("a\\|b"), std::string::npos);
+}
+
+TEST(MarkdownHtcTable, HasBaselineDashAndSavedPercent) {
+  const std::string out = markdown_htc_provider_table(fake_results(), "P");
+  EXPECT_NE(out.find("| DCS | 42 | 1000 | — |"), std::string::npos);
+  EXPECT_NE(out.find("32.5%"), std::string::npos);
+  EXPECT_NE(out.find("-25.8%"), std::string::npos);
+}
+
+TEST(MarkdownMtcTable, ShowsTasksPerSecond) {
+  const std::string out = markdown_mtc_provider_table(fake_results(), "P");
+  EXPECT_NE(out.find("2.49"), std::string::npos);
+  EXPECT_NE(out.find("tasks/s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::metrics

@@ -1,0 +1,101 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::metrics {
+namespace {
+
+using core::ProviderResult;
+using core::SystemModel;
+using core::SystemResult;
+
+std::vector<SystemResult> fake_results() {
+  std::vector<SystemResult> results;
+  const SystemModel models[] = {SystemModel::kDcs, SystemModel::kSsp,
+                                SystemModel::kDrp, SystemModel::kDawningCloud};
+  const std::int64_t consumptions[] = {1000, 1000, 1258, 675};
+  for (int i = 0; i < 4; ++i) {
+    SystemResult result;
+    result.model = models[i];
+    result.horizon = 336 * kHour;
+    ProviderResult provider;
+    provider.provider = "P";
+    provider.completed_jobs = 100;
+    provider.consumption_node_hours = consumptions[i];
+    provider.tasks_per_second = 2.5;
+    result.providers.push_back(provider);
+    result.total_consumption_node_hours = consumptions[i];
+    result.peak_nodes = 100 + i;
+    result.adjusted_nodes = 10 * i;
+    result.overhead_seconds = 157.43 * i;
+    results.push_back(result);
+  }
+  return results;
+}
+
+TEST(SavedPercent, MatchesPaperConvention) {
+  EXPECT_DOUBLE_EQ(saved_percent(1000, 675), 32.5);
+  EXPECT_DOUBLE_EQ(saved_percent(1000, 1258), -25.8);
+  EXPECT_DOUBLE_EQ(saved_percent(1000, 1000), 0.0);
+  EXPECT_DOUBLE_EQ(saved_percent(0, 50), 0.0);
+}
+
+TEST(ResultFor, FindsModel) {
+  const auto results = fake_results();
+  EXPECT_EQ(result_for(results, SystemModel::kDrp).model, SystemModel::kDrp);
+}
+
+TEST(HtcTable, ContainsRowsAndSavedPercentages) {
+  const std::string out =
+      format_htc_provider_table(fake_results(), "P", "Table X");
+  EXPECT_NE(out.find("Table X"), std::string::npos);
+  EXPECT_NE(out.find("DCS system"), std::string::npos);
+  EXPECT_NE(out.find("DawningCloud system"), std::string::npos);
+  EXPECT_NE(out.find("32.5%"), std::string::npos);
+  EXPECT_NE(out.find("-25.8%"), std::string::npos);
+  EXPECT_NE(out.find("/"), std::string::npos) << "DCS row shows '/' baseline";
+}
+
+TEST(MtcTable, ShowsTasksPerSecond) {
+  const std::string out = format_mtc_provider_table(fake_results(), "P", "T");
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("tasks per second"), std::string::npos);
+}
+
+TEST(ProviderReport, ShowsTotalsAndRatios) {
+  const std::string out = format_resource_provider_report(fake_results());
+  EXPECT_NE(out.find("1258"), std::string::npos);
+  EXPECT_NE(out.find("1.03x"), std::string::npos);  // 103/100 peak ratio
+}
+
+TEST(OverheadReport, ShowsAdjustments) {
+  const std::string out = format_overhead_report(fake_results());
+  EXPECT_NE(out.find("30"), std::string::npos);
+  EXPECT_NE(out.find("15.743"), std::string::npos);
+}
+
+TEST(ModelComparisonTable, MatchesPaperTable1) {
+  const std::string out = format_model_comparison_table();
+  EXPECT_NE(out.find("resource property"), std::string::npos);
+  EXPECT_NE(out.find("created on the demand"), std::string::npos);
+  EXPECT_NE(out.find("no offering"), std::string::npos);
+  EXPECT_NE(out.find("stereotyped"), std::string::npos);
+  EXPECT_NE(out.find("flexible"), std::string::npos);
+}
+
+TEST(ResultsCsv, WritesOneRowPerSystemProvider) {
+  const std::string path = ::testing::TempDir() + "/results.csv";
+  {
+    CsvWriter csv(path);
+    write_results_csv(csv, fake_results());
+  }
+  std::ifstream in(path);
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) ++lines;
+  EXPECT_EQ(lines, 1 + 4);  // header + 4 system-provider rows
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace dc::metrics

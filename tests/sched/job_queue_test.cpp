@@ -1,0 +1,67 @@
+#include "sched/job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::sched {
+namespace {
+
+TEST(JobQueue, PushAndOrder) {
+  JobQueue queue;
+  queue.push(5);
+  queue.push(2);
+  queue.push(9);
+  EXPECT_EQ(queue.items(), (std::vector<JobId>{5, 2, 9}));
+  EXPECT_EQ(queue.size(), 3u);
+  EXPECT_FALSE(queue.empty());
+}
+
+TEST(JobQueue, RemoveNothing) {
+  JobQueue queue;
+  queue.push(1);
+  queue.remove_positions({});
+  EXPECT_EQ(queue.size(), 1u);
+}
+
+TEST(JobQueue, RemoveMiddlePreservesOrder) {
+  JobQueue queue;
+  for (JobId id : {10, 11, 12, 13, 14}) queue.push(id);
+  queue.remove_positions({1, 3});
+  EXPECT_EQ(queue.items(), (std::vector<JobId>{10, 12, 14}));
+}
+
+TEST(JobQueue, RemoveEndsAndAll) {
+  JobQueue queue;
+  for (JobId id : {1, 2, 3}) queue.push(id);
+  queue.remove_positions({0, 2});
+  EXPECT_EQ(queue.items(), std::vector<JobId>{2});
+  queue.remove_positions({0});
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(JobQueue, Clear) {
+  JobQueue queue;
+  queue.push(1);
+  queue.clear();
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(Job, ExpectedEndAndWait) {
+  Job job;
+  job.submit = 100;
+  job.runtime = 50;
+  EXPECT_EQ(job.expected_end(), kNever);
+  EXPECT_EQ(job.wait_time(), 0);
+  job.start = 130;
+  EXPECT_EQ(job.expected_end(), 180);
+  EXPECT_EQ(job.wait_time(), 30);
+}
+
+TEST(Job, StateNames) {
+  EXPECT_STREQ(job_state_name(JobState::kPending), "pending");
+  EXPECT_STREQ(job_state_name(JobState::kQueued), "queued");
+  EXPECT_STREQ(job_state_name(JobState::kRunning), "running");
+  EXPECT_STREQ(job_state_name(JobState::kCompleted), "completed");
+}
+
+}  // namespace
+}  // namespace dc::sched

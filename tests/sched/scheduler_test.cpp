@@ -1,0 +1,194 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/first_fit.hpp"
+#include "util/rng.hpp"
+
+namespace dc::sched {
+namespace {
+
+std::vector<Job> make_jobs(const std::vector<std::int64_t>& widths,
+                           SimDuration runtime = 600) {
+  std::vector<Job> jobs(widths.size());
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    jobs[i].id = static_cast<JobId>(i);
+    jobs[i].nodes = widths[i];
+    jobs[i].runtime = runtime;
+  }
+  return jobs;
+}
+
+std::vector<const Job*> views(const std::vector<Job>& jobs) {
+  std::vector<const Job*> out;
+  for (const Job& job : jobs) out.push_back(&job);
+  return out;
+}
+
+std::int64_t total_width(const std::vector<Job>& jobs,
+                         const std::vector<std::size_t>& picks) {
+  std::int64_t total = 0;
+  for (std::size_t pos : picks) total += jobs[pos].nodes;
+  return total;
+}
+
+// --- FirstFit ---------------------------------------------------------------
+
+TEST(FirstFit, SkipsTooWideJobsAndKeepsScanning) {
+  const auto jobs = make_jobs({8, 16, 4, 2});
+  FirstFitScheduler scheduler;
+  const auto picks = scheduler.select(views(jobs), {}, 14, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 2, 3}));
+}
+
+TEST(FirstFit, EmptyQueueOrNoIdle) {
+  FirstFitScheduler scheduler;
+  EXPECT_TRUE(scheduler.select({}, {}, 100, 0).empty());
+  const auto jobs = make_jobs({1});
+  EXPECT_TRUE(scheduler.select(views(jobs), {}, 0, 0).empty());
+}
+
+TEST(FirstFit, TakesEverythingThatFits) {
+  const auto jobs = make_jobs({4, 4, 4});
+  FirstFitScheduler scheduler;
+  EXPECT_EQ(scheduler.select(views(jobs), {}, 12, 0).size(), 3u);
+}
+
+// --- FCFS -------------------------------------------------------------------
+
+TEST(Fcfs, BlocksBehindHead) {
+  const auto jobs = make_jobs({16, 4, 2});
+  FcfsScheduler scheduler;
+  // Head needs 16, only 14 idle: nothing may start.
+  EXPECT_TRUE(scheduler.select(views(jobs), {}, 14, 0).empty());
+}
+
+TEST(Fcfs, TakesPrefixThatFits) {
+  const auto jobs = make_jobs({4, 8, 16, 1});
+  FcfsScheduler scheduler;
+  const auto picks = scheduler.select(views(jobs), {}, 13, 0);
+  EXPECT_EQ(picks, (std::vector<std::size_t>{0, 1}));
+}
+
+// --- EASY backfilling --------------------------------------------------------
+
+TEST(EasyBackfill, BehavesLikeFcfsWhenEverythingFits) {
+  const auto jobs = make_jobs({4, 4});
+  EasyBackfillScheduler scheduler;
+  EXPECT_EQ(scheduler.select(views(jobs), {}, 8, 0).size(), 2u);
+}
+
+TEST(EasyBackfill, BackfillsShortJobBehindBlockedHead) {
+  // 10 nodes total; running job holds 6 until t=1000. Head needs 8 (blocked
+  // until then). A 600-second 4-node job finishes before the reservation,
+  // so it backfills.
+  std::vector<Job> running_jobs = make_jobs({6});
+  running_jobs[0].start = 0;
+  running_jobs[0].runtime = 1000;
+  std::vector<Job> queued = make_jobs({8, 4});
+  queued[1].runtime = 600;
+
+  EasyBackfillScheduler scheduler;
+  const auto picks = scheduler.select(views(queued), views(running_jobs), 4, 0);
+  EXPECT_EQ(picks, std::vector<std::size_t>{1});
+}
+
+TEST(EasyBackfill, RefusesBackfillThatWouldDelayReservation) {
+  // Same setup, but the backfill candidate runs 2000 s > shadow time 1000
+  // and would eat into the head job's reserved nodes (8 of 10 at shadow).
+  std::vector<Job> running_jobs = make_jobs({6});
+  running_jobs[0].start = 0;
+  running_jobs[0].runtime = 1000;
+  std::vector<Job> queued = make_jobs({8, 4});
+  queued[1].runtime = 2000;
+
+  EasyBackfillScheduler scheduler;
+  const auto picks = scheduler.select(views(queued), views(running_jobs), 4, 0);
+  EXPECT_TRUE(picks.empty());
+}
+
+TEST(EasyBackfill, AllowsLongBackfillIntoSpareNodes) {
+  // Machine of 20: 10 idle now, a running 10-node job ends at t=500. The
+  // head needs 18, reserved at t=500 with 20-18 = 2 spare nodes, so a long
+  // 2-node job may start now even though it outlives the shadow time.
+  std::vector<Job> running_jobs = make_jobs({10});
+  running_jobs[0].start = 0;
+  running_jobs[0].runtime = 500;
+  std::vector<Job> queued = make_jobs({18, 2});
+  queued[1].runtime = 100000;
+
+  EasyBackfillScheduler scheduler;
+  const auto picks = scheduler.select(views(queued), views(running_jobs), 10, 0);
+  EXPECT_EQ(picks, std::vector<std::size_t>{1});
+}
+
+// --- Cross-policy properties --------------------------------------------------
+
+class SchedulerProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SchedulerProperty, NoPolicyOversubscribesIdleNodes) {
+  Rng rng(GetParam());
+  FirstFitScheduler first_fit;
+  FcfsScheduler fcfs;
+  EasyBackfillScheduler backfill;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::int64_t> widths;
+    const std::int64_t count = rng.uniform_int(0, 40);
+    for (std::int64_t i = 0; i < count; ++i) {
+      widths.push_back(rng.uniform_int(1, 32));
+    }
+    auto jobs = make_jobs(widths);
+    for (Job& job : jobs) job.runtime = rng.uniform_int(1, 7200);
+    std::vector<Job> running_jobs = make_jobs({rng.uniform_int(1, 16)});
+    running_jobs[0].start = 0;
+    running_jobs[0].runtime = rng.uniform_int(1, 7200);
+    const std::int64_t idle = rng.uniform_int(0, 64);
+
+    for (const Scheduler* scheduler :
+         std::initializer_list<const Scheduler*>{&first_fit, &fcfs, &backfill}) {
+      const auto picks =
+          scheduler->select(views(jobs), views(running_jobs), idle, 0);
+      EXPECT_LE(total_width(jobs, picks), idle) << scheduler->name();
+      // Picks are strictly ascending positions.
+      for (std::size_t i = 1; i < picks.size(); ++i) {
+        EXPECT_LT(picks[i - 1], picks[i]) << scheduler->name();
+      }
+      for (std::size_t pos : picks) {
+        ASSERT_LT(pos, jobs.size()) << scheduler->name();
+      }
+    }
+  }
+}
+
+TEST_P(SchedulerProperty, FcfsPicksArePrefixOfFirstFit) {
+  // FCFS selects a prefix of the queue; every FCFS pick must also be picked
+  // by first-fit given the same state.
+  Rng rng(GetParam() + 100);
+  FirstFitScheduler first_fit;
+  FcfsScheduler fcfs;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::int64_t> widths;
+    const std::int64_t count = rng.uniform_int(1, 30);
+    for (std::int64_t i = 0; i < count; ++i) {
+      widths.push_back(rng.uniform_int(1, 16));
+    }
+    const auto jobs = make_jobs(widths);
+    const std::int64_t idle = rng.uniform_int(0, 48);
+    const auto ff = first_fit.select(views(jobs), {}, idle, 0);
+    const auto fc = fcfs.select(views(jobs), {}, idle, 0);
+    ASSERT_LE(fc.size(), ff.size());
+    for (std::size_t i = 0; i < fc.size(); ++i) {
+      EXPECT_EQ(fc[i], i) << "FCFS picks must be the queue prefix";
+      EXPECT_EQ(ff[i], i);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerProperty,
+                         ::testing::Values(3u, 17u, 4242u));
+
+}  // namespace
+}  // namespace dc::sched

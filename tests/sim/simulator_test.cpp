@@ -1,0 +1,184 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace dc::sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.events_processed(), 3u);
+}
+
+TEST(Simulator, SameTimeEventsRunFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_in(50, [&] { observed = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(observed, 150);
+}
+
+TEST(Simulator, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.schedule_at(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.cancel(id));
+  EXPECT_FALSE(sim.cancel(id)) << "second cancel reports failure";
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.events_processed(), 0u);
+}
+
+TEST(Simulator, CancelFromWithinEarlierEvent) {
+  Simulator sim;
+  bool fired = false;
+  const EventId later = sim.schedule_at(20, [&] { fired = true; });
+  sim.schedule_at(10, [&] { sim.cancel(later); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulator, RunUntilAdvancesClockToHorizon) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(100, [&] { ++fired; });
+  sim.run_until(50);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 50);
+  sim.run_until(200);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.now(), 200);
+}
+
+TEST(Simulator, RunUntilIncludesEventsAtHorizon) {
+  Simulator sim;
+  bool fired = false;
+  sim.schedule_at(50, [&] { fired = true; });
+  sim.run_until(50);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, RequestStopHaltsRun) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(1, [&] {
+    ++fired;
+    sim.request_stop();
+  });
+  sim.schedule_at(2, [&] { ++fired; });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  sim.run();  // resumes
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_in(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(PeriodicTimer, FiresAtRegularIntervals) {
+  Simulator sim;
+  std::vector<SimTime> fires;
+  sim.start_periodic(10, 5, [&](SimTime t) { fires.push_back(t); });
+  sim.run_until(31);
+  EXPECT_EQ(fires, (std::vector<SimTime>{10, 15, 20, 25, 30}));
+}
+
+TEST(PeriodicTimer, StopPreventsFutureFires) {
+  Simulator sim;
+  int fires = 0;
+  const TimerId timer = sim.start_periodic(10, 10, [&](SimTime) { ++fires; });
+  sim.schedule_at(25, [&] { EXPECT_TRUE(sim.stop_timer(timer)); });
+  sim.run_until(100);
+  EXPECT_EQ(fires, 2);  // at 10 and 20
+  EXPECT_FALSE(sim.stop_timer(timer));
+}
+
+TEST(PeriodicTimer, CallbackMayStopItsOwnTimer) {
+  Simulator sim;
+  int fires = 0;
+  TimerId timer = kInvalidTimer;
+  timer = sim.start_periodic(5, 5, [&](SimTime) {
+    if (++fires == 3) sim.stop_timer(timer);
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(fires, 3);
+}
+
+TEST(PeriodicTimer, MultipleTimersInterleave) {
+  Simulator sim;
+  std::vector<std::pair<SimTime, int>> fires;
+  sim.start_periodic(2, 4, [&](SimTime t) { fires.push_back({t, 0}); });
+  sim.start_periodic(3, 4, [&](SimTime t) { fires.push_back({t, 1}); });
+  sim.run_until(12);
+  const std::vector<std::pair<SimTime, int>> expected = {
+      {2, 0}, {3, 1}, {6, 0}, {7, 1}, {10, 0}, {11, 1}};
+  EXPECT_EQ(fires, expected);
+}
+
+class SimulatorOrderingProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimulatorOrderingProperty, RandomEventsFireInNondecreasingTime) {
+  Simulator sim;
+  Rng rng(GetParam());
+  std::vector<SimTime> fired;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 2000; ++i) {
+    const SimTime t = rng.uniform_int(0, 100000);
+    ids.push_back(sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now()); }));
+  }
+  // Cancel a random 20%.
+  std::size_t cancelled = 0;
+  for (const EventId id : ids) {
+    if (rng.bernoulli(0.2) && sim.cancel(id)) ++cancelled;
+  }
+  sim.run();
+  EXPECT_EQ(fired.size(), 2000u - cancelled);
+  EXPECT_TRUE(std::is_sorted(fired.begin(), fired.end()));
+  EXPECT_EQ(sim.events_processed(), 2000u - cancelled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimulatorOrderingProperty,
+                         ::testing::Values(1u, 7u, 99u, 12345u));
+
+}  // namespace
+}  // namespace dc::sim

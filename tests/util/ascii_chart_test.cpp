@@ -1,0 +1,67 @@
+#include "util/ascii_chart.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc {
+namespace {
+
+TEST(AsciiChart, EmptyInputsRenderNothing) {
+  EXPECT_TRUE(render_chart({}).empty());
+  ChartOptions zero;
+  zero.width = 0;
+  EXPECT_TRUE(render_chart({{"x", {1, 2}}}, zero).empty());
+}
+
+TEST(AsciiChart, ContainsLegendAndAxis) {
+  const std::string out =
+      render_chart({{"alpha", {1, 2, 3}}, {"beta", {3, 2, 1}}});
+  EXPECT_NE(out.find("* alpha"), std::string::npos);
+  EXPECT_NE(out.find("+ beta"), std::string::npos);
+  EXPECT_NE(out.find('|'), std::string::npos);
+  EXPECT_NE(out.find('-'), std::string::npos);
+}
+
+TEST(AsciiChart, YAxisShowsRange) {
+  ChartOptions options;
+  options.y_min = 0.0;
+  options.y_max = 100.0;
+  const std::string out = render_chart({{"s", {50.0}}}, options);
+  EXPECT_NE(out.find("100.0"), std::string::npos);
+  EXPECT_NE(out.find("0.0"), std::string::npos);
+}
+
+TEST(AsciiChart, ConstantSeriesSitsOnOneRow) {
+  ChartOptions options;
+  options.width = 10;
+  options.height = 5;
+  options.y_min = 0.0;
+  options.y_max = 10.0;
+  const std::string out = render_chart({{"flat", std::vector<double>(10, 10.0)}},
+                                       options);
+  // The top plot row should contain ten glyphs.
+  const auto first_newline = out.find('\n');
+  const std::string top = out.substr(0, first_newline);
+  EXPECT_EQ(std::count(top.begin(), top.end(), '*'), 10);
+}
+
+TEST(AsciiChart, DownsamplesLongSeries) {
+  ChartOptions options;
+  options.width = 8;
+  options.height = 4;
+  std::vector<double> values(1000, 5.0);
+  const std::string out = render_chart({{"long", values}}, options);
+  EXPECT_FALSE(out.empty());
+  // Every plot row line is label(10) + '|' + 8 columns.
+  const auto first_newline = out.find('\n');
+  EXPECT_EQ(first_newline, 10u + 1u + 8u);
+}
+
+TEST(AsciiChart, XLabelAppears) {
+  ChartOptions options;
+  options.x_label = "time (hours)";
+  const std::string out = render_chart({{"s", {1.0, 2.0}}}, options);
+  EXPECT_NE(out.find("time (hours)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc

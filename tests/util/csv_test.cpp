@@ -1,0 +1,75 @@
+#include "util/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace dc {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+class CsvWriterTest : public ::testing::Test {
+ protected:
+  std::string path_ = ::testing::TempDir() + "/csv_test.csv";
+  void TearDown() override { std::remove(path_.c_str()); }
+};
+
+TEST_F(CsvWriterTest, WritesHeaderAndRows) {
+  {
+    CsvWriter csv(path_);
+    ASSERT_TRUE(csv.ok());
+    csv.header({"a", "b"});
+    csv.cell(std::int64_t{1}).cell(2.5, 1);
+    csv.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "a,b\n1,2.5\n");
+}
+
+TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
+  {
+    CsvWriter csv(path_);
+    csv.cell("has,comma").cell("has\"quote").cell("plain");
+    csv.end_row();
+  }
+  EXPECT_EQ(read_file(path_), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(TextTable, AlignsColumnsAndRightAlignsNumbers) {
+  TextTable table({"name", "value"});
+  table.cell("alpha").cell(std::int64_t{5});
+  table.end_row();
+  table.cell("b").cell(std::int64_t{12345});
+  table.end_row();
+  const std::string out = table.render("title");
+  EXPECT_NE(out.find("title\n"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Numbers right-align within the "value" column width (5 chars).
+  EXPECT_NE(out.find("    5"), std::string::npos);
+  EXPECT_NE(out.find("12345"), std::string::npos);
+}
+
+TEST(TextTable, RowCountAndPrecision) {
+  TextTable table({"x"});
+  table.cell(1.23456, 3);
+  table.end_row();
+  EXPECT_EQ(table.row_count(), 1u);
+  EXPECT_NE(table.render().find("1.235"), std::string::npos);
+}
+
+TEST(TextTable, EmptyTableRendersHeaderOnly) {
+  TextTable table({"col"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_EQ(table.row_count(), 0u);
+}
+
+}  // namespace
+}  // namespace dc

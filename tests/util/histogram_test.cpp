@@ -1,0 +1,81 @@
+#include "util/histogram.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats stats;
+  EXPECT_EQ(stats.count(), 0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.cv(), 0.0);
+}
+
+TEST(RunningStats, KnownValues) {
+  RunningStats stats;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) stats.add(x);
+  EXPECT_EQ(stats.count(), 8);
+  EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(stats.sum(), 40.0);
+  EXPECT_DOUBLE_EQ(stats.min(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 9.0);
+  // Sample variance of this classic dataset is 32/7.
+  EXPECT_NEAR(stats.variance(), 32.0 / 7.0, 1e-12);
+}
+
+TEST(RunningStats, SingleValueHasZeroVariance) {
+  RunningStats stats;
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.stddev(), 0.0);
+}
+
+TEST(RunningStats, CvIsStddevOverMean) {
+  RunningStats stats;
+  stats.add(10.0);
+  stats.add(20.0);
+  EXPECT_NEAR(stats.cv(), stats.stddev() / 15.0, 1e-12);
+}
+
+TEST(Histogram, BinsUniformly) {
+  Histogram hist(0.0, 10.0, 5);
+  for (int i = 0; i < 10; ++i) hist.add(i + 0.5);
+  EXPECT_EQ(hist.total(), 10);
+  for (std::size_t b = 0; b < 5; ++b) {
+    EXPECT_EQ(hist.bin(b), 2) << "bin " << b;
+  }
+}
+
+TEST(Histogram, BinEdges) {
+  Histogram hist(0.0, 10.0, 5);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(0), 0.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.bin_lo(4), 8.0);
+  EXPECT_DOUBLE_EQ(hist.bin_hi(4), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsAndCounts) {
+  Histogram hist(0.0, 10.0, 2);
+  hist.add(-5.0);
+  hist.add(15.0);
+  hist.add(10.0);  // hi is exclusive
+  EXPECT_EQ(hist.underflow(), 1);
+  EXPECT_EQ(hist.overflow(), 2);
+  EXPECT_EQ(hist.bin(0), 1);
+  EXPECT_EQ(hist.bin(1), 2);
+}
+
+TEST(Histogram, RenderContainsBars) {
+  Histogram hist(0.0, 4.0, 2);
+  hist.add(1.0);
+  hist.add(1.0);
+  hist.add(3.0);
+  const std::string out = hist.render(10);
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,60 @@
+#include "util/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+namespace dc {
+namespace {
+
+TEST(ParallelFor, VisitsEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> visits(1000);
+  parallel_for_index(1000, [&](std::size_t i) { ++visits[i]; }, 8);
+  for (const auto& count : visits) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, ZeroAndOneElement) {
+  int calls = 0;
+  parallel_for_index(0, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  parallel_for_index(1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ParallelFor, SingleThreadRunsInline) {
+  const auto main_thread = std::this_thread::get_id();
+  parallel_for_index(
+      10, [&](std::size_t) { EXPECT_EQ(std::this_thread::get_id(), main_thread); },
+      1);
+}
+
+TEST(ParallelMap, PreservesOrder) {
+  const auto squares = parallel_map_index<std::size_t>(
+      500, [](std::size_t i) { return i * i; }, 4);
+  ASSERT_EQ(squares.size(), 500u);
+  for (std::size_t i = 0; i < squares.size(); ++i) {
+    EXPECT_EQ(squares[i], i * i);
+  }
+}
+
+TEST(ParallelMap, MatchesSequentialResult) {
+  auto work = [](std::size_t i) {
+    double x = static_cast<double>(i);
+    for (int k = 0; k < 100; ++k) x = x * 1.000001 + 0.5;
+    return x;
+  };
+  const auto parallel = parallel_map_index<double>(200, work, 8);
+  const auto sequential = parallel_map_index<double>(200, work, 1);
+  EXPECT_EQ(parallel, sequential);
+}
+
+TEST(DefaultThreadCount, AtLeastOne) {
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace dc

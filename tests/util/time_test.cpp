@@ -1,0 +1,81 @@
+#include "util/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc {
+namespace {
+
+TEST(CeilDiv, ExactDivision) {
+  EXPECT_EQ(ceil_div(10, 5), 2);
+  EXPECT_EQ(ceil_div(0, 7), 0);
+  EXPECT_EQ(ceil_div(3600, 3600), 1);
+}
+
+TEST(CeilDiv, RoundsUp) {
+  EXPECT_EQ(ceil_div(1, 5), 1);
+  EXPECT_EQ(ceil_div(11, 5), 3);
+  EXPECT_EQ(ceil_div(3601, 3600), 2);
+}
+
+TEST(BilledHours, ZeroAndNegativeDurationsBillNothing) {
+  EXPECT_EQ(billed_hours(0), 0);
+  EXPECT_EQ(billed_hours(-5), 0);
+}
+
+TEST(BilledHours, AnyPositiveDurationBillsAtLeastOneHour) {
+  EXPECT_EQ(billed_hours(1), 1);
+  EXPECT_EQ(billed_hours(kHour - 1), 1);
+  EXPECT_EQ(billed_hours(kHour), 1);
+  EXPECT_EQ(billed_hours(kHour + 1), 2);
+}
+
+TEST(BilledHours, WholeDays) {
+  EXPECT_EQ(billed_hours(kDay), 24);
+  EXPECT_EQ(billed_hours(2 * kWeek), 336);
+}
+
+struct BilledHoursCase {
+  SimDuration duration;
+  std::int64_t expected;
+};
+
+class BilledHoursSweep : public ::testing::TestWithParam<BilledHoursCase> {};
+
+TEST_P(BilledHoursSweep, MatchesCeiling) {
+  EXPECT_EQ(billed_hours(GetParam().duration), GetParam().expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Boundaries, BilledHoursSweep,
+    ::testing::Values(BilledHoursCase{1, 1}, BilledHoursCase{59, 1},
+                      BilledHoursCase{kMinute, 1}, BilledHoursCase{1799, 1},
+                      BilledHoursCase{3599, 1}, BilledHoursCase{3600, 1},
+                      BilledHoursCase{3601, 2}, BilledHoursCase{7200, 2},
+                      BilledHoursCase{7201, 3}, BilledHoursCase{kDay - 1, 24},
+                      BilledHoursCase{kDay + 1, 25}));
+
+TEST(ToHours, ConvertsFractions) {
+  EXPECT_DOUBLE_EQ(to_hours(kHour), 1.0);
+  EXPECT_DOUBLE_EQ(to_hours(kHour / 2), 0.5);
+  EXPECT_DOUBLE_EQ(to_hours(0), 0.0);
+}
+
+TEST(FormatTime, RendersDaysHoursMinutesSeconds) {
+  EXPECT_EQ(format_time(0), "0d 00:00:00");
+  EXPECT_EQ(format_time(kDay + kHour + kMinute + 1), "1d 01:01:01");
+  EXPECT_EQ(format_time(2 * kWeek), "14d 00:00:00");
+}
+
+TEST(FormatTime, NegativeTimes) {
+  EXPECT_EQ(format_time(-kHour), "-0d 01:00:00");
+}
+
+TEST(Constants, Consistency) {
+  EXPECT_EQ(kMinute, 60);
+  EXPECT_EQ(kHour, 60 * kMinute);
+  EXPECT_EQ(kDay, 24 * kHour);
+  EXPECT_EQ(kWeek, 7 * kDay);
+}
+
+}  // namespace
+}  // namespace dc

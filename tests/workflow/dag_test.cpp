@@ -1,0 +1,129 @@
+#include "workflow/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace dc::workflow {
+namespace {
+
+Dag diamond() {
+  // a -> b, a -> c, b -> d, c -> d
+  Dag dag;
+  dag.add_task("a", 10);
+  dag.add_task("b", 20);
+  dag.add_task("c", 5);
+  dag.add_task("d", 1);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(0, 2);
+  dag.add_dependency(1, 3);
+  dag.add_dependency(2, 3);
+  return dag;
+}
+
+TEST(Dag, AddTaskAssignsDenseIds) {
+  Dag dag;
+  EXPECT_EQ(dag.add_task("x", 1), 0);
+  EXPECT_EQ(dag.add_task("y", 2), 1);
+  EXPECT_EQ(dag.size(), 2u);
+  EXPECT_EQ(dag.task(1).name, "y");
+}
+
+TEST(Dag, DuplicateEdgesIgnored) {
+  Dag dag;
+  dag.add_task("a", 1);
+  dag.add_task("b", 1);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(0, 1);
+  EXPECT_EQ(dag.edge_count(), 1u);
+  EXPECT_EQ(dag.children(0).size(), 1u);
+  EXPECT_EQ(dag.parent_count(1), 1u);
+}
+
+TEST(Dag, RootsAndSinks) {
+  const Dag dag = diamond();
+  EXPECT_EQ(dag.roots(), std::vector<TaskId>{0});
+  EXPECT_EQ(dag.sinks(), std::vector<TaskId>{3});
+}
+
+TEST(Dag, ValidateAcceptsAcyclic) {
+  EXPECT_TRUE(diamond().validate().is_ok());
+  EXPECT_TRUE(Dag().validate().is_ok());
+}
+
+TEST(Dag, ValidateRejectsCycle) {
+  Dag dag;
+  dag.add_task("a", 1);
+  dag.add_task("b", 1);
+  dag.add_task("c", 1);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(1, 2);
+  dag.add_dependency(2, 0);
+  const Status status = dag.validate();
+  EXPECT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag dag = diamond();
+  const auto order = dag.topological_order();
+  ASSERT_EQ(order.size(), 4u);
+  auto position = [&](TaskId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  for (const Task& task : dag.tasks()) {
+    for (TaskId child : dag.children(task.id)) {
+      EXPECT_LT(position(task.id), position(child));
+    }
+  }
+}
+
+TEST(Dag, LevelsDecomposition) {
+  const Dag dag = diamond();
+  const auto levels = dag.levels();
+  ASSERT_EQ(levels.size(), 3u);
+  EXPECT_EQ(levels[0], std::vector<TaskId>{0});
+  EXPECT_EQ(levels[1], (std::vector<TaskId>{1, 2}));
+  EXPECT_EQ(levels[2], std::vector<TaskId>{3});
+  EXPECT_EQ(dag.max_level_width(), 2u);
+}
+
+TEST(Dag, CriticalPathTakesLongestBranch) {
+  // a(10) -> b(20) -> d(1) dominates a -> c(5) -> d.
+  EXPECT_EQ(diamond().critical_path(), 31);
+}
+
+TEST(Dag, CriticalPathOfChainIsTotalWork) {
+  Dag dag;
+  dag.add_task("a", 3);
+  dag.add_task("b", 4);
+  dag.add_task("c", 5);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(1, 2);
+  EXPECT_EQ(dag.critical_path(), 12);
+  EXPECT_EQ(dag.total_work(), 12);
+}
+
+TEST(Dag, CriticalPathOfIndependentTasksIsMax) {
+  Dag dag;
+  dag.add_task("a", 3);
+  dag.add_task("b", 9);
+  EXPECT_EQ(dag.critical_path(), 9);
+  EXPECT_EQ(dag.total_work(), 12);
+  EXPECT_EQ(dag.max_level_width(), 2u);
+}
+
+TEST(Dag, ScaleRuntimesAndMean) {
+  Dag dag;
+  dag.add_task("a", 10);
+  dag.add_task("b", 30);
+  EXPECT_DOUBLE_EQ(dag.mean_runtime(), 20.0);
+  dag.scale_runtimes(0.5);
+  EXPECT_EQ(dag.task(0).runtime, 5);
+  EXPECT_EQ(dag.task(1).runtime, 15);
+  dag.scale_runtimes(0.001);
+  EXPECT_EQ(dag.task(0).runtime, 1) << "runtime floors at one second";
+}
+
+}  // namespace
+}  // namespace dc::workflow

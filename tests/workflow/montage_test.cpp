@@ -1,0 +1,116 @@
+#include "workflow/montage.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace dc::workflow {
+namespace {
+
+TEST(Montage, PaperWorkloadHasExactly1000Tasks) {
+  const Dag dag = make_paper_montage();
+  EXPECT_EQ(dag.size(), 1000u);
+  EXPECT_TRUE(dag.validate().is_ok());
+}
+
+TEST(Montage, StageCountsMatchStructure) {
+  const Dag dag = make_paper_montage();
+  std::map<std::string, int> counts;
+  for (const Task& task : dag.tasks()) ++counts[task.name];
+  EXPECT_EQ(counts["mProjectPP"], 166);
+  EXPECT_EQ(counts["mDiffFit"], 662);
+  EXPECT_EQ(counts["mConcatFit"], 1);
+  EXPECT_EQ(counts["mBgModel"], 1);
+  EXPECT_EQ(counts["mBackground"], 166);
+  EXPECT_EQ(counts["mImgtbl"], 1);
+  EXPECT_EQ(counts["mAdd"], 1);
+  EXPECT_EQ(counts["mShrink"], 1);
+  EXPECT_EQ(counts["mJPEG"], 1);
+}
+
+TEST(Montage, LevelStructure) {
+  const Dag dag = make_paper_montage();
+  const auto levels = dag.levels();
+  ASSERT_EQ(levels.size(), 9u);
+  EXPECT_EQ(levels[0].size(), 166u);  // mProjectPP
+  EXPECT_EQ(levels[1].size(), 662u);  // mDiffFit — the DRP peak (Table 4)
+  EXPECT_EQ(levels[2].size(), 1u);    // mConcatFit
+  EXPECT_EQ(levels[3].size(), 1u);    // mBgModel
+  EXPECT_EQ(levels[4].size(), 166u);  // mBackground
+  EXPECT_EQ(levels[5].size(), 1u);    // mImgtbl
+  EXPECT_EQ(levels[6].size(), 1u);    // mAdd
+  EXPECT_EQ(levels[7].size(), 1u);    // mShrink
+  EXPECT_EQ(levels[8].size(), 1u);    // mJPEG
+  EXPECT_EQ(dag.max_level_width(), 662u);
+}
+
+TEST(Montage, MeanRuntimeCalibratedToPaper) {
+  const Dag dag = make_paper_montage();
+  EXPECT_NEAR(dag.mean_runtime(), 11.38, 0.15);
+}
+
+TEST(Montage, EveryDiffHasTwoProjectParents) {
+  const Dag dag = make_paper_montage();
+  for (const Task& task : dag.tasks()) {
+    if (task.name == "mDiffFit") {
+      EXPECT_EQ(dag.parent_count(task.id), 2u);
+      for (TaskId parent : dag.parents(task.id)) {
+        EXPECT_EQ(dag.task(parent).name, "mProjectPP");
+      }
+    }
+    if (task.name == "mBackground") {
+      // Depends on mBgModel and its own mProjectPP.
+      EXPECT_EQ(dag.parent_count(task.id), 2u);
+    }
+  }
+}
+
+TEST(Montage, SerialTailIsAChain) {
+  const Dag dag = make_paper_montage();
+  // The final four tasks (imgtbl, add, shrink, jpeg) form a chain ending in
+  // the unique sink.
+  const auto sinks = dag.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(dag.task(sinks[0]).name, "mJPEG");
+}
+
+TEST(Montage, DeterministicInSeed) {
+  const Dag a = make_paper_montage(7);
+  const Dag b = make_paper_montage(7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tasks()[i].runtime, b.tasks()[i].runtime);
+  }
+  const Dag c = make_paper_montage(8);
+  bool any_different = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a.tasks()[i].runtime != c.tasks()[i].runtime) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST(Montage, CriticalPathBetweenBoundsAndWorkDominates) {
+  const Dag dag = make_paper_montage();
+  EXPECT_GT(dag.critical_path(), 200);
+  EXPECT_LT(dag.critical_path(), 800);
+  EXPECT_GT(dag.total_work(), 10000);
+}
+
+class MontageSizeSweep : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(MontageSizeSweep, TaskCountFormula) {
+  MontageParams params;
+  params.inputs = GetParam();
+  const Dag dag = make_montage(params, 3);
+  // n projects + (4n-2) diffs + n backgrounds + 6 singletons.
+  EXPECT_EQ(dag.size(), static_cast<std::size_t>(6 * GetParam() + 4));
+  EXPECT_TRUE(dag.validate().is_ok());
+  EXPECT_EQ(dag.levels().size(), 9u);
+  EXPECT_EQ(dag.sinks().size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MontageSizeSweep,
+                         ::testing::Values(2, 5, 20, 100, 166, 400));
+
+}  // namespace
+}  // namespace dc::workflow

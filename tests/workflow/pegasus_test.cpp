@@ -1,0 +1,67 @@
+#include "workflow/pegasus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::workflow {
+namespace {
+
+TEST(Epigenomics, StructureCounts) {
+  EpigenomicsParams params;
+  params.chains = 8;
+  params.depth = 5;
+  const Dag dag = make_epigenomics(params, 1);
+  EXPECT_EQ(dag.size(), 8u * 5u + 3u);
+  EXPECT_TRUE(dag.validate().is_ok());
+  EXPECT_EQ(dag.roots().size(), 8u) << "one root per chain";
+  EXPECT_EQ(dag.sinks().size(), 1u);
+  // depth lane levels + merge + index + pileup.
+  EXPECT_EQ(dag.levels().size(), 5u + 3u);
+  EXPECT_EQ(dag.max_level_width(), 8u) << "steady parallelism = chains";
+}
+
+TEST(Epigenomics, CriticalPathSpansAChainPlusGlobalStages) {
+  EpigenomicsParams params;
+  params.chains = 4;
+  params.depth = 3;
+  params.runtime_cv = 0.0;  // deterministic runtimes
+  const Dag dag = make_epigenomics(params, 2);
+  const SimDuration expected =
+      3 * static_cast<SimDuration>(params.mean_stage_runtime) +
+      3 * static_cast<SimDuration>(params.mean_merge_runtime);
+  EXPECT_EQ(dag.critical_path(), expected);
+}
+
+TEST(Cybershake, StructureCounts) {
+  CybershakeParams params;
+  params.ruptures = 5;
+  params.variations = 7;
+  const Dag dag = make_cybershake(params, 3);
+  EXPECT_EQ(dag.size(), 5u * (1u + 2u * 7u) + 1u);
+  EXPECT_TRUE(dag.validate().is_ok());
+  EXPECT_EQ(dag.roots().size(), 5u);
+  EXPECT_EQ(dag.sinks().size(), 1u);
+  // extract -> synth -> peak -> zip.
+  EXPECT_EQ(dag.levels().size(), 4u);
+  EXPECT_EQ(dag.max_level_width(), 35u) << "synthesis fan-out dominates";
+}
+
+TEST(Cybershake, EveryPeakFeedsTheZip) {
+  const Dag dag = make_cybershake(CybershakeParams{}, 4);
+  const auto sinks = dag.sinks();
+  ASSERT_EQ(sinks.size(), 1u);
+  EXPECT_EQ(dag.task(sinks[0]).name, "ZipPSA");
+  EXPECT_EQ(dag.parents(sinks[0]).size(),
+            static_cast<std::size_t>(20 * 30));
+}
+
+TEST(Pegasus, DeterministicInSeed) {
+  const Dag a = make_cybershake(CybershakeParams{}, 9);
+  const Dag b = make_cybershake(CybershakeParams{}, 9);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.tasks()[i].runtime, b.tasks()[i].runtime);
+  }
+}
+
+}  // namespace
+}  // namespace dc::workflow

@@ -1,0 +1,92 @@
+#include "workflow/wff.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "workflow/montage.hpp"
+
+namespace dc::workflow {
+namespace {
+
+TEST(Wff, RoundTripsSmallDag) {
+  Dag dag;
+  dag.add_task("setup", 30, 2);
+  dag.add_task("work", 60, 4);
+  dag.add_task("teardown", 10, 1);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(1, 2);
+
+  auto back = parse_wff_string(to_wff_string(dag));
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  ASSERT_EQ(back->size(), 3u);
+  EXPECT_EQ(back->task(0).name, "setup");
+  EXPECT_EQ(back->task(1).runtime, 60);
+  EXPECT_EQ(back->task(1).nodes, 4);
+  EXPECT_EQ(back->edge_count(), 2u);
+  EXPECT_EQ(back->children(0), std::vector<TaskId>{1});
+}
+
+TEST(Wff, RoundTripsPaperMontage) {
+  const Dag dag = make_paper_montage();
+  auto back = parse_wff_string(to_wff_string(dag));
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->size(), dag.size());
+  EXPECT_EQ(back->edge_count(), dag.edge_count());
+  EXPECT_EQ(back->critical_path(), dag.critical_path());
+  EXPECT_EQ(back->max_level_width(), dag.max_level_width());
+}
+
+TEST(Wff, IgnoresCommentsAndBlankLines) {
+  auto dag = parse_wff_string("% header\n\ntask 0 a 1 5\n% mid\ntask 1 b 1 5\n");
+  ASSERT_TRUE(dag.is_ok());
+  EXPECT_EQ(dag->size(), 2u);
+}
+
+TEST(Wff, RejectsNonDenseIds) {
+  auto dag = parse_wff_string("task 1 a 1 5\n");
+  EXPECT_FALSE(dag.is_ok());
+}
+
+TEST(Wff, RejectsEdgeBeforeTask) {
+  auto dag = parse_wff_string("task 0 a 1 5\nedge 0 1\n");
+  EXPECT_FALSE(dag.is_ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(Wff, RejectsSelfEdge) {
+  auto dag = parse_wff_string("task 0 a 1 5\nedge 0 0\n");
+  EXPECT_FALSE(dag.is_ok());
+}
+
+TEST(Wff, RejectsCycle) {
+  auto dag = parse_wff_string(
+      "task 0 a 1 5\ntask 1 b 1 5\nedge 0 1\nedge 1 0\n");
+  EXPECT_FALSE(dag.is_ok());
+  EXPECT_EQ(dag.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Wff, RejectsUnknownDirective) {
+  auto dag = parse_wff_string("node 0 a 1 5\n");
+  EXPECT_FALSE(dag.is_ok());
+}
+
+TEST(Wff, RejectsZeroRuntime) {
+  auto dag = parse_wff_string("task 0 a 1 0\n");
+  EXPECT_FALSE(dag.is_ok());
+}
+
+TEST(Wff, FileIo) {
+  const std::string path = ::testing::TempDir() + "/wf.wff";
+  Dag dag;
+  dag.add_task("only", 5);
+  ASSERT_TRUE(write_wff_file(path, dag).is_ok());
+  auto back = read_wff_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back->size(), 1u);
+  std::remove(path.c_str());
+  EXPECT_FALSE(read_wff_file(path).is_ok());
+}
+
+}  // namespace
+}  // namespace dc::workflow

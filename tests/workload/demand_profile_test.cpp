@@ -1,0 +1,68 @@
+#include "workload/demand_profile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::workload {
+namespace {
+
+TEST(DemandProfile, SlotLookup) {
+  DemandProfile profile({10, 20, 30});
+  EXPECT_EQ(profile.at(0), 10);
+  EXPECT_EQ(profile.at(kHour - 1), 10);
+  EXPECT_EQ(profile.at(kHour), 20);
+  EXPECT_EQ(profile.at(3 * kHour), 0) << "beyond the profile: zero";
+  EXPECT_EQ(profile.at(-5), 0);
+}
+
+TEST(DemandProfile, Aggregates) {
+  DemandProfile profile({10, 20, 30});
+  EXPECT_EQ(profile.peak(), 30);
+  EXPECT_DOUBLE_EQ(profile.mean(), 20.0);
+  EXPECT_EQ(profile.total_node_hours(), 60);
+  EXPECT_EQ(profile.hours(), 3u);
+  EXPECT_EQ(profile.period(), 3 * kHour);
+}
+
+TEST(WebDemand, DeterministicAndBounded) {
+  WebDemandSpec spec;
+  const DemandProfile a = make_web_demand(spec, 5);
+  const DemandProfile b = make_web_demand(spec, 5);
+  EXPECT_EQ(a.hourly(), b.hourly());
+  EXPECT_EQ(a.hours(), 336u);
+  for (std::int64_t level : a.hourly()) {
+    EXPECT_GE(level, 0);
+    // base..peak, times spike and noise.
+    EXPECT_LE(level, static_cast<std::int64_t>(
+                         static_cast<double>(spec.peak_nodes) *
+                         spec.spike_multiplier * (1.0 + spec.noise) + 1));
+  }
+}
+
+TEST(WebDemand, DiurnalShape) {
+  WebDemandSpec spec;
+  spec.spike_probability = 0.0;
+  spec.noise = 0.0;
+  const DemandProfile profile = make_web_demand(spec, 1);
+  // Weekday afternoon well above weekday night (trough at 03:00, twelve
+  // hours opposite the 15:00 peak).
+  const std::int64_t afternoon = profile.hourly()[15];  // Monday 15:00
+  const std::int64_t night = profile.hourly()[3];       // Monday 03:00
+  EXPECT_GT(afternoon, 2 * night);
+  EXPECT_EQ(afternoon, spec.peak_nodes);
+  EXPECT_EQ(night, spec.base_nodes);
+}
+
+TEST(WebDemand, WeekendDip) {
+  WebDemandSpec spec;
+  spec.spike_probability = 0.0;
+  spec.noise = 0.0;
+  const DemandProfile profile = make_web_demand(spec, 1);
+  const std::int64_t friday_peak = profile.hourly()[4 * 24 + 15];
+  const std::int64_t saturday_peak = profile.hourly()[5 * 24 + 15];
+  EXPECT_LT(saturday_peak, friday_peak);
+  EXPECT_NEAR(static_cast<double>(saturday_peak),
+              static_cast<double>(friday_peak) * spec.weekend_factor, 1.0);
+}
+
+}  // namespace
+}  // namespace dc::workload

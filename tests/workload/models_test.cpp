@@ -1,0 +1,158 @@
+#include "workload/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "workload/swf.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace dc::workload {
+namespace {
+
+TEST(SyntheticModels, DeterministicInSeed) {
+  const Trace a = make_nasa_ipsc(42);
+  const Trace b = make_nasa_ipsc(42);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.jobs()[i].submit, b.jobs()[i].submit);
+    EXPECT_EQ(a.jobs()[i].runtime, b.jobs()[i].runtime);
+    EXPECT_EQ(a.jobs()[i].nodes, b.jobs()[i].nodes);
+  }
+}
+
+TEST(SyntheticModels, DifferentSeedsGiveDifferentTraces) {
+  const Trace a = make_nasa_ipsc(1);
+  const Trace b = make_nasa_ipsc(2);
+  EXPECT_NE(a.size(), b.size());
+}
+
+TEST(SyntheticModels, JobsSortedAndInsidePeriod) {
+  const Trace trace = make_sdsc_blue(5);
+  SimTime prev = 0;
+  for (const TraceJob& job : trace.jobs()) {
+    EXPECT_GE(job.submit, prev);
+    prev = job.submit;
+    EXPECT_LT(job.submit, trace.period());
+    EXPECT_GE(job.runtime, 1);
+    EXPECT_GE(job.nodes, 1);
+    EXPECT_LE(job.nodes, trace.capacity_nodes());
+  }
+  EXPECT_EQ(trace.period(), 2 * kWeek);
+}
+
+TEST(NasaModel, MatchesPublishedShape) {
+  const Trace trace = make_nasa_ipsc();
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(trace.capacity_nodes(), 128);
+  // Two weeks of trace.
+  EXPECT_EQ(stats.period, 2 * kWeek);
+  // Job count in the published ballpark (2,603 in the archive slice).
+  EXPECT_GT(stats.job_count, 2000);
+  EXPECT_LT(stats.job_count, 3600);
+  // Moderate utilization (calibration target 42%; archive header 46.6%).
+  EXPECT_GT(stats.utilization, 0.30);
+  EXPECT_LT(stats.utilization, 0.55);
+  // Short jobs dominate — the driver of DRP's rounding penalty (Table 2).
+  EXPECT_GT(stats.sub_hour_job_fraction, 0.80);
+  // Full machine width occurs (the SSP/DCS RE is sized to it, §4.4).
+  EXPECT_EQ(stats.max_width, 128);
+}
+
+TEST(BlueModel, MatchesPublishedShape) {
+  const Trace trace = make_sdsc_blue();
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(trace.capacity_nodes(), 144);
+  EXPECT_EQ(stats.period, 2 * kWeek);
+  EXPECT_GT(stats.job_count, 2200);
+  EXPECT_LT(stats.job_count, 3200);
+  // Higher load than NASA.
+  EXPECT_GT(stats.utilization, 0.55);
+  EXPECT_LT(stats.utilization, 0.80);
+  // Long jobs: only about half finish inside one billing hour (vs >80% for
+  // NASA).
+  EXPECT_LT(stats.sub_hour_job_fraction, 0.55);
+  // Quiet first half, busy second half (Section 4.2).
+  EXPECT_GT(stats.second_half_demand, 1.5 * stats.first_half_demand);
+  EXPECT_EQ(stats.max_width, 144);
+}
+
+TEST(BlueModel, BilledOverUsedIsSmall) {
+  // The walltime-aligned runtimes keep DRP's hourly rounding factor low
+  // (Table 3's DRP is *cheaper* than the fixed systems).
+  const Trace trace = make_sdsc_blue();
+  double used = 0.0, billed = 0.0;
+  for (const TraceJob& job : trace.jobs()) {
+    used += static_cast<double>(job.nodes) * to_hours(job.runtime);
+    billed += static_cast<double>(job.nodes * billed_hours(job.runtime));
+  }
+  EXPECT_LT(billed / used, 1.30);
+}
+
+TEST(NasaModel, BilledOverUsedIsLarge) {
+  const Trace trace = make_nasa_ipsc();
+  double used = 0.0, billed = 0.0;
+  for (const TraceJob& job : trace.jobs()) {
+    used += static_cast<double>(job.nodes) * to_hours(job.runtime);
+    billed += static_cast<double>(job.nodes * billed_hours(job.runtime));
+  }
+  EXPECT_GT(billed / used, 2.0);
+}
+
+TEST(SyntheticModels, GeneratedTraceSurvivesSwfRoundTrip) {
+  const Trace trace = make_nasa_ipsc(3);
+  std::ostringstream out;
+  write_swf(out, trace.to_swf());
+  std::string text = out.str();
+  auto parsed = parse_swf_string(text);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  auto back = Trace::from_swf(*parsed, "back");
+  ASSERT_TRUE(back.is_ok());
+  ASSERT_EQ(back->size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back->jobs()[i].runtime, trace.jobs()[i].runtime);
+    EXPECT_EQ(back->jobs()[i].nodes, trace.jobs()[i].nodes);
+  }
+}
+
+TEST(SyntheticModels, BurstsCreateSimultaneousArrivals) {
+  const Trace trace = make_nasa_ipsc();
+  std::size_t max_simultaneous = 0, current = 1;
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    if (trace.jobs()[i].submit == trace.jobs()[i - 1].submit) {
+      ++current;
+    } else {
+      max_simultaneous = std::max(max_simultaneous, current);
+      current = 1;
+    }
+  }
+  EXPECT_GE(max_simultaneous, 5u)
+      << "burst submissions should place several jobs at one instant";
+}
+
+TEST(SyntheticModels, SubmitMarginKeepsTailClear) {
+  const auto spec = nasa_ipsc_spec();
+  const Trace trace = generate_trace(spec, 42);
+  EXPECT_LE(trace.last_submit(), spec.period - spec.submit_margin);
+}
+
+class ModelSeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ModelSeedSweep, ShapePropertiesHoldAcrossSeeds) {
+  const Trace nasa = make_nasa_ipsc(GetParam());
+  const Trace blue = make_sdsc_blue(GetParam() + 1000);
+  const TraceStats nasa_stats = compute_stats(nasa);
+  const TraceStats blue_stats = compute_stats(blue);
+  EXPECT_GT(nasa_stats.sub_hour_job_fraction, blue_stats.sub_hour_job_fraction);
+  EXPECT_GT(blue_stats.utilization, nasa_stats.utilization);
+  EXPECT_GT(blue_stats.second_half_demand, blue_stats.first_half_demand);
+  EXPECT_EQ(nasa_stats.max_width, 128);
+  EXPECT_EQ(blue_stats.max_width, 144);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelSeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 99u, 2026u));
+
+}  // namespace
+}  // namespace dc::workload

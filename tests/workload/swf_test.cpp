@@ -1,0 +1,126 @@
+#include "workload/swf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+namespace dc::workload {
+namespace {
+
+constexpr const char* kSample = R"(; Computer: iPSC/860
+; MaxNodes: 128
+; MaxProcs: 128
+; UnixStartTime: 749458803
+; free-form comment without colon structure is preserved loosely
+1 0 10 120 8 -1 -1 8 300 -1 1 3 1 -1 1 -1 -1 -1
+2 60 0 45 1 22.5 -1 1 60 -1 1 4 1 -1 1 -1 -1 -1
+)";
+
+TEST(SwfParse, ParsesRecordsAndHeader) {
+  auto parsed = parse_swf_string(kSample);
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->records.size(), 2u);
+  EXPECT_EQ(parsed->header.max_nodes(), 128);
+  EXPECT_EQ(parsed->header.max_procs(), 128);
+  EXPECT_EQ(parsed->header.unix_start_time(), 749458803);
+
+  const SwfRecord& job = parsed->records[0];
+  EXPECT_EQ(job.job_number, 1);
+  EXPECT_EQ(job.submit_time, 0);
+  EXPECT_EQ(job.wait_time, 10);
+  EXPECT_EQ(job.run_time, 120);
+  EXPECT_EQ(job.allocated_procs, 8);
+  EXPECT_EQ(job.requested_procs, 8);
+  EXPECT_EQ(job.requested_time, 300);
+  EXPECT_EQ(job.status, 1);
+  EXPECT_EQ(job.user_id, 3);
+}
+
+TEST(SwfParse, FractionalCpuTimeField) {
+  auto parsed = parse_swf_string(kSample);
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_DOUBLE_EQ(parsed->records[1].avg_cpu_time, 22.5);
+}
+
+TEST(SwfParse, ProcsPrefersRequested) {
+  SwfRecord record;
+  record.allocated_procs = 4;
+  record.requested_procs = 8;
+  EXPECT_EQ(record.procs(), 8);
+  record.requested_procs = -1;
+  EXPECT_EQ(record.procs(), 4);
+}
+
+TEST(SwfParse, RejectsWrongFieldCount) {
+  auto parsed = parse_swf_string("1 2 3\n");
+  EXPECT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("expected 18"), std::string::npos);
+}
+
+TEST(SwfParse, RejectsNonNumericField) {
+  auto parsed = parse_swf_string(
+      "1 0 10 abc 8 -1 -1 8 300 -1 1 3 1 -1 1 -1 -1 -1\n");
+  EXPECT_FALSE(parsed.is_ok());
+  EXPECT_NE(parsed.status().message().find("line 1"), std::string::npos);
+}
+
+TEST(SwfParse, AcceptsFractionalSecondsInIntegerFields) {
+  // Some archive traces carry "0.5"-style values in time fields.
+  auto parsed = parse_swf_string(
+      "1 0.5 10 120.7 8 -1 -1 8 300 -1 1 3 1 -1 1 -1 -1 -1\n");
+  ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->records[0].submit_time, 0);
+  EXPECT_EQ(parsed->records[0].run_time, 120);
+}
+
+TEST(SwfParse, SkipsBlankLines) {
+  auto parsed = parse_swf_string(
+      "\n\n1 0 10 120 8 -1 -1 8 300 -1 1 3 1 -1 1 -1 -1 -1\n\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->records.size(), 1u);
+}
+
+TEST(SwfParse, HeaderValueWithTrailingCommentary) {
+  auto parsed = parse_swf_string("; MaxProcs: 128 (two racks)\n");
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed->header.max_procs(), 128);
+}
+
+TEST(SwfRoundTrip, WriteThenParsePreservesRecords) {
+  auto original = parse_swf_string(kSample);
+  ASSERT_TRUE(original.is_ok());
+  std::ostringstream out;
+  write_swf(out, *original);
+  auto reparsed = parse_swf_string(out.str());
+  ASSERT_TRUE(reparsed.is_ok());
+  ASSERT_EQ(reparsed->records.size(), original->records.size());
+  for (std::size_t i = 0; i < original->records.size(); ++i) {
+    EXPECT_EQ(reparsed->records[i].job_number, original->records[i].job_number);
+    EXPECT_EQ(reparsed->records[i].submit_time, original->records[i].submit_time);
+    EXPECT_EQ(reparsed->records[i].run_time, original->records[i].run_time);
+    EXPECT_EQ(reparsed->records[i].requested_procs,
+              original->records[i].requested_procs);
+  }
+  EXPECT_EQ(reparsed->header.max_nodes(), original->header.max_nodes());
+}
+
+TEST(SwfFileIo, WriteAndReadBack) {
+  const std::string path = ::testing::TempDir() + "/test.swf";
+  auto original = parse_swf_string(kSample);
+  ASSERT_TRUE(original.is_ok());
+  ASSERT_TRUE(write_swf_file(path, *original).is_ok());
+  auto readback = read_swf_file(path);
+  ASSERT_TRUE(readback.is_ok());
+  EXPECT_EQ(readback->records.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(SwfFileIo, MissingFileIsNotFound) {
+  auto result = read_swf_file("/nonexistent/path/to.swf");
+  EXPECT_FALSE(result.is_ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace dc::workload

@@ -1,0 +1,54 @@
+#include "workload/trace_stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dc::workload {
+namespace {
+
+TEST(TraceStats, UtilizationOnCraftedTrace) {
+  // 10 nodes for 1 hour on a 10-node machine over a 2-hour period = 50%.
+  Trace trace("t", 10, {TraceJob{1, 0, kHour, 10}});
+  trace.set_period(2 * kHour);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.utilization, 0.5);
+  EXPECT_DOUBLE_EQ(stats.demand_node_hours, 10.0);
+  EXPECT_EQ(stats.job_count, 1);
+  EXPECT_EQ(stats.max_width, 10);
+}
+
+TEST(TraceStats, SubHourFraction) {
+  Trace trace("t", 4,
+              {TraceJob{1, 0, kHour - 1, 1}, TraceJob{2, 10, kHour, 1},
+               TraceJob{3, 20, 2 * kHour, 1}, TraceJob{4, 30, 30, 1}});
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.sub_hour_job_fraction, 0.5);
+}
+
+TEST(TraceStats, DemandHalvesSplitBySubmitTime) {
+  Trace trace("t", 4, {TraceJob{1, 0, kHour, 1}, TraceJob{2, 3 * kHour, kHour, 3}});
+  trace.set_period(4 * kHour);
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_DOUBLE_EQ(stats.first_half_demand, 1.0);
+  EXPECT_DOUBLE_EQ(stats.second_half_demand, 3.0);
+}
+
+TEST(TraceStats, InterarrivalStats) {
+  Trace trace("t", 4,
+              {TraceJob{1, 0, 60, 1}, TraceJob{2, 100, 60, 1},
+               TraceJob{3, 300, 60, 1}});
+  const TraceStats stats = compute_stats(trace);
+  EXPECT_EQ(stats.interarrival_seconds.count(), 2);
+  EXPECT_DOUBLE_EQ(stats.interarrival_seconds.mean(), 150.0);
+}
+
+TEST(TraceStats, FormatMentionsKeyNumbers) {
+  Trace trace("demo", 8, {TraceJob{1, 0, kHour, 4}});
+  trace.set_period(kHour);
+  const std::string out = format_stats(trace, compute_stats(trace));
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("50.0%"), std::string::npos);  // utilization
+  EXPECT_NE(out.find("1 jobs"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc::workload

@@ -1,0 +1,292 @@
+// dawningcloud: the unified command-line driver.
+//
+//   dawningcloud run --config FILE [--system all|dcs|ssp|drp|dawningcloud]
+//                    [--csv PATH] [--quantum SECONDS]
+//                    [--scheduler first-fit|easy-backfill|conservative-backfill|sjf]
+//                    [--capacity NODES] [--setup SECONDS]
+//   dawningcloud paper            # the built-in Section 4 experiment
+//   dawningcloud tune --config FILE --provider NAME [--tolerance FRACTION]
+//   dawningcloud describe --config FILE
+//   dawningcloud trace-stats --swf FILE
+//
+// Experiment config files use the Section 2.2 requirement description
+// model; see data/paper_experiment.dcfg.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "core/description.hpp"
+#include "core/paper.hpp"
+#include "core/systems.hpp"
+#include "core/tuning.hpp"
+#include "metrics/markdown.hpp"
+#include "metrics/report.hpp"
+#include "util/strings.hpp"
+#include "workload/swf.hpp"
+#include "workload/trace_stats.hpp"
+
+namespace {
+
+using namespace dc;
+
+int usage() {
+  std::fputs(
+      "usage: dawningcloud <run|paper|tune|describe|trace-stats> [options]\n"
+      "  run         --config FILE [--system NAME] [--csv PATH]\n"
+      "              [--quantum SECONDS] [--scheduler NAME]\n"
+      "              [--capacity NODES] [--setup SECONDS]\n"
+      "  paper       (no options) run the built-in paper experiment\n"
+      "  report-md   [--config FILE] emit markdown result tables\n"
+      "  tune        --config FILE --provider NAME [--tolerance FRACTION]\n"
+      "  describe    --config FILE\n"
+      "  trace-stats --swf FILE\n",
+      stderr);
+  return 2;
+}
+
+/// "--key value" pairs after the subcommand.
+std::map<std::string, std::string> parse_flags(int argc, char** argv,
+                                               bool& ok) {
+  std::map<std::string, std::string> flags;
+  ok = true;
+  for (int i = 2; i < argc; i += 2) {
+    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+      ok = false;
+      return flags;
+    }
+    flags[argv[i] + 2] = argv[i + 1];
+  }
+  return flags;
+}
+
+StatusOr<core::ConsolidationWorkload> load_workload(
+    const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("config");
+  if (it == flags.end()) {
+    return Status::invalid_argument("missing --config FILE");
+  }
+  return core::read_experiment_description(it->second);
+}
+
+void print_full_report(const std::vector<core::SystemResult>& results,
+                       const core::ConsolidationWorkload& workload) {
+  for (const auto& spec : workload.htc) {
+    std::puts(metrics::format_htc_provider_table(
+                  results, spec.name, "HTC provider: " + spec.name)
+                  .c_str());
+  }
+  for (const auto& spec : workload.mtc) {
+    std::puts(metrics::format_mtc_provider_table(
+                  results, spec.name, "MTC provider: " + spec.name)
+                  .c_str());
+  }
+  std::puts(metrics::format_resource_provider_report(results).c_str());
+  std::puts(metrics::format_overhead_report(results).c_str());
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  auto workload = load_workload(flags);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+  core::RunOptions options;
+  if (auto it = flags.find("quantum"); it != flags.end()) {
+    auto quantum = core::parse_duration(it->second);
+    if (!quantum.is_ok() || *quantum <= 0) {
+      std::fprintf(stderr, "bad --quantum\n");
+      return 2;
+    }
+    options.billing_quantum = *quantum;
+  }
+  if (auto it = flags.find("capacity"); it != flags.end()) {
+    options.platform_capacity = std::strtoll(it->second.c_str(), nullptr, 10);
+  }
+  if (auto it = flags.find("setup"); it != flags.end()) {
+    auto setup = core::parse_duration(it->second);
+    if (!setup.is_ok()) {
+      std::fprintf(stderr, "bad --setup\n");
+      return 2;
+    }
+    options.setup_latency = *setup;
+  }
+  if (auto it = flags.find("scheduler"); it != flags.end()) {
+    const std::string& name = it->second;
+    if (name == "first-fit") {
+      options.htc_scheduler = core::HtcSchedulerKind::kFirstFit;
+    } else if (name == "easy-backfill") {
+      options.htc_scheduler = core::HtcSchedulerKind::kEasyBackfill;
+    } else if (name == "conservative-backfill") {
+      options.htc_scheduler = core::HtcSchedulerKind::kConservativeBackfill;
+    } else if (name == "sjf") {
+      options.htc_scheduler = core::HtcSchedulerKind::kSjf;
+    } else {
+      std::fprintf(stderr, "unknown --scheduler %s\n", name.c_str());
+      return 2;
+    }
+  }
+
+  std::string system = "all";
+  if (auto it = flags.find("system"); it != flags.end()) system = it->second;
+
+  std::vector<core::SystemResult> results;
+  if (system == "all") {
+    results = core::run_all_systems(*workload, options);
+  } else {
+    core::SystemModel model;
+    if (system == "dcs") model = core::SystemModel::kDcs;
+    else if (system == "ssp") model = core::SystemModel::kSsp;
+    else if (system == "drp") model = core::SystemModel::kDrp;
+    else if (system == "dawningcloud") model = core::SystemModel::kDawningCloud;
+    else {
+      std::fprintf(stderr, "unknown --system %s\n", system.c_str());
+      return 2;
+    }
+    results.push_back(core::run_system(model, *workload, options));
+  }
+
+  if (system == "all") {
+    print_full_report(results, *workload);
+  } else {
+    for (const auto& result : results) {
+      for (const auto& provider : result.providers) {
+        std::printf(
+            "%s/%s: completed %lld, %lld node*hours, peak %lld, "
+            "mean wait %.0fs\n",
+            system_model_name(result.model), provider.provider.c_str(),
+            static_cast<long long>(provider.completed_jobs),
+            static_cast<long long>(provider.consumption_node_hours),
+            static_cast<long long>(provider.peak_nodes),
+            provider.mean_wait_seconds);
+      }
+    }
+  }
+
+  if (auto it = flags.find("csv"); it != flags.end()) {
+    CsvWriter csv(it->second);
+    if (!csv.ok()) {
+      std::fprintf(stderr, "cannot write %s\n", it->second.c_str());
+      return 1;
+    }
+    metrics::write_results_csv(csv, results);
+    std::printf("wrote %s\n", it->second.c_str());
+  }
+  return 0;
+}
+
+int cmd_paper() {
+  const auto workload = core::paper_consolidation();
+  const auto results = core::run_all_systems(workload);
+  print_full_report(results, workload);
+  return 0;
+}
+
+int cmd_report_md(const std::map<std::string, std::string>& flags) {
+  core::ConsolidationWorkload workload;
+  if (flags.count("config") != 0) {
+    auto parsed = load_workload(flags);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+      return 1;
+    }
+    workload = std::move(*parsed);
+  } else {
+    workload = core::paper_consolidation();
+  }
+  const auto results = core::run_all_systems(workload);
+  for (const auto& spec : workload.htc) {
+    std::printf("## %s\n\n%s\n", spec.name.c_str(),
+                metrics::markdown_htc_provider_table(results, spec.name).c_str());
+  }
+  for (const auto& spec : workload.mtc) {
+    std::printf("## %s\n\n%s\n", spec.name.c_str(),
+                metrics::markdown_mtc_provider_table(results, spec.name).c_str());
+  }
+  return 0;
+}
+
+int cmd_tune(const std::map<std::string, std::string>& flags) {
+  auto workload = load_workload(flags);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+  auto provider_it = flags.find("provider");
+  if (provider_it == flags.end()) {
+    std::fprintf(stderr, "missing --provider NAME\n");
+    return 2;
+  }
+  core::TuningObjective objective;
+  if (auto it = flags.find("tolerance"); it != flags.end()) {
+    objective.quality_tolerance = std::strtod(it->second.c_str(), nullptr);
+  }
+  const std::vector<std::int64_t> b_grid = {5, 10, 20, 40, 60, 80, 120};
+  for (const auto& spec : workload->htc) {
+    if (spec.name != provider_it->second) continue;
+    const auto result =
+        core::tune_htc_policy(spec, b_grid, {1.0, 1.2, 1.5, 1.8, 2.0}, objective);
+    std::fputs(core::format_tuning_report(spec.name, result).c_str(), stdout);
+    return 0;
+  }
+  for (const auto& spec : workload->mtc) {
+    if (spec.name != provider_it->second) continue;
+    const auto result =
+        core::tune_mtc_policy(spec, b_grid, {2, 4, 8, 12, 16}, objective);
+    std::fputs(core::format_tuning_report(spec.name, result).c_str(), stdout);
+    return 0;
+  }
+  std::fprintf(stderr, "no provider named '%s' in the config\n",
+               provider_it->second.c_str());
+  return 1;
+}
+
+int cmd_describe(const std::map<std::string, std::string>& flags) {
+  auto workload = load_workload(flags);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(core::describe_experiment(*workload).c_str(), stdout);
+  return 0;
+}
+
+int cmd_trace_stats(const std::map<std::string, std::string>& flags) {
+  auto it = flags.find("swf");
+  if (it == flags.end()) {
+    std::fprintf(stderr, "missing --swf FILE\n");
+    return 2;
+  }
+  auto swf = workload::read_swf_file(it->second);
+  if (!swf.is_ok()) {
+    std::fprintf(stderr, "%s\n", swf.status().to_string().c_str());
+    return 1;
+  }
+  auto trace = workload::Trace::from_swf(*swf, it->second);
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "%s\n", trace.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(
+      workload::format_stats(*trace, workload::compute_stats(*trace)).c_str(),
+      stdout);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  bool flags_ok = false;
+  const auto flags = parse_flags(argc, argv, flags_ok);
+  if (!flags_ok) return usage();
+
+  if (command == "run") return cmd_run(flags);
+  if (command == "paper") return cmd_paper();
+  if (command == "report-md") return cmd_report_md(flags);
+  if (command == "tune") return cmd_tune(flags);
+  if (command == "describe") return cmd_describe(flags);
+  if (command == "trace-stats") return cmd_trace_stats(flags);
+  return usage();
+}
