@@ -1,8 +1,16 @@
 // Performance microbenchmarks (google-benchmark) for the simulator
 // substrate: regression guardrails that keep the sweep benches fast.
+//
+// The kernel benchmarks isolate what they claim to measure: schedule
+// times are pre-generated and Simulator construction/destruction happens
+// with timing paused, so items_per_second reflects schedule_at + dispatch
+// cost, not RNG draws or allocator warm-up. `make bench-kernel`
+// regenerates BENCH_kernel.json from these numbers.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <sstream>
+#include <vector>
 
 #include "core/paper.hpp"
 #include "core/systems.hpp"
@@ -19,20 +27,62 @@ namespace {
 using namespace dc;
 
 void BM_EventQueueThroughput(benchmark::State& state) {
-  const auto events = static_cast<std::int64_t>(state.range(0));
+  const auto events = static_cast<std::size_t>(state.range(0));
+  std::vector<SimTime> times(events);
+  Rng rng(7);
+  for (auto& t : times) t = rng.uniform_int(0, 1'000'000);
+  std::int64_t counter = 0;
   for (auto _ : state) {
-    sim::Simulator sim;
-    Rng rng(7);
-    std::int64_t counter = 0;
-    for (std::int64_t i = 0; i < events; ++i) {
-      sim.schedule_at(rng.uniform_int(0, 1'000'000), [&counter] { ++counter; });
+    state.PauseTiming();
+    auto sim = std::make_unique<sim::Simulator>();
+    sim->reserve(events);
+    state.ResumeTiming();
+    for (const SimTime t : times) {
+      sim->schedule_at(t, [&counter] { ++counter; });
     }
-    sim.run();
-    benchmark::DoNotOptimize(counter);
+    sim->run();
+    state.PauseTiming();
+    sim.reset();
+    state.ResumeTiming();
   }
-  state.SetItemsProcessed(state.iterations() * events);
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
 }
 BENCHMARK(BM_EventQueueThroughput)->Arg(1 << 12)->Arg(1 << 16);
+
+// Cancellation-heavy workload: every other scheduled event is cancelled
+// before the run. With the indexed heap, each cancel() excises its queue
+// node immediately; the run phase then dispatches only the survivors —
+// there are no tombstones to pop over.
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  const auto events = static_cast<std::size_t>(state.range(0));
+  std::vector<SimTime> times(events);
+  Rng rng(11);
+  for (auto& t : times) t = rng.uniform_int(0, 1'000'000);
+  std::vector<sim::EventId> ids(events);
+  std::int64_t counter = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sim = std::make_unique<sim::Simulator>();
+    sim->reserve(events);
+    state.ResumeTiming();
+    for (std::size_t i = 0; i < events; ++i) {
+      ids[i] = sim->schedule_at(times[i], [&counter] { ++counter; });
+    }
+    for (std::size_t i = 0; i < events; i += 2) {
+      benchmark::DoNotOptimize(sim->cancel(ids[i]));
+    }
+    sim->run();
+    state.PauseTiming();
+    sim.reset();
+    state.ResumeTiming();
+  }
+  benchmark::DoNotOptimize(counter);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_EventQueueCancelHeavy)->Arg(1 << 12)->Arg(1 << 16);
 
 void BM_PeriodicTimers(benchmark::State& state) {
   for (auto _ : state) {
@@ -46,6 +96,53 @@ void BM_PeriodicTimers(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PeriodicTimers);
+
+// Timer-heavy variant: 256 concurrent periodic timers with staggered
+// phases and mixed periods, the shape of a large DawningCloud deployment
+// (every daemon owns scan/heartbeat/accounting timers). Stresses the
+// re-arm path: each fire pops, re-pushes, and dispatches with no hash
+// lookups.
+void BM_PeriodicTimersDense(benchmark::State& state) {
+  std::int64_t total_fires = 0;
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t fires = 0;
+    for (int i = 0; i < 256; ++i) {
+      const SimTime first = 1 + (i % 60);
+      const SimDuration period = 30 + (i % 16) * 15;
+      sim.start_periodic(first, period, [&fires](SimTime) { ++fires; });
+    }
+    sim.run_until(24 * kHour);
+    benchmark::DoNotOptimize(fires);
+    total_fires += fires;
+  }
+  state.SetItemsProcessed(total_fires);
+}
+BENCHMARK(BM_PeriodicTimersDense);
+
+// Mirrors HtcServer's dispatch loop: a periodic scan schedules a batch of
+// task-completion events, and every completion schedules a follow-up from
+// inside its own callback (some at its own timestamp). This is the
+// re-entrant pattern the production daemons drive the kernel with.
+void BM_ScheduleFromCallback(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    std::int64_t completions = 0;
+    sim.start_periodic(60, 60, [&sim, &completions](SimTime t) {
+      for (int k = 0; k < 32; ++k) {
+        const SimTime done = t + 1 + (k * 7) % 59;
+        sim.schedule_at(done, [&sim, &completions, done] {
+          ++completions;
+          sim.schedule_at(done, [] {});  // follow-up dispatch, same timestamp
+        });
+      }
+    });
+    sim.run_until(4 * kHour);
+    benchmark::DoNotOptimize(completions);
+  }
+  state.SetItemsProcessed(state.iterations() * 240 * 32 * 2);
+}
+BENCHMARK(BM_ScheduleFromCallback);
 
 void BM_SwfRoundTrip(benchmark::State& state) {
   const workload::Trace trace = workload::make_nasa_ipsc(42);

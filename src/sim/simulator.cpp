@@ -1,41 +1,216 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
+
 namespace dc::sim {
 
-EventId Simulator::schedule_at(SimTime t, Callback fn) {
-  assert(t >= now_ && "cannot schedule into the past");
-  assert(fn && "callback must be callable");
-  const EventId id = next_id_++;
-  queue_.push(QueueEntry{t, next_seq_++, id});
-  handlers_.emplace(id, std::move(fn));
-  return id;
+// ---------------------------------------------------------------------------
+// Event slab
+
+std::uint32_t Simulator::grow_event_slab() {
+  const std::uint32_t slot = event_slots_used_++;
+  if ((slot >> kSlabShift) >= event_chunks_.size()) {
+    event_chunks_.push_back(std::make_unique<EventSlot[]>(kSlabChunk));
+  }
+  slot_pos_.push_back(kNpos);
+  event(slot).live = true;
+  return slot;
 }
 
+void Simulator::release_event_slot(std::uint32_t slot) {
+  EventSlot& ev = event(slot);
+  ev.fn.reset();
+  ev.live = false;
+  slot_pos_[slot] = kNpos;
+  ev.timer_slot = kNpos;
+  // Bump the generation so any outstanding EventId for this slot goes
+  // stale; skip 0 on wrap so make_event_id never produces kInvalidEvent.
+  if (++ev.gen == 0) ev.gen = 1;
+  ev.next_free = free_event_;
+  free_event_ = slot;
+  --live_events_;
+}
+
+void Simulator::reserve(std::size_t expected_events) {
+  if (expected_events > heap_cap_) grow_heap(expected_events);
+  if (expected_events <= event_slots_used_) return;
+  // Materialize the new slots onto the free list now (ascending, so a
+  // burst of schedules still fills slots in address order): every
+  // subsequent alloc_event_slot takes the branch-free free-list path.
+  const auto first = static_cast<std::uint32_t>(event_slots_used_);
+  const auto last = static_cast<std::uint32_t>(expected_events - 1);
+  slot_pos_.resize(expected_events, kNpos);
+  while (event_chunks_.size() * kSlabChunk < expected_events) {
+    event_chunks_.push_back(std::make_unique<EventSlot[]>(kSlabChunk));
+  }
+  for (std::uint32_t s = first; s < last; ++s) event(s).next_free = s + 1;
+  event(last).next_free = free_event_;
+  free_event_ = first;
+  event_slots_used_ = static_cast<std::uint32_t>(expected_events);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed 4-ary heap. Every node move updates the owning slot's entry in
+// slot_pos_, so cancel() can find and excise a node without scanning.
+
+void Simulator::grow_heap(std::size_t new_cap) {
+  // 3-node front pad + 64-byte alignment puts every 4-child group on one
+  // cache line; aligned_alloc wants the byte size rounded to the alignment.
+  const std::size_t bytes = (((new_cap + 3) * sizeof(HeapNode)) + 63) & ~std::size_t{63};
+  auto* grown = static_cast<HeapNode*>(std::aligned_alloc(64, bytes));
+  if (heap_raw_ != nullptr) {
+    std::memcpy(grown + 3, heap_raw_ + 3, heap_size_ * sizeof(HeapNode));
+    std::free(heap_raw_);
+  }
+  heap_raw_ = grown;
+  heap_cap_ = new_cap;
+}
+
+void Simulator::sift_up(std::size_t pos) {
+  const HeapNode node = heap_at(pos);
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) >> 2;
+    if (!heap_less(node, heap_at(parent))) break;
+    heap_at(pos) = heap_at(parent);
+    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_at(pos) = node;
+  slot_pos_[node.slot] = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const std::size_t n = heap_size_;
+  const HeapNode node = heap_at(pos);
+  while (true) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_less(heap_at(c), heap_at(best))) best = c;
+    }
+    if (!heap_less(heap_at(best), node)) break;
+    heap_at(pos) = heap_at(best);
+    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_at(pos) = node;
+  slot_pos_[node.slot] = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::heap_erase(std::size_t pos) {
+  const HeapNode last = heap_at(--heap_size_);
+  if (pos < heap_size_) {
+    heap_at(pos) = last;
+    slot_pos_[last.slot] = static_cast<std::uint32_t>(pos);
+    // The replacement came from the bottom; it can only need to move one
+    // way, and sift_up is a no-op unless it beats its new parent.
+    sift_up(pos);
+    sift_down(slot_pos_[last.slot]);
+  }
+}
+
+// Pop the root. The replacement comes from the bottom of the heap, so it
+// nearly always sinks the full height: walk the min-child path down to a
+// leaf first, then bubble the replacement up — the early-exit compares
+// happen near the leaf where they are cheap, and each level's child scan
+// is one aligned cache line (prefetched one level ahead).
+void Simulator::pop_min() {
+  const HeapNode last = heap_at(--heap_size_);
+  const std::size_t n = heap_size_;
+  if (n == 0) return;
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t first = (pos << 2) + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t end = std::min(first + 4, n);
+    // Whichever child wins, its children are one of these four lines;
+    // issuing all four overlaps the next level's miss with this level's
+    // compares (the walk's dependent-miss chain is what bounds pop cost).
+    __builtin_prefetch(&heap_at((first << 2) + 1));
+    __builtin_prefetch(&heap_at(((first + 1) << 2) + 1));
+    __builtin_prefetch(&heap_at(((first + 2) << 2) + 1));
+    __builtin_prefetch(&heap_at(((first + 3) << 2) + 1));
+    for (std::size_t c = first + 1; c < end; ++c) {
+      if (heap_less(heap_at(c), heap_at(best))) best = c;
+    }
+    if (!heap_less(heap_at(best), last)) break;
+    heap_at(pos) = heap_at(best);
+    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_at(pos) = last;
+  slot_pos_[last.slot] = static_cast<std::uint32_t>(pos);
+}
+
+// The 32-bit FIFO tie-break counter saturated (once per ~4.3 billion
+// schedules). Compact the seqs of the pending nodes order-preservingly:
+// relative order is all the heap compares, so the heap stays valid in
+// place and FIFO order is exactly preserved. Amortized cost is zero.
+void Simulator::renumber_seqs() {
+  std::vector<std::uint32_t> order(heap_size_);
+  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
+    return heap_at(a).seq < heap_at(b).seq;
+  });
+  std::uint32_t seq = 1;
+  for (const std::uint32_t pos : order) heap_at(pos).seq = seq++;
+  next_seq_ = seq;
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+
 bool Simulator::cancel(EventId id) {
-  // The queue entry stays behind as a tombstone; it is skipped at pop time.
-  return handlers_.erase(id) > 0;
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= event_slots_used_) return false;
+  EventSlot& ev = event(slot);
+  if (!ev.live || ev.gen != id_gen(id)) return false;
+  heap_erase(slot_pos_[slot]);
+  release_event_slot(slot);
+  return true;
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    const QueueEntry entry = queue_.top();
-    auto it = handlers_.find(entry.id);
-    if (it == handlers_.end()) {
-      queue_.pop();  // cancelled: discard tombstone
-      continue;
-    }
-    assert(entry.time >= now_);
-    now_ = entry.time;
-    // Move the callback out before popping so the handler may schedule or
-    // cancel events (including itself being re-entrant-safe).
-    Callback fn = std::move(it->second);
-    handlers_.erase(it);
-    queue_.pop();
-    ++processed_;
-    fn();
-    return true;
+  const HeapNode* next = peek_next_live();
+  if (next == nullptr) return false;
+  const std::uint32_t slot = next->slot;
+  assert(key_time(next->time_bits) >= now_);
+  now_ = key_time(next->time_bits);
+  pop_min();
+  // The heap top is now the *next* event to fire: start pulling its slot
+  // in while this event's callback runs, hiding the slab miss.
+  if (heap_size_ != 0) __builtin_prefetch(&event(heap_at(0).slot));
+  ++processed_;
+  // Mark the slot dead before invoking: a cancel() of this event's own id
+  // from inside the callback is then a clean "already fired" no-op, and
+  // pending_live() already excludes the executing event (as the old
+  // handler-map kernel did). The slot joins the free list only after the
+  // callback returns, so re-entrant schedules cannot recycle it; chunked
+  // slab addresses are stable, so the callable is invoked in place with
+  // no relocation.
+  EventSlot& ev = event(slot);
+  ev.live = false;
+  slot_pos_[slot] = kNpos;
+  --live_events_;
+  if (ev.timer_slot == kNpos) {
+    ev.fn();
+    ev.fn.reset();
+    if (++ev.gen == 0) ev.gen = 1;
+    ev.next_free = free_event_;
+    free_event_ = slot;
+  } else {
+    // Timer fire events carry no callable: recycle the slot immediately.
+    const std::uint32_t timer_slot = ev.timer_slot;
+    ev.timer_slot = kNpos;
+    if (++ev.gen == 0) ev.gen = 1;
+    ev.next_free = free_event_;
+    free_event_ = slot;
+    fire_timer(timer_slot, now_);
   }
-  return false;
+  return true;
 }
 
 void Simulator::run() {
@@ -47,59 +222,94 @@ void Simulator::run() {
 void Simulator::run_until(SimTime horizon) {
   assert(horizon >= now_);
   stop_requested_ = false;
+  const std::uint64_t horizon_key = time_key(horizon);
   while (!stop_requested_) {
-    // Peek for the next live event and check its time against the horizon.
-    bool found = false;
-    while (!queue_.empty()) {
-      const QueueEntry& entry = queue_.top();
-      if (handlers_.find(entry.id) == handlers_.end()) {
-        queue_.pop();
-        continue;
-      }
-      found = true;
-      break;
-    }
-    if (!found || queue_.top().time > horizon) break;
+    const HeapNode* next = peek_next_live();
+    if (next == nullptr || next->time_bits > horizon_key) break;
     step();
   }
   now_ = horizon;
 }
 
-void Simulator::arm_timer(TimerId id, SimTime fire_at) {
-  auto it = timers_.find(id);
-  if (it == timers_.end()) return;
-  it->second.pending_event = schedule_at(fire_at, [this, id] {
-    auto timer_it = timers_.find(id);
-    if (timer_it == timers_.end()) return;  // stopped meanwhile
-    const SimTime fired_at = now_;
-    // Re-arm before invoking so the callback may stop the timer.
-    arm_timer(id, fired_at + timer_it->second.period);
-    // Re-lookup: arm_timer may rehash the map. Invoke through a copy so the
-    // callback may stop (erase) its own timer without destroying the
-    // std::function it is executing from.
-    timer_it = timers_.find(id);
-    if (timer_it == timers_.end()) return;
-    TimerCallback fn = timer_it->second.fn;
-    fn(fired_at);
-  });
+// ---------------------------------------------------------------------------
+// Periodic timers
+
+EventId Simulator::schedule_timer_event(SimTime t, std::uint32_t timer_slot) {
+  const std::uint32_t slot = alloc_event_slot();
+  event(slot).timer_slot = timer_slot;
+  return push_event(t, slot);
+}
+
+void Simulator::fire_timer(std::uint32_t timer_slot, SimTime fired_at) {
+  // Chunked slab => `ts` stays valid even if the callback starts new
+  // timers; only slot *reuse* is a hazard, and `firing` defers that.
+  TimerSlot& ts = timer(timer_slot);
+  assert(ts.alive && "a stopped timer's fire event should be cancelled");
+  // Re-arm before invoking so the callback may stop the timer. The fire
+  // event indexes the timer slab directly — no lookups on this path.
+  ts.pending = schedule_timer_event(fired_at + ts.period, timer_slot);
+  // Invoke in place: stop_timer() never destroys the callable of a timer
+  // whose callback is on the stack (it only clears `alive`; `firing`
+  // defers the actual release to us), so self-stop is safe.
+  ts.firing = true;
+  ts.fn(fired_at);
+  ts.firing = false;
+  if (!ts.alive) {
+    release_timer_slot(timer_slot);  // stopped from within its own callback
+  }
 }
 
 TimerId Simulator::start_periodic(SimTime first_fire, SimDuration period,
                                   TimerCallback fn) {
   assert(period > 0 && "periodic timer needs a positive period");
   assert(first_fire >= now_);
-  const TimerId id = next_timer_id_++;
-  timers_.emplace(id, TimerState{period, std::move(fn), kInvalidEvent});
-  arm_timer(id, first_fire);
+  std::uint32_t slot;
+  if (free_timer_ != kNpos) {
+    slot = free_timer_;
+    free_timer_ = timer(slot).next_free;
+    timer(slot).next_free = kNpos;
+  } else {
+    slot = timer_slots_used_++;
+    if ((slot >> kSlabShift) >= timer_chunks_.size()) {
+      timer_chunks_.push_back(std::make_unique<TimerSlot[]>(kSlabChunk));
+    }
+  }
+  TimerSlot& ts = timer(slot);
+  ts.period = period;
+  ts.fn = std::move(fn);
+  ts.alive = true;
+  ts.firing = false;
+  const TimerId id = make_event_id(slot, ts.gen);
+  ts.pending = schedule_timer_event(first_fire, slot);
   return id;
 }
 
 bool Simulator::stop_timer(TimerId id) {
-  auto it = timers_.find(id);
-  if (it == timers_.end()) return false;
-  if (it->second.pending_event != kInvalidEvent) cancel(it->second.pending_event);
-  timers_.erase(it);
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= timer_slots_used_) return false;
+  TimerSlot& ts = timer(slot);
+  if (!ts.alive || ts.gen != id_gen(id)) return false;
+  if (ts.pending != kInvalidEvent) {
+    cancel(ts.pending);
+    ts.pending = kInvalidEvent;
+  }
+  ts.alive = false;
+  // If the timer's own callback is on the stack, fire_timer() releases the
+  // slot when it returns; releasing now would recycle the slot under it.
+  if (!ts.firing) release_timer_slot(slot);
   return true;
+}
+
+void Simulator::release_timer_slot(std::uint32_t slot) {
+  TimerSlot& ts = timer(slot);
+  ts.fn.reset();
+  ts.alive = false;
+  ts.firing = false;
+  ts.pending = kInvalidEvent;
+  ts.period = 0;
+  if (++ts.gen == 0) ts.gen = 1;
+  ts.next_free = free_timer_;
+  free_timer_ = slot;
 }
 
 }  // namespace dc::sim

@@ -9,7 +9,26 @@
 //   * Events fire in nondecreasing time order.
 //   * Events scheduled for the same time fire in scheduling (FIFO) order,
 //     which makes experiments fully deterministic.
-//   * Cancellation is O(1); cancelled events are skipped at pop time.
+//   * cancel()/stop_timer() validate their handle in O(1) via a generation
+//     tag and remove the event from the queue immediately — no tombstones
+//     accumulate, even for workloads that cancel heavily or run periodic
+//     timers for months of simulated time.
+//
+// Hot-path design (see docs/ARCHITECTURE.md, "The simulation kernel"):
+//   * Events live in a chunked slab (fixed 1024-slot chunks + free list),
+//     so slot addresses are stable: growth never relocates live callbacks
+//     and callbacks are invoked in place. A slot stores its callback
+//     inline for captures up to kInlineCallbackBytes (48) bytes —
+//     scheduling such an event performs zero heap allocations in steady
+//     state.
+//   * The pending queue is a 4-ary heap of 16-byte (time, seq, slot)
+//     nodes in a 64-byte-aligned buffer laid out so each node's four
+//     children share one cache line. Each slot records its heap position
+//     (dense side array), so cancellation excises the node in place (O(1)
+//     handle check + one localized sift) instead of leaving a tombstone.
+//   * Periodic timers are their own slab; a timer's fire event carries the
+//     timer's slot index, so re-arming is direct indexing — no hash
+//     lookups anywhere in the kernel.
 //
 // The kernel is single-threaded. Parameter sweeps parallelize by running
 // one Simulator per thread (see bench/), which is both simpler and faster
@@ -18,53 +37,75 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
 #include <functional>
-#include <queue>
-#include <unordered_map>
+#include <memory>
+#include <utility>
 #include <vector>
 
+#include "sim/small_func.hpp"
 #include "util/time.hpp"
 
 namespace dc::sim {
 
 /// Identifies a scheduled (one-shot) event; valid until it fires or is
-/// cancelled.
+/// cancelled. Handles are generation-tagged: a stale id (already fired,
+/// already cancelled, or from a recycled slot) is detected in O(1) and
+/// never aliases a live event.
 using EventId = std::uint64_t;
 inline constexpr EventId kInvalidEvent = 0;
 
-/// Identifies a periodic timer.
+/// Identifies a periodic timer. Generation-tagged like EventId.
 using TimerId = std::uint64_t;
 inline constexpr TimerId kInvalidTimer = 0;
 
 class Simulator {
  public:
-  using Callback = std::function<void()>;
-  using TimerCallback = std::function<void(SimTime)>;
+  /// Event callbacks are stored inline in the event slab for captures up
+  /// to kInlineCallbackBytes (48) bytes; larger captures heap-allocate
+  /// (correct, just slower). Still constructible from any callable,
+  /// including std::function, but move-only: callbacks are consumed
+  /// exactly once.
+  using Callback = SmallFunc<void()>;
+  using TimerCallback = SmallFunc<void(SimTime)>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
+  ~Simulator() { std::free(heap_raw_); }
 
   /// Current simulation time (seconds).
   SimTime now() const { return now_; }
 
-  /// Schedules `fn` at absolute time `t` (must be >= now()).
-  EventId schedule_at(SimTime t, Callback fn);
+  /// Schedules `fn` at absolute time `t` (must be >= now()). Accepts any
+  /// callable; the callable is constructed directly into the event slab.
+  template <typename F>
+  EventId schedule_at(SimTime t, F&& fn) {
+    assert(t >= now_ && "cannot schedule into the past");
+    const std::uint32_t slot = alloc_event_slot();
+    event(slot).fn = std::forward<F>(fn);
+    assert(event(slot).fn && "callback must be callable");
+    return push_event(t, slot);
+  }
 
   /// Schedules `fn` after `delay` seconds (delay >= 0).
-  EventId schedule_in(SimDuration delay, Callback fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+  template <typename F>
+  EventId schedule_in(SimDuration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
   }
 
   /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled.
+  /// already cancelled. The queue entry is removed immediately (no
+  /// tombstone); the handle check itself is O(1).
   bool cancel(EventId id);
 
   /// Starts a periodic timer: first fires at `first_fire`, then every
   /// `period` seconds until stopped. The callback receives the fire time.
   TimerId start_periodic(SimTime first_fire, SimDuration period, TimerCallback fn);
 
-  /// Stops a periodic timer. Returns false if it was not active.
+  /// Stops a periodic timer. Returns false if it was not active. Safe to
+  /// call from any callback, including the timer's own.
   bool stop_timer(TimerId id);
 
   /// Runs until the event queue is empty or a stop is requested.
@@ -80,42 +121,174 @@ class Simulator {
   /// Number of events executed so far (excludes cancelled).
   std::uint64_t events_processed() const { return processed_; }
 
-  /// Number of events currently pending (includes not-yet-collected
-  /// cancelled entries; exact pending count is pending_live()).
-  std::size_t pending_live() const { return handlers_.size(); }
+  /// Number of live pending events: one-shot events not yet fired or
+  /// cancelled, plus one pending fire per active periodic timer. Exact —
+  /// cancelled events leave no residue in the queue.
+  std::size_t pending_live() const { return live_events_; }
+
+  /// Pre-sizes the event slab and heap for `expected_events` concurrently
+  /// pending events. Optional — both grow on demand.
+  void reserve(std::size_t expected_events);
 
  private:
-  struct QueueEntry {
-    SimTime time;
-    std::uint64_t seq;  // tie-break: FIFO among equal times
-    EventId id;
-    bool operator>(const QueueEntry& other) const {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
+  static constexpr std::uint32_t kNpos = 0xffffffffu;
+
+  // One pending occurrence in the 4-ary heap. Ordered by (time, seq); seq
+  // is a schedule counter, so equal-time events pop FIFO. Kept to 16 bytes
+  // — four nodes per cache line, so a sift level's child scan touches
+  // exactly one line. seq is 32-bit; when the counter saturates, pending
+  // nodes are renumbered in order (amortized O(1), see renumber_seqs()).
+  //
+  // `time_bits` is the time as unsigned — order-preserving because the
+  // clock starts at 0 and schedule_at rejects the past, so queued times
+  // are never negative.
+  struct HeapNode {
+    std::uint64_t time_bits;
+    std::uint32_t seq;
+    std::uint32_t slot;  // index into the event slab
   };
+  static_assert(sizeof(HeapNode) == 16);
+
+  static std::uint64_t time_key(SimTime t) {
+    assert(t >= 0 && "queued times are nonnegative");
+    return static_cast<std::uint64_t>(t);
+  }
+  static SimTime key_time(std::uint64_t bits) {
+    return static_cast<SimTime>(bits);
+  }
+
+  // Slab slot for a pending event. `fn` is engaged for one-shot callback
+  // events; timer fire events carry `timer_slot` instead (kNpos for
+  // one-shot). `gen` tags handles so recycled slots invalidate old ids.
+  // The slot's heap position lives in the dense slot_pos_ side array, not
+  // here: sift operations update positions on every node move, and a
+  // 4-byte entry keeps that traffic off these ~100-byte slots.
+  struct EventSlot {
+    Callback fn;
+    std::uint32_t gen = 1;
+    std::uint32_t timer_slot = kNpos;
+    std::uint32_t next_free = kNpos;
+    bool live = false;
+  };
+
+  // Slab slot for a periodic timer. `firing` defers slot reuse while the
+  // timer's callback is on the stack, so a callback may stop its own
+  // timer (or a sibling's) without destroying the callable it runs from.
+  struct TimerSlot {
+    TimerCallback fn;
+    SimDuration period = 0;
+    EventId pending = kInvalidEvent;
+    std::uint32_t gen = 1;
+    std::uint32_t next_free = kNpos;
+    bool alive = false;
+    bool firing = false;
+  };
+
+  static constexpr EventId make_event_id(std::uint32_t slot, std::uint32_t gen) {
+    return (static_cast<std::uint64_t>(slot) << 32) | gen;
+  }
+  static constexpr std::uint32_t id_slot(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id >> 32);
+  }
+  static constexpr std::uint32_t id_gen(std::uint64_t id) {
+    return static_cast<std::uint32_t>(id);
+  }
+
+  // Chunked slab geometry: fixed 1024-slot chunks keep slot addresses
+  // stable across growth (no relocation of live callbacks) and make slot
+  // lookup two shifts and an add.
+  static constexpr std::uint32_t kSlabShift = 10;
+  static constexpr std::uint32_t kSlabChunk = 1u << kSlabShift;
+  static constexpr std::uint32_t kSlabMask = kSlabChunk - 1;
+
+  EventSlot& event(std::uint32_t slot) {
+    return event_chunks_[slot >> kSlabShift][slot & kSlabMask];
+  }
+  TimerSlot& timer(std::uint32_t slot) {
+    return timer_chunks_[slot >> kSlabShift][slot & kSlabMask];
+  }
+
+  std::uint32_t alloc_event_slot() {
+    if (free_event_ != kNpos) {
+      const std::uint32_t slot = free_event_;
+      EventSlot& ev = event(slot);
+      free_event_ = ev.next_free;
+      ev.next_free = kNpos;
+      ev.live = true;
+      return slot;
+    }
+    return grow_event_slab();
+  }
+  std::uint32_t grow_event_slab();
+  void release_event_slot(std::uint32_t slot);
+
+  EventId push_event(SimTime t, std::uint32_t slot) {
+    if (next_seq_ == 0xffffffffu) renumber_seqs();
+    if (heap_size_ == heap_cap_) grow_heap(heap_cap_ == 0 ? 1024 : heap_cap_ * 2);
+    std::size_t pos = heap_size_++;
+    const HeapNode node{time_key(t), next_seq_++, slot};
+    // Inline sift-up: random-time inserts rarely climb more than a level
+    // or two, so the whole schedule path stays in the caller's frame.
+    while (pos > 0) {
+      const std::size_t parent = (pos - 1) >> 2;
+      if (!heap_less(node, heap_at(parent))) break;
+      heap_at(pos) = heap_at(parent);
+      slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
+      pos = parent;
+    }
+    heap_at(pos) = node;
+    slot_pos_[slot] = static_cast<std::uint32_t>(pos);
+    ++live_events_;
+    return make_event_id(slot, event(slot).gen);
+  }
+
+  EventId schedule_timer_event(SimTime t, std::uint32_t timer_slot);
+  void fire_timer(std::uint32_t timer_slot, SimTime fired_at);
+  void release_timer_slot(std::uint32_t slot);
+
+  // Heap storage: a 64-byte-aligned buffer with a 3-node pad in front, so
+  // the four children of logical node L (physical 4L+4..4L+7) start at a
+  // 64-byte boundary and share one cache line.
+  HeapNode& heap_at(std::size_t logical) { return heap_raw_[logical + 3]; }
+  const HeapNode& heap_at(std::size_t logical) const { return heap_raw_[logical + 3]; }
+  void grow_heap(std::size_t new_cap);
+
+  static bool heap_less(const HeapNode& a, const HeapNode& b) {
+    if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void heap_erase(std::size_t pos);
+  void pop_min();
+  void renumber_seqs();
+
+  /// The next event to fire, or nullptr when the queue is empty. Because
+  /// cancellation removes queue entries eagerly, the heap top is always
+  /// live — run_until() peeks it and step() pops it without re-finding.
+  const HeapNode* peek_next_live() const {
+    return heap_size_ == 0 ? nullptr : &heap_at(0);
+  }
 
   /// Pops and executes the next live event. Returns false if none remain.
   bool step();
 
   SimTime now_ = 0;
-  std::uint64_t next_seq_ = 1;
-  EventId next_id_ = 1;
-  TimerId next_timer_id_ = 1;
+  std::uint32_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
+  std::size_t live_events_ = 0;
   bool stop_requested_ = false;
 
-  std::priority_queue<QueueEntry, std::vector<QueueEntry>, std::greater<>> queue_;
-  std::unordered_map<EventId, Callback> handlers_;
-
-  struct TimerState {
-    SimDuration period;
-    TimerCallback fn;
-    EventId pending_event = kInvalidEvent;
-  };
-  std::unordered_map<TimerId, TimerState> timers_;
-
-  void arm_timer(TimerId id, SimTime fire_at);
+  HeapNode* heap_raw_ = nullptr;  // aligned_alloc'd; [0..2] is the pad
+  std::size_t heap_size_ = 0;
+  std::size_t heap_cap_ = 0;
+  std::vector<std::unique_ptr<EventSlot[]>> event_chunks_;
+  std::vector<std::uint32_t> slot_pos_;  // event slot -> logical heap index
+  std::uint32_t event_slots_used_ = 0;   // high-water mark across chunks
+  std::uint32_t free_event_ = kNpos;
+  std::vector<std::unique_ptr<TimerSlot[]>> timer_chunks_;
+  std::uint32_t timer_slots_used_ = 0;
+  std::uint32_t free_timer_ = kNpos;
 };
 
 }  // namespace dc::sim

@@ -1,0 +1,147 @@
+// Small-buffer-optimized, move-only callable — the simulator's event slab
+// stores one of these per event instead of a std::function.
+//
+// Why not std::function: every schedule_at() with a std::function pays a
+// heap allocation for any capture larger than libstdc++'s 16-byte SSO, and
+// the kernel hot path schedules millions of events per run. SmallFunc keeps
+// captures up to `Capacity` bytes (default 48 — see docs/ARCHITECTURE.md,
+// "The simulation kernel") inline in the event slot; larger captures fall
+// back to a single heap allocation, so behavior is unchanged, only slower.
+//
+// Move-only by design: event callbacks are consumed exactly once, so only
+// a (noexcept) move is ever needed. Callables that are not
+// nothrow-move-constructible are stored on the heap regardless of size so
+// that moving a SmallFunc stays noexcept.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dc::sim {
+
+/// Inline capture budget for simulator callbacks. Captures up to this many
+/// bytes live inside the event slab (no allocation); bigger ones allocate.
+inline constexpr std::size_t kInlineCallbackBytes = 48;
+
+template <typename Signature, std::size_t Capacity = kInlineCallbackBytes>
+class SmallFunc;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class SmallFunc<R(Args...), Capacity> {
+ public:
+  /// True when callable F is stored inline (no heap allocation).
+  template <typename F>
+  static constexpr bool stores_inline =
+      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<F>;
+
+  SmallFunc() noexcept = default;
+  SmallFunc(std::nullptr_t) noexcept {}  // NOLINT(google-explicit-constructor)
+
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunc> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunc(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct(std::forward<F>(fn));
+  }
+
+  /// Assigning a callable constructs it directly into this object's
+  /// storage — no temporary SmallFunc, no relocation.
+  template <typename F, typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, SmallFunc> &&
+                                        std::is_invocable_r_v<R, D&, Args...>>>
+  SmallFunc& operator=(F&& fn) {
+    reset();
+    construct(std::forward<F>(fn));
+    return *this;
+  }
+
+  SmallFunc(SmallFunc&& other) noexcept { move_from(other); }
+
+  SmallFunc& operator=(SmallFunc&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  SmallFunc(const SmallFunc&) = delete;
+  SmallFunc& operator=(const SmallFunc&) = delete;
+
+  ~SmallFunc() { reset(); }
+
+  /// Destroys the stored callable, leaving *this empty.
+  void reset() noexcept {
+    if (destroy_ != nullptr) {
+      destroy_(buf_);
+      invoke_ = nullptr;
+      relocate_ = nullptr;
+      destroy_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  R operator()(Args... args) {
+    return invoke_(buf_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F, typename D = std::decay_t<F>>
+  void construct(F&& fn) {
+    if constexpr (stores_inline<D>) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      invoke_ = [](void* p, Args... args) -> R {
+        return (*std::launder(reinterpret_cast<D*>(p)))(
+            std::forward<Args>(args)...);
+      };
+      relocate_ = [](void* dst, void* src) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      };
+      destroy_ = [](void* p) noexcept {
+        std::launder(reinterpret_cast<D*>(p))->~D();
+      };
+    } else {
+      D* heap = new D(std::forward<F>(fn));
+      std::memcpy(buf_, &heap, sizeof(heap));
+      invoke_ = [](void* p, Args... args) -> R {
+        D* target;
+        std::memcpy(&target, p, sizeof(target));
+        return (*target)(std::forward<Args>(args)...);
+      };
+      relocate_ = [](void* dst, void* src) noexcept {
+        std::memcpy(dst, src, sizeof(D*));
+      };
+      destroy_ = [](void* p) noexcept {
+        D* target;
+        std::memcpy(&target, p, sizeof(target));
+        delete target;
+      };
+    }
+  }
+
+  void move_from(SmallFunc& other) noexcept {
+    if (other.relocate_ != nullptr) {
+      other.relocate_(buf_, other.buf_);
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      destroy_ = other.destroy_;
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  R (*invoke_)(void*, Args...) = nullptr;
+  void (*relocate_)(void* dst, void* src) noexcept = nullptr;
+  void (*destroy_)(void*) noexcept = nullptr;
+};
+
+}  // namespace dc::sim

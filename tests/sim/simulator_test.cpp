@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -153,6 +155,78 @@ TEST(PeriodicTimer, MultipleTimersInterleave) {
   const std::vector<std::pair<SimTime, int>> expected = {
       {2, 0}, {3, 1}, {6, 0}, {7, 1}, {10, 0}, {11, 1}};
   EXPECT_EQ(fires, expected);
+}
+
+TEST(Cancellation, CallbackCancelsSameTimestampEvent) {
+  // A and B share a timestamp; A is scheduled first, so FIFO order puts B
+  // after it. A's callback cancels B while B is at the front of the queue
+  // — the cancellation must win even though the clock already reads 10.
+  Simulator sim;
+  bool b_fired = false;
+  bool c_fired = false;
+  EventId b = kInvalidEvent;
+  sim.schedule_at(10, [&] { EXPECT_TRUE(sim.cancel(b)); });
+  b = sim.schedule_at(10, [&] { b_fired = true; });
+  sim.schedule_at(10, [&] { c_fired = true; });
+  sim.run();
+  EXPECT_FALSE(b_fired);
+  EXPECT_TRUE(c_fired);  // later same-time events are unaffected
+  EXPECT_EQ(sim.events_processed(), 2u);
+  EXPECT_EQ(sim.pending_live(), 0u);
+}
+
+TEST(PeriodicTimer, CallbackStopsItselfAndSibling) {
+  // The fixture the HTC/MTC servers rely on at shutdown: one daemon's scan
+  // callback tears down both its own timer and a sibling daemon's. The
+  // sibling's pending fire event must be cancelled and neither slot may be
+  // recycled while the stopping callback is still on the stack.
+  Simulator sim;
+  int self_fires = 0;
+  int sibling_fires = 0;
+  TimerId self = kInvalidTimer;
+  TimerId sibling = kInvalidTimer;
+  sibling = sim.start_periodic(7, 10, [&](SimTime) { ++sibling_fires; });
+  self = sim.start_periodic(5, 10, [&](SimTime) {
+    if (++self_fires == 2) {
+      EXPECT_TRUE(sim.stop_timer(sibling));
+      EXPECT_TRUE(sim.stop_timer(self));
+      EXPECT_FALSE(sim.stop_timer(self));  // already stopped: stale handle
+    }
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(self_fires, 2);    // fires at 5 and 15
+  EXPECT_EQ(sibling_fires, 1); // fires at 7; stopped before 17
+  EXPECT_EQ(sim.pending_live(), 0u);
+}
+
+TEST(Callbacks, LargeCaptureTakesHeapPathAndStillFires) {
+  // Captures beyond the inline budget (kInlineCallbackBytes) heap-allocate
+  // but must behave identically.
+  Simulator sim;
+  std::array<std::uint64_t, 16> payload{};  // 128 bytes > 48-byte budget
+  static_assert(sizeof(payload) > kInlineCallbackBytes);
+  for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3 + 1;
+  std::uint64_t sum = 0;
+  sim.schedule_at(1, [payload, &sum] {
+    for (const std::uint64_t v : payload) sum += v;
+  });
+  sim.run();
+  EXPECT_EQ(sum, 376u);
+  EXPECT_EQ(sim.events_processed(), 1u);
+}
+
+TEST(Callbacks, ScheduleFromCallbackAtCurrentTimestamp) {
+  // Re-entrant scheduling at the running event's own timestamp must fire
+  // in the same run, after everything already queued for that time.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5, [&] {
+    order.push_back(0);
+    sim.schedule_at(5, [&] { order.push_back(2); });
+  });
+  sim.schedule_at(5, [&] { order.push_back(1); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
 }
 
 class SimulatorOrderingProperty : public ::testing::TestWithParam<std::uint64_t> {};

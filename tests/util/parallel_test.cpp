@@ -3,7 +3,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <cstdlib>
 #include <numeric>
+#include <string>
+
+#include "sim/simulator.hpp"
+#include "util/log.hpp"
+#include "util/time.hpp"
 
 namespace dc {
 namespace {
@@ -54,6 +61,109 @@ TEST(ParallelMap, MatchesSequentialResult) {
 
 TEST(DefaultThreadCount, AtLeastOne) {
   EXPECT_GE(default_thread_count(), 1u);
+}
+
+// RAII guard that sets DC_THREADS for one test and restores it after.
+class ScopedDcThreads {
+ public:
+  explicit ScopedDcThreads(const char* value) {
+    const char* previous = std::getenv("DC_THREADS");
+    if (previous != nullptr) saved_ = previous;
+    had_previous_ = previous != nullptr;
+    ::setenv("DC_THREADS", value, 1);
+  }
+  ~ScopedDcThreads() {
+    if (had_previous_) {
+      ::setenv("DC_THREADS", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("DC_THREADS");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_previous_ = false;
+};
+
+TEST(DefaultThreadCount, HonorsValidDcThreads) {
+  ScopedDcThreads env("8");
+  EXPECT_EQ(default_thread_count(), 8u);
+}
+
+TEST(DefaultThreadCount, RejectsGarbageDcThreads) {
+  ScopedLogLevel quiet(LogLevel::kError);  // the rejection warns; silence it
+  const unsigned hw = std::thread::hardware_concurrency();
+  const std::size_t fallback = hw == 0 ? 1 : hw;
+  for (const char* bad : {"abc", "12abc", "", "-3", "0", "4.5", "0x10"}) {
+    ScopedDcThreads env(bad);
+    EXPECT_EQ(default_thread_count(), fallback)
+        << "DC_THREADS=\"" << bad << "\" should be rejected";
+  }
+}
+
+TEST(ParallelFor, NestedCallRunsInlineWithoutDeadlock) {
+  std::atomic<int> inner_calls{0};
+  parallel_for_index(
+      4,
+      [&](std::size_t) {
+        // A nested sweep from inside a parallel region must not try to
+        // re-enter the pool (the outer job may already occupy every
+        // worker); it degrades to inline execution on the calling thread.
+        const auto me = std::this_thread::get_id();
+        parallel_for_index(
+            8,
+            [&](std::size_t) {
+              EXPECT_EQ(std::this_thread::get_id(), me);
+              ++inner_calls;
+            },
+            8);
+      },
+      4);
+  EXPECT_EQ(inner_calls.load(), 32);
+}
+
+TEST(ParallelFor, PoolIsReusableAcrossManyJobs) {
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<std::size_t> sum{0};
+    parallel_for_index(100, [&](std::size_t i) { sum += i; }, 4);
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+// The determinism contract the figure benches rely on: a sweep writes its
+// CSV from results stored by index, so the bytes cannot depend on thread
+// count or scheduling order. This drives real Simulator runs through
+// parallel_map_index at 1 and 8 threads and compares the full CSV text.
+TEST(ParallelMap, SweepCsvIsByteIdenticalAcrossThreadCounts) {
+  const auto sweep_csv = [](std::size_t threads) {
+    const auto rows = parallel_map_index<std::string>(
+        16,
+        [](std::size_t i) {
+          sim::Simulator sim;
+          std::int64_t fires = 0;
+          sim.start_periodic(1 + static_cast<SimTime>(i), 30,
+                             [&fires](SimTime) { ++fires; });
+          std::int64_t extra = 0;
+          for (int k = 0; k < 100; ++k) {
+            sim.schedule_at(k * 7 + static_cast<SimTime>(i),
+                            [&extra] { ++extra; });
+          }
+          sim.run_until(2 * kHour);
+          char row[96];
+          std::snprintf(row, sizeof(row), "%zu,%lld,%lld,%llu", i,
+                        static_cast<long long>(fires),
+                        static_cast<long long>(extra),
+                        static_cast<unsigned long long>(sim.events_processed()));
+          return std::string(row);
+        },
+        threads);
+    std::string csv = "index,fires,extra,processed\n";
+    for (const std::string& row : rows) csv += row + "\n";
+    return csv;
+  };
+  const std::string sequential = sweep_csv(1);
+  const std::string parallel = sweep_csv(8);
+  EXPECT_EQ(sequential, parallel);
 }
 
 }  // namespace
