@@ -81,7 +81,8 @@ int main(int argc, char** argv) {
     std::printf(
         "DawningCloud grants: %lld total, mean size %.1f nodes, mean held "
         "%.1f h, still open at horizon: %lld (%lld nodes)\n\n",
-        grant_sizes.count(), grant_sizes.mean(), grant_hours.mean(),
+        static_cast<long long>(grant_sizes.count()), grant_sizes.mean(),
+        grant_hours.mean(),
         static_cast<long long>(open_leases),
         static_cast<long long>(open_nodes));
   }

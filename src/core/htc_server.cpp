@@ -105,6 +105,7 @@ sched::JobId HtcServer::submit(SimDuration runtime, std::int64_t nodes,
   job.task_id = task_id;
   job.state = sched::JobState::kQueued;
   jobs_.push_back(job);
+  completion_events_.push_back(sim::kInvalidEvent);  // stays parallel to jobs_
   queue_.push(id);
   if (first_submit_ == kNever) first_submit_ = now;
   dispatch();
@@ -136,7 +137,7 @@ void HtcServer::dispatch() {
     job.start = now;
     started_nodes += job.nodes;
     running_.push_back(job.id);
-    completion_events_[job.id] = simulator_.schedule_in(
+    completion_events_[static_cast<std::size_t>(job.id)] = simulator_.schedule_in(
         job.runtime, [this, id = job.id] { on_job_complete(id); });
   }
   assert(started_nodes <= dispatchable_idle() &&
@@ -155,7 +156,7 @@ void HtcServer::on_job_complete(sched::JobId id) {
   ++completed_;
   last_finish_ = now;
   running_.erase(std::find(running_.begin(), running_.end(), id));
-  completion_events_.erase(id);
+  completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
 
   // Workflow layer first: completing a task may release dependents into the
   // queue, which the dispatch below can start in the same event.
@@ -276,11 +277,11 @@ void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
           // re-enter apply_grant (another grant for this very server),
           // which reallocates grants_ and would dangle `grant`.
           const std::int64_t nodes = grant.nodes;
-          const cluster::LeaseId lease = grant.lease;
+          const cluster::LeaseId grant_lease = grant.lease;
           const sim::TimerId timer = grant.timer;
           grant.active = false;
           grant.timer = sim::kInvalidTimer;
-          ledger_.close(lease, at);
+          ledger_.close(grant_lease, at);
           owned_ -= nodes;
           held_.change(at, -nodes);
           simulator_.stop_timer(timer);
@@ -309,8 +310,8 @@ std::int64_t HtcServer::fail_nodes(std::int64_t count) {
     running_.pop_back();
     sched::Job& job = jobs_[static_cast<std::size_t>(id)];
     assert(job.state == sched::JobState::kRunning);
-    simulator_.cancel(completion_events_[id]);
-    completion_events_.erase(id);
+    simulator_.cancel(completion_events_[static_cast<std::size_t>(id)]);
+    completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
     busy_ -= job.nodes;
     to_kill -= std::min(to_kill, job.nodes);
     // Retry from scratch: back into the queue, progress lost.

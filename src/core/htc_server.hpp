@@ -15,7 +15,6 @@
 #include <limits>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "cluster/billing.hpp"
@@ -176,8 +175,12 @@ class HtcServer {
   std::vector<sched::Job> jobs_;  // indexed by JobId
   sched::JobQueue queue_;
   std::vector<sched::JobId> running_;
-  /// Pending completion event per running job (for failure cancellation).
-  std::unordered_map<sched::JobId, sim::EventId> completion_events_;
+  /// Pending completion event per job, indexed by JobId (dense, like
+  /// jobs_); kInvalidEvent when the job is not running. Replaces an
+  /// unordered_map: JobIds are already dense indices, and keeping hash
+  /// tables out of the servers removes an iteration-order hazard class
+  /// outright (dc-lint rule dc-r2).
+  std::vector<sim::EventId> completion_events_;
 
   cluster::LeaseLedger ledger_;
   cluster::UsageRecorder held_;

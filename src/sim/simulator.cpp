@@ -170,6 +170,7 @@ bool Simulator::cancel(EventId id) {
   if (!ev.live || ev.gen != id_gen(id)) return false;
   heap_erase(slot_pos_[slot]);
   release_event_slot(slot);
+  maybe_audit();
   return true;
 }
 
@@ -178,6 +179,10 @@ bool Simulator::step() {
   if (next == nullptr) return false;
   const std::uint32_t slot = next->slot;
   assert(key_time(next->time_bits) >= now_);
+  DC_INVARIANT(key_time(next->time_bits) >= now_,
+               "simulation time must be nondecreasing (heap produced an event "
+               "before now())");
+  maybe_audit();
   now_ = key_time(next->time_bits);
   pop_min();
   // The heap top is now the *next* event to fire: start pulling its slot
@@ -221,6 +226,7 @@ void Simulator::run() {
 
 void Simulator::run_until(SimTime horizon) {
   assert(horizon >= now_);
+  DC_INVARIANT(horizon >= now_, "run_until horizon is in the past");
   stop_requested_ = false;
   const std::uint64_t horizon_key = time_key(horizon);
   while (!stop_requested_) {
@@ -237,7 +243,10 @@ void Simulator::run_until(SimTime horizon) {
 EventId Simulator::schedule_timer_event(SimTime t, std::uint32_t timer_slot) {
   const std::uint32_t slot = alloc_event_slot();
   event(slot).timer_slot = timer_slot;
-  return push_event(t, slot);
+  DC_CHECKED_ONLY(timer_arming_ = timer_slot;)
+  const EventId id = push_event(t, slot);
+  DC_CHECKED_ONLY(timer_arming_ = kNpos;)
+  return id;
 }
 
 void Simulator::fire_timer(std::uint32_t timer_slot, SimTime fired_at) {
@@ -298,6 +307,102 @@ bool Simulator::stop_timer(TimerId id) {
   // slot when it returns; releasing now would recycle the slot under it.
   if (!ts.firing) release_timer_slot(slot);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Checked-build structural audit. Everything here is O(pending + slots) and
+// compiled out of non-DC_CHECKED builds; maybe_audit() amortizes the cost to
+// O(1) per kernel operation by spacing audits at least heap_size_ apart.
+
+void Simulator::audit_invariants() const {
+#if defined(DC_CHECKED)
+  // Slab geometry.
+  DC_INVARIANT(event_chunks_.size() * kSlabChunk >= event_slots_used_,
+               "event slab has fewer chunks than its high-water mark");
+  DC_INVARIANT(slot_pos_.size() == event_slots_used_,
+               "slot_pos_ side array out of sync with the event slab");
+  DC_INVARIANT(timer_chunks_.size() * kSlabChunk >= timer_slots_used_,
+               "timer slab has fewer chunks than its high-water mark");
+  DC_INVARIANT(heap_size_ == live_events_,
+               "pending-event count diverged from the heap");
+
+  // 4-ary heap: parent <= child, and the slot<->position side array is a
+  // bijection onto the heap.
+  for (std::size_t i = 0; i < heap_size_; ++i) {
+    const HeapNode& node = heap_at(i);
+    if (i > 0) {
+      const HeapNode& parent = heap_at((i - 1) >> 2);
+      DC_INVARIANT(!heap_less(node, parent),
+                   "4-ary heap order violated (child sorts before parent)");
+    }
+    DC_INVARIANT(node.slot < event_slots_used_,
+                 "heap node references a slot beyond the slab");
+    DC_INVARIANT(slot_pos_[node.slot] == i,
+                 "slot->position map does not point back at the heap node");
+    const EventSlot& ev = event(node.slot);
+    DC_INVARIANT(ev.live, "heap node references a dead event slot");
+    DC_INVARIANT(static_cast<bool>(ev.fn) != (ev.timer_slot != kNpos),
+                 "event slot must carry exactly one of: callback, timer link");
+  }
+
+  // Event free list: acyclic (bounded walk), every member dead and
+  // position-less. Every slot is pending, free, or the one event currently
+  // executing (its slot joins the free list after its callback returns).
+  std::uint32_t free_events = 0;
+  for (std::uint32_t s = free_event_; s != kNpos; s = event(s).next_free) {
+    DC_INVARIANT(s < event_slots_used_, "event free list left the slab");
+    DC_INVARIANT(!event(s).live, "live event slot on the free list");
+    DC_INVARIANT(slot_pos_[s] == kNpos,
+                 "free event slot still has a heap position");
+    DC_INVARIANT(++free_events <= event_slots_used_,
+                 "event free list is cyclic");
+  }
+  DC_INVARIANT(free_events + heap_size_ <= event_slots_used_,
+               "event slab accounting: free + pending exceeds slots");
+  DC_INVARIANT(free_events + heap_size_ + 1 >= event_slots_used_,
+               "event slab leak: more than one slot neither pending nor free");
+
+  // Timer slab: alive timers always hold a pending fire event. The handle
+  // may be transiently stale *during* a re-arm or stop (the audit can fire
+  // from inside push_event before ts.pending is reassigned); when the
+  // generation does match, the link must be fully consistent.
+  std::uint32_t alive_timers = 0;
+  for (std::uint32_t t = 0; t < timer_slots_used_; ++t) {
+    const TimerSlot& ts = timer(t);
+    if (!ts.alive) continue;
+    ++alive_timers;
+    DC_INVARIANT(ts.period > 0, "alive periodic timer with no period");
+    // Mid-arm window: this audit was reached from inside the push of this
+    // very timer's fire event, before `pending` is assigned. Skip the
+    // handle checks for that one timer.
+    if (t == timer_arming_) continue;
+    DC_INVARIANT(ts.pending != kInvalidEvent,
+                 "alive periodic timer with no pending fire event");
+    const std::uint32_t ev_slot = id_slot(ts.pending);
+    DC_INVARIANT(ev_slot < event_slots_used_,
+                 "timer's pending event is beyond the event slab");
+    if (event(ev_slot).gen == id_gen(ts.pending)) {
+      DC_INVARIANT(event(ev_slot).live,
+                   "timer's pending handle is current but the event is dead");
+      DC_INVARIANT(event(ev_slot).timer_slot == t,
+                   "timer's pending event does not link back to the timer");
+    }
+  }
+
+  // Timer free list: acyclic, members dead. At most one timer is in limbo
+  // (stopped from inside its own callback; released when the fire returns).
+  std::uint32_t free_timers = 0;
+  for (std::uint32_t s = free_timer_; s != kNpos; s = timer(s).next_free) {
+    DC_INVARIANT(s < timer_slots_used_, "timer free list left the slab");
+    DC_INVARIANT(!timer(s).alive, "alive timer slot on the free list");
+    DC_INVARIANT(++free_timers <= timer_slots_used_,
+                 "timer free list is cyclic");
+  }
+  DC_INVARIANT(free_timers + alive_timers <= timer_slots_used_,
+               "timer slab accounting: free + alive exceeds slots");
+  DC_INVARIANT(free_timers + alive_timers + 1 >= timer_slots_used_,
+               "timer slab leak: more than one slot neither alive nor free");
+#endif
 }
 
 void Simulator::release_timer_slot(std::uint32_t slot) {

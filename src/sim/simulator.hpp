@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "sim/small_func.hpp"
+#include "util/check.hpp"
 #include "util/time.hpp"
 
 namespace dc::sim {
@@ -130,6 +131,15 @@ class Simulator {
   /// pending events. Optional — both grow on demand.
   void reserve(std::size_t expected_events);
 
+  /// Full structural audit of the kernel (checked builds): 4-ary heap
+  /// ordering, slot<->position bijection, generation consistency, event and
+  /// timer slab free-list integrity, timer/event cross-links. A violation
+  /// aborts with the failing invariant. In non-DC_CHECKED builds this is a
+  /// no-op — tests may call it unconditionally. Checked builds also run it
+  /// automatically every max(1024, pending) kernel operations (amortized
+  /// O(1) per operation), so long scenarios self-audit.
+  void audit_invariants() const;
+
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
 
@@ -204,8 +214,27 @@ class Simulator {
   EventSlot& event(std::uint32_t slot) {
     return event_chunks_[slot >> kSlabShift][slot & kSlabMask];
   }
+  const EventSlot& event(std::uint32_t slot) const {
+    return event_chunks_[slot >> kSlabShift][slot & kSlabMask];
+  }
   TimerSlot& timer(std::uint32_t slot) {
     return timer_chunks_[slot >> kSlabShift][slot & kSlabMask];
+  }
+  const TimerSlot& timer(std::uint32_t slot) const {
+    return timer_chunks_[slot >> kSlabShift][slot & kSlabMask];
+  }
+
+  // Checked builds: count kernel operations down to the next full audit.
+  // The reset interval scales with the heap so the O(pending) walk stays
+  // amortized O(1) per schedule/cancel/step.
+  void maybe_audit() {
+#if defined(DC_CHECKED)
+    if (--audit_countdown_ == 0) {
+      audit_invariants();
+      audit_countdown_ =
+          heap_size_ > 1024 ? static_cast<std::uint64_t>(heap_size_) : 1024;
+    }
+#endif
   }
 
   std::uint32_t alloc_event_slot() {
@@ -239,6 +268,7 @@ class Simulator {
     heap_at(pos) = node;
     slot_pos_[slot] = static_cast<std::uint32_t>(pos);
     ++live_events_;
+    maybe_audit();
     return make_event_id(slot, event(slot).gen);
   }
 
@@ -289,6 +319,11 @@ class Simulator {
   std::vector<std::unique_ptr<TimerSlot[]>> timer_chunks_;
   std::uint32_t timer_slots_used_ = 0;
   std::uint32_t free_timer_ = kNpos;
+  DC_CHECKED_ONLY(std::uint64_t audit_countdown_ = 1024;)
+  // The timer whose fire event is being pushed right now (start/re-arm):
+  // its `pending` handle is assigned only after push_event returns, so an
+  // audit that fires from inside that push must not require it to be set.
+  DC_CHECKED_ONLY(std::uint32_t timer_arming_ = kNpos;)
 };
 
 }  // namespace dc::sim

@@ -8,6 +8,7 @@
 #include <exception>
 #include <mutex>
 
+#include "util/check.hpp"
 #include "util/log.hpp"
 
 namespace dc {
@@ -87,6 +88,10 @@ class SweepPool {
       return job.completed.load(std::memory_order_acquire) == job.count &&
              job.active == 0;
     });
+    DC_INVARIANT(job.next.load(std::memory_order_relaxed) >= job.count,
+                 "sweep finished with unclaimed indices");
+    DC_INVARIANT(job.completed.load(std::memory_order_relaxed) == job.count,
+                 "sweep finished with an incomplete index count");
     job_ = nullptr;
   }
 
@@ -110,13 +115,22 @@ class SweepPool {
   }
 
   static void drain(Job& job) {
+    DC_INVARIANT(job.chunk >= 1, "sweep chunk size must be positive");
     while (true) {
       const std::size_t begin =
           job.next.fetch_add(job.chunk, std::memory_order_relaxed);
       if (begin >= job.count) return;
       const std::size_t end = std::min(begin + job.chunk, job.count);
       for (std::size_t i = begin; i < end; ++i) (*job.fn)(i);
-      job.completed.fetch_add(end - begin, std::memory_order_acq_rel);
+      // Cursor sanity: chunks are claimed disjointly from the atomic
+      // cursor, so completions can never exceed the index space. A
+      // violation means two participants ran the same chunk.
+      const std::size_t done_before =
+          job.completed.fetch_add(end - begin, std::memory_order_acq_rel);
+      DC_INVARIANT(done_before + (end - begin) <= job.count,
+                   "sweep completed more indices than exist (double-claimed "
+                   "chunk)");
+      static_cast<void>(done_before);
     }
   }
 

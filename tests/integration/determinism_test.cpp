@@ -1,0 +1,195 @@
+// Seed-determinism regression: one seed, one answer — regardless of how
+// many worker threads the sweep pool uses. Runs the full four-system
+// experiment plus invoice generation under DC_THREADS=1 and DC_THREADS=4
+// and asserts every rendered artifact (tables, CSV, invoices) is
+// byte-identical, pinning the reproducibility contract that dc-lint
+// enforces statically (docs/STATIC_ANALYSIS.md).
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/htc_server.hpp"
+#include "core/systems.hpp"
+#include "cost/invoice.hpp"
+#include "metrics/report.hpp"
+#include "sched/first_fit.hpp"
+#include "sim/simulator.hpp"
+#include "util/csv.hpp"
+#include "util/parallel.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace dc {
+namespace {
+
+// FNV-1a, the digest we'd publish next to result artifacts.
+std::uint64_t fnv1a(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+core::ConsolidationWorkload make_workload() {
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = "det";
+  trace_spec.capacity_nodes = 32;
+  trace_spec.period = 2 * kDay;
+  trace_spec.submit_margin = 2 * kHour;
+  trace_spec.jobs_per_day = 150;
+  trace_spec.width_weights = {{1, 0.4}, {2, 0.3}, {4, 0.2}, {8, 0.08}, {32, 0.02}};
+  trace_spec.hyper_p = 0.9;
+  trace_spec.hyper_mean1 = 500;
+  trace_spec.hyper_mean2 = 4000;
+
+  core::HtcWorkloadSpec htc;
+  htc.name = "det";
+  htc.trace = workload::generate_trace(trace_spec, /*seed=*/11);
+  htc.fixed_nodes = 32;
+  htc.policy = core::ResourceManagementPolicy::htc(8, 1.5, 32);
+
+  workflow::MontageParams params;
+  params.inputs = 20;
+  core::MtcWorkloadSpec mtc;
+  mtc.name = "wf";
+  mtc.dag = workflow::make_montage(params, /*seed=*/5);
+  mtc.submit_time = 6 * kHour;
+  mtc.fixed_nodes = 20;
+  mtc.policy = core::ResourceManagementPolicy::mtc(4, 8.0);
+
+  core::ConsolidationWorkload workload;
+  workload.htc.push_back(std::move(htc));
+  workload.mtc.push_back(std::move(mtc));
+  return workload;
+}
+
+// An elastic HTC scenario that exercises demand-driven leasing, so the
+// invoice has real DR line items, generated inside a parallel region.
+std::string elastic_invoice(std::size_t variant) {
+  sim::Simulator sim;
+  core::ResourceProvisionService provision{cluster::ResourcePool::unbounded()};
+  sched::FirstFitScheduler scheduler;
+  core::HtcServer::Config config;
+  config.name = "elastic-" + std::to_string(variant);
+  config.policy = core::ResourceManagementPolicy::htc(4, 1.5, 64);
+  config.scheduler = &scheduler;
+  core::HtcServer server(sim, provision, std::move(config));
+  sim.schedule_at(0, [&] {
+    server.start();
+    for (std::size_t j = 0; j < 24; ++j) {
+      // Deterministic arithmetic workload, distinct per variant.
+      const SimDuration runtime =
+          static_cast<SimDuration>(120 + 37 * j + 11 * variant);
+      const std::int64_t nodes = static_cast<std::int64_t>(1 + (j + variant) % 8);
+      sim.schedule_in(static_cast<SimDuration>(60 * j), [&server, runtime, nodes] {
+        server.submit(runtime, nodes);
+      });
+    }
+  });
+  // Bounded run: the elastic scan timer keeps the event queue non-empty
+  // forever, so run() would never return.
+  sim.run_until(24 * kHour);
+  const cost::Invoice invoice = cost::generate_summary_invoice(
+      config.name, server.ledger(), /*horizon=*/24 * kHour, /*price=*/0.10);
+  return cost::format_invoice(invoice);
+}
+
+struct Artifacts {
+  std::string tables;
+  std::string csv;
+  std::string invoices;
+  std::uint64_t digest = 0;
+};
+
+// googletest: ASSERT_* needs a void return, so results land in `out`.
+void run_experiment(const char* dc_threads, Artifacts* out) {
+  ASSERT_EQ(setenv("DC_THREADS", dc_threads, /*overwrite=*/1), 0)
+      << "setenv failed";
+  const core::ConsolidationWorkload workload = make_workload();
+
+  // The four systems evaluated concurrently on the sweep pool — the same
+  // shape as the figure benches.
+  const std::vector<core::SystemModel> models = {
+      core::SystemModel::kDcs, core::SystemModel::kSsp, core::SystemModel::kDrp,
+      core::SystemModel::kDawningCloud};
+  const std::vector<core::SystemResult> systems =
+      parallel_map_index<core::SystemResult>(models.size(), [&](std::size_t i) {
+        return core::run_system(models[i], workload);
+      });
+
+  Artifacts& artifacts = *out;
+  artifacts.tables = metrics::format_htc_provider_table(systems, "det", "HTC");
+  artifacts.tables += metrics::format_mtc_provider_table(systems, "wf", "MTC");
+  artifacts.tables += metrics::format_resource_provider_report(systems);
+  artifacts.tables += metrics::format_overhead_report(systems);
+
+  const std::string csv_path = ::testing::TempDir() + "determinism_" +
+                               std::string(dc_threads) + ".csv";
+  {
+    CsvWriter csv(csv_path);
+    ASSERT_TRUE(csv.ok()) << csv_path;
+    metrics::write_results_csv(csv, systems);
+  }
+  std::ifstream in(csv_path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  artifacts.csv = buf.str();
+  ASSERT_FALSE(artifacts.csv.empty());
+
+  const std::vector<std::string> invoices = parallel_map_index<std::string>(
+      4, [](std::size_t i) { return elastic_invoice(i); });
+  for (const std::string& invoice : invoices) artifacts.invoices += invoice;
+
+  artifacts.digest =
+      fnv1a(artifacts.tables + artifacts.csv + artifacts.invoices);
+}
+
+// Saves/restores DC_THREADS around one experiment run.
+void run_experiment_into(const char* dc_threads, Artifacts* out) {
+  *out = Artifacts{};
+  const char* saved = std::getenv("DC_THREADS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  run_experiment(dc_threads, out);
+  // Restore so later tests see the environment they started with.
+  if (saved == nullptr) {
+    unsetenv("DC_THREADS");
+  } else {
+    setenv("DC_THREADS", saved_value.c_str(), 1);
+  }
+}
+
+TEST(Determinism, SameSeedSameResultAcrossThreadCounts) {
+  Artifacts single;
+  Artifacts pooled;
+  run_experiment_into("1", &single);
+  run_experiment_into("4", &pooled);
+
+  // Byte-identical first (the failure message names the artifact), then the
+  // digest — the value a results pipeline would publish and diff.
+  EXPECT_EQ(single.tables, pooled.tables);
+  EXPECT_EQ(single.csv, pooled.csv);
+  EXPECT_EQ(single.invoices, pooled.invoices);
+  EXPECT_EQ(single.digest, pooled.digest);
+}
+
+TEST(Determinism, RepeatedRunIsStableWithinProcess) {
+  // Same thread count, run twice: catches address-dependent ordering
+  // (pointer-keyed containers, uninitialized reads) that varies run to run.
+  Artifacts first;
+  Artifacts second;
+  run_experiment_into("4", &first);
+  run_experiment_into("4", &second);
+  EXPECT_EQ(first.digest, second.digest);
+  EXPECT_EQ(first.tables, second.tables);
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,0 +1,149 @@
+// Pins down dc-lint's diagnostic surface against known-violation fixtures:
+// exact counts, rule IDs, line numbers, waiver accounting, and the JSON
+// report shape. If a rule's detection logic drifts, these fail loudly.
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rules.hpp"
+
+namespace {
+
+// Compile-time path to tests/lint/fixtures/, injected by CMake.
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(DC_LINT_FIXTURE_DIR) + "/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<int> lines_of(const dc_lint::LintResult& result) {
+  std::vector<int> lines;
+  for (const auto& d : result.diagnostics) lines.push_back(d.line);
+  return lines;
+}
+
+void expect_all_rule(const dc_lint::LintResult& result, const std::string& rule,
+                     const std::string& severity) {
+  for (const auto& d : result.diagnostics) {
+    EXPECT_EQ(d.rule, rule) << "at line " << d.line;
+    EXPECT_EQ(d.severity, severity) << "at line " << d.line;
+  }
+}
+
+TEST(DcLintR1, FlagsWallClockAndAmbientRng) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r1_wall_clock.cpp",
+                           fixture("r1_wall_clock.cpp"));
+  expect_all_rule(result, "dc-r1", "error");
+  EXPECT_EQ(lines_of(result), (std::vector<int>{9, 12, 13, 16, 19}));
+  EXPECT_EQ(result.waived, 1);  // the NOLINT'd random_device
+}
+
+TEST(DcLintR2, FlagsUnorderedIterationIncludingAliases) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r2_unordered_iteration.cpp",
+                           fixture("r2_unordered_iteration.cpp"));
+  expect_all_rule(result, "dc-r2", "error");
+  // Range-for, explicit .begin(), and range-for over a `using` alias.
+  EXPECT_EQ(lines_of(result), (std::vector<int>{13, 19, 30}));
+  EXPECT_EQ(result.waived, 1);  // the NOLINTNEXTLINE'd sum
+}
+
+TEST(DcLintR3, FlagsRawAllocationOnlyUnderSrcSim) {
+  const std::string source = fixture("r3_raw_allocation.cpp");
+
+  // Linted as hot-path code: new / delete / malloc all fire.
+  const auto hot = dc_lint::lint_source("src/sim/r3_raw_allocation.cpp", source);
+  expect_all_rule(hot, "dc-r3", "error");
+  EXPECT_EQ(lines_of(hot), (std::vector<int>{10, 12, 14}));
+  EXPECT_EQ(hot.waived, 2);  // the NOLINT'd new/delete pair
+
+  // The same source outside src/sim is clean: the rule is path-gated.
+  const auto cold =
+      dc_lint::lint_source("tests/lint/fixtures/r3_raw_allocation.cpp", source);
+  EXPECT_TRUE(cold.diagnostics.empty());
+  EXPECT_EQ(cold.waived, 0);
+}
+
+TEST(DcLintR4, FlagsFloatReductionsInParallelCallbacks) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r4_parallel_reduction.cpp",
+                           fixture("r4_parallel_reduction.cpp"));
+  expect_all_rule(result, "dc-r4", "error");
+  // Scalar double += and vector<float> element -=.
+  EXPECT_EQ(lines_of(result), (std::vector<int>{13, 21}));
+  EXPECT_EQ(result.waived, 1);  // the ordered-reduction annotation
+}
+
+TEST(DcLintR5, FlagsMissingGuardAndUsingNamespaceStd) {
+  const auto result = dc_lint::lint_source(
+      "tests/lint/fixtures/r5_bad_header.hpp", fixture("r5_bad_header.hpp"));
+  expect_all_rule(result, "dc-r5", "warning");
+  EXPECT_EQ(lines_of(result), (std::vector<int>{1, 7}));
+  EXPECT_EQ(result.waived, 0);
+}
+
+TEST(DcLintR5, AcceptsGuardedHeader) {
+  const auto result = dc_lint::lint_source(
+      "tests/lint/fixtures/r5_good_header.hpp", fixture("r5_good_header.hpp"));
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.waived, 0);
+}
+
+TEST(DcLintClean, CleanFileProducesNoDiagnostics) {
+  const auto result = dc_lint::lint_source("tests/lint/fixtures/clean.cpp",
+                                           fixture("clean.cpp"));
+  EXPECT_TRUE(result.diagnostics.empty()) << dc_lint::to_human(result.diagnostics);
+  EXPECT_EQ(result.waived, 0);
+}
+
+TEST(DcLintOutput, HumanFormatIsFileLineSeverityRule) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r1_wall_clock.cpp",
+                           fixture("r1_wall_clock.cpp"));
+  const std::string human = dc_lint::to_human(result.diagnostics);
+  EXPECT_NE(human.find("tests/lint/fixtures/r1_wall_clock.cpp:9: error[dc-r1]: "),
+            std::string::npos)
+      << human;
+}
+
+TEST(DcLintOutput, JsonReportShape) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r1_wall_clock.cpp",
+                           fixture("r1_wall_clock.cpp"));
+  const std::string json =
+      dc_lint::to_json(result.diagnostics, /*files_scanned=*/1, result.waived);
+  EXPECT_NE(json.find("\"tool\":\"dc-lint\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"rule\":\"dc-r1\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"summary\":{\"errors\":5,\"warnings\":0,\"waived\":1}"),
+            std::string::npos)
+      << json;
+}
+
+TEST(DcLintOutput, JsonEscapesSpecialCharacters) {
+  // A diagnostic whose file path needs escaping must produce valid JSON.
+  std::vector<dc_lint::Diagnostic> diags = {
+      {"dir\\sub\"quoted\".cpp", 3, "dc-r1", "error", "msg with \"quotes\""}};
+  const std::string json = dc_lint::to_json(diags, 1, 0);
+  EXPECT_NE(json.find("dir\\\\sub\\\"quoted\\\".cpp"), std::string::npos) << json;
+  EXPECT_NE(json.find("msg with \\\"quotes\\\""), std::string::npos) << json;
+}
+
+TEST(DcLintWaivers, UnrelatedNolintDoesNotSuppress) {
+  // A NOLINT for a different rule must not waive a dc-r1 diagnostic.
+  const auto result = dc_lint::lint_source(
+      "x.cpp", "long t() { return time(nullptr); }  // NOLINT(dc-r2)\n");
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_EQ(result.diagnostics[0].rule, "dc-r1");
+  EXPECT_EQ(result.waived, 0);
+}
+
+}  // namespace

@@ -1,0 +1,32 @@
+// Fixture: dc-r1 violations — ambient time and entropy sources.
+// Expected: 5 diagnostics (lines 9, 12, 13, 16, 19), 1 waived (line 22).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long wall_seconds() {
+  // Violation: wall clock via the C library.
+  return time(nullptr);
+}
+void globals() {
+  srand(42);                 // violation: seeds global C RNG
+  const int draw = rand();   // violation: draws from global C RNG
+  (void)draw;
+  // Violation: std::chrono wall clock.
+  auto tick = std::chrono::system_clock::now();
+  (void)tick;
+  // Violation: ambient entropy.
+  std::random_device entropy;
+  (void)entropy;
+  // Waived: a documented seeded-RNG construction site.
+  std::random_device seeder;  // NOLINT(dc-r1)
+  (void)seeder;
+}
+struct Clock;
+void fine(Clock* clock_like) {
+  // No violation: member calls named `time` belong to someone else.
+  (void)clock_like->time();
+  // No violation: the token only appears in a string and a comment: time(
+  const char* doc = "calls time( and rand( at runtime";
+  (void)doc;
+}

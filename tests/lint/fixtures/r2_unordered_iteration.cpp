@@ -1,0 +1,41 @@
+// Fixture: dc-r2 violations — unordered-container iteration.
+// Expected: 3 diagnostics (lines 13, 19, 30), 1 waived (line 25).
+#include <cstdint>
+#include <map>
+#include <unordered_map>
+#include <unordered_set>
+
+std::unordered_map<int, long> totals;
+using Index = std::unordered_set<std::int64_t>;
+
+long sum_totals() {
+  long sum = 0;
+  for (const auto& entry : totals) {  // violation: hash order feeds a result
+    sum += entry.second;
+  }
+  return sum;
+}
+void explicit_iterators() {
+  auto it = totals.begin();  // violation: iterator traversal
+  (void)it;
+}
+long waived_sum() {
+  long sum = 0;
+  // NOLINTNEXTLINE(dc-r2) keys are summed, so order cannot affect the result
+  for (const auto& entry : totals) sum += entry.second;
+  return sum;
+}
+void alias_iteration() {
+  Index index;
+  for (std::int64_t id : index) {  // violation: alias of an unordered type
+    (void)id;
+  }
+}
+long fine() {
+  // No violation: point lookups don't depend on iteration order.
+  long hit = totals.count(3) != 0 ? totals[3] : 0;
+  // No violation: ordered containers iterate deterministically.
+  std::map<int, long> ordered;
+  for (const auto& entry : ordered) hit += entry.second;
+  return hit;
+}

@@ -1,0 +1,30 @@
+// Fixture: dc-r3 violations — raw allocation in simulation hot-path files.
+// The test lints this file under the display path "src/sim/..." so the
+// path-gated rule applies.
+// Expected: 3 diagnostics (lines 10, 12, 14), 2 waived (lines 17-18).
+#include <cstdlib>
+#include <new>
+
+void allocations() {
+  // Violation: raw new in the hot path.
+  int* raw = new int(7);
+  // Violation: raw delete.
+  delete raw;
+  // Violation: C allocation.
+  void* block = malloc(64);
+  std::free(block);
+  // Waived: documented escape hatch.
+  int* escape = new int(9);  // NOLINT(dc-r3)
+  delete escape;             // NOLINT(dc-r3)
+}
+
+struct Slot {
+  // No violation: deleted special members are declarations, not allocation.
+  Slot(const Slot&) = delete;
+  Slot& operator=(const Slot&) = delete;
+};
+
+void placement(void* storage) {
+  // No violation: placement new constructs in place without allocating.
+  ::new (storage) int(3);
+}

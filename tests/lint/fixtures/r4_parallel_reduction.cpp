@@ -1,0 +1,46 @@
+// Fixture: dc-r4 violations — floating-point compound reductions inside
+// parallel sweep callbacks, where summation order depends on chunking.
+// Expected: 2 diagnostics (lines 13, 21), 1 waived (line 30).
+#include <cstddef>
+#include <vector>
+
+template <typename F> void parallel_for_index(std::size_t, F&&) {}
+
+void sweeps(std::vector<double>& costs) {
+  double total = 0.0;
+  parallel_for_index(costs.size(), [&](std::size_t i) {
+    // Violation: float accumulation order depends on chunk schedule.
+    total += costs[i];
+  });
+
+  std::vector<float> bins;
+  bins.resize(8);
+  parallel_for_index(costs.size(), [&](std::size_t i) {
+    const float share = static_cast<float>(costs[i]);
+    // Violation: -= on a float element inside the sweep.
+    bins[i % 8] -= share;
+  });
+
+  (void)total;
+}
+
+void waived(std::vector<double>& costs) {
+  double total = 0.0;
+  parallel_for_index(costs.size(), [&](std::size_t i) {
+    total += costs[i];  // dc-lint: ordered-reduction (single-thread reduce tested)
+  });
+  (void)total;
+}
+
+void fine(std::vector<double>& costs) {
+  // No violation: integer accumulation is associative.
+  long count = 0;
+  parallel_for_index(costs.size(), [&](std::size_t i) {
+    count += static_cast<long>(costs[i] > 0.0);
+  });
+  // No violation: float += outside any parallel callback.
+  double serial = 0.0;
+  for (double c : costs) serial += c;
+  (void)count;
+  (void)serial;
+}

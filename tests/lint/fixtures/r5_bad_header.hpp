@@ -1,0 +1,11 @@
+// Fixture: dc-r5 violations — header with no include guard and a
+// namespace-polluting using-directive.
+// Expected: 2 diagnostics (lines 1, 7).
+#include <string>
+
+namespace fixture {
+using namespace std;  // violation: leaks std into every includer
+
+inline string shout(const string& s) { return s + "!"; }
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Fixture: a well-formed header — guard present, no using-directives.
+// Expected: 0 diagnostics.
+#pragma once
+
+#include <string>
+
+namespace fixture {
+
+inline std::string greet(const std::string& s) { return "hi " + s; }
+
+}  // namespace fixture

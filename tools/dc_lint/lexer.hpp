@@ -1,0 +1,54 @@
+// dc-lint's C++ token stream.
+//
+// dc-lint is deliberately *not* built on libclang: the rules it enforces
+// (see rules.hpp and docs/STATIC_ANALYSIS.md) are lexical properties —
+// "this identifier is called", "this loop ranges over that variable" — and
+// a hand-rolled lexer keeps the tool a zero-dependency part of the build
+// that compiles in under a second and runs over the whole tree in
+// milliseconds. The lexer understands exactly as much C++ as the rules
+// need: comments (kept separately, for waivers), string/char literals
+// (skipped, so a literal "rand(" never trips a rule), raw strings,
+// preprocessor lines (kept whole, for header-guard checks), identifiers,
+// numbers, and multi-character operators like `+=` and `::`.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc_lint {
+
+enum class TokKind {
+  kIdentifier,  // identifiers and keywords (the rules tell them apart)
+  kNumber,
+  kString,   // string literal, text excludes quotes
+  kChar,     // character literal
+  kPunct,    // operator/punctuator; multi-char for += -= -> :: etc.
+  kPreproc,  // a whole preprocessor line, continuations folded in
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;  // 1-based line of the token's first character
+};
+
+/// A lexed translation unit: the token stream plus the waivers harvested
+/// from comments. `waivers[line]` holds the rule ids (e.g. "dc-r1") that
+/// are suppressed on that line via:
+///   * `// NOLINT(dc-r3)` or `// NOLINT(dc-r3, dc-r1)` — same line;
+///   * `// NOLINTNEXTLINE(dc-r3)` — the following line;
+///   * `// dc-lint: ordered-reduction` — dc-r4, same and following line
+///     (the R4 waiver reads naturally either on the `+=` line or above it).
+/// Non-dc rule names inside NOLINT lists (clang-tidy's, say) are ignored.
+struct FileLex {
+  std::vector<Token> tokens;
+  std::map<int, std::set<std::string>> waivers;
+  int line_count = 0;
+};
+
+FileLex lex(std::string_view source);
+
+}  // namespace dc_lint

@@ -1,0 +1,125 @@
+// dc-lint: the project's determinism & invariant static-analysis pass.
+//
+//   dc_lint [--json] <path>...      paths are files or directories
+//
+// Directories are walked recursively for C++ sources (.cpp/.cc/.cxx) and
+// headers (.h/.hpp/.hxx/.hh). Exit status: 0 when no un-waived diagnostics
+// were produced, 1 when there were diagnostics, 2 on usage or I/O errors.
+//
+// The CMake `lint` target (and the `dc_lint_tree` ctest) runs
+// `dc_lint src tools bench` from the source root; CI fails on any new
+// diagnostic. Rules and waiver syntax: docs/STATIC_ANALYSIS.md.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <iterator>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "rules.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hxx" || ext == ".hh";
+}
+
+bool read_file(const fs::path& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+// Collects lintable files under `arg` (file or directory), in sorted order
+// so output — and therefore CI diffs — are stable across filesystems.
+bool collect(const std::string& arg, std::vector<std::string>& files) {
+  std::error_code ec;
+  const fs::file_status status = fs::status(arg, ec);
+  if (ec || status.type() == fs::file_type::not_found) {
+    std::fprintf(stderr, "dc-lint: no such file or directory: %s\n", arg.c_str());
+    return false;
+  }
+  if (fs::is_directory(status)) {
+    std::vector<std::string> found;
+    for (fs::recursive_directory_iterator it(arg, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable_extension(it->path())) {
+        found.push_back(it->path().generic_string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    files.insert(files.end(), found.begin(), found.end());
+  } else {
+    files.push_back(fs::path(arg).generic_string());
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--help") == 0 ||
+               std::strcmp(argv[i], "-h") == 0) {
+      std::printf("usage: dc_lint [--json] <path>...\n");
+      return 0;
+    } else if (argv[i][0] == '-') {
+      std::fprintf(stderr, "dc-lint: unknown option: %s\n", argv[i]);
+      return 2;
+    } else {
+      roots.emplace_back(argv[i]);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: dc_lint [--json] <path>...\n");
+    return 2;
+  }
+
+  std::vector<std::string> files;
+  for (const std::string& root : roots) {
+    if (!collect(root, files)) return 2;
+  }
+
+  std::vector<dc_lint::Diagnostic> diagnostics;
+  int waived = 0;
+  for (const std::string& file : files) {
+    std::string source;
+    if (!read_file(file, source)) {
+      std::fprintf(stderr, "dc-lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    dc_lint::LintResult result = dc_lint::lint_source(file, source);
+    waived += result.waived;
+    diagnostics.insert(diagnostics.end(),
+                       std::make_move_iterator(result.diagnostics.begin()),
+                       std::make_move_iterator(result.diagnostics.end()));
+  }
+
+  if (json) {
+    const std::string report =
+        dc_lint::to_json(diagnostics, static_cast<int>(files.size()), waived);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    const std::string report = dc_lint::to_human(diagnostics);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    std::printf("dc-lint: %zu file(s), %zu diagnostic(s), %d waived\n",
+                files.size(), diagnostics.size(), waived);
+  }
+  return diagnostics.empty() ? 0 : 1;
+}

@@ -1,0 +1,475 @@
+#include "rules.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <set>
+
+#include "lexer.hpp"
+
+namespace dc_lint {
+namespace {
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header_path(std::string_view path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp") ||
+         ends_with(path, ".hxx") || ends_with(path, ".hh");
+}
+
+bool is_sim_hot_path(std::string_view path) {
+  return path.find("src/sim") != std::string_view::npos;
+}
+
+struct Ctx {
+  const std::string& path;
+  const FileLex& lx;
+  LintResult& out;
+
+  const Token& tok(std::size_t i) const { return lx.tokens[i]; }
+  std::size_t size() const { return lx.tokens.size(); }
+
+  bool ident_at(std::size_t i, std::string_view text) const {
+    return i < size() && tok(i).kind == TokKind::kIdentifier && tok(i).text == text;
+  }
+  bool punct_at(std::size_t i, std::string_view text) const {
+    return i < size() && tok(i).kind == TokKind::kPunct && tok(i).text == text;
+  }
+
+  void report(int line, const char* rule, const char* severity, std::string message) {
+    const auto it = lx.waivers.find(line);
+    if (it != lx.waivers.end() && it->second.count(rule) != 0) {
+      ++out.waived;
+      return;
+    }
+    out.diagnostics.push_back({path, line, rule, severity, std::move(message)});
+  }
+};
+
+// Walks past a balanced <...> region. `i` points at the '<'; returns the
+// index just past the matching '>'. Tolerates the lexer's `<<`/`>>` tokens.
+std::size_t skip_angles(const Ctx& ctx, std::size_t i) {
+  int depth = 0;
+  for (; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    else if (t.text == "<<") depth += 2;
+    else if (t.text == ">") --depth;
+    else if (t.text == ">>") depth -= 2;
+    else if (t.text == ";") break;  // malformed; bail at statement end
+    if (depth <= 0 && t.text[0] == '>') return i + 1;
+  }
+  return i;
+}
+
+/// Matches a parenthesized region. `i` points at the '('; returns the index
+/// of the matching ')' (or the last token if unbalanced).
+std::size_t match_paren(const Ctx& ctx, std::size_t i) {
+  int depth = 0;
+  for (; i < ctx.size(); ++i) {
+    if (ctx.punct_at(i, "(")) ++depth;
+    else if (ctx.punct_at(i, ")") && --depth == 0) return i;
+  }
+  return ctx.size() - 1;
+}
+
+// --------------------------------------------------------------------------
+// dc-r1: ambient nondeterminism.
+
+const std::set<std::string, std::less<>> kWallClockCalls = {
+    "time", "clock", "gettimeofday", "timespec_get", "localtime", "gmtime"};
+const std::set<std::string, std::less<>> kAmbientRngCalls = {"rand", "srand",
+                                                            "rand_r", "random"};
+
+void rule_r1(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "system_clock") {
+      ctx.report(t.line, "dc-r1", "error",
+                 "std::chrono::system_clock reads the wall clock; simulation "
+                 "code must use sim::Simulator::now() / SimTime");
+      continue;
+    }
+    if (t.text == "random_device") {
+      ctx.report(t.line, "dc-r1", "error",
+                 "std::random_device draws ambient entropy; construct dc::Rng "
+                 "from an explicit seed (waive only at a seeded-RNG "
+                 "construction site)");
+      continue;
+    }
+    const bool wall = kWallClockCalls.count(t.text) != 0;
+    const bool ambient_rng = kAmbientRngCalls.count(t.text) != 0;
+    if ((wall || ambient_rng) && ctx.punct_at(i + 1, "(")) {
+      // Member calls (`trace.time(...)`) are somebody else's `time`.
+      if (i > 0 && (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) continue;
+      ctx.report(t.line, "dc-r1", "error",
+                 wall ? t.text + "() reads the wall clock; simulation code must "
+                        "use sim::Simulator::now() / SimTime"
+                      : t.text + "() is unseeded global state; use a dc::Rng "
+                        "seeded by the experiment");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// dc-r2: unordered-container iteration.
+
+const std::set<std::string, std::less<>> kUnorderedTemplates = {
+    "unordered_map", "unordered_set", "unordered_multimap", "unordered_multiset"};
+
+void rule_r2(Ctx& ctx) {
+  // Type names that are unordered containers: the std templates plus any
+  // `using X = ...unordered_map<...>` alias declared in this file.
+  std::set<std::string, std::less<>> unordered_types(kUnorderedTemplates.begin(),
+                                                     kUnorderedTemplates.end());
+  for (std::size_t i = 0; i + 3 < ctx.size(); ++i) {
+    if (!ctx.ident_at(i, "using")) continue;
+    if (ctx.tok(i + 1).kind != TokKind::kIdentifier || !ctx.punct_at(i + 2, "=")) {
+      continue;
+    }
+    for (std::size_t j = i + 3; j < ctx.size() && !ctx.punct_at(j, ";"); ++j) {
+      if (ctx.tok(j).kind == TokKind::kIdentifier &&
+          kUnorderedTemplates.count(ctx.tok(j).text) != 0) {
+        unordered_types.insert(ctx.tok(i + 1).text);
+        break;
+      }
+    }
+  }
+
+  // Variables (locals, members, parameters) declared with such a type.
+  std::set<std::string, std::less<>> unordered_vars;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (ctx.tok(i).kind != TokKind::kIdentifier ||
+        unordered_types.count(ctx.tok(i).text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (ctx.punct_at(j, "<")) j = skip_angles(ctx, j);
+    while (ctx.punct_at(j, "&") || ctx.punct_at(j, "*") || ctx.ident_at(j, "const")) {
+      ++j;
+    }
+    if (j < ctx.size() && ctx.tok(j).kind == TokKind::kIdentifier &&
+        j + 1 < ctx.size()) {
+      const std::string& after = ctx.tok(j + 1).text;
+      if (after == ";" || after == "=" || after == "," || after == ")" ||
+          after == "{" || after == "[") {
+        unordered_vars.insert(ctx.tok(j).text);
+      }
+    }
+  }
+
+  auto in_unordered = [&](const Token& t) {
+    return t.kind == TokKind::kIdentifier &&
+           (unordered_vars.count(t.text) != 0 || unordered_types.count(t.text) != 0);
+  };
+
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    // Range-for whose range expression mentions an unordered container.
+    if (ctx.ident_at(i, "for") && ctx.punct_at(i + 1, "(")) {
+      const std::size_t close = match_paren(ctx, i + 1);
+      std::size_t colon = 0;
+      int depth = 0;
+      for (std::size_t j = i + 1; j < close; ++j) {
+        if (ctx.punct_at(j, "(")) ++depth;
+        else if (ctx.punct_at(j, ")")) --depth;
+        else if (depth == 1 && ctx.punct_at(j, ":")) { colon = j; break; }
+      }
+      if (colon != 0) {
+        for (std::size_t j = colon + 1; j < close; ++j) {
+          if (in_unordered(ctx.tok(j))) {
+            ctx.report(ctx.tok(i).line, "dc-r2", "error",
+                       "iteration over unordered container '" + ctx.tok(j).text +
+                           "': hash-table order is unspecified and breaks "
+                           "reproducibility; use std::map, a vector, or iterate "
+                           "sorted keys");
+            break;
+          }
+        }
+      }
+    }
+    // Explicit iterator traversal: container.begin() / ->cbegin() etc.
+    if (in_unordered(ctx.tok(i)) &&
+        (ctx.punct_at(i + 1, ".") || ctx.punct_at(i + 1, "->")) &&
+        i + 2 < ctx.size()) {
+      const std::string& member = ctx.tok(i + 2).text;
+      if (member == "begin" || member == "cbegin" || member == "rbegin" ||
+          member == "crbegin") {
+        ctx.report(ctx.tok(i).line, "dc-r2", "error",
+                   "iterator traversal of unordered container '" + ctx.tok(i).text +
+                       "': hash-table order is unspecified and breaks "
+                       "reproducibility");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// dc-r3: raw allocation in the simulation hot path.
+
+void rule_r3(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "new") {
+      if (i > 0 && ctx.ident_at(i - 1, "operator")) continue;
+      if (ctx.punct_at(i + 1, "(")) continue;  // placement new: no allocation
+      ctx.report(t.line, "dc-r3", "error",
+                 "raw 'new' in simulation hot path; event/timer storage must "
+                 "come from the slab allocator");
+    } else if (t.text == "delete") {
+      if (i > 0 && (ctx.punct_at(i - 1, "=") || ctx.ident_at(i - 1, "operator"))) {
+        continue;  // deleted function / operator delete declaration
+      }
+      ctx.report(t.line, "dc-r3", "error",
+                 "raw 'delete' in simulation hot path; event/timer storage must "
+                 "come from the slab allocator");
+    } else if ((t.text == "malloc" || t.text == "calloc" || t.text == "realloc") &&
+               ctx.punct_at(i + 1, "(")) {
+      if (i > 0 && (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) continue;
+      ctx.report(t.line, "dc-r3", "error",
+                 "'" + t.text + "' in simulation hot path; event/timer storage "
+                 "must come from the slab allocator");
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// dc-r4: unordered floating-point reductions in parallel callbacks.
+
+void rule_r4(Ctx& ctx) {
+  // Identifiers declared float/double, or as a container of them.
+  std::set<std::string, std::less<>> float_vars;
+  auto record_decl_after = [&](std::size_t j) {
+    while (ctx.punct_at(j, "&") || ctx.punct_at(j, "*") || ctx.ident_at(j, "const")) {
+      ++j;
+    }
+    if (j < ctx.size() && ctx.tok(j).kind == TokKind::kIdentifier &&
+        j + 1 < ctx.size()) {
+      const std::string& after = ctx.tok(j + 1).text;
+      if (after == ";" || after == "=" || after == "," || after == ")" ||
+          after == "{" || after == "[" || after == ":") {
+        float_vars.insert(ctx.tok(j).text);
+      }
+    }
+  };
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (ctx.ident_at(i, "float") || ctx.ident_at(i, "double")) {
+      record_decl_after(i + 1);
+    } else if ((ctx.ident_at(i, "vector") || ctx.ident_at(i, "array") ||
+                ctx.ident_at(i, "valarray") || ctx.ident_at(i, "span")) &&
+               ctx.punct_at(i + 1, "<")) {
+      const std::size_t end = skip_angles(ctx, i + 1);
+      bool holds_float = false;
+      for (std::size_t j = i + 2; j < end; ++j) {
+        if (ctx.ident_at(j, "float") || ctx.ident_at(j, "double")) {
+          holds_float = true;
+          break;
+        }
+      }
+      if (holds_float) record_decl_after(end);
+    }
+  }
+
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (!(ctx.ident_at(i, "parallel_for_index") ||
+          ctx.ident_at(i, "parallel_map_index"))) {
+      continue;
+    }
+    if (i > 0 && (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) continue;
+    std::size_t j = i + 1;
+    if (ctx.punct_at(j, "<")) j = skip_angles(ctx, j);
+    if (!ctx.punct_at(j, "(")) continue;
+    const std::size_t close = match_paren(ctx, j);
+
+    for (std::size_t k = j + 1; k < close; ++k) {
+      if (!(ctx.punct_at(k, "+=") || ctx.punct_at(k, "-="))) continue;
+      // Walk the left-hand side back (through subscripts and member
+      // chains) and see whether any identifier on it is floating-point.
+      bool lhs_float = false;
+      std::size_t m = k;
+      while (m > j) {
+        --m;
+        const Token& t = ctx.tok(m);
+        if (ctx.punct_at(m, "]")) {
+          int depth = 0;
+          while (m > j) {
+            if (ctx.punct_at(m, "]")) ++depth;
+            else if (ctx.punct_at(m, "[") && --depth == 0) break;
+            --m;
+          }
+          continue;
+        }
+        if (t.kind == TokKind::kIdentifier) {
+          if (float_vars.count(t.text) != 0) lhs_float = true;
+          continue;
+        }
+        if (t.kind == TokKind::kPunct &&
+            (t.text == "." || t.text == "->" || t.text == "::")) {
+          continue;
+        }
+        break;
+      }
+      if (lhs_float) {
+        ctx.report(ctx.tok(k).line, "dc-r4", "error",
+                   "floating-point '" + ctx.tok(k).text +
+                       "' reduction inside a parallel_for_index callback: FP "
+                       "addition is non-associative, so the result depends on "
+                       "thread interleaving; reduce per-index into a slot, or "
+                       "waive with '// dc-lint: ordered-reduction'");
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// dc-r5: header hygiene.
+
+std::string preproc_directive(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' || text[i] == '\t')) {
+    ++i;
+  }
+  std::size_t end = i;
+  while (end < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  return text.substr(i, end - i);
+}
+
+void rule_r5(Ctx& ctx) {
+  bool guarded = false;
+  std::string first_directive, second_directive;
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (ctx.tok(i).kind != TokKind::kPreproc) continue;
+    const std::string directive = preproc_directive(ctx.tok(i).text);
+    if (directive == "pragma" && ctx.tok(i).text.find("once") != std::string::npos) {
+      guarded = true;
+      break;
+    }
+    if (first_directive.empty()) {
+      first_directive = directive;
+    } else if (second_directive.empty()) {
+      second_directive = directive;
+      break;
+    }
+  }
+  if (!guarded && first_directive == "ifndef" && second_directive == "define") {
+    guarded = true;  // classic include guard
+  }
+  if (!guarded && first_directive == "if" && second_directive == "define") {
+    guarded = true;  // #if !defined(...) form
+  }
+  if (!guarded) {
+    ctx.report(1, "dc-r5", "warning",
+               "header is missing '#pragma once' or an include guard");
+  }
+
+  for (std::size_t i = 0; i + 2 < ctx.size(); ++i) {
+    if (ctx.ident_at(i, "using") && ctx.ident_at(i + 1, "namespace") &&
+        ctx.ident_at(i + 2, "std")) {
+      ctx.report(ctx.tok(i).line, "dc-r5", "warning",
+                 "'using namespace std' in a header pollutes every includer");
+    }
+  }
+}
+
+void json_escape_into(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+LintResult lint_source(const std::string& display_path, std::string_view source) {
+  const FileLex lx = lex(source);
+  LintResult result;
+  Ctx ctx{display_path, lx, result};
+  rule_r1(ctx);
+  rule_r2(ctx);
+  if (is_sim_hot_path(display_path)) rule_r3(ctx);
+  rule_r4(ctx);
+  if (is_header_path(display_path)) rule_r5(ctx);
+  std::sort(result.diagnostics.begin(), result.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  return result;
+}
+
+std::string to_human(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.file;
+    out += ':';
+    out += std::to_string(d.line);
+    out += ": ";
+    out += d.severity;
+    out += '[';
+    out += d.rule;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+std::string to_json(const std::vector<Diagnostic>& diagnostics, int files_scanned,
+                    int waived) {
+  int errors = 0;
+  int warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == "error") ++errors;
+    else ++warnings;
+  }
+  std::string out = "{\"tool\":\"dc-lint\",\"version\":1,\"files_scanned\":";
+  out += std::to_string(files_scanned);
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"file\":\"";
+    json_escape_into(out, d.file);
+    out += "\",\"line\":";
+    out += std::to_string(d.line);
+    out += ",\"rule\":\"";
+    json_escape_into(out, d.rule);
+    out += "\",\"severity\":\"";
+    json_escape_into(out, d.severity);
+    out += "\",\"message\":\"";
+    json_escape_into(out, d.message);
+    out += "\"}";
+  }
+  out += "],\"summary\":{\"errors\":";
+  out += std::to_string(errors);
+  out += ",\"warnings\":";
+  out += std::to_string(warnings);
+  out += ",\"waived\":";
+  out += std::to_string(waived);
+  out += "}}";
+  return out;
+}
+
+}  // namespace dc_lint

@@ -1,0 +1,60 @@
+// dc-lint rules: the project's determinism & invariant contract as
+// machine-checkable diagnostics. Full rationale in docs/STATIC_ANALYSIS.md.
+//
+//   dc-r1  (error)   no wall-clock / ambient nondeterminism in simulation
+//                    code: std::chrono::system_clock, time(), clock(),
+//                    gettimeofday(), rand()/srand(), std::random_device.
+//   dc-r2  (error)   no iteration over unordered_map/unordered_set —
+//                    iteration order is unspecified, and anything it feeds
+//                    (output, metrics, event scheduling) stops being
+//                    reproducible across standard libraries and runs.
+//   dc-r3  (error)   no raw new/delete/malloc in src/sim hot-path files;
+//                    the event slab owns allocation there. Placement new
+//                    and `= delete` declarations are fine.
+//   dc-r4  (error)   no float/double `+=` reductions inside
+//                    parallel_for_index / parallel_map_index callbacks
+//                    without a `// dc-lint: ordered-reduction` waiver —
+//                    FP addition is non-associative, so a thread-order-
+//                    dependent reduction silently changes results.
+//   dc-r5  (warning) header hygiene: include guard or #pragma once, and
+//                    no `using namespace std` in headers.
+//
+// Every rule honors `// NOLINT(dc-rN)` on the flagged line and
+// `// NOLINTNEXTLINE(dc-rN)` on the line above (see lexer.hpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;      // "dc-r1" .. "dc-r5"
+  std::string severity;  // "error" | "warning"
+  std::string message;
+};
+
+struct LintResult {
+  std::vector<Diagnostic> diagnostics;
+  int waived = 0;  // diagnostics suppressed by an inline waiver
+};
+
+/// Lints one translation unit. `display_path` selects path-sensitive rules
+/// (dc-r3 applies under src/sim; dc-r5 applies to .h/.hpp/.hxx) and is the
+/// `file` of every diagnostic.
+LintResult lint_source(const std::string& display_path, std::string_view source);
+
+/// Renders diagnostics in `file:line: severity[rule]: message` form.
+std::string to_human(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders the machine-readable report:
+/// {"tool":"dc-lint","version":1,"files_scanned":N,
+///  "diagnostics":[{"file","line","rule","severity","message"},...],
+///  "summary":{"errors":N,"warnings":N,"waived":N}}
+std::string to_json(const std::vector<Diagnostic>& diagnostics, int files_scanned,
+                    int waived);
+
+}  // namespace dc_lint
