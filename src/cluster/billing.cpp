@@ -18,6 +18,14 @@ void LeaseLedger::close(LeaseId id, SimTime end) {
   lease.end = end;
 }
 
+void LeaseLedger::amend_end(LeaseId id, SimTime end) {
+  assert(id < leases_.size());
+  Lease& lease = leases_[id];
+  assert(lease.end != kNever && "amend_end is for already-closed leases");
+  assert(end >= lease.start && end <= lease.end);
+  lease.end = end;
+}
+
 void LeaseLedger::record(SimTime start, SimTime end, std::int64_t nodes,
                          std::string tag) {
   assert(end >= start);

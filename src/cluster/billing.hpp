@@ -37,6 +37,11 @@ class LeaseLedger {
   /// Closes an open lease at `end` (>= its start).
   void close(LeaseId id, SimTime end);
 
+  /// Re-closes lease `id` at an earlier `end`: a killed DRP job's lease
+  /// ends at the failure instant instead of its planned completion. The
+  /// new end must not extend the lease.
+  void amend_end(LeaseId id, SimTime end);
+
   /// Records an already-complete lease (convenience for per-job billing).
   void record(SimTime start, SimTime end, std::int64_t nodes, std::string tag = {});
 

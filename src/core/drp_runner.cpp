@@ -17,22 +17,62 @@ void DrpRunner::record_completion(SimTime now) {
   last_finish_ = std::max(last_finish_, now);
 }
 
+std::size_t DrpRunner::find_active(std::int64_t work_id) const {
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].work_id == work_id) return i;
+  }
+  assert(false && "unknown work id");
+  return active_.size();
+}
+
 void DrpRunner::submit_job(SimDuration runtime, std::int64_t nodes) {
   assert(runtime >= 1 && nodes >= 1);
   const SimTime now = simulator_.now();
   if (first_submit_ == kNever) first_submit_ = now;
   ++submitted_;
+  start_job_attempt(runtime, /*completed_work=*/0, nodes, /*retries=*/0);
+}
+
+void DrpRunner::start_job_attempt(SimDuration runtime,
+                                  SimDuration completed_work,
+                                  std::int64_t nodes, std::int32_t retries) {
+  const SimTime now = simulator_.now();
   // The provider pool is effectively unbounded for end users (EC2
   // semantics); a bounded pool rejecting here would drop the job.
   if (!provision_.request(now, consumer_, nodes)) return;
   held_.change(now, nodes);
-  ledger_.record(now, now + setup_latency_ + runtime, nodes, "job");
-  simulator_.schedule_in(setup_latency_ + runtime, [this, nodes] {
-    const SimTime at = simulator_.now();
-    provision_.release(at, consumer_, nodes);
-    held_.change(at, -nodes);
-    record_completion(at);
-  });
+  const SimDuration remaining = runtime - completed_work;
+  // The lease is recorded with its planned end up front; a VM failure
+  // amends it down to the failure instant. Surviving jobs therefore bill
+  // exactly as before the fault subsystem existed, including leases whose
+  // planned end lies past the experiment horizon.
+  const cluster::LeaseId lease = ledger_.open(now, nodes, "job");
+  ledger_.close(lease, now + setup_latency_ + remaining);
+
+  ActiveWork work;
+  work.work_id = next_work_id_++;
+  work.is_task = false;
+  work.nodes = nodes;
+  work.runtime = runtime;
+  work.completed_work = completed_work;
+  work.exec_start = now + setup_latency_;
+  work.lease = lease;
+  work.retries = retries;
+  work.completion =
+      simulator_.schedule_in(setup_latency_ + remaining,
+                             [this, id = work.work_id] { finish_job(id); });
+  active_.push_back(work);
+}
+
+void DrpRunner::finish_job(std::int64_t work_id) {
+  const std::size_t index = find_active(work_id);
+  const ActiveWork work = active_[index];
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  const SimTime now = simulator_.now();
+  provision_.release(now, consumer_, work.nodes);
+  held_.change(now, -work.nodes);
+  record_completion(now);
+  completions_.push_back(Completion{now, work.nodes * work.runtime});
 }
 
 void DrpRunner::submit_workflow(const workflow::Dag& dag) {
@@ -57,10 +97,16 @@ void DrpRunner::submit_workflow(const workflow::Dag& dag) {
 }
 
 void DrpRunner::start_task(std::size_t run_index, workflow::TaskId task) {
+  ++submitted_;
+  start_task_attempt(run_index, task, /*completed_work=*/0, /*retries=*/0);
+}
+
+void DrpRunner::start_task_attempt(std::size_t run_index, workflow::TaskId task,
+                                   SimDuration completed_work,
+                                   std::int32_t retries) {
   WorkflowRun& run = runs_[run_index];
   const workflow::Task& t = run.dag.task(task);
   const SimTime now = simulator_.now();
-  ++submitted_;
   // Acquire VMs from the user's pool, growing it when no idle VM exists.
   // Montage tasks are single-node; wider tasks grow the pool by their
   // width. Reused idle VMs are already set up; fresh ones pay the boot
@@ -79,25 +125,41 @@ void DrpRunner::start_task(std::size_t run_index, workflow::TaskId task) {
     peak_pool_ = std::max(peak_pool_, run.pool_size);
   }
   const SimDuration boot = grew_pool ? setup_latency_ : 0;
-  simulator_.schedule_in(boot + t.runtime, [this, run_index, task] {
-    finish_task(run_index, task);
-  });
+
+  ActiveWork work;
+  work.work_id = next_work_id_++;
+  work.is_task = true;
+  work.nodes = t.nodes;
+  work.runtime = t.runtime;
+  work.completed_work = completed_work;
+  work.exec_start = now + boot;
+  work.run_index = run_index;
+  work.task = task;
+  work.retries = retries;
+  work.completion = simulator_.schedule_in(
+      boot + (t.runtime - completed_work),
+      [this, id = work.work_id] { finish_task(id); });
+  active_.push_back(work);
 }
 
-void DrpRunner::finish_task(std::size_t run_index, workflow::TaskId task) {
-  WorkflowRun& run = runs_[run_index];
+void DrpRunner::finish_task(std::int64_t work_id) {
+  const std::size_t index = find_active(work_id);
+  const ActiveWork work = active_[index];
+  active_.erase(active_.begin() + static_cast<std::ptrdiff_t>(index));
+  WorkflowRun& run = runs_[work.run_index];
   const SimTime now = simulator_.now();
-  run.idle_vms += run.dag.task(task).nodes;
+  run.idle_vms += work.nodes;
   record_completion(now);
+  completions_.push_back(Completion{now, work.nodes * work.runtime});
   assert(run.remaining > 0);
   --run.remaining;
   std::vector<workflow::TaskId> ready;
-  for (workflow::TaskId child : run.dag.children(task)) {
+  for (workflow::TaskId child : run.dag.children(work.task)) {
     auto& pending = run.pending_parents[static_cast<std::size_t>(child)];
     assert(pending > 0);
     if (--pending == 0) ready.push_back(child);
   }
-  for (workflow::TaskId next : ready) start_task(run_index, next);
+  for (workflow::TaskId next : ready) start_task(work.run_index, next);
 
   if (run.remaining == 0) {
     // Campaign over: the user returns every leased VM.
@@ -108,6 +170,122 @@ void DrpRunner::finish_task(std::size_t run_index, workflow::TaskId task) {
     run.idle_vms = 0;
     run.vm_leases.clear();
   }
+}
+
+std::int64_t DrpRunner::fail_nodes(std::int64_t count) {
+  assert(count >= 0);
+  count = std::min(count, held_.current());
+  if (count <= 0) return 0;
+  const SimTime now = simulator_.now();
+
+  // Idle pool VMs absorb failures first: their leases end now, no work
+  // dies. The newest lease is ended (shortest-lived), deterministically.
+  for (std::size_t i = 0; i < runs_.size() && count > 0; ++i) {
+    WorkflowRun& run = runs_[i];
+    while (count > 0 && run.idle_vms > 0) {
+      assert(!run.vm_leases.empty());
+      ledger_.close(run.vm_leases.back(), now);
+      run.vm_leases.pop_back();
+      --run.idle_vms;
+      --run.pool_size;
+      provision_.release(now, consumer_, 1);
+      held_.change(now, -1);
+      --count;
+    }
+  }
+
+  // Then the most recently started work dies, newest first. Kills are
+  // collected and recovered after the loop so a zero-backoff retry cannot
+  // re-enter active_ and be killed by the same failure event.
+  std::vector<ActiveWork> killed;
+  while (count > 0 && !active_.empty()) {
+    const ActiveWork work = active_.back();
+    active_.pop_back();
+    simulator_.cancel(work.completion);
+    if (work.is_task) {
+      WorkflowRun& run = runs_[work.run_index];
+      for (std::int64_t i = 0; i < work.nodes; ++i) {
+        assert(!run.vm_leases.empty());
+        ledger_.close(run.vm_leases.back(), now);
+        run.vm_leases.pop_back();
+      }
+      run.pool_size -= work.nodes;
+    } else {
+      // The job's lease was pre-closed at its planned end; shorten it to
+      // the failure instant.
+      ledger_.amend_end(work.lease, now);
+    }
+    provision_.release(now, consumer_, work.nodes);
+    held_.change(now, -work.nodes);
+    count -= std::min(count, work.nodes);
+    killed.push_back(work);
+  }
+  for (const ActiveWork& work : killed) kill_work(now, work);
+  return static_cast<std::int64_t>(killed.size());
+}
+
+void DrpRunner::kill_work(SimTime now, const ActiveWork& work) {
+  ++jobs_killed_;
+  const std::int32_t retries = work.retries + 1;
+
+  // Checkpoint accounting (same model as HtcServer::kill_job): salvage the
+  // last whole checkpoint; the rest of this attempt's progress is waste.
+  const SimDuration progress =
+      work.completed_work + std::max<SimDuration>(0, now - work.exec_start);
+  const SimDuration salvaged = fault::checkpointed_work(recovery_, progress);
+  wasted_node_seconds_ += (progress - salvaged) * work.nodes;
+
+  if (recovery_.max_retries >= 0 && retries > recovery_.max_retries) {
+    // Budget exhausted. A failed task wedges its workflow (remaining never
+    // hits zero) — the campaign is reported incomplete, like a real DAG
+    // engine giving up on a node.
+    wasted_node_seconds_ += salvaged * work.nodes;
+    ++jobs_failed_;
+    return;
+  }
+
+  // Retry on fresh VMs after the backoff: the new attempt pays the boot
+  // latency again (job attempts always; task attempts when the surviving
+  // pool has no idle VM).
+  const SimDuration backoff = fault::retry_backoff_delay(recovery_, retries);
+  if (work.is_task) {
+    const std::size_t run_index = work.run_index;
+    const workflow::TaskId task = work.task;
+    if (backoff <= 0) {
+      start_task_attempt(run_index, task, salvaged, retries);
+    } else {
+      simulator_.schedule_in(backoff, [this, run_index, task, salvaged,
+                                       retries] {
+        start_task_attempt(run_index, task, salvaged, retries);
+      });
+    }
+  } else {
+    const SimDuration runtime = work.runtime;
+    const std::int64_t nodes = work.nodes;
+    if (backoff <= 0) {
+      start_job_attempt(runtime, salvaged, nodes, retries);
+    } else {
+      simulator_.schedule_in(backoff, [this, runtime, salvaged, nodes,
+                                       retries] {
+        start_job_attempt(runtime, salvaged, nodes, retries);
+      });
+    }
+  }
+}
+
+void DrpRunner::repair_nodes(std::int64_t /*count*/) {
+  // Failed VMs are gone (their leases ended at the failure); retries lease
+  // fresh VMs. There is nothing to hand back.
+}
+
+double DrpRunner::goodput_node_hours(SimTime horizon) const {
+  double total = 0.0;
+  for (const Completion& completion : completions_) {
+    if (completion.finish <= horizon) {
+      total += static_cast<double>(completion.node_seconds) / 3600.0;
+    }
+  }
+  return total;
 }
 
 std::int64_t DrpRunner::completed_jobs(SimTime horizon) const {

@@ -16,14 +16,24 @@
 //    The pool therefore peaks at the workflow's widest concurrency (662 for
 //    the paper's Montage), each VM billed one hour — Table 4's 662
 //    node*hours and Figure 13's DRP peak.
+//
+// Fault model: a failed VM is gone — its lease ends at the failure instant
+// and there is no provider-side repair (repair_nodes is a no-op; EC2 does
+// not hand a crashed instance back). The work it ran is killed and retried
+// per the recovery policy by leasing *fresh* VMs, paying the boot latency
+// again. Idle pool VMs absorb failures first; then the most recently
+// started work dies.
 #pragma once
 
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <vector>
 
 #include "cluster/billing.hpp"
 #include "cluster/usage_recorder.hpp"
+#include "core/fault/fault_target.hpp"
+#include "core/fault/recovery.hpp"
 #include "core/provision_service.hpp"
 #include "sim/simulator.hpp"
 #include "util/time.hpp"
@@ -31,7 +41,7 @@
 
 namespace dc::core {
 
-class DrpRunner {
+class DrpRunner : public fault::FaultTarget {
  public:
   DrpRunner(sim::Simulator& simulator, ResourceProvisionService& provision,
             std::string name);
@@ -42,12 +52,27 @@ class DrpRunner {
   /// from launch).
   void set_setup_latency(SimDuration latency) { setup_latency_ = latency; }
 
+  /// Recovery policy for work killed by VM failures (retry budget,
+  /// backoff, checkpoints). Grant timeouts do not apply: DRP never waits
+  /// for grants.
+  void set_recovery(fault::FaultRecoveryPolicy recovery) {
+    recovery_ = recovery;
+  }
+
   /// HTC job: lease `nodes` now, run for `runtime`, release at completion.
   void submit_job(SimDuration runtime, std::int64_t nodes);
 
   /// MTC workflow: run with the reusable VM pool. Tasks start the moment
   /// their dependencies complete.
   void submit_workflow(const workflow::Dag& dag);
+
+  // --- FaultTarget ---------------------------------------------------------
+  const std::string& fault_name() const override { return name_; }
+  /// Every currently leased VM can fail.
+  std::int64_t healthy_nodes() const override { return held_.current(); }
+  std::int64_t fail_nodes(std::int64_t count) override;
+  /// No-op: failed VM leases already ended; retries lease fresh VMs.
+  void repair_nodes(std::int64_t count) override;
 
   const std::string& name() const { return name_; }
   std::int64_t submitted_jobs() const { return submitted_; }
@@ -58,6 +83,18 @@ class DrpRunner {
 
   const cluster::LeaseLedger& ledger() const { return ledger_; }
   const cluster::UsageRecorder& held_usage() const { return held_; }
+
+  /// Jobs/tasks killed by VM failures.
+  std::int64_t jobs_killed() const { return jobs_killed_; }
+  /// Jobs/tasks whose retry budget was exhausted.
+  std::int64_t jobs_failed() const { return jobs_failed_; }
+  /// Useful node*hours delivered within the horizon (width x runtime of
+  /// completed work; re-runs excluded).
+  double goodput_node_hours(SimTime horizon) const;
+  /// Node*hours of execution thrown away by kills.
+  double wasted_node_hours() const {
+    return static_cast<double>(wasted_node_seconds_) / 3600.0;
+  }
 
   /// Peak VM pool size across all workflow runs.
   std::int64_t peak_pool_size() const { return peak_pool_; }
@@ -78,9 +115,34 @@ class DrpRunner {
     SimTime submitted = 0;
   };
 
+  /// One in-flight job or task attempt; `active_` is a stack, newest last,
+  /// so failures kill the most recently started work first.
+  struct ActiveWork {
+    std::int64_t work_id = 0;  // stable handle for completion events
+    bool is_task = false;
+    std::int64_t nodes = 0;
+    SimDuration runtime = 0;        // full runtime of the job/task
+    SimDuration completed_work = 0; // salvaged by checkpoints
+    SimTime exec_start = 0;         // execution begins here (after boot)
+    sim::EventId completion = sim::kInvalidEvent;
+    cluster::LeaseId lease = 0;     // job attempts only (one lease, all nodes)
+    std::size_t run_index = 0;      // task attempts only
+    workflow::TaskId task = 0;      // task attempts only
+    std::int32_t retries = 0;
+  };
+
+  void start_job_attempt(SimDuration runtime, SimDuration completed_work,
+                         std::int64_t nodes, std::int32_t retries);
+  void finish_job(std::int64_t work_id);
   void start_task(std::size_t run_index, workflow::TaskId task);
-  void finish_task(std::size_t run_index, workflow::TaskId task);
+  void start_task_attempt(std::size_t run_index, workflow::TaskId task,
+                          SimDuration completed_work, std::int32_t retries);
+  void finish_task(std::int64_t work_id);
   void record_completion(SimTime now);
+  std::size_t find_active(std::int64_t work_id) const;
+  /// Kills active_[index] (already cancelled from the stack by the caller)
+  /// and routes it through the recovery policy.
+  void kill_work(SimTime now, const ActiveWork& work);
 
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;
@@ -90,13 +152,25 @@ class DrpRunner {
   cluster::LeaseLedger ledger_;
   cluster::UsageRecorder held_;
   std::vector<WorkflowRun> runs_;
+  std::vector<ActiveWork> active_;
+  std::int64_t next_work_id_ = 0;
 
   SimDuration setup_latency_ = 0;
+  fault::FaultRecoveryPolicy recovery_;
   std::int64_t submitted_ = 0;
   std::vector<SimTime> finish_times_;
+  /// (finish, node*seconds) per completion, for horizon-filtered goodput.
+  struct Completion {
+    SimTime finish;
+    std::int64_t node_seconds;
+  };
+  std::vector<Completion> completions_;
   SimTime first_submit_ = kNever;
   SimTime last_finish_ = kNever;
   std::int64_t peak_pool_ = 0;
+  std::int64_t jobs_killed_ = 0;
+  std::int64_t jobs_failed_ = 0;
+  std::int64_t wasted_node_seconds_ = 0;
 };
 
 }  // namespace dc::core

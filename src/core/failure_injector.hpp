@@ -1,54 +1,17 @@
-// Random node-failure injection.
+// Back-compat name for the failure domain (core/fault/fault_domain.hpp).
 //
-// Drives HtcServer::fail_nodes with a Poisson failure process, for
-// robustness testing and the availability ablation: how much do the four
-// systems' metrics move when hardware is unreliable? (The paper assumes
-// perfect nodes; a production release cannot.)
+// The original FailureInjector only drove HtcServer::fail_nodes with no
+// repair; it grew into the fault subsystem under src/core/fault, where one
+// seeded domain drives every FaultTarget (HTC/MTC/WSS servers, the DRP
+// runner) through the full failure -> repair lifecycle. The old name and
+// Config shape are preserved for existing callers; the defaults
+// (mean_time_to_repair = 0) reproduce the old transparent-swap behavior.
 #pragma once
 
-#include <vector>
-
-#include "core/htc_server.hpp"
-#include "sim/simulator.hpp"
-#include "util/rng.hpp"
+#include "core/fault/fault_domain.hpp"
 
 namespace dc::core {
 
-class FailureInjector {
- public:
-  struct Config {
-    /// Mean time between failure events across the watched servers.
-    SimDuration mean_time_between_failures = 12 * kHour;
-    /// Nodes lost per event (uniform range).
-    std::int64_t min_failed_nodes = 1;
-    std::int64_t max_failed_nodes = 4;
-    std::uint64_t seed = 1337;
-  };
-
-  FailureInjector(sim::Simulator& simulator, Config config)
-      : simulator_(simulator), config_(config), rng_(config.seed) {}
-
-  /// Adds a server to the failure domain (non-owning; must outlive the
-  /// injector's scheduled events).
-  void watch(HtcServer* server) { servers_.push_back(server); }
-
-  /// Starts injecting from the current simulation time until `until`.
-  void start(SimTime until);
-
-  std::int64_t failure_events() const { return events_; }
-  std::int64_t nodes_failed() const { return nodes_failed_; }
-  std::int64_t jobs_killed() const { return jobs_killed_; }
-
- private:
-  void schedule_next(SimTime until);
-
-  sim::Simulator& simulator_;
-  Config config_;
-  Rng rng_;
-  std::vector<HtcServer*> servers_;
-  std::int64_t events_ = 0;
-  std::int64_t nodes_failed_ = 0;
-  std::int64_t jobs_killed_ = 0;
-};
+using FailureInjector = fault::FaultDomain;
 
 }  // namespace dc::core

@@ -1,0 +1,82 @@
+#include "core/fault/fault_domain.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dc::core::fault {
+
+void FaultDomain::start(SimTime until) {
+  assert(!watched_.empty() && "nothing to fail");
+  // An injection window that is already over schedules nothing: without
+  // this guard a single stray event could land exactly at `now + gap` and
+  // fail nodes outside the experiment.
+  if (until <= simulator_.now()) return;
+  active_ = watched_;
+  schedule_next(until);
+}
+
+std::int64_t FaultDomain::total_healthy() const {
+  std::int64_t total = 0;
+  for (const FaultTarget* target : active_) {
+    total += std::max<std::int64_t>(0, target->healthy_nodes());
+  }
+  return total;
+}
+
+void FaultDomain::schedule_next(SimTime until) {
+  // Per-node rates make the event rate proportional to the fleet: the gap
+  // mean is MTTF / healthy. An empty fleet falls back to the domain mean so
+  // the process keeps polling for targets coming back to life.
+  double mean = static_cast<double>(config_.mean_time_between_failures);
+  if (config_.per_node_rates) {
+    const std::int64_t healthy = total_healthy();
+    if (healthy > 1) mean /= static_cast<double>(healthy);
+  }
+  const auto gap = static_cast<SimDuration>(rng_.exponential(mean));
+  const SimTime at = simulator_.now() + std::max<SimDuration>(1, gap);
+  if (at >= until) return;
+  simulator_.schedule_at(at, [this, until] { inject(until); });
+}
+
+void FaultDomain::inject(SimTime until) {
+  // Pick a victim weighted by its current healthy holding (bigger TREs own
+  // more hardware, so they fail more often).
+  std::vector<double> weights;
+  weights.reserve(active_.size());
+  for (const FaultTarget* target : active_) {
+    weights.push_back(static_cast<double>(
+        std::max<std::int64_t>(0, target->healthy_nodes())));
+  }
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total > 0.0) {
+    FaultTarget* victim = active_[rng_.weighted_index(weights)];
+    const std::int64_t nodes =
+        rng_.uniform_int(config_.min_failed_nodes, config_.max_failed_nodes);
+    const std::int64_t failed = std::min(nodes, victim->healthy_nodes());
+    ++events_;
+    nodes_failed_ += failed;
+    jobs_killed_ += victim->fail_nodes(nodes);
+    if (config_.mean_time_to_repair <= 0) {
+      // Transparent swap: the provider replaces the hardware in place
+      // within the same instant; only the killed jobs are observable.
+      victim->repair_nodes(failed);
+      nodes_repaired_ += failed;
+    } else if (failed > 0) {
+      const auto delay = std::max<SimDuration>(
+          1, static_cast<SimDuration>(rng_.exponential(
+                 static_cast<double>(config_.mean_time_to_repair))));
+      nodes_down_ += failed;
+      // Deliberately not bounded by `until`: repairs finish even after the
+      // injection window closes.
+      simulator_.schedule_in(delay, [this, victim, failed] {
+        victim->repair_nodes(failed);
+        nodes_repaired_ += failed;
+        nodes_down_ -= failed;
+      });
+    }
+  }
+  schedule_next(until);
+}
+
+}  // namespace dc::core::fault

@@ -1,0 +1,91 @@
+// The failure domain: a seeded MTTF/MTTR process over a set of victims.
+//
+// One domain drives every watched FaultTarget through the full
+// failure -> repair lifecycle:
+//
+//  * failures arrive as a Poisson process (exponential gaps via util/rng,
+//    fully deterministic per seed). With `per_node_rates` the configured
+//    MTTF is per node and the event rate scales with the fleet's current
+//    healthy size — twice the hardware, twice the failures;
+//  * each event picks a victim weighted by its current healthy holding
+//    (bigger TREs own more hardware, so they fail more often) and takes
+//    a uniform number of its nodes down;
+//  * each failed batch is repaired after an exponential MTTR delay, so
+//    capacity degrades and recovers instead of vanishing. A mean time to
+//    repair of zero degenerates to the transparent-swap model (repair at
+//    the failure instant: the provider replaces hardware in place, only
+//    the killed jobs are observable) — the pre-subsystem behavior.
+//
+// Repairs already scheduled keep firing past the injection window `until`,
+// mirroring real operations: you stop breaking machines, you do not stop
+// fixing them. Targets clamp repairs themselves, so a repair landing after
+// a TRE shut down is a safe no-op.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/fault/fault_target.hpp"
+#include "sim/simulator.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace dc::core::fault {
+
+class FaultDomain {
+ public:
+  struct Config {
+    /// Mean time between failure events (exponential). With
+    /// `per_node_rates` this is the per-node MTTF and the event gap is
+    /// mean / (total healthy nodes).
+    SimDuration mean_time_between_failures = 12 * kHour;
+    /// Mean time to repair a failed batch (exponential); 0 = repair at the
+    /// failure instant (transparent hardware swap).
+    SimDuration mean_time_to_repair = 0;
+    /// Interpret the MTTF per node instead of per domain.
+    bool per_node_rates = false;
+    /// Nodes lost per event (uniform range).
+    std::int64_t min_failed_nodes = 1;
+    std::int64_t max_failed_nodes = 4;
+    std::uint64_t seed = 1337;
+  };
+
+  FaultDomain(sim::Simulator& simulator, Config config)
+      : simulator_(simulator), config_(config), rng_(config.seed) {}
+
+  /// Adds a target to the failure domain (non-owning; must outlive the
+  /// domain's scheduled events). Targets watched after start() do not join
+  /// the active set: the seeded victim sequence is pinned at start().
+  void watch(FaultTarget* target) { watched_.push_back(target); }
+
+  /// Starts injecting from the current simulation time until `until`.
+  /// A window that is already over (`until` <= now) is a no-op.
+  void start(SimTime until);
+
+  std::int64_t failure_events() const { return events_; }
+  std::int64_t nodes_failed() const { return nodes_failed_; }
+  std::int64_t nodes_repaired() const { return nodes_repaired_; }
+  /// Nodes currently failed and awaiting repair.
+  std::int64_t nodes_down() const { return nodes_down_; }
+  std::int64_t jobs_killed() const { return jobs_killed_; }
+
+ private:
+  void schedule_next(SimTime until);
+  void inject(SimTime until);
+  std::int64_t total_healthy() const;
+
+  sim::Simulator& simulator_;
+  Config config_;
+  Rng rng_;
+  std::vector<FaultTarget*> watched_;
+  /// Snapshot of `watched_` taken at start(); the victim sequence drawn
+  /// from the seed only ever sees this set.
+  std::vector<FaultTarget*> active_;
+  std::int64_t events_ = 0;
+  std::int64_t nodes_failed_ = 0;
+  std::int64_t nodes_repaired_ = 0;
+  std::int64_t nodes_down_ = 0;
+  std::int64_t jobs_killed_ = 0;
+};
+
+}  // namespace dc::core::fault

@@ -1,0 +1,66 @@
+// Recovery policy: what a runtime environment does about killed work.
+//
+// The failure domain (fault_domain.hpp) decides *when* nodes die; this
+// policy decides how the victim recovers. Three independent knobs:
+//
+//  * retry budget + exponential backoff — a killed job is re-queued up to
+//    `max_retries` times, waiting retry_backoff * 2^(attempt-1) (capped at
+//    `max_backoff`) before each re-queue. With the budget exhausted the job
+//    is reported as kFailed, never silently re-queued forever.
+//  * periodic checkpoints — with `checkpoint_interval` > 0 a killed job
+//    salvages the work up to its last checkpoint and re-runs only the
+//    remainder; only the progress past the checkpoint is wasted.
+//  * grant timeout — a dynamic provision request waiting in the provider's
+//    priority queue (request_or_wait) is cancelled and re-requested once it
+//    has starved for `grant_timeout`, so a TRE behind a higher-priority
+//    competitor periodically re-asserts itself instead of waiting forever.
+//
+// All defaults are the pre-fault-subsystem semantics: unlimited immediate
+// retries from scratch, no grant timeout.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "util/time.hpp"
+
+namespace dc::core::fault {
+
+struct FaultRecoveryPolicy {
+  /// How many kills a job survives before it is reported failed; -1 =
+  /// unlimited.
+  std::int32_t max_retries = -1;
+  /// Base re-queue delay after a kill; doubles per attempt. 0 = immediate.
+  SimDuration retry_backoff = 0;
+  /// Ceiling for the doubled backoff.
+  SimDuration max_backoff = kHour;
+  /// Periodic checkpoint interval; 0 = no checkpoints (restart from
+  /// scratch, the full progress is wasted).
+  SimDuration checkpoint_interval = 0;
+  /// Starvation deadline for a waiting request_or_wait grant; 0 = wait
+  /// forever.
+  SimDuration grant_timeout = 0;
+};
+
+/// Deterministic exponential backoff: delay before re-queueing attempt
+/// `attempt` (1-based), i.e. retry_backoff * 2^(attempt-1) capped at
+/// max_backoff.
+inline SimDuration retry_backoff_delay(const FaultRecoveryPolicy& policy,
+                                       std::int32_t attempt) {
+  if (policy.retry_backoff <= 0) return 0;
+  SimDuration delay = policy.retry_backoff;
+  for (std::int32_t i = 1; i < attempt && delay < policy.max_backoff; ++i) {
+    delay *= 2;
+  }
+  return std::min(delay, policy.max_backoff);
+}
+
+/// Work salvaged from `progress` seconds of execution under the checkpoint
+/// model: the last whole checkpoint (zero without checkpointing).
+inline SimDuration checkpointed_work(const FaultRecoveryPolicy& policy,
+                                     SimDuration progress) {
+  if (policy.checkpoint_interval <= 0) return 0;
+  return (progress / policy.checkpoint_interval) * policy.checkpoint_interval;
+}
+
+}  // namespace dc::core::fault

@@ -61,6 +61,12 @@ void HtcServer::shutdown() {
   // the holding mid-teardown.
   shutdown_ = true;
   const SimTime now = simulator_.now();
+  if (down_ > 0) {
+    // Broken hardware goes back with everything else; the down series ends
+    // here so availability integrates only over the holding's lifetime.
+    down_usage_.change(now, -down_);
+    down_ = 0;
+  }
   if (scan_timer_ != sim::kInvalidTimer) {
     simulator_.stop_timer(scan_timer_);
     scan_timer_ = sim::kInvalidTimer;
@@ -137,8 +143,10 @@ void HtcServer::dispatch() {
     job.start = now;
     started_nodes += job.nodes;
     running_.push_back(job.id);
+    // Checkpointed retries only re-run the unfinished remainder.
     completion_events_[static_cast<std::size_t>(job.id)] = simulator_.schedule_in(
-        job.runtime, [this, id = job.id] { on_job_complete(id); });
+        job.runtime - job.completed_work,
+        [this, id = job.id] { on_job_complete(id); });
   }
   assert(started_nodes <= dispatchable_idle() &&
          "scheduler oversubscribed idle nodes");
@@ -231,6 +239,23 @@ bool HtcServer::acquire_dynamic(std::int64_t amount, const char* tag) {
           })) {
     if (provision_.waiting_requests() > waiting_before) {
       waiting_grant_ = true;
+      if (config_.recovery.grant_timeout > 0) {
+        // Starvation deadline: if the provider has not granted by then,
+        // withdraw the request and issue a fresh one (tag RT), resetting
+        // the queue position instead of waiting forever behind a
+        // higher-priority competitor.
+        const std::uint64_t epoch = ++waiting_epoch_;
+        simulator_.schedule_in(
+            config_.recovery.grant_timeout, [this, epoch, amount] {
+              if (!waiting_grant_ || epoch != waiting_epoch_ || shutdown_) {
+                return;  // granted meanwhile, or a newer wait took over
+              }
+              if (provision_.cancel_waiting(consumer_) == 0) return;
+              waiting_grant_ = false;
+              ++grant_timeouts_;
+              acquire_dynamic(amount, "RT");
+            });
+      }
     } else {
       ++rejected_grants_;
       Log::at(LogLevel::kDebug, now, config_.name.c_str(),
@@ -299,28 +324,91 @@ std::int64_t HtcServer::fail_nodes(std::int64_t count) {
   assert(count >= 0);
   if (!started_ || shutdown_ || count == 0) return 0;
   const SimTime now = simulator_.now();
-  count = std::min(count, owned_);
+  count = std::min(count, owned_ - down_);
+  if (count <= 0) return 0;
 
-  // Idle nodes absorb failures first; the provider swaps them silently.
+  // Idle nodes absorb failures first; then the most recently started jobs
+  // die until busy work fits the remaining healthy nodes.
   std::int64_t to_kill = std::max<std::int64_t>(0, count - idle());
+  down_ += count;
+  down_usage_.change(now, count);
   std::int64_t killed = 0;
   while (to_kill > 0 && !running_.empty()) {
-    // Most recently started job dies first.
     const sched::JobId id = running_.back();
     running_.pop_back();
-    sched::Job& job = jobs_[static_cast<std::size_t>(id)];
-    assert(job.state == sched::JobState::kRunning);
-    simulator_.cancel(completion_events_[static_cast<std::size_t>(id)]);
-    completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
-    busy_ -= job.nodes;
-    to_kill -= std::min(to_kill, job.nodes);
-    // Retry from scratch: back into the queue, progress lost.
-    job.state = sched::JobState::kQueued;
-    job.start = kNever;
-    queue_.push(id);
-    ++job_retries_;
+    to_kill -= std::min(to_kill, jobs_[static_cast<std::size_t>(id)].nodes);
+    kill_job(now, id);
     ++killed;
   }
+  Log::at(LogLevel::kInfo, now, config_.name.c_str(),
+          "%lld nodes failed (%lld down), %lld jobs killed",
+          static_cast<long long>(count), static_cast<long long>(down_),
+          static_cast<long long>(killed));
+  // A wide victim may have freed more healthy nodes than failed; queued
+  // jobs can take them immediately.
+  dispatch();
+  return killed;
+}
+
+void HtcServer::kill_job(SimTime now, sched::JobId id) {
+  sched::Job& job = jobs_[static_cast<std::size_t>(id)];
+  assert(job.state == sched::JobState::kRunning);
+  simulator_.cancel(completion_events_[static_cast<std::size_t>(id)]);
+  completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
+  busy_ -= job.nodes;
+  ++job_retries_;
+  ++job.retries;
+
+  // Checkpoint accounting: salvage the last whole checkpoint of this
+  // attempt's progress; everything past it is re-run work, charged as
+  // waste. Without checkpoints the full progress is wasted.
+  const SimDuration progress = job.completed_work + (now - job.start);
+  const SimDuration salvaged =
+      fault::checkpointed_work(config_.recovery, progress);
+  wasted_node_seconds_ += (progress - salvaged) * job.nodes;
+  job.completed_work = salvaged;
+  job.start = kNever;
+
+  const fault::FaultRecoveryPolicy& recovery = config_.recovery;
+  if (recovery.max_retries >= 0 && job.retries > recovery.max_retries) {
+    // Retry budget exhausted: the job is failed, not silently re-queued.
+    // Its salvaged checkpoints are waste too — nobody will resume it.
+    job.state = sched::JobState::kFailed;
+    job.finish = now;
+    wasted_node_seconds_ += salvaged * job.nodes;
+    ++jobs_failed_;
+    Log::at(LogLevel::kWarn, now, config_.name.c_str(),
+            "job %lld failed after %d retries", static_cast<long long>(id),
+            job.retries - 1);
+    return;
+  }
+  const SimDuration backoff =
+      fault::retry_backoff_delay(recovery, job.retries);
+  if (backoff <= 0) {
+    job.state = sched::JobState::kQueued;
+    queue_.push(id);
+    return;
+  }
+  job.state = sched::JobState::kPending;
+  ++pending_retries_;
+  simulator_.schedule_in(backoff, [this, id] {
+    --pending_retries_;
+    if (shutdown_) return;
+    sched::Job& job = jobs_[static_cast<std::size_t>(id)];
+    assert(job.state == sched::JobState::kPending);
+    job.state = sched::JobState::kQueued;
+    queue_.push(id);
+    dispatch();
+  });
+}
+
+void HtcServer::repair_nodes(std::int64_t count) {
+  if (count <= 0 || down_ <= 0) return;
+  const SimTime now = simulator_.now();
+  count = std::min(count, down_);
+  down_ -= count;
+  down_usage_.change(now, -count);
+  if (shutdown_) return;
   // The replacement hardware gets the RE packages reinstalled: the swap is
   // metered as a reclaim plus a re-grant (Section 4.5.4 accounting) while
   // the holding itself never leaves the consumer (a release/re-request
@@ -328,10 +416,26 @@ std::int64_t HtcServer::fail_nodes(std::int64_t count) {
   // queue-by-priority contention).
   provision_.record_hardware_swap(now, consumer_, count);
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
-          "%lld nodes failed, %lld jobs re-queued",
-          static_cast<long long>(count), static_cast<long long>(killed));
+          "%lld nodes repaired (%lld still down)", static_cast<long long>(count),
+          static_cast<long long>(down_));
   dispatch();
-  return killed;
+}
+
+double HtcServer::goodput_node_hours(SimTime horizon) const {
+  double total = 0.0;
+  for (const sched::Job& job : jobs_) {
+    if (job.state == sched::JobState::kCompleted && job.finish <= horizon) {
+      total += static_cast<double>(job.nodes) *
+               static_cast<double>(job.runtime) / 3600.0;
+    }
+  }
+  return total;
+}
+
+double HtcServer::availability(SimTime horizon) const {
+  const double held = held_.node_hours(horizon);
+  if (held <= 0.0) return 1.0;
+  return 1.0 - down_usage_.node_hours(horizon) / held;
 }
 
 std::int64_t HtcServer::completed_jobs(SimTime horizon) const {

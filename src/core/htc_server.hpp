@@ -11,6 +11,8 @@
 //    top of this engine and shortens the scan interval to three seconds.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -19,6 +21,8 @@
 
 #include "cluster/billing.hpp"
 #include "cluster/usage_recorder.hpp"
+#include "core/fault/fault_target.hpp"
+#include "core/fault/recovery.hpp"
 #include "core/policies.hpp"
 #include "core/provision_service.hpp"
 #include "sched/scheduler.hpp"
@@ -26,7 +30,7 @@
 
 namespace dc::core {
 
-class HtcServer {
+class HtcServer : public fault::FaultTarget {
  public:
   struct Config {
     std::string name = "htc";
@@ -47,6 +51,10 @@ class HtcServer {
     /// default (the paper's tables exclude setup from the hour-quantized
     /// results and report it separately in Figure 14).
     SimDuration setup_latency = 0;
+    /// What the server does about work killed by node failures (retry
+    /// budget, backoff, checkpoints, grant timeout). The defaults are the
+    /// legacy semantics: unlimited immediate retries from scratch.
+    fault::FaultRecoveryPolicy recovery;
   };
 
   HtcServer(sim::Simulator& simulator, ResourceProvisionService& provision,
@@ -77,17 +85,38 @@ class HtcServer {
     completion_callback_ = std::move(cb);
   }
 
-  /// Injects a crash of `count` of this TRE's nodes at the current time.
-  /// The resource provider replaces failed hardware transparently (EC2
-  /// semantics: the holding and its billing are unchanged, the swap is
-  /// counted as a node adjustment), but jobs running on failed nodes are
-  /// lost and re-queued from scratch. Idle nodes absorb failures first;
-  /// then the most recently started jobs die (they occupy the "newest"
-  /// nodes). Returns the number of jobs killed.
-  std::int64_t fail_nodes(std::int64_t count);
+  // --- FaultTarget ---------------------------------------------------------
+  // Failure lifecycle: fail_nodes takes capacity down (the holding and its
+  // billing are unchanged — the provider is swapping hardware while the
+  // consumer keeps paying), killing the most recently started jobs once the
+  // idle nodes are used up; repair_nodes brings capacity back and meters
+  // the transparent swap as node adjustments (reclaim + reinstall). Killed
+  // jobs recover per Config::recovery: re-queued after their backoff with
+  // checkpointed work salvaged, or reported kFailed once the retry budget
+  // is spent.
 
-  /// Jobs killed by node failures and re-queued.
+  const std::string& fault_name() const override { return config_.name; }
+  std::int64_t healthy_nodes() const override {
+    return started_ && !shutdown_ ? owned_ - down_ : 0;
+  }
+  /// Injects a crash of `count` nodes at the current time. Idle nodes
+  /// absorb failures first; then the most recently started jobs die (they
+  /// occupy the "newest" nodes). Returns the number of jobs killed.
+  std::int64_t fail_nodes(std::int64_t count) override;
+  /// Brings `count` previously failed nodes back, metering the hardware
+  /// swap at the provision service. Clamped to the current down count.
+  void repair_nodes(std::int64_t count) override;
+
+  /// Jobs killed by node failures (each kill is one retry attempt).
   std::int64_t job_retries() const { return job_retries_; }
+  /// Jobs whose retry budget was exhausted — reported failed, not
+  /// re-queued.
+  std::int64_t jobs_failed() const { return jobs_failed_; }
+  /// Waiting dynamic grants cancelled and re-requested after starving past
+  /// the recovery policy's grant_timeout.
+  std::int64_t grant_timeouts() const { return grant_timeouts_; }
+  /// Nodes currently failed and awaiting repair.
+  std::int64_t down() const { return down_; }
 
   /// Invoked whenever the server becomes drained (empty queue, nothing
   /// running) after having run at least one job.
@@ -103,13 +132,20 @@ class HtcServer {
 
   std::int64_t owned() const { return owned_; }
   std::int64_t busy() const { return busy_; }
-  std::int64_t idle() const { return owned_ - busy_; }
+  /// Healthy nodes not running anything (down nodes are not idle).
+  std::int64_t idle() const {
+    return std::max<std::int64_t>(0, owned_ - down_ - busy_);
+  }
   /// Nodes currently undergoing setup (not yet dispatchable).
   std::int64_t in_setup() const { return in_setup_; }
   /// Idle nodes the scheduler may actually use right now.
-  std::int64_t dispatchable_idle() const { return owned_ - in_setup_ - busy_; }
+  std::int64_t dispatchable_idle() const {
+    return std::max<std::int64_t>(0, owned_ - down_ - in_setup_ - busy_);
+  }
   std::size_t queue_length() const { return queue_.size(); }
-  bool drained() const { return queue_.empty() && busy_ == 0; }
+  bool drained() const {
+    return queue_.empty() && busy_ == 0 && pending_retries_ == 0;
+  }
 
   /// Accumulated resource demand of queued jobs (the numerator of the
   /// "ratio of obtaining resources").
@@ -129,6 +165,21 @@ class HtcServer {
 
   const cluster::LeaseLedger& ledger() const { return ledger_; }
   const cluster::UsageRecorder& held_usage() const { return held_; }
+  /// Step function of failed-and-unrepaired nodes over time.
+  const cluster::UsageRecorder& down_usage() const { return down_usage_; }
+
+  // --- availability metrics ------------------------------------------------
+  /// Useful node*hours delivered: width x runtime of every job completed
+  /// within the horizon (re-run work is excluded by construction).
+  double goodput_node_hours(SimTime horizon) const;
+  /// Node*hours of execution thrown away by kills (progress past the last
+  /// checkpoint, plus salvaged work of jobs that ultimately failed).
+  double wasted_node_hours() const {
+    return static_cast<double>(wasted_node_seconds_) / 3600.0;
+  }
+  /// Fraction of held node*hours that were healthy over [0, horizon]:
+  /// 1 - down / held. 1.0 for a server that never held anything.
+  double availability(SimTime horizon) const;
 
   std::int64_t dynamic_grants() const { return dynamic_grants_; }
   std::int64_t rejected_grants() const { return rejected_grants_; }
@@ -151,6 +202,10 @@ class HtcServer {
   /// Runs the scheduler over the queue and starts the selected jobs.
   void dispatch();
   void on_job_complete(sched::JobId id);
+  /// Kills a running job (node failure) and routes it through the recovery
+  /// policy: re-queue after backoff with checkpointed work salvaged, or
+  /// mark kFailed once the retry budget is spent.
+  void kill_job(SimTime now, sched::JobId id);
   /// Periodic policy evaluation (Section 3.2.2.1 rules).
   void scan(SimTime now);
   /// Requests `amount` dynamic nodes; on success opens a lease and arms the
@@ -171,6 +226,9 @@ class HtcServer {
   std::int64_t owned_ = 0;
   std::int64_t busy_ = 0;
   std::int64_t in_setup_ = 0;
+  /// Failed nodes awaiting repair; always <= owned_, and busy_ never
+  /// exceeds owned_ - down_ (fail_nodes kills jobs to restore it).
+  std::int64_t down_ = 0;
 
   std::vector<sched::Job> jobs_;  // indexed by JobId
   sched::JobQueue queue_;
@@ -202,9 +260,18 @@ class HtcServer {
   std::int64_t rejected_grants_ = 0;
   std::int64_t dropped_jobs_ = 0;
   std::int64_t job_retries_ = 0;
+  std::int64_t jobs_failed_ = 0;
+  std::int64_t grant_timeouts_ = 0;
+  /// Killed jobs waiting out their retry backoff (kPending, not queued);
+  /// keeps drained() honest while a retry is pending.
+  std::int64_t pending_retries_ = 0;
+  std::int64_t wasted_node_seconds_ = 0;
+  cluster::UsageRecorder down_usage_;
   /// A dynamic request is waiting in the provider's priority queue; the
   /// scan must not pile up more requests meanwhile.
   bool waiting_grant_ = false;
+  /// Distinguishes the current wait from stale grant-timeout events.
+  std::uint64_t waiting_epoch_ = 0;
 
   std::function<void(const sched::Job&)> completion_callback_;
   std::function<void(SimTime)> drained_callback_;

@@ -110,6 +110,10 @@ class MtcServer : public HtcServer {
     int priority = 0;
     /// See HtcServer::Config::setup_latency.
     SimDuration setup_latency = 0;
+    /// See HtcServer::Config::recovery. A workflow with a kFailed task
+    /// never completes (its dependents stay pending), so an exhausted
+    /// retry budget surfaces as an unfinished, failed campaign.
+    fault::FaultRecoveryPolicy recovery;
   };
 
  private:
@@ -122,6 +126,7 @@ class MtcServer : public HtcServer {
     base.scheduler = config.scheduler;
     base.priority = config.priority;
     base.setup_latency = config.setup_latency;
+    base.recovery = config.recovery;
     return base;
   }
 

@@ -94,6 +94,18 @@ void ResourceProvisionService::drain_waiting(SimTime now) {
   draining_ = false;
 }
 
+std::size_t ResourceProvisionService::cancel_waiting(ConsumerId consumer) {
+  assert(consumer < consumers_.size());
+  assert(!draining_ && "cancel_waiting from inside a grant callback");
+  const std::size_t before = waiting_.size();
+  waiting_.erase(std::remove_if(waiting_.begin(), waiting_.end(),
+                                [consumer](const WaitingRequest& request) {
+                                  return request.consumer == consumer;
+                                }),
+                 waiting_.end());
+  return before - waiting_.size();
+}
+
 void ResourceProvisionService::release(SimTime now, ConsumerId consumer,
                                        std::int64_t nodes) {
   assert(consumer < consumers_.size());

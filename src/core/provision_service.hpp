@@ -60,6 +60,13 @@ class ResourceProvisionService {
   /// Requests currently waiting in the provider's queue.
   std::size_t waiting_requests() const { return waiting_.size(); }
 
+  /// Withdraws every waiting request of `consumer` (the fault-recovery
+  /// grant-timeout path: a starved request_or_wait is cancelled and
+  /// re-issued, resetting its queue position). The dropped callbacks never
+  /// fire. Returns the number of requests removed. Must not be called from
+  /// inside a grant callback (the queue is being drained there).
+  std::size_t cancel_waiting(ConsumerId consumer);
+
   /// Meters a transparent hardware swap (node failure replaced in place):
   /// the consumer's holding and the pool are unchanged, but the swap costs
   /// setup work on both the reclaimed and the replacement node.

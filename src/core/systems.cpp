@@ -103,8 +103,27 @@ ProviderResult make_result_from_server(const HtcServer& server,
     result.max_wait_seconds = std::max(result.max_wait_seconds, job.wait_time());
   }
   if (started > 0) result.mean_wait_seconds = wait_sum / static_cast<double>(started);
+  result.jobs_killed = server.job_retries();
+  result.jobs_failed = server.jobs_failed();
+  result.grant_timeouts = server.grant_timeouts();
+  result.goodput_node_hours = server.goodput_node_hours(horizon);
+  result.wasted_node_hours = server.wasted_node_hours();
+  result.availability = server.availability(horizon);
   return result;
 }
+
+/// Held-node-hour-weighted availability across providers.
+struct AvailabilityAccumulator {
+  double held_nh = 0.0;
+  double down_nh = 0.0;
+  void add(double held, double availability) {
+    held_nh += held;
+    down_nh += held * (1.0 - availability);
+  }
+  double value() const {
+    return held_nh <= 0.0 ? 1.0 : 1.0 - down_nh / held_nh;
+  }
+};
 
 /// Shared implementation for DCS, SSP and DawningCloud, which differ in
 /// (a) whether servers are fixed-size or elastic and (b) whether TREs are
@@ -149,6 +168,7 @@ SystemResult run_server_based(SystemModel model,
     config.scheduler = htc_sched;
     config.priority = spec.priority;
     config.setup_latency = options.setup_latency;
+    config.recovery = options.recovery;
     if (elastic) {
       config.policy = spec.policy;
     } else {
@@ -183,6 +203,7 @@ SystemResult run_server_based(SystemModel model,
     config.destroy_when_complete = true;
     config.priority = spec.priority;
     config.setup_latency = options.setup_latency;
+    config.recovery = options.recovery;
     if (elastic) {
       config.policy = spec.policy;
     } else {
@@ -216,6 +237,16 @@ SystemResult run_server_based(SystemModel model,
     }
   }
 
+  std::optional<fault::FaultDomain> injector;
+  if (options.faults) {
+    injector.emplace(sim, *options.faults);
+    for (auto& server : htc_servers) injector->watch(server.get());
+    for (auto& server : mtc_servers) injector->watch(server.get());
+    // Scheduled after every server-start event at t=0, so the victim
+    // weights see the initial holdings from the first draw.
+    sim.schedule_at(0, [&injector, horizon] { injector->start(horizon); });
+  }
+
   sim.run_until(horizon);
   for (auto& server : htc_servers) server->shutdown();
   for (auto& server : mtc_servers) server->shutdown();
@@ -236,6 +267,25 @@ SystemResult run_server_based(SystemModel model,
   }
   for (const ProviderResult& provider : result.providers) {
     result.total_consumption_node_hours += provider.consumption_node_hours;
+    result.jobs_killed += provider.jobs_killed;
+    result.jobs_failed += provider.jobs_failed;
+    result.goodput_node_hours += provider.goodput_node_hours;
+    result.wasted_node_hours += provider.wasted_node_hours;
+  }
+  AvailabilityAccumulator aggregate;
+  for (auto& server : htc_servers) {
+    aggregate.add(server->held_usage().node_hours(horizon),
+                  server->availability(horizon));
+  }
+  for (auto& server : mtc_servers) {
+    aggregate.add(server->held_usage().node_hours(horizon),
+                  server->availability(horizon));
+  }
+  result.availability = aggregate.value();
+  if (injector) {
+    result.failure_events = injector->failure_events();
+    result.nodes_failed = injector->nodes_failed();
+    result.nodes_repaired = injector->nodes_repaired();
   }
   result.peak_nodes = provision.usage().peak();
   result.adjusted_nodes = provision.adjustments().total_adjusted_nodes();
@@ -266,6 +316,7 @@ SystemResult run_drp(const ConsolidationWorkload& workload,
     types.push_back(WorkloadType::kHtc);
     DrpRunner* runner = runners.back().get();
     runner->set_setup_latency(options.setup_latency);
+    runner->set_recovery(options.recovery);
     emulator.emulate_trace(spec.trace, [runner](const workload::TraceJob& job) {
       runner->submit_job(job.runtime, job.nodes);
     });
@@ -275,9 +326,17 @@ SystemResult run_drp(const ConsolidationWorkload& workload,
     types.push_back(WorkloadType::kMtc);
     DrpRunner* runner = runners.back().get();
     runner->set_setup_latency(options.setup_latency);
+    runner->set_recovery(options.recovery);
     const workflow::Dag* dag = &spec.dag;
     emulator.emulate_at(spec.submit_time,
                         [runner, dag] { runner->submit_workflow(*dag); });
+  }
+
+  std::optional<fault::FaultDomain> injector;
+  if (options.faults) {
+    injector.emplace(sim, *options.faults);
+    for (auto& runner : runners) injector->watch(runner.get());
+    sim.schedule_at(0, [&injector, horizon] { injector->start(horizon); });
   }
 
   sim.run_until(horizon);
@@ -301,8 +360,25 @@ SystemResult run_drp(const ConsolidationWorkload& workload,
     if (types[i] == WorkloadType::kMtc) {
       provider.tasks_per_second = runner.tasks_per_second(horizon);
     }
+    provider.jobs_killed = runner.jobs_killed();
+    provider.jobs_failed = runner.jobs_failed();
+    provider.goodput_node_hours = runner.goodput_node_hours(horizon);
+    provider.wasted_node_hours = runner.wasted_node_hours();
+    // A failed VM's lease ends at the failure instant: the DRP user never
+    // holds broken capacity, so availability is 1 by construction — the
+    // failures show up as wasted re-run hours instead.
+    provider.availability = 1.0;
     result.total_consumption_node_hours += provider.consumption_node_hours;
+    result.jobs_killed += provider.jobs_killed;
+    result.jobs_failed += provider.jobs_failed;
+    result.goodput_node_hours += provider.goodput_node_hours;
+    result.wasted_node_hours += provider.wasted_node_hours;
     result.providers.push_back(std::move(provider));
+  }
+  if (injector) {
+    result.failure_events = injector->failure_events();
+    result.nodes_failed = injector->nodes_failed();
+    result.nodes_repaired = injector->nodes_repaired();
   }
   result.peak_nodes = provision.usage().peak();
   result.adjusted_nodes = provision.adjustments().total_adjusted_nodes();

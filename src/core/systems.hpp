@@ -18,9 +18,12 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "core/fault/fault_domain.hpp"
+#include "core/fault/recovery.hpp"
 #include "core/lifecycle.hpp"
 #include "core/policies.hpp"
 #include "util/time.hpp"
@@ -97,6 +100,17 @@ struct ProviderResult {
   /// the queue-based systems trade wait time for consumption.
   double mean_wait_seconds = 0.0;
   SimDuration max_wait_seconds = 0;
+
+  // Fault-tolerance metrics (all zero/1.0 when fault injection is off).
+  std::int64_t jobs_killed = 0;      // attempts killed by node failures
+  std::int64_t jobs_failed = 0;      // retry budget exhausted
+  std::int64_t grant_timeouts = 0;   // starved waits withdrawn and reissued
+  double goodput_node_hours = 0.0;   // useful work delivered (completions)
+  double wasted_node_hours = 0.0;    // re-run / abandoned execution
+  /// Healthy fraction of the provider's held node*hours. DRP is 1.0 by
+  /// construction: a failed VM's lease ends at the failure instant, so the
+  /// user never holds broken capacity (they pay in re-runs instead).
+  double availability = 1.0;
 };
 
 /// Platform-level outcome (the paper's Figures 12-14).
@@ -114,6 +128,17 @@ struct SystemResult {
   std::uint64_t simulated_events = 0;
   /// Max concurrent platform usage per hour — the Figure 13 series.
   std::vector<std::int64_t> hourly_peak_series;
+
+  // Fault-injection outcome (zero/1.0 when RunOptions::faults is unset).
+  std::int64_t failure_events = 0;
+  std::int64_t nodes_failed = 0;
+  std::int64_t nodes_repaired = 0;
+  std::int64_t jobs_killed = 0;
+  std::int64_t jobs_failed = 0;
+  double goodput_node_hours = 0.0;
+  double wasted_node_hours = 0.0;
+  /// Held-node-hour-weighted availability across providers.
+  double availability = 1.0;
 
   const ProviderResult& provider(const std::string& name) const;
 };
@@ -149,6 +174,16 @@ struct RunOptions {
   /// with a bounded platform_capacity.
   ProvisionPolicy::ContentionMode contention =
       ProvisionPolicy::ContentionMode::kReject;
+  /// Fault injection: when set, one seeded failure domain watches every
+  /// provider of the system under test (servers in DCS/SSP/DawningCloud,
+  /// per-organization runners in DRP) over the whole horizon. The same
+  /// config — same seed — drives all four systems, so availability results
+  /// are comparable across usage models.
+  std::optional<fault::FaultDomain::Config> faults;
+  /// Recovery policy (retry budget, backoff, checkpoints, grant timeout)
+  /// applied to every provider. Defaults reproduce the legacy semantics:
+  /// unlimited immediate retries from scratch.
+  fault::FaultRecoveryPolicy recovery;
 };
 
 /// Runs one system over the workload. Deterministic.

@@ -113,6 +113,29 @@ std::string format_overhead_report(const std::vector<SystemResult>& systems) {
       "15.743 s setup per adjusted node");
 }
 
+std::string format_availability_report(
+    const std::vector<SystemResult>& systems) {
+  TextTable table({"system", "failures (events/nodes)", "repaired nodes",
+                   "killed", "failed", "goodput (node*hour)",
+                   "wasted (node*hour)", "availability"});
+  for (const SystemResult& system : systems) {
+    table.cell(system_model_name(system.model))
+        .cell(str_format("%lld / %lld",
+                         static_cast<long long>(system.failure_events),
+                         static_cast<long long>(system.nodes_failed)))
+        .cell(system.nodes_repaired)
+        .cell(system.jobs_killed)
+        .cell(system.jobs_failed)
+        .cell(system.goodput_node_hours, 1)
+        .cell(system.wasted_node_hours, 1)
+        .cell(str_format("%.4f%%", 100.0 * system.availability));
+    table.end_row();
+  }
+  return table.render(
+      "Fault-injection outcome: failure/repair volume, killed and "
+      "budget-exhausted work, goodput vs wasted node*hours, availability");
+}
+
 std::string format_model_comparison_table() {
   TextTable table({"", "DCS", "SSP", "DRP", "DSP"});
   const SystemModel order[] = {SystemModel::kDcs, SystemModel::kSsp,
@@ -136,7 +159,9 @@ void write_results_csv(CsvWriter& csv,
   csv.header({"system", "provider", "type", "submitted", "completed",
               "tasks_per_second", "consumption_node_hours", "exact_node_hours",
               "provider_peak_nodes", "makespan_seconds", "mean_wait_seconds",
-              "max_wait_seconds", "platform_total_node_hours",
+              "max_wait_seconds", "jobs_killed", "jobs_failed",
+              "grant_timeouts", "goodput_node_hours", "wasted_node_hours",
+              "availability", "platform_total_node_hours",
               "platform_peak_nodes", "adjusted_nodes", "overhead_seconds"});
   for (const SystemResult& system : systems) {
     for (const core::ProviderResult& p : system.providers) {
@@ -152,6 +177,12 @@ void write_results_csv(CsvWriter& csv,
           .cell(p.makespan)
           .cell(p.mean_wait_seconds, 1)
           .cell(p.max_wait_seconds)
+          .cell(p.jobs_killed)
+          .cell(p.jobs_failed)
+          .cell(p.grant_timeouts)
+          .cell(p.goodput_node_hours, 2)
+          .cell(p.wasted_node_hours, 2)
+          .cell(p.availability, 6)
           .cell(system.total_consumption_node_hours)
           .cell(system.peak_nodes)
           .cell(system.adjusted_nodes)

@@ -43,6 +43,13 @@ std::string format_resource_provider_report(
 std::string format_overhead_report(
     const std::vector<core::SystemResult>& systems);
 
+/// Renders the fault-injection outcome per system: failure/repair volume,
+/// kills, exhausted retry budgets, goodput vs wasted re-run node*hours and
+/// the held-weighted availability. Meaningful when the systems ran with
+/// RunOptions::faults set; without injection every row is zeros / 100%.
+std::string format_availability_report(
+    const std::vector<core::SystemResult>& systems);
+
 /// Renders the paper's Table 1 (usage-model traits).
 std::string format_model_comparison_table();
 

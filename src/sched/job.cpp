@@ -10,6 +10,7 @@ const char* job_state_name(JobState state) {
     case JobState::kQueued: return "queued";
     case JobState::kRunning: return "running";
     case JobState::kCompleted: return "completed";
+    case JobState::kFailed: return "failed";
   }
   return "?";
 }

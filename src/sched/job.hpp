@@ -16,10 +16,12 @@ namespace dc::sched {
 using JobId = std::int64_t;
 
 enum class JobState {
-  kPending,    // known but not yet released (MTC: dependencies unmet)
+  kPending,    // known but not yet released (MTC: dependencies unmet,
+               // or a killed job waiting out its retry backoff)
   kQueued,     // in the scheduler queue
   kRunning,
   kCompleted,
+  kFailed,     // killed by a node failure with its retry budget exhausted
 };
 
 const char* job_state_name(JobState state);
@@ -35,8 +37,16 @@ struct Job {
   JobState state = JobState::kPending;
   SimTime start = kNever;
   SimTime finish = kNever;
+  /// Times this job was killed by a node failure and retried.
+  std::int32_t retries = 0;
+  /// Work salvaged by the checkpoint model: when the job next runs it
+  /// executes only `runtime - completed_work` (zero without checkpointing —
+  /// a killed job restarts from scratch).
+  SimDuration completed_work = 0;
 
-  SimTime expected_end() const { return start == kNever ? kNever : start + runtime; }
+  SimTime expected_end() const {
+    return start == kNever ? kNever : start + runtime - completed_work;
+  }
   SimDuration wait_time() const { return start == kNever ? 0 : start - submit; }
 };
 

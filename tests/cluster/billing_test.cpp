@@ -29,6 +29,20 @@ TEST(LeaseLedger, CloseFixesTheEnd) {
   EXPECT_EQ(ledger.billed_node_hours(100 * kHour), 10);
 }
 
+TEST(LeaseLedger, AmendEndShortensClosedLease) {
+  LeaseLedger ledger;
+  // A DRP job lease is pre-closed at its planned end; a VM failure amends
+  // it down to the failure instant.
+  const LeaseId id = ledger.open(0, 4, "job");
+  ledger.close(id, 3 * kHour);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 12);
+  ledger.amend_end(id, 90 * kMinute);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 8);  // 1.5h rounds up to 2
+  EXPECT_DOUBLE_EQ(ledger.exact_node_hours(kDay), 6.0);
+  ledger.amend_end(id, 0);  // down to a zero-length (unbilled) lease
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 0);
+}
+
 TEST(LeaseLedger, ZeroDurationLeaseBillsNothing) {
   LeaseLedger ledger;
   ledger.record(10, 10, 100, "instant");

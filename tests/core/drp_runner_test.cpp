@@ -111,5 +111,59 @@ TEST_F(DrpRunnerTest, TasksPerSecond) {
               1000.0 / static_cast<double>(dag.critical_path()), 1e-9);
 }
 
+TEST_F(DrpRunnerTest, FailureAmendsLeaseAndRetries) {
+  DrpRunner runner(sim_, provision_, "org");
+  sim_.schedule_at(0, [&] { runner.submit_job(90 * kMinute, 4); });
+  sim_.schedule_at(30 * kMinute, [&] {
+    EXPECT_EQ(runner.fail_nodes(4), 1)
+        << "all four VMs die, killing the one job";
+  });
+  sim_.run();
+  // The original lease was pre-closed at the planned end (90 min); the
+  // failure amends it down to 30 min (1 billed hour), and the immediate
+  // retry leases 4 fresh VMs for the full 90 min (2 billed hours).
+  EXPECT_EQ(runner.jobs_killed(), 1);
+  EXPECT_EQ(runner.completed_jobs(), 1);
+  EXPECT_EQ(runner.last_finish(), 2 * kHour);
+  EXPECT_EQ(runner.ledger().billed_node_hours(kDay), 4 * 1 + 4 * 2);
+  EXPECT_NEAR(runner.wasted_node_hours(), 2.0, 1e-9) << "30 min x 4 nodes";
+  EXPECT_EQ(provision_.allocated(), 0);
+  EXPECT_EQ(runner.held_usage().current(), 0);
+}
+
+TEST_F(DrpRunnerTest, RetryBudgetExhaustionFailsTheJob) {
+  DrpRunner runner(sim_, provision_, "org");
+  fault::FaultRecoveryPolicy recovery;
+  recovery.max_retries = 0;
+  runner.set_recovery(recovery);
+  sim_.schedule_at(0, [&] { runner.submit_job(kHour, 2); });
+  sim_.schedule_at(10 * kMinute, [&] { runner.fail_nodes(2); });
+  sim_.run();
+  EXPECT_EQ(runner.jobs_killed(), 1);
+  EXPECT_EQ(runner.jobs_failed(), 1);
+  EXPECT_EQ(runner.completed_jobs(), 0);
+  EXPECT_EQ(provision_.allocated(), 0) << "the failed job's VMs are returned";
+}
+
+TEST_F(DrpRunnerTest, WorkflowTaskRetryCompletesTheDag) {
+  workflow::Dag dag;
+  dag.add_task("a", 600);
+  dag.add_task("b", 600);
+  dag.add_task("c", 600);
+  dag.add_dependency(0, 1);
+  dag.add_dependency(1, 2);
+  DrpRunner runner(sim_, provision_, "org");
+  sim_.schedule_at(0, [&] { runner.submit_workflow(dag); });
+  // Kill task b's VM 300 s into its run; the replacement VM re-runs it from
+  // scratch and the tail of the chain shifts by the lost progress.
+  sim_.schedule_at(900, [&] { EXPECT_EQ(runner.fail_nodes(1), 1); });
+  sim_.run();
+  EXPECT_EQ(runner.jobs_killed(), 1);
+  EXPECT_EQ(runner.completed_jobs(), 3);
+  EXPECT_EQ(runner.makespan(kDay), 1800 + 300);
+  EXPECT_EQ(provision_.allocated(), 0);
+  EXPECT_EQ(runner.held_usage().current(), 0) << "pool accounting survives";
+}
+
 }  // namespace
 }  // namespace dc::core

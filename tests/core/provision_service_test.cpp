@@ -113,6 +113,26 @@ TEST(ProvisionService, WaitingQueueHonorsPriorityStrictly) {
   EXPECT_EQ(grant_order, (std::vector<std::string>{"high", "low"}));
 }
 
+TEST(ProvisionService, CancelWaitingRemovesQueuedRequests) {
+  ProvisionPolicy policy;
+  policy.contention = ProvisionPolicy::ContentionMode::kQueueByPriority;
+  ResourceProvisionService service(cluster::ResourcePool(10), policy);
+  const auto holder = service.register_consumer("holder");
+  const auto waiter = service.register_consumer("waiter");
+  ASSERT_TRUE(service.request(0, holder, 10));
+
+  bool granted = false;
+  EXPECT_FALSE(service.request_or_wait(1, waiter, 5,
+                                       [&](SimTime) { granted = true; }));
+  EXPECT_EQ(service.waiting_requests(), 1u);
+  EXPECT_EQ(service.cancel_waiting(waiter), 1u);
+  EXPECT_EQ(service.waiting_requests(), 0u);
+  // A withdrawn request must never be granted later.
+  service.release(10, holder, 10);
+  EXPECT_FALSE(granted);
+  EXPECT_EQ(service.cancel_waiting(waiter), 0u) << "nothing left to cancel";
+}
+
 TEST(ProvisionService, RejectModeNeverQueues) {
   ResourceProvisionService service(cluster::ResourcePool(4));
   const auto a = service.register_consumer("a");

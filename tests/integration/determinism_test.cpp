@@ -14,10 +14,13 @@
 
 #include <gtest/gtest.h>
 
+#include "core/fault/fault_domain.hpp"
 #include "core/htc_server.hpp"
+#include "core/mtc_server.hpp"
 #include "core/systems.hpp"
 #include "cost/invoice.hpp"
 #include "metrics/report.hpp"
+#include "sched/fcfs.hpp"
 #include "sched/first_fit.hpp"
 #include "sim/simulator.hpp"
 #include "util/csv.hpp"
@@ -178,6 +181,117 @@ TEST(Determinism, SameSeedSameResultAcrossThreadCounts) {
   EXPECT_EQ(single.csv, pooled.csv);
   EXPECT_EQ(single.invoices, pooled.invoices);
   EXPECT_EQ(single.digest, pooled.digest);
+}
+
+// A Montage campaign on a fixed MTC server with a seeded failure domain
+// injecting through the full failure -> repair lifecycle, rendered to a
+// stable metrics line. Runs inside parallel regions, so any hidden global
+// state in the fault subsystem would show up as cross-thread divergence.
+std::string faulted_mtc_artifact(std::size_t variant) {
+  sim::Simulator sim;
+  core::ResourceProvisionService provision{cluster::ResourcePool::unbounded()};
+  sched::FcfsScheduler fcfs;
+  core::MtcServer::MtcConfig config;
+  config.name = "wf-" + std::to_string(variant);
+  config.fixed_nodes = 166;
+  config.scheduler = &fcfs;
+  core::MtcServer server(sim, provision, std::move(config));
+  sim.schedule_at(0, [&] {
+    server.start();
+    server.submit_workflow(
+        workflow::make_paper_montage(/*seed=*/7 + variant));
+  });
+  // The campaign is short (~380 s on 166 nodes, and the TRE destroys itself
+  // at completion), so inject aggressively enough to overlap it.
+  core::fault::FaultDomain::Config faults;
+  faults.mean_time_between_failures = kMinute;
+  faults.mean_time_to_repair = 2 * kMinute;
+  faults.seed = 1337 + variant;
+  core::fault::FaultDomain domain(sim, faults);
+  domain.watch(&server);
+  sim.schedule_at(1, [&] { domain.start(5 * kMinute); });
+  sim.run_until(kDay);
+  EXPECT_GT(domain.failure_events(), 0) << "the scenario must exercise faults";
+  EXPECT_TRUE(server.all_workflows_complete());
+  std::ostringstream out;
+  out << config.name << " tasks=" << server.completed_tasks()
+      << " retries=" << server.job_retries()
+      << " failures=" << domain.failure_events()
+      << " nodes_failed=" << domain.nodes_failed()
+      << " nodes_repaired=" << domain.nodes_repaired()
+      << " finish=" << server.last_finish() << " avail_ppb="
+      << static_cast<std::int64_t>(server.availability(kDay) * 1e9) << "\n";
+  return out.str();
+}
+
+TEST(Determinism, FaultedMtcRunsAreByteIdenticalAcrossThreadCounts) {
+  const char* saved = std::getenv("DC_THREADS");
+  const std::string saved_value = saved == nullptr ? "" : saved;
+  auto run_all = [](const char* threads) {
+    setenv("DC_THREADS", threads, 1);
+    const std::vector<std::string> parts = parallel_map_index<std::string>(
+        4, [](std::size_t i) { return faulted_mtc_artifact(i); });
+    std::string all;
+    for (const std::string& part : parts) all += part;
+    return all;
+  };
+  const std::string single = run_all("1");
+  const std::string pooled = run_all("4");
+  if (saved == nullptr) {
+    unsetenv("DC_THREADS");
+  } else {
+    setenv("DC_THREADS", saved_value.c_str(), 1);
+  }
+  EXPECT_EQ(single, pooled);
+  EXPECT_EQ(fnv1a(single), fnv1a(pooled));
+}
+
+TEST(Determinism, MtcTaskFailureReplaysOnlyTheAffectedSubtree) {
+  struct Outcome {
+    std::int64_t submitted;
+    std::int64_t completed;
+    std::int64_t retries;
+    SimTime finish;
+  };
+  auto run = [](bool inject) -> Outcome {
+    sim::Simulator sim;
+    core::ResourceProvisionService provision{
+        cluster::ResourcePool::unbounded()};
+    sched::FcfsScheduler fcfs;
+    core::MtcServer::MtcConfig config;
+    config.name = "wf";
+    config.fixed_nodes = 166;
+    config.scheduler = &fcfs;
+    core::MtcServer server(sim, provision, std::move(config));
+    sim.schedule_at(0, [&] {
+      server.start();
+      server.submit_workflow(workflow::make_paper_montage());
+    });
+    if (inject) {
+      // Soak up the idle nodes, then take exactly one busy node down: one
+      // running task dies and is transparently replaced.
+      sim.schedule_at(60, [&] {
+        const std::int64_t count = server.idle() + 1;
+        EXPECT_EQ(server.fail_nodes(count), 1);
+        server.repair_nodes(count);
+      });
+    }
+    sim.run_until(kDay);
+    EXPECT_TRUE(server.all_workflows_complete());
+    return Outcome{server.submitted_jobs(), server.completed_tasks(),
+                   server.job_retries(), server.last_finish()};
+  };
+  const Outcome baseline = run(false);
+  const Outcome faulted = run(true);
+  EXPECT_EQ(baseline.completed, 1000);
+  EXPECT_EQ(faulted.completed, 1000);
+  // Only the killed task replays: its descendants were merely delayed (their
+  // dependencies had not released them yet), so no cascade of re-submission
+  // and exactly one retry.
+  EXPECT_EQ(faulted.retries, 1);
+  EXPECT_EQ(faulted.submitted, baseline.submitted)
+      << "a retry re-queues the same job, it does not mint new ones";
+  EXPECT_GE(faulted.finish, baseline.finish);
 }
 
 TEST(Determinism, RepeatedRunIsStableWithinProcess) {

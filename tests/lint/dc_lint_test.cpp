@@ -45,6 +45,30 @@ TEST(DcLintR1, FlagsWallClockAndAmbientRng) {
   EXPECT_EQ(result.waived, 1);  // the NOLINT'd random_device
 }
 
+TEST(DcLintR1, FaultInjectionCodeMustUseSeededRng) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r1_fault_injection.cpp",
+                           fixture("r1_fault_injection.cpp"));
+  expect_all_rule(result, "dc-r1", "error");
+  EXPECT_EQ(lines_of(result), (std::vector<int>{10, 14, 18, 21}));
+  EXPECT_EQ(result.waived, 1);  // the documented seed construction site
+}
+
+TEST(DcLintR1, RealFaultSubsystemIsClean) {
+  // The shipped failure domain must itself satisfy the rule the fixture
+  // demonstrates: every draw comes from the seeded util/rng.
+  const std::string path =
+      std::string(DC_LINT_FIXTURE_DIR) + "/../../../src/core/fault/fault_domain.cpp";
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing source: " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto result =
+      dc_lint::lint_source("src/core/fault/fault_domain.cpp", buf.str());
+  EXPECT_TRUE(result.diagnostics.empty())
+      << dc_lint::to_human(result.diagnostics);
+}
+
 TEST(DcLintR2, FlagsUnorderedIterationIncludingAliases) {
   const auto result =
       dc_lint::lint_source("tests/lint/fixtures/r2_unordered_iteration.cpp",

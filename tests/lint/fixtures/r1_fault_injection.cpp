@@ -1,0 +1,40 @@
+// Fixture: dc-r1 in fault-injection code — failure gaps, victim picks and
+// repair delays must come from the seeded util/rng, never ambient entropy
+// or the wall clock. Expected: 4 diagnostics (lines 10, 14, 18, 21),
+// 1 waived (line 25).
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+long next_failure_gap_bad() {
+  return time(nullptr) % 3600;  // violation: wall-clock failure schedule
+}
+int victim_index_bad(int targets) {
+  // Violation: the global C RNG picks the victim.
+  return rand() % targets;
+}
+long repair_delay_bad() {
+  // Violation: wall-clock repair deadline.
+  auto at = std::chrono::system_clock::now();
+  (void)at;
+  // Violation: ambient entropy decides the MTTR jitter.
+  std::random_device entropy;
+  return static_cast<long>(entropy());
+}
+// Waived: the documented seed construction site for an experiment config.
+unsigned long domain_seed() { std::random_device d; return d(); }  // NOLINT(dc-r1)
+
+struct Rng {
+  explicit Rng(unsigned long seed) : state(seed) {}
+  unsigned long state;
+  double exponential(double mean);
+  long uniform_int(long lo, long hi);
+};
+// Clean: the failure domain draws its gap, victim, and repair delay from
+// the seeded dc::Rng, exactly like src/core/fault/fault_domain.cpp.
+long next_failure_gap_good(Rng& rng, double mttf) {
+  return static_cast<long>(rng.exponential(mttf));
+}
+long victim_index_good(Rng& rng, long targets) {
+  return rng.uniform_int(0, targets - 1);
+}

@@ -28,6 +28,14 @@ std::vector<SystemResult> fake_results() {
     result.peak_nodes = 100 + i;
     result.adjusted_nodes = 10 * i;
     result.overhead_seconds = 157.43 * i;
+    result.failure_events = 5;
+    result.nodes_failed = 12;
+    result.nodes_repaired = 12;
+    result.jobs_killed = 3 + i;
+    result.jobs_failed = i;
+    result.goodput_node_hours = 900.0;
+    result.wasted_node_hours = 12.5;
+    result.availability = 0.9987;
     results.push_back(result);
   }
   return results;
@@ -72,6 +80,17 @@ TEST(OverheadReport, ShowsAdjustments) {
   const std::string out = format_overhead_report(fake_results());
   EXPECT_NE(out.find("30"), std::string::npos);
   EXPECT_NE(out.find("15.743"), std::string::npos);
+}
+
+TEST(AvailabilityReport, ShowsLifecycleCountsAndAvailability) {
+  const std::string out = format_availability_report(fake_results());
+  EXPECT_NE(out.find("availability"), std::string::npos);
+  EXPECT_NE(out.find("5 / 12"), std::string::npos)
+      << "failure events / nodes failed";
+  EXPECT_NE(out.find("99.8700%"), std::string::npos);
+  EXPECT_NE(out.find("900.0"), std::string::npos) << "goodput node*hours";
+  EXPECT_NE(out.find("12.5"), std::string::npos) << "wasted node*hours";
+  EXPECT_NE(out.find("DawningCloud"), std::string::npos);
 }
 
 TEST(ModelComparisonTable, MatchesPaperTable1) {

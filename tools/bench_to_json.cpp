@@ -348,6 +348,26 @@ JsonPtr condense_report(const Json& report) {
     if (const Json* iters = bench->find("iterations")) {
       rec->set("iterations", Json::num_raw(iters->text));
     }
+    // Pass through numeric user counters (e.g. the availability ablation's
+    // goodput/wasted/availability fields) verbatim, skipping the structural
+    // fields gbench attaches to every record.
+    static const char* kStructural[] = {
+        "real_time",     "cpu_time",         "items_per_second",
+        "iterations",    "family_index",     "per_family_instance_index",
+        "repetitions",   "repetition_index", "threads"};
+    for (const auto& [key, value] : bench->members) {
+      if (value->kind != Json::Kind::kNumber) continue;
+      bool structural = false;
+      for (const char* field : kStructural) {
+        if (key == field) {
+          structural = true;
+          break;
+        }
+      }
+      if (!structural && rec->find(key) == nullptr) {
+        rec->set(key, Json::num_raw(value->text));
+      }
+    }
     runs->items.push_back(std::move(rec));
   }
   section->set("benchmarks", std::move(runs));
@@ -389,8 +409,8 @@ int main(int argc, char** argv) {
     }
   } else {
     out->set("_comment",
-             Json::str("Kernel microbenchmark baselines. Regenerate the "
-                       "\"current\" section with `make bench-kernel`."));
+             Json::str("Benchmark baselines. Regenerate the \"current\" "
+                       "section with the matching `make bench-*` target."));
   }
   out->set(label, std::move(section));
 
