@@ -12,6 +12,8 @@
 #include <string>
 #include <vector>
 
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace dc::cluster {
@@ -38,8 +40,11 @@ class LeaseLedger {
   void close(LeaseId id, SimTime end);
 
   /// Re-closes lease `id` at an earlier `end`: a killed DRP job's lease
-  /// ends at the failure instant instead of its planned completion. The
-  /// new end must not extend the lease.
+  /// ends at the failure instant instead of its planned completion. The new
+  /// end is clamped into [start, current end]: amending to (or before) the
+  /// start leaves a zero-length lease that bills zero hours, amending past
+  /// the current end never extends the lease, and a double amend is
+  /// monotonic (each amend can only shorten the lease further).
   void amend_end(LeaseId id, SimTime end);
 
   /// Records an already-complete lease (convenience for per-job billing).
@@ -58,6 +63,9 @@ class LeaseLedger {
 
   std::size_t lease_count() const { return leases_.size(); }
   const std::vector<Lease>& leases() const { return leases_; }
+
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
 
  private:
   std::vector<Lease> leases_;
@@ -96,6 +104,9 @@ class AdjustmentMeter {
     std::int64_t nodes;
   };
   const std::vector<Adjustment>& events() const { return events_; }
+
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
 
  private:
   double seconds_per_node_;

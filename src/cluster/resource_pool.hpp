@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "snapshot/format.hpp"
 #include "util/status.hpp"
 
 namespace dc::cluster {
@@ -48,6 +49,11 @@ class ResourcePool {
   /// Returns `count` nodes to the pool. It is a logic error to release more
   /// than allocated.
   void release(NodeCount count);
+
+  /// Capacity is construction-time configuration; only the allocation level
+  /// is state. Restore verifies the saved capacity against the rebuilt pool.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
 
  private:
   ResourcePool() = default;

@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace dc::cluster {
@@ -43,6 +45,11 @@ class UsageRecorder {
     std::int64_t level;
   };
   const std::vector<Breakpoint>& breakpoints() const { return breakpoints_; }
+
+  /// All derived metrics (node_hours, hourly series) are computed from the
+  /// breakpoints, so the full vector is saved and restored verbatim.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
 
  private:
   std::int64_t current_ = 0;

@@ -36,6 +36,8 @@
 #include "core/fault/recovery.hpp"
 #include "core/provision_service.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 #include "workflow/dag.hpp"
 
@@ -103,6 +105,13 @@ class DrpRunner : public fault::FaultTarget {
   SimDuration makespan(SimTime horizon) const;
   double tasks_per_second(SimTime horizon) const;
 
+  /// Serializes the workflow runs (DAGs included — submissions arrive via
+  /// already-fired events that a restore never replays), in-flight work,
+  /// leases, counters, and pending completion/retry events; restore()
+  /// re-arms them on a freshly constructed runner.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
  private:
   struct WorkflowRun {
     workflow::Dag dag;
@@ -144,6 +153,21 @@ class DrpRunner : public fault::FaultTarget {
   /// and routes it through the recovery policy.
   void kill_work(SimTime now, const ActiveWork& work);
 
+  /// Parameters of a retry attempt waiting out its backoff; doubles as the
+  /// append-only registry entry for the pending backoff event.
+  struct PendingRetry {
+    sim::EventId event = sim::kInvalidEvent;
+    bool is_task = false;
+    std::size_t run_index = 0;        // task retries
+    workflow::TaskId task = 0;        // task retries
+    SimDuration runtime = 0;          // job retries
+    std::int64_t nodes = 0;           // job retries
+    SimDuration salvaged = 0;
+    std::int32_t retries = 0;
+  };
+  sim::Simulator::Callback make_completion(std::int64_t work_id, bool is_task);
+  sim::Simulator::Callback make_retry(const PendingRetry& retry);
+
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;
   std::string name_;
@@ -171,6 +195,8 @@ class DrpRunner : public fault::FaultTarget {
   std::int64_t jobs_killed_ = 0;
   std::int64_t jobs_failed_ = 0;
   std::int64_t wasted_node_seconds_ = 0;
+  /// Already-fired entries are filtered through pending_event_info at save.
+  std::vector<PendingRetry> retry_events_;
 };
 
 }  // namespace dc::core

@@ -34,8 +34,21 @@ void FaultDomain::schedule_next(SimTime until) {
   }
   const auto gap = static_cast<SimDuration>(rng_.exponential(mean));
   const SimTime at = simulator_.now() + std::max<SimDuration>(1, gap);
-  if (at >= until) return;
-  simulator_.schedule_at(at, [this, until] { inject(until); });
+  if (at >= until) {
+    inject_event_ = sim::kInvalidEvent;
+    return;
+  }
+  inject_until_ = until;
+  inject_event_ = simulator_.schedule_at(at, [this, until] { inject(until); });
+}
+
+sim::Simulator::Callback FaultDomain::make_repair(std::size_t victim_index,
+                                                  std::int64_t failed) {
+  return [this, victim_index, failed] {
+    active_[victim_index]->repair_nodes(failed);
+    nodes_repaired_ += failed;
+    nodes_down_ -= failed;
+  };
 }
 
 void FaultDomain::inject(SimTime until) {
@@ -50,7 +63,8 @@ void FaultDomain::inject(SimTime until) {
   double total = 0.0;
   for (double w : weights) total += w;
   if (total > 0.0) {
-    FaultTarget* victim = active_[rng_.weighted_index(weights)];
+    const std::size_t victim_index = rng_.weighted_index(weights);
+    FaultTarget* victim = active_[victim_index];
     const std::int64_t nodes =
         rng_.uniform_int(config_.min_failed_nodes, config_.max_failed_nodes);
     const std::int64_t failed = std::min(nodes, victim->healthy_nodes());
@@ -69,14 +83,130 @@ void FaultDomain::inject(SimTime until) {
       nodes_down_ += failed;
       // Deliberately not bounded by `until`: repairs finish even after the
       // injection window closes.
-      simulator_.schedule_in(delay, [this, victim, failed] {
-        victim->repair_nodes(failed);
-        nodes_repaired_ += failed;
-        nodes_down_ -= failed;
-      });
+      const sim::EventId repair =
+          simulator_.schedule_in(delay, make_repair(victim_index, failed));
+      repair_events_.push_back({repair, victim_index, failed});
     }
   }
   schedule_next(until);
+}
+
+Status FaultDomain::save(snapshot::SnapshotWriter& writer) const {
+  writer.field_bool("started", !active_.empty());
+  writer.field_u64("active_count", active_.size());
+  const auto& rng_state = rng_.state();
+  writer.field_u64("rng0", rng_state[0]);
+  writer.field_u64("rng1", rng_state[1]);
+  writer.field_u64("rng2", rng_state[2]);
+  writer.field_u64("rng3", rng_state[3]);
+  writer.field_i64("events", events_);
+  writer.field_i64("nodes_failed", nodes_failed_);
+  writer.field_i64("nodes_repaired", nodes_repaired_);
+  writer.field_i64("nodes_down", nodes_down_);
+  writer.field_i64("jobs_killed", jobs_killed_);
+
+  const auto inject = simulator_.pending_event_info(inject_event_);
+  writer.field_bool("inject_pending", inject.has_value());
+  if (inject.has_value()) {
+    writer.field_time("inject_time", inject->time);
+    writer.field_u64("inject_seq", inject->seq);
+    writer.field_time("inject_until", inject_until_);
+  }
+
+  std::vector<std::pair<RepairEvent, sim::Simulator::PendingEventInfo>> live;
+  for (const RepairEvent& repair : repair_events_) {
+    if (auto info = simulator_.pending_event_info(repair.event)) {
+      live.emplace_back(repair, *info);
+    }
+  }
+  writer.field_u64("repair_count", live.size());
+  for (const auto& [repair, info] : live) {
+    writer.field_u64("victim", repair.victim);
+    writer.field_i64("failed", repair.failed);
+    writer.field_time("time", info.time);
+    writer.field_u64("seq", info.seq);
+  }
+  return Status::ok();
+}
+
+Status FaultDomain::restore(snapshot::SnapshotReader& reader) {
+  bool started = false;
+  if (auto st = reader.read_bool("started", started); !st.is_ok()) return st;
+  std::uint64_t active_count = 0;
+  if (auto st = reader.read_u64("active_count", active_count); !st.is_ok()) {
+    return st;
+  }
+  active_ = started ? watched_ : std::vector<FaultTarget*>{};
+  if (active_count != active_.size()) {
+    return Status::failed_precondition(
+        "fault domain: snapshot pinned " + std::to_string(active_count) +
+        " victims but the rebuilt domain watches " +
+        std::to_string(active_.size()) + " — watch order changed");
+  }
+  std::array<std::uint64_t, 4> rng_state{};
+  if (auto st = reader.read_u64("rng0", rng_state[0]); !st.is_ok()) return st;
+  if (auto st = reader.read_u64("rng1", rng_state[1]); !st.is_ok()) return st;
+  if (auto st = reader.read_u64("rng2", rng_state[2]); !st.is_ok()) return st;
+  if (auto st = reader.read_u64("rng3", rng_state[3]); !st.is_ok()) return st;
+  rng_.set_state(rng_state);
+  if (auto st = reader.read_i64("events", events_); !st.is_ok()) return st;
+  if (auto st = reader.read_i64("nodes_failed", nodes_failed_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("nodes_repaired", nodes_repaired_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("nodes_down", nodes_down_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("jobs_killed", jobs_killed_); !st.is_ok()) {
+    return st;
+  }
+
+  bool inject_pending = false;
+  if (auto st = reader.read_bool("inject_pending", inject_pending);
+      !st.is_ok()) {
+    return st;
+  }
+  if (inject_pending) {
+    SimTime time = 0;
+    if (auto st = reader.read_time("inject_time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("inject_seq", seq); !st.is_ok()) return st;
+    if (auto st = reader.read_time("inject_until", inject_until_);
+        !st.is_ok()) {
+      return st;
+    }
+    const SimTime until = inject_until_;
+    inject_event_ = simulator_.restore_event(
+        time, static_cast<std::uint32_t>(seq), [this, until] { inject(until); });
+  }
+
+  std::uint64_t repair_count = 0;
+  if (auto st = reader.read_u64("repair_count", repair_count); !st.is_ok()) {
+    return st;
+  }
+  repair_events_.clear();
+  for (std::uint64_t i = 0; i < repair_count; ++i) {
+    std::uint64_t victim = 0;
+    if (auto st = reader.read_u64("victim", victim); !st.is_ok()) return st;
+    if (victim >= active_.size()) {
+      return Status::failed_precondition(
+          "fault domain: pending repair references victim " +
+          std::to_string(victim) + " beyond the active set");
+    }
+    std::int64_t failed = 0;
+    if (auto st = reader.read_i64("failed", failed); !st.is_ok()) return st;
+    SimTime time = 0;
+    if (auto st = reader.read_time("time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("seq", seq); !st.is_ok()) return st;
+    const sim::EventId repair = simulator_.restore_event(
+        time, static_cast<std::uint32_t>(seq), make_repair(victim, failed));
+    repair_events_.push_back({repair, victim, failed});
+  }
+  return Status::ok();
 }
 
 }  // namespace dc::core::fault

@@ -27,7 +27,9 @@
 
 #include "core/fault/fault_target.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
 #include "util/rng.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace dc::core::fault {
@@ -69,10 +71,20 @@ class FaultDomain {
   std::int64_t nodes_down() const { return nodes_down_; }
   std::int64_t jobs_killed() const { return jobs_killed_; }
 
+  /// Serializes the RNG stream position, counters, and the pending
+  /// inject/repair events; restore re-arms them. The watch list must be
+  /// rebuilt in the same order before restoring (victims are serialized as
+  /// indices into the pinned active set), which preserves the seeded victim
+  /// sequence across a resume.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
  private:
   void schedule_next(SimTime until);
   void inject(SimTime until);
   std::int64_t total_healthy() const;
+  sim::Simulator::Callback make_repair(std::size_t victim_index,
+                                       std::int64_t failed);
 
   sim::Simulator& simulator_;
   Config config_;
@@ -86,6 +98,17 @@ class FaultDomain {
   std::int64_t nodes_repaired_ = 0;
   std::int64_t nodes_down_ = 0;
   std::int64_t jobs_killed_ = 0;
+  /// The single pending next-injection event (if any) and its window.
+  sim::EventId inject_event_ = sim::kInvalidEvent;
+  SimTime inject_until_ = 0;
+  /// Append-only registry of scheduled repairs; stale entries (already
+  /// fired) are filtered through pending_event_info at save time.
+  struct RepairEvent {
+    sim::EventId event;
+    std::size_t victim;  // index into active_
+    std::int64_t failed;
+  };
+  std::vector<RepairEvent> repair_events_;
 };
 
 }  // namespace dc::core::fault

@@ -37,16 +37,15 @@ bool HtcServer::start() {
   owned_ = initial;
   if (config_.setup_latency > 0) {
     in_setup_ += initial;
-    simulator_.schedule_in(config_.setup_latency, [this, initial] {
-      in_setup_ -= initial;
-      if (!shutdown_) dispatch();
-    });
+    setup_events_.push_back(
+        {simulator_.schedule_in(config_.setup_latency, make_setup_done(initial)),
+         initial});
   }
 
   if (config_.policy) {
     scan_timer_ = simulator_.start_periodic(
         now + config_.policy->scan_interval, config_.policy->scan_interval,
-        [this](SimTime at) { scan(at); });
+        make_scan());
   }
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
           "started with %lld %s nodes", static_cast<long long>(initial),
@@ -145,8 +144,7 @@ void HtcServer::dispatch() {
     running_.push_back(job.id);
     // Checkpointed retries only re-run the unfinished remainder.
     completion_events_[static_cast<std::size_t>(job.id)] = simulator_.schedule_in(
-        job.runtime - job.completed_work,
-        [this, id = job.id] { on_job_complete(id); });
+        job.runtime - job.completed_work, make_completion(job.id));
   }
   assert(started_nodes <= dispatchable_idle() &&
          "scheduler oversubscribed idle nodes");
@@ -219,42 +217,55 @@ void HtcServer::scan(SimTime now) {
   }
 }
 
+std::function<void(SimTime)> HtcServer::make_waiting_grant(std::int64_t amount,
+                                                           std::string tag) {
+  // Under the provider's queue-by-priority contention mode the grant may
+  // arrive later; the waiting flag keeps the scan from piling up further
+  // requests meanwhile.
+  return [this, amount, tag = std::move(tag)](SimTime at) {
+    waiting_grant_ = false;
+    if (shutdown_) {
+      // TRE destroyed while waiting: hand the nodes straight back.
+      provision_.release(at, consumer_, amount);
+      return;
+    }
+    apply_grant(at, amount, tag.c_str());
+  };
+}
+
+sim::Simulator::Callback HtcServer::make_grant_timeout(std::uint64_t epoch,
+                                                       std::int64_t amount) {
+  return [this, epoch, amount] {
+    if (!waiting_grant_ || epoch != waiting_epoch_ || shutdown_) {
+      return;  // granted meanwhile, or a newer wait took over
+    }
+    if (provision_.cancel_waiting(consumer_) == 0) return;
+    waiting_grant_ = false;
+    ++grant_timeouts_;
+    acquire_dynamic(amount, "RT");
+  };
+}
+
 bool HtcServer::acquire_dynamic(std::int64_t amount, const char* tag) {
   assert(amount > 0);
   const SimTime now = simulator_.now();
   const std::size_t waiting_before = provision_.waiting_requests();
-  if (!provision_.request_or_wait(
-          now, consumer_, amount,
-          // Under the provider's queue-by-priority contention mode the
-          // grant may arrive later; the waiting flag keeps the scan from
-          // piling up further requests meanwhile.
-          [this, amount, tag_text = std::string(tag)](SimTime at) {
-            waiting_grant_ = false;
-            if (shutdown_) {
-              // TRE destroyed while waiting: hand the nodes straight back.
-              provision_.release(at, consumer_, amount);
-              return;
-            }
-            apply_grant(at, amount, tag_text.c_str());
-          })) {
+  if (!provision_.request_or_wait(now, consumer_, amount,
+                                  make_waiting_grant(amount, tag))) {
     if (provision_.waiting_requests() > waiting_before) {
       waiting_grant_ = true;
+      waiting_amount_ = amount;
+      waiting_tag_ = tag;
       if (config_.recovery.grant_timeout > 0) {
         // Starvation deadline: if the provider has not granted by then,
         // withdraw the request and issue a fresh one (tag RT), resetting
         // the queue position instead of waiting forever behind a
         // higher-priority competitor.
         const std::uint64_t epoch = ++waiting_epoch_;
-        simulator_.schedule_in(
-            config_.recovery.grant_timeout, [this, epoch, amount] {
-              if (!waiting_grant_ || epoch != waiting_epoch_ || shutdown_) {
-                return;  // granted meanwhile, or a newer wait took over
-              }
-              if (provision_.cancel_waiting(consumer_) == 0) return;
-              waiting_grant_ = false;
-              ++grant_timeouts_;
-              acquire_dynamic(amount, "RT");
-            });
+        timeout_events_.push_back(
+            {simulator_.schedule_in(config_.recovery.grant_timeout,
+                                    make_grant_timeout(epoch, amount)),
+             epoch, amount});
       }
     } else {
       ++rejected_grants_;
@@ -268,16 +279,30 @@ bool HtcServer::acquire_dynamic(std::int64_t amount, const char* tag) {
   return true;
 }
 
+sim::Simulator::Callback HtcServer::make_setup_done(std::int64_t amount) {
+  return [this, amount] {
+    in_setup_ -= amount;
+    if (!shutdown_) dispatch();
+  };
+}
+
+sim::Simulator::Callback HtcServer::make_completion(sched::JobId id) {
+  return [this, id] { on_job_complete(id); };
+}
+
+sim::Simulator::TimerCallback HtcServer::make_scan() {
+  return [this](SimTime at) { scan(at); };
+}
+
 void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
   owned_ += amount;
   if (config_.setup_latency > 0) {
     // Billing and holding begin at the grant; the scheduler can only use
     // the nodes once the setup policy's work completes.
     in_setup_ += amount;
-    simulator_.schedule_in(config_.setup_latency, [this, amount] {
-      in_setup_ -= amount;
-      if (!shutdown_) dispatch();
-    });
+    setup_events_.push_back(
+        {simulator_.schedule_in(config_.setup_latency, make_setup_done(amount)),
+         amount});
   }
   held_.change(now, amount);
   ++dynamic_grants_;
@@ -293,31 +318,36 @@ void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
   // release the resources with the size of the DR."
   const SimDuration interval = config_.policy->idle_check_interval;
   grants_[grant_index].timer = simulator_.start_periodic(
-      now + interval, interval, [this, grant_index](SimTime at) {
-        Grant& grant = grants_[grant_index];
-        if (!grant.active) return;
-        if (idle() >= grant.nodes) {
-          // Copy out and settle local state before telling the provision
-          // service: under queue-by-priority contention the release can
-          // re-enter apply_grant (another grant for this very server),
-          // which reallocates grants_ and would dangle `grant`.
-          const std::int64_t nodes = grant.nodes;
-          const cluster::LeaseId grant_lease = grant.lease;
-          const sim::TimerId timer = grant.timer;
-          grant.active = false;
-          grant.timer = sim::kInvalidTimer;
-          ledger_.close(grant_lease, at);
-          owned_ -= nodes;
-          held_.change(at, -nodes);
-          simulator_.stop_timer(timer);
-          provision_.release(at, consumer_, nodes);
-        }
-      });
+      now + interval, interval, make_idle_check(grant_index));
 
   Log::at(LogLevel::kDebug, now, config_.name.c_str(),
           "%s granted %lld nodes (owned now %lld)", tag,
           static_cast<long long>(amount), static_cast<long long>(owned_));
   dispatch();
+}
+
+sim::Simulator::TimerCallback HtcServer::make_idle_check(
+    std::size_t grant_index) {
+  return [this, grant_index](SimTime at) {
+    Grant& grant = grants_[grant_index];
+    if (!grant.active) return;
+    if (idle() >= grant.nodes) {
+      // Copy out and settle local state before telling the provision
+      // service: under queue-by-priority contention the release can
+      // re-enter apply_grant (another grant for this very server),
+      // which reallocates grants_ and would dangle `grant`.
+      const std::int64_t nodes = grant.nodes;
+      const cluster::LeaseId grant_lease = grant.lease;
+      const sim::TimerId timer = grant.timer;
+      grant.active = false;
+      grant.timer = sim::kInvalidTimer;
+      ledger_.close(grant_lease, at);
+      owned_ -= nodes;
+      held_.change(at, -nodes);
+      simulator_.stop_timer(timer);
+      provision_.release(at, consumer_, nodes);
+    }
+  };
 }
 
 std::int64_t HtcServer::fail_nodes(std::int64_t count) {
@@ -391,7 +421,12 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
   }
   job.state = sched::JobState::kPending;
   ++pending_retries_;
-  simulator_.schedule_in(backoff, [this, id] {
+  retry_events_.push_back(
+      {simulator_.schedule_in(backoff, make_retry_release(id)), id});
+}
+
+sim::Simulator::Callback HtcServer::make_retry_release(sched::JobId id) {
+  return [this, id] {
     --pending_retries_;
     if (shutdown_) return;
     sched::Job& job = jobs_[static_cast<std::size_t>(id)];
@@ -399,7 +434,7 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
     job.state = sched::JobState::kQueued;
     queue_.push(id);
     dispatch();
-  });
+  };
 }
 
 void HtcServer::repair_nodes(std::int64_t count) {
@@ -446,6 +481,415 @@ std::int64_t HtcServer::completed_jobs(SimTime horizon) const {
     }
   }
   return count;
+}
+
+Status HtcServer::save(snapshot::SnapshotWriter& writer) const {
+  writer.field_bool("started", started_);
+  writer.field_bool("shutdown", shutdown_);
+  writer.field_i64("owned", owned_);
+  writer.field_i64("busy", busy_);
+  writer.field_i64("in_setup", in_setup_);
+  writer.field_i64("down", down_);
+
+  writer.field_u64("job_count", jobs_.size());
+  for (const sched::Job& job : jobs_) {
+    writer.field_time("submit", job.submit);
+    writer.field_i64("runtime", job.runtime);
+    writer.field_i64("nodes", job.nodes);
+    writer.field_i64("task_id", job.task_id);
+    writer.field_u64("state", static_cast<std::uint64_t>(job.state));
+    writer.field_time("start", job.start);
+    writer.field_time("finish", job.finish);
+    writer.field_i64("retries", job.retries);
+    writer.field_i64("completed_work", job.completed_work);
+  }
+  writer.field_u64("queue_count", queue_.size());
+  for (sched::JobId id : queue_.items()) writer.field_i64("queued", id);
+
+  // running_ order matters: fail_nodes kills from the back.
+  writer.field_u64("running_count", running_.size());
+  for (sched::JobId id : running_) {
+    writer.field_i64("running", id);
+    const auto info = simulator_.pending_event_info(
+        completion_events_[static_cast<std::size_t>(id)]);
+    if (!info.has_value()) {
+      return Status::internal(config_.name + ": running job " +
+                              std::to_string(id) +
+                              " has no pending completion event");
+    }
+    writer.field_time("completion_time", info->time);
+    writer.field_u64("completion_seq", info->seq);
+  }
+
+  writer.begin_section("ledger");
+  if (auto st = ledger_.save(writer); !st.is_ok()) return st;
+  writer.end_section();
+  writer.begin_section("held");
+  if (auto st = held_.save(writer); !st.is_ok()) return st;
+  writer.end_section();
+  writer.field_bool("has_initial_lease", initial_lease_.has_value());
+  writer.field_u64("initial_lease", initial_lease_ ? *initial_lease_ : 0);
+
+  writer.field_u64("grant_count", grants_.size());
+  for (const Grant& grant : grants_) {
+    writer.field_i64("grant_nodes", grant.nodes);
+    writer.field_u64("grant_lease", grant.lease);
+    writer.field_bool("grant_active", grant.active);
+    const auto timer = simulator_.pending_timer_info(grant.timer);
+    writer.field_bool("timer_pending", timer.has_value());
+    if (timer.has_value()) {
+      writer.field_time("next_fire", timer->next_fire);
+      writer.field_u64("timer_seq", timer->seq);
+      writer.field_i64("period", timer->period);
+    }
+  }
+  const auto scan_info = simulator_.pending_timer_info(scan_timer_);
+  writer.field_bool("scan_pending", scan_info.has_value());
+  if (scan_info.has_value()) {
+    writer.field_time("scan_next_fire", scan_info->next_fire);
+    writer.field_u64("scan_seq", scan_info->seq);
+    writer.field_i64("scan_period", scan_info->period);
+  }
+
+  writer.field_i64("completed", completed_);
+  writer.field_time("first_submit", first_submit_);
+  writer.field_time("last_finish", last_finish_);
+  writer.field_i64("dynamic_grants", dynamic_grants_);
+  writer.field_i64("rejected_grants", rejected_grants_);
+  writer.field_i64("dropped_jobs", dropped_jobs_);
+  writer.field_i64("job_retries", job_retries_);
+  writer.field_i64("jobs_failed", jobs_failed_);
+  writer.field_i64("grant_timeouts", grant_timeouts_);
+  writer.field_i64("pending_retries", pending_retries_);
+  writer.field_i64("wasted_node_seconds", wasted_node_seconds_);
+  writer.begin_section("down_usage");
+  if (auto st = down_usage_.save(writer); !st.is_ok()) return st;
+  writer.end_section();
+
+  writer.field_bool("waiting_grant", waiting_grant_);
+  writer.field_u64("waiting_epoch", waiting_epoch_);
+  writer.field_i64("waiting_amount", waiting_amount_);
+  writer.field_str("waiting_tag", waiting_tag_);
+
+  std::vector<std::pair<SetupEvent, sim::Simulator::PendingEventInfo>> setups;
+  for (const SetupEvent& setup : setup_events_) {
+    if (auto info = simulator_.pending_event_info(setup.event)) {
+      setups.emplace_back(setup, *info);
+    }
+  }
+  writer.field_u64("setup_count", setups.size());
+  for (const auto& [setup, info] : setups) {
+    writer.field_i64("setup_amount", setup.amount);
+    writer.field_time("setup_time", info.time);
+    writer.field_u64("setup_seq", info.seq);
+  }
+
+  std::vector<std::pair<TimeoutEvent, sim::Simulator::PendingEventInfo>>
+      timeouts;
+  for (const TimeoutEvent& timeout : timeout_events_) {
+    if (auto info = simulator_.pending_event_info(timeout.event)) {
+      timeouts.emplace_back(timeout, *info);
+    }
+  }
+  writer.field_u64("timeout_count", timeouts.size());
+  for (const auto& [timeout, info] : timeouts) {
+    writer.field_u64("timeout_epoch", timeout.epoch);
+    writer.field_i64("timeout_amount", timeout.amount);
+    writer.field_time("timeout_time", info.time);
+    writer.field_u64("timeout_seq", info.seq);
+  }
+
+  std::vector<std::pair<RetryEvent, sim::Simulator::PendingEventInfo>> retries;
+  for (const RetryEvent& retry : retry_events_) {
+    if (auto info = simulator_.pending_event_info(retry.event)) {
+      retries.emplace_back(retry, *info);
+    }
+  }
+  writer.field_u64("retry_count", retries.size());
+  for (const auto& [retry, info] : retries) {
+    writer.field_i64("retry_job", retry.job);
+    writer.field_time("retry_time", info.time);
+    writer.field_u64("retry_seq", info.seq);
+  }
+  return Status::ok();
+}
+
+Status HtcServer::restore(snapshot::SnapshotReader& reader) {
+  if (auto st = reader.read_bool("started", started_); !st.is_ok()) return st;
+  if (auto st = reader.read_bool("shutdown", shutdown_); !st.is_ok()) return st;
+  if (auto st = reader.read_i64("owned", owned_); !st.is_ok()) return st;
+  if (auto st = reader.read_i64("busy", busy_); !st.is_ok()) return st;
+  if (auto st = reader.read_i64("in_setup", in_setup_); !st.is_ok()) return st;
+  if (auto st = reader.read_i64("down", down_); !st.is_ok()) return st;
+
+  std::uint64_t job_count = 0;
+  if (auto st = reader.read_u64("job_count", job_count); !st.is_ok()) return st;
+  jobs_.clear();
+  jobs_.reserve(job_count);
+  for (std::uint64_t i = 0; i < job_count; ++i) {
+    sched::Job job;
+    job.id = static_cast<sched::JobId>(i);
+    if (auto st = reader.read_time("submit", job.submit); !st.is_ok()) return st;
+    if (auto st = reader.read_i64("runtime", job.runtime); !st.is_ok()) return st;
+    if (auto st = reader.read_i64("nodes", job.nodes); !st.is_ok()) return st;
+    if (auto st = reader.read_i64("task_id", job.task_id); !st.is_ok()) return st;
+    std::uint64_t state = 0;
+    if (auto st = reader.read_u64("state", state); !st.is_ok()) return st;
+    if (state > static_cast<std::uint64_t>(sched::JobState::kFailed)) {
+      return Status::invalid_argument(config_.name + ": bad job state " +
+                                      std::to_string(state));
+    }
+    job.state = static_cast<sched::JobState>(state);
+    if (auto st = reader.read_time("start", job.start); !st.is_ok()) return st;
+    if (auto st = reader.read_time("finish", job.finish); !st.is_ok()) return st;
+    std::int64_t retries = 0;
+    if (auto st = reader.read_i64("retries", retries); !st.is_ok()) return st;
+    job.retries = static_cast<std::int32_t>(retries);
+    if (auto st = reader.read_i64("completed_work", job.completed_work);
+        !st.is_ok()) {
+      return st;
+    }
+    jobs_.push_back(job);
+  }
+  completion_events_.assign(jobs_.size(), sim::kInvalidEvent);
+
+  std::uint64_t queue_count = 0;
+  if (auto st = reader.read_u64("queue_count", queue_count); !st.is_ok()) {
+    return st;
+  }
+  queue_.clear();
+  for (std::uint64_t i = 0; i < queue_count; ++i) {
+    sched::JobId id = 0;
+    if (auto st = reader.read_i64("queued", id); !st.is_ok()) return st;
+    queue_.push(id);
+  }
+
+  std::uint64_t running_count = 0;
+  if (auto st = reader.read_u64("running_count", running_count); !st.is_ok()) {
+    return st;
+  }
+  running_.clear();
+  for (std::uint64_t i = 0; i < running_count; ++i) {
+    sched::JobId id = 0;
+    if (auto st = reader.read_i64("running", id); !st.is_ok()) return st;
+    if (id < 0 || static_cast<std::size_t>(id) >= jobs_.size()) {
+      return Status::invalid_argument(config_.name + ": running job " +
+                                      std::to_string(id) + " out of range");
+    }
+    running_.push_back(id);
+    SimTime time = 0;
+    if (auto st = reader.read_time("completion_time", time); !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("completion_seq", seq); !st.is_ok()) return st;
+    completion_events_[static_cast<std::size_t>(id)] = simulator_.restore_event(
+        time, static_cast<std::uint32_t>(seq), make_completion(id));
+  }
+
+  if (auto st = reader.begin_section("ledger"); !st.is_ok()) return st;
+  if (auto st = ledger_.restore(reader); !st.is_ok()) return st;
+  if (auto st = reader.end_section(); !st.is_ok()) return st;
+  if (auto st = reader.begin_section("held"); !st.is_ok()) return st;
+  if (auto st = held_.restore(reader); !st.is_ok()) return st;
+  if (auto st = reader.end_section(); !st.is_ok()) return st;
+  bool has_initial = false;
+  if (auto st = reader.read_bool("has_initial_lease", has_initial);
+      !st.is_ok()) {
+    return st;
+  }
+  std::uint64_t initial_lease = 0;
+  if (auto st = reader.read_u64("initial_lease", initial_lease); !st.is_ok()) {
+    return st;
+  }
+  initial_lease_.reset();
+  if (has_initial) initial_lease_ = static_cast<cluster::LeaseId>(initial_lease);
+
+  std::uint64_t grant_count = 0;
+  if (auto st = reader.read_u64("grant_count", grant_count); !st.is_ok()) {
+    return st;
+  }
+  grants_.clear();
+  grants_.reserve(grant_count);
+  for (std::uint64_t i = 0; i < grant_count; ++i) {
+    Grant grant{0, 0, sim::kInvalidTimer, true};
+    if (auto st = reader.read_i64("grant_nodes", grant.nodes); !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t lease = 0;
+    if (auto st = reader.read_u64("grant_lease", lease); !st.is_ok()) {
+      return st;
+    }
+    grant.lease = static_cast<cluster::LeaseId>(lease);
+    if (auto st = reader.read_bool("grant_active", grant.active); !st.is_ok()) {
+      return st;
+    }
+    bool timer_pending = false;
+    if (auto st = reader.read_bool("timer_pending", timer_pending);
+        !st.is_ok()) {
+      return st;
+    }
+    if (timer_pending) {
+      SimTime next_fire = 0;
+      if (auto st = reader.read_time("next_fire", next_fire); !st.is_ok()) {
+        return st;
+      }
+      std::uint64_t seq = 0;
+      if (auto st = reader.read_u64("timer_seq", seq); !st.is_ok()) return st;
+      SimDuration period = 0;
+      if (auto st = reader.read_i64("period", period); !st.is_ok()) return st;
+      grant.timer = simulator_.restore_periodic(
+          next_fire, static_cast<std::uint32_t>(seq), period,
+          make_idle_check(static_cast<std::size_t>(i)));
+    }
+    grants_.push_back(grant);
+  }
+  bool scan_pending = false;
+  if (auto st = reader.read_bool("scan_pending", scan_pending); !st.is_ok()) {
+    return st;
+  }
+  scan_timer_ = sim::kInvalidTimer;
+  if (scan_pending) {
+    SimTime next_fire = 0;
+    if (auto st = reader.read_time("scan_next_fire", next_fire); !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("scan_seq", seq); !st.is_ok()) return st;
+    SimDuration period = 0;
+    if (auto st = reader.read_i64("scan_period", period); !st.is_ok()) return st;
+    scan_timer_ = simulator_.restore_periodic(
+        next_fire, static_cast<std::uint32_t>(seq), period, make_scan());
+  }
+
+  if (auto st = reader.read_i64("completed", completed_); !st.is_ok()) return st;
+  if (auto st = reader.read_time("first_submit", first_submit_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_time("last_finish", last_finish_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("dynamic_grants", dynamic_grants_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("rejected_grants", rejected_grants_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("dropped_jobs", dropped_jobs_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("job_retries", job_retries_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("jobs_failed", jobs_failed_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("grant_timeouts", grant_timeouts_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("pending_retries", pending_retries_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("wasted_node_seconds", wasted_node_seconds_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.begin_section("down_usage"); !st.is_ok()) return st;
+  if (auto st = down_usage_.restore(reader); !st.is_ok()) return st;
+  if (auto st = reader.end_section(); !st.is_ok()) return st;
+
+  if (auto st = reader.read_bool("waiting_grant", waiting_grant_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_u64("waiting_epoch", waiting_epoch_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("waiting_amount", waiting_amount_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_str("waiting_tag", waiting_tag_); !st.is_ok()) {
+    return st;
+  }
+  if (waiting_grant_ &&
+      !provision_.reattach_waiting(
+          consumer_, make_waiting_grant(waiting_amount_, waiting_tag_))) {
+    return Status::failed_precondition(
+        config_.name +
+        ": snapshot says a dynamic request is waiting but the restored "
+        "provision service has no waiting entry for this consumer");
+  }
+
+  std::uint64_t setup_count = 0;
+  if (auto st = reader.read_u64("setup_count", setup_count); !st.is_ok()) {
+    return st;
+  }
+  setup_events_.clear();
+  for (std::uint64_t i = 0; i < setup_count; ++i) {
+    std::int64_t amount = 0;
+    if (auto st = reader.read_i64("setup_amount", amount); !st.is_ok()) {
+      return st;
+    }
+    SimTime time = 0;
+    if (auto st = reader.read_time("setup_time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("setup_seq", seq); !st.is_ok()) return st;
+    setup_events_.push_back(
+        {simulator_.restore_event(time, static_cast<std::uint32_t>(seq),
+                                  make_setup_done(amount)),
+         amount});
+  }
+
+  std::uint64_t timeout_count = 0;
+  if (auto st = reader.read_u64("timeout_count", timeout_count); !st.is_ok()) {
+    return st;
+  }
+  timeout_events_.clear();
+  for (std::uint64_t i = 0; i < timeout_count; ++i) {
+    std::uint64_t epoch = 0;
+    if (auto st = reader.read_u64("timeout_epoch", epoch); !st.is_ok()) {
+      return st;
+    }
+    std::int64_t amount = 0;
+    if (auto st = reader.read_i64("timeout_amount", amount); !st.is_ok()) {
+      return st;
+    }
+    SimTime time = 0;
+    if (auto st = reader.read_time("timeout_time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("timeout_seq", seq); !st.is_ok()) return st;
+    timeout_events_.push_back(
+        {simulator_.restore_event(time, static_cast<std::uint32_t>(seq),
+                                  make_grant_timeout(epoch, amount)),
+         epoch, amount});
+  }
+
+  std::uint64_t retry_count = 0;
+  if (auto st = reader.read_u64("retry_count", retry_count); !st.is_ok()) {
+    return st;
+  }
+  retry_events_.clear();
+  for (std::uint64_t i = 0; i < retry_count; ++i) {
+    sched::JobId job = 0;
+    if (auto st = reader.read_i64("retry_job", job); !st.is_ok()) return st;
+    if (job < 0 || static_cast<std::size_t>(job) >= jobs_.size()) {
+      return Status::invalid_argument(config_.name + ": pending retry of job " +
+                                      std::to_string(job) + " out of range");
+    }
+    SimTime time = 0;
+    if (auto st = reader.read_time("retry_time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("retry_seq", seq); !st.is_ok()) return st;
+    retry_events_.push_back(
+        {simulator_.restore_event(time, static_cast<std::uint32_t>(seq),
+                                  make_retry_release(job)),
+         job});
+  }
+  return Status::ok();
 }
 
 }  // namespace dc::core

@@ -27,6 +27,8 @@
 #include "core/provision_service.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 
 namespace dc::core {
 
@@ -186,6 +188,16 @@ class HtcServer : public fault::FaultTarget {
   /// Jobs refused because the server had no runtime environment.
   std::int64_t dropped_jobs() const { return dropped_jobs_; }
 
+  // --- snapshot ------------------------------------------------------------
+  /// Serializes the full server state: holding, jobs, queue, leases, usage
+  /// series, counters, and the (time, seq) of every pending event/timer the
+  /// server owns. restore() runs on a freshly constructed server (start()
+  /// never called — the provision service's own restore re-establishes the
+  /// allocation) and re-arms every pending callback itself, including the
+  /// waiting-grant continuation at the provision service.
+  virtual Status save(snapshot::SnapshotWriter& writer) const;
+  virtual Status restore(snapshot::SnapshotReader& reader);
+
  protected:
   sim::Simulator& simulator() { return simulator_; }
 
@@ -208,6 +220,19 @@ class HtcServer : public fault::FaultTarget {
   void kill_job(SimTime now, sched::JobId id);
   /// Periodic policy evaluation (Section 3.2.2.1 rules).
   void scan(SimTime now);
+
+  // Callback factories: every scheduled callback is built here so that
+  // restore() re-arms semantically identical closures (callbacks are never
+  // serialized — see docs/SNAPSHOT.md).
+  sim::Simulator::Callback make_setup_done(std::int64_t amount);
+  sim::Simulator::Callback make_completion(sched::JobId id);
+  sim::Simulator::Callback make_grant_timeout(std::uint64_t epoch,
+                                              std::int64_t amount);
+  sim::Simulator::Callback make_retry_release(sched::JobId id);
+  sim::Simulator::TimerCallback make_scan();
+  sim::Simulator::TimerCallback make_idle_check(std::size_t grant_index);
+  std::function<void(SimTime)> make_waiting_grant(std::int64_t amount,
+                                                  std::string tag);
   /// Requests `amount` dynamic nodes; on success opens a lease and arms the
   /// per-grant hourly idle-release timer. Under the provider's
   /// queue-by-priority contention mode an unsatisfied request waits and
@@ -272,6 +297,31 @@ class HtcServer : public fault::FaultTarget {
   bool waiting_grant_ = false;
   /// Distinguishes the current wait from stale grant-timeout events.
   std::uint64_t waiting_epoch_ = 0;
+  /// Parameters of the current wait (meaningful while waiting_grant_),
+  /// saved so restore() can re-attach the continuation at the provision
+  /// service via reattach_waiting.
+  std::int64_t waiting_amount_ = 0;
+  std::string waiting_tag_;
+
+  // Append-only registries of one-shot events the server has scheduled;
+  // already-fired entries are O(1) stale (generation-tagged handles) and
+  // are filtered through pending_event_info at save time.
+  struct SetupEvent {
+    sim::EventId event;
+    std::int64_t amount;
+  };
+  std::vector<SetupEvent> setup_events_;
+  struct TimeoutEvent {
+    sim::EventId event;
+    std::uint64_t epoch;
+    std::int64_t amount;
+  };
+  std::vector<TimeoutEvent> timeout_events_;
+  struct RetryEvent {
+    sim::EventId event;
+    sched::JobId job;
+  };
+  std::vector<RetryEvent> retry_events_;
 
   std::function<void(const sched::Job&)> completion_callback_;
   std::function<void(SimTime)> drained_callback_;

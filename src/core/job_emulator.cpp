@@ -1,0 +1,141 @@
+#include "core/job_emulator.hpp"
+
+#include <algorithm>
+
+namespace dc::core {
+
+void JobEmulator::emulate_trace(
+    const workload::Trace& trace,
+    std::function<void(const workload::TraceJob&)> submit) {
+  TraceStream stream;
+  stream.submit = std::move(submit);
+  stream.scaled_jobs.reserve(trace.jobs().size());
+  for (const workload::TraceJob& job : trace.jobs()) {
+    workload::TraceJob scaled = job;
+    if (time_scale_ != 1.0) {
+      scaled.submit =
+          static_cast<SimTime>(static_cast<double>(job.submit) / time_scale_);
+      scaled.runtime = std::max<SimDuration>(
+          1, static_cast<SimDuration>(static_cast<double>(job.runtime) /
+                                      time_scale_));
+    }
+    stream.scaled_jobs.push_back(scaled);
+  }
+  stream.events.assign(stream.scaled_jobs.size(), sim::kInvalidEvent);
+  if (!passive_) {
+    for (std::size_t i = 0; i < stream.scaled_jobs.size(); ++i) {
+      const workload::TraceJob& scaled = stream.scaled_jobs[i];
+      stream.events[i] = simulator_->schedule_at(
+          scaled.submit, [submit = stream.submit, scaled] { submit(scaled); });
+    }
+  }
+  streams_.push_back(std::move(stream));
+}
+
+void JobEmulator::emulate_at(SimTime at, std::function<void()> submit) {
+  OneShot oneshot;
+  oneshot.at = time_scale_ == 1.0
+                   ? at
+                   : static_cast<SimTime>(static_cast<double>(at) / time_scale_);
+  oneshot.submit = std::move(submit);
+  if (!passive_) {
+    oneshot.event = simulator_->schedule_at(
+        oneshot.at, [submit = oneshot.submit] { submit(); });
+  }
+  oneshots_.push_back(std::move(oneshot));
+}
+
+Status JobEmulator::save(snapshot::SnapshotWriter& writer) const {
+  writer.field_u64("stream_count", streams_.size());
+  for (const TraceStream& stream : streams_) {
+    // Generation-tagged handles make already-fired events O(1) "stale", so
+    // the pending set is just a filter over the full submission list.
+    std::vector<std::pair<std::uint64_t, sim::Simulator::PendingEventInfo>>
+        pending;
+    for (std::size_t i = 0; i < stream.events.size(); ++i) {
+      if (auto info = simulator_->pending_event_info(stream.events[i])) {
+        pending.emplace_back(i, *info);
+      }
+    }
+    writer.field_u64("pending_count", pending.size());
+    for (const auto& [index, info] : pending) {
+      writer.field_u64("job_index", index);
+      writer.field_time("time", info.time);
+      writer.field_u64("seq", info.seq);
+    }
+  }
+  writer.field_u64("oneshot_count", oneshots_.size());
+  for (const OneShot& oneshot : oneshots_) {
+    const auto info = simulator_->pending_event_info(oneshot.event);
+    writer.field_bool("pending", info.has_value());
+    if (info.has_value()) {
+      writer.field_time("time", info->time);
+      writer.field_u64("seq", info->seq);
+    }
+  }
+  return Status::ok();
+}
+
+Status JobEmulator::restore(snapshot::SnapshotReader& reader) {
+  std::uint64_t stream_count = 0;
+  if (auto st = reader.read_u64("stream_count", stream_count); !st.is_ok()) {
+    return st;
+  }
+  if (stream_count != streams_.size()) {
+    return Status::failed_precondition(
+        "job emulator: snapshot has " + std::to_string(stream_count) +
+        " trace streams but the rebuilt emulator registered " +
+        std::to_string(streams_.size()) +
+        " — the snapshot belongs to a different workload");
+  }
+  for (TraceStream& stream : streams_) {
+    std::uint64_t pending_count = 0;
+    if (auto st = reader.read_u64("pending_count", pending_count);
+        !st.is_ok()) {
+      return st;
+    }
+    for (std::uint64_t p = 0; p < pending_count; ++p) {
+      std::uint64_t index = 0;
+      if (auto st = reader.read_u64("job_index", index); !st.is_ok()) return st;
+      if (index >= stream.scaled_jobs.size()) {
+        return Status::failed_precondition(
+            "job emulator: pending submission index " + std::to_string(index) +
+            " beyond the stream's " +
+            std::to_string(stream.scaled_jobs.size()) + " jobs");
+      }
+      SimTime time = 0;
+      if (auto st = reader.read_time("time", time); !st.is_ok()) return st;
+      std::uint64_t seq = 0;
+      if (auto st = reader.read_u64("seq", seq); !st.is_ok()) return st;
+      const workload::TraceJob& scaled = stream.scaled_jobs[index];
+      stream.events[index] = simulator_->restore_event(
+          time, static_cast<std::uint32_t>(seq),
+          [submit = stream.submit, scaled] { submit(scaled); });
+    }
+  }
+  std::uint64_t oneshot_count = 0;
+  if (auto st = reader.read_u64("oneshot_count", oneshot_count); !st.is_ok()) {
+    return st;
+  }
+  if (oneshot_count != oneshots_.size()) {
+    return Status::failed_precondition(
+        "job emulator: snapshot has " + std::to_string(oneshot_count) +
+        " one-shot submissions but the rebuilt emulator registered " +
+        std::to_string(oneshots_.size()));
+  }
+  for (OneShot& oneshot : oneshots_) {
+    bool pending = false;
+    if (auto st = reader.read_bool("pending", pending); !st.is_ok()) return st;
+    if (!pending) continue;
+    SimTime time = 0;
+    if (auto st = reader.read_time("time", time); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("seq", seq); !st.is_ok()) return st;
+    oneshot.event = simulator_->restore_event(
+        time, static_cast<std::uint32_t>(seq),
+        [submit = oneshot.submit] { submit(); });
+  }
+  return Status::ok();
+}
+
+}  // namespace dc::core

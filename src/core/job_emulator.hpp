@@ -15,53 +15,64 @@
 // that, but the same `time_scale` knob is provided (submit times and
 // runtimes divided by the factor) so tests can exercise the paper's scaled
 // mode and its interaction with the fixed one-hour billing quantum.
+//
+// Snapshot support: every emulate_trace/emulate_at call registers a
+// *stream* — the scaled jobs plus the submit callback — in call order. A
+// snapshot records, per stream, which submissions are still pending and
+// their (time, seq); a passive emulator (constructed with passive=true)
+// records the same streams without scheduling anything, and restore()
+// re-arms exactly the pending submissions. Stream registration order is
+// the identity of a stream across save/restore, so the driver must replay
+// the same emulate_* call sequence when rebuilding the world.
 #pragma once
 
-#include <algorithm>
 #include <functional>
+#include <vector>
 
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "workload/trace.hpp"
 
 namespace dc::core {
 
 class JobEmulator {
  public:
-  explicit JobEmulator(sim::Simulator& simulator, double time_scale = 1.0)
-      : simulator_(&simulator), time_scale_(time_scale) {}
+  explicit JobEmulator(sim::Simulator& simulator, double time_scale = 1.0,
+                       bool passive = false)
+      : simulator_(&simulator), time_scale_(time_scale), passive_(passive) {}
 
-  /// Schedules one submission event per trace job. The callback receives
-  /// the (possibly time-scaled) job.
+  /// Schedules one submission event per trace job (unless passive). The
+  /// callback receives the (possibly time-scaled) job.
   void emulate_trace(const workload::Trace& trace,
-                     std::function<void(const workload::TraceJob&)> submit) {
-    for (const workload::TraceJob& job : trace.jobs()) {
-      workload::TraceJob scaled = job;
-      if (time_scale_ != 1.0) {
-        scaled.submit = static_cast<SimTime>(
-            static_cast<double>(job.submit) / time_scale_);
-        scaled.runtime = std::max<SimDuration>(
-            1, static_cast<SimDuration>(
-                   static_cast<double>(job.runtime) / time_scale_));
-      }
-      simulator_->schedule_at(scaled.submit,
-                              [submit, scaled] { submit(scaled); });
-    }
-  }
+                     std::function<void(const workload::TraceJob&)> submit);
 
   /// Schedules a one-shot submission (e.g. a workflow) at `at`.
-  void emulate_at(SimTime at, std::function<void()> submit) {
-    const auto scaled = time_scale_ == 1.0
-                            ? at
-                            : static_cast<SimTime>(static_cast<double>(at) /
-                                                   time_scale_);
-    simulator_->schedule_at(scaled, std::move(submit));
-  }
+  void emulate_at(SimTime at, std::function<void()> submit);
 
   double time_scale() const { return time_scale_; }
+  bool passive() const { return passive_; }
+
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
 
  private:
+  struct TraceStream {
+    std::function<void(const workload::TraceJob&)> submit;
+    std::vector<workload::TraceJob> scaled_jobs;
+    std::vector<sim::EventId> events;  // parallel to scaled_jobs
+  };
+  struct OneShot {
+    std::function<void()> submit;
+    SimTime at = 0;  // scaled
+    sim::EventId event = sim::kInvalidEvent;
+  };
+
   sim::Simulator* simulator_;
   double time_scale_;
+  bool passive_;
+  std::vector<TraceStream> streams_;
+  std::vector<OneShot> oneshots_;
 };
 
 }  // namespace dc::core

@@ -65,6 +65,7 @@ StatusOr<TreId> LifecycleService::create_tre(
   }
   const TreId id = static_cast<TreId>(records_.size());
   records_.push_back(Record{spec, TreState::kInexistent});
+  ++chains_in_flight_;
 
   // The transitions are chained so that even with zero latencies they fire
   // in order within one simulation instant.
@@ -84,6 +85,7 @@ StatusOr<TreId> LifecycleService::create_tre(
                     // Created -> Running once the agents started the TRE
                     // components (server, scheduler, portal).
                     advance(id, TreState::kRunning);
+                    --chains_in_flight_;
                     if (cb) cb(simulator_.now());
                   });
             });
@@ -105,6 +107,96 @@ Status LifecycleService::destroy_tre(TreId id,
   }
   advance(id, TreState::kDestroyed);
   if (on_destroyed) on_destroyed(simulator_.now());
+  return Status::ok();
+}
+
+Status LifecycleService::save(snapshot::SnapshotWriter& writer) const {
+  if (chains_in_flight_ != 0) {
+    return Status::failed_precondition(
+        "lifecycle service: " + std::to_string(chains_in_flight_) +
+        " TRE creation chain(s) are mid-flight at the snapshot boundary — "
+        "snapshot between run_until chunks, not from inside a callback, "
+        "and keep snapshot boundaries off instants where TREs are being "
+        "created with nonzero latencies");
+  }
+  writer.field_u64("record_count", records_.size());
+  for (const Record& record : records_) {
+    writer.field_str("provider", record.spec.provider_name);
+    writer.field_u64("type", static_cast<std::uint64_t>(record.spec.type));
+    writer.field_i64("initial_nodes", record.spec.requested_initial_nodes);
+    writer.field_str("os", record.spec.operating_system);
+    writer.field_u64("state", static_cast<std::uint64_t>(record.state));
+  }
+  writer.field_u64("transition_count", transitions_.size());
+  for (const Transition& transition : transitions_) {
+    writer.field_i64("tre", transition.tre);
+    writer.field_u64("to_state", static_cast<std::uint64_t>(transition.state));
+    writer.field_time("at", transition.time);
+  }
+  return Status::ok();
+}
+
+Status LifecycleService::restore(snapshot::SnapshotReader& reader) {
+  std::uint64_t record_count = 0;
+  if (auto st = reader.read_u64("record_count", record_count); !st.is_ok()) {
+    return st;
+  }
+  records_.clear();
+  records_.reserve(record_count);
+  for (std::uint64_t i = 0; i < record_count; ++i) {
+    Record record;
+    if (auto st = reader.read_str("provider", record.spec.provider_name);
+        !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t type = 0;
+    if (auto st = reader.read_u64("type", type); !st.is_ok()) return st;
+    if (type > static_cast<std::uint64_t>(WorkloadType::kMtc)) {
+      return Status::invalid_argument("lifecycle: bad workload type " +
+                                      std::to_string(type));
+    }
+    record.spec.type = static_cast<WorkloadType>(type);
+    if (auto st = reader.read_i64("initial_nodes",
+                                  record.spec.requested_initial_nodes);
+        !st.is_ok()) {
+      return st;
+    }
+    if (auto st = reader.read_str("os", record.spec.operating_system);
+        !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t state = 0;
+    if (auto st = reader.read_u64("state", state); !st.is_ok()) return st;
+    if (state > static_cast<std::uint64_t>(TreState::kDestroyed)) {
+      return Status::invalid_argument("lifecycle: bad TRE state " +
+                                      std::to_string(state));
+    }
+    record.state = static_cast<TreState>(state);
+    records_.push_back(std::move(record));
+  }
+  std::uint64_t transition_count = 0;
+  if (auto st = reader.read_u64("transition_count", transition_count);
+      !st.is_ok()) {
+    return st;
+  }
+  transitions_.clear();
+  transitions_.reserve(transition_count);
+  for (std::uint64_t i = 0; i < transition_count; ++i) {
+    Transition transition{};
+    if (auto st = reader.read_i64("tre", transition.tre); !st.is_ok()) return st;
+    std::uint64_t state = 0;
+    if (auto st = reader.read_u64("to_state", state); !st.is_ok()) return st;
+    if (state > static_cast<std::uint64_t>(TreState::kDestroyed)) {
+      return Status::invalid_argument("lifecycle: bad transition state " +
+                                      std::to_string(state));
+    }
+    transition.state = static_cast<TreState>(state);
+    if (auto st = reader.read_time("at", transition.time); !st.is_ok()) {
+      return st;
+    }
+    transitions_.push_back(transition);
+  }
+  chains_in_flight_ = 0;
   return Status::ok();
 }
 

@@ -16,6 +16,7 @@
 
 #include "core/deployment.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
 
@@ -86,6 +87,15 @@ class LifecycleService {
   };
   const std::vector<Transition>& transitions() const { return transitions_; }
 
+  /// TRE records and the transition audit trail are pure data; creation
+  /// chains, however, hold their `on_running` callback in pending events,
+  /// so a snapshot while a chain is mid-flight is refused with an
+  /// actionable error. In practice chains run to Running within one
+  /// simulation instant of create_tre (latencies included), so quiescent
+  /// boundaries never split one.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
  private:
   struct Record {
     TreSpec spec;
@@ -101,6 +111,8 @@ class LifecycleService {
   std::optional<DeploymentModel> deployment_;
   std::vector<Record> records_;
   std::vector<Transition> transitions_;
+  /// Creation chains whose Running transition has not fired yet.
+  std::int64_t chains_in_flight_ = 0;
 };
 
 }  // namespace dc::core

@@ -75,6 +75,13 @@ class TriggerMonitor {
   std::size_t workflow_count() const { return dags_.size(); }
   const workflow::Dag& dag(WorkflowIndex wf) const { return *dags_.at(wf); }
 
+  /// Serializes the registered workflows (tasks and edges — the monitor
+  /// owns its DAG copies, and submissions arrive via already-fired events
+  /// that a restore never replays), the per-task readiness counters, and
+  /// the external triggers.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
  private:
   struct ExternalTrigger {
     WorkflowIndex wf;
@@ -171,6 +178,9 @@ class MtcServer : public HtcServer {
   double tasks_per_second(SimTime horizon) const;
 
   const TriggerMonitor& monitor() const { return monitor_; }
+
+  Status save(snapshot::SnapshotWriter& writer) const override;
+  Status restore(snapshot::SnapshotReader& reader) override;
 
  protected:
   /// MTC demand counts every constituent job of the submitted workflows

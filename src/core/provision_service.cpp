@@ -129,6 +129,104 @@ void ResourceProvisionService::record_hardware_swap(SimTime now,
   adjustments_.record(now, nodes);  // install the RE on the replacement
 }
 
+Status ResourceProvisionService::save(snapshot::SnapshotWriter& writer) const {
+  assert(!draining_ && "snapshot taken from inside a grant callback");
+  if (auto st = pool_.save(writer); !st.is_ok()) return st;
+  writer.field_u64("consumer_count", consumers_.size());
+  for (const Consumer& consumer : consumers_) {
+    writer.field_str("name", consumer.name);
+    writer.field_i64("held", consumer.held);
+  }
+  writer.field_u64("waiting_count", waiting_.size());
+  for (const WaitingRequest& request : waiting_) {
+    writer.field_u64("consumer", request.consumer);
+    writer.field_i64("nodes", request.nodes);
+    writer.field_u64("sequence", request.sequence);
+  }
+  writer.field_u64("next_sequence", next_sequence_);
+  writer.field_i64("rejected", rejected_);
+  if (auto st = usage_.save(writer); !st.is_ok()) return st;
+  if (auto st = adjustments_.save(writer); !st.is_ok()) return st;
+  return Status::ok();
+}
+
+Status ResourceProvisionService::restore(snapshot::SnapshotReader& reader) {
+  if (auto st = pool_.restore(reader); !st.is_ok()) return st;
+  std::uint64_t consumer_count = 0;
+  if (auto st = reader.read_u64("consumer_count", consumer_count); !st.is_ok()) {
+    return st;
+  }
+  if (consumer_count != consumers_.size()) {
+    return Status::failed_precondition(
+        "provision service: snapshot has " + std::to_string(consumer_count) +
+        " consumers but the rebuilt world registered " +
+        std::to_string(consumers_.size()) +
+        " — the snapshot belongs to a different experiment");
+  }
+  for (Consumer& consumer : consumers_) {
+    std::string name;
+    if (auto st = reader.read_str("name", name); !st.is_ok()) return st;
+    if (name != consumer.name) {
+      return Status::failed_precondition(
+          "provision service: snapshot consumer '" + name +
+          "' does not match rebuilt consumer '" + consumer.name +
+          "' — registration order changed");
+    }
+    if (auto st = reader.read_i64("held", consumer.held); !st.is_ok()) return st;
+  }
+  std::uint64_t waiting_count = 0;
+  if (auto st = reader.read_u64("waiting_count", waiting_count); !st.is_ok()) {
+    return st;
+  }
+  waiting_.clear();
+  for (std::uint64_t i = 0; i < waiting_count; ++i) {
+    WaitingRequest request{};
+    std::uint64_t consumer = 0;
+    if (auto st = reader.read_u64("consumer", consumer); !st.is_ok()) return st;
+    if (consumer >= consumers_.size()) {
+      return Status::failed_precondition(
+          "provision service: waiting request references consumer " +
+          std::to_string(consumer) + " beyond the registry");
+    }
+    request.consumer = consumer;
+    if (auto st = reader.read_i64("nodes", request.nodes); !st.is_ok()) return st;
+    if (auto st = reader.read_u64("sequence", request.sequence); !st.is_ok()) {
+      return st;
+    }
+    waiting_.push_back(std::move(request));
+  }
+  if (auto st = reader.read_u64("next_sequence", next_sequence_); !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("rejected", rejected_); !st.is_ok()) return st;
+  if (auto st = usage_.restore(reader); !st.is_ok()) return st;
+  if (auto st = adjustments_.restore(reader); !st.is_ok()) return st;
+  return Status::ok();
+}
+
+bool ResourceProvisionService::reattach_waiting(
+    ConsumerId consumer, std::function<void(SimTime)> on_granted) {
+  for (WaitingRequest& request : waiting_) {
+    if (request.consumer == consumer && !request.on_granted) {
+      request.on_granted = std::move(on_granted);
+      return true;
+    }
+  }
+  return false;
+}
+
+Status ResourceProvisionService::verify_waiting_restored() const {
+  for (const WaitingRequest& request : waiting_) {
+    if (!request.on_granted) {
+      return Status::failed_precondition(
+          "provision service: waiting request of consumer '" +
+          consumers_[request.consumer].name +
+          "' has no re-attached grant callback — its owner did not restore");
+    }
+  }
+  return Status::ok();
+}
+
 std::int64_t ResourceProvisionService::held_by(ConsumerId consumer) const {
   return consumers_.at(consumer).held;
 }

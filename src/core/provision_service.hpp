@@ -23,6 +23,8 @@
 #include "cluster/resource_pool.hpp"
 #include "cluster/usage_recorder.hpp"
 #include "core/policies.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace dc::core {
@@ -83,6 +85,22 @@ class ResourceProvisionService {
 
   /// Grants rejected (pool exhausted or cap exceeded).
   std::int64_t rejected_requests() const { return rejected_; }
+
+  /// Serializes pool level, per-consumer holdings, the waiting queue
+  /// (sans callbacks), and the provider's books. Consumers must already be
+  /// registered identically when restoring; `restore` verifies names.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
+  /// After `restore`, each owner of a waiting request re-attaches its grant
+  /// callback here (callbacks are never serialized). Attaches to the oldest
+  /// callback-less waiting entry of `consumer`; returns false if there is
+  /// none.
+  bool reattach_waiting(ConsumerId consumer, std::function<void(SimTime)> on_granted);
+
+  /// Restore completeness check: every waiting request must have had its
+  /// callback re-attached, else the resume would drop a pending grant.
+  Status verify_waiting_restored() const;
 
  private:
   struct Consumer {

@@ -1,0 +1,170 @@
+// Crash-consistent execution of one emulated system (see docs/SNAPSHOT.md).
+//
+// SystemRunner owns the whole world of a single run_system() invocation —
+// kernel, provision service, lifecycle, job emulator, schedulers, servers
+// or DRP runners, and the optional fault domain — so that the complete
+// simulation state can be saved to (and restored from) a snapshot stream
+// at a quiescent point between run_until chunks.
+//
+// The contract mirrors the component-level one:
+//
+//  * a *fresh* runner constructs and arms the world exactly the way
+//    run_system always has — event sequence numbers, consumer
+//    registration order and the seeded victim sequence are identical, so
+//    chunked execution with periodic snapshots is observationally
+//    equivalent to one uninterrupted run_until(horizon);
+//  * a *restore-mode* runner constructs the same world passively (nothing
+//    scheduled: the job emulator registers its streams without arming,
+//    no TRE creations, no start events — a virgin kernel), then
+//    restore() replays the saved kernel counters and lets every component
+//    re-arm its own pending events with their saved (time, seq). Resuming
+//    and running to the horizon then produces byte-identical results.
+//
+// Callbacks are never serialized; components rebuild them from their own
+// state. The runner only orchestrates ordering: the emulate_* replay
+// sequence, the component section order inside the snapshot, and the
+// begin_restore/finish_restore bracket with its pending-event count check.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/drp_runner.hpp"
+#include "core/fault/fault_domain.hpp"
+#include "core/htc_server.hpp"
+#include "core/job_emulator.hpp"
+#include "core/lifecycle.hpp"
+#include "core/mtc_server.hpp"
+#include "core/provision_service.hpp"
+#include "core/systems.hpp"
+#include "sched/conservative_backfill.hpp"
+#include "sched/easy_backfill.hpp"
+#include "sched/fcfs.hpp"
+#include "sched/first_fit.hpp"
+#include "sched/sjf.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace dc::core {
+
+/// Periodic-snapshot/resume policy for run_system_snapshotted.
+struct SnapshotPolicy {
+  /// Snapshot every this many simulated seconds (at fixed multiples of the
+  /// interval, so a resumed run hits the same boundaries as a continuous
+  /// one). 0 disables periodic snapshots.
+  SimDuration every = 0;
+  /// Directory for auto-snapshots (created if missing). Required when
+  /// `every` > 0.
+  std::string dir;
+  /// Resume from this snapshot file. Empty + `resume` = pick the newest
+  /// valid snapshot in `dir` (corrupt files are skipped with a warning;
+  /// a fresh run starts only when no snapshot file exists at all).
+  std::string resume_from;
+  /// Attempt to resume from `dir` before starting fresh.
+  bool resume = false;
+};
+
+class SystemRunner {
+ public:
+  enum class Mode {
+    kFresh,    // arm everything; ready to run from t=0
+    kRestore,  // passive build; call restore() before running
+  };
+
+  SystemRunner(SystemModel model, const ConsolidationWorkload& workload,
+               const RunOptions& options, Mode mode = Mode::kFresh);
+  SystemRunner(const SystemRunner&) = delete;
+  SystemRunner& operator=(const SystemRunner&) = delete;
+
+  SystemModel model() const { return model_; }
+  SimTime horizon() const { return horizon_; }
+  SimTime now() const { return sim_.now(); }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Advances the simulation; quiescent snapshot points are exactly the
+  /// instants between run_until calls.
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+  /// Serializes the full world state (kernel counters + every component,
+  /// one named section each). Must be called at a quiescent point.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  /// save() + checksum footer + atomic write.
+  Status save_file(const std::string& path) const;
+
+  /// Restores into a passively built (Mode::kRestore) runner: verifies the
+  /// snapshot matches this model/workload, replays the kernel counters,
+  /// lets each component restore and re-arm, then checks that exactly the
+  /// saved number of pending events was re-armed and that every waiting
+  /// provision request got its callback back.
+  Status restore(snapshot::SnapshotReader& reader);
+  Status restore_file(const std::string& path);
+
+  /// Shuts the world down (server-based systems) and extracts the
+  /// SystemResult exactly as run_system always has. Call once, after the
+  /// horizon has been reached.
+  SystemResult finalize();
+
+ private:
+  void build();
+  /// Fresh mode: schedules server starts / TRE creations, feeds the
+  /// emulator, arms the fault domain. Restore mode: replays only the
+  /// emulate_* calls (the passive emulator records streams without
+  /// scheduling) so stream/callback identities line up for restore().
+  void arm();
+  const sched::Scheduler* htc_scheduler() const;
+
+  SystemModel model_;
+  /// Deep copies: servers keep pointers into the specs (DAGs, traces), so
+  /// the runner owns its workload for its whole lifetime.
+  ConsolidationWorkload workload_;
+  RunOptions options_;
+  SimTime horizon_ = 0;
+  Mode mode_;
+  bool finalized_ = false;
+
+  sim::Simulator sim_;
+  std::unique_ptr<ResourceProvisionService> provision_;
+  std::unique_ptr<LifecycleService> lifecycle_;  // server-based models only
+  std::unique_ptr<JobEmulator> emulator_;
+
+  sched::FirstFitScheduler first_fit_;
+  sched::EasyBackfillScheduler easy_;
+  sched::ConservativeBackfillScheduler conservative_;
+  sched::SjfScheduler sjf_;
+  sched::FcfsScheduler fcfs_;
+
+  std::vector<std::unique_ptr<HtcServer>> htc_servers_;
+  std::vector<std::unique_ptr<MtcServer>> mtc_servers_;
+  std::vector<std::unique_ptr<DrpRunner>> runners_;  // DRP only
+  std::vector<WorkloadType> runner_types_;
+  std::optional<fault::FaultDomain> injector_;
+};
+
+/// The canonical auto-snapshot filename for `model` at simulated time `t`
+/// inside `dir` (zero-padded so lexical order is chronological order).
+std::string snapshot_path(const std::string& dir, SystemModel model, SimTime t);
+
+/// Newest snapshot in `dir` whose name matches `model` and whose stream
+/// verifies (checksum, magic, version) and declares the same model in its
+/// meta section. Corrupt/mismatched candidates are skipped with a warning.
+/// Returns "" when the directory holds no candidate at all (fresh start);
+/// an error when candidates exist but every one is unusable — resuming
+/// silently from nothing when snapshots were expected would be a wrong
+/// answer, not a recovery.
+StatusOr<std::string> latest_valid_snapshot(const std::string& dir,
+                                            SystemModel model);
+
+/// run_system with crash consistency: optionally resumes from the newest
+/// valid snapshot (policy.resume / policy.resume_from), runs in
+/// `policy.every`-sized chunks, and writes a snapshot at every chunk
+/// boundary. With a default policy this is exactly run_system.
+StatusOr<SystemResult> run_system_snapshotted(SystemModel model,
+                                              const ConsolidationWorkload& workload,
+                                              const RunOptions& options,
+                                              const SnapshotPolicy& policy);
+
+}  // namespace dc::core

@@ -1,20 +1,9 @@
 #include "core/systems.hpp"
 
+#include <algorithm>
 #include <cassert>
-#include <memory>
 
-#include "core/drp_runner.hpp"
-#include "core/htc_server.hpp"
-#include "core/job_emulator.hpp"
-#include "core/mtc_server.hpp"
-#include "core/provision_service.hpp"
-#include "sched/conservative_backfill.hpp"
-#include "sched/easy_backfill.hpp"
-#include "sched/fcfs.hpp"
-#include "sched/first_fit.hpp"
-#include "sched/sjf.hpp"
-#include "sim/simulator.hpp"
-#include "util/log.hpp"
+#include "core/system_runner.hpp"
 
 namespace dc::core {
 
@@ -77,335 +66,15 @@ const ProviderResult& SystemResult::provider(const std::string& name) const {
   return providers.front();
 }
 
-namespace {
-
-ProviderResult make_result_from_server(const HtcServer& server,
-                                       WorkloadType type, SimTime horizon,
-                                       SimDuration quantum) {
-  ProviderResult result;
-  result.provider = server.name();
-  result.type = type;
-  result.submitted_jobs = server.submitted_jobs();
-  result.completed_jobs = server.completed_jobs(horizon);
-  result.consumption_node_hours =
-      server.ledger().billed_node_hours_with_quantum(horizon, quantum);
-  result.exact_node_hours = server.ledger().exact_node_hours(horizon);
-  result.peak_nodes = server.held_usage().peak();
-  if (server.first_submit() != kNever && server.last_finish() != kNever) {
-    result.makespan = server.last_finish() - server.first_submit();
-  }
-  std::int64_t started = 0;
-  double wait_sum = 0.0;
-  for (const sched::Job& job : server.jobs()) {
-    if (job.start == kNever || job.start > horizon) continue;
-    ++started;
-    wait_sum += static_cast<double>(job.wait_time());
-    result.max_wait_seconds = std::max(result.max_wait_seconds, job.wait_time());
-  }
-  if (started > 0) result.mean_wait_seconds = wait_sum / static_cast<double>(started);
-  result.jobs_killed = server.job_retries();
-  result.jobs_failed = server.jobs_failed();
-  result.grant_timeouts = server.grant_timeouts();
-  result.goodput_node_hours = server.goodput_node_hours(horizon);
-  result.wasted_node_hours = server.wasted_node_hours();
-  result.availability = server.availability(horizon);
-  return result;
-}
-
-/// Held-node-hour-weighted availability across providers.
-struct AvailabilityAccumulator {
-  double held_nh = 0.0;
-  double down_nh = 0.0;
-  void add(double held, double availability) {
-    held_nh += held;
-    down_nh += held * (1.0 - availability);
-  }
-  double value() const {
-    return held_nh <= 0.0 ? 1.0 : 1.0 - down_nh / held_nh;
-  }
-};
-
-/// Shared implementation for DCS, SSP and DawningCloud, which differ in
-/// (a) whether servers are fixed-size or elastic and (b) whether TREs are
-/// created through the lifecycle service.
-SystemResult run_server_based(SystemModel model,
-                              const ConsolidationWorkload& workload,
-                              const RunOptions& options) {
-  const bool elastic = model == SystemModel::kDawningCloud;
-  const SimTime horizon = workload.effective_horizon();
-
-  sim::Simulator sim;
-  ProvisionPolicy provision_policy;
-  provision_policy.count_adjustments = model != SystemModel::kDcs;
-  provision_policy.contention = options.contention;
-  ResourceProvisionService provision(
-      options.platform_capacity > 0
-          ? cluster::ResourcePool(options.platform_capacity)
-          : cluster::ResourcePool::unbounded(),
-      provision_policy);
-  LifecycleService lifecycle(sim);
-  JobEmulator emulator(sim);
-
-  sched::FirstFitScheduler first_fit;
-  sched::EasyBackfillScheduler easy;
-  sched::ConservativeBackfillScheduler conservative;
-  sched::SjfScheduler sjf;
-  sched::FcfsScheduler fcfs;
-  const sched::Scheduler* htc_sched = &first_fit;
-  switch (options.htc_scheduler) {
-    case HtcSchedulerKind::kFirstFit: htc_sched = &first_fit; break;
-    case HtcSchedulerKind::kEasyBackfill: htc_sched = &easy; break;
-    case HtcSchedulerKind::kConservativeBackfill: htc_sched = &conservative; break;
-    case HtcSchedulerKind::kSjf: htc_sched = &sjf; break;
-  }
-
-  std::vector<std::unique_ptr<HtcServer>> htc_servers;
-  std::vector<std::unique_ptr<MtcServer>> mtc_servers;
-
-  for (const HtcWorkloadSpec& spec : workload.htc) {
-    HtcServer::Config config;
-    config.name = spec.name;
-    config.scheduler = htc_sched;
-    config.priority = spec.priority;
-    config.setup_latency = options.setup_latency;
-    config.recovery = options.recovery;
-    if (elastic) {
-      config.policy = spec.policy;
-    } else {
-      config.fixed_nodes = spec.fixed_nodes;
-    }
-    htc_servers.push_back(
-        std::make_unique<HtcServer>(sim, provision, std::move(config)));
-    HtcServer* server = htc_servers.back().get();
-
-    if (elastic) {
-      // DSP usage pattern: the provider requests a TRE; the CSF creates it
-      // and the server starts when the TRE reaches Running.
-      TreSpec tre;
-      tre.provider_name = spec.name;
-      tre.type = WorkloadType::kHtc;
-      tre.requested_initial_nodes = spec.policy.initial_nodes;
-      auto created = lifecycle.create_tre(
-          tre, [server](SimTime) { server->start(); });
-      assert(created.is_ok());
-    } else {
-      sim.schedule_at(0, [server] { server->start(); });
-    }
-    emulator.emulate_trace(spec.trace, [server](const workload::TraceJob& job) {
-      server->submit(job.runtime, job.nodes);
-    });
-  }
-
-  for (const MtcWorkloadSpec& spec : workload.mtc) {
-    MtcServer::MtcConfig config;
-    config.name = spec.name;
-    config.scheduler = &fcfs;
-    config.destroy_when_complete = true;
-    config.priority = spec.priority;
-    config.setup_latency = options.setup_latency;
-    config.recovery = options.recovery;
-    if (elastic) {
-      config.policy = spec.policy;
-    } else {
-      config.fixed_nodes = spec.fixed_nodes;
-    }
-    mtc_servers.push_back(
-        std::make_unique<MtcServer>(sim, provision, std::move(config)));
-    MtcServer* server = mtc_servers.back().get();
-    const workflow::Dag* dag = &spec.dag;
-
-    if (elastic) {
-      emulator.emulate_at(
-          spec.submit_time,
-          [server, dag, &lifecycle, name = spec.name,
-           initial = spec.policy.initial_nodes] {
-            TreSpec tre;
-            tre.provider_name = name;
-            tre.type = WorkloadType::kMtc;
-            tre.requested_initial_nodes = initial;
-            auto created = lifecycle.create_tre(tre, [server, dag](SimTime) {
-              server->start();
-              server->submit_workflow(*dag);
-            });
-            assert(created.is_ok());
-          });
-    } else {
-      emulator.emulate_at(spec.submit_time, [server, dag] {
-        server->start();
-        server->submit_workflow(*dag);
-      });
-    }
-  }
-
-  std::optional<fault::FaultDomain> injector;
-  if (options.faults) {
-    injector.emplace(sim, *options.faults);
-    for (auto& server : htc_servers) injector->watch(server.get());
-    for (auto& server : mtc_servers) injector->watch(server.get());
-    // Scheduled after every server-start event at t=0, so the victim
-    // weights see the initial holdings from the first draw.
-    sim.schedule_at(0, [&injector, horizon] { injector->start(horizon); });
-  }
-
-  sim.run_until(horizon);
-  for (auto& server : htc_servers) server->shutdown();
-  for (auto& server : mtc_servers) server->shutdown();
-
-  SystemResult result;
-  result.model = model;
-  result.horizon = horizon;
-  for (std::size_t i = 0; i < htc_servers.size(); ++i) {
-    result.providers.push_back(make_result_from_server(
-        *htc_servers[i], WorkloadType::kHtc, horizon, options.billing_quantum));
-  }
-  for (std::size_t i = 0; i < mtc_servers.size(); ++i) {
-    ProviderResult provider = make_result_from_server(
-        *mtc_servers[i], WorkloadType::kMtc, horizon, options.billing_quantum);
-    provider.makespan = mtc_servers[i]->makespan(horizon);
-    provider.tasks_per_second = mtc_servers[i]->tasks_per_second(horizon);
-    result.providers.push_back(std::move(provider));
-  }
-  for (const ProviderResult& provider : result.providers) {
-    result.total_consumption_node_hours += provider.consumption_node_hours;
-    result.jobs_killed += provider.jobs_killed;
-    result.jobs_failed += provider.jobs_failed;
-    result.goodput_node_hours += provider.goodput_node_hours;
-    result.wasted_node_hours += provider.wasted_node_hours;
-  }
-  AvailabilityAccumulator aggregate;
-  for (auto& server : htc_servers) {
-    aggregate.add(server->held_usage().node_hours(horizon),
-                  server->availability(horizon));
-  }
-  for (auto& server : mtc_servers) {
-    aggregate.add(server->held_usage().node_hours(horizon),
-                  server->availability(horizon));
-  }
-  result.availability = aggregate.value();
-  if (injector) {
-    result.failure_events = injector->failure_events();
-    result.nodes_failed = injector->nodes_failed();
-    result.nodes_repaired = injector->nodes_repaired();
-  }
-  result.peak_nodes = provision.usage().peak();
-  result.adjusted_nodes = provision.adjustments().total_adjusted_nodes();
-  result.overhead_seconds = provision.adjustments().overhead_seconds();
-  result.overhead_seconds_per_hour =
-      provision.adjustments().overhead_seconds_per_hour(horizon);
-  result.rejected_requests = provision.rejected_requests();
-  result.simulated_events = sim.events_processed();
-  result.hourly_peak_series = provision.usage().hourly_peak_series(horizon);
-  return result;
-}
-
-SystemResult run_drp(const ConsolidationWorkload& workload,
-                     const RunOptions& options) {
-  const SimTime horizon = workload.effective_horizon();
-  sim::Simulator sim;
-  ResourceProvisionService provision(
-      options.platform_capacity > 0
-          ? cluster::ResourcePool(options.platform_capacity)
-          : cluster::ResourcePool::unbounded(),
-      ProvisionPolicy{});
-  JobEmulator emulator(sim);
-
-  std::vector<std::unique_ptr<DrpRunner>> runners;
-  std::vector<WorkloadType> types;
-  for (const HtcWorkloadSpec& spec : workload.htc) {
-    runners.push_back(std::make_unique<DrpRunner>(sim, provision, spec.name));
-    types.push_back(WorkloadType::kHtc);
-    DrpRunner* runner = runners.back().get();
-    runner->set_setup_latency(options.setup_latency);
-    runner->set_recovery(options.recovery);
-    emulator.emulate_trace(spec.trace, [runner](const workload::TraceJob& job) {
-      runner->submit_job(job.runtime, job.nodes);
-    });
-  }
-  for (const MtcWorkloadSpec& spec : workload.mtc) {
-    runners.push_back(std::make_unique<DrpRunner>(sim, provision, spec.name));
-    types.push_back(WorkloadType::kMtc);
-    DrpRunner* runner = runners.back().get();
-    runner->set_setup_latency(options.setup_latency);
-    runner->set_recovery(options.recovery);
-    const workflow::Dag* dag = &spec.dag;
-    emulator.emulate_at(spec.submit_time,
-                        [runner, dag] { runner->submit_workflow(*dag); });
-  }
-
-  std::optional<fault::FaultDomain> injector;
-  if (options.faults) {
-    injector.emplace(sim, *options.faults);
-    for (auto& runner : runners) injector->watch(runner.get());
-    sim.schedule_at(0, [&injector, horizon] { injector->start(horizon); });
-  }
-
-  sim.run_until(horizon);
-
-  SystemResult result;
-  result.model = SystemModel::kDrp;
-  result.horizon = horizon;
-  for (std::size_t i = 0; i < runners.size(); ++i) {
-    const DrpRunner& runner = *runners[i];
-    ProviderResult provider;
-    provider.provider = runner.name();
-    provider.type = types[i];
-    provider.submitted_jobs = runner.submitted_jobs();
-    provider.completed_jobs = runner.completed_jobs(horizon);
-    provider.consumption_node_hours =
-        runner.ledger().billed_node_hours_with_quantum(horizon,
-                                                       options.billing_quantum);
-    provider.exact_node_hours = runner.ledger().exact_node_hours(horizon);
-    provider.peak_nodes = runner.held_usage().peak();
-    provider.makespan = runner.makespan(horizon);
-    if (types[i] == WorkloadType::kMtc) {
-      provider.tasks_per_second = runner.tasks_per_second(horizon);
-    }
-    provider.jobs_killed = runner.jobs_killed();
-    provider.jobs_failed = runner.jobs_failed();
-    provider.goodput_node_hours = runner.goodput_node_hours(horizon);
-    provider.wasted_node_hours = runner.wasted_node_hours();
-    // A failed VM's lease ends at the failure instant: the DRP user never
-    // holds broken capacity, so availability is 1 by construction — the
-    // failures show up as wasted re-run hours instead.
-    provider.availability = 1.0;
-    result.total_consumption_node_hours += provider.consumption_node_hours;
-    result.jobs_killed += provider.jobs_killed;
-    result.jobs_failed += provider.jobs_failed;
-    result.goodput_node_hours += provider.goodput_node_hours;
-    result.wasted_node_hours += provider.wasted_node_hours;
-    result.providers.push_back(std::move(provider));
-  }
-  if (injector) {
-    result.failure_events = injector->failure_events();
-    result.nodes_failed = injector->nodes_failed();
-    result.nodes_repaired = injector->nodes_repaired();
-  }
-  result.peak_nodes = provision.usage().peak();
-  result.adjusted_nodes = provision.adjustments().total_adjusted_nodes();
-  result.overhead_seconds = provision.adjustments().overhead_seconds();
-  result.overhead_seconds_per_hour =
-      provision.adjustments().overhead_seconds_per_hour(horizon);
-  result.rejected_requests = provision.rejected_requests();
-  result.simulated_events = sim.events_processed();
-  result.hourly_peak_series = provision.usage().hourly_peak_series(horizon);
-  return result;
-}
-
-}  // namespace
-
+// The world construction, arming, and result extraction for all four
+// systems lives in SystemRunner (system_runner.cpp) so the same code path
+// serves uninterrupted runs, periodic-snapshot runs, and crash resumes.
 SystemResult run_system(SystemModel model,
                         const ConsolidationWorkload& workload,
                         const RunOptions& options) {
-  switch (model) {
-    case SystemModel::kDcs:
-    case SystemModel::kSsp:
-    case SystemModel::kDawningCloud:
-      return run_server_based(model, workload, options);
-    case SystemModel::kDrp:
-      return run_drp(workload, options);
-  }
-  assert(false && "unknown system model");
-  return {};
+  SystemRunner runner(model, workload, options);
+  runner.run_until(runner.horizon());
+  return runner.finalize();
 }
 
 std::vector<SystemResult> run_all_systems(const ConsolidationWorkload& workload,

@@ -26,6 +26,8 @@
 #include "core/fault/fault_target.hpp"
 #include "core/provision_service.hpp"
 #include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
 #include "workload/demand_profile.hpp"
 
 namespace dc::core {
@@ -88,9 +90,17 @@ class WssServer : public fault::FaultTarget {
   /// Seconds during which demand exceeded the holding.
   SimDuration violation_seconds() const { return violation_seconds_; }
 
+  /// Serializes the holding, leases, usage series, SLA accumulators, and
+  /// the (next_fire, seq) of the scan and per-grant idle timers; restore()
+  /// runs on a freshly constructed server and re-arms the timers itself.
+  Status save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
  private:
   void scan(SimTime now);
   std::int64_t required_at(SimTime t) const;
+  sim::Simulator::TimerCallback make_scan();
+  sim::Simulator::TimerCallback make_idle_check(std::size_t grant_index);
 
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;

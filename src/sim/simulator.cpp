@@ -310,6 +310,108 @@ bool Simulator::stop_timer(TimerId id) {
 }
 
 // ---------------------------------------------------------------------------
+// Snapshot/restore support
+
+std::optional<Simulator::PendingEventInfo> Simulator::pending_event_info(
+    EventId id) const {
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= event_slots_used_) return std::nullopt;
+  const EventSlot& ev = event(slot);
+  if (!ev.live || ev.gen != id_gen(id)) return std::nullopt;
+  const HeapNode& node = heap_at(slot_pos_[slot]);
+  return PendingEventInfo{key_time(node.time_bits), node.seq};
+}
+
+std::optional<Simulator::PendingTimerInfo> Simulator::pending_timer_info(
+    TimerId id) const {
+  const std::uint32_t slot = id_slot(id);
+  if (slot >= timer_slots_used_) return std::nullopt;
+  const TimerSlot& ts = timer(slot);
+  if (!ts.alive || ts.gen != id_gen(id)) return std::nullopt;
+  const std::uint32_t ev_slot = id_slot(ts.pending);
+  assert(ev_slot < event_slots_used_ && event(ev_slot).live &&
+         "alive timer without a pending fire event at a quiescent point");
+  const HeapNode& node = heap_at(slot_pos_[ev_slot]);
+  return PendingTimerInfo{key_time(node.time_bits), node.seq, ts.period};
+}
+
+void Simulator::begin_restore(SimTime now, std::uint32_t next_seq,
+                              std::uint64_t processed) {
+  assert(!restoring_ && "begin_restore called twice");
+  assert(now_ == 0 && processed_ == 0 && live_events_ == 0 &&
+         heap_size_ == 0 && event_slots_used_ == 0 && timer_slots_used_ == 0 &&
+         "restore requires a virgin kernel (build components passively)");
+  assert(now >= 0 && next_seq >= 1);
+  now_ = now;
+  next_seq_ = next_seq;
+  processed_ = processed;
+  restoring_ = true;
+}
+
+TimerId Simulator::restore_periodic(SimTime next_fire, std::uint32_t seq,
+                                    SimDuration period, TimerCallback fn) {
+  assert(restoring_ && "restore_periodic outside begin/finish_restore");
+  assert(period > 0 && "periodic timer needs a positive period");
+  assert(next_fire >= now_ && "restored timer fire is in the past");
+  assert(seq >= 1 && seq < next_seq_ && "restored seq outside saved range");
+  std::uint32_t slot;
+  if (free_timer_ != kNpos) {
+    slot = free_timer_;
+    free_timer_ = timer(slot).next_free;
+    timer(slot).next_free = kNpos;
+  } else {
+    slot = timer_slots_used_++;
+    if ((slot >> kSlabShift) >= timer_chunks_.size()) {
+      timer_chunks_.push_back(std::make_unique<TimerSlot[]>(kSlabChunk));
+    }
+  }
+  TimerSlot& ts = timer(slot);
+  ts.period = period;
+  ts.fn = std::move(fn);
+  ts.alive = true;
+  ts.firing = false;
+  const TimerId id = make_event_id(slot, ts.gen);
+  const std::uint32_t ev_slot = alloc_event_slot();
+  event(ev_slot).timer_slot = slot;
+  DC_CHECKED_ONLY(timer_arming_ = slot;)
+  ts.pending = push_event_with_seq(next_fire, ev_slot, seq);
+  DC_CHECKED_ONLY(timer_arming_ = kNpos;)
+  return id;
+}
+
+Status Simulator::finish_restore(std::uint64_t expected_pending) {
+  assert(restoring_ && "finish_restore without begin_restore");
+  restoring_ = false;
+  if (live_events_ != expected_pending) {
+    return Status::failed_precondition(
+        "simulator restore: " + std::to_string(live_events_) +
+        " events re-armed but the snapshot recorded " +
+        std::to_string(expected_pending) +
+        " pending — a component failed to re-arm (or re-armed twice)");
+  }
+  std::vector<std::uint32_t> seqs;
+  seqs.reserve(heap_size_);
+  for (std::size_t i = 0; i < heap_size_; ++i) seqs.push_back(heap_at(i).seq);
+  std::sort(seqs.begin(), seqs.end());
+  for (std::size_t i = 1; i < seqs.size(); ++i) {
+    if (seqs[i] == seqs[i - 1]) {
+      return Status::failed_precondition(
+          "simulator restore: duplicate sequence number " +
+          std::to_string(seqs[i]) +
+          " — two components re-armed the same pending event");
+    }
+  }
+  if (!seqs.empty() && seqs.back() >= next_seq_) {
+    return Status::failed_precondition(
+        "simulator restore: re-armed sequence " + std::to_string(seqs.back()) +
+        " is not below the restored tie-break counter " +
+        std::to_string(next_seq_));
+  }
+  audit_invariants();
+  return Status::ok();
+}
+
+// ---------------------------------------------------------------------------
 // Checked-build structural audit. Everything here is O(pending + slots) and
 // compiled out of non-DC_CHECKED builds; maybe_audit() amortizes the cost to
 // O(1) per kernel operation by spacing audits at least heap_size_ apart.

@@ -41,11 +41,13 @@
 #include <cstring>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "sim/small_func.hpp"
 #include "util/check.hpp"
+#include "util/status.hpp"
 #include "util/time.hpp"
 
 namespace dc::sim {
@@ -130,6 +132,70 @@ class Simulator {
   /// Pre-sizes the event slab and heap for `expected_events` concurrently
   /// pending events. Optional — both grow on demand.
   void reserve(std::size_t expected_events);
+
+  // --- Snapshot/restore support (see docs/SNAPSHOT.md) -------------------
+  //
+  // A snapshot taken at a quiescent point (between run_until chunks, no
+  // callback on the stack) records, per pending occurrence, its (time, seq)
+  // pair. Restore rebuilds the pending set by re-scheduling semantically
+  // identical callbacks with their *original* sequence numbers: since seqs
+  // are unique, (time, seq) is a total order and the heap pops the restored
+  // events in exactly the order the uninterrupted run would have — push
+  // order and slot indices are irrelevant to results.
+
+  /// (time, seq) of a pending one-shot event; nullopt if the handle is
+  /// stale (already fired or cancelled). O(1) — safe to call on every entry
+  /// of an append-only event registry at save time.
+  struct PendingEventInfo {
+    SimTime time;
+    std::uint32_t seq;
+  };
+  std::optional<PendingEventInfo> pending_event_info(EventId id) const;
+
+  /// Next fire (time, seq) and period of an active periodic timer; nullopt
+  /// if the handle is stale.
+  struct PendingTimerInfo {
+    SimTime next_fire;
+    std::uint32_t seq;
+    SimDuration period;
+  };
+  std::optional<PendingTimerInfo> pending_timer_info(TimerId id) const;
+
+  /// The FIFO tie-break counter; saved so schedules after resume draw the
+  /// same sequence numbers the uninterrupted run would have.
+  std::uint32_t next_seq() const { return next_seq_; }
+
+  /// Enters restore mode on a *virgin* kernel (nothing scheduled, clock at
+  /// zero): sets the clock, the tie-break counter, and the processed-event
+  /// count to their snapshot values. Only restore_event/restore_periodic
+  /// may schedule until finish_restore().
+  void begin_restore(SimTime now, std::uint32_t next_seq,
+                     std::uint64_t processed);
+
+  /// Re-arms one pending one-shot event with its saved (time, seq).
+  template <typename F>
+  EventId restore_event(SimTime t, std::uint32_t seq, F&& fn) {
+    assert(restoring_ && "restore_event outside begin_restore/finish_restore");
+    assert(t >= now_ && "restored event is in the past");
+    assert(seq >= 1 && seq < next_seq_ && "restored seq outside saved range");
+    const std::uint32_t slot = alloc_event_slot();
+    event(slot).fn = std::forward<F>(fn);
+    assert(event(slot).fn && "callback must be callable");
+    return push_event_with_seq(t, slot, seq);
+  }
+
+  /// Re-arms one periodic timer whose next fire was pending at the
+  /// snapshot, with the fire event's saved (time, seq).
+  TimerId restore_periodic(SimTime next_fire, std::uint32_t seq,
+                           SimDuration period, TimerCallback fn);
+
+  /// Leaves restore mode. Validates that exactly `expected_pending` events
+  /// were re-armed and that their sequence numbers are unique and below
+  /// next_seq() — a component that forgot to re-arm (or re-armed twice) is
+  /// reported here instead of silently diverging later.
+  Status finish_restore(std::uint64_t expected_pending);
+
+  bool restoring() const { return restoring_; }
 
   /// Full structural audit of the kernel (checked builds): 4-ary heap
   /// ordering, slot<->position bijection, generation consistency, event and
@@ -253,9 +319,16 @@ class Simulator {
 
   EventId push_event(SimTime t, std::uint32_t slot) {
     if (next_seq_ == 0xffffffffu) renumber_seqs();
+    return push_event_with_seq(t, slot, next_seq_++);
+  }
+
+  // Shared push core; restore_event passes a saved seq, push_event the next
+  // fresh one.
+  EventId push_event_with_seq(SimTime t, std::uint32_t slot,
+                              std::uint32_t seq) {
     if (heap_size_ == heap_cap_) grow_heap(heap_cap_ == 0 ? 1024 : heap_cap_ * 2);
     std::size_t pos = heap_size_++;
-    const HeapNode node{time_key(t), next_seq_++, slot};
+    const HeapNode node{time_key(t), seq, slot};
     // Inline sift-up: random-time inserts rarely climb more than a level
     // or two, so the whole schedule path stays in the caller's frame.
     while (pos > 0) {
@@ -308,6 +381,7 @@ class Simulator {
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
   bool stop_requested_ = false;
+  bool restoring_ = false;
 
   HeapNode* heap_raw_ = nullptr;  // aligned_alloc'd; [0..2] is the pad
   std::size_t heap_size_ = 0;

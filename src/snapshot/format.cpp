@@ -1,0 +1,578 @@
+#include "snapshot/format.hpp"
+
+#include <bit>
+#include <cassert>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "util/strings.hpp"
+
+namespace dc::snapshot {
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+void append_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void append_u16(std::string& out, std::uint16_t v) {
+  out.push_back(static_cast<char>(v & 0xff));
+  out.push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void append_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+std::uint16_t decode_u16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t decode_u32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) | (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t decode_u64(const char* p) {
+  std::uint64_t v = 0;
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+bool known_kind(std::uint8_t raw) {
+  return raw >= static_cast<std::uint8_t>(RecordKind::kSectionBegin) &&
+         raw <= static_cast<std::uint8_t>(RecordKind::kBytes);
+}
+
+std::string joined_path(const std::vector<std::string>& stack) {
+  std::string path;
+  for (const auto& part : stack) {
+    if (!path.empty()) path += '.';
+    path += part;
+  }
+  return path;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = kFnvOffset;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+const char* record_kind_name(RecordKind kind) {
+  switch (kind) {
+    case RecordKind::kSectionBegin: return "section-begin";
+    case RecordKind::kSectionEnd: return "section-end";
+    case RecordKind::kU64: return "u64";
+    case RecordKind::kI64: return "i64";
+    case RecordKind::kF64: return "f64";
+    case RecordKind::kBool: return "bool";
+    case RecordKind::kStr: return "str";
+    case RecordKind::kBytes: return "bytes";
+  }
+  return "unknown";
+}
+
+SnapshotWriter::SnapshotWriter() {
+  buffer_.append(kMagic, sizeof(kMagic));
+  append_u32(buffer_, kFormatVersion);
+}
+
+void SnapshotWriter::record_header(RecordKind kind, std::string_view name) {
+  assert(name.size() <= 0xffff && "snapshot field name too long");
+  append_u8(buffer_, static_cast<std::uint8_t>(kind));
+  append_u16(buffer_, static_cast<std::uint16_t>(name.size()));
+  buffer_.append(name.data(), name.size());
+}
+
+void SnapshotWriter::begin_section(std::string_view name) {
+  record_header(RecordKind::kSectionBegin, name);
+  ++depth_;
+}
+
+void SnapshotWriter::end_section() {
+  assert(depth_ > 0 && "end_section without matching begin_section");
+  record_header(RecordKind::kSectionEnd, "");
+  --depth_;
+}
+
+void SnapshotWriter::field_u64(std::string_view name, std::uint64_t value) {
+  record_header(RecordKind::kU64, name);
+  append_u64(buffer_, value);
+}
+
+void SnapshotWriter::field_i64(std::string_view name, std::int64_t value) {
+  record_header(RecordKind::kI64, name);
+  append_u64(buffer_, static_cast<std::uint64_t>(value));
+}
+
+void SnapshotWriter::field_f64(std::string_view name, double value) {
+  record_header(RecordKind::kF64, name);
+  append_u64(buffer_, std::bit_cast<std::uint64_t>(value));
+}
+
+void SnapshotWriter::field_bool(std::string_view name, bool value) {
+  record_header(RecordKind::kBool, name);
+  append_u8(buffer_, value ? 1 : 0);
+}
+
+void SnapshotWriter::field_str(std::string_view name, std::string_view value) {
+  assert(value.size() <= 0xffffffffULL);
+  record_header(RecordKind::kStr, name);
+  append_u32(buffer_, static_cast<std::uint32_t>(value.size()));
+  buffer_.append(value.data(), value.size());
+}
+
+void SnapshotWriter::field_bytes(std::string_view name, const void* data,
+                                 std::size_t size) {
+  assert(size <= 0xffffffffULL);
+  record_header(RecordKind::kBytes, name);
+  append_u32(buffer_, static_cast<std::uint32_t>(size));
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+std::uint64_t SnapshotWriter::digest() const { return fnv1a(buffer_); }
+
+std::string SnapshotWriter::finish() const {
+  assert(depth_ == 0 && "unbalanced sections at snapshot finish");
+  std::string out = buffer_;
+  append_u64(out, fnv1a(buffer_));
+  return out;
+}
+
+Status SnapshotWriter::write_file(const std::string& path) const {
+  const std::string contents = finish();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return Status::internal("snapshot: cannot open '" + tmp + "' for writing");
+    }
+    file.write(contents.data(),
+               static_cast<std::streamsize>(contents.size()));
+    file.flush();
+    if (!file) {
+      return Status::internal("snapshot: short write to '" + tmp + "'");
+    }
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) {
+    return Status::internal("snapshot: rename '" + tmp + "' -> '" + path +
+                            "' failed: " + ec.message());
+  }
+  return Status::ok();
+}
+
+StatusOr<SnapshotReader> SnapshotReader::from_buffer(std::string buffer) {
+  const std::size_t header = sizeof(kMagic) + 4;
+  if (buffer.size() < header + 8) {
+    return Status::invalid_argument(str_format(
+        "snapshot: stream is %zu bytes, smaller than the %zu-byte "
+        "header+checksum — truncated or not a snapshot",
+        buffer.size(), header + 8));
+  }
+  if (std::memcmp(buffer.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::invalid_argument(
+        "snapshot: bad magic — not a DCSNAP snapshot stream");
+  }
+  const std::uint32_t version = decode_u32(buffer.data() + sizeof(kMagic));
+  if (version != kFormatVersion) {
+    return Status::failed_precondition(str_format(
+        "snapshot: format version %u, but this build reads version %u — "
+        "re-run the experiment from scratch or use a matching build",
+        version, kFormatVersion));
+  }
+  const std::string_view body(buffer.data(), buffer.size() - 8);
+  const std::uint64_t want = decode_u64(buffer.data() + buffer.size() - 8);
+  const std::uint64_t got = fnv1a(body);
+  if (want != got) {
+    return Status::invalid_argument(str_format(
+        "snapshot: checksum mismatch (stored %016llx, computed %016llx) — "
+        "the file is corrupt or was truncated mid-write",
+        static_cast<unsigned long long>(want),
+        static_cast<unsigned long long>(got)));
+  }
+  SnapshotReader reader(std::move(buffer));
+  reader.pos_ = header;
+  // Hide the footer from record decoding.
+  reader.buffer_.resize(reader.buffer_.size() - 8);
+  return reader;
+}
+
+StatusOr<SnapshotReader> SnapshotReader::from_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::not_found("snapshot: cannot open '" + path + "'");
+  }
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  auto reader = from_buffer(std::move(contents));
+  if (!reader.is_ok()) {
+    return Status(reader.status().code(),
+                  "'" + path + "': " + reader.status().message());
+  }
+  return reader;
+}
+
+std::string SnapshotReader::context() const {
+  return str_format("section '%s' near offset %zu",
+                    joined_path(section_stack_).c_str(), pos_);
+}
+
+Status SnapshotReader::error(const std::string& message) const {
+  return Status::invalid_argument("snapshot: " + message + " (" + context() +
+                                  ")");
+}
+
+Status SnapshotReader::read_record(RecordKind want, std::string_view name,
+                                   std::string_view& payload) {
+  if (pos_ + 3 > buffer_.size()) {
+    return error(str_format("stream truncated while expecting field '%.*s'",
+                            static_cast<int>(name.size()), name.data()));
+  }
+  const std::uint8_t raw = static_cast<unsigned char>(buffer_[pos_]);
+  if (!known_kind(raw)) {
+    return error(str_format("unknown record tag %u while expecting field "
+                            "'%.*s' — corrupt stream",
+                            raw, static_cast<int>(name.size()), name.data()));
+  }
+  const auto kind = static_cast<RecordKind>(raw);
+  const std::uint16_t name_len = decode_u16(buffer_.data() + pos_ + 1);
+  std::size_t cursor = pos_ + 3;
+  if (cursor + name_len > buffer_.size()) {
+    return error("stream truncated inside a field name");
+  }
+  const std::string_view found_name(buffer_.data() + cursor, name_len);
+  cursor += name_len;
+
+  std::size_t payload_len = 0;
+  switch (kind) {
+    case RecordKind::kSectionBegin:
+    case RecordKind::kSectionEnd:
+      payload_len = 0;
+      break;
+    case RecordKind::kU64:
+    case RecordKind::kI64:
+    case RecordKind::kF64:
+      payload_len = 8;
+      break;
+    case RecordKind::kBool:
+      payload_len = 1;
+      break;
+    case RecordKind::kStr:
+    case RecordKind::kBytes: {
+      if (cursor + 4 > buffer_.size()) {
+        return error("stream truncated inside a length prefix");
+      }
+      payload_len = decode_u32(buffer_.data() + cursor);
+      cursor += 4;
+      break;
+    }
+  }
+  if (cursor + payload_len > buffer_.size()) {
+    return error(str_format("stream truncated inside field '%.*s' payload",
+                            static_cast<int>(found_name.size()),
+                            found_name.data()));
+  }
+  if (kind != want) {
+    return error(str_format(
+        "expected %s field '%.*s', found %s '%.*s' — save/restore field "
+        "lists have drifted",
+        record_kind_name(want), static_cast<int>(name.size()), name.data(),
+        record_kind_name(kind), static_cast<int>(found_name.size()),
+        found_name.data()));
+  }
+  if (found_name != name && want != RecordKind::kSectionEnd) {
+    return error(str_format(
+        "expected field '%.*s', found '%.*s' — save/restore field lists "
+        "have drifted",
+        static_cast<int>(name.size()), name.data(),
+        static_cast<int>(found_name.size()), found_name.data()));
+  }
+  payload = std::string_view(buffer_.data() + cursor, payload_len);
+  pos_ = cursor + payload_len;
+  return Status::ok();
+}
+
+Status SnapshotReader::begin_section(std::string_view name) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kSectionBegin, name, payload);
+  if (!st.is_ok()) return st;
+  section_stack_.emplace_back(name);
+  return Status::ok();
+}
+
+Status SnapshotReader::end_section() {
+  if (section_stack_.empty()) {
+    return error("end_section with no section open");
+  }
+  std::string_view payload;
+  auto st = read_record(RecordKind::kSectionEnd, "", payload);
+  if (!st.is_ok()) return st;
+  section_stack_.pop_back();
+  return Status::ok();
+}
+
+bool SnapshotReader::at_section_end() const {
+  if (pos_ + 3 > buffer_.size()) return true;
+  const std::uint8_t raw = static_cast<unsigned char>(buffer_[pos_]);
+  return raw == static_cast<std::uint8_t>(RecordKind::kSectionEnd);
+}
+
+Status SnapshotReader::read_u64(std::string_view name, std::uint64_t& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kU64, name, payload);
+  if (!st.is_ok()) return st;
+  out = decode_u64(payload.data());
+  return Status::ok();
+}
+
+Status SnapshotReader::read_i64(std::string_view name, std::int64_t& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kI64, name, payload);
+  if (!st.is_ok()) return st;
+  out = static_cast<std::int64_t>(decode_u64(payload.data()));
+  return Status::ok();
+}
+
+Status SnapshotReader::read_f64(std::string_view name, double& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kF64, name, payload);
+  if (!st.is_ok()) return st;
+  out = std::bit_cast<double>(decode_u64(payload.data()));
+  return Status::ok();
+}
+
+Status SnapshotReader::read_bool(std::string_view name, bool& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kBool, name, payload);
+  if (!st.is_ok()) return st;
+  const std::uint8_t raw = static_cast<unsigned char>(payload[0]);
+  if (raw > 1) {
+    return error(str_format("bool field '%.*s' holds %u",
+                            static_cast<int>(name.size()), name.data(), raw));
+  }
+  out = raw != 0;
+  return Status::ok();
+}
+
+Status SnapshotReader::read_str(std::string_view name, std::string& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kStr, name, payload);
+  if (!st.is_ok()) return st;
+  out.assign(payload.data(), payload.size());
+  return Status::ok();
+}
+
+Status SnapshotReader::read_bytes(std::string_view name, std::string& out) {
+  std::string_view payload;
+  auto st = read_record(RecordKind::kBytes, name, payload);
+  if (!st.is_ok()) return st;
+  out.assign(payload.data(), payload.size());
+  return Status::ok();
+}
+
+std::string SnapshotRecord::value_text() const {
+  switch (kind) {
+    case RecordKind::kSectionBegin: return "{";
+    case RecordKind::kSectionEnd: return "}";
+    case RecordKind::kU64:
+      return str_format("%llu", static_cast<unsigned long long>(
+                                    decode_u64(payload.data())));
+    case RecordKind::kI64:
+      return str_format("%lld", static_cast<long long>(static_cast<std::int64_t>(
+                                    decode_u64(payload.data()))));
+    case RecordKind::kF64:
+      return str_format("%.17g", std::bit_cast<double>(decode_u64(payload.data())));
+    case RecordKind::kBool:
+      return payload[0] ? "true" : "false";
+    case RecordKind::kStr:
+      return "\"" + payload + "\"";
+    case RecordKind::kBytes:
+      return str_format("<%zu bytes, fnv %016llx>", payload.size(),
+                        static_cast<unsigned long long>(fnv1a(payload)));
+  }
+  return "?";
+}
+
+StatusOr<std::vector<SnapshotRecord>> read_records(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::not_found("snapshot: cannot open '" + path + "'");
+  }
+  std::string buf((std::istreambuf_iterator<char>(file)),
+                  std::istreambuf_iterator<char>());
+  {
+    // Verify magic/version/checksum before walking the raw stream, so
+    // structural errors below indicate an encoder bug, not corruption.
+    auto verified = SnapshotReader::from_buffer(buf);
+    if (!verified.is_ok()) {
+      return Status(verified.status().code(),
+                    "'" + path + "': " + verified.status().message());
+    }
+  }
+  buf.resize(buf.size() - 8);  // drop the checksum footer
+  std::size_t pos = sizeof(kMagic) + 4;
+  std::vector<std::string> stack;
+  std::vector<SnapshotRecord> records;
+  while (pos < buf.size()) {
+    if (pos + 3 > buf.size()) {
+      return Status::internal("snapshot: trailing garbage after last record");
+    }
+    const std::uint8_t raw = static_cast<unsigned char>(buf[pos]);
+    if (!known_kind(raw)) {
+      return Status::internal(
+          str_format("snapshot: unknown record tag %u at offset %zu", raw, pos));
+    }
+    const auto kind = static_cast<RecordKind>(raw);
+    const std::uint16_t name_len = decode_u16(buf.data() + pos + 1);
+    std::size_t cursor = pos + 3;
+    if (cursor + name_len > buf.size()) {
+      return Status::internal("snapshot: truncated record name");
+    }
+    std::string name(buf.data() + cursor, name_len);
+    cursor += name_len;
+    std::size_t payload_len = 0;
+    switch (kind) {
+      case RecordKind::kSectionBegin:
+      case RecordKind::kSectionEnd: payload_len = 0; break;
+      case RecordKind::kU64:
+      case RecordKind::kI64:
+      case RecordKind::kF64: payload_len = 8; break;
+      case RecordKind::kBool: payload_len = 1; break;
+      case RecordKind::kStr:
+      case RecordKind::kBytes:
+        if (cursor + 4 > buf.size()) {
+          return Status::internal("snapshot: truncated length prefix");
+        }
+        payload_len = decode_u32(buf.data() + cursor);
+        cursor += 4;
+        break;
+    }
+    if (cursor + payload_len > buf.size()) {
+      return Status::internal("snapshot: truncated record payload");
+    }
+    SnapshotRecord record;
+    record.kind = kind;
+    record.section = joined_path(stack);
+    record.name = name;
+    record.payload.assign(buf.data() + cursor, payload_len);
+    if (kind == RecordKind::kSectionBegin) {
+      stack.push_back(name);
+    } else if (kind == RecordKind::kSectionEnd) {
+      if (stack.empty()) {
+        return Status::internal("snapshot: unbalanced section-end");
+      }
+      record.name = stack.back();
+      stack.pop_back();
+      record.section = joined_path(stack);
+    }
+    records.push_back(std::move(record));
+    pos = cursor + payload_len;
+  }
+  if (!stack.empty()) {
+    return Status::internal("snapshot: unclosed section '" + stack.back() + "'");
+  }
+  return records;
+}
+
+StatusOr<bool> diff_snapshots(const std::string& golden,
+                              const std::string& other, std::string* report) {
+  auto a = read_records(golden);
+  if (!a.is_ok()) return a.status();
+  auto b = read_records(other);
+  if (!b.is_ok()) return b.status();
+
+  const std::size_t n = std::min(a->size(), b->size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const SnapshotRecord& ra = (*a)[i];
+    const SnapshotRecord& rb = (*b)[i];
+    if (ra.kind == rb.kind && ra.name == rb.name && ra.section == rb.section &&
+        ra.payload == rb.payload) {
+      continue;
+    }
+    if (report != nullptr) {
+      *report = str_format(
+          "first divergence at record %zu:\n"
+          "  golden: [%s] %s / %s = %s\n"
+          "  other:  [%s] %s / %s = %s",
+          i, record_kind_name(ra.kind), ra.section.c_str(), ra.name.c_str(),
+          ra.value_text().c_str(), record_kind_name(rb.kind),
+          rb.section.c_str(), rb.name.c_str(), rb.value_text().c_str());
+    }
+    return false;
+  }
+  if (a->size() != b->size()) {
+    if (report != nullptr) {
+      const auto& longer = a->size() > b->size() ? *a : *b;
+      const SnapshotRecord& extra = longer[n];
+      *report = str_format(
+          "snapshots agree on the first %zu records, but '%s' has %zu extra "
+          "record(s) starting with [%s] %s / %s",
+          n, (a->size() > b->size() ? golden : other).c_str(),
+          longer.size() - n, record_kind_name(extra.kind),
+          extra.section.c_str(), extra.name.c_str());
+    }
+    return false;
+  }
+  if (report != nullptr) report->clear();
+  return true;
+}
+
+StatusOr<std::vector<std::pair<std::string, std::uint64_t>>> section_digests(
+    const std::string& path) {
+  auto records = read_records(path);
+  if (!records.is_ok()) return records.status();
+  std::vector<std::pair<std::string, std::uint64_t>> digests;
+  std::string current;
+  std::uint64_t h = kFnvOffset;
+  auto mix = [&h](std::string_view bytes) {
+    for (const char c : bytes) {
+      h ^= static_cast<unsigned char>(c);
+      h *= kFnvPrime;
+    }
+  };
+  for (const SnapshotRecord& record : *records) {
+    const bool top_begin =
+        record.kind == RecordKind::kSectionBegin && record.section.empty();
+    if (top_begin) {
+      current = record.name;
+      h = kFnvOffset;
+      continue;
+    }
+    const bool top_end =
+        record.kind == RecordKind::kSectionEnd && record.section.empty();
+    if (top_end) {
+      digests.emplace_back(current, h);
+      current.clear();
+      continue;
+    }
+    mix(record.name);
+    mix(record.payload);
+  }
+  return digests;
+}
+
+}  // namespace dc::snapshot

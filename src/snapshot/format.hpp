@@ -1,0 +1,169 @@
+// Crash-consistent snapshot encoding (see docs/SNAPSHOT.md).
+//
+// A snapshot is a flat, versioned, checksummed binary stream of *named,
+// tagged* records grouped into nested sections — one section per simulation
+// component. The format favours auditability over compactness:
+//
+//  * every field carries its name, so a reader can report "section
+//    'server:det' field 'owned_nodes': expected u64, found str" instead of
+//    desynchronizing silently;
+//  * all scalars are fixed-width little-endian (doubles are bit-cast
+//    through u64), so a snapshot taken on one machine restores bit-exactly
+//    on another;
+//  * the whole stream is covered by an FNV-1a checksum footer, and files
+//    are written atomically (temp file + rename), so a crash mid-write can
+//    never yield a file that both exists and passes verification;
+//  * two snapshots of the same run at the same instant are byte-comparable
+//    record by record — `diff_snapshots` walks both streams in lockstep and
+//    reports the first diverging section/field, which is the divergence
+//    auditor used by tools/crash_resume.
+//
+// Truncation, corruption, bad magic, and version skew are all detected in
+// SnapshotReader::from_file and reported through util/status.hpp with
+// actionable messages; a malformed snapshot never crashes and never
+// restores silently wrong state.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace dc::snapshot {
+
+/// First bytes of every snapshot file.
+inline constexpr char kMagic[8] = {'D', 'C', 'S', 'N', 'A', 'P', '\r', '\n'};
+/// Encoding version; bump on any incompatible layout change.
+inline constexpr std::uint32_t kFormatVersion = 1;
+
+/// Record tags. The payload layout is fixed per kind.
+enum class RecordKind : std::uint8_t {
+  kSectionBegin = 1,  // no payload
+  kSectionEnd = 2,    // no payload, empty name
+  kU64 = 3,           // 8 bytes LE
+  kI64 = 4,           // 8 bytes LE (two's complement)
+  kF64 = 5,           // 8 bytes LE (IEEE-754 bit pattern)
+  kBool = 6,          // 1 byte (0/1)
+  kStr = 7,           // u32 LE length + bytes
+  kBytes = 8,         // u32 LE length + bytes
+};
+
+const char* record_kind_name(RecordKind kind);
+
+/// Accumulates an encoded snapshot stream in memory; `write_file` appends
+/// the header/footer and writes atomically.
+class SnapshotWriter {
+ public:
+  SnapshotWriter();
+
+  void begin_section(std::string_view name);
+  void end_section();
+
+  void field_u64(std::string_view name, std::uint64_t value);
+  void field_i64(std::string_view name, std::int64_t value);
+  void field_f64(std::string_view name, double value);
+  void field_bool(std::string_view name, bool value);
+  void field_str(std::string_view name, std::string_view value);
+  void field_bytes(std::string_view name, const void* data, std::size_t size);
+  /// SimTime / SimDuration are i64 seconds; alias kept for readability.
+  void field_time(std::string_view name, SimTime value) {
+    field_i64(name, value);
+  }
+
+  /// The encoded stream so far (header + records, no footer).
+  const std::string& buffer() const { return buffer_; }
+
+  /// FNV-1a digest of the stream so far — the rolling state digest the
+  /// divergence auditor compares across runs.
+  std::uint64_t digest() const;
+
+  /// Finishes the stream (checksum footer) and writes it atomically:
+  /// the bytes land in `path + ".tmp"` first and are renamed over `path`
+  /// only after a successful flush, so a SIGKILL mid-write leaves either
+  /// the previous complete file or a `.tmp` that readers ignore.
+  Status write_file(const std::string& path) const;
+
+  /// The finished stream (header + records + checksum footer), for tests
+  /// and in-memory round trips.
+  std::string finish() const;
+
+  std::size_t open_sections() const { return depth_; }
+
+ private:
+  void record_header(RecordKind kind, std::string_view name);
+  std::string buffer_;
+  std::size_t depth_ = 0;
+};
+
+/// Sequential, name-checked decoder for a verified snapshot stream.
+class SnapshotReader {
+ public:
+  /// Reads and verifies `path`: magic, version, checksum, truncation.
+  static StatusOr<SnapshotReader> from_file(const std::string& path);
+  /// Verifies an in-memory stream produced by SnapshotWriter::finish().
+  static StatusOr<SnapshotReader> from_buffer(std::string buffer);
+
+  Status begin_section(std::string_view name);
+  Status end_section();
+
+  Status read_u64(std::string_view name, std::uint64_t& out);
+  Status read_i64(std::string_view name, std::int64_t& out);
+  Status read_f64(std::string_view name, double& out);
+  Status read_bool(std::string_view name, bool& out);
+  Status read_str(std::string_view name, std::string& out);
+  Status read_bytes(std::string_view name, std::string& out);
+  Status read_time(std::string_view name, SimTime& out) {
+    return read_i64(name, out);
+  }
+
+  /// True when the next record closes the current section (or the stream
+  /// is exhausted) — for decoding variable-length lists defensively.
+  bool at_section_end() const;
+
+  /// "section 'a.b' near offset N" — appended to every error.
+  std::string context() const;
+
+ private:
+  explicit SnapshotReader(std::string buffer) : buffer_(std::move(buffer)) {}
+  Status read_record(RecordKind want, std::string_view name,
+                     std::string_view& payload);
+  Status error(const std::string& message) const;
+
+  std::string buffer_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> section_stack_;
+};
+
+/// One decoded record, for the divergence auditor and `snapshot-diff`.
+struct SnapshotRecord {
+  RecordKind kind;
+  std::string section;  // dotted path of enclosing sections
+  std::string name;
+  std::string payload;  // raw payload bytes
+  /// Human-readable payload (decoded per kind).
+  std::string value_text() const;
+};
+
+/// Decodes a verified snapshot file into its full record list.
+StatusOr<std::vector<SnapshotRecord>> read_records(const std::string& path);
+
+/// Walks two snapshot files in lockstep and reports the first diverging
+/// record (section, field, both values) into `report`. Returns true when
+/// the snapshots are identical. Errors (unreadable/corrupt input) come
+/// back through the Status.
+StatusOr<bool> diff_snapshots(const std::string& golden,
+                              const std::string& other, std::string* report);
+
+/// Per-top-level-section FNV-1a digests of a snapshot file — the compact
+/// rolling digest form of the divergence audit.
+StatusOr<std::vector<std::pair<std::string, std::uint64_t>>> section_digests(
+    const std::string& path);
+
+/// FNV-1a 64-bit, the digest used across the snapshot subsystem.
+std::uint64_t fnv1a(std::string_view bytes);
+
+}  // namespace dc::snapshot

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <iterator>
 
 #include "util/strings.hpp"
 
@@ -49,6 +50,149 @@ void CsvWriter::end_row() {
 void CsvWriter::header(const std::vector<std::string>& names) {
   for (const auto& name : names) cell(name);
   end_row();
+}
+
+namespace {
+
+Status csv_error(std::size_t line, std::size_t column, const std::string& msg) {
+  return Status::invalid_argument(str_format(
+      "CSV parse error at line %zu, column %zu: %s", line, column, msg.c_str()));
+}
+
+}  // namespace
+
+StatusOr<CsvRows> parse_csv(std::string_view text,
+                            const CsvParseOptions& options) {
+  CsvRows rows;
+  std::vector<std::string> row;
+  std::string field;
+  // 1-based position of the *next* character to read, for error reports.
+  std::size_t line = 1;
+  std::size_t column = 1;
+  std::size_t i = 0;
+  const std::size_t n = text.size();
+  // True once the current row has content: a field separator was seen or a
+  // field (possibly empty, e.g. a quoted "") was started. Distinguishes a
+  // trailing newline from an empty final row.
+  bool row_started = false;
+
+  auto end_field = [&] {
+    row.push_back(std::move(field));
+    field.clear();
+  };
+  auto end_row = [&]() -> Status {
+    end_field();
+    if (options.require_uniform_columns && !rows.empty() &&
+        row.size() != rows.front().size()) {
+      return csv_error(line, column,
+                       str_format("row has %zu fields but the header row has "
+                                  "%zu — truncated or garbled input",
+                                  row.size(), rows.front().size()));
+    }
+    rows.push_back(std::move(row));
+    row.clear();
+    row_started = false;
+    ++line;
+    column = 1;
+    return Status::ok();
+  };
+
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\0') {
+      return csv_error(line, column,
+                       "embedded NUL byte — input is not text CSV");
+    }
+    if (c == '"') {
+      if (!field.empty()) {
+        return csv_error(line, column,
+                         "quote character inside an unquoted field (quote "
+                         "the whole field and double embedded quotes)");
+      }
+      const std::size_t open_line = line;
+      const std::size_t open_column = column;
+      ++i;
+      ++column;
+      row_started = true;
+      bool closed = false;
+      while (i < n) {
+        const char q = text[i];
+        if (q == '\0') {
+          return csv_error(line, column,
+                           "embedded NUL byte — input is not text CSV");
+        }
+        if (q == '"') {
+          if (i + 1 < n && text[i + 1] == '"') {
+            field += '"';  // "" escape
+            i += 2;
+            column += 2;
+            continue;
+          }
+          ++i;
+          ++column;
+          closed = true;
+          break;
+        }
+        if (q == '\n') {
+          ++line;
+          column = 1;
+        } else {
+          ++column;
+        }
+        field += q;
+        ++i;
+      }
+      if (!closed) {
+        return csv_error(open_line, open_column,
+                         "unterminated quoted field (opening quote shown) — "
+                         "file truncated mid-field?");
+      }
+      if (i < n && text[i] != ',' && text[i] != '\n' &&
+          !(text[i] == '\r' && i + 1 < n && text[i + 1] == '\n')) {
+        return csv_error(line, column,
+                         str_format("unexpected character '%c' after closing "
+                                    "quote (expected ',' or end of row)",
+                                    text[i]));
+      }
+      continue;
+    }
+    if (c == ',') {
+      end_field();
+      row_started = true;
+      ++i;
+      ++column;
+      continue;
+    }
+    if (c == '\n' || (c == '\r' && i + 1 < n && text[i + 1] == '\n')) {
+      i += (c == '\r') ? 2 : 1;
+      if (auto st = end_row(); !st.is_ok()) return st;
+      continue;
+    }
+    field += c;
+    row_started = true;
+    ++i;
+    ++column;
+  }
+  if (row_started || !field.empty() || !row.empty()) {
+    if (auto st = end_row(); !st.is_ok()) return st;
+  }
+  return rows;
+}
+
+StatusOr<CsvRows> read_csv_file(const std::string& path,
+                                const CsvParseOptions& options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    return Status::not_found("cannot open CSV file '" + path + "'");
+  }
+  std::string contents((std::istreambuf_iterator<char>(file)),
+                       std::istreambuf_iterator<char>());
+  auto rows = parse_csv(contents, options);
+  if (!rows.is_ok()) {
+    return Status(rows.status().code(),
+                  "'" + path + "': " + rows.status().message());
+  }
+  return rows;
 }
 
 TextTable::TextTable(std::vector<std::string> header)

@@ -35,6 +35,29 @@ class CsvWriter {
   bool row_started_ = false;
 };
 
+/// Parsed CSV contents: one vector of fields per row.
+using CsvRows = std::vector<std::vector<std::string>>;
+
+struct CsvParseOptions {
+  /// Require every row to have as many fields as the first row; a ragged
+  /// row is reported with its line number.
+  bool require_uniform_columns = true;
+};
+
+/// Parses RFC-4180-style CSV text: comma-separated fields, double-quoted
+/// fields with `""` escapes, LF or CRLF row endings, optional trailing
+/// newline. Malformed input — an unterminated quote, a stray quote inside
+/// an unquoted field, garbage after a closing quote, a ragged row — is
+/// reported through Status with the offending line and column (1-based),
+/// never an assert. Embedded NUL bytes are rejected (binary garbage guard).
+StatusOr<CsvRows> parse_csv(std::string_view text,
+                            const CsvParseOptions& options = {});
+
+/// Reads and parses a CSV file; file errors and parse errors both come
+/// back through the Status (parse errors are prefixed with the path).
+StatusOr<CsvRows> read_csv_file(const std::string& path,
+                                const CsvParseOptions& options = {});
+
 /// Accumulates rows and renders an aligned fixed-width table to a string.
 /// Column widths are computed from content; numeric columns right-align.
 class TextTable {

@@ -98,6 +98,12 @@ class Rng {
   /// Index drawn from the (unnormalized, non-negative) weight vector.
   std::size_t weighted_index(std::span<const double> weights);
 
+  /// Raw generator state, for snapshot/restore. `set_state` makes this
+  /// generator continue the exact stream the saved generator would have
+  /// produced.
+  const std::array<std::uint64_t, 4>& state() const { return state_; }
+  void set_state(const std::array<std::uint64_t, 4>& state) { state_ = state; }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

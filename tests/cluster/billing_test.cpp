@@ -43,6 +43,36 @@ TEST(LeaseLedger, AmendEndShortensClosedLease) {
   EXPECT_EQ(ledger.billed_node_hours(kDay), 0);
 }
 
+TEST(LeaseLedger, AmendEndToExactStartBillsZero) {
+  LeaseLedger ledger;
+  // A lease that began at a nonzero instant, amended all the way back to
+  // its own start (the covering VM failed before doing any work): zero
+  // duration, zero bill, and the other lease is untouched.
+  const LeaseId doomed = ledger.open(2 * kHour, 8, "doomed");
+  const LeaseId healthy = ledger.open(0, 3, "healthy");
+  ledger.close(doomed, 5 * kHour);
+  ledger.close(healthy, 2 * kHour);
+  ledger.amend_end(doomed, 2 * kHour);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 6);  // healthy only: 3 x 2h
+  EXPECT_DOUBLE_EQ(ledger.exact_node_hours(kDay), 6.0);
+}
+
+TEST(LeaseLedger, AmendEndNeverReExtends) {
+  LeaseLedger ledger;
+  const LeaseId id = ledger.open(kHour, 4, "job");
+  ledger.close(id, 4 * kHour);
+  ledger.amend_end(id, 2 * kHour);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 4);  // 1h x 4 nodes
+  // A second amend with a later instant (a stale repair event arriving
+  // after the failure already truncated the lease) must not re-extend it,
+  // and amending before the start clamps to the start.
+  ledger.amend_end(id, 10 * kHour);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 4);
+  ledger.amend_end(id, 0);
+  EXPECT_EQ(ledger.billed_node_hours(kDay), 0);
+  EXPECT_DOUBLE_EQ(ledger.exact_node_hours(kDay), 0.0);
+}
+
 TEST(LeaseLedger, ZeroDurationLeaseBillsNothing) {
   LeaseLedger ledger;
   ledger.record(10, 10, 100, "instant");

@@ -1,0 +1,225 @@
+// Per-component snapshot round trips: each stateful building block saves
+// mid-flight state into a stream and restores it into a fresh instance
+// that then behaves byte-identically. The capstone tests take a full
+// SystemRunner mid-run, restore it into a passive runner, and require the
+// re-saved stream to be byte-identical to the original — a restore that
+// loses or invents any field in any component fails immediately.
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/billing.hpp"
+#include "cluster/resource_pool.hpp"
+#include "cluster/usage_recorder.hpp"
+#include "core/system_runner.hpp"
+#include "core/systems.hpp"
+#include "sim/simulator.hpp"
+#include "snapshot/format.hpp"
+#include "util/rng.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace dc {
+namespace {
+
+using core::SystemModel;
+using snapshot::SnapshotReader;
+using snapshot::SnapshotWriter;
+
+TEST(SnapshotComponents, RngContinuesTheExactStream) {
+  Rng original(97);
+  for (int i = 0; i < 1000; ++i) original();
+  const std::array<std::uint64_t, 4> saved = original.state();
+  Rng resumed(1);  // different seed: state transplant must fully override
+  resumed.set_state(saved);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(original(), resumed());
+  }
+}
+
+TEST(SnapshotComponents, LeaseLedgerRoundTrip) {
+  cluster::LeaseLedger ledger;
+  const cluster::LeaseId open = ledger.open(0, 8, "initial");
+  const cluster::LeaseId closed = ledger.open(kHour, 4, "grant");
+  ledger.close(closed, 3 * kHour);
+  ledger.amend_end(closed, 2 * kHour);
+  (void)open;
+
+  SnapshotWriter writer;
+  ASSERT_TRUE(ledger.save(writer).is_ok());
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  cluster::LeaseLedger restored;
+  ASSERT_TRUE(restored.restore(*reader).is_ok());
+
+  EXPECT_EQ(restored.lease_count(), ledger.lease_count());
+  EXPECT_EQ(restored.billed_node_hours(kDay), ledger.billed_node_hours(kDay));
+  EXPECT_DOUBLE_EQ(restored.exact_node_hours(kDay),
+                   ledger.exact_node_hours(kDay));
+  // The restored ledger stays live: closing the still-open lease behaves
+  // as it would have in the original.
+  restored.close(open, 5 * kHour);
+  ledger.close(open, 5 * kHour);
+  EXPECT_EQ(restored.billed_node_hours(kDay), ledger.billed_node_hours(kDay));
+}
+
+TEST(SnapshotComponents, UsageRecorderRoundTrip) {
+  cluster::UsageRecorder usage;
+  usage.change(0, 10);
+  usage.change(kHour, 5);
+  usage.change(2 * kHour, -8);
+
+  SnapshotWriter writer;
+  ASSERT_TRUE(usage.save(writer).is_ok());
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  cluster::UsageRecorder restored;
+  ASSERT_TRUE(restored.restore(*reader).is_ok());
+
+  EXPECT_EQ(restored.current(), usage.current());
+  EXPECT_EQ(restored.peak(), usage.peak());
+  EXPECT_DOUBLE_EQ(restored.node_hours(kDay), usage.node_hours(kDay));
+  EXPECT_EQ(restored.hourly_peak_series(4 * kHour),
+            usage.hourly_peak_series(4 * kHour));
+}
+
+TEST(SnapshotComponents, ResourcePoolRoundTrip) {
+  cluster::ResourcePool pool(256);
+  ASSERT_TRUE(pool.allocate(100).is_ok());
+  SnapshotWriter writer;
+  ASSERT_TRUE(pool.save(writer).is_ok());
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  cluster::ResourcePool restored(256);
+  ASSERT_TRUE(restored.restore(*reader).is_ok());
+  EXPECT_EQ(restored.allocated(), 100);
+  EXPECT_TRUE(restored.is_bounded());
+  EXPECT_TRUE(restored.can_allocate(156));
+  EXPECT_FALSE(restored.can_allocate(157));
+}
+
+core::ConsolidationWorkload small_workload() {
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = "snap";
+  trace_spec.capacity_nodes = 32;
+  trace_spec.period = kDay;
+  trace_spec.submit_margin = 2 * kHour;
+  trace_spec.jobs_per_day = 120;
+  trace_spec.width_weights = {{1, 0.4}, {2, 0.3}, {4, 0.2}, {8, 0.1}};
+  trace_spec.hyper_p = 0.9;
+  trace_spec.hyper_mean1 = 400;
+  trace_spec.hyper_mean2 = 3600;
+
+  core::HtcWorkloadSpec htc;
+  htc.name = "snap";
+  htc.trace = workload::generate_trace(trace_spec, /*seed=*/23);
+  htc.fixed_nodes = 32;
+  htc.policy = core::ResourceManagementPolicy::htc(8, 1.5, 32);
+
+  workflow::MontageParams params;
+  params.inputs = 12;
+  core::MtcWorkloadSpec mtc;
+  mtc.name = "wf";
+  mtc.dag = workflow::make_montage(params, /*seed=*/5);
+  mtc.submit_time = 6 * kHour;
+  mtc.fixed_nodes = 20;
+  mtc.policy = core::ResourceManagementPolicy::mtc(4, 8.0);
+
+  core::ConsolidationWorkload workload;
+  workload.htc.push_back(std::move(htc));
+  workload.mtc.push_back(std::move(mtc));
+  return workload;
+}
+
+core::RunOptions faulted_options() {
+  core::RunOptions options;
+  core::fault::FaultDomain::Config faults;
+  faults.mean_time_between_failures = 3 * kHour;
+  faults.mean_time_to_repair = 30 * kMinute;
+  faults.seed = 4242;
+  options.faults = faults;
+  return options;
+}
+
+// Mid-run world: save, restore into a passive runner, save again — the two
+// streams must be byte-identical. Every save/restore asymmetry in any
+// component (dropped field, re-encoded default, wrong order) shows up as a
+// first-diverging-record diff.
+void expect_double_snapshot_identical(SystemModel model) {
+  const core::ConsolidationWorkload workload = small_workload();
+  const core::RunOptions options = faulted_options();
+
+  core::SystemRunner original(model, workload, options);
+  original.run_until(10 * kHour);
+  SnapshotWriter first;
+  ASSERT_TRUE(original.save(first).is_ok());
+
+  core::SystemRunner resumed(model, workload, options,
+                             core::SystemRunner::Mode::kRestore);
+  auto reader = SnapshotReader::from_buffer(first.finish());
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  const Status restored = resumed.restore(*reader);
+  ASSERT_TRUE(restored.is_ok()) << restored.to_string();
+
+  SnapshotWriter second;
+  ASSERT_TRUE(resumed.save(second).is_ok());
+  ASSERT_EQ(first.buffer().size(), second.buffer().size());
+  EXPECT_EQ(first.buffer(), second.buffer())
+      << core::system_model_name(model)
+      << ": restore must reconstruct the exact component state";
+  EXPECT_EQ(first.digest(), second.digest());
+}
+
+TEST(SnapshotComponents, DoubleSnapshotIsByteIdenticalDcs) {
+  expect_double_snapshot_identical(SystemModel::kDcs);
+}
+
+TEST(SnapshotComponents, DoubleSnapshotIsByteIdenticalSsp) {
+  expect_double_snapshot_identical(SystemModel::kSsp);
+}
+
+TEST(SnapshotComponents, DoubleSnapshotIsByteIdenticalDrp) {
+  expect_double_snapshot_identical(SystemModel::kDrp);
+}
+
+TEST(SnapshotComponents, DoubleSnapshotIsByteIdenticalDawningCloud) {
+  expect_double_snapshot_identical(SystemModel::kDawningCloud);
+}
+
+TEST(SnapshotComponents, RestoreIntoFreshRunnerIsRejected) {
+  const core::ConsolidationWorkload workload = small_workload();
+  core::SystemRunner original(SystemModel::kDcs, workload, {});
+  original.run_until(4 * kHour);
+  SnapshotWriter writer;
+  ASSERT_TRUE(original.save(writer).is_ok());
+
+  core::SystemRunner fresh(SystemModel::kDcs, workload, {});
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  const Status status = fresh.restore(*reader);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SnapshotComponents, ModelMismatchIsRejectedWithBothNames) {
+  const core::ConsolidationWorkload workload = small_workload();
+  core::SystemRunner original(SystemModel::kDcs, workload, {});
+  original.run_until(4 * kHour);
+  SnapshotWriter writer;
+  ASSERT_TRUE(original.save(writer).is_ok());
+
+  core::SystemRunner other(SystemModel::kSsp, workload, {},
+                           core::SystemRunner::Mode::kRestore);
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  const Status status = other.restore(*reader);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("DCS"), std::string::npos);
+  EXPECT_NE(status.message().find("SSP"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dc

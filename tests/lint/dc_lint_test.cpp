@@ -120,6 +120,38 @@ TEST(DcLintR5, AcceptsGuardedHeader) {
   EXPECT_EQ(result.waived, 0);
 }
 
+TEST(DcLintR6, FlagsSaveRestoreFieldDrift) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r6_snapshot_drift.cpp",
+                           fixture("r6_snapshot_drift.cpp"));
+  expect_all_rule(result, "dc-r6", "error");
+  // Drifted::restore reads 2 of the 3 saved fields; the symmetric
+  // Composite pair is clean and its nested ledger_.save/restore
+  // delegation is not counted; the Waived pair is NOLINT'd.
+  EXPECT_EQ(lines_of(result), (std::vector<int>{24}));
+  ASSERT_EQ(result.diagnostics.size(), 1u);
+  EXPECT_NE(result.diagnostics[0].message.find("writes 3"), std::string::npos);
+  EXPECT_NE(result.diagnostics[0].message.find("reads 2"), std::string::npos);
+  EXPECT_EQ(result.waived, 1);
+}
+
+TEST(DcLintR6, RealSnapshotComponentsAreSymmetric) {
+  // The shipped components must satisfy the rule the fixture demonstrates:
+  // paired save/restore with matching field counts.
+  for (const char* rel : {"/../../../src/core/htc_server.cpp",
+                          "/../../../src/cluster/billing.cpp",
+                          "/../../../src/core/fault/fault_domain.cpp"}) {
+    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const auto result = dc_lint::lint_source(rel, buf.str());
+    EXPECT_TRUE(result.diagnostics.empty())
+        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
+  }
+}
+
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {
   const auto result = dc_lint::lint_source("tests/lint/fixtures/clean.cpp",
                                            fixture("clean.cpp"));

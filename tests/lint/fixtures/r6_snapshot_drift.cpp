@@ -1,0 +1,69 @@
+// dc-r6 fixture: save/restore snapshot field drift. Never compiled, only
+// lexed by the rule tests; the declarations exist so it reads like real
+// component code.
+#include "snapshot/format.hpp"
+
+struct Drifted {
+  dc::Status save(dc::snapshot::SnapshotWriter& writer) const;
+  dc::Status restore(dc::snapshot::SnapshotReader& reader);
+  unsigned owned_ = 0;
+  unsigned busy_ = 0;
+  bool started_ = false;
+};
+
+dc::Status Drifted::save(dc::snapshot::SnapshotWriter& writer) const {
+  writer.begin_section("drifted");
+  writer.field_u64("owned", owned_);
+  writer.field_u64("busy", busy_);
+  writer.field_bool("started", started_);
+  writer.end_section();
+  return dc::Status::ok();
+}
+
+// "started" is written above but never read back: drift.
+dc::Status Drifted::restore(dc::snapshot::SnapshotReader& reader) {
+  DC_RETURN_IF_ERROR(reader.begin_section("drifted"));
+  std::uint64_t owned = 0;
+  DC_RETURN_IF_ERROR(reader.read_u64("owned", owned));
+  std::uint64_t busy = 0;
+  DC_RETURN_IF_ERROR(reader.read_u64("busy", busy));
+  return reader.end_section();
+}
+
+// Symmetric pair: two writes, two reads — clean. The nested
+// ledger_.save/restore delegation must not count toward either side.
+struct Composite {
+  dc::Status save(dc::snapshot::SnapshotWriter& writer) const;
+  dc::Status restore(dc::snapshot::SnapshotReader& reader);
+};
+
+dc::Status Composite::save(dc::snapshot::SnapshotWriter& writer) const {
+  writer.field_time("opened", opened_);
+  writer.field_bool("bounded", bounded_);
+  return ledger_.save(writer);
+}
+
+dc::Status Composite::restore(dc::snapshot::SnapshotReader& reader) {
+  DC_RETURN_IF_ERROR(reader.read_time("opened", opened_));
+  DC_RETURN_IF_ERROR(reader.read_bool("bounded", bounded_));
+  return ledger_.restore(reader);
+}
+
+// Drifted the other way (reads one more than it writes), but carries a
+// reviewed waiver.
+struct Waived {
+  dc::Status save(dc::snapshot::SnapshotWriter& writer) const;
+  dc::Status restore(dc::snapshot::SnapshotReader& reader);
+};
+
+dc::Status Waived::save(dc::snapshot::SnapshotWriter& writer) const {
+  writer.field_u64("count", count_);
+  return dc::Status::ok();
+}
+
+dc::Status Waived::restore(dc::snapshot::SnapshotReader& reader) {  // NOLINT(dc-r6)
+  DC_RETURN_IF_ERROR(reader.read_u64("count", count_));
+  std::uint64_t legacy = 0;
+  DC_RETURN_IF_ERROR(reader.read_u64("legacy", legacy));
+  return dc::Status::ok();
+}

@@ -1,0 +1,267 @@
+// Snapshot encoding regression: round trips for every field kind, the
+// name/kind mismatch diagnostics, and the whole-stream integrity checks
+// (magic, version, checksum, truncation) that keep a damaged snapshot
+// from ever restoring silently wrong state.
+#include "snapshot/format.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace dc::snapshot {
+namespace {
+
+std::string sample_stream() {
+  SnapshotWriter writer;
+  writer.begin_section("kernel");
+  writer.field_u64("seq", 42);
+  writer.field_i64("balance", -7);
+  writer.end_section();
+  writer.begin_section("server");
+  writer.field_f64("hours", 1.5);
+  writer.field_bool("started", true);
+  writer.field_str("name", "det");
+  const char blob[] = {0x00, 0x7f, 0x01};
+  writer.field_bytes("blob", blob, sizeof(blob));
+  writer.begin_section("ledger");
+  writer.field_time("opened", 3600);
+  writer.end_section();
+  writer.end_section();
+  return writer.finish();
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+void write_bytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotFormat, RoundTripsEveryFieldKind) {
+  auto reader = SnapshotReader::from_buffer(sample_stream());
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+
+  ASSERT_TRUE(reader->begin_section("kernel").is_ok());
+  std::uint64_t seq = 0;
+  ASSERT_TRUE(reader->read_u64("seq", seq).is_ok());
+  EXPECT_EQ(seq, 42u);
+  std::int64_t balance = 0;
+  ASSERT_TRUE(reader->read_i64("balance", balance).is_ok());
+  EXPECT_EQ(balance, -7);
+  EXPECT_TRUE(reader->at_section_end());
+  ASSERT_TRUE(reader->end_section().is_ok());
+
+  ASSERT_TRUE(reader->begin_section("server").is_ok());
+  double hours = 0.0;
+  ASSERT_TRUE(reader->read_f64("hours", hours).is_ok());
+  EXPECT_DOUBLE_EQ(hours, 1.5);
+  bool started = false;
+  ASSERT_TRUE(reader->read_bool("started", started).is_ok());
+  EXPECT_TRUE(started);
+  std::string name;
+  ASSERT_TRUE(reader->read_str("name", name).is_ok());
+  EXPECT_EQ(name, "det");
+  std::string blob;
+  ASSERT_TRUE(reader->read_bytes("blob", blob).is_ok());
+  EXPECT_EQ(blob, std::string("\x00\x7f\x01", 3));
+  ASSERT_TRUE(reader->begin_section("ledger").is_ok());
+  SimTime opened = 0;
+  ASSERT_TRUE(reader->read_time("opened", opened).is_ok());
+  EXPECT_EQ(opened, 3600);
+  ASSERT_TRUE(reader->end_section().is_ok());
+  ASSERT_TRUE(reader->end_section().is_ok());
+}
+
+TEST(SnapshotFormat, FieldNameMismatchNamesBothSides) {
+  SnapshotWriter writer;
+  writer.field_u64("actual", 1);
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  std::uint64_t out = 0;
+  const Status status = reader->read_u64("expected", out);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("expected"), std::string::npos);
+  EXPECT_NE(status.message().find("actual"), std::string::npos);
+}
+
+TEST(SnapshotFormat, FieldKindMismatchIsTyped) {
+  SnapshotWriter writer;
+  writer.field_u64("value", 9);
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  std::string out;
+  const Status status = reader->read_str("value", out);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("value"), std::string::npos);
+}
+
+TEST(SnapshotFormat, SectionContextAppearsInErrors) {
+  SnapshotWriter writer;
+  writer.begin_section("outer");
+  writer.begin_section("inner");
+  writer.field_u64("x", 1);
+  writer.end_section();
+  writer.end_section();
+  auto reader = SnapshotReader::from_buffer(writer.finish());
+  ASSERT_TRUE(reader.is_ok());
+  ASSERT_TRUE(reader->begin_section("outer").is_ok());
+  ASSERT_TRUE(reader->begin_section("inner").is_ok());
+  std::uint64_t out = 0;
+  const Status status = reader->read_u64("missing", out);
+  ASSERT_FALSE(status.is_ok());
+  EXPECT_NE(status.message().find("outer.inner"), std::string::npos)
+      << status.message();
+}
+
+TEST(SnapshotFormat, TruncatedStreamRejected) {
+  std::string bytes = sample_stream();
+  bytes.resize(bytes.size() - 5);
+  auto reader = SnapshotReader::from_buffer(std::move(bytes));
+  ASSERT_FALSE(reader.is_ok());
+  EXPECT_NE(reader.status().message().find("checksum"), std::string::npos)
+      << reader.status().message();
+}
+
+TEST(SnapshotFormat, FlippedByteRejected) {
+  std::string bytes = sample_stream();
+  bytes[bytes.size() / 2] ^= 0x40;
+  auto reader = SnapshotReader::from_buffer(std::move(bytes));
+  ASSERT_FALSE(reader.is_ok());
+  EXPECT_NE(reader.status().message().find("corrupt"), std::string::npos)
+      << reader.status().message();
+}
+
+TEST(SnapshotFormat, BadMagicRejected) {
+  std::string bytes = sample_stream();
+  bytes[0] = 'X';
+  auto reader = SnapshotReader::from_buffer(std::move(bytes));
+  ASSERT_FALSE(reader.is_ok());
+  EXPECT_NE(reader.status().message().find("magic"), std::string::npos);
+}
+
+TEST(SnapshotFormat, VersionSkewNamesBothVersions) {
+  std::string bytes = sample_stream();
+  // The u32 version sits right after the 8-byte magic (little-endian).
+  bytes[sizeof(kMagic)] = static_cast<char>(kFormatVersion + 1);
+  auto reader = SnapshotReader::from_buffer(std::move(bytes));
+  ASSERT_FALSE(reader.is_ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(reader.status().message().find("version"), std::string::npos);
+}
+
+TEST(SnapshotFormat, EmptyAndTinyStreamsRejected) {
+  EXPECT_FALSE(SnapshotReader::from_buffer("").is_ok());
+  EXPECT_FALSE(SnapshotReader::from_buffer("DCSNAP").is_ok());
+}
+
+TEST(SnapshotFormat, MissingFileIsNotFound) {
+  const auto reader = SnapshotReader::from_file(temp_path("does_not_exist.dcsnap"));
+  ASSERT_FALSE(reader.is_ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(SnapshotFormat, WriteFileIsAtomicAndVerifies) {
+  const std::string path = temp_path("atomic.dcsnap");
+  SnapshotWriter writer;
+  writer.field_u64("x", 7);
+  ASSERT_TRUE(writer.write_file(path).is_ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"))
+      << "temp file must be renamed away";
+  auto reader = SnapshotReader::from_file(path);
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  std::uint64_t x = 0;
+  ASSERT_TRUE(reader->read_u64("x", x).is_ok());
+  EXPECT_EQ(x, 7u);
+}
+
+TEST(SnapshotFormat, ReadRecordsDecodesTheWholeStream) {
+  const std::string path = temp_path("records.dcsnap");
+  write_bytes(path, sample_stream());
+  auto records = read_records(path);
+  ASSERT_TRUE(records.is_ok()) << records.status().to_string();
+  ASSERT_FALSE(records->empty());
+  bool found = false;
+  for (const SnapshotRecord& record : *records) {
+    if (record.name == "opened") {
+      EXPECT_EQ(record.section, "server.ledger");
+      EXPECT_EQ(record.value_text(), "3600");
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SnapshotFormat, DiffReportsFirstDivergingField) {
+  const std::string golden_path = temp_path("diff_golden.dcsnap");
+  const std::string other_path = temp_path("diff_other.dcsnap");
+  SnapshotWriter golden;
+  golden.begin_section("server");
+  golden.field_u64("owned", 32);
+  golden.field_u64("busy", 4);
+  golden.end_section();
+  ASSERT_TRUE(golden.write_file(golden_path).is_ok());
+  SnapshotWriter other;
+  other.begin_section("server");
+  other.field_u64("owned", 32);
+  other.field_u64("busy", 5);
+  other.end_section();
+  ASSERT_TRUE(other.write_file(other_path).is_ok());
+
+  std::string report;
+  auto same = diff_snapshots(golden_path, other_path, &report);
+  ASSERT_TRUE(same.is_ok()) << same.status().to_string();
+  EXPECT_FALSE(*same);
+  EXPECT_NE(report.find("server"), std::string::npos) << report;
+  EXPECT_NE(report.find("busy"), std::string::npos) << report;
+
+  report.clear();
+  same = diff_snapshots(golden_path, golden_path, &report);
+  ASSERT_TRUE(same.is_ok());
+  EXPECT_TRUE(*same);
+}
+
+TEST(SnapshotFormat, SectionDigestsLocalizeDivergence) {
+  const std::string a_path = temp_path("digest_a.dcsnap");
+  const std::string b_path = temp_path("digest_b.dcsnap");
+  auto make = [](std::uint64_t busy) {
+    SnapshotWriter writer;
+    writer.begin_section("kernel");
+    writer.field_u64("seq", 10);
+    writer.end_section();
+    writer.begin_section("server");
+    writer.field_u64("busy", busy);
+    writer.end_section();
+    return writer;
+  };
+  ASSERT_TRUE(make(4).write_file(a_path).is_ok());
+  ASSERT_TRUE(make(5).write_file(b_path).is_ok());
+  auto a = section_digests(a_path);
+  auto b = section_digests(b_path);
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(b.is_ok());
+  ASSERT_EQ(a->size(), 2u);
+  ASSERT_EQ(b->size(), 2u);
+  EXPECT_EQ((*a)[0].first, "kernel");
+  EXPECT_EQ((*a)[0].second, (*b)[0].second) << "untouched section digests match";
+  EXPECT_EQ((*a)[1].first, "server");
+  EXPECT_NE((*a)[1].second, (*b)[1].second) << "diverged section digest differs";
+}
+
+TEST(SnapshotFormat, RollingDigestChangesWithEveryField) {
+  SnapshotWriter writer;
+  const std::uint64_t d0 = writer.digest();
+  writer.field_u64("a", 1);
+  const std::uint64_t d1 = writer.digest();
+  writer.field_u64("b", 2);
+  const std::uint64_t d2 = writer.digest();
+  EXPECT_NE(d0, d1);
+  EXPECT_NE(d1, d2);
+}
+
+}  // namespace
+}  // namespace dc::snapshot

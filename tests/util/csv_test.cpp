@@ -42,6 +42,90 @@ TEST_F(CsvWriterTest, QuotesSpecialCharacters) {
   EXPECT_EQ(read_file(path_), "\"has,comma\",\"has\"\"quote\",plain\n");
 }
 
+TEST(CsvParse, RoundTripsWriterOutput) {
+  const std::string path = ::testing::TempDir() + "/csv_roundtrip.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"name", "value"});
+    csv.cell("has,comma").cell(std::int64_t{7});
+    csv.end_row();
+    csv.cell("has\"quote").cell(2.5, 1);
+    csv.end_row();
+  }
+  auto rows = read_csv_file(path);
+  ASSERT_TRUE(rows.is_ok()) << rows.status().to_string();
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"name", "value"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"has,comma", "7"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"has\"quote", "2.5"}));
+  std::remove(path.c_str());
+}
+
+TEST(CsvParse, HandlesCrlfQuotedNewlinesAndEmptyFields) {
+  auto rows = parse_csv("a,b\r\n\"multi\nline\",\"\"\n");
+  ASSERT_TRUE(rows.is_ok()) << rows.status().to_string();
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"multi\nline", ""}));
+}
+
+TEST(CsvParse, UnterminatedQuoteReportsOpeningPosition) {
+  const auto rows = parse_csv("a,b\nc,\"never closed");
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kInvalidArgument);
+  // The opening quote sits at line 2, column 3.
+  EXPECT_NE(rows.status().message().find("line 2, column 3"),
+            std::string::npos)
+      << rows.status().message();
+  EXPECT_NE(rows.status().message().find("unterminated"), std::string::npos);
+}
+
+TEST(CsvParse, StrayQuoteInUnquotedFieldIsRejected) {
+  const auto rows = parse_csv("a,b\nval\"ue,2\n");
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos)
+      << rows.status().message();
+  EXPECT_NE(rows.status().message().find("unquoted"), std::string::npos);
+}
+
+TEST(CsvParse, GarbageAfterClosingQuoteIsRejected) {
+  const auto rows = parse_csv("\"ok\"x,2\n");
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_NE(rows.status().message().find("after closing"), std::string::npos)
+      << rows.status().message();
+  EXPECT_NE(rows.status().message().find("'x'"), std::string::npos);
+}
+
+TEST(CsvParse, RaggedRowNamesLineAndCounts) {
+  const auto rows = parse_csv("a,b,c\n1,2\n");
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_NE(rows.status().message().find("line 2"), std::string::npos)
+      << rows.status().message();
+  EXPECT_NE(rows.status().message().find("2 fields"), std::string::npos);
+  EXPECT_NE(rows.status().message().find("3"), std::string::npos);
+  // Ragged rows are fine when uniformity is not required.
+  CsvParseOptions lax;
+  lax.require_uniform_columns = false;
+  const auto lax_rows = parse_csv("a,b,c\n1,2\n", lax);
+  ASSERT_TRUE(lax_rows.is_ok());
+  EXPECT_EQ((*lax_rows)[1].size(), 2u);
+}
+
+TEST(CsvParse, EmbeddedNulByteIsRejected) {
+  const std::string bytes("a,b\n1,\0garbage\n", 15);
+  const auto rows = parse_csv(bytes);
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_NE(rows.status().message().find("NUL"), std::string::npos)
+      << rows.status().message();
+}
+
+TEST(CsvParse, MissingFileIsNotFoundWithPath) {
+  const auto rows = read_csv_file("/nonexistent/results.csv");
+  ASSERT_FALSE(rows.is_ok());
+  EXPECT_EQ(rows.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(rows.status().message().find("/nonexistent/results.csv"),
+            std::string::npos);
+}
+
 TEST(TextTable, AlignsColumnsAndRightAlignsNumbers) {
   TextTable table({"name", "value"});
   table.cell("alpha").cell(std::int64_t{5});

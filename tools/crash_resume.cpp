@@ -1,0 +1,348 @@
+// crash_resume: the crash-recovery drill (see docs/SNAPSHOT.md).
+//
+//   crash_resume --workdir DIR [--system dcs|ssp|drp|dawningcloud|all]
+//
+// For each system under test the harness:
+//
+//  1. runs the faulted experiment uninterrupted (under DC_THREADS=1 and
+//     DC_THREADS=4) and keeps the results CSV as the golden artifact;
+//  2. forks a victim process that runs the same experiment with periodic
+//     snapshots and a deliberately widened wall-clock window per chunk,
+//     waits until at least two snapshot boundaries are on disk, and
+//     SIGKILLs it mid-run — the hard-crash shape: no destructors, no
+//     flushes, possibly mid-snapshot-write;
+//  3. resumes from the newest valid snapshot in the directory and verifies
+//     the final CSV is byte-identical to the golden run;
+//  4. corruption drill: flips a byte in the newest snapshot and resumes
+//     again — the loader must skip it (with a warning) and fall back to
+//     the previous boundary, still reproducing the golden bytes; then
+//     corrupts every snapshot and verifies the loader refuses to silently
+//     restart from scratch.
+//
+// Exit code 0 = every drill passed; 1 = divergence or a missed rejection;
+// 2 = usage/setup error.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <algorithm>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/system_runner.hpp"
+#include "core/systems.hpp"
+#include "metrics/report.hpp"
+#include "util/csv.hpp"
+#include "workflow/montage.hpp"
+#include "workload/models.hpp"
+
+namespace {
+
+using namespace dc;
+namespace fs = std::filesystem;
+
+constexpr SimDuration kSnapshotEvery = 6 * kHour;
+
+core::ConsolidationWorkload make_workload() {
+  workload::SyntheticTraceSpec trace_spec;
+  trace_spec.name = "crash";
+  trace_spec.capacity_nodes = 32;
+  trace_spec.period = 2 * kDay;
+  trace_spec.submit_margin = 2 * kHour;
+  trace_spec.jobs_per_day = 150;
+  trace_spec.width_weights = {{1, 0.4}, {2, 0.3}, {4, 0.2}, {8, 0.08}, {32, 0.02}};
+  trace_spec.hyper_p = 0.9;
+  trace_spec.hyper_mean1 = 500;
+  trace_spec.hyper_mean2 = 4000;
+
+  core::HtcWorkloadSpec htc;
+  htc.name = "crash";
+  htc.trace = workload::generate_trace(trace_spec, /*seed=*/17);
+  htc.fixed_nodes = 32;
+  htc.policy = core::ResourceManagementPolicy::htc(8, 1.5, 32);
+
+  workflow::MontageParams params;
+  params.inputs = 20;
+  core::MtcWorkloadSpec mtc;
+  mtc.name = "wf";
+  mtc.dag = workflow::make_montage(params, /*seed=*/5);
+  mtc.submit_time = 6 * kHour;
+  mtc.fixed_nodes = 20;
+  mtc.policy = core::ResourceManagementPolicy::mtc(4, 8.0);
+
+  core::ConsolidationWorkload workload;
+  workload.htc.push_back(std::move(htc));
+  workload.mtc.push_back(std::move(mtc));
+  return workload;
+}
+
+core::RunOptions make_options() {
+  core::RunOptions options;
+  core::fault::FaultDomain::Config faults;
+  faults.mean_time_between_failures = 3 * kHour;
+  faults.mean_time_to_repair = 30 * kMinute;
+  faults.seed = 20090814;
+  options.faults = faults;
+  return options;
+}
+
+std::string results_csv(const core::SystemResult& result,
+                        const std::string& scratch) {
+  {
+    CsvWriter csv(scratch);
+    if (!csv.ok()) return {};
+    metrics::write_results_csv(csv, {result});
+  }
+  std::ifstream in(scratch, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+std::vector<std::string> snapshot_files(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (entry.path().extension() == ".dcsnap") {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void flip_byte(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string bytes = buf.str();
+  if (bytes.empty()) return;
+  bytes[bytes.size() / 2] ^= 0x20;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// The victim: chunked run with snapshots at every boundary, stretched in
+/// wall-clock time so the parent's SIGKILL lands mid-run. Never returns
+/// normally when the parent kills it.
+int victim_main(core::SystemModel model, const std::string& dir) {
+  const core::ConsolidationWorkload workload = make_workload();
+  const core::RunOptions options = make_options();
+  core::SystemRunner runner(model, workload, options);
+  const SimTime horizon = runner.horizon();
+  SimTime t = 0;
+  while (t < horizon) {
+    SimTime next = (t / kSnapshotEvery + 1) * kSnapshotEvery;
+    next = std::min(next, horizon);
+    runner.run_until(next);
+    t = next;
+    if (t < horizon) {
+      const Status saved =
+          runner.save_file(core::snapshot_path(dir, model, t));
+      if (!saved.is_ok()) {
+        std::fprintf(stderr, "victim: %s\n", saved.to_string().c_str());
+        return 2;
+      }
+      // Widen the kill window: the simulated day finishes in milliseconds,
+      // the drill needs the SIGKILL to land between (or inside) chunks.
+      std::this_thread::sleep_for(std::chrono::milliseconds(40));
+    }
+  }
+  // Reaching the horizon means the parent failed to kill us in time; the
+  // marker file lets the parent detect that and retry.
+  std::ofstream(dir + "/victim_finished") << "1\n";
+  return 0;
+}
+
+bool run_to_csv(core::SystemModel model, const core::SnapshotPolicy& policy,
+                const std::string& scratch, std::string* csv,
+                Status* error = nullptr) {
+  auto result = core::run_system_snapshotted(model, make_workload(),
+                                             make_options(), policy);
+  if (!result.is_ok()) {
+    if (error != nullptr) *error = result.status();
+    return false;
+  }
+  *csv = results_csv(*result, scratch);
+  return true;
+}
+
+int drill(core::SystemModel model, const std::string& workdir,
+          const char* self) {
+  const char* name = core::system_model_name(model);
+  const std::string dir = workdir + "/" + name;
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string scratch = dir + "/scratch.csv";
+
+  // 1. Golden, uninterrupted — identical under both thread counts.
+  setenv("DC_THREADS", "1", 1);
+  const std::string golden1 =
+      results_csv(core::run_system(model, make_workload(), make_options()),
+                  scratch);
+  setenv("DC_THREADS", "4", 1);
+  const std::string golden4 =
+      results_csv(core::run_system(model, make_workload(), make_options()),
+                  scratch);
+  if (golden1.empty() || golden1 != golden4) {
+    std::fprintf(stderr, "[%s] FAIL: golden runs differ across DC_THREADS\n",
+                 name);
+    return 1;
+  }
+
+  // 2. Fork a victim and SIGKILL it once snapshots are on disk. If the
+  // victim outruns the kill (slow CI filesystem), retry a few times.
+  bool killed = false;
+  for (int attempt = 0; attempt < 5 && !killed; ++attempt) {
+    for (const std::string& file : snapshot_files(dir)) fs::remove(file);
+    fs::remove(dir + "/victim_finished");
+    const pid_t pid = fork();
+    if (pid < 0) {
+      std::perror("fork");
+      return 2;
+    }
+    if (pid == 0) {
+      _exit(victim_main(model, dir));
+    }
+    // Wait for at least two boundaries, then kill without warning.
+    for (int spin = 0; spin < 2000; ++spin) {
+      if (snapshot_files(dir).size() >= 2 ||
+          fs::exists(dir + "/victim_finished")) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    if (!fs::exists(dir + "/victim_finished")) {
+      kill(pid, SIGKILL);
+    }
+    int wstatus = 0;
+    waitpid(pid, &wstatus, 0);
+    killed = WIFSIGNALED(wstatus) && WTERMSIG(wstatus) == SIGKILL &&
+             !snapshot_files(dir).empty();
+  }
+  if (!killed) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: could not SIGKILL the victim mid-run "
+                 "(machine too slow or too fast?)\n",
+                 name);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] victim killed with %zu snapshot(s) on disk\n",
+               name, snapshot_files(dir).size());
+
+  // 3. Resume from the newest valid snapshot; the final CSV must be
+  // byte-identical to the golden run.
+  core::SnapshotPolicy resume;
+  resume.every = kSnapshotEvery;
+  resume.dir = dir;
+  resume.resume = true;
+  std::string resumed;
+  Status error;
+  if (!run_to_csv(model, resume, scratch, &resumed, &error)) {
+    std::fprintf(stderr, "[%s] FAIL: resume errored: %s\n", name,
+                 error.to_string().c_str());
+    return 1;
+  }
+  if (resumed != golden1) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: resumed CSV diverges from the golden run\n",
+                 name);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] resumed run is byte-identical\n", name);
+
+  // 4a. Corruption drill: break the newest snapshot; resume must fall
+  // back to the previous boundary and still match.
+  std::vector<std::string> files = snapshot_files(dir);
+  if (files.size() >= 2) {
+    flip_byte(files.back());
+    std::string fallback;
+    if (!run_to_csv(model, resume, scratch, &fallback, &error)) {
+      std::fprintf(stderr, "[%s] FAIL: fallback resume errored: %s\n", name,
+                   error.to_string().c_str());
+      return 1;
+    }
+    if (fallback != golden1) {
+      std::fprintf(stderr,
+                   "[%s] FAIL: fallback resume diverges from golden\n", name);
+      return 1;
+    }
+    std::fprintf(stderr, "[%s] corrupt newest snapshot skipped, fallback OK\n",
+                 name);
+  }
+
+  // 4b. Every snapshot corrupt: the loader must refuse, not restart.
+  for (const std::string& file : snapshot_files(dir)) flip_byte(file);
+  std::string ignored;
+  if (run_to_csv(model, resume, scratch, &ignored, &error)) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: resume silently restarted with every snapshot "
+                 "corrupt\n",
+                 name);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] all-corrupt resume refused: %s\n", name,
+               error.message().c_str());
+  (void)self;
+  return 0;
+}
+
+int usage() {
+  std::fputs(
+      "usage: crash_resume --workdir DIR "
+      "[--system dcs|ssp|drp|dawningcloud|all]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string workdir;
+  std::string system = "all";
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--workdir") == 0) {
+      workdir = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--system") == 0) {
+      system = argv[i + 1];
+    } else {
+      return usage();
+    }
+  }
+  if (workdir.empty()) return usage();
+
+  std::vector<core::SystemModel> models;
+  if (system == "all") {
+    models = {core::SystemModel::kDcs, core::SystemModel::kSsp,
+              core::SystemModel::kDrp, core::SystemModel::kDawningCloud};
+  } else if (system == "dcs") {
+    models = {core::SystemModel::kDcs};
+  } else if (system == "ssp") {
+    models = {core::SystemModel::kSsp};
+  } else if (system == "drp") {
+    models = {core::SystemModel::kDrp};
+  } else if (system == "dawningcloud") {
+    models = {core::SystemModel::kDawningCloud};
+  } else {
+    return usage();
+  }
+
+  int failures = 0;
+  for (const core::SystemModel model : models) {
+    failures += drill(model, workdir, argv[0]);
+  }
+  if (failures == 0) {
+    std::fprintf(stderr, "crash_resume: all drills passed\n");
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -4,13 +4,19 @@
 //                    [--csv PATH] [--quantum SECONDS]
 //                    [--scheduler first-fit|easy-backfill|conservative-backfill|sjf]
 //                    [--capacity NODES] [--setup SECONDS]
+//                    [--mttf DURATION --mttr DURATION [--fault-seed N]]
+//                    [--snapshot-every DURATION --snapshot-dir DIR]
+//                    [--resume auto | --resume-from FILE]
 //   dawningcloud paper            # the built-in Section 4 experiment
 //   dawningcloud tune --config FILE --provider NAME [--tolerance FRACTION]
 //   dawningcloud describe --config FILE
 //   dawningcloud trace-stats --swf FILE
+//   dawningcloud snapshot-diff --golden FILE --other FILE
 //
 // Experiment config files use the Section 2.2 requirement description
-// model; see data/paper_experiment.dcfg.
+// model; see data/paper_experiment.dcfg. Snapshot/resume semantics are
+// documented in docs/SNAPSHOT.md.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -18,10 +24,12 @@
 
 #include "core/description.hpp"
 #include "core/paper.hpp"
+#include "core/system_runner.hpp"
 #include "core/systems.hpp"
 #include "core/tuning.hpp"
 #include "metrics/markdown.hpp"
 #include "metrics/report.hpp"
+#include "snapshot/format.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
 #include "workload/trace_stats.hpp"
@@ -32,15 +40,20 @@ using namespace dc;
 
 int usage() {
   std::fputs(
-      "usage: dawningcloud <run|paper|tune|describe|trace-stats> [options]\n"
+      "usage: dawningcloud <run|paper|tune|describe|trace-stats|snapshot-diff>"
+      " [options]\n"
       "  run         --config FILE [--system NAME] [--csv PATH]\n"
       "              [--quantum SECONDS] [--scheduler NAME]\n"
       "              [--capacity NODES] [--setup SECONDS]\n"
+      "              [--mttf DURATION --mttr DURATION [--fault-seed N]]\n"
+      "              [--snapshot-every DURATION --snapshot-dir DIR]\n"
+      "              [--resume auto | --resume-from FILE]\n"
       "  paper       (no options) run the built-in paper experiment\n"
       "  report-md   [--config FILE] emit markdown result tables\n"
       "  tune        --config FILE --provider NAME [--tolerance FRACTION]\n"
       "  describe    --config FILE\n"
-      "  trace-stats --swf FILE\n",
+      "  trace-stats --swf FILE\n"
+      "  snapshot-diff --golden FILE --other FILE\n",
       stderr);
   return 2;
 }
@@ -111,6 +124,27 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     }
     options.setup_latency = *setup;
   }
+  if (flags.count("mttf") != 0 || flags.count("mttr") != 0) {
+    auto mttf_it = flags.find("mttf");
+    auto mttr_it = flags.find("mttr");
+    if (mttf_it == flags.end() || mttr_it == flags.end()) {
+      std::fprintf(stderr, "--mttf and --mttr must be given together\n");
+      return 2;
+    }
+    auto mttf = core::parse_duration(mttf_it->second);
+    auto mttr = core::parse_duration(mttr_it->second);
+    if (!mttf.is_ok() || *mttf <= 0 || !mttr.is_ok() || *mttr <= 0) {
+      std::fprintf(stderr, "bad --mttf/--mttr\n");
+      return 2;
+    }
+    core::fault::FaultDomain::Config faults;
+    faults.mean_time_between_failures = *mttf;
+    faults.mean_time_to_repair = *mttr;
+    if (auto it = flags.find("fault-seed"); it != flags.end()) {
+      faults.seed = std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+    options.faults = faults;
+  }
   if (auto it = flags.find("scheduler"); it != flags.end()) {
     const std::string& name = it->second;
     if (name == "first-fit") {
@@ -130,6 +164,42 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
   std::string system = "all";
   if (auto it = flags.find("system"); it != flags.end()) system = it->second;
 
+  core::SnapshotPolicy policy;
+  if (auto it = flags.find("snapshot-every"); it != flags.end()) {
+    auto every = core::parse_duration(it->second);
+    if (!every.is_ok() || *every <= 0) {
+      std::fprintf(stderr, "bad --snapshot-every\n");
+      return 2;
+    }
+    policy.every = *every;
+  }
+  if (auto it = flags.find("snapshot-dir"); it != flags.end()) {
+    policy.dir = it->second;
+  }
+  if (auto it = flags.find("resume-from"); it != flags.end()) {
+    policy.resume_from = it->second;
+    policy.resume = true;
+  }
+  if (auto it = flags.find("resume"); it != flags.end()) {
+    if (it->second != "auto") {
+      std::fprintf(stderr, "--resume only accepts 'auto' (or use "
+                           "--resume-from FILE)\n");
+      return 2;
+    }
+    policy.resume = true;
+  }
+  const bool snapshotting =
+      policy.every > 0 || policy.resume || !policy.resume_from.empty();
+  if (snapshotting && policy.dir.empty() && policy.resume_from.empty()) {
+    std::fprintf(stderr, "snapshot flags need --snapshot-dir DIR\n");
+    return 2;
+  }
+  if (snapshotting && system == "all") {
+    std::fprintf(stderr,
+                 "snapshot/resume needs a single --system (not 'all')\n");
+    return 2;
+  }
+
   std::vector<core::SystemResult> results;
   if (system == "all") {
     results = core::run_all_systems(*workload, options);
@@ -143,7 +213,17 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
       std::fprintf(stderr, "unknown --system %s\n", system.c_str());
       return 2;
     }
-    results.push_back(core::run_system(model, *workload, options));
+    if (snapshotting) {
+      auto result =
+          core::run_system_snapshotted(model, *workload, options, policy);
+      if (!result.is_ok()) {
+        std::fprintf(stderr, "%s\n", result.status().to_string().c_str());
+        return 1;
+      }
+      results.push_back(std::move(*result));
+    } else {
+      results.push_back(core::run_system(model, *workload, options));
+    }
   }
 
   if (system == "all") {
@@ -251,6 +331,45 @@ int cmd_describe(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+// The divergence auditor: compares two snapshot files record-by-record and
+// reports the first diverging component/field plus per-section digests, so
+// a nondeterministic resume points straight at the guilty component.
+int cmd_snapshot_diff(const std::map<std::string, std::string>& flags) {
+  auto golden_it = flags.find("golden");
+  auto other_it = flags.find("other");
+  if (golden_it == flags.end() || other_it == flags.end()) {
+    std::fprintf(stderr, "missing --golden FILE / --other FILE\n");
+    return 2;
+  }
+  std::string report;
+  auto same = snapshot::diff_snapshots(golden_it->second, other_it->second,
+                                       &report);
+  if (!same.is_ok()) {
+    std::fprintf(stderr, "%s\n", same.status().to_string().c_str());
+    return 2;
+  }
+  if (*same) {
+    std::printf("snapshots are identical\n");
+    return 0;
+  }
+  std::printf("%s\n", report.c_str());
+  auto golden_digests = snapshot::section_digests(golden_it->second);
+  auto other_digests = snapshot::section_digests(other_it->second);
+  if (golden_digests.is_ok() && other_digests.is_ok()) {
+    std::printf("diverging sections:\n");
+    const std::size_t n =
+        std::min(golden_digests->size(), other_digests->size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& [name, digest] = (*golden_digests)[i];
+      if ((*other_digests)[i].first != name ||
+          (*other_digests)[i].second != digest) {
+        std::printf("  %s\n", name.c_str());
+      }
+    }
+  }
+  return 1;
+}
+
 int cmd_trace_stats(const std::map<std::string, std::string>& flags) {
   auto it = flags.find("swf");
   if (it == flags.end()) {
@@ -288,5 +407,6 @@ int main(int argc, char** argv) {
   if (command == "tune") return cmd_tune(flags);
   if (command == "describe") return cmd_describe(flags);
   if (command == "trace-stats") return cmd_trace_stats(flags);
+  if (command == "snapshot-diff") return cmd_snapshot_diff(flags);
   return usage();
 }

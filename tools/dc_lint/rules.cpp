@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
+#include <map>
 #include <set>
+#include <utility>
 
 #include "lexer.hpp"
 
@@ -379,6 +381,85 @@ void rule_r5(Ctx& ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// dc-r6: snapshot save/restore field drift.
+//
+// Every snapshottable component pairs X::save(SnapshotWriter&) with
+// X::restore(SnapshotReader&): save emits fields via field_*() calls and
+// restore consumes them via read_*() calls, in the same order. A field
+// added to one side but not the other shifts every later record and only
+// surfaces as a confusing decode error at resume time, far from the edit.
+// The rule counts call sites in both bodies of each pair defined in the
+// same file and flags any imbalance. Nested `member.save(writer)` /
+// `member.restore(reader)` delegation matches neither prefix, so
+// composite components count only their own fields.
+
+struct MethodBody {
+  bool found = false;
+  int line = 0;
+  int calls = 0;
+};
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+void rule_r6(Ctx& ctx) {
+  // class name -> {save body, restore body}
+  std::map<std::string, std::pair<MethodBody, MethodBody>> pairs;
+  for (std::size_t i = 0; i + 3 < ctx.size(); ++i) {
+    if (ctx.tok(i).kind != TokKind::kIdentifier || !ctx.punct_at(i + 1, "::")) {
+      continue;
+    }
+    const bool is_save = ctx.ident_at(i + 2, "save");
+    if (!is_save && !ctx.ident_at(i + 2, "restore")) continue;
+    if (!ctx.punct_at(i + 3, "(")) continue;
+    const std::size_t close = match_paren(ctx, i + 3);
+    // Definitions only: between the parameter list and the body '{' there
+    // may be qualifiers, nothing else. Calls (`Base::save(w);`,
+    // `if (X::save(w).is_ok())`) never satisfy this.
+    std::size_t open = close + 1;
+    while (ctx.ident_at(open, "const") || ctx.ident_at(open, "noexcept") ||
+           ctx.ident_at(open, "override") || ctx.ident_at(open, "final")) {
+      ++open;
+    }
+    if (!ctx.punct_at(open, "{")) continue;
+    int depth = 0;
+    std::size_t end = open;
+    for (; end < ctx.size(); ++end) {
+      if (ctx.punct_at(end, "{")) ++depth;
+      else if (ctx.punct_at(end, "}") && --depth == 0) break;
+    }
+    MethodBody body;
+    body.found = true;
+    body.line = ctx.tok(i).line;
+    const std::string_view prefix = is_save ? "field_" : "read_";
+    for (std::size_t m = open + 1; m < end; ++m) {
+      if (ctx.tok(m).kind == TokKind::kIdentifier &&
+          starts_with(ctx.tok(m).text, prefix) && ctx.punct_at(m + 1, "(")) {
+        ++body.calls;
+      }
+    }
+    auto& entry = pairs[ctx.tok(i).text];
+    (is_save ? entry.first : entry.second) = body;
+    i = end;
+  }
+
+  for (const auto& [name, entry] : pairs) {
+    const MethodBody& save = entry.first;
+    const MethodBody& restore = entry.second;
+    if (!save.found || !restore.found) continue;
+    if (save.calls == restore.calls) continue;
+    ctx.report(restore.line, "dc-r6", "error",
+               name + "::save writes " + std::to_string(save.calls) +
+                   " field(s) but " + name + "::restore reads " +
+                   std::to_string(restore.calls) +
+                   "; the snapshot field lists have drifted apart and every "
+                   "record after the missing one will decode wrong");
+  }
+}
+
 void json_escape_into(std::string& out, const std::string& text) {
   for (const char c : text) {
     switch (c) {
@@ -410,6 +491,7 @@ LintResult lint_source(const std::string& display_path, std::string_view source)
   if (is_sim_hot_path(display_path)) rule_r3(ctx);
   rule_r4(ctx);
   if (is_header_path(display_path)) rule_r5(ctx);
+  rule_r6(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;
