@@ -14,6 +14,8 @@
 
 #include "core/paper.hpp"
 #include "core/systems.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "sched/easy_backfill.hpp"
 #include "sched/first_fit.hpp"
 #include "sim/simulator.hpp"
@@ -213,6 +215,31 @@ BENCHMARK(BM_FullSystemRun)
     ->Arg(static_cast<int>(core::SystemModel::kDrp))
     ->Arg(static_cast<int>(core::SystemModel::kDawningCloud))
     ->Unit(benchmark::kMillisecond);
+
+// Self-profiled, fully traced DawningCloud run. The elapsed time bounds
+// the cost of running with every observability hook on; the profiler's
+// counter block (profile_dispatch_ns, ...) is published as user counters
+// so bench_to_json carries the kernel phase breakdown into
+// BENCH_kernel.json alongside the throughput numbers.
+void BM_ProfiledSystemRun(benchmark::State& state) {
+  const auto workload = core::paper_consolidation();
+  obs::PhaseProfiler profiler;
+  obs::TraceSink sink;
+  core::RunOptions options;
+  options.profile = &profiler;
+  options.trace = &sink;
+  for (auto _ : state) {
+    auto result =
+        core::run_system(core::SystemModel::kDawningCloud, workload, options);
+    benchmark::DoNotOptimize(result);
+  }
+  for (const auto& [name, value] : profiler.counters()) {
+    state.counters[name] = value;
+  }
+  state.counters["trace_events_emitted"] =
+      static_cast<double>(sink.emitted());
+}
+BENCHMARK(BM_ProfiledSystemRun)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

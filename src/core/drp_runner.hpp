@@ -35,6 +35,7 @@
 #include "core/fault/fault_target.hpp"
 #include "core/fault/recovery.hpp"
 #include "core/provision_service.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/format.hpp"
 #include "util/status.hpp"
@@ -60,6 +61,9 @@ class DrpRunner : public fault::FaultTarget {
   void set_recovery(fault::FaultRecoveryPolicy recovery) {
     recovery_ = recovery;
   }
+
+  /// Borrows a per-run trace sink (may be null; see docs/OBSERVABILITY.md).
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   /// HTC job: lease `nodes` now, run for `runtime`, release at completion.
   void submit_job(SimDuration runtime, std::int64_t nodes);
@@ -172,6 +176,7 @@ class DrpRunner : public fault::FaultTarget {
   ResourceProvisionService& provision_;
   std::string name_;
   ResourceProvisionService::ConsumerId consumer_ = 0;
+  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
 
   cluster::LeaseLedger ledger_;
   cluster::UsageRecorder held_;

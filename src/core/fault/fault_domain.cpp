@@ -45,6 +45,9 @@ void FaultDomain::schedule_next(SimTime until) {
 sim::Simulator::Callback FaultDomain::make_repair(std::size_t victim_index,
                                                   std::int64_t failed) {
   return [this, victim_index, failed] {
+    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                     "fault.domain_repair", active_[victim_index]->fault_name(),
+                     failed, nodes_down_ - failed);
     active_[victim_index]->repair_nodes(failed);
     nodes_repaired_ += failed;
     nodes_down_ -= failed;
@@ -70,6 +73,8 @@ void FaultDomain::inject(SimTime until) {
     const std::int64_t failed = std::min(nodes, victim->healthy_nodes());
     ++events_;
     nodes_failed_ += failed;
+    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                     "fault.inject", victim->fault_name(), failed, events_);
     jobs_killed_ += victim->fail_nodes(nodes);
     if (config_.mean_time_to_repair <= 0) {
       // Transparent swap: the provider replaces the hardware in place

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/fault/fault_target.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/format.hpp"
 #include "util/rng.hpp"
@@ -71,6 +72,10 @@ class FaultDomain {
   std::int64_t nodes_down() const { return nodes_down_; }
   std::int64_t jobs_killed() const { return jobs_killed_; }
 
+  /// Borrows a per-run trace sink (may be null; see docs/OBSERVABILITY.md).
+  /// Injections and repairs are emitted with the victim's name as actor.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Serializes the RNG stream position, counters, and the pending
   /// inject/repair events; restore re-arms them. The watch list must be
   /// rebuilt in the same order before restoring (victims are serialized as
@@ -89,6 +94,7 @@ class FaultDomain {
   sim::Simulator& simulator_;
   Config config_;
   Rng rng_;
+  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
   std::vector<FaultTarget*> watched_;
   /// Snapshot of `watched_` taken at start(); the victim sequence drawn
   /// from the seed only ever sees this set.

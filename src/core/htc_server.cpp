@@ -35,6 +35,8 @@ bool HtcServer::start() {
   initial_lease_ = ledger_.open(now, initial, "initial");
   started_ = true;
   owned_ = initial;
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open",
+                   config_.name, initial, owned_);
   if (config_.setup_latency > 0) {
     in_setup_ += initial;
     setup_events_.push_back(
@@ -77,6 +79,8 @@ void HtcServer::shutdown() {
     ledger_.close(grant.lease, now);
     owned_ -= grant.nodes;
     held_.change(now, -grant.nodes);
+    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                     config_.name, grant.nodes, owned_);
     provision_.release(now, consumer_, grant.nodes);
   }
   if (initial_lease_) {
@@ -85,6 +89,8 @@ void HtcServer::shutdown() {
     const std::int64_t initial = owned_;
     owned_ = 0;
     initial_lease_.reset();
+    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                     config_.name, initial, owned_);
     provision_.release(now, consumer_, initial);
   }
   Log::at(LogLevel::kInfo, now, config_.name.c_str(), "shut down");
@@ -113,6 +119,8 @@ sched::JobId HtcServer::submit(SimDuration runtime, std::int64_t nodes,
   completion_events_.push_back(sim::kInvalidEvent);  // stays parallel to jobs_
   queue_.push(id);
   if (first_submit_ == kNever) first_submit_ = now;
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.submit",
+                   config_.name, id, nodes);
   dispatch();
   return id;
 }
@@ -142,6 +150,12 @@ void HtcServer::dispatch() {
     job.start = now;
     started_nodes += job.nodes;
     running_.push_back(job.id);
+    // The queue wait becomes a visible span once its length is known.
+    DC_TRACE_SPAN(trace_, job.submit, now - job.submit,
+                  obs::TraceCategory::kJob, "job.wait", config_.name, job.id,
+                  job.nodes);
+    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.start",
+                     config_.name, job.id, job.nodes);
     // Checkpointed retries only re-run the unfinished remainder.
     completion_events_[static_cast<std::size_t>(job.id)] = simulator_.schedule_in(
         job.runtime - job.completed_work, make_completion(job.id));
@@ -149,6 +163,14 @@ void HtcServer::dispatch() {
   assert(started_nodes <= dispatchable_idle() &&
          "scheduler oversubscribed idle nodes");
   busy_ += started_nodes;
+  // A pick that left some earlier-queued job behind jumped the FIFO order:
+  // in sorted position order, the picks form a 0,1,2,... prefix until the
+  // first skipped job, and everything after that gap is a backfill hit.
+  std::vector<std::size_t> sorted_picks = picks;
+  std::sort(sorted_picks.begin(), sorted_picks.end());
+  for (std::size_t i = 0; i < sorted_picks.size(); ++i) {
+    if (sorted_picks[i] != i) ++backfill_hits_;
+  }
   queue_.remove_positions(picks);
 }
 
@@ -163,6 +185,10 @@ void HtcServer::on_job_complete(sched::JobId id) {
   last_finish_ = now;
   running_.erase(std::find(running_.begin(), running_.end(), id));
   completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
+  DC_TRACE_SPAN(trace_, job.start, now - job.start, obs::TraceCategory::kJob,
+                "job.run", config_.name, job.id, job.nodes);
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.complete",
+                   config_.name, job.id, job.nodes);
 
   // Workflow layer first: completing a task may release dependents into the
   // queue, which the dispatch below can start in the same event.
@@ -242,6 +268,9 @@ sim::Simulator::Callback HtcServer::make_grant_timeout(std::uint64_t epoch,
     if (provision_.cancel_waiting(consumer_) == 0) return;
     waiting_grant_ = false;
     ++grant_timeouts_;
+    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kProvision,
+                     "provision.timeout", config_.name, amount,
+                     grant_timeouts_);
     acquire_dynamic(amount, "RT");
   };
 }
@@ -249,6 +278,8 @@ sim::Simulator::Callback HtcServer::make_grant_timeout(std::uint64_t epoch,
 bool HtcServer::acquire_dynamic(std::int64_t amount, const char* tag) {
   assert(amount > 0);
   const SimTime now = simulator_.now();
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kResize,
+                   std::string("resize.") + tag, config_.name, amount, owned_);
   const std::size_t waiting_before = provision_.waiting_requests();
   if (!provision_.request_or_wait(now, consumer_, amount,
                                   make_waiting_grant(amount, tag))) {
@@ -311,6 +342,8 @@ void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
                               static_cast<long long>(dynamic_grants_)));
   grants_.push_back(Grant{amount, lease, sim::kInvalidTimer, true});
   const std::size_t grant_index = grants_.size() - 1;
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open",
+                   config_.name, amount, owned_);
 
   // "After obtaining enough resources ... the server registers a timer,
   // once per hour, to check idle resources. If there are idle resources
@@ -344,6 +377,8 @@ sim::Simulator::TimerCallback HtcServer::make_idle_check(
       ledger_.close(grant_lease, at);
       owned_ -= nodes;
       held_.change(at, -nodes);
+      DC_TRACE_INSTANT(trace_, at, obs::TraceCategory::kLease, "lease.close",
+                       config_.name, nodes, owned_);
       simulator_.stop_timer(timer);
       provision_.release(at, consumer_, nodes);
     }
@@ -370,6 +405,8 @@ std::int64_t HtcServer::fail_nodes(std::int64_t count) {
     kill_job(now, id);
     ++killed;
   }
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kFault, "fault.fail",
+                   config_.name, count, killed);
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
           "%lld nodes failed (%lld down), %lld jobs killed",
           static_cast<long long>(count), static_cast<long long>(down_),
@@ -396,6 +433,11 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
   const SimDuration salvaged =
       fault::checkpointed_work(config_.recovery, progress);
   wasted_node_seconds_ += (progress - salvaged) * job.nodes;
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.kill",
+                   config_.name, id, job.nodes);
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kCheckpoint,
+                   "checkpoint.salvage", config_.name, salvaged,
+                   progress - salvaged);
   job.completed_work = salvaged;
   job.start = kNever;
 
@@ -407,6 +449,8 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
     job.finish = now;
     wasted_node_seconds_ += salvaged * job.nodes;
     ++jobs_failed_;
+    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.fail",
+                     config_.name, id, job.retries - 1);
     Log::at(LogLevel::kWarn, now, config_.name.c_str(),
             "job %lld failed after %d retries", static_cast<long long>(id),
             job.retries - 1);
@@ -433,6 +477,8 @@ sim::Simulator::Callback HtcServer::make_retry_release(sched::JobId id) {
     assert(job.state == sched::JobState::kPending);
     job.state = sched::JobState::kQueued;
     queue_.push(id);
+    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                     "fault.retry", config_.name, id, job.retries);
     dispatch();
   };
 }
@@ -450,6 +496,8 @@ void HtcServer::repair_nodes(std::int64_t count) {
   // round-trip could lose the capacity to a waiting competitor under
   // queue-by-priority contention).
   provision_.record_hardware_swap(now, consumer_, count);
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kFault, "fault.repair",
+                   config_.name, count, down_);
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
           "%lld nodes repaired (%lld still down)", static_cast<long long>(count),
           static_cast<long long>(down_));
@@ -560,6 +608,7 @@ Status HtcServer::save(snapshot::SnapshotWriter& writer) const {
   writer.field_i64("job_retries", job_retries_);
   writer.field_i64("jobs_failed", jobs_failed_);
   writer.field_i64("grant_timeouts", grant_timeouts_);
+  writer.field_i64("backfill_hits", backfill_hits_);
   writer.field_i64("pending_retries", pending_retries_);
   writer.field_i64("wasted_node_seconds", wasted_node_seconds_);
   writer.begin_section("down_usage");
@@ -787,6 +836,10 @@ Status HtcServer::restore(snapshot::SnapshotReader& reader) {
     return st;
   }
   if (auto st = reader.read_i64("grant_timeouts", grant_timeouts_);
+      !st.is_ok()) {
+    return st;
+  }
+  if (auto st = reader.read_i64("backfill_hits", backfill_hits_);
       !st.is_ok()) {
     return st;
   }

@@ -25,6 +25,7 @@
 #include "core/fault/recovery.hpp"
 #include "core/policies.hpp"
 #include "core/provision_service.hpp"
+#include "obs/trace.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/format.hpp"
@@ -117,6 +118,10 @@ class HtcServer : public fault::FaultTarget {
   /// Waiting dynamic grants cancelled and re-requested after starving past
   /// the recovery policy's grant_timeout.
   std::int64_t grant_timeouts() const { return grant_timeouts_; }
+
+  /// Jobs started ahead of an earlier-queued job left waiting (out-of-FIFO
+  /// dispatch decisions by a backfilling scheduler).
+  std::int64_t backfill_hits() const { return backfill_hits_; }
   /// Nodes currently failed and awaiting repair.
   std::int64_t down() const { return down_; }
 
@@ -125,6 +130,10 @@ class HtcServer : public fault::FaultTarget {
   void set_drained_callback(std::function<void(SimTime)> cb) {
     drained_callback_ = std::move(cb);
   }
+
+  /// Borrows a per-run trace sink (may be null; see docs/OBSERVABILITY.md).
+  /// Covers the MTC server too, which derives from this engine.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
 
   // --- state queries -------------------------------------------------------
   bool started() const { return started_; }
@@ -200,6 +209,7 @@ class HtcServer : public fault::FaultTarget {
 
  protected:
   sim::Simulator& simulator() { return simulator_; }
+  obs::TraceSink* trace() { return trace_; }
 
   /// Demand signal driving the DR1 rule. For HTC this is the queued demand
   /// only ("the ratio of the accumulated resource demands of all jobs in
@@ -245,6 +255,7 @@ class HtcServer : public fault::FaultTarget {
   ResourceProvisionService& provision_;
   Config config_;
   ResourceProvisionService::ConsumerId consumer_ = 0;
+  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
 
   bool started_ = false;
   bool shutdown_ = false;
@@ -287,6 +298,7 @@ class HtcServer : public fault::FaultTarget {
   std::int64_t job_retries_ = 0;
   std::int64_t jobs_failed_ = 0;
   std::int64_t grant_timeouts_ = 0;
+  std::int64_t backfill_hits_ = 0;
   /// Killed jobs waiting out their retry backoff (kPending, not queued);
   /// keeps drained() honest while a retry is pending.
   std::int64_t pending_retries_ = 0;

@@ -51,6 +51,10 @@ void LifecycleService::advance(TreId id, TreState next) {
   auto& record = records_.at(static_cast<std::size_t>(id));
   record.state = next;
   transitions_.push_back({id, next, simulator_.now()});
+  DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kLifecycle,
+                   std::string("lifecycle.") + tre_state_name(next),
+                   record.spec.provider_name, id,
+                   static_cast<std::int64_t>(next));
 }
 
 StatusOr<TreId> LifecycleService::create_tre(

@@ -15,6 +15,7 @@
 #include <optional>
 
 #include "core/deployment.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "snapshot/format.hpp"
 #include "util/status.hpp"
@@ -87,6 +88,11 @@ class LifecycleService {
   };
   const std::vector<Transition>& transitions() const { return transitions_; }
 
+  /// Borrows a per-run trace sink (may be null; see docs/OBSERVABILITY.md).
+  /// Every state transition becomes a `lifecycle.<state>` instant with the
+  /// provider's name as the actor.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// TRE records and the transition audit trail are pure data; creation
   /// chains, however, hold their `on_running` callback in pending events,
   /// so a snapshot while a chain is mid-flight is refused with an
@@ -108,6 +114,7 @@ class LifecycleService {
 
   sim::Simulator& simulator_;
   Latencies latencies_;
+  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
   std::optional<DeploymentModel> deployment_;
   std::vector<Record> records_;
   std::vector<Transition> transitions_;

@@ -109,6 +109,10 @@ TriggerMonitor::WorkflowIndex MtcServer::submit_workflow(
   assert(dag.validate().is_ok());
   std::vector<workflow::TaskId> ready;
   const TriggerMonitor::WorkflowIndex wf = monitor_.add_workflow(dag, ready);
+  DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
+                   "workflow.submit", name(),
+                   static_cast<std::int64_t>(wf),
+                   static_cast<std::int64_t>(dag.size()));
   submit_ready(wf, ready);
   return wf;
 }
@@ -132,6 +136,9 @@ MtcServer::GatedSubmission MtcServer::submit_workflow_gated(
 void MtcServer::fire_trigger(TriggerMonitor::TriggerId trigger) {
   std::vector<workflow::TaskId> ready;
   monitor_.fire_trigger(trigger, ready);
+  DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
+                   "workflow.trigger", name(), trigger,
+                   static_cast<std::int64_t>(ready.size()));
   submit_ready(monitor_.trigger_workflow(trigger), ready);
 }
 
@@ -140,7 +147,12 @@ void MtcServer::handle_completion(const sched::Job& job) {
          static_cast<std::size_t>(job.task_id) < task_refs_.size());
   const TaskRef ref = task_refs_[static_cast<std::size_t>(job.task_id)];
   std::vector<workflow::TaskId> ready;
-  monitor_.on_task_complete(ref.wf, ref.task, ready);
+  const bool workflow_done = monitor_.on_task_complete(ref.wf, ref.task, ready);
+  if (workflow_done) {
+    DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
+                     "workflow.complete", name(),
+                     static_cast<std::int64_t>(ref.wf), 0);
+  }
   submit_ready(ref.wf, ready);
   if (destroy_when_complete_ && monitor_.all_complete() && drained()) {
     // The campaign is done: the service provider destroys its TRE, which

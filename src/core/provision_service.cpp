@@ -26,6 +26,8 @@ bool ResourceProvisionService::try_grant(SimTime now, ConsumerId consumer,
   c.held += nodes;
   usage_.change(now, nodes);
   if (policy_.count_adjustments) adjustments_.record(now, nodes);
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                   "provision.grant", c.name, nodes, pool_.allocated());
   return true;
 }
 
@@ -35,6 +37,9 @@ bool ResourceProvisionService::request(SimTime now, ConsumerId consumer,
   if (nodes <= 0) return true;
   if (try_grant(now, consumer, nodes)) return true;
   ++rejected_;
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                   "provision.reject", consumers_[consumer].name, nodes,
+                   rejected_);
   return false;
 }
 
@@ -49,8 +54,13 @@ bool ResourceProvisionService::request_or_wait(
   if (policy_.contention == ProvisionPolicy::ContentionMode::kReject ||
       cap_violation) {
     ++rejected_;
+    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.reject", c.name, nodes, rejected_);
     return false;
   }
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                   "provision.wait", c.name, nodes,
+                   static_cast<std::int64_t>(waiting_.size()));
   waiting_.push_back(
       WaitingRequest{consumer, nodes, next_sequence_++, std::move(on_granted)});
   return false;
@@ -116,6 +126,8 @@ void ResourceProvisionService::release(SimTime now, ConsumerId consumer,
   pool_.release(nodes);
   usage_.change(now, -nodes);
   if (policy_.count_adjustments) adjustments_.record(now, nodes);
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                   "provision.release", c.name, nodes, pool_.allocated());
   drain_waiting(now);
 }
 
@@ -127,6 +139,9 @@ void ResourceProvisionService::record_hardware_swap(SimTime now,
   if (nodes <= 0 || !policy_.count_adjustments) return;
   adjustments_.record(now, nodes);  // reclaim the failed hardware
   adjustments_.record(now, nodes);  // install the RE on the replacement
+  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
+                   "provision.swap", consumers_[consumer].name, nodes,
+                   consumers_[consumer].held);
 }
 
 Status ResourceProvisionService::save(snapshot::SnapshotWriter& writer) const {

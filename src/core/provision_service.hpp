@@ -23,6 +23,7 @@
 #include "cluster/resource_pool.hpp"
 #include "cluster/usage_recorder.hpp"
 #include "core/policies.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/format.hpp"
 #include "util/status.hpp"
 #include "util/time.hpp"
@@ -86,6 +87,11 @@ class ResourceProvisionService {
   /// Grants rejected (pool exhausted or cap exceeded).
   std::int64_t rejected_requests() const { return rejected_; }
 
+  /// Borrows a per-run trace sink (may be null; see docs/OBSERVABILITY.md).
+  /// Grant/reject/wait/release/swap decisions are emitted with the
+  /// consumer's name as the actor.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+
   /// Serializes pool level, per-consumer holdings, the waiting queue
   /// (sans callbacks), and the provider's books. Consumers must already be
   /// registered identically when restoring; `restore` verifies names.
@@ -124,6 +130,7 @@ class ResourceProvisionService {
 
   cluster::ResourcePool pool_;
   ProvisionPolicy policy_;
+  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
   std::vector<Consumer> consumers_;
   std::vector<WaitingRequest> waiting_;
   std::uint64_t next_sequence_ = 0;

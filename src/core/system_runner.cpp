@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <filesystem>
 
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
@@ -155,6 +159,17 @@ void SystemRunner::build() {
     for (auto& server : mtc_servers_) injector_->watch(server.get());
     for (auto& runner : runners_) injector_->watch(runner.get());
   }
+
+  // One borrowed sink for the whole world: every component tags its own
+  // events with its name, so a single ring holds the interleaved story.
+  if (options_.trace != nullptr) {
+    provision_->set_trace(options_.trace);
+    if (lifecycle_) lifecycle_->set_trace(options_.trace);
+    for (auto& server : htc_servers_) server->set_trace(options_.trace);
+    for (auto& server : mtc_servers_) server->set_trace(options_.trace);
+    for (auto& runner : runners_) runner->set_trace(options_.trace);
+    if (injector_) injector_->set_trace(options_.trace);
+  }
 }
 
 void SystemRunner::arm() {
@@ -234,6 +249,65 @@ void SystemRunner::arm() {
     // weights see the initial holdings from the first draw.
     sim_.schedule_at(0, [this] { injector_->start(horizon_); });
   }
+
+  if (fresh && options_.metrics != nullptr && options_.metrics_every > 0) {
+    // First tick one interval in: at t=0 every gauge is still zero. The
+    // timer joins the pending set like any component event, so enabling
+    // metrics shifts sequence numbers — compare runs with equal options.
+    sampler_timer_ = sim_.start_periodic(options_.metrics_every,
+                                         options_.metrics_every, make_sampler());
+  }
+}
+
+sim::Simulator::TimerCallback SystemRunner::make_sampler() {
+  return [this](SimTime now) { sample_metrics(now); };
+}
+
+void SystemRunner::sample_metrics(SimTime now) {
+  obs::MetricsRegistry* metrics = options_.metrics;
+  // A resumed run may re-arm the sampler timer without a registry (the
+  // timer must survive so the kernel's pending set stays identical).
+  if (metrics == nullptr) return;
+  const auto sample_server = [&](const HtcServer& server) {
+    const std::string& name = server.name();
+    metrics->sample(now, name + ".queue_depth",
+                    static_cast<double>(server.queue_length()));
+    metrics->sample(now, name + ".busy", static_cast<double>(server.busy()));
+    metrics->sample(now, name + ".idle", static_cast<double>(server.idle()));
+    metrics->sample(now, name + ".down", static_cast<double>(server.down()));
+    metrics->sample(now, name + ".owned", static_cast<double>(server.owned()));
+    metrics->sample(now, name + ".backfill_hits",
+                    static_cast<double>(server.backfill_hits()));
+  };
+  for (const auto& server : htc_servers_) sample_server(*server);
+  for (const auto& server : mtc_servers_) sample_server(*server);
+  for (const auto& runner : runners_) {
+    metrics->sample(now, runner->name() + ".held",
+                    static_cast<double>(runner->healthy_nodes()));
+  }
+  metrics->sample(now, "platform.allocated",
+                  static_cast<double>(provision_->allocated()));
+  metrics->sample(now, "platform.waiting",
+                  static_cast<double>(provision_->waiting_requests()));
+  metrics->sample(now, "platform.rejected",
+                  static_cast<double>(provision_->rejected_requests()));
+}
+
+void SystemRunner::run_until(SimTime t) {
+  if (options_.profile == nullptr) {
+    sim_.run_until(t);
+    return;
+  }
+  const std::uint64_t before = sim_.events_processed();
+  const auto start = std::chrono::steady_clock::now();
+  sim_.run_until(t);
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  options_.profile->add(
+      obs::ProfilePhase::kDispatch,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()),
+      sim_.events_processed() - before);
 }
 
 Status SystemRunner::save(snapshot::SnapshotWriter& writer) const {
@@ -283,10 +357,29 @@ Status SystemRunner::save(snapshot::SnapshotWriter& writer) const {
     if (auto st = injector_->save(writer); !st.is_ok()) return st;
     writer.end_section();
   }
+
+  // Observability travels with the world: the trace ring (so a resumed
+  // run's export is byte-identical to an uninterrupted one) and the
+  // metrics-sampler timer (part of the kernel's pending set).
+  writer.begin_section("obs");
+  writer.field_bool("has_trace", options_.trace != nullptr);
+  if (options_.trace != nullptr) options_.trace->save(writer);
+  const auto sampler = sim_.pending_timer_info(sampler_timer_);
+  writer.field_bool("sampler_pending", sampler.has_value());
+  if (sampler.has_value()) {
+    writer.field_time("sampler_next_fire", sampler->next_fire);
+    writer.field_u64("sampler_seq", sampler->seq);
+    writer.field_i64("sampler_period", sampler->period);
+  }
+  writer.end_section();
   return Status::ok();
 }
 
 Status SystemRunner::save_file(const std::string& path) const {
+  std::optional<obs::PhaseProfiler::Scope> timer;
+  if (options_.profile != nullptr) {
+    timer.emplace(options_.profile, obs::ProfilePhase::kSnapshotSave);
+  }
   snapshot::SnapshotWriter writer;
   if (auto st = save(writer); !st.is_ok()) return st;
   return writer.write_file(path);
@@ -386,11 +479,55 @@ Status SystemRunner::restore(snapshot::SnapshotReader& reader) {
     if (auto st = reader.end_section(); !st.is_ok()) return st;
   }
 
+  if (auto st = reader.begin_section("obs"); !st.is_ok()) return st;
+  bool has_trace = false;
+  if (auto st = reader.read_bool("has_trace", has_trace); !st.is_ok()) return st;
+  if (has_trace != (options_.trace != nullptr)) {
+    return Status::failed_precondition(
+        has_trace ? "snapshot carries a trace ring but this resume has no "
+                    "trace sink — resume with --trace-out (the ring is part "
+                    "of the byte-identity contract)"
+                  : "this resume has a trace sink but the snapshot carries "
+                    "no trace ring — the original run was not traced");
+  }
+  if (options_.trace != nullptr) {
+    if (auto st = options_.trace->restore(reader); !st.is_ok()) return st;
+  }
+  bool sampler_pending = false;
+  if (auto st = reader.read_bool("sampler_pending", sampler_pending);
+      !st.is_ok()) {
+    return st;
+  }
+  if (sampler_pending) {
+    SimTime next_fire = 0;
+    if (auto st = reader.read_time("sampler_next_fire", next_fire);
+        !st.is_ok()) {
+      return st;
+    }
+    std::uint64_t seq = 0;
+    if (auto st = reader.read_u64("sampler_seq", seq); !st.is_ok()) return st;
+    std::int64_t period = 0;
+    if (auto st = reader.read_i64("sampler_period", period); !st.is_ok()) {
+      return st;
+    }
+    // Re-armed even when this resume passes no registry: the timer's fire
+    // events are part of the kernel's pending set and sequence stream, so
+    // dropping it would diverge from the uninterrupted run. The callback
+    // no-ops without a registry.
+    sampler_timer_ = sim_.restore_periodic(
+        next_fire, static_cast<std::uint32_t>(seq), period, make_sampler());
+  }
+  if (auto st = reader.end_section(); !st.is_ok()) return st;
+
   if (auto st = sim_.finish_restore(pending); !st.is_ok()) return st;
   return provision_->verify_waiting_restored();
 }
 
 Status SystemRunner::restore_file(const std::string& path) {
+  std::optional<obs::PhaseProfiler::Scope> timer;
+  if (options_.profile != nullptr) {
+    timer.emplace(options_.profile, obs::ProfilePhase::kSnapshotRestore);
+  }
   auto reader = snapshot::SnapshotReader::from_file(path);
   if (!reader.is_ok()) return reader.status();
   return restore(*reader);
@@ -485,6 +622,19 @@ SystemResult SystemRunner::finalize() {
   result.rejected_requests = provision_->rejected_requests();
   result.simulated_events = sim_.events_processed();
   result.hourly_peak_series = provision_->usage().hourly_peak_series(horizon);
+
+  if (options_.profile != nullptr) {
+    options_.profile->note("events_processed",
+                           static_cast<double>(sim_.events_processed()));
+    options_.profile->note("peak_pending",
+                           static_cast<double>(sim_.peak_pending()));
+    if (options_.trace != nullptr) {
+      options_.profile->note("trace_events_emitted",
+                             static_cast<double>(options_.trace->emitted()));
+      options_.profile->note("trace_events_dropped",
+                             static_cast<double>(options_.trace->dropped()));
+    }
+  }
   return result;
 }
 

@@ -86,8 +86,10 @@ class SystemRunner {
   sim::Simulator& simulator() { return sim_; }
 
   /// Advances the simulation; quiescent snapshot points are exactly the
-  /// instants between run_until calls.
-  void run_until(SimTime t) { sim_.run_until(t); }
+  /// instants between run_until calls. With RunOptions::profile set, the
+  /// dispatch phase is timed (wall clock, observational only) and the
+  /// events processed by this call are counted as its work units.
+  void run_until(SimTime t);
 
   /// Serializes the full world state (kernel counters + every component,
   /// one named section each). Must be called at a quiescent point.
@@ -111,11 +113,16 @@ class SystemRunner {
  private:
   void build();
   /// Fresh mode: schedules server starts / TRE creations, feeds the
-  /// emulator, arms the fault domain. Restore mode: replays only the
-  /// emulate_* calls (the passive emulator records streams without
-  /// scheduling) so stream/callback identities line up for restore().
+  /// emulator, arms the fault domain and the metrics sampler. Restore
+  /// mode: replays only the emulate_* calls (the passive emulator records
+  /// streams without scheduling) so stream/callback identities line up
+  /// for restore().
   void arm();
   const sched::Scheduler* htc_scheduler() const;
+  /// One metrics-sampler tick: queue depths, node states, outstanding
+  /// leases and platform gauges into RunOptions::metrics.
+  void sample_metrics(SimTime now);
+  sim::Simulator::TimerCallback make_sampler();
 
   SystemModel model_;
   /// Deep copies: servers keep pointers into the specs (DAGs, traces), so
@@ -142,6 +149,10 @@ class SystemRunner {
   std::vector<std::unique_ptr<DrpRunner>> runners_;  // DRP only
   std::vector<WorkloadType> runner_types_;
   std::optional<fault::FaultDomain> injector_;
+  /// Periodic metrics-sampler timer (RunOptions::metrics_every > 0). Part
+  /// of the kernel's pending set, so its (next fire, seq) is serialized
+  /// and re-armed like any component event.
+  sim::TimerId sampler_timer_ = sim::kInvalidTimer;
 };
 
 /// The canonical auto-snapshot filename for `model` at simulated time `t`

@@ -30,6 +30,12 @@
 #include "workflow/dag.hpp"
 #include "workload/trace.hpp"
 
+namespace dc::obs {
+class MetricsRegistry;
+class PhaseProfiler;
+class TraceSink;
+}  // namespace dc::obs
+
 namespace dc::core {
 
 enum class SystemModel { kDcs, kSsp, kDrp, kDawningCloud };
@@ -184,6 +190,19 @@ struct RunOptions {
   /// applied to every provider. Defaults reproduce the legacy semantics:
   /// unlimited immediate retries from scratch.
   fault::FaultRecoveryPolicy recovery;
+
+  // --- Observability (docs/OBSERVABILITY.md). All three hooks are
+  // borrowed, per-run, and may be null (the default: zero overhead
+  // beyond a pointer test at each emission site). Parallel sweeps must
+  // give each lane its own sink/registry/profiler — or none.
+  /// Structured trace sink; every daemon of the run emits into it.
+  obs::TraceSink* trace = nullptr;
+  /// Metrics registry for the periodic timeseries sampler.
+  obs::MetricsRegistry* metrics = nullptr;
+  /// Sampler period; 0 disables the sampler even when `metrics` is set.
+  SimDuration metrics_every = 0;
+  /// Wall-clock phase profiler (dispatch, snapshot save/restore).
+  obs::PhaseProfiler* profile = nullptr;
 };
 
 /// Runs one system over the workload. Deterministic.

@@ -1,0 +1,102 @@
+// Kernel self-profiling (see docs/OBSERVABILITY.md).
+//
+// A PhaseProfiler accumulates wall-clock time per kernel phase — event
+// dispatch, sweep-pool chunks, snapshot write/restore, trace export —
+// and reports it two ways: an aligned per-run table for humans, and a
+// flat name→value counter block shaped for bench_to_json, so benchmark
+// runs can publish dispatch-phase timings into BENCH_*.json.
+//
+// Wall-clock readings use std::chrono::steady_clock and are strictly
+// observational: no simulation decision ever reads them, so profiling a
+// run cannot perturb its results (dc-r1 bans wall clocks from
+// *simulation* logic; the profiler is measurement, not logic).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.hpp"
+
+namespace dc::obs {
+
+enum class ProfilePhase : std::uint8_t {
+  kDispatch = 0,         // Simulator::run_until event dispatch
+  kSweep = 1,            // sweep-pool chunk execution (absorb_sweep)
+  kSnapshotSave = 2,     // SystemRunner::save_file
+  kSnapshotRestore = 3,  // SystemRunner::restore_file
+  kExport = 4,           // trace / metrics export
+  kPhaseCount = 5,
+};
+
+const char* profile_phase_name(ProfilePhase phase);
+
+class PhaseProfiler {
+ public:
+  /// RAII phase timer; records on destruction.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, ProfilePhase phase)
+        : profiler_(profiler), phase_(phase),
+          start_(std::chrono::steady_clock::now()) {}
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+    ~Scope() {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      profiler_->add(
+          phase_,
+          static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+                  .count()));
+    }
+
+   private:
+    PhaseProfiler* profiler_;
+    ProfilePhase phase_;
+    std::chrono::steady_clock::time_point start_;
+  };
+
+  Scope scope(ProfilePhase phase) { return Scope(this, phase); }
+
+  /// Records one timed call of `phase` covering `units` work items
+  /// (events dispatched, bytes written, ...).
+  void add(ProfilePhase phase, std::uint64_t ns, std::uint64_t units = 0) {
+    accumulate(phase, 1, ns, units);
+  }
+  void accumulate(ProfilePhase phase, std::uint64_t calls, std::uint64_t ns,
+                  std::uint64_t units);
+
+  /// Folds collected sweep-pool chunk timings into the kSweep phase.
+  void absorb_sweep(const SweepStats& stats);
+
+  /// Extra named values published alongside the phase counters
+  /// (peak_pending, events_processed, ...). Last write wins.
+  void note(std::string_view name, double value);
+
+  std::uint64_t calls(ProfilePhase phase) const;
+  std::uint64_t ns(ProfilePhase phase) const;
+  std::uint64_t units(ProfilePhase phase) const;
+
+  /// Aligned per-run profile table.
+  std::string table() const;
+
+  /// Flat counter block: profile_<phase>_{ns,calls,units} for every
+  /// exercised phase plus every note, in deterministic order. Feed each
+  /// pair into benchmark user counters (or print as JSON) and
+  /// bench_to_json passes them through into the committed BENCH files.
+  std::vector<std::pair<std::string, double>> counters() const;
+
+ private:
+  struct PhaseTotals {
+    std::uint64_t calls = 0;
+    std::uint64_t ns = 0;
+    std::uint64_t units = 0;
+  };
+  PhaseTotals totals_[static_cast<std::size_t>(ProfilePhase::kPhaseCount)];
+  std::vector<std::pair<std::string, double>> notes_;
+};
+
+}  // namespace dc::obs

@@ -1,0 +1,627 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <fstream>
+
+#include "util/histogram.hpp"
+#include "util/strings.hpp"
+
+namespace dc::obs {
+namespace {
+
+// Sim seconds → Chrome trace microseconds.
+constexpr std::int64_t kMicrosPerSecond = 1000000;
+
+void append_escaped(std::string& out, std::string_view text) {
+  for (char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          out += str_format("\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void put_u32le(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+void put_u64le(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+}
+
+std::uint32_t get_u32le(const char* p) {
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t get_u64le(const char* p) {
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+Status write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::not_found("cannot open for writing: " + path);
+  }
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  out.flush();
+  if (!out.good()) return Status::internal("short write: " + path);
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* trace_category_name(TraceCategory category) {
+  switch (category) {
+    case TraceCategory::kJob: return "job";
+    case TraceCategory::kLease: return "lease";
+    case TraceCategory::kProvision: return "provision";
+    case TraceCategory::kResize: return "resize";
+    case TraceCategory::kFault: return "fault";
+    case TraceCategory::kCheckpoint: return "checkpoint";
+    case TraceCategory::kLifecycle: return "lifecycle";
+    case TraceCategory::kKernel: return "kernel";
+    case TraceCategory::kLog: return "log";
+    case TraceCategory::kCategoryCount: break;
+  }
+  return "unknown";
+}
+
+StatusOr<std::uint32_t> parse_trace_filter(std::string_view spec) {
+  if (trim(spec).empty() || trim(spec) == "all") return kTraceAll;
+  std::uint32_t mask = 0;
+  for (std::string_view token : split_char(spec, ',')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    bool known = false;
+    for (std::uint16_t c = 0;
+         c < static_cast<std::uint16_t>(TraceCategory::kCategoryCount); ++c) {
+      const auto category = static_cast<TraceCategory>(c);
+      if (token == trace_category_name(category)) {
+        mask |= trace_category_bit(category);
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string valid;
+      for (std::uint16_t c = 0;
+           c < static_cast<std::uint16_t>(TraceCategory::kCategoryCount); ++c) {
+        if (!valid.empty()) valid += ",";
+        valid += trace_category_name(static_cast<TraceCategory>(c));
+      }
+      return Status::invalid_argument("unknown trace category '" +
+                                      std::string(token) + "' (valid: " +
+                                      valid + ",all)");
+    }
+  }
+  return mask;
+}
+
+TraceSink::TraceSink(std::size_t capacity) {
+  ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+std::uint32_t TraceSink::intern(std::string_view text) {
+  auto it = name_ids_.find(text);
+  if (it != name_ids_.end()) return it->second;
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(text);
+  name_ids_.emplace(names_.back(), id);
+  return id;
+}
+
+void TraceSink::push(const TraceEvent& event) {
+  ++emitted_;
+  if (size_ == ring_.size()) {
+    ring_[head_] = event;
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+    return;
+  }
+  ring_[(head_ + size_) % ring_.size()] = event;
+  ++size_;
+}
+
+void TraceSink::instant(SimTime now, TraceCategory category,
+                        std::string_view name, std::string_view actor,
+                        std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  TraceEvent event;
+  event.time = now;
+  event.dur = 0;
+  event.a0 = a0;
+  event.a1 = a1;
+  event.name = intern(name);
+  event.actor = intern(actor);
+  event.category = static_cast<std::uint16_t>(category);
+  event.phase = 0;
+  push(event);
+}
+
+void TraceSink::span(SimTime start, SimDuration dur, TraceCategory category,
+                     std::string_view name, std::string_view actor,
+                     std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  TraceEvent event;
+  event.time = start;
+  event.dur = dur < 0 ? 0 : dur;
+  event.a0 = a0;
+  event.a1 = a1;
+  event.name = intern(name);
+  event.actor = intern(actor);
+  event.category = static_cast<std::uint16_t>(category);
+  event.phase = 1;
+  push(event);
+}
+
+std::vector<TraceEvent> TraceSink::events() const {
+  std::vector<TraceEvent> out;
+  out.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(head_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> TraceSink::category_counts() const {
+  std::vector<std::uint64_t> counts(
+      static_cast<std::size_t>(TraceCategory::kCategoryCount), 0);
+  for (std::size_t i = 0; i < size_; ++i) {
+    const auto& event = ring_[(head_ + i) % ring_.size()];
+    if (event.category < counts.size()) ++counts[event.category];
+  }
+  return counts;
+}
+
+std::string TraceSink::chrome_json() const {
+  const auto recorded = events();
+  // Actors referenced by recorded events become named tid tracks;
+  // metadata records go first, in ascending tid order.
+  std::vector<bool> used(names_.size(), false);
+  for (const auto& event : recorded) used[event.actor] = true;
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  for (std::uint32_t id = 0; id < used.size(); ++id) {
+    if (!used[id]) continue;
+    if (!first) out += ",\n";
+    first = false;
+    out += str_format("{\"ph\":\"M\",\"pid\":1,\"tid\":%u,"
+                      "\"name\":\"thread_name\",\"args\":{\"name\":\"",
+                      id + 1);
+    append_escaped(out, names_[id]);
+    out += "\"}}";
+  }
+  for (const auto& event : recorded) {
+    if (!first) out += ",\n";
+    first = false;
+    const auto category = static_cast<TraceCategory>(event.category);
+    if (event.phase == 1) {
+      out += str_format(
+          "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%lld,\"dur\":%lld,",
+          event.actor + 1,
+          static_cast<long long>(event.time * kMicrosPerSecond),
+          static_cast<long long>(event.dur * kMicrosPerSecond));
+    } else {
+      out += str_format(
+          "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%lld,\"s\":\"t\",",
+          event.actor + 1,
+          static_cast<long long>(event.time * kMicrosPerSecond));
+    }
+    out += "\"name\":\"";
+    append_escaped(out, names_[event.name]);
+    out += "\",\"cat\":\"";
+    append_escaped(out, trace_category_name(category));
+    out += str_format("\",\"args\":{\"a0\":%lld,\"a1\":%lld}}",
+                      static_cast<long long>(event.a0),
+                      static_cast<long long>(event.a1));
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+Status TraceSink::export_chrome_json(const std::string& path) const {
+  return write_text_file(path, chrome_json());
+}
+
+std::string TraceSink::csv() const {
+  std::string out = "time,category,phase,name,actor,dur,a0,a1\n";
+  for (const auto& event : events()) {
+    out += str_format(
+        "%lld,%s,%s,%s,%s,%lld,%lld,%lld\n",
+        static_cast<long long>(event.time),
+        trace_category_name(static_cast<TraceCategory>(event.category)),
+        event.phase == 1 ? "span" : "instant", names_[event.name].c_str(),
+        names_[event.actor].c_str(), static_cast<long long>(event.dur),
+        static_cast<long long>(event.a0), static_cast<long long>(event.a1));
+  }
+  return out;
+}
+
+Status TraceSink::export_csv(const std::string& path) const {
+  return write_text_file(path, csv());
+}
+
+void TraceSink::save(snapshot::SnapshotWriter& writer) const {
+  writer.begin_section("trace");
+  writer.field_u64("capacity", ring_.size());
+  writer.field_u64("filter", filter_);
+  writer.field_u64("emitted", emitted_);
+  writer.field_u64("dropped", dropped_);
+  writer.field_u64("names", names_.size());
+  for (const auto& name : names_) writer.field_str("name", name);
+  std::string blob;
+  blob.reserve(size_ * kTraceEventPacked);
+  for (const auto& event : events()) {
+    put_u64le(blob, static_cast<std::uint64_t>(event.time));
+    put_u64le(blob, static_cast<std::uint64_t>(event.dur));
+    put_u64le(blob, static_cast<std::uint64_t>(event.a0));
+    put_u64le(blob, static_cast<std::uint64_t>(event.a1));
+    put_u32le(blob, event.name);
+    put_u32le(blob, event.actor);
+    put_u32le(blob, (static_cast<std::uint32_t>(event.phase) << 16) |
+                        event.category);
+  }
+  writer.field_u64("events", size_);
+  writer.field_bytes("ring", blob.data(), blob.size());
+  writer.end_section();
+}
+
+Status TraceSink::restore(snapshot::SnapshotReader& reader) {
+  if (Status s = reader.begin_section("trace"); !s.is_ok()) return s;
+  std::uint64_t capacity = 0;
+  std::uint64_t filter = 0;
+  std::uint64_t name_count = 0;
+  if (Status s = reader.read_u64("capacity", capacity); !s.is_ok()) return s;
+  if (Status s = reader.read_u64("filter", filter); !s.is_ok()) return s;
+  if (Status s = reader.read_u64("emitted", emitted_); !s.is_ok()) return s;
+  if (Status s = reader.read_u64("dropped", dropped_); !s.is_ok()) return s;
+  if (Status s = reader.read_u64("names", name_count); !s.is_ok()) return s;
+  names_.clear();
+  name_ids_.clear();
+  for (std::uint64_t i = 0; i < name_count; ++i) {
+    std::string name;
+    if (Status s = reader.read_str("name", name); !s.is_ok()) return s;
+    name_ids_.emplace(name, static_cast<std::uint32_t>(names_.size()));
+    names_.push_back(std::move(name));
+  }
+  std::uint64_t event_count = 0;
+  std::string blob;
+  if (Status s = reader.read_u64("events", event_count); !s.is_ok()) return s;
+  if (Status s = reader.read_bytes("ring", blob); !s.is_ok()) return s;
+  if (blob.size() != event_count * kTraceEventPacked) {
+    return Status::internal(
+        str_format("trace ring blob is %zu bytes, want %llu events * %zu",
+                   blob.size(), static_cast<unsigned long long>(event_count),
+                   kTraceEventPacked));
+  }
+  ring_.assign(capacity == 0 ? 1 : capacity, TraceEvent{});
+  head_ = 0;
+  size_ = 0;
+  filter_ = static_cast<std::uint32_t>(filter);
+  // push() below re-counts; keep the saved run totals.
+  const std::uint64_t saved_emitted = emitted_;
+  const std::uint64_t saved_dropped = dropped_;
+  const char* p = blob.data();
+  for (std::uint64_t i = 0; i < event_count; ++i, p += kTraceEventPacked) {
+    TraceEvent event;
+    event.time = static_cast<SimTime>(get_u64le(p));
+    event.dur = static_cast<SimDuration>(get_u64le(p + 8));
+    event.a0 = static_cast<std::int64_t>(get_u64le(p + 16));
+    event.a1 = static_cast<std::int64_t>(get_u64le(p + 24));
+    event.name = get_u32le(p + 32);
+    event.actor = get_u32le(p + 36);
+    const std::uint32_t packed = get_u32le(p + 40);
+    event.category = static_cast<std::uint16_t>(packed & 0xffff);
+    event.phase = static_cast<std::uint16_t>(packed >> 16);
+    if (event.name >= names_.size() || event.actor >= names_.size()) {
+      return Status::internal("trace event references unknown name id");
+    }
+    push(event);
+  }
+  emitted_ = saved_emitted;
+  dropped_ = saved_dropped;
+  return reader.end_section();
+}
+
+namespace {
+
+// Minimal JSON cursor for the exporter's own output shape.
+struct Cursor {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() &&
+           (text[pos] == ' ' || text[pos] == '\n' || text[pos] == '\r' ||
+            text[pos] == '\t')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  Status fail(const std::string& what) const {
+    return Status::invalid_argument(
+        str_format("trace json: %s near offset %zu", what.c_str(), pos));
+  }
+};
+
+Status parse_json_string(Cursor& cur, std::string& out) {
+  if (!cur.eat('"')) return cur.fail("expected string");
+  out.clear();
+  while (cur.pos < cur.text.size()) {
+    char c = cur.text[cur.pos++];
+    if (c == '"') return Status::ok();
+    if (c == '\\') {
+      if (cur.pos >= cur.text.size()) break;
+      char esc = cur.text[cur.pos++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (cur.pos + 4 > cur.text.size()) return cur.fail("bad \\u escape");
+          int code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = cur.text[cur.pos++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= h - '0';
+            else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+            else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+            else return cur.fail("bad \\u escape");
+          }
+          out += static_cast<char>(code);
+          break;
+        }
+        default: return cur.fail("unsupported escape");
+      }
+    } else {
+      out += c;
+    }
+  }
+  return cur.fail("unterminated string");
+}
+
+Status parse_json_int(Cursor& cur, std::int64_t& out) {
+  cur.skip_ws();
+  std::size_t start = cur.pos;
+  if (cur.pos < cur.text.size() && cur.text[cur.pos] == '-') ++cur.pos;
+  while (cur.pos < cur.text.size() && cur.text[cur.pos] >= '0' &&
+         cur.text[cur.pos] <= '9') {
+    ++cur.pos;
+  }
+  if (cur.pos == start) return cur.fail("expected integer");
+  auto parsed = parse_int(cur.text.substr(start, cur.pos - start));
+  if (!parsed.is_ok()) return cur.fail("bad integer");
+  out = parsed.value();
+  return Status::ok();
+}
+
+// One record object: flat string/integer fields plus a flat "args" object.
+struct RawRecord {
+  std::string ph, name, cat;
+  std::int64_t tid = 0, ts = 0, dur = 0, a0 = 0, a1 = 0;
+  std::string args_name;  // metadata thread_name payload
+};
+
+Status parse_record(Cursor& cur, RawRecord& rec) {
+  if (!cur.eat('{')) return cur.fail("expected record object");
+  if (cur.eat('}')) return Status::ok();
+  while (true) {
+    std::string key;
+    if (Status s = parse_json_string(cur, key); !s.is_ok()) return s;
+    if (!cur.eat(':')) return cur.fail("expected ':'");
+    cur.skip_ws();
+    if (key == "args") {
+      if (!cur.eat('{')) return cur.fail("expected args object");
+      if (!cur.eat('}')) {
+        while (true) {
+          std::string arg_key;
+          if (Status s = parse_json_string(cur, arg_key); !s.is_ok()) return s;
+          if (!cur.eat(':')) return cur.fail("expected ':'");
+          cur.skip_ws();
+          if (cur.pos < cur.text.size() && cur.text[cur.pos] == '"') {
+            std::string value;
+            if (Status s = parse_json_string(cur, value); !s.is_ok()) return s;
+            if (arg_key == "name") rec.args_name = value;
+          } else {
+            std::int64_t value = 0;
+            if (Status s = parse_json_int(cur, value); !s.is_ok()) return s;
+            if (arg_key == "a0") rec.a0 = value;
+            if (arg_key == "a1") rec.a1 = value;
+          }
+          if (cur.eat(',')) continue;
+          if (cur.eat('}')) break;
+          return cur.fail("expected ',' or '}' in args");
+        }
+      }
+    } else if (cur.pos < cur.text.size() && cur.text[cur.pos] == '"') {
+      std::string value;
+      if (Status s = parse_json_string(cur, value); !s.is_ok()) return s;
+      if (key == "ph") rec.ph = value;
+      if (key == "name") rec.name = value;
+      if (key == "cat") rec.cat = value;
+    } else {
+      std::int64_t value = 0;
+      if (Status s = parse_json_int(cur, value); !s.is_ok()) return s;
+      if (key == "tid") rec.tid = value;
+      if (key == "ts") rec.ts = value;
+      if (key == "dur") rec.dur = value;
+    }
+    if (cur.eat(',')) continue;
+    if (cur.eat('}')) return Status::ok();
+    return cur.fail("expected ',' or '}'");
+  }
+}
+
+}  // namespace
+
+StatusOr<std::vector<ParsedTraceEvent>> parse_chrome_json(
+    std::string_view json) {
+  Cursor cur{json};
+  if (!cur.eat('{')) return cur.fail("expected top-level object");
+  std::vector<ParsedTraceEvent> out;
+  std::map<std::int64_t, std::string> tracks;
+  bool saw_events = false;
+  while (true) {
+    std::string key;
+    if (Status s = parse_json_string(cur, key); !s.is_ok()) return s;
+    if (!cur.eat(':')) return cur.fail("expected ':'");
+    if (key == "traceEvents") {
+      saw_events = true;
+      if (!cur.eat('[')) return cur.fail("expected traceEvents array");
+      if (!cur.eat(']')) {
+        while (true) {
+          RawRecord rec;
+          if (Status s = parse_record(cur, rec); !s.is_ok()) return s;
+          if (rec.ph == "M") {
+            if (rec.name == "thread_name") tracks[rec.tid] = rec.args_name;
+          } else {
+            ParsedTraceEvent event;
+            event.name = rec.name;
+            event.category = rec.cat;
+            auto track = tracks.find(rec.tid);
+            event.actor = track == tracks.end() ? str_format("tid%lld",
+                              static_cast<long long>(rec.tid))
+                                                : track->second;
+            event.phase = rec.ph == "X" ? 'X' : 'i';
+            event.ts_us = rec.ts;
+            event.dur_us = rec.dur;
+            event.a0 = rec.a0;
+            event.a1 = rec.a1;
+            out.push_back(std::move(event));
+          }
+          if (cur.eat(',')) continue;
+          if (cur.eat(']')) break;
+          return cur.fail("expected ',' or ']' in traceEvents");
+        }
+      }
+    } else {
+      std::string ignored;
+      if (Status s = parse_json_string(cur, ignored); !s.is_ok()) return s;
+    }
+    if (cur.eat(',')) continue;
+    if (cur.eat('}')) break;
+    return cur.fail("expected ',' or '}' at top level");
+  }
+  if (!saw_events) return Status::invalid_argument("trace json: no traceEvents");
+  return out;
+}
+
+StatusOr<std::vector<ParsedTraceEvent>> read_chrome_trace(
+    const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) return Status::not_found("cannot open trace: " + path);
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  auto parsed = parse_chrome_json(text);
+  if (!parsed.is_ok()) {
+    return Status(parsed.status().code(),
+                  path + ": " + parsed.status().message());
+  }
+  return parsed;
+}
+
+std::string summarize_trace(const std::vector<ParsedTraceEvent>& events) {
+  // Per-category counts in taxonomy order, then per-name span percentiles.
+  std::string out;
+  out += str_format("events: %zu\n", events.size());
+  std::map<std::string, std::pair<std::uint64_t, std::uint64_t>> categories;
+  for (const auto& event : events) {
+    auto& slot = categories[event.category];
+    if (event.phase == 'X') ++slot.second; else ++slot.first;
+  }
+  out += "\ncategory counts\n";
+  out += str_format("  %-12s %10s %10s\n", "category", "instants", "spans");
+  for (const auto& [category, counts] : categories) {
+    out += str_format("  %-12s %10llu %10llu\n", category.c_str(),
+                      static_cast<unsigned long long>(counts.first),
+                      static_cast<unsigned long long>(counts.second));
+  }
+  std::map<std::string, std::vector<double>> spans;
+  for (const auto& event : events) {
+    if (event.phase == 'X') {
+      spans[event.name].push_back(static_cast<double>(event.dur_us) / 1e6);
+    }
+  }
+  if (!spans.empty()) {
+    out += "\nspan durations (seconds)\n";
+    out += str_format("  %-24s %8s %10s %10s %10s %10s\n", "span", "count",
+                      "p50", "p95", "p99", "max");
+    for (const auto& [name, durations] : spans) {
+      const double max_dur =
+          *std::max_element(durations.begin(), durations.end());
+      Histogram hist(0.0, max_dur > 0.0 ? max_dur : 1.0, 64);
+      for (double d : durations) hist.add(d);
+      out += str_format("  %-24s %8zu %10.2f %10.2f %10.2f %10.2f\n",
+                        name.c_str(), durations.size(), hist.p50(), hist.p95(),
+                        hist.p99(), max_dur);
+    }
+  }
+  return out;
+}
+
+bool diff_traces(const std::vector<ParsedTraceEvent>& golden,
+                 const std::vector<ParsedTraceEvent>& other,
+                 std::string* report) {
+  const auto describe = [](const ParsedTraceEvent& event) {
+    return str_format("%c %s/%s actor=%s ts=%lld dur=%lld a0=%lld a1=%lld",
+                      event.phase, event.category.c_str(), event.name.c_str(),
+                      event.actor.c_str(), static_cast<long long>(event.ts_us),
+                      static_cast<long long>(event.dur_us),
+                      static_cast<long long>(event.a0),
+                      static_cast<long long>(event.a1));
+  };
+  const std::size_t common = std::min(golden.size(), other.size());
+  for (std::size_t i = 0; i < common; ++i) {
+    const auto& g = golden[i];
+    const auto& o = other[i];
+    if (g.name == o.name && g.category == o.category && g.actor == o.actor &&
+        g.phase == o.phase && g.ts_us == o.ts_us && g.dur_us == o.dur_us &&
+        g.a0 == o.a0 && g.a1 == o.a1) {
+      continue;
+    }
+    if (report != nullptr) {
+      *report = str_format("first divergence at event %zu\n  golden: %s\n  other:  %s",
+                           i, describe(g).c_str(), describe(o).c_str());
+    }
+    return false;
+  }
+  if (golden.size() != other.size()) {
+    if (report != nullptr) {
+      const bool golden_longer = golden.size() > other.size();
+      const auto& extra = golden_longer ? golden[common] : other[common];
+      *report = str_format(
+          "traces agree for %zu events, then %s has %zu extra; first: %s",
+          common, golden_longer ? "golden" : "other",
+          (golden_longer ? golden.size() : other.size()) - common,
+          describe(extra).c_str());
+    }
+    return false;
+  }
+  if (report != nullptr) *report = "traces are identical";
+  return true;
+}
+
+}  // namespace dc::obs

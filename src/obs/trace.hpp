@@ -1,0 +1,212 @@
+// Deterministic structured tracing (see docs/OBSERVABILITY.md).
+//
+// A TraceSink records typed, sim-time-stamped events — instants ("job
+// arrived") and spans ("job ran for 40 min") — into a bounded binary ring
+// buffer. Everything about a sink is a pure function of the simulated
+// run: timestamps are SimTime seconds, names are interned in first-use
+// order, and the ring drops oldest-first with an explicit counter, so two
+// runs of the same experiment produce byte-identical exports regardless
+// of DC_THREADS and regardless of snapshot/resume boundaries. That makes
+// the trace a determinism oracle in its own right: `dawningcloud
+// trace-summary --trace a.json --other b.json` reports the first
+// diverging event the way snapshot-diff reports the first diverging
+// field.
+//
+// Sinks are owned per run (one per Simulator), never global, so parallel
+// parameter sweeps stay race-free: each sweep lane traces into its own
+// sink or into none.
+//
+// Emission goes through the DC_TRACE_* macros. By default they compile
+// to a null-pointer test plus a call — negligible off the kernel hot
+// path, which is deliberately *not* instrumented (per-event tracing
+// would tax EventQueueThroughput; the kernel exposes aggregate counters
+// to the PhaseProfiler instead). Defining DC_TRACE_DISABLED compiles
+// every emission site out entirely (arguments unevaluated).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "snapshot/format.hpp"
+#include "util/status.hpp"
+#include "util/time.hpp"
+
+namespace dc::obs {
+
+/// Event taxonomy. Categories gate emission (see TraceSink::set_filter)
+/// and become the Chrome trace_event "cat" field.
+enum class TraceCategory : std::uint16_t {
+  kJob = 0,         // submit / start / complete / kill
+  kLease = 1,       // VM lease open / amend / close
+  kProvision = 2,   // grant / wait / timeout / reject / release / swap
+  kResize = 3,      // DR1/DR2 resize decisions
+  kFault = 4,       // node fail / repair / retry
+  kCheckpoint = 5,  // checkpoint salvage on kill
+  kLifecycle = 6,   // TRE state transitions
+  kKernel = 7,      // kernel milestones (run boundaries)
+  kLog = 8,         // Log lines routed via Log::set_hook
+  kCategoryCount = 9,
+};
+
+const char* trace_category_name(TraceCategory category);
+
+/// Filter bit for a category.
+constexpr std::uint32_t trace_category_bit(TraceCategory category) {
+  return 1u << static_cast<std::uint32_t>(category);
+}
+
+/// All categories enabled.
+inline constexpr std::uint32_t kTraceAll = 0xffffffffu;
+
+/// Parses a comma-separated category list ("job,lease,fault" or "all")
+/// into a filter mask. Unknown names are an error listing the valid set.
+StatusOr<std::uint32_t> parse_trace_filter(std::string_view spec);
+
+/// One recorded event. Fixed-size POD so the ring is a flat allocation;
+/// names/actors are ids into the sink's interned string table.
+struct TraceEvent {
+  SimTime time = 0;      // start time (instant: the instant itself)
+  SimDuration dur = 0;   // span duration; 0 and unused for instants
+  std::int64_t a0 = 0;   // event-specific args (job id, node count, ...)
+  std::int64_t a1 = 0;
+  std::uint32_t name = 0;   // interned event name, e.g. "job.submit"
+  std::uint32_t actor = 0;  // interned actor name, e.g. the provider
+  std::uint16_t category = 0;
+  std::uint16_t phase = 0;  // 0 = instant, 1 = span
+};
+
+/// Serialized size of one TraceEvent in the snapshot blob.
+inline constexpr std::size_t kTraceEventPacked = 44;
+
+/// An event decoded back out of a Chrome trace JSON export.
+struct ParsedTraceEvent {
+  std::string name;
+  std::string category;
+  std::string actor;
+  char phase = 'i';  // 'i' instant, 'X' span
+  std::int64_t ts_us = 0;
+  std::int64_t dur_us = 0;
+  std::int64_t a0 = 0;
+  std::int64_t a1 = 0;
+};
+
+/// Bounded, deterministic event recorder. Not thread-safe: a sink
+/// belongs to exactly one run (all emission happens on the thread
+/// driving that run's Simulator).
+class TraceSink {
+ public:
+  /// `capacity` bounds the ring; once full the oldest events are dropped
+  /// (dropped() counts them) so tracing never grows without bound.
+  explicit TraceSink(std::size_t capacity = 1u << 16);
+
+  /// Restricts recording to the categories in `mask` (kTraceAll keeps
+  /// everything). Events outside the mask are never recorded or interned.
+  void set_filter(std::uint32_t mask) { filter_ = mask; }
+  std::uint32_t filter() const { return filter_; }
+  bool wants(TraceCategory category) const {
+    return (filter_ & trace_category_bit(category)) != 0;
+  }
+
+  /// Records a zero-duration event at `now`.
+  void instant(SimTime now, TraceCategory category, std::string_view name,
+               std::string_view actor, std::int64_t a0 = 0,
+               std::int64_t a1 = 0);
+
+  /// Records a completed span [start, start+dur). Spans are emitted at
+  /// completion time, when the duration is known; ring order is emission
+  /// order (Perfetto sorts by ts on load).
+  void span(SimTime start, SimDuration dur, TraceCategory category,
+            std::string_view name, std::string_view actor,
+            std::int64_t a0 = 0, std::int64_t a1 = 0);
+
+  /// Get-or-create id for a name. Ids are assigned in first-use order,
+  /// which is deterministic because emission order is; after a snapshot
+  /// restore, re-interning an already-known string yields its saved id.
+  std::uint32_t intern(std::string_view text);
+  const std::string& name_of(std::uint32_t id) const { return names_[id]; }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return ring_.size(); }
+  std::uint64_t emitted() const { return emitted_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Events oldest-to-newest (unwraps the ring).
+  std::vector<TraceEvent> events() const;
+
+  /// Per-category recorded-event counts (indexed by TraceCategory).
+  std::vector<std::uint64_t> category_counts() const;
+
+  /// Chrome trace_event JSON (object form, traceEvents array). Sim
+  /// seconds map to microseconds; actors become named tid tracks.
+  std::string chrome_json() const;
+  Status export_chrome_json(const std::string& path) const;
+
+  /// Long-format CSV: time,category,phase,name,actor,dur,a0,a1.
+  std::string csv() const;
+  Status export_csv(const std::string& path) const;
+
+  /// Snapshot round trip: the ring, string table, filter and counters
+  /// are part of a run's resumable state, so a resumed run's export is
+  /// byte-identical to the uninterrupted run's.
+  void save(snapshot::SnapshotWriter& writer) const;
+  Status restore(snapshot::SnapshotReader& reader);
+
+ private:
+  void push(const TraceEvent& event);
+
+  std::vector<TraceEvent> ring_;
+  std::size_t head_ = 0;  // index of oldest event
+  std::size_t size_ = 0;
+  std::uint64_t emitted_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint32_t filter_ = kTraceAll;
+  std::vector<std::string> names_;
+  std::map<std::string, std::uint32_t, std::less<>> name_ids_;
+};
+
+/// Parses a Chrome trace JSON produced by chrome_json() back into its
+/// event list (metadata records are skipped). Tolerates only the shape
+/// this exporter writes plus whitespace; anything else is an error with
+/// an offset. Used by the exporter round-trip test and trace-summary.
+StatusOr<std::vector<ParsedTraceEvent>> parse_chrome_json(
+    std::string_view json);
+
+/// Reads and parses a Chrome trace JSON file.
+StatusOr<std::vector<ParsedTraceEvent>> read_chrome_trace(
+    const std::string& path);
+
+/// Per-category counts and span-duration percentiles, rendered as an
+/// aligned table — the `trace-summary` report body.
+std::string summarize_trace(const std::vector<ParsedTraceEvent>& events);
+
+/// Walks two parsed traces in lockstep and reports the first diverging
+/// event (index plus both sides' fields) into `report`. Returns true
+/// when the traces are identical — the tracing twin of diff_snapshots.
+bool diff_traces(const std::vector<ParsedTraceEvent>& golden,
+                 const std::vector<ParsedTraceEvent>& other,
+                 std::string* report);
+
+}  // namespace dc::obs
+
+// Emission macros. `sink` is a TraceSink* (may be null); with tracing
+// compiled in they cost one pointer test when the sink is null.
+#ifndef DC_TRACE_DISABLED
+#define DC_TRACE_INSTANT(sink, ...)                        \
+  do {                                                     \
+    if ((sink) != nullptr) (sink)->instant(__VA_ARGS__);   \
+  } while (0)
+#define DC_TRACE_SPAN(sink, ...)                           \
+  do {                                                     \
+    if ((sink) != nullptr) (sink)->span(__VA_ARGS__);      \
+  } while (0)
+#else
+#define DC_TRACE_INSTANT(sink, ...) \
+  do {                              \
+  } while (0)
+#define DC_TRACE_SPAN(sink, ...) \
+  do {                           \
+  } while (0)
+#endif

@@ -124,6 +124,10 @@ class Simulator {
   /// Number of events executed so far (excludes cancelled).
   std::uint64_t events_processed() const { return processed_; }
 
+  /// High-water mark of the pending-event heap over the run — the
+  /// kernel's memory-pressure figure for the self-profiling report.
+  std::size_t peak_pending() const { return peak_pending_; }
+
   /// Number of live pending events: one-shot events not yet fired or
   /// cancelled, plus one pending fire per active periodic timer. Exact —
   /// cancelled events leave no residue in the queue.
@@ -328,6 +332,7 @@ class Simulator {
                               std::uint32_t seq) {
     if (heap_size_ == heap_cap_) grow_heap(heap_cap_ == 0 ? 1024 : heap_cap_ * 2);
     std::size_t pos = heap_size_++;
+    if (heap_size_ > peak_pending_) peak_pending_ = heap_size_;
     const HeapNode node{time_key(t), seq, slot};
     // Inline sift-up: random-time inserts rarely climb more than a level
     // or two, so the whole schedule path stays in the caller's frame.
@@ -385,6 +390,7 @@ class Simulator {
 
   HeapNode* heap_raw_ = nullptr;  // aligned_alloc'd; [0..2] is the pad
   std::size_t heap_size_ = 0;
+  std::size_t peak_pending_ = 0;
   std::size_t heap_cap_ = 0;
   std::vector<std::unique_ptr<EventSlot[]>> event_chunks_;
   std::vector<std::uint32_t> slot_pos_;  // event slot -> logical heap index

@@ -61,6 +61,23 @@ double Histogram::bin_lo(std::size_t i) const {
 
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i + 1); }
 
+double Histogram::quantile(double p) const {
+  if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(total_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const auto count = static_cast<double>(counts_[i]);
+    if (cumulative + count >= target && count > 0.0) {
+      const double fraction = std::clamp((target - cumulative) / count, 0.0, 1.0);
+      return bin_lo(i) + fraction * (bin_hi(i) - bin_lo(i));
+    }
+    cumulative += count;
+  }
+  // p == 1 with trailing empty bins, or pure rounding residue.
+  return hi_;
+}
+
 std::string Histogram::render(std::size_t max_bar_width) const {
   std::int64_t max_count = 1;
   for (auto c : counts_) max_count = std::max(max_count, c);

@@ -47,6 +47,15 @@ class Histogram {
   std::int64_t underflow() const { return underflow_; }
   std::int64_t overflow() const { return overflow_; }
 
+  /// Value below which a fraction `p` (clamped to [0,1]) of the samples
+  /// fall, linearly interpolated inside the containing bin. Out-of-range
+  /// samples were clamped into the edge bins by `add`, so the result is
+  /// always within [lo, hi]; an empty histogram reports `lo`.
+  double quantile(double p) const;
+  double p50() const { return quantile(0.50); }
+  double p95() const { return quantile(0.95); }
+  double p99() const { return quantile(0.99); }
+
   /// Quick ASCII rendering for examples/inspection tools.
   std::string render(std::size_t max_bar_width = 50) const;
 

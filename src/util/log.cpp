@@ -4,6 +4,8 @@ namespace dc {
 
 LogLevel Log::level_ = LogLevel::kWarn;
 std::FILE* Log::stream_ = stderr;
+Log::Hook Log::hook_ = nullptr;
+void* Log::hook_ctx_ = nullptr;
 
 const char* Log::level_name(LogLevel level) {
   switch (level) {
@@ -15,6 +17,16 @@ const char* Log::level_name(LogLevel level) {
     case LogLevel::kOff: return "OFF";
   }
   return "?";
+}
+
+void Log::write_line(LogLevel level, SimTime now, const char* component,
+                     const std::string& message) {
+  std::string line = "[" + format_time(now) + "] [" + level_name(level) +
+                     "] [" + component + "] " + message + "\n";
+  std::fwrite(line.data(), 1, line.size(), stream_);
+  if (hook_ != nullptr) {
+    hook_(hook_ctx_, level, now, component, message.c_str());
+  }
 }
 
 }  // namespace dc

@@ -3,11 +3,17 @@
 // The emulated daemons (HTC/MTC servers, provision service, lifecycle
 // service) log their decisions through this facility; tests silence it and
 // the examples turn on kInfo to narrate runs.
+//
+// Each message is formatted into a single buffer and written with one
+// fwrite, so lines never shear even when examples log from sweep threads
+// (stdio guarantees atomicity per call, not across the three calls the
+// old prefix/body/newline implementation made).
 #pragma once
 
 #include <cstdio>
 #include <string>
 
+#include "util/strings.hpp"
 #include "util/time.hpp"
 
 namespace dc {
@@ -21,16 +27,30 @@ enum class LogLevel : int {
   kOff = 5,
 };
 
-/// Process-wide logger. Not thread-safe by design: the simulator is
-/// single-threaded per experiment; parallel sweeps run one Simulator (and
-/// thus one log stream, usually kOff) per thread.
+/// Process-wide logger. Level/stream/hook configuration is not
+/// thread-safe by design: the simulator is single-threaded per
+/// experiment; parallel sweeps run one Simulator (and thus one log
+/// stream, usually kOff) per thread, and configuration happens before
+/// sweeps start.
 class Log {
  public:
+  /// Observer for emitted `at` messages; the CLI installs one to route
+  /// Log lines into the run's TraceSink when tracing is enabled. Only
+  /// install a hook in single-run contexts — the hook is process-wide,
+  /// while trace sinks are per-run.
+  using Hook = void (*)(void* ctx, LogLevel level, SimTime now,
+                        const char* component, const char* message);
+
   static LogLevel level() { return level_; }
   static void set_level(LogLevel level) { level_ = level; }
 
   /// Sink for messages; defaults to stderr.
   static void set_stream(std::FILE* stream) { stream_ = stream; }
+
+  static void set_hook(Hook hook, void* ctx) {
+    hook_ = hook;
+    hook_ctx_ = ctx;
+  }
 
   static bool enabled(LogLevel level) { return level >= level_; }
 
@@ -39,25 +59,43 @@ class Log {
   static void at(LogLevel level, SimTime now, const char* component,
                  const char* fmt, Args... args) {
     if (!enabled(level)) return;
-    std::string prefix = "[" + format_time(now) + "] [" + level_name(level) +
-                         "] [" + component + "] ";
-    std::fputs(prefix.c_str(), stream_);
-    std::fprintf(stream_, fmt, args...);
-    std::fputc('\n', stream_);
+    write_line(level, now, component, format_message(fmt, args...));
   }
 
   template <typename... Args>
   static void raw(LogLevel level, const char* fmt, Args... args) {
     if (!enabled(level)) return;
-    std::fprintf(stream_, fmt, args...);
-    std::fputc('\n', stream_);
+    std::string line = format_message(fmt, args...);
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), stream_);
   }
 
   static const char* level_name(LogLevel level);
 
  private:
+  template <typename... Args>
+  static std::string format_message(const char* fmt, Args... args) {
+    if constexpr (sizeof...(args) == 0) {
+      return std::string(fmt);
+    } else {
+// The callers' format strings are compile-time literals; this template
+// just forwards them, which -Wformat-nonliteral cannot see.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-nonliteral"
+      return str_format(fmt, args...);
+#pragma GCC diagnostic pop
+    }
+  }
+
+  /// Prefixes, writes the whole line with one fwrite, then notifies the
+  /// hook (if any) with the unprefixed message.
+  static void write_line(LogLevel level, SimTime now, const char* component,
+                         const std::string& message);
+
   static LogLevel level_;
   static std::FILE* stream_;
+  static Hook hook_;
+  static void* hook_ctx_;
 };
 
 /// RAII guard that temporarily changes the log level (used by tests).

@@ -152,6 +152,46 @@ TEST(DcLintR6, RealSnapshotComponentsAreSymmetric) {
   }
 }
 
+TEST(DcLintR7, FlagsDirectPrintOnlyUnderCoreAndSim) {
+  const std::string source = fixture("r7_direct_print.cpp");
+
+  // Linted as core code: every direct stdio output call fires.
+  const auto core = dc_lint::lint_source("src/core/r7_direct_print.cpp", source);
+  expect_all_rule(core, "dc-r7", "error");
+  EXPECT_EQ(lines_of(core), (std::vector<int>{11, 14, 16, 18}));
+  EXPECT_EQ(core.waived, 1);  // the NOLINT'd usage screen
+
+  // src/sim is gated identically.
+  const auto sim = dc_lint::lint_source("src/sim/r7_direct_print.cpp", source);
+  EXPECT_EQ(lines_of(sim), (std::vector<int>{11, 14, 16, 18}));
+
+  // The same source outside src/core and src/sim is clean: tools and
+  // tests may print directly.
+  const auto cold =
+      dc_lint::lint_source("tests/lint/fixtures/r7_direct_print.cpp", source);
+  EXPECT_TRUE(cold.diagnostics.empty()) << dc_lint::to_human(cold.diagnostics);
+  EXPECT_EQ(cold.waived, 0);
+}
+
+TEST(DcLintR7, RealInstrumentedSubsystemsAreClean) {
+  // The shipped core/sim sources must themselves satisfy dc-r7: all of
+  // their narration goes through dc::Log or the DC_TRACE_* macros.
+  for (const char* rel : {"/../../../src/core/htc_server.cpp",
+                          "/../../../src/core/system_runner.cpp",
+                          "/../../../src/sim/simulator.cpp"}) {
+    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string display =
+        std::string("src/") + (rel + sizeof("/../../../src/") - 1);
+    const auto result = dc_lint::lint_source(display, buf.str());
+    EXPECT_TRUE(result.diagnostics.empty())
+        << display << ":\n" << dc_lint::to_human(result.diagnostics);
+  }
+}
+
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {
   const auto result = dc_lint::lint_source("tests/lint/fixtures/clean.cpp",
                                            fixture("clean.cpp"));

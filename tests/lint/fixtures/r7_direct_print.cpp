@@ -1,0 +1,29 @@
+// Fixture: dc-r7 violations — direct stdio output in an instrumented
+// subsystem (linted as if under src/core; the same file is clean when
+// linted under its real fixtures path, because the rule is path-gated).
+// Expected under src/core: 4 diagnostics (lines 11, 14, 16, 18), 1 waived
+// (line 21).
+#include <cstdio>
+
+struct Printer { int puts(const char* text); };
+
+void narrate(double usage) {
+  std::printf("usage %.2f\n", usage);           // violation: stdout bypass
+  // Violation: stderr bypass shears across sweep threads and cannot be
+  // silenced by tests.
+  std::fprintf(stderr, "usage %.2f\n", usage);
+  if (usage > 1.0) {
+    puts("over capacity");                      // violation
+  }
+  std::fputs("done\n", stdout);                 // violation
+  // Waived: a documented, deliberate direct write (e.g. a usage() help
+  // screen compiled into this TU).
+  std::fprintf(stderr, "usage: ...\n");  // NOLINT(dc-r7)
+}
+
+void fine(Printer& printer, char* buffer, double usage) {
+  // No violation: formatting into a buffer produces no output.
+  std::snprintf(buffer, 64, "usage %.2f", usage);
+  // No violation: member calls named like stdio belong to someone else.
+  printer.puts("hello");
+}

@@ -67,6 +67,53 @@ TEST(Histogram, OutOfRangeClampsAndCounts) {
   EXPECT_EQ(hist.bin(1), 2);
 }
 
+TEST(Histogram, QuantileOfEmptyHistogramIsLo) {
+  Histogram hist(2.0, 10.0, 4);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.p50(), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 2.0);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinSingleOccupiedBin) {
+  // All mass in [2, 4): the quantile walks linearly across that bin.
+  Histogram hist(0.0, 10.0, 5);
+  for (int i = 0; i < 4; ++i) hist.add(3.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 3.0);   // half-way through the bin
+  EXPECT_DOUBLE_EQ(hist.quantile(0.25), 2.5);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 4.0);   // the bin's upper edge
+  EXPECT_DOUBLE_EQ(hist.quantile(0.0), 2.0);   // p=0 sits at the bin's base
+}
+
+TEST(Histogram, QuantileOrderAcrossBins) {
+  Histogram hist(0.0, 10.0, 5);
+  for (int i = 0; i < 10; ++i) hist.add(i + 0.5);  // 2 per bin
+  EXPECT_DOUBLE_EQ(hist.quantile(0.2), 2.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(hist.p50(), 5.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 10.0);
+  EXPECT_LE(hist.p50(), hist.p95());
+  EXPECT_LE(hist.p95(), hist.p99());
+}
+
+TEST(Histogram, QuantileWithSaturatedOverflowBinStaysInRange) {
+  // Every sample clamps into the last bin; quantiles must stay within
+  // [lo, hi] and land inside that bin, never extrapolate past hi.
+  Histogram hist(0.0, 10.0, 2);
+  for (int i = 0; i < 100; ++i) hist.add(1e9);
+  EXPECT_EQ(hist.overflow(), 100);
+  EXPECT_DOUBLE_EQ(hist.quantile(0.5), 7.5);  // midpoint of bin [5, 10)
+  EXPECT_DOUBLE_EQ(hist.quantile(1.0), 10.0);
+  EXPECT_GE(hist.p99(), 5.0);
+  EXPECT_LE(hist.p99(), 10.0);
+}
+
+TEST(Histogram, QuantileClampsOutOfRangeP) {
+  Histogram hist(0.0, 10.0, 2);
+  hist.add(1.0);
+  EXPECT_DOUBLE_EQ(hist.quantile(-0.5), hist.quantile(0.0));
+  EXPECT_DOUBLE_EQ(hist.quantile(2.0), hist.quantile(1.0));
+}
+
 TEST(Histogram, RenderContainsBars) {
   Histogram hist(0.0, 4.0, 2);
   hist.add(1.0);

@@ -70,6 +70,55 @@ TEST(Log, OffSilencesEverything) {
   EXPECT_TRUE(capture.contents().empty());
 }
 
+TEST(Log, LineIsWrittenWholeWithPrefixAndNewline) {
+  LogCapture capture;
+  ScopedLogLevel level(LogLevel::kInfo);
+  Log::at(LogLevel::kInfo, 0, "comp", "a %s with %d parts", "line", 3);
+  const std::string out = capture.contents();
+  // One fwrite produced exactly one complete line: prefix, message, '\n'.
+  EXPECT_NE(out.find("[INFO] [comp] a line with 3 parts\n"), std::string::npos)
+      << out;
+  EXPECT_EQ(out.find('\n'), out.size() - 1) << out;
+}
+
+struct HookRecord {
+  int calls = 0;
+  LogLevel level = LogLevel::kOff;
+  SimTime now = -1;
+  std::string component;
+  std::string message;
+};
+
+TEST(Log, HookObservesEmittedMessages) {
+  LogCapture capture;
+  ScopedLogLevel level(LogLevel::kWarn);
+  HookRecord record;
+  Log::set_hook(
+      [](void* ctx, LogLevel lvl, SimTime now, const char* component,
+         const char* message) {
+        auto* r = static_cast<HookRecord*>(ctx);
+        ++r->calls;
+        r->level = lvl;
+        r->now = now;
+        r->component = component;
+        r->message = message;
+      },
+      &record);
+  Log::at(LogLevel::kDebug, 0, "comp", "filtered out");  // below level: no hook
+  Log::at(LogLevel::kWarn, kHour, "server", "queue depth %d", 7);
+  Log::set_hook(nullptr, nullptr);
+  Log::at(LogLevel::kWarn, 2 * kHour, "server", "after removal");
+
+  EXPECT_EQ(record.calls, 1);
+  EXPECT_EQ(record.level, LogLevel::kWarn);
+  EXPECT_EQ(record.now, kHour);
+  EXPECT_EQ(record.component, "server");
+  // The hook sees the unprefixed message; the stream got the full line.
+  EXPECT_EQ(record.message, "queue depth 7");
+  EXPECT_NE(capture.contents().find("[server] queue depth 7"),
+            std::string::npos);
+}
+
 TEST(Log, LevelNames) {
   EXPECT_STREQ(Log::level_name(LogLevel::kTrace), "TRACE");
   EXPECT_STREQ(Log::level_name(LogLevel::kInfo), "INFO");

@@ -12,6 +12,12 @@
 //   dawningcloud describe --config FILE
 //   dawningcloud trace-stats --swf FILE
 //   dawningcloud snapshot-diff --golden FILE --other FILE
+//   dawningcloud trace-summary --trace FILE [--other FILE]
+//
+// Observability (docs/OBSERVABILITY.md): `run` takes --trace-out FILE
+// (Chrome trace JSON, or CSV when FILE ends in .csv), --trace-filter
+// CATEGORIES, --metrics-every DURATION with --metrics-out FILE, and
+// --profile — all single-system only, since sinks are per run.
 //
 // Experiment config files use the Section 2.2 requirement description
 // model; see data/paper_experiment.dcfg. Snapshot/resume semantics are
@@ -29,7 +35,11 @@
 #include "core/tuning.hpp"
 #include "metrics/markdown.hpp"
 #include "metrics/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
 #include "snapshot/format.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
 #include "workload/trace_stats.hpp"
@@ -40,38 +50,70 @@ using namespace dc;
 
 int usage() {
   std::fputs(
-      "usage: dawningcloud <run|paper|tune|describe|trace-stats|snapshot-diff>"
-      " [options]\n"
+      "usage: dawningcloud <run|paper|tune|describe|trace-stats|snapshot-diff"
+      "|trace-summary> [options]\n"
       "  run         --config FILE [--system NAME] [--csv PATH]\n"
       "              [--quantum SECONDS] [--scheduler NAME]\n"
       "              [--capacity NODES] [--setup SECONDS]\n"
       "              [--mttf DURATION --mttr DURATION [--fault-seed N]]\n"
       "              [--snapshot-every DURATION --snapshot-dir DIR]\n"
       "              [--resume auto | --resume-from FILE]\n"
+      "              [--trace-out FILE [--trace-filter CATEGORIES]]\n"
+      "              [--metrics-every DURATION --metrics-out FILE]\n"
+      "              [--profile]\n"
       "  paper       (no options) run the built-in paper experiment\n"
       "  report-md   [--config FILE] emit markdown result tables\n"
       "  tune        --config FILE --provider NAME [--tolerance FRACTION]\n"
       "  describe    --config FILE\n"
       "  trace-stats --swf FILE\n"
-      "  snapshot-diff --golden FILE --other FILE\n",
+      "  snapshot-diff --golden FILE --other FILE\n"
+      "  trace-summary --trace FILE [--other FILE]\n",
       stderr);
   return 2;
 }
 
-/// "--key value" pairs after the subcommand.
+/// "--key value" pairs after the subcommand. A flag followed by another
+/// flag (or the end of the argument list) is bare and maps to "" —
+/// `--profile` needs no value.
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
                                                bool& ok) {
   std::map<std::string, std::string> flags;
   ok = true;
-  for (int i = 2; i < argc; i += 2) {
-    if (std::strncmp(argv[i], "--", 2) != 0 || i + 1 >= argc) {
+  for (int i = 2; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--", 2) != 0) {
       ok = false;
       return flags;
     }
-    flags[argv[i] + 2] = argv[i + 1];
+    const char* key = argv[i] + 2;
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      flags[key] = argv[++i];
+    } else {
+      flags[key] = "";
+    }
   }
   return flags;
 }
+
+/// Log::Hook that mirrors every emitted log line into the run's trace as
+/// a `log.<LEVEL>` instant (the component becomes the actor track).
+void route_log_to_trace(void* ctx, LogLevel level, SimTime now,
+                        const char* component, const char* /*message*/) {
+  auto* sink = static_cast<obs::TraceSink*>(ctx);
+  sink->instant(now, obs::TraceCategory::kLog,
+                std::string("log.") + Log::level_name(level), component,
+                static_cast<std::int64_t>(level));
+}
+
+/// The log hook is process-wide while sinks are per run; the guard keeps
+/// it installed exactly for the run's duration on every exit path.
+struct ScopedLogHook {
+  explicit ScopedLogHook(obs::TraceSink* sink) {
+    if (sink != nullptr) Log::set_hook(&route_log_to_trace, sink);
+  }
+  ~ScopedLogHook() { Log::set_hook(nullptr, nullptr); }
+  ScopedLogHook(const ScopedLogHook&) = delete;
+  ScopedLogHook& operator=(const ScopedLogHook&) = delete;
+};
 
 StatusOr<core::ConsolidationWorkload> load_workload(
     const std::map<std::string, std::string>& flags) {
@@ -200,6 +242,64 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     return 2;
   }
 
+  // Observability: sinks are per run, so they need a single system — with
+  // --system all four worlds would interleave into one ring.
+  obs::TraceSink sink;
+  obs::MetricsRegistry registry;
+  obs::PhaseProfiler profiler;
+  std::string trace_out;
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    trace_out = it->second;
+    if (trace_out.empty()) {
+      std::fprintf(stderr, "--trace-out needs a file path\n");
+      return 2;
+    }
+    options.trace = &sink;
+  }
+  if (auto it = flags.find("trace-filter"); it != flags.end()) {
+    if (trace_out.empty()) {
+      std::fprintf(stderr, "--trace-filter needs --trace-out FILE\n");
+      return 2;
+    }
+    auto mask = obs::parse_trace_filter(it->second);
+    if (!mask.is_ok()) {
+      std::fprintf(stderr, "%s\n", mask.status().to_string().c_str());
+      return 2;
+    }
+    sink.set_filter(*mask);
+  }
+  std::string metrics_out;
+  if (auto it = flags.find("metrics-out"); it != flags.end()) {
+    metrics_out = it->second;
+  }
+  if (auto it = flags.find("metrics-every"); it != flags.end()) {
+    auto every = core::parse_duration(it->second);
+    if (!every.is_ok() || *every <= 0) {
+      std::fprintf(stderr, "bad --metrics-every\n");
+      return 2;
+    }
+    if (metrics_out.empty()) {
+      std::fprintf(stderr, "--metrics-every needs --metrics-out FILE\n");
+      return 2;
+    }
+    options.metrics = &registry;
+    options.metrics_every = *every;
+  } else if (!metrics_out.empty()) {
+    std::fprintf(stderr, "--metrics-out needs --metrics-every DURATION\n");
+    return 2;
+  }
+  if (flags.count("profile") != 0) options.profile = &profiler;
+  const bool observing = options.trace != nullptr ||
+                         options.metrics != nullptr ||
+                         options.profile != nullptr;
+  if (observing && system == "all") {
+    std::fprintf(stderr,
+                 "--trace-out/--metrics-every/--profile need a single "
+                 "--system (not 'all'): sinks are per run\n");
+    return 2;
+  }
+  ScopedLogHook log_hook(options.trace);
+
   std::vector<core::SystemResult> results;
   if (system == "all") {
     results = core::run_all_systems(*workload, options);
@@ -252,6 +352,32 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     metrics::write_results_csv(csv, results);
     std::printf("wrote %s\n", it->second.c_str());
   }
+
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    auto export_scope = profiler.scope(obs::ProfilePhase::kExport);
+    if (!trace_out.empty()) {
+      const bool as_csv = trace_out.size() >= 4 &&
+                          trace_out.compare(trace_out.size() - 4, 4, ".csv") == 0;
+      auto st = as_csv ? sink.export_csv(trace_out)
+                       : sink.export_chrome_json(trace_out);
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "%s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%llu events, %llu dropped)\n", trace_out.c_str(),
+                  static_cast<unsigned long long>(sink.emitted()),
+                  static_cast<unsigned long long>(sink.dropped()));
+    }
+    if (!metrics_out.empty()) {
+      if (auto st = registry.export_timeseries_csv(metrics_out); !st.is_ok()) {
+        std::fprintf(stderr, "%s\n", st.to_string().c_str());
+        return 1;
+      }
+      std::printf("wrote %s (%zu samples)\n", metrics_out.c_str(),
+                  registry.sample_count());
+    }
+  }
+  if (options.profile != nullptr) std::fputs(profiler.table().c_str(), stdout);
   return 0;
 }
 
@@ -370,6 +496,38 @@ int cmd_snapshot_diff(const std::map<std::string, std::string>& flags) {
   return 1;
 }
 
+// Per-category counts and span percentiles for one exported trace, or —
+// with --other — the first-divergence comparison of two traces (the
+// tracing twin of snapshot-diff).
+int cmd_trace_summary(const std::map<std::string, std::string>& flags) {
+  auto trace_it = flags.find("trace");
+  if (trace_it == flags.end() || trace_it->second.empty()) {
+    std::fprintf(stderr, "missing --trace FILE\n");
+    return 2;
+  }
+  auto events = obs::read_chrome_trace(trace_it->second);
+  if (!events.is_ok()) {
+    std::fprintf(stderr, "%s\n", events.status().to_string().c_str());
+    return 1;
+  }
+  if (auto other_it = flags.find("other"); other_it != flags.end()) {
+    auto other = obs::read_chrome_trace(other_it->second);
+    if (!other.is_ok()) {
+      std::fprintf(stderr, "%s\n", other.status().to_string().c_str());
+      return 1;
+    }
+    std::string report;
+    if (obs::diff_traces(*events, *other, &report)) {
+      std::printf("traces are identical (%zu events)\n", events->size());
+      return 0;
+    }
+    std::printf("%s\n", report.c_str());
+    return 1;
+  }
+  std::fputs(obs::summarize_trace(*events).c_str(), stdout);
+  return 0;
+}
+
 int cmd_trace_stats(const std::map<std::string, std::string>& flags) {
   auto it = flags.find("swf");
   if (it == flags.end()) {
@@ -408,5 +566,6 @@ int main(int argc, char** argv) {
   if (command == "describe") return cmd_describe(flags);
   if (command == "trace-stats") return cmd_trace_stats(flags);
   if (command == "snapshot-diff") return cmd_snapshot_diff(flags);
+  if (command == "trace-summary") return cmd_trace_summary(flags);
   return usage();
 }

@@ -26,6 +26,11 @@ bool is_sim_hot_path(std::string_view path) {
   return path.find("src/sim") != std::string_view::npos;
 }
 
+bool is_traced_subsystem_path(std::string_view path) {
+  return path.find("src/core") != std::string_view::npos ||
+         path.find("src/sim") != std::string_view::npos;
+}
+
 struct Ctx {
   const std::string& path;
   const FileLex& lx;
@@ -460,6 +465,49 @@ void rule_r6(Ctx& ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// dc-r7: direct stdio output in instrumented subsystems.
+//
+// src/core and src/sim speak through dc::Log (single-fwrite lines, level
+// gating, and the trace-sink hook) or through the trace macros. A direct
+// printf/fprintf there bypasses all three: it shears across sweep
+// threads, ignores --trace-out, and cannot be silenced by tests. The
+// formatting-only snprintf family stays legal — it produces a buffer,
+// not output.
+
+const std::set<std::string, std::less<>> kDirectPrintCalls = {
+    "printf", "fprintf", "vprintf", "vfprintf", "puts",
+    "fputs",  "fputc",   "putc",    "putchar"};
+
+void rule_r7(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier ||
+        kDirectPrintCalls.count(t.text) == 0 || !ctx.punct_at(i + 1, "(")) {
+      continue;
+    }
+    // Member calls (`sink.puts(...)`) are somebody else's printer; a
+    // `std::` qualifier is still the real stdio.
+    if (i > 0 && (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) {
+      continue;
+    }
+    // A declaration (`int puts(const char*);`) names a member, not a
+    // call: real stdio calls are never preceded by another identifier,
+    // except for the keywords that can open an expression statement.
+    if (i > 0 && ctx.tok(i - 1).kind == TokKind::kIdentifier &&
+        ctx.tok(i - 1).text != "return" && ctx.tok(i - 1).text != "else" &&
+        ctx.tok(i - 1).text != "do") {
+      continue;
+    }
+    ctx.report(t.line, "dc-r7", "error",
+               "direct " + t.text +
+                   "() in an instrumented subsystem bypasses dc::Log and the "
+                   "trace sink (lines shear across sweep threads and ignore "
+                   "--trace-out); route output through Log::at/Log::raw or a "
+                   "DC_TRACE_* macro");
+  }
+}
+
 void json_escape_into(std::string& out, const std::string& text) {
   for (const char c : text) {
     switch (c) {
@@ -492,6 +540,7 @@ LintResult lint_source(const std::string& display_path, std::string_view source)
   rule_r4(ctx);
   if (is_header_path(display_path)) rule_r5(ctx);
   rule_r6(ctx);
+  if (is_traced_subsystem_path(display_path)) rule_r7(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;

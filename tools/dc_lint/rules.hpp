@@ -18,6 +18,13 @@
 //                    dependent reduction silently changes results.
 //   dc-r5  (warning) header hygiene: include guard or #pragma once, and
 //                    no `using namespace std` in headers.
+//   dc-r6  (error)   X::save field_*() and X::restore read_*() call-site
+//                    counts must match within a file — a field added to
+//                    one side shifts every later snapshot record.
+//   dc-r7  (error)   no direct printf/fprintf/puts output in src/core or
+//                    src/sim; those subsystems speak through dc::Log
+//                    (which feeds the trace sink) or the DC_TRACE_*
+//                    macros. snprintf-style formatting is fine.
 //
 // Every rule honors `// NOLINT(dc-rN)` on the flagged line and
 // `// NOLINTNEXTLINE(dc-rN)` on the line above (see lexer.hpp).
@@ -32,7 +39,7 @@ namespace dc_lint {
 struct Diagnostic {
   std::string file;
   int line = 0;
-  std::string rule;      // "dc-r1" .. "dc-r5"
+  std::string rule;      // "dc-r1" .. "dc-r7"
   std::string severity;  // "error" | "warning"
   std::string message;
 };
