@@ -7,7 +7,10 @@ namespace dc::core {
 
 DrpRunner::DrpRunner(sim::Simulator& simulator,
                      ResourceProvisionService& provision, std::string name)
-    : simulator_(simulator), provision_(provision), name_(std::move(name)) {
+    : simulator_(simulator),
+      provision_(provision),
+      name_(std::move(name)),
+      trace_actor_(name_) {
   // End users of one organization are aggregated as one uncapped consumer.
   consumer_ = provision_.register_consumer(name_, /*subscription_cap=*/0);
 }
@@ -30,8 +33,8 @@ void DrpRunner::submit_job(SimDuration runtime, std::int64_t nodes) {
   const SimTime now = simulator_.now();
   if (first_submit_ == kNever) first_submit_ = now;
   ++submitted_;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.submit", name_,
-                   next_work_id_, nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.submit", trace_actor_,
+                     next_work_id_, nodes);
   start_job_attempt(runtime, /*completed_work=*/0, nodes, /*retries=*/0);
 }
 
@@ -43,8 +46,8 @@ void DrpRunner::start_job_attempt(SimDuration runtime,
   // semantics); a bounded pool rejecting here would drop the job.
   if (!provision_.request(now, consumer_, nodes)) return;
   held_.change(now, nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open", name_,
-                   nodes, held_.current());
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.open", trace_actor_,
+                     nodes, held_.current());
   const SimDuration remaining = runtime - completed_work;
   // The lease is recorded with its planned end up front; a VM failure
   // amends it down to the failure instant. Surviving jobs therefore bill
@@ -64,8 +67,8 @@ void DrpRunner::start_job_attempt(SimDuration runtime,
   work.retries = retries;
   work.completion = simulator_.schedule_in(
       setup_latency_ + remaining, make_completion(work.work_id, false));
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.start", name_,
-                   work.work_id, nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.start", trace_actor_,
+                     work.work_id, nodes);
   active_.push_back(work);
 }
 
@@ -79,15 +82,15 @@ sim::Simulator::Callback DrpRunner::make_retry(const PendingRetry& retry) {
   if (retry.is_task) {
     return [this, run_index = retry.run_index, task = retry.task,
             salvaged = retry.salvaged, retries = retry.retries] {
-      DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
-                       "fault.retry", name_, task, retries);
+      DC_TRACE_INSTANT_C(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                         "fault.retry", trace_actor_, task, retries);
       start_task_attempt(run_index, task, salvaged, retries);
     };
   }
   return [this, runtime = retry.runtime, salvaged = retry.salvaged,
           nodes = retry.nodes, retries = retry.retries] {
-    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
-                     "fault.retry", name_, nodes, retries);
+    DC_TRACE_INSTANT_C(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                       "fault.retry", trace_actor_, nodes, retries);
     start_job_attempt(runtime, salvaged, nodes, retries);
   };
 }
@@ -101,13 +104,13 @@ void DrpRunner::finish_job(std::int64_t work_id) {
   held_.change(now, -work.nodes);
   record_completion(now);
   completions_.push_back(Completion{now, work.nodes * work.runtime});
-  DC_TRACE_SPAN(trace_, work.exec_start, now - work.exec_start,
-                obs::TraceCategory::kJob, "job.run", name_, work.work_id,
-                work.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.complete", name_,
-                   work.work_id, work.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
-                   name_, work.nodes, held_.current());
+  DC_TRACE_SPAN_C(trace_, work.exec_start, now - work.exec_start,
+                  obs::TraceCategory::kJob, "job.run", trace_actor_, work.work_id,
+                  work.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.complete", trace_actor_,
+                     work.work_id, work.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                     trace_actor_, work.nodes, held_.current());
 }
 
 void DrpRunner::submit_workflow(const workflow::Dag& dag) {
@@ -121,9 +124,9 @@ void DrpRunner::submit_workflow(const workflow::Dag& dag) {
   run.remaining = static_cast<std::int64_t>(dag.size());
   run.pending_parents.resize(dag.size());
   const std::size_t run_index = runs_.size() - 1;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "workflow.submit",
-                   name_, static_cast<std::int64_t>(run_index),
-                   static_cast<std::int64_t>(dag.size()));
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "workflow.submit",
+                     trace_actor_, static_cast<std::int64_t>(run_index),
+                     static_cast<std::int64_t>(dag.size()));
   std::vector<workflow::TaskId> ready;
   for (std::size_t i = 0; i < dag.size(); ++i) {
     run.pending_parents[i] = dag.parent_count(static_cast<workflow::TaskId>(i));
@@ -164,8 +167,8 @@ void DrpRunner::start_task_attempt(std::size_t run_index, workflow::TaskId task,
   }
   const SimDuration boot = grew_pool ? setup_latency_ : 0;
   if (grew_pool) {
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open",
-                     name_, run.pool_size, held_.current());
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.open",
+                       trace_actor_, run.pool_size, held_.current());
   }
 
   ActiveWork work;
@@ -180,8 +183,8 @@ void DrpRunner::start_task_attempt(std::size_t run_index, workflow::TaskId task,
   work.retries = retries;
   work.completion = simulator_.schedule_in(
       boot + (t.runtime - completed_work), make_completion(work.work_id, true));
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.start", name_,
-                   work.work_id, t.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.start", trace_actor_,
+                     work.work_id, t.nodes);
   active_.push_back(work);
 }
 
@@ -194,11 +197,11 @@ void DrpRunner::finish_task(std::int64_t work_id) {
   run.idle_vms += work.nodes;
   record_completion(now);
   completions_.push_back(Completion{now, work.nodes * work.runtime});
-  DC_TRACE_SPAN(trace_, work.exec_start, now - work.exec_start,
-                obs::TraceCategory::kJob, "job.run", name_, work.work_id,
-                work.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.complete", name_,
-                   work.work_id, work.nodes);
+  DC_TRACE_SPAN_C(trace_, work.exec_start, now - work.exec_start,
+                  obs::TraceCategory::kJob, "job.run", trace_actor_, work.work_id,
+                  work.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.complete", trace_actor_,
+                     work.work_id, work.nodes);
   assert(run.remaining > 0);
   --run.remaining;
   std::vector<workflow::TaskId> ready;
@@ -214,10 +217,10 @@ void DrpRunner::finish_task(std::int64_t work_id) {
     for (cluster::LeaseId lease : run.vm_leases) ledger_.close(lease, now);
     provision_.release(now, consumer_, run.pool_size);
     held_.change(now, -run.pool_size);
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
-                     name_, run.pool_size, held_.current());
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "workflow.complete",
-                     name_, static_cast<std::int64_t>(work.run_index), 0);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                       trace_actor_, run.pool_size, held_.current());
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "workflow.complete",
+                       trace_actor_, static_cast<std::int64_t>(work.run_index), 0);
     run.pool_size = 0;
     run.idle_vms = 0;
     run.vm_leases.clear();
@@ -273,8 +276,8 @@ std::int64_t DrpRunner::fail_nodes(std::int64_t count) {
     count -= std::min(count, work.nodes);
     killed.push_back(work);
   }
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kFault, "fault.fail", name_,
-                   failing, static_cast<std::int64_t>(killed.size()));
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kFault, "fault.fail", trace_actor_,
+                     failing, static_cast<std::int64_t>(killed.size()));
   for (const ActiveWork& work : killed) kill_work(now, work);
   return static_cast<std::int64_t>(killed.size());
 }
@@ -289,10 +292,10 @@ void DrpRunner::kill_work(SimTime now, const ActiveWork& work) {
       work.completed_work + std::max<SimDuration>(0, now - work.exec_start);
   const SimDuration salvaged = fault::checkpointed_work(recovery_, progress);
   wasted_node_seconds_ += (progress - salvaged) * work.nodes;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.kill", name_,
-                   work.work_id, work.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kCheckpoint,
-                   "checkpoint.salvage", name_, salvaged, progress - salvaged);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.kill", trace_actor_,
+                     work.work_id, work.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kCheckpoint,
+                     "checkpoint.salvage", trace_actor_, salvaged, progress - salvaged);
 
   if (recovery_.max_retries >= 0 && retries > recovery_.max_retries) {
     // Budget exhausted. A failed task wedges its workflow (remaining never
@@ -300,8 +303,8 @@ void DrpRunner::kill_work(SimTime now, const ActiveWork& work) {
     // engine giving up on a node.
     wasted_node_seconds_ += salvaged * work.nodes;
     ++jobs_failed_;
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.fail", name_,
-                     work.work_id, retries - 1);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.fail", trace_actor_,
+                       work.work_id, retries - 1);
     return;
   }
 

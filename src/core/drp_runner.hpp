@@ -175,6 +175,7 @@ class DrpRunner : public fault::FaultTarget {
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;
   std::string name_;
+  obs::TraceName trace_actor_;  // cached intern of name_
   ResourceProvisionService::ConsumerId consumer_ = 0;
   obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
 

@@ -10,7 +10,10 @@ namespace dc::core {
 
 HtcServer::HtcServer(sim::Simulator& simulator,
                      ResourceProvisionService& provision, Config config)
-    : simulator_(simulator), provision_(provision), config_(std::move(config)) {
+    : simulator_(simulator),
+      provision_(provision),
+      config_(std::move(config)),
+      trace_actor_(config_.name) {
   assert(config_.scheduler != nullptr && "server needs a scheduler");
   assert((config_.policy.has_value() || config_.fixed_nodes > 0) &&
          "fixed-mode server needs a positive size");
@@ -35,8 +38,8 @@ bool HtcServer::start() {
   initial_lease_ = ledger_.open(now, initial, "initial");
   started_ = true;
   owned_ = initial;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open",
-                   config_.name, initial, owned_);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.open",
+                     trace_actor_, initial, owned_);
   if (config_.setup_latency > 0) {
     in_setup_ += initial;
     setup_events_.push_back(
@@ -79,8 +82,8 @@ void HtcServer::shutdown() {
     ledger_.close(grant.lease, now);
     owned_ -= grant.nodes;
     held_.change(now, -grant.nodes);
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
-                     config_.name, grant.nodes, owned_);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                       trace_actor_, grant.nodes, owned_);
     provision_.release(now, consumer_, grant.nodes);
   }
   if (initial_lease_) {
@@ -89,8 +92,8 @@ void HtcServer::shutdown() {
     const std::int64_t initial = owned_;
     owned_ = 0;
     initial_lease_.reset();
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.close",
-                     config_.name, initial, owned_);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.close",
+                       trace_actor_, initial, owned_);
     provision_.release(now, consumer_, initial);
   }
   Log::at(LogLevel::kInfo, now, config_.name.c_str(), "shut down");
@@ -119,8 +122,8 @@ sched::JobId HtcServer::submit(SimDuration runtime, std::int64_t nodes,
   completion_events_.push_back(sim::kInvalidEvent);  // stays parallel to jobs_
   queue_.push(id);
   if (first_submit_ == kNever) first_submit_ = now;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.submit",
-                   config_.name, id, nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.submit",
+                     trace_actor_, id, nodes);
   dispatch();
   return id;
 }
@@ -151,11 +154,11 @@ void HtcServer::dispatch() {
     started_nodes += job.nodes;
     running_.push_back(job.id);
     // The queue wait becomes a visible span once its length is known.
-    DC_TRACE_SPAN(trace_, job.submit, now - job.submit,
-                  obs::TraceCategory::kJob, "job.wait", config_.name, job.id,
-                  job.nodes);
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.start",
-                     config_.name, job.id, job.nodes);
+    DC_TRACE_SPAN_C(trace_, job.submit, now - job.submit,
+                    obs::TraceCategory::kJob, "job.wait", trace_actor_, job.id,
+                    job.nodes);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.start",
+                       trace_actor_, job.id, job.nodes);
     // Checkpointed retries only re-run the unfinished remainder.
     completion_events_[static_cast<std::size_t>(job.id)] = simulator_.schedule_in(
         job.runtime - job.completed_work, make_completion(job.id));
@@ -185,10 +188,10 @@ void HtcServer::on_job_complete(sched::JobId id) {
   last_finish_ = now;
   running_.erase(std::find(running_.begin(), running_.end(), id));
   completion_events_[static_cast<std::size_t>(id)] = sim::kInvalidEvent;
-  DC_TRACE_SPAN(trace_, job.start, now - job.start, obs::TraceCategory::kJob,
-                "job.run", config_.name, job.id, job.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.complete",
-                   config_.name, job.id, job.nodes);
+  DC_TRACE_SPAN_C(trace_, job.start, now - job.start, obs::TraceCategory::kJob,
+                  "job.run", trace_actor_, job.id, job.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.complete",
+                     trace_actor_, job.id, job.nodes);
 
   // Workflow layer first: completing a task may release dependents into the
   // queue, which the dispatch below can start in the same event.
@@ -268,9 +271,9 @@ sim::Simulator::Callback HtcServer::make_grant_timeout(std::uint64_t epoch,
     if (provision_.cancel_waiting(consumer_) == 0) return;
     waiting_grant_ = false;
     ++grant_timeouts_;
-    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kProvision,
-                     "provision.timeout", config_.name, amount,
-                     grant_timeouts_);
+    DC_TRACE_INSTANT_C(trace_, simulator_.now(), obs::TraceCategory::kProvision,
+                       "provision.timeout", trace_actor_, amount,
+                       grant_timeouts_);
     acquire_dynamic(amount, "RT");
   };
 }
@@ -342,8 +345,8 @@ void HtcServer::apply_grant(SimTime now, std::int64_t amount, const char* tag) {
                               static_cast<long long>(dynamic_grants_)));
   grants_.push_back(Grant{amount, lease, sim::kInvalidTimer, true});
   const std::size_t grant_index = grants_.size() - 1;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kLease, "lease.open",
-                   config_.name, amount, owned_);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kLease, "lease.open",
+                     trace_actor_, amount, owned_);
 
   // "After obtaining enough resources ... the server registers a timer,
   // once per hour, to check idle resources. If there are idle resources
@@ -377,8 +380,8 @@ sim::Simulator::TimerCallback HtcServer::make_idle_check(
       ledger_.close(grant_lease, at);
       owned_ -= nodes;
       held_.change(at, -nodes);
-      DC_TRACE_INSTANT(trace_, at, obs::TraceCategory::kLease, "lease.close",
-                       config_.name, nodes, owned_);
+      DC_TRACE_INSTANT_C(trace_, at, obs::TraceCategory::kLease, "lease.close",
+                         trace_actor_, nodes, owned_);
       simulator_.stop_timer(timer);
       provision_.release(at, consumer_, nodes);
     }
@@ -405,8 +408,8 @@ std::int64_t HtcServer::fail_nodes(std::int64_t count) {
     kill_job(now, id);
     ++killed;
   }
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kFault, "fault.fail",
-                   config_.name, count, killed);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kFault, "fault.fail",
+                     trace_actor_, count, killed);
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
           "%lld nodes failed (%lld down), %lld jobs killed",
           static_cast<long long>(count), static_cast<long long>(down_),
@@ -433,11 +436,11 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
   const SimDuration salvaged =
       fault::checkpointed_work(config_.recovery, progress);
   wasted_node_seconds_ += (progress - salvaged) * job.nodes;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.kill",
-                   config_.name, id, job.nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kCheckpoint,
-                   "checkpoint.salvage", config_.name, salvaged,
-                   progress - salvaged);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.kill",
+                     trace_actor_, id, job.nodes);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kCheckpoint,
+                     "checkpoint.salvage", trace_actor_, salvaged,
+                     progress - salvaged);
   job.completed_work = salvaged;
   job.start = kNever;
 
@@ -449,8 +452,8 @@ void HtcServer::kill_job(SimTime now, sched::JobId id) {
     job.finish = now;
     wasted_node_seconds_ += salvaged * job.nodes;
     ++jobs_failed_;
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kJob, "job.fail",
-                     config_.name, id, job.retries - 1);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kJob, "job.fail",
+                       trace_actor_, id, job.retries - 1);
     Log::at(LogLevel::kWarn, now, config_.name.c_str(),
             "job %lld failed after %d retries", static_cast<long long>(id),
             job.retries - 1);
@@ -477,8 +480,8 @@ sim::Simulator::Callback HtcServer::make_retry_release(sched::JobId id) {
     assert(job.state == sched::JobState::kPending);
     job.state = sched::JobState::kQueued;
     queue_.push(id);
-    DC_TRACE_INSTANT(trace_, simulator_.now(), obs::TraceCategory::kFault,
-                     "fault.retry", config_.name, id, job.retries);
+    DC_TRACE_INSTANT_C(trace_, simulator_.now(), obs::TraceCategory::kFault,
+                       "fault.retry", trace_actor_, id, job.retries);
     dispatch();
   };
 }
@@ -496,8 +499,8 @@ void HtcServer::repair_nodes(std::int64_t count) {
   // round-trip could lose the capacity to a waiting competitor under
   // queue-by-priority contention).
   provision_.record_hardware_swap(now, consumer_, count);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kFault, "fault.repair",
-                   config_.name, count, down_);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kFault, "fault.repair",
+                     trace_actor_, count, down_);
   Log::at(LogLevel::kInfo, now, config_.name.c_str(),
           "%lld nodes repaired (%lld still down)", static_cast<long long>(count),
           static_cast<long long>(down_));

@@ -210,6 +210,8 @@ class HtcServer : public fault::FaultTarget {
  protected:
   sim::Simulator& simulator() { return simulator_; }
   obs::TraceSink* trace() { return trace_; }
+  /// Pre-interned actor name for trace emission (== config().name).
+  const obs::TraceName& trace_actor() const { return trace_actor_; }
 
   /// Demand signal driving the DR1 rule. For HTC this is the queued demand
   /// only ("the ratio of the accumulated resource demands of all jobs in
@@ -254,6 +256,7 @@ class HtcServer : public fault::FaultTarget {
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;
   Config config_;
+  obs::TraceName trace_actor_;  // cached intern of config_.name
   ResourceProvisionService::ConsumerId consumer_ = 0;
   obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
 

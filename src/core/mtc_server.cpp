@@ -109,10 +109,10 @@ TriggerMonitor::WorkflowIndex MtcServer::submit_workflow(
   assert(dag.validate().is_ok());
   std::vector<workflow::TaskId> ready;
   const TriggerMonitor::WorkflowIndex wf = monitor_.add_workflow(dag, ready);
-  DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
-                   "workflow.submit", name(),
-                   static_cast<std::int64_t>(wf),
-                   static_cast<std::int64_t>(dag.size()));
+  DC_TRACE_INSTANT_C(trace(), simulator().now(), obs::TraceCategory::kJob,
+                     "workflow.submit", trace_actor(),
+                     static_cast<std::int64_t>(wf),
+                     static_cast<std::int64_t>(dag.size()));
   submit_ready(wf, ready);
   return wf;
 }
@@ -136,9 +136,9 @@ MtcServer::GatedSubmission MtcServer::submit_workflow_gated(
 void MtcServer::fire_trigger(TriggerMonitor::TriggerId trigger) {
   std::vector<workflow::TaskId> ready;
   monitor_.fire_trigger(trigger, ready);
-  DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
-                   "workflow.trigger", name(), trigger,
-                   static_cast<std::int64_t>(ready.size()));
+  DC_TRACE_INSTANT_C(trace(), simulator().now(), obs::TraceCategory::kJob,
+                     "workflow.trigger", trace_actor(), trigger,
+                     static_cast<std::int64_t>(ready.size()));
   submit_ready(monitor_.trigger_workflow(trigger), ready);
 }
 
@@ -149,9 +149,9 @@ void MtcServer::handle_completion(const sched::Job& job) {
   std::vector<workflow::TaskId> ready;
   const bool workflow_done = monitor_.on_task_complete(ref.wf, ref.task, ready);
   if (workflow_done) {
-    DC_TRACE_INSTANT(trace(), simulator().now(), obs::TraceCategory::kJob,
-                     "workflow.complete", name(),
-                     static_cast<std::int64_t>(ref.wf), 0);
+    DC_TRACE_INSTANT_C(trace(), simulator().now(), obs::TraceCategory::kJob,
+                       "workflow.complete", trace_actor(),
+                       static_cast<std::int64_t>(ref.wf), 0);
   }
   submit_ready(ref.wf, ready);
   if (destroy_when_complete_ && monitor_.all_complete() && drained()) {

@@ -14,7 +14,10 @@ ResourceProvisionService::ResourceProvisionService(cluster::ResourcePool pool,
 ResourceProvisionService::ConsumerId ResourceProvisionService::register_consumer(
     std::string name, std::int64_t subscription_cap, int priority) {
   assert(subscription_cap >= 0);
-  consumers_.push_back(Consumer{std::move(name), subscription_cap, 0, priority});
+  Consumer consumer{std::move(name), obs::TraceName{""}, subscription_cap, 0,
+                    priority};
+  consumer.trace_name = obs::TraceName{consumer.name};
+  consumers_.push_back(std::move(consumer));
   return consumers_.size() - 1;
 }
 
@@ -26,8 +29,8 @@ bool ResourceProvisionService::try_grant(SimTime now, ConsumerId consumer,
   c.held += nodes;
   usage_.change(now, nodes);
   if (policy_.count_adjustments) adjustments_.record(now, nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                   "provision.grant", c.name, nodes, pool_.allocated());
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.grant", c.trace_name, nodes, pool_.allocated());
   return true;
 }
 
@@ -37,9 +40,9 @@ bool ResourceProvisionService::request(SimTime now, ConsumerId consumer,
   if (nodes <= 0) return true;
   if (try_grant(now, consumer, nodes)) return true;
   ++rejected_;
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                   "provision.reject", consumers_[consumer].name, nodes,
-                   rejected_);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.reject", consumers_[consumer].trace_name, nodes,
+                     rejected_);
   return false;
 }
 
@@ -54,13 +57,13 @@ bool ResourceProvisionService::request_or_wait(
   if (policy_.contention == ProvisionPolicy::ContentionMode::kReject ||
       cap_violation) {
     ++rejected_;
-    DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                     "provision.reject", c.name, nodes, rejected_);
+    DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                       "provision.reject", c.trace_name, nodes, rejected_);
     return false;
   }
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                   "provision.wait", c.name, nodes,
-                   static_cast<std::int64_t>(waiting_.size()));
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.wait", c.trace_name, nodes,
+                     static_cast<std::int64_t>(waiting_.size()));
   waiting_.push_back(
       WaitingRequest{consumer, nodes, next_sequence_++, std::move(on_granted)});
   return false;
@@ -126,8 +129,8 @@ void ResourceProvisionService::release(SimTime now, ConsumerId consumer,
   pool_.release(nodes);
   usage_.change(now, -nodes);
   if (policy_.count_adjustments) adjustments_.record(now, nodes);
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                   "provision.release", c.name, nodes, pool_.allocated());
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.release", c.trace_name, nodes, pool_.allocated());
   drain_waiting(now);
 }
 
@@ -139,9 +142,9 @@ void ResourceProvisionService::record_hardware_swap(SimTime now,
   if (nodes <= 0 || !policy_.count_adjustments) return;
   adjustments_.record(now, nodes);  // reclaim the failed hardware
   adjustments_.record(now, nodes);  // install the RE on the replacement
-  DC_TRACE_INSTANT(trace_, now, obs::TraceCategory::kProvision,
-                   "provision.swap", consumers_[consumer].name, nodes,
-                   consumers_[consumer].held);
+  DC_TRACE_INSTANT_C(trace_, now, obs::TraceCategory::kProvision,
+                     "provision.swap", consumers_[consumer].trace_name, nodes,
+                     consumers_[consumer].held);
 }
 
 Status ResourceProvisionService::save(snapshot::SnapshotWriter& writer) const {

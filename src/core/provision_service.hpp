@@ -111,7 +111,8 @@ class ResourceProvisionService {
  private:
   struct Consumer {
     std::string name;
-    std::int64_t cap = 0;  // 0 = unlimited
+    obs::TraceName trace_name;  // cached intern of name
+    std::int64_t cap = 0;       // 0 = unlimited
     std::int64_t held = 0;
     int priority = 0;
   };

@@ -1,6 +1,7 @@
 #include "obs/trace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <fstream>
 
@@ -62,6 +63,13 @@ Status write_text_file(const std::string& path, const std::string& text) {
   return Status::ok();
 }
 
+// Monotonic sink-lifetime ids for TraceName cache validation. Starts at
+// 1 so a default-constructed cache (epoch 0) never matches any sink.
+std::uint64_t next_trace_epoch() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
 }  // namespace
 
 const char* trace_category_name(TraceCategory category) {
@@ -111,8 +119,16 @@ StatusOr<std::uint32_t> parse_trace_filter(std::string_view spec) {
   return mask;
 }
 
-TraceSink::TraceSink(std::size_t capacity) {
+TraceSink::TraceSink(std::size_t capacity) : epoch_(next_trace_epoch()) {
   ring_.resize(capacity == 0 ? 1 : capacity);
+}
+
+std::uint32_t TraceSink::resolve(const TraceName& name) {
+  if (name.epoch_ != epoch_) {
+    name.id_ = intern(name.text_);
+    name.epoch_ = epoch_;
+  }
+  return name.id_;
 }
 
 std::uint32_t TraceSink::intern(std::string_view text) {
@@ -136,36 +152,74 @@ void TraceSink::push(const TraceEvent& event) {
   ++size_;
 }
 
+namespace {
+
+TraceEvent make_event(SimTime time, SimDuration dur, TraceCategory category,
+                      std::uint32_t name, std::uint32_t actor, std::int64_t a0,
+                      std::int64_t a1, std::uint16_t phase) {
+  TraceEvent event;
+  event.time = time;
+  event.dur = dur < 0 ? 0 : dur;
+  event.a0 = a0;
+  event.a1 = a1;
+  event.name = name;
+  event.actor = actor;
+  event.category = static_cast<std::uint16_t>(category);
+  event.phase = phase;
+  return event;
+}
+
+}  // namespace
+
+// All emission paths intern name-before-actor and only after the filter
+// passes, so id assignment order is identical whichever overload a call
+// site uses.
 void TraceSink::instant(SimTime now, TraceCategory category,
                         std::string_view name, std::string_view actor,
                         std::int64_t a0, std::int64_t a1) {
   if (!wants(category)) return;
-  TraceEvent event;
-  event.time = now;
-  event.dur = 0;
-  event.a0 = a0;
-  event.a1 = a1;
-  event.name = intern(name);
-  event.actor = intern(actor);
-  event.category = static_cast<std::uint16_t>(category);
-  event.phase = 0;
-  push(event);
+  const std::uint32_t name_id = intern(name);
+  push(make_event(now, 0, category, name_id, intern(actor), a0, a1, 0));
+}
+
+void TraceSink::instant(SimTime now, TraceCategory category,
+                        const TraceName& name, const TraceName& actor,
+                        std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  const std::uint32_t name_id = resolve(name);
+  push(make_event(now, 0, category, name_id, resolve(actor), a0, a1, 0));
+}
+
+void TraceSink::instant(SimTime now, TraceCategory category,
+                        const TraceName& name, std::string_view actor,
+                        std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  const std::uint32_t name_id = resolve(name);
+  push(make_event(now, 0, category, name_id, intern(actor), a0, a1, 0));
 }
 
 void TraceSink::span(SimTime start, SimDuration dur, TraceCategory category,
                      std::string_view name, std::string_view actor,
                      std::int64_t a0, std::int64_t a1) {
   if (!wants(category)) return;
-  TraceEvent event;
-  event.time = start;
-  event.dur = dur < 0 ? 0 : dur;
-  event.a0 = a0;
-  event.a1 = a1;
-  event.name = intern(name);
-  event.actor = intern(actor);
-  event.category = static_cast<std::uint16_t>(category);
-  event.phase = 1;
-  push(event);
+  const std::uint32_t name_id = intern(name);
+  push(make_event(start, dur, category, name_id, intern(actor), a0, a1, 1));
+}
+
+void TraceSink::span(SimTime start, SimDuration dur, TraceCategory category,
+                     const TraceName& name, const TraceName& actor,
+                     std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  const std::uint32_t name_id = resolve(name);
+  push(make_event(start, dur, category, name_id, resolve(actor), a0, a1, 1));
+}
+
+void TraceSink::span(SimTime start, SimDuration dur, TraceCategory category,
+                     const TraceName& name, std::string_view actor,
+                     std::int64_t a0, std::int64_t a1) {
+  if (!wants(category)) return;
+  const std::uint32_t name_id = resolve(name);
+  push(make_event(start, dur, category, name_id, intern(actor), a0, a1, 1));
 }
 
 std::vector<TraceEvent> TraceSink::events() const {
@@ -292,6 +346,10 @@ Status TraceSink::restore(snapshot::SnapshotReader& reader) {
   if (Status s = reader.read_u64("names", name_count); !s.is_ok()) return s;
   names_.clear();
   name_ids_.clear();
+  // The string table is rebuilt from the snapshot: any TraceName cache
+  // pointing at this sink may now hold a stale id. A fresh epoch
+  // invalidates them all at once.
+  epoch_ = next_trace_epoch();
   for (std::uint64_t i = 0; i < name_count; ++i) {
     std::string name;
     if (Status s = reader.read_str("name", name); !s.is_ok()) return s;

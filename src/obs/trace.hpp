@@ -93,6 +93,31 @@ struct ParsedTraceEvent {
   std::int64_t a1 = 0;
 };
 
+/// A pre-internable event/actor name: the string plus a cached interned
+/// id, validated against the owning sink's intern epoch. Hot emitters
+/// keep one (a member for actor names, a function-local static for event
+/// names — see DC_TRACE_INSTANT_C) so the steady-state emission path
+/// skips the string-table lookup entirely: one epoch compare instead of
+/// a map find per emission.
+///
+/// Determinism: the cache only memoizes intern() results — a name is
+/// still interned lazily, at its first *recorded* emission into a given
+/// sink — so id assignment order (and with it every export and snapshot)
+/// is byte-identical to the uncached path. Epochs are process-unique per
+/// sink lifetime (and re-drawn on snapshot restore, which rebuilds the
+/// string table), so a stale cache can never leak an id across sinks.
+class TraceName {
+ public:
+  explicit TraceName(std::string_view text) : text_(text) {}
+  std::string_view text() const { return text_; }
+
+ private:
+  friend class TraceSink;
+  std::string text_;
+  mutable std::uint64_t epoch_ = 0;  // 0 = never resolved (epochs start at 1)
+  mutable std::uint32_t id_ = 0;
+};
+
 /// Bounded, deterministic event recorder. Not thread-safe: a sink
 /// belongs to exactly one run (all emission happens on the thread
 /// driving that run's Simulator).
@@ -120,6 +145,23 @@ class TraceSink {
   /// order (Perfetto sorts by ts on load).
   void span(SimTime start, SimDuration dur, TraceCategory category,
             std::string_view name, std::string_view actor,
+            std::int64_t a0 = 0, std::int64_t a1 = 0);
+
+  /// Cached-name overloads (hot emitters). Identical semantics — the
+  /// TraceName is resolved (and interned on first recorded use) only
+  /// after the category filter passes, name before actor, so id order
+  /// matches the string_view path exactly.
+  void instant(SimTime now, TraceCategory category, const TraceName& name,
+               const TraceName& actor, std::int64_t a0 = 0,
+               std::int64_t a1 = 0);
+  void instant(SimTime now, TraceCategory category, const TraceName& name,
+               std::string_view actor, std::int64_t a0 = 0,
+               std::int64_t a1 = 0);
+  void span(SimTime start, SimDuration dur, TraceCategory category,
+            const TraceName& name, const TraceName& actor,
+            std::int64_t a0 = 0, std::int64_t a1 = 0);
+  void span(SimTime start, SimDuration dur, TraceCategory category,
+            const TraceName& name, std::string_view actor,
             std::int64_t a0 = 0, std::int64_t a1 = 0);
 
   /// Get-or-create id for a name. Ids are assigned in first-use order,
@@ -156,6 +198,9 @@ class TraceSink {
 
  private:
   void push(const TraceEvent& event);
+  /// Returns the cached id, re-interning when the cache belongs to a
+  /// different sink lifetime (epoch mismatch).
+  std::uint32_t resolve(const TraceName& name);
 
   std::vector<TraceEvent> ring_;
   std::size_t head_ = 0;  // index of oldest event
@@ -163,6 +208,8 @@ class TraceSink {
   std::uint64_t emitted_ = 0;
   std::uint64_t dropped_ = 0;
   std::uint32_t filter_ = kTraceAll;
+  /// Process-unique id for this sink's intern table; re-drawn on restore.
+  std::uint64_t epoch_;
   std::vector<std::string> names_;
   std::map<std::string, std::uint32_t, std::less<>> name_ids_;
 };
@@ -202,11 +249,37 @@ bool diff_traces(const std::vector<ParsedTraceEvent>& golden,
   do {                                                     \
     if ((sink) != nullptr) (sink)->span(__VA_ARGS__);      \
   } while (0)
+// Cached-name variants: the event name is a literal, held in a per-site
+// thread_local TraceName so repeated emissions skip the intern lookup
+// (thread_local, not plain static, because parallel sweep lanes emit
+// into per-lane sinks concurrently). `actor` may be a TraceName too —
+// hot daemons keep one as a member for their own name.
+#define DC_TRACE_INSTANT_C(sink, now, category, name_literal, ...)          \
+  do {                                                                      \
+    if ((sink) != nullptr) {                                                \
+      static thread_local ::dc::obs::TraceName dc_trace_name_{name_literal}; \
+      (sink)->instant((now), (category), dc_trace_name_, __VA_ARGS__);      \
+    }                                                                       \
+  } while (0)
+#define DC_TRACE_SPAN_C(sink, start, dur, category, name_literal, ...)      \
+  do {                                                                      \
+    if ((sink) != nullptr) {                                                \
+      static thread_local ::dc::obs::TraceName dc_trace_name_{name_literal}; \
+      (sink)->span((start), (dur), (category), dc_trace_name_,              \
+                   __VA_ARGS__);                                            \
+    }                                                                       \
+  } while (0)
 #else
 #define DC_TRACE_INSTANT(sink, ...) \
   do {                              \
   } while (0)
 #define DC_TRACE_SPAN(sink, ...) \
   do {                           \
+  } while (0)
+#define DC_TRACE_INSTANT_C(sink, ...) \
+  do {                                \
+  } while (0)
+#define DC_TRACE_SPAN_C(sink, ...) \
+  do {                             \
   } while (0)
 #endif

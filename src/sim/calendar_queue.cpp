@@ -1,0 +1,314 @@
+#include "sim/calendar_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/check.hpp"
+
+namespace dc::sim {
+namespace {
+
+// Bucket-count bounds for a window rebuild. The lower bound keeps tiny
+// pending sets from degenerating into one fat bucket; the upper bound
+// caps the redistribution working set (a 65536-bucket window is already
+// one node per bucket for the largest benches).
+constexpr std::size_t kMinBuckets = 16;
+constexpr std::size_t kMaxBuckets = 1u << 16;
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void CalendarQueue::push(const QueueNode& node) {
+  assert(node.seq != 0 && "sequence numbers start at 1 (0 is the sentinel)");
+  assert(slot_ref_[node.slot].seq == 0 && "slot is already queued");
+  slot_ref_[node.slot] = SlotRef{node.time_bits, node.seq};
+  ++live_;
+  if (buckets_.empty() || node.time_bits >= window_end()) {
+    overflow_.push_back(node);
+    return;
+  }
+  if (node.time_bits < window_start_) {
+    // The window was rebuilt above now() (a quiet gap with every pending
+    // node far out), and a callback scheduled before it. Fold the buckets
+    // back into the overflow — tombstones ride along — and invalidate the
+    // window; the next settle() re-anchors it at this node's time. Rare:
+    // it needs a fully-drained window followed by a pre-window push.
+    for (Bucket& bucket : buckets_) {
+      for (std::size_t j = bucket.pop; j < bucket.items.size(); ++j) {
+        overflow_.push_back(bucket.items[j]);
+      }
+    }
+    buckets_.clear();
+    cur_ = 0;
+    overflow_.push_back(node);
+    return;
+  }
+  const std::size_t idx =
+      static_cast<std::size_t>((node.time_bits - window_start_) >> width_shift_);
+  Bucket& bucket = buckets_[idx];
+  if (idx < cur_) {
+    // The node landed in an already-consumed bucket (a callback scheduled
+    // for a time the cursor has passed over but not beyond now()). The
+    // bucket is empty of pending work, so append and step the cursor
+    // back; everything before `pop` stays consumed.
+    assert(bucket.pop == bucket.items.size() && "passed bucket not consumed");
+    bucket.items.push_back(node);
+    cur_ = idx;
+    return;
+  }
+  if (idx == cur_ && !bucket.dirty) {
+    // The open bucket is already sorted (the cursor is inside it): keep it
+    // sorted with a binary-search insert so pop stays scan-free.
+    auto it = std::lower_bound(bucket.items.begin() + bucket.pop,
+                               bucket.items.end(), node, queue_node_less);
+    bucket.items.insert(it, node);
+    return;
+  }
+  bucket.items.push_back(node);
+  bucket.dirty = true;
+}
+
+void CalendarQueue::sort_bucket(Bucket& bucket) {
+  if (bucket.items.size() - bucket.pop > 1) {
+    std::sort(bucket.items.begin() + bucket.pop, bucket.items.end(),
+              queue_node_less);
+  }
+  bucket.dirty = false;
+}
+
+// Redistribute the overflow into a fresh window sized to the live span.
+// Tombstones are dropped on the way through (free compaction).
+void CalendarQueue::rebuild_window() {
+  assert(!overflow_.empty());
+  std::uint64_t lo = ~std::uint64_t{0};
+  std::uint64_t hi = 0;
+  std::size_t live = 0;
+  for (const QueueNode& node : overflow_) {
+    if (!entry_live(node)) continue;
+    ++live;
+    lo = std::min(lo, node.time_bits);
+    hi = std::max(hi, node.time_bits);
+  }
+  dead_ -= overflow_.size() - live;
+  if (live == 0) {
+    overflow_.clear();
+    return;
+  }
+  const std::size_t nbuckets =
+      next_pow2(std::clamp(live, kMinBuckets, kMaxBuckets));
+  // +1 so nbuckets * width strictly exceeds the span, then round the width
+  // up to a power of two: every overflow node fits the new window, and the
+  // push-path bucket index becomes a shift instead of a 64-bit division.
+  // A bucket covers at most 2x the ideal span — still O(1) nodes each.
+  const std::uint64_t min_width = (hi - lo) / nbuckets + 1;
+  width_shift_ = 0;
+  while ((std::uint64_t{1} << width_shift_) < min_width) ++width_shift_;
+  width_ = std::uint64_t{1} << width_shift_;
+  window_start_ = lo;
+  cur_ = 0;
+  // Resize in place: surviving buckets keep their item capacity, so
+  // steady-state windows (periodic-timer workloads rebuild one window per
+  // horizon chunk) allocate nothing.
+  buckets_.resize(nbuckets);
+  for (Bucket& bucket : buckets_) {
+    bucket.items.clear();
+    bucket.pop = 0;
+    bucket.dirty = false;
+  }
+  for (const QueueNode& node : overflow_) {
+    if (!entry_live(node)) continue;
+    Bucket& bucket =
+        buckets_[static_cast<std::size_t>((node.time_bits - lo) >> width_shift_)];
+    bucket.items.push_back(node);
+    bucket.dirty = true;
+  }
+  overflow_.clear();
+  ++rebuilds_;
+}
+
+bool CalendarQueue::settle() {
+  while (true) {
+    while (cur_ < buckets_.size()) {
+      Bucket& bucket = buckets_[cur_];
+      if (bucket.dirty) sort_bucket(bucket);
+      while (bucket.pop < bucket.items.size()) {
+        if (entry_live(bucket.items[bucket.pop])) return true;
+        ++bucket.pop;  // tombstone: consumed for free
+        --dead_;
+      }
+      bucket.items.clear();
+      bucket.pop = 0;
+      ++cur_;
+    }
+    if (overflow_.empty()) return false;
+    rebuild_window();
+  }
+}
+
+const QueueNode* CalendarQueue::min() {
+  if (!settle()) return nullptr;
+  return &buckets_[cur_].items[buckets_[cur_].pop];
+}
+
+void CalendarQueue::pop_min() {
+  const bool have = settle();
+  assert(have && "pop_min on an empty queue");
+  (void)have;
+  Bucket& bucket = buckets_[cur_];
+  slot_ref_[bucket.items[bucket.pop].slot].seq = 0;
+  ++bucket.pop;
+  --live_;
+}
+
+std::uint32_t CalendarQueue::pop_batch(QueueNode* out, std::uint32_t max) {
+  bool have = settle();
+  assert(have && "pop_batch on an empty queue");
+  (void)have;
+  // Same-time nodes always share one bucket (same window epoch, same
+  // index), so the whole run is a consumed prefix of the sorted open
+  // bucket — each pop is a cursor bump.
+  const std::uint64_t head_time =
+      buckets_[cur_].items[buckets_[cur_].pop].time_bits;
+  std::uint32_t n = 0;
+  do {
+    Bucket& bucket = buckets_[cur_];
+    const QueueNode& node = bucket.items[bucket.pop];
+    if (node.time_bits != head_time) break;
+    out[n++] = node;
+    slot_ref_[node.slot].seq = 0;
+    ++bucket.pop;
+    --live_;
+  } while (n < max && settle());
+  return n;
+}
+
+void CalendarQueue::erase_slot(std::uint32_t slot) {
+  assert(slot_ref_[slot].seq != 0 && "erase_slot: slot is not queued");
+  slot_ref_[slot].seq = 0;
+  --live_;
+  ++dead_;
+  maybe_compact();
+}
+
+bool CalendarQueue::find_slot(std::uint32_t slot, QueueNode* out) const {
+  const SlotRef& ref = slot_ref_[slot];
+  if (ref.seq == 0) return false;
+  *out = QueueNode{ref.time_bits, ref.seq, slot};
+  return true;
+}
+
+void CalendarQueue::reserve(std::size_t expected) {
+  overflow_.reserve(expected);
+}
+
+void CalendarQueue::ensure_slots(std::size_t slot_count) {
+  slot_ref_.resize(slot_count);
+}
+
+void CalendarQueue::drain_all(std::vector<QueueNode>* out) {
+  out->reserve(out->size() + live_);
+  for (Bucket& bucket : buckets_) {
+    for (std::size_t i = bucket.pop; i < bucket.items.size(); ++i) {
+      if (entry_live(bucket.items[i])) out->push_back(bucket.items[i]);
+    }
+    bucket.items.clear();
+    bucket.pop = 0;
+    bucket.dirty = false;
+  }
+  for (const QueueNode& node : overflow_) {
+    if (entry_live(node)) out->push_back(node);
+  }
+  overflow_.clear();
+  buckets_.clear();
+  for (auto it = out->end() - static_cast<std::ptrdiff_t>(live_);
+       it != out->end(); ++it) {
+    slot_ref_[it->slot].seq = 0;
+  }
+  cur_ = 0;
+  live_ = 0;
+  dead_ = 0;
+}
+
+// Physically drop tombstones once they outnumber live nodes: each sweep
+// removes at least half the entries it touches, so the cost amortizes to
+// O(1) per cancel.
+void CalendarQueue::maybe_compact() {
+  if (dead_ < 64 || dead_ <= live_) return;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    Bucket& bucket = buckets_[i];
+    if (bucket.items.empty()) continue;
+    // The consumed prefix is dead weight either way; drop it too. Only
+    // the open bucket can have one (earlier buckets were cleared on
+    // exhaustion, later ones never popped).
+    bucket.items.erase(bucket.items.begin(),
+                       bucket.items.begin() + bucket.pop);
+    bucket.pop = 0;
+    std::erase_if(bucket.items,
+                  [this](const QueueNode& node) { return !entry_live(node); });
+  }
+  std::erase_if(overflow_,
+                [this](const QueueNode& node) { return !entry_live(node); });
+  dead_ = 0;
+  ++compactions_;
+}
+
+void CalendarQueue::stats(std::vector<QueueStat>* out) const {
+  out->push_back({"queue_calendar_rebuilds", rebuilds_});
+  out->push_back({"queue_calendar_compactions", compactions_});
+  out->push_back({"queue_calendar_buckets", buckets_.size()});
+  out->push_back({"queue_calendar_width", width_});
+}
+
+void CalendarQueue::audit(
+    const std::function<void(const QueueNode&)>& check_node) const {
+  std::size_t live_seen = 0;
+  std::size_t dead_seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const Bucket& bucket = buckets_[i];
+    DC_INVARIANT(i >= cur_ || bucket.pop == bucket.items.size(),
+                 "calendar bucket behind the cursor still has entries");
+    for (std::size_t j = bucket.pop; j < bucket.items.size(); ++j) {
+      const QueueNode& node = bucket.items[j];
+      DC_INVARIANT(node.time_bits >= window_start_ &&
+                       (node.time_bits - window_start_) / width_ == i,
+                   "calendar entry is in the wrong bucket for its time");
+      if (!bucket.dirty && j > bucket.pop) {
+        DC_INVARIANT(!queue_node_less(node, bucket.items[j - 1]),
+                     "sorted calendar bucket is out of (time, seq) order");
+      }
+      if (entry_live(node)) {
+        ++live_seen;
+        check_node(node);
+      } else {
+        ++dead_seen;
+      }
+    }
+  }
+  for (const QueueNode& node : overflow_) {
+    DC_INVARIANT(buckets_.empty() || node.time_bits >= window_end(),
+                 "overflow entry belongs inside the bucket window");
+    if (entry_live(node)) {
+      ++live_seen;
+      check_node(node);
+    } else {
+      ++dead_seen;
+    }
+  }
+  DC_INVARIANT(live_seen == live_,
+               "calendar live count diverged from its entries");
+  DC_INVARIANT(dead_seen == dead_,
+               "calendar tombstone count diverged from its entries");
+  std::size_t referenced = 0;
+  for (const SlotRef& ref : slot_ref_) {
+    if (ref.seq != 0) ++referenced;
+  }
+  DC_INVARIANT(referenced == live_,
+               "calendar slot side array diverged from the live count");
+}
+
+}  // namespace dc::sim

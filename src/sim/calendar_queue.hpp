@@ -1,0 +1,103 @@
+// Calendar/ladder event queue — the O(1)-amortized EventQueue.
+//
+// Structure: a window of buckets of equal power-of-two integer width
+// (bucket indexing is a shift, never a division) over
+// [window_start, window_start + buckets * width). A node whose time falls
+// inside the window goes to its bucket; anything at or past the window end
+// waits in an overflow vector. Buckets are append-only and sorted lazily:
+// a bucket is sorted by (time, seq) only when the pop cursor reaches it,
+// so pushes are push_back + a dirty flag. When every bucket is consumed,
+// the window is rebuilt from the overflow — width and bucket count are
+// recomputed from the live span so each bucket holds O(1) nodes — which
+// makes both push and pop amortized O(1) regardless of pending-set size
+// (the 4-ary heap pays an O(log n) dependent-cache-miss chain per pop).
+//
+// Cancel is O(1) and lazy: a per-slot (time, seq) side array is the source
+// of truth, so erase_slot just voids the slot's entry; the stale bucket
+// entry becomes a tombstone that pop skips (seq mismatch). Tombstones are
+// physically compacted when they outnumber live nodes, bounding memory.
+//
+// Determinism: pops leave each bucket in full (time, seq) order and
+// same-time nodes always share a bucket, so the pop sequence is exactly
+// the (time, seq) total order — identical to HeapEventQueue, pinned by
+// the randomized differential test. All bucket math is integer-only
+// (dc-lint r8 keeps it that way: floating-point bucket indexing could
+// round differently across platforms and break cross-machine determinism).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+
+namespace dc::sim {
+
+class CalendarQueue final : public EventQueue {
+ public:
+  CalendarQueue() = default;
+  CalendarQueue(const CalendarQueue&) = delete;
+  CalendarQueue& operator=(const CalendarQueue&) = delete;
+
+  QueueKind kind() const override { return QueueKind::kCalendar; }
+
+  void push(const QueueNode& node) override;
+  const QueueNode* min() override;
+  void pop_min() override;
+  std::uint32_t pop_batch(QueueNode* out, std::uint32_t max) override;
+  void erase_slot(std::uint32_t slot) override;
+  bool find_slot(std::uint32_t slot, QueueNode* out) const override;
+  std::size_t size() const override { return live_; }
+  void reserve(std::size_t expected) override;
+  void ensure_slots(std::size_t slot_count) override;
+  void drain_all(std::vector<QueueNode>* out) override;
+  void stats(std::vector<QueueStat>* out) const override;
+  void audit(
+      const std::function<void(const QueueNode&)>& check_node) const override;
+
+ private:
+  struct Bucket {
+    std::vector<QueueNode> items;
+    std::uint32_t pop = 0;  // consumed prefix length
+    bool dirty = false;     // [pop, end) not yet sorted
+  };
+
+  // Per-slot source of truth. seq == 0 means "not queued" (real sequence
+  // numbers start at 1); a bucket/overflow entry whose seq no longer
+  // matches is a tombstone.
+  struct SlotRef {
+    std::uint64_t time_bits = 0;
+    std::uint32_t seq = 0;
+  };
+
+  bool entry_live(const QueueNode& node) const {
+    const SlotRef& ref = slot_ref_[node.slot];
+    return ref.seq == node.seq && ref.time_bits == node.time_bits;
+  }
+
+  std::uint64_t window_end() const {
+    return window_start_ + static_cast<std::uint64_t>(buckets_.size()) * width_;
+  }
+
+  /// Positions the cursor on the live head entry. Returns false when the
+  /// queue is empty. On success buckets_[cur_].items[buckets_[cur_].pop]
+  /// is the minimum live node.
+  bool settle();
+
+  void sort_bucket(Bucket& bucket);
+  void rebuild_window();
+  void maybe_compact();
+
+  std::vector<Bucket> buckets_;
+  std::vector<QueueNode> overflow_;
+  std::vector<SlotRef> slot_ref_;
+  std::uint64_t window_start_ = 0;
+  std::uint64_t width_ = 1;           // always 1 << width_shift_
+  std::uint32_t width_shift_ = 0;     // bucket index = (time - start) >> shift
+  std::size_t cur_ = 0;   // bucket cursor; == buckets_.size() when exhausted
+  std::size_t live_ = 0;  // queued nodes (excludes tombstones)
+  std::size_t dead_ = 0;  // tombstones still physically present
+  std::uint64_t rebuilds_ = 0;
+  std::uint64_t compactions_ = 0;
+};
+
+}  // namespace dc::sim

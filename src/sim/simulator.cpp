@@ -12,152 +12,60 @@ std::uint32_t Simulator::grow_event_slab() {
   if ((slot >> kSlabShift) >= event_chunks_.size()) {
     event_chunks_.push_back(std::make_unique<EventSlot[]>(kSlabChunk));
   }
-  slot_pos_.push_back(kNpos);
-  event(slot).live = true;
+  queue_->ensure_slots(event_slots_used_);
+  event(slot).live = 1;
   return slot;
 }
 
 void Simulator::release_event_slot(std::uint32_t slot) {
   EventSlot& ev = event(slot);
   ev.fn.reset();
-  ev.live = false;
-  slot_pos_[slot] = kNpos;
-  ev.timer_slot = kNpos;
+  ev.live = 0;
   // Bump the generation so any outstanding EventId for this slot goes
   // stale; skip 0 on wrap so make_event_id never produces kInvalidEvent.
   if (++ev.gen == 0) ev.gen = 1;
-  ev.next_free = free_event_;
+  ev.link = free_event_;
   free_event_ = slot;
   --live_events_;
 }
 
 void Simulator::reserve(std::size_t expected_events) {
-  if (expected_events > heap_cap_) grow_heap(expected_events);
+  queue_->reserve(expected_events);
   if (expected_events <= event_slots_used_) return;
   // Materialize the new slots onto the free list now (ascending, so a
   // burst of schedules still fills slots in address order): every
   // subsequent alloc_event_slot takes the branch-free free-list path.
   const auto first = static_cast<std::uint32_t>(event_slots_used_);
   const auto last = static_cast<std::uint32_t>(expected_events - 1);
-  slot_pos_.resize(expected_events, kNpos);
   while (event_chunks_.size() * kSlabChunk < expected_events) {
     event_chunks_.push_back(std::make_unique<EventSlot[]>(kSlabChunk));
   }
-  for (std::uint32_t s = first; s < last; ++s) event(s).next_free = s + 1;
-  event(last).next_free = free_event_;
+  for (std::uint32_t s = first; s < last; ++s) event(s).link = s + 1;
+  event(last).link = free_event_;
   free_event_ = first;
   event_slots_used_ = static_cast<std::uint32_t>(expected_events);
-}
-
-// ---------------------------------------------------------------------------
-// Indexed 4-ary heap. Every node move updates the owning slot's entry in
-// slot_pos_, so cancel() can find and excise a node without scanning.
-
-void Simulator::grow_heap(std::size_t new_cap) {
-  // 3-node front pad + 64-byte alignment puts every 4-child group on one
-  // cache line; aligned_alloc wants the byte size rounded to the alignment.
-  const std::size_t bytes = (((new_cap + 3) * sizeof(HeapNode)) + 63) & ~std::size_t{63};
-  auto* grown = static_cast<HeapNode*>(std::aligned_alloc(64, bytes));
-  if (heap_raw_ != nullptr) {
-    std::memcpy(grown + 3, heap_raw_ + 3, heap_size_ * sizeof(HeapNode));
-    std::free(heap_raw_);
-  }
-  heap_raw_ = grown;
-  heap_cap_ = new_cap;
-}
-
-void Simulator::sift_up(std::size_t pos) {
-  const HeapNode node = heap_at(pos);
-  while (pos > 0) {
-    const std::size_t parent = (pos - 1) >> 2;
-    if (!heap_less(node, heap_at(parent))) break;
-    heap_at(pos) = heap_at(parent);
-    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
-    pos = parent;
-  }
-  heap_at(pos) = node;
-  slot_pos_[node.slot] = static_cast<std::uint32_t>(pos);
-}
-
-void Simulator::sift_down(std::size_t pos) {
-  const std::size_t n = heap_size_;
-  const HeapNode node = heap_at(pos);
-  while (true) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (heap_less(heap_at(c), heap_at(best))) best = c;
-    }
-    if (!heap_less(heap_at(best), node)) break;
-    heap_at(pos) = heap_at(best);
-    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
-    pos = best;
-  }
-  heap_at(pos) = node;
-  slot_pos_[node.slot] = static_cast<std::uint32_t>(pos);
-}
-
-void Simulator::heap_erase(std::size_t pos) {
-  const HeapNode last = heap_at(--heap_size_);
-  if (pos < heap_size_) {
-    heap_at(pos) = last;
-    slot_pos_[last.slot] = static_cast<std::uint32_t>(pos);
-    // The replacement came from the bottom; it can only need to move one
-    // way, and sift_up is a no-op unless it beats its new parent.
-    sift_up(pos);
-    sift_down(slot_pos_[last.slot]);
-  }
-}
-
-// Pop the root. The replacement comes from the bottom of the heap, so it
-// nearly always sinks the full height: walk the min-child path down to a
-// leaf first, then bubble the replacement up — the early-exit compares
-// happen near the leaf where they are cheap, and each level's child scan
-// is one aligned cache line (prefetched one level ahead).
-void Simulator::pop_min() {
-  const HeapNode last = heap_at(--heap_size_);
-  const std::size_t n = heap_size_;
-  if (n == 0) return;
-  std::size_t pos = 0;
-  while (true) {
-    const std::size_t first = (pos << 2) + 1;
-    if (first >= n) break;
-    std::size_t best = first;
-    const std::size_t end = std::min(first + 4, n);
-    // Whichever child wins, its children are one of these four lines;
-    // issuing all four overlaps the next level's miss with this level's
-    // compares (the walk's dependent-miss chain is what bounds pop cost).
-    __builtin_prefetch(&heap_at((first << 2) + 1));
-    __builtin_prefetch(&heap_at(((first + 1) << 2) + 1));
-    __builtin_prefetch(&heap_at(((first + 2) << 2) + 1));
-    __builtin_prefetch(&heap_at(((first + 3) << 2) + 1));
-    for (std::size_t c = first + 1; c < end; ++c) {
-      if (heap_less(heap_at(c), heap_at(best))) best = c;
-    }
-    if (!heap_less(heap_at(best), last)) break;
-    heap_at(pos) = heap_at(best);
-    slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
-    pos = best;
-  }
-  heap_at(pos) = last;
-  slot_pos_[last.slot] = static_cast<std::uint32_t>(pos);
+  queue_->ensure_slots(event_slots_used_);
 }
 
 // The 32-bit FIFO tie-break counter saturated (once per ~4.3 billion
 // schedules). Compact the seqs of the pending nodes order-preservingly:
-// relative order is all the heap compares, so the heap stays valid in
-// place and FIFO order is exactly preserved. Amortized cost is zero.
+// relative order is all any queue compares, so FIFO order is exactly
+// preserved. In-flight batch entries participate too — request_stop() may
+// re-push them, so their seqs must stay ordered against the queued set.
+// Amortized cost is zero.
 void Simulator::renumber_seqs() {
-  std::vector<std::uint32_t> order(heap_size_);
-  for (std::uint32_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [this](std::uint32_t a, std::uint32_t b) {
-    return heap_at(a).seq < heap_at(b).seq;
-  });
+  std::vector<QueueNode> nodes;
+  queue_->drain_all(&nodes);
+  std::vector<QueueNode*> order;
+  order.reserve(nodes.size() + (batch_n_ - batch_i_));
+  for (QueueNode& node : nodes) order.push_back(&node);
+  for (std::uint32_t i = batch_i_; i < batch_n_; ++i) order.push_back(&batch_[i]);
+  std::sort(order.begin(), order.end(),
+            [](const QueueNode* a, const QueueNode* b) { return a->seq < b->seq; });
   std::uint32_t seq = 1;
-  for (const std::uint32_t pos : order) heap_at(pos).seq = seq++;
+  for (QueueNode* node : order) node->seq = seq++;
   next_seq_ = seq;
+  for (const QueueNode& node : nodes) queue_->push(node);
 }
 
 // ---------------------------------------------------------------------------
@@ -168,59 +76,143 @@ bool Simulator::cancel(EventId id) {
   if (slot >= event_slots_used_) return false;
   EventSlot& ev = event(slot);
   if (!ev.live || ev.gen != id_gen(id)) return false;
-  heap_erase(slot_pos_[slot]);
+  QueueNode node;
+  const bool queued = heap_ != nullptr ? heap_->find_slot(slot, &node)
+                                       : queue_->find_slot(slot, &node);
+  if (queued) {
+    if (heap_ != nullptr) {
+      heap_->erase_slot(slot);
+    } else {
+      queue_->erase_slot(slot);
+    }
+  } else {
+    // Not queued but live: the event is in the in-flight dispatch batch
+    // (a same-timestamp sibling cancelled it). Releasing the slot bumps
+    // the generation, which is exactly what makes the batch entry stale.
+    --batch_inflight_;
+  }
   release_event_slot(slot);
   maybe_audit();
   return true;
 }
 
-bool Simulator::step() {
-  const HeapNode* next = peek_next_live();
-  if (next == nullptr) return false;
-  const std::uint32_t slot = next->slot;
-  assert(key_time(next->time_bits) >= now_);
-  DC_INVARIANT(key_time(next->time_bits) >= now_,
-               "simulation time must be nondecreasing (heap produced an event "
-               "before now())");
-  maybe_audit();
-  now_ = key_time(next->time_bits);
-  pop_min();
-  // The heap top is now the *next* event to fire: start pulling its slot
-  // in while this event's callback runs, hiding the slab miss.
-  if (heap_size_ != 0) __builtin_prefetch(&event(heap_at(0).slot));
+// Marks the (already popped, live) event dead and invokes it. Mark before
+// invoking: a cancel() of this event's own id from inside the callback is
+// then a clean "already fired" no-op, and pending_live() already excludes
+// the executing event. The slot joins the free list only after the
+// callback returns, so re-entrant schedules cannot recycle it; chunked
+// slab addresses are stable, so the callable is invoked in place.
+inline void Simulator::run_event(std::uint32_t slot, EventSlot& ev) {
   ++processed_;
-  // Mark the slot dead before invoking: a cancel() of this event's own id
-  // from inside the callback is then a clean "already fired" no-op, and
-  // pending_live() already excludes the executing event (as the old
-  // handler-map kernel did). The slot joins the free list only after the
-  // callback returns, so re-entrant schedules cannot recycle it; chunked
-  // slab addresses are stable, so the callable is invoked in place with
-  // no relocation.
-  EventSlot& ev = event(slot);
-  ev.live = false;
-  slot_pos_[slot] = kNpos;
+  ev.live = 0;
   --live_events_;
-  if (ev.timer_slot == kNpos) {
+  if (ev.link == kLinkNone) {
     ev.fn();
     ev.fn.reset();
     if (++ev.gen == 0) ev.gen = 1;
-    ev.next_free = free_event_;
+    ev.link = free_event_;
     free_event_ = slot;
   } else {
     // Timer fire events carry no callable: recycle the slot immediately.
-    const std::uint32_t timer_slot = ev.timer_slot;
-    ev.timer_slot = kNpos;
+    const std::uint32_t timer_slot = ev.link;
     if (++ev.gen == 0) ev.gen = 1;
-    ev.next_free = free_event_;
+    ev.link = free_event_;
     free_event_ = slot;
     fire_timer(timer_slot, now_);
   }
+}
+
+bool Simulator::dispatch_batch(std::uint64_t horizon_key) {
+  const QueueNode* head = heap_ != nullptr ? heap_->min() : queue_->min();
+  if (head == nullptr || head->time_bits > horizon_key) return false;
+  assert(head->time_bits >= time_key(now_));
+  DC_INVARIANT(head->time_bits >= time_key(now_),
+               "simulation time must be nondecreasing (queue produced an "
+               "event before now())");
+  maybe_audit();
+  now_ = key_time(head->time_bits);
+  // Per-event fast path. Two cases take it:
+  //  * the heap, always: its pop cost is one sift-down per node whether
+  //    popped singly or via pop_batch, and cancel() excises nodes eagerly
+  //    so the head is always live — batching would add generation
+  //    snapshots and a staging copy for zero saved queue work (measured:
+  //    ~15% slower on the dense-timer benchmark);
+  //  * any queue when the head's timestamp is a singleton (the common
+  //    case outside scan-tick bursts).
+  // Nothing runs between the pop and the dispatch, and cancellation of
+  // a not-yet-popped same-timestamp sibling still works through the
+  // queue's own erase path, so no generation snapshot is needed.
+  const QueueNode first = *head;
+  if (heap_ != nullptr) {
+    heap_->pop_min();
+    head = heap_->min();
+  } else {
+    queue_->pop_min();
+    head = queue_->min();
+  }
+  dispatch_stats_.batches += 1;
+  if (heap_ != nullptr || head == nullptr ||
+      head->time_bits != first.time_bits) {
+    // The queue head is now the *next* event to fire: start pulling its
+    // slot in while this event's callback runs, hiding the slab miss.
+    if (head != nullptr) __builtin_prefetch(&event(head->slot));
+    dispatch_stats_.batched_events += 1;
+    if (dispatch_stats_.max_batch == 0) dispatch_stats_.max_batch = 1;
+    run_event(first.slot, event(first.slot));
+    return true;
+  }
+  batch_[0] = first;
+  batch_n_ = 1 + (heap_ != nullptr
+                      ? heap_->pop_batch(batch_ + 1, kBatchMax - 1)
+                      : queue_->pop_batch(batch_ + 1, kBatchMax - 1));
+  batch_i_ = 0;
+  batch_inflight_ += batch_n_;
+  // Record each entry's generation so a mid-batch cancel (or a cancel plus
+  // slot reuse) is detected at dispatch, and start pulling the slot lines
+  // in — the batch is dispatched back-to-back, so by the time entry i runs
+  // its slab line is already in flight.
+  for (std::uint32_t i = 0; i < batch_n_; ++i) {
+    __builtin_prefetch(&event(batch_[i].slot));
+  }
+  for (std::uint32_t i = 0; i < batch_n_; ++i) {
+    batch_gens_[i] = event(batch_[i].slot).gen;
+  }
+  dispatch_stats_.batched_events += batch_n_;
+  if (batch_n_ > dispatch_stats_.max_batch) dispatch_stats_.max_batch = batch_n_;
+  while (batch_i_ < batch_n_) {
+    if (stop_requested_) {
+      // Put the undispatched remainder back with its original (time, seq):
+      // a later run()/run_until() — or a snapshot restore — fires it in
+      // exactly the order the uninterrupted run would have.
+      while (batch_i_ < batch_n_) {
+        const QueueNode& node = batch_[batch_i_];
+        const EventSlot& ev = event(node.slot);
+        if (ev.live && ev.gen == batch_gens_[batch_i_]) {
+          queue_->push(node);
+          --batch_inflight_;
+        }
+        ++batch_i_;
+      }
+      break;
+    }
+    const QueueNode node = batch_[batch_i_];
+    const std::uint32_t gen = batch_gens_[batch_i_];
+    ++batch_i_;
+    EventSlot& ev = event(node.slot);
+    // Stale entry: a sibling earlier in this batch cancelled it (the slot
+    // may even have been recycled into a new event — the generation says).
+    if (!ev.live || ev.gen != gen) continue;
+    --batch_inflight_;
+    run_event(node.slot, ev);
+  }
+  batch_n_ = 0;
+  batch_i_ = 0;
   return true;
 }
 
 void Simulator::run() {
   stop_requested_ = false;
-  while (!stop_requested_ && step()) {
+  while (!stop_requested_ && dispatch_batch(~std::uint64_t{0})) {
   }
 }
 
@@ -229,10 +221,7 @@ void Simulator::run_until(SimTime horizon) {
   DC_INVARIANT(horizon >= now_, "run_until horizon is in the past");
   stop_requested_ = false;
   const std::uint64_t horizon_key = time_key(horizon);
-  while (!stop_requested_) {
-    const HeapNode* next = peek_next_live();
-    if (next == nullptr || next->time_bits > horizon_key) break;
-    step();
+  while (!stop_requested_ && dispatch_batch(horizon_key)) {
   }
   now_ = horizon;
 }
@@ -242,7 +231,7 @@ void Simulator::run_until(SimTime horizon) {
 
 EventId Simulator::schedule_timer_event(SimTime t, std::uint32_t timer_slot) {
   const std::uint32_t slot = alloc_event_slot();
-  event(slot).timer_slot = timer_slot;
+  event(slot).link = timer_slot & kLinkNone;
   DC_CHECKED_ONLY(timer_arming_ = timer_slot;)
   const EventId id = push_event(t, slot);
   DC_CHECKED_ONLY(timer_arming_ = kNpos;)
@@ -318,7 +307,11 @@ std::optional<Simulator::PendingEventInfo> Simulator::pending_event_info(
   if (slot >= event_slots_used_) return std::nullopt;
   const EventSlot& ev = event(slot);
   if (!ev.live || ev.gen != id_gen(id)) return std::nullopt;
-  const HeapNode& node = heap_at(slot_pos_[slot]);
+  QueueNode node;
+  const bool queued = queue_->find_slot(slot, &node);
+  assert(queued && "pending_event_info requires a quiescent point (the event "
+                   "is mid-dispatch)");
+  if (!queued) return std::nullopt;
   return PendingEventInfo{key_time(node.time_bits), node.seq};
 }
 
@@ -331,7 +324,10 @@ std::optional<Simulator::PendingTimerInfo> Simulator::pending_timer_info(
   const std::uint32_t ev_slot = id_slot(ts.pending);
   assert(ev_slot < event_slots_used_ && event(ev_slot).live &&
          "alive timer without a pending fire event at a quiescent point");
-  const HeapNode& node = heap_at(slot_pos_[ev_slot]);
+  QueueNode node;
+  const bool queued = queue_->find_slot(ev_slot, &node);
+  assert(queued && "pending_timer_info requires a quiescent point");
+  if (!queued) return std::nullopt;
   return PendingTimerInfo{key_time(node.time_bits), node.seq, ts.period};
 }
 
@@ -339,7 +335,8 @@ void Simulator::begin_restore(SimTime now, std::uint32_t next_seq,
                               std::uint64_t processed) {
   assert(!restoring_ && "begin_restore called twice");
   assert(now_ == 0 && processed_ == 0 && live_events_ == 0 &&
-         heap_size_ == 0 && event_slots_used_ == 0 && timer_slots_used_ == 0 &&
+         queue_->size() == 0 && event_slots_used_ == 0 &&
+         timer_slots_used_ == 0 &&
          "restore requires a virgin kernel (build components passively)");
   assert(now >= 0 && next_seq >= 1);
   now_ = now;
@@ -372,7 +369,7 @@ TimerId Simulator::restore_periodic(SimTime next_fire, std::uint32_t seq,
   ts.firing = false;
   const TimerId id = make_event_id(slot, ts.gen);
   const std::uint32_t ev_slot = alloc_event_slot();
-  event(ev_slot).timer_slot = slot;
+  event(ev_slot).link = slot & kLinkNone;
   DC_CHECKED_ONLY(timer_arming_ = slot;)
   ts.pending = push_event_with_seq(next_fire, ev_slot, seq);
   DC_CHECKED_ONLY(timer_arming_ = kNpos;)
@@ -390,8 +387,11 @@ Status Simulator::finish_restore(std::uint64_t expected_pending) {
         " pending — a component failed to re-arm (or re-armed twice)");
   }
   std::vector<std::uint32_t> seqs;
-  seqs.reserve(heap_size_);
-  for (std::size_t i = 0; i < heap_size_; ++i) seqs.push_back(heap_at(i).seq);
+  seqs.reserve(live_events_);
+  for (std::uint32_t slot = 0; slot < event_slots_used_; ++slot) {
+    QueueNode node;
+    if (queue_->find_slot(slot, &node)) seqs.push_back(node.seq);
+  }
   std::sort(seqs.begin(), seqs.end());
   for (std::size_t i = 1; i < seqs.size(); ++i) {
     if (seqs[i] == seqs[i - 1]) {
@@ -414,54 +414,45 @@ Status Simulator::finish_restore(std::uint64_t expected_pending) {
 // ---------------------------------------------------------------------------
 // Checked-build structural audit. Everything here is O(pending + slots) and
 // compiled out of non-DC_CHECKED builds; maybe_audit() amortizes the cost to
-// O(1) per kernel operation by spacing audits at least heap_size_ apart.
+// O(1) per kernel operation by spacing audits at least live_events_ apart.
 
 void Simulator::audit_invariants() const {
 #if defined(DC_CHECKED)
   // Slab geometry.
   DC_INVARIANT(event_chunks_.size() * kSlabChunk >= event_slots_used_,
                "event slab has fewer chunks than its high-water mark");
-  DC_INVARIANT(slot_pos_.size() == event_slots_used_,
-               "slot_pos_ side array out of sync with the event slab");
   DC_INVARIANT(timer_chunks_.size() * kSlabChunk >= timer_slots_used_,
                "timer slab has fewer chunks than its high-water mark");
-  DC_INVARIANT(heap_size_ == live_events_,
-               "pending-event count diverged from the heap");
+  DC_INVARIANT(queue_->size() + batch_inflight_ == live_events_,
+               "pending-event count diverged from the queue plus the "
+               "in-flight batch");
 
-  // 4-ary heap: parent <= child, and the slot<->position side array is a
-  // bijection onto the heap.
-  for (std::size_t i = 0; i < heap_size_; ++i) {
-    const HeapNode& node = heap_at(i);
-    if (i > 0) {
-      const HeapNode& parent = heap_at((i - 1) >> 2);
-      DC_INVARIANT(!heap_less(node, parent),
-                   "4-ary heap order violated (child sorts before parent)");
-    }
+  // Queue structure (heap order / calendar bucketing), plus per-node slab
+  // linkage.
+  queue_->audit([this](const QueueNode& node) {
     DC_INVARIANT(node.slot < event_slots_used_,
-                 "heap node references a slot beyond the slab");
-    DC_INVARIANT(slot_pos_[node.slot] == i,
-                 "slot->position map does not point back at the heap node");
+                 "queued node references a slot beyond the slab");
+    DC_INVARIANT(node.seq >= 1 && node.seq < next_seq_,
+                 "queued node's seq escaped the tie-break counter");
     const EventSlot& ev = event(node.slot);
-    DC_INVARIANT(ev.live, "heap node references a dead event slot");
-    DC_INVARIANT(static_cast<bool>(ev.fn) != (ev.timer_slot != kNpos),
+    DC_INVARIANT(ev.live, "queued node references a dead event slot");
+    DC_INVARIANT(static_cast<bool>(ev.fn) != (ev.link != kLinkNone),
                  "event slot must carry exactly one of: callback, timer link");
-  }
+  });
 
-  // Event free list: acyclic (bounded walk), every member dead and
-  // position-less. Every slot is pending, free, or the one event currently
+  // Event free list: acyclic (bounded walk), every member dead. Every slot
+  // is queued, in the in-flight batch, free, or the one event currently
   // executing (its slot joins the free list after its callback returns).
   std::uint32_t free_events = 0;
-  for (std::uint32_t s = free_event_; s != kNpos; s = event(s).next_free) {
+  for (std::uint32_t s = free_event_; s != kLinkNone; s = event(s).link) {
     DC_INVARIANT(s < event_slots_used_, "event free list left the slab");
     DC_INVARIANT(!event(s).live, "live event slot on the free list");
-    DC_INVARIANT(slot_pos_[s] == kNpos,
-                 "free event slot still has a heap position");
     DC_INVARIANT(++free_events <= event_slots_used_,
                  "event free list is cyclic");
   }
-  DC_INVARIANT(free_events + heap_size_ <= event_slots_used_,
+  DC_INVARIANT(free_events + live_events_ <= event_slots_used_,
                "event slab accounting: free + pending exceeds slots");
-  DC_INVARIANT(free_events + heap_size_ + 1 >= event_slots_used_,
+  DC_INVARIANT(free_events + live_events_ + 1 >= event_slots_used_,
                "event slab leak: more than one slot neither pending nor free");
 
   // Timer slab: alive timers always hold a pending fire event. The handle
@@ -486,7 +477,7 @@ void Simulator::audit_invariants() const {
     if (event(ev_slot).gen == id_gen(ts.pending)) {
       DC_INVARIANT(event(ev_slot).live,
                    "timer's pending handle is current but the event is dead");
-      DC_INVARIANT(event(ev_slot).timer_slot == t,
+      DC_INVARIANT(event(ev_slot).link == t,
                    "timer's pending event does not link back to the timer");
     }
   }

@@ -10,9 +10,11 @@
 //   * Events scheduled for the same time fire in scheduling (FIFO) order,
 //     which makes experiments fully deterministic.
 //   * cancel()/stop_timer() validate their handle in O(1) via a generation
-//     tag and remove the event from the queue immediately — no tombstones
-//     accumulate, even for workloads that cancel heavily or run periodic
-//     timers for months of simulated time.
+//     tag; the pending entry is removed (or tombstoned, calendar queue)
+//     immediately, so cancel-heavy workloads never accumulate stale work.
+//   * The pending queue is pluggable (see event_queue.hpp): the indexed
+//     4-ary heap and the calendar queue produce the same (time, seq) pop
+//     order, so the queue choice can never change results, only speed.
 //
 // Hot-path design (see docs/ARCHITECTURE.md, "The simulation kernel"):
 //   * Events live in a chunked slab (fixed 1024-slot chunks + free list),
@@ -20,12 +22,16 @@
 //     and callbacks are invoked in place. A slot stores its callback
 //     inline for captures up to kInlineCallbackBytes (48) bytes —
 //     scheduling such an event performs zero heap allocations in steady
-//     state.
-//   * The pending queue is a 4-ary heap of 16-byte (time, seq, slot)
-//     nodes in a 64-byte-aligned buffer laid out so each node's four
-//     children share one cache line. Each slot records its heap position
-//     (dense side array), so cancellation excises the node in place (O(1)
-//     handle check + one localized sift) instead of leaving a tombstone.
+//     state — and is exactly 80 bytes: the generation tag and the
+//     timer/free-list link share one 8-byte tail after the callback.
+//   * Dispatch batches same-timestamp events when the queue profits from
+//     it: the calendar queue drains all events sharing the head timestamp
+//     into a small inline buffer in one pop_batch (its sorted bucket makes
+//     that a copy, so dense coincident patterns — periodic timers, server
+//     scans — pay the bucket machinery once per timestamp, not once per
+//     event). The default heap dispatches per-event: its pop cost is one
+//     sift-down per node either way, and eager cancel keeps its head
+//     always live, so batch bookkeeping would be pure overhead there.
 //   * Periodic timers are their own slab; a timer's fire event carries the
 //     timer's slot index, so re-arming is direct indexing — no hash
 //     lookups anywhere in the kernel.
@@ -37,7 +43,6 @@
 
 #include <cassert>
 #include <cstdint>
-#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <memory>
@@ -45,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "sim/event_queue.hpp"
 #include "sim/small_func.hpp"
 #include "util/check.hpp"
 #include "util/status.hpp"
@@ -73,10 +79,19 @@ class Simulator {
   using Callback = SmallFunc<void()>;
   using TimerCallback = SmallFunc<void(SimTime)>;
 
-  Simulator() = default;
+  /// `queue` selects the pending-queue implementation (RunOptions/CLI
+  /// `--queue`). Every implementation pops the same (time, seq) order, so
+  /// this is a pure performance choice.
+  explicit Simulator(QueueKind queue = QueueKind::kHeap)
+      : queue_(make_event_queue(queue)) {
+    if (queue == QueueKind::kHeap) {
+      heap_ = static_cast<HeapEventQueue*>(queue_.get());
+    }
+  }
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
-  ~Simulator() { std::free(heap_raw_); }
+
+  QueueKind queue_kind() const { return queue_->kind(); }
 
   /// Current simulation time (seconds).
   SimTime now() const { return now_; }
@@ -99,8 +114,7 @@ class Simulator {
   }
 
   /// Cancels a pending event. Returns false if it already fired or was
-  /// already cancelled. The queue entry is removed immediately (no
-  /// tombstone); the handle check itself is O(1).
+  /// already cancelled. The handle check is O(1); so is queue removal.
   bool cancel(EventId id);
 
   /// Starts a periodic timer: first fires at `first_fire`, then every
@@ -119,23 +133,37 @@ class Simulator {
   void run_until(SimTime horizon);
 
   /// Requests that run()/run_until() return after the current event.
+  /// Same-timestamp events already drained for dispatch are put back with
+  /// their original (time, seq), so a later resume fires them identically.
   void request_stop() { stop_requested_ = true; }
 
   /// Number of events executed so far (excludes cancelled).
   std::uint64_t events_processed() const { return processed_; }
 
-  /// High-water mark of the pending-event heap over the run — the
+  /// High-water mark of the pending-event set over the run — the
   /// kernel's memory-pressure figure for the self-profiling report.
   std::size_t peak_pending() const { return peak_pending_; }
 
   /// Number of live pending events: one-shot events not yet fired or
   /// cancelled, plus one pending fire per active periodic timer. Exact —
-  /// cancelled events leave no residue in the queue.
+  /// cancelled events leave no residue.
   std::size_t pending_live() const { return live_events_; }
 
-  /// Pre-sizes the event slab and heap for `expected_events` concurrently
+  /// Pre-sizes the event slab and queue for `expected_events` concurrently
   /// pending events. Optional — both grow on demand.
   void reserve(std::size_t expected_events);
+
+  /// Batched-dispatch counters for the self-profiling report.
+  struct DispatchStats {
+    std::uint64_t batches = 0;        // dispatch rounds
+    std::uint64_t batched_events = 0; // events dispatched via those rounds
+    std::uint64_t max_batch = 0;      // largest same-timestamp drain
+  };
+  DispatchStats dispatch_stats() const { return dispatch_stats_; }
+
+  /// Queue-implementation counters (rebuilds, compactions, ...) for the
+  /// self-profiling report.
+  void queue_stats(std::vector<QueueStat>* out) const { queue_->stats(out); }
 
   // --- Snapshot/restore support (see docs/SNAPSHOT.md) -------------------
   //
@@ -143,9 +171,11 @@ class Simulator {
   // callback on the stack) records, per pending occurrence, its (time, seq)
   // pair. Restore rebuilds the pending set by re-scheduling semantically
   // identical callbacks with their *original* sequence numbers: since seqs
-  // are unique, (time, seq) is a total order and the heap pops the restored
+  // are unique, (time, seq) is a total order and the queue pops the restored
   // events in exactly the order the uninterrupted run would have — push
-  // order and slot indices are irrelevant to results.
+  // order, slot indices, and even the queue implementation are irrelevant
+  // to results (snapshots carry no queue-kind tag; a run saved under one
+  // queue restores under the other).
 
   /// (time, seq) of a pending one-shot event; nullopt if the handle is
   /// stale (already fired or cancelled). O(1) — safe to call on every entry
@@ -201,33 +231,27 @@ class Simulator {
 
   bool restoring() const { return restoring_; }
 
-  /// Full structural audit of the kernel (checked builds): 4-ary heap
-  /// ordering, slot<->position bijection, generation consistency, event and
-  /// timer slab free-list integrity, timer/event cross-links. A violation
-  /// aborts with the failing invariant. In non-DC_CHECKED builds this is a
-  /// no-op — tests may call it unconditionally. Checked builds also run it
-  /// automatically every max(1024, pending) kernel operations (amortized
-  /// O(1) per operation), so long scenarios self-audit.
+  /// Full structural audit of the kernel (checked builds): queue ordering
+  /// and slot-index invariants (delegated to the queue), generation
+  /// consistency, event and timer slab free-list integrity, timer/event
+  /// cross-links, batch accounting. A violation aborts with the failing
+  /// invariant. In non-DC_CHECKED builds this is a no-op — tests may call
+  /// it unconditionally. Checked builds also run it automatically every
+  /// max(1024, pending) kernel operations (amortized O(1) per operation),
+  /// so long scenarios self-audit.
   void audit_invariants() const;
 
  private:
   static constexpr std::uint32_t kNpos = 0xffffffffu;
+  // `link` sentinel: fits the 31-bit field. A live slot with link ==
+  // kLinkNone is a one-shot event; any other live value is the owning
+  // timer slot; on a dead slot, link is the next free slot.
+  static constexpr std::uint32_t kLinkNone = 0x7fffffffu;
 
-  // One pending occurrence in the 4-ary heap. Ordered by (time, seq); seq
-  // is a schedule counter, so equal-time events pop FIFO. Kept to 16 bytes
-  // — four nodes per cache line, so a sift level's child scan touches
-  // exactly one line. seq is 32-bit; when the counter saturates, pending
-  // nodes are renumbered in order (amortized O(1), see renumber_seqs()).
-  //
-  // `time_bits` is the time as unsigned — order-preserving because the
-  // clock starts at 0 and schedule_at rejects the past, so queued times
-  // are never negative.
-  struct HeapNode {
-    std::uint64_t time_bits;
-    std::uint32_t seq;
-    std::uint32_t slot;  // index into the event slab
-  };
-  static_assert(sizeof(HeapNode) == 16);
+  /// Same-timestamp drain bound: dispatch pulls up to this many coincident
+  /// events from the queue in one operation. Runs longer than the buffer
+  /// simply drain again at the same timestamp — order is still (time, seq).
+  static constexpr std::uint32_t kBatchMax = 16;
 
   static std::uint64_t time_key(SimTime t) {
     assert(t >= 0 && "queued times are nonnegative");
@@ -237,19 +261,22 @@ class Simulator {
     return static_cast<SimTime>(bits);
   }
 
-  // Slab slot for a pending event. `fn` is engaged for one-shot callback
-  // events; timer fire events carry `timer_slot` instead (kNpos for
-  // one-shot). `gen` tags handles so recycled slots invalidate old ids.
-  // The slot's heap position lives in the dense slot_pos_ side array, not
-  // here: sift operations update positions on every node move, and a
-  // 4-byte entry keeps that traffic off these ~100-byte slots.
+  // Slab slot for a pending event: the dispatch record. Exactly 80 bytes —
+  // the 72-byte inline callback plus one 8-byte tail word. `fn` is engaged
+  // for one-shot callback events; timer fire events carry the timer slot
+  // in `link` instead. `gen` tags handles so recycled slots invalidate old
+  // ids. `link` is overloaded by lifetime (live: timer link; dead: slab
+  // free list) — the two uses never overlap, and merging them is what
+  // keeps the slot at 80 bytes. The slot's queue position, if any, lives
+  // inside the queue implementation, not here.
   struct EventSlot {
     Callback fn;
     std::uint32_t gen = 1;
-    std::uint32_t timer_slot = kNpos;
-    std::uint32_t next_free = kNpos;
-    bool live = false;
+    std::uint32_t link : 31 = kLinkNone;
+    std::uint32_t live : 1 = 0;
   };
+  static_assert(sizeof(EventSlot) == sizeof(Callback) + 8,
+                "EventSlot tail grew past one 8-byte word");
 
   // Slab slot for a periodic timer. `firing` defers slot reuse while the
   // timer's callback is on the stack, so a callback may stop its own
@@ -295,25 +322,25 @@ class Simulator {
   }
 
   // Checked builds: count kernel operations down to the next full audit.
-  // The reset interval scales with the heap so the O(pending) walk stays
-  // amortized O(1) per schedule/cancel/step.
+  // The reset interval scales with the pending set so the O(pending) walk
+  // stays amortized O(1) per schedule/cancel/dispatch.
   void maybe_audit() {
 #if defined(DC_CHECKED)
     if (--audit_countdown_ == 0) {
       audit_invariants();
       audit_countdown_ =
-          heap_size_ > 1024 ? static_cast<std::uint64_t>(heap_size_) : 1024;
+          live_events_ > 1024 ? static_cast<std::uint64_t>(live_events_) : 1024;
     }
 #endif
   }
 
   std::uint32_t alloc_event_slot() {
-    if (free_event_ != kNpos) {
+    if (free_event_ != kLinkNone) {
       const std::uint32_t slot = free_event_;
       EventSlot& ev = event(slot);
-      free_event_ = ev.next_free;
-      ev.next_free = kNpos;
-      ev.live = true;
+      free_event_ = ev.link;
+      ev.link = kLinkNone;
+      ev.live = 1;
       return slot;
     }
     return grow_event_slab();
@@ -330,22 +357,14 @@ class Simulator {
   // fresh one.
   EventId push_event_with_seq(SimTime t, std::uint32_t slot,
                               std::uint32_t seq) {
-    if (heap_size_ == heap_cap_) grow_heap(heap_cap_ == 0 ? 1024 : heap_cap_ * 2);
-    std::size_t pos = heap_size_++;
-    if (heap_size_ > peak_pending_) peak_pending_ = heap_size_;
-    const HeapNode node{time_key(t), seq, slot};
-    // Inline sift-up: random-time inserts rarely climb more than a level
-    // or two, so the whole schedule path stays in the caller's frame.
-    while (pos > 0) {
-      const std::size_t parent = (pos - 1) >> 2;
-      if (!heap_less(node, heap_at(parent))) break;
-      heap_at(pos) = heap_at(parent);
-      slot_pos_[heap_at(pos).slot] = static_cast<std::uint32_t>(pos);
-      pos = parent;
+    const QueueNode node{time_key(t), seq, slot};
+    if (heap_ != nullptr) {
+      heap_->push(node);  // devirtualized: inlines the sift-up
+    } else {
+      queue_->push(node);
     }
-    heap_at(pos) = node;
-    slot_pos_[slot] = static_cast<std::uint32_t>(pos);
     ++live_events_;
+    if (live_events_ > peak_pending_) peak_pending_ = live_events_;
     maybe_audit();
     return make_event_id(slot, event(slot).gen);
   }
@@ -354,48 +373,44 @@ class Simulator {
   void fire_timer(std::uint32_t timer_slot, SimTime fired_at);
   void release_timer_slot(std::uint32_t slot);
 
-  // Heap storage: a 64-byte-aligned buffer with a 3-node pad in front, so
-  // the four children of logical node L (physical 4L+4..4L+7) start at a
-  // 64-byte boundary and share one cache line.
-  HeapNode& heap_at(std::size_t logical) { return heap_raw_[logical + 3]; }
-  const HeapNode& heap_at(std::size_t logical) const { return heap_raw_[logical + 3]; }
-  void grow_heap(std::size_t new_cap);
+  /// Drains and dispatches one same-timestamp batch with time <=
+  /// horizon_key. Returns false when no such batch exists (queue empty or
+  /// head beyond the horizon).
+  bool dispatch_batch(std::uint64_t horizon_key);
 
-  static bool heap_less(const HeapNode& a, const HeapNode& b) {
-    if (a.time_bits != b.time_bits) return a.time_bits < b.time_bits;
-    return a.seq < b.seq;
-  }
-  void sift_up(std::size_t pos);
-  void sift_down(std::size_t pos);
-  void heap_erase(std::size_t pos);
-  void pop_min();
+  /// Marks the (already popped, live) event in `slot` dead and invokes it.
+  void run_event(std::uint32_t slot, EventSlot& ev);
+
   void renumber_seqs();
-
-  /// The next event to fire, or nullptr when the queue is empty. Because
-  /// cancellation removes queue entries eagerly, the heap top is always
-  /// live — run_until() peeks it and step() pops it without re-finding.
-  const HeapNode* peek_next_live() const {
-    return heap_size_ == 0 ? nullptr : &heap_at(0);
-  }
-
-  /// Pops and executes the next live event. Returns false if none remain.
-  bool step();
 
   SimTime now_ = 0;
   std::uint32_t next_seq_ = 1;
   std::uint64_t processed_ = 0;
   std::size_t live_events_ = 0;
+  std::size_t peak_pending_ = 0;
   bool stop_requested_ = false;
   bool restoring_ = false;
 
-  HeapNode* heap_raw_ = nullptr;  // aligned_alloc'd; [0..2] is the pad
-  std::size_t heap_size_ = 0;
-  std::size_t peak_pending_ = 0;
-  std::size_t heap_cap_ = 0;
+  std::unique_ptr<EventQueue> queue_;
+  // Non-null iff queue_ is the (final) HeapEventQueue: the hot paths call
+  // through this typed pointer so the heap's inline push/min/find_slot
+  // compile straight into them instead of going through the vtable.
+  HeapEventQueue* heap_ = nullptr;
+
+  // The in-flight batch: events drained from the queue but not yet
+  // dispatched. Member state (not dispatch_batch locals) so cancel() can
+  // account for a mid-batch cancellation and renumber_seqs() can renumber
+  // entries that may be re-pushed by request_stop().
+  QueueNode batch_[kBatchMax];
+  std::uint32_t batch_gens_[kBatchMax];
+  std::uint32_t batch_i_ = 0;        // next entry to dispatch
+  std::uint32_t batch_n_ = 0;        // drained entries
+  std::size_t batch_inflight_ = 0;   // drained, not yet dispatched/cancelled
+  DispatchStats dispatch_stats_;
+
   std::vector<std::unique_ptr<EventSlot[]>> event_chunks_;
-  std::vector<std::uint32_t> slot_pos_;  // event slot -> logical heap index
-  std::uint32_t event_slots_used_ = 0;   // high-water mark across chunks
-  std::uint32_t free_event_ = kNpos;
+  std::uint32_t event_slots_used_ = 0;  // high-water mark across chunks
+  std::uint32_t free_event_ = kLinkNone;
   std::vector<std::unique_ptr<TimerSlot[]>> timer_chunks_;
   std::uint32_t timer_slots_used_ = 0;
   std::uint32_t free_timer_ = kNpos;

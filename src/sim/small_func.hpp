@@ -32,10 +32,17 @@ class SmallFunc;
 template <typename R, typename... Args, std::size_t Capacity>
 class SmallFunc<R(Args...), Capacity> {
  public:
+  /// Inline storage alignment. 8 rather than alignof(std::max_align_t):
+  /// simulator callbacks capture pointers, indices, and SimTimes, none of
+  /// which need 16-byte alignment, and the tighter bound is what lets the
+  /// event slot close at exactly 80 bytes (no padding tail after the
+  /// callable). Over-aligned callables simply take the heap fallback.
+  static constexpr std::size_t kStorageAlign = 8;
+
   /// True when callable F is stored inline (no heap allocation).
   template <typename F>
   static constexpr bool stores_inline =
-      sizeof(F) <= Capacity && alignof(F) <= alignof(std::max_align_t) &&
+      sizeof(F) <= Capacity && alignof(F) <= kStorageAlign &&
       std::is_nothrow_move_constructible_v<F>;
 
   SmallFunc() noexcept = default;
@@ -142,7 +149,7 @@ class SmallFunc<R(Args...), Capacity> {
     }
   }
 
-  alignas(std::max_align_t) unsigned char buf_[Capacity];
+  alignas(kStorageAlign) unsigned char buf_[Capacity];
   R (*invoke_)(void*, Args...) = nullptr;
   void (*relocate_)(void* dst, void* src) noexcept = nullptr;
   void (*destroy_)(void*) noexcept = nullptr;

@@ -113,19 +113,24 @@ struct Artifacts {
 };
 
 // googletest: ASSERT_* needs a void return, so results land in `out`.
-void run_experiment(const char* dc_threads, Artifacts* out) {
+// `queue` selects the kernel scheduler queue — both implementations must
+// produce byte-identical artifacts (see src/sim/event_queue.hpp).
+void run_experiment(const char* dc_threads, sim::QueueKind queue,
+                    Artifacts* out) {
   ASSERT_EQ(setenv("DC_THREADS", dc_threads, /*overwrite=*/1), 0)
       << "setenv failed";
   const core::ConsolidationWorkload workload = make_workload();
 
   // The four systems evaluated concurrently on the sweep pool — the same
   // shape as the figure benches.
+  core::RunOptions options;
+  options.queue = queue;
   const std::vector<core::SystemModel> models = {
       core::SystemModel::kDcs, core::SystemModel::kSsp, core::SystemModel::kDrp,
       core::SystemModel::kDawningCloud};
   const std::vector<core::SystemResult> systems =
       parallel_map_index<core::SystemResult>(models.size(), [&](std::size_t i) {
-        return core::run_system(models[i], workload);
+        return core::run_system(models[i], workload, options);
       });
 
   Artifacts& artifacts = *out;
@@ -156,11 +161,12 @@ void run_experiment(const char* dc_threads, Artifacts* out) {
 }
 
 // Saves/restores DC_THREADS around one experiment run.
-void run_experiment_into(const char* dc_threads, Artifacts* out) {
+void run_experiment_into(const char* dc_threads, Artifacts* out,
+                         sim::QueueKind queue = sim::QueueKind::kHeap) {
   *out = Artifacts{};
   const char* saved = std::getenv("DC_THREADS");
   const std::string saved_value = saved == nullptr ? "" : saved;
-  run_experiment(dc_threads, out);
+  run_experiment(dc_threads, queue, out);
   // Restore so later tests see the environment they started with.
   if (saved == nullptr) {
     unsetenv("DC_THREADS");
@@ -181,6 +187,32 @@ TEST(Determinism, SameSeedSameResultAcrossThreadCounts) {
   EXPECT_EQ(single.csv, pooled.csv);
   EXPECT_EQ(single.invoices, pooled.invoices);
   EXPECT_EQ(single.digest, pooled.digest);
+}
+
+// Same contract under the calendar queue: the scheduler-queue choice must
+// be invisible to results, and the pool size must stay invisible under it.
+TEST(Determinism, CalendarQueueIsDeterministicAcrossThreadCounts) {
+  Artifacts single;
+  Artifacts pooled;
+  run_experiment_into("1", &single, sim::QueueKind::kCalendar);
+  run_experiment_into("4", &pooled, sim::QueueKind::kCalendar);
+  EXPECT_EQ(single.tables, pooled.tables);
+  EXPECT_EQ(single.csv, pooled.csv);
+  EXPECT_EQ(single.invoices, pooled.invoices);
+  EXPECT_EQ(single.digest, pooled.digest);
+}
+
+// The queue-independence contract itself: heap and calendar runs of the
+// full four-system experiment render byte-identical artifacts.
+TEST(Determinism, HeapAndCalendarQueuesProduceByteIdenticalArtifacts) {
+  Artifacts heap;
+  Artifacts calendar;
+  run_experiment_into("4", &heap, sim::QueueKind::kHeap);
+  run_experiment_into("4", &calendar, sim::QueueKind::kCalendar);
+  EXPECT_EQ(heap.tables, calendar.tables);
+  EXPECT_EQ(heap.csv, calendar.csv);
+  EXPECT_EQ(heap.invoices, calendar.invoices);
+  EXPECT_EQ(heap.digest, calendar.digest);
 }
 
 // A Montage campaign on a fixed MTC server with a seeded failure domain

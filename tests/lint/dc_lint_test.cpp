@@ -192,6 +192,48 @@ TEST(DcLintR7, RealInstrumentedSubsystemsAreClean) {
   }
 }
 
+TEST(DcLintR8, FlagsFloatMathAndHashStorageOnlyInQueueSources) {
+  const std::string source = fixture("r8_queue_math.cpp");
+
+  // Linted as a scheduler-queue source: double/float tokens and the
+  // unordered_map all fire.
+  const auto queue = dc_lint::lint_source("src/sim/r8_queue_math.cpp", source);
+  expect_all_rule(queue, "dc-r8", "error");
+  EXPECT_EQ(lines_of(queue), (std::vector<int>{13, 18, 24}));
+  EXPECT_EQ(queue.waived, 1);  // the NOLINT'd stats-only average
+
+  // The same source under a src/sim path WITHOUT "queue" in it is clean:
+  // the rule only polices the pluggable event queues.
+  const auto plain = dc_lint::lint_source("src/sim/r8_bucket_math.cpp", source);
+  EXPECT_TRUE(plain.diagnostics.empty()) << dc_lint::to_human(plain.diagnostics);
+
+  // And outside src/sim entirely (the fixture's real home) it is clean too.
+  const auto cold =
+      dc_lint::lint_source("tests/lint/fixtures/r8_queue_math.cpp", source);
+  EXPECT_TRUE(cold.diagnostics.empty());
+  EXPECT_EQ(cold.waived, 0);
+}
+
+TEST(DcLintR8, RealQueueSourcesAreIntegerOnly) {
+  // The shipped event queues must satisfy the rule the fixture
+  // demonstrates: all bucket/heap math is integer-only, no hash storage.
+  for (const char* rel : {"/../../../src/sim/event_queue.hpp",
+                          "/../../../src/sim/event_queue.cpp",
+                          "/../../../src/sim/calendar_queue.hpp",
+                          "/../../../src/sim/calendar_queue.cpp"}) {
+    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string display =
+        std::string("src/") + (rel + sizeof("/../../../src/") - 1);
+    const auto result = dc_lint::lint_source(display, buf.str());
+    EXPECT_TRUE(result.diagnostics.empty())
+        << display << ":\n" << dc_lint::to_human(result.diagnostics);
+  }
+}
+
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {
   const auto result = dc_lint::lint_source("tests/lint/fixtures/clean.cpp",
                                            fixture("clean.cpp"));

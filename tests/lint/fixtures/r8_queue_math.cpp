@@ -1,0 +1,30 @@
+// Fixture: dc-r8 violations — floating-point bucket math and hash storage
+// in scheduler-queue sources. The test lints this file under the display
+// path "src/sim/r8_queue_math.cpp" (hot path + "queue" in the name) so the
+// path-gated rule applies.
+// Expected: 3 diagnostics (lines 13, 18, 24), 1 waived (line 28).
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fake_queue {
+
+// Violation: floating-point bucket width.
+double bucket_width = 4.0;
+
+std::uint64_t index_for(std::uint64_t time_bits, std::uint64_t start) {
+  // Violation: a float cast in the bucket-index computation — rounding is
+  // platform-dependent at the bucket boundary.
+  const auto scaled = static_cast<float>(time_bits - start);
+  return static_cast<std::uint64_t>(scaled / bucket_width);
+}
+
+// Violation: hash-ordered slot lookup on the dispatch critical path.
+struct SlotIndex {
+  std::unordered_map<std::uint32_t, std::uint64_t> time_of_slot;
+};
+
+// Waived: a stats-only occupancy average, never consulted by dispatch.
+double mean_occupancy = 0.0;  // NOLINT(dc-r8)
+
+}  // namespace fake_queue

@@ -1,0 +1,344 @@
+// Randomized differential test: the heap and calendar queues must produce
+// the same dispatch order for any operation stream. Both Simulators are
+// driven with an identical seeded mix of schedules, cancels, periodic
+// timers, stops, schedule-from-callback bursts, and a mid-stream
+// kernel-level snapshot/restore (including restoring under the *other*
+// queue), and the full execution logs are compared byte for byte. This is
+// the contract that makes `--queue` a pure performance choice.
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/calendar_queue.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/simulator.hpp"
+
+namespace dc::sim {
+namespace {
+
+// Deterministic 64-bit mix (splitmix64): the same op stream on every
+// platform, no <random> distribution variance.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() {
+    state_ += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  std::uint64_t below(std::uint64_t bound) { return next() % bound; }
+
+ private:
+  std::uint64_t state_;
+};
+
+// One driven kernel: applies the op stream and logs every fired event as
+// "tag@time;" so two kernels can be compared exactly.
+struct Driver {
+  explicit Driver(QueueKind kind) : sim(kind) {}
+
+  Simulator sim;
+  std::ostringstream log;
+  // Live one-shot handles, keyed by tag so both drivers pick the same
+  // cancellation victims. std::map: deterministic iteration order.
+  std::map<std::uint64_t, EventId> pending;
+  std::vector<TimerId> timers;
+
+  void schedule(std::uint64_t tag, SimTime t) {
+    pending[tag] = sim.schedule_at(t, [this, tag] {
+      log << tag << '@' << sim.now() << ';';
+      pending.erase(tag);
+    });
+  }
+
+  // A callback that schedules follow-ups, some at its own timestamp —
+  // exercising same-timestamp FIFO across the batch boundary.
+  void schedule_fanout(std::uint64_t tag, SimTime t, std::uint32_t n) {
+    pending[tag] = sim.schedule_at(t, [this, tag, n] {
+      log << "F" << tag << '@' << sim.now() << ';';
+      pending.erase(tag);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        schedule(tag * 1000 + i, sim.now() + (i % 2));
+      }
+    });
+  }
+};
+
+struct OpStream {
+  std::uint64_t seed;
+  std::uint32_t ops;
+};
+
+// Applies the same seeded operation mix to `a` and `b`, advancing both in
+// lockstep through run_until chunks.
+void drive_pair(Driver& a, Driver& b, const OpStream& spec) {
+  Rng rng(spec.seed);
+  std::uint64_t tag = 1;
+  SimTime horizon = 0;
+  for (std::uint32_t op = 0; op < spec.ops; ++op) {
+    const std::uint64_t kind = rng.below(100);
+    if (kind < 45) {
+      const SimTime t = horizon + static_cast<SimTime>(rng.below(5000));
+      const std::uint64_t this_tag = tag++;
+      a.schedule(this_tag, t);
+      b.schedule(this_tag, t);
+    } else if (kind < 55) {
+      const SimTime t = horizon + static_cast<SimTime>(rng.below(500));
+      const std::uint32_t fan = 1 + static_cast<std::uint32_t>(rng.below(6));
+      const std::uint64_t this_tag = tag++;
+      a.schedule_fanout(this_tag, t, fan);
+      b.schedule_fanout(this_tag, t, fan);
+    } else if (kind < 70) {
+      // Cancel the same victim in both (if any survive).
+      if (!a.pending.empty()) {
+        const std::uint64_t pick = rng.below(a.pending.size());
+        auto it_a = a.pending.begin();
+        std::advance(it_a, static_cast<std::ptrdiff_t>(pick));
+        const std::uint64_t victim = it_a->first;
+        ASSERT_EQ(b.pending.count(victim), 1u);
+        const bool ca = a.sim.cancel(it_a->second);
+        const bool cb = b.sim.cancel(b.pending[victim]);
+        ASSERT_EQ(ca, cb);
+        a.pending.erase(victim);
+        b.pending.erase(victim);
+      }
+    } else if (kind < 80) {
+      const SimTime first = horizon + 1 + static_cast<SimTime>(rng.below(50));
+      const SimDuration period = 1 + static_cast<SimDuration>(rng.below(40));
+      const std::uint64_t this_tag = tag++;
+      a.timers.push_back(a.sim.start_periodic(
+          first, period,
+          [&a, this_tag](SimTime t) { a.log << 'T' << this_tag << '@' << t << ';'; }));
+      b.timers.push_back(b.sim.start_periodic(
+          first, period,
+          [&b, this_tag](SimTime t) { b.log << 'T' << this_tag << '@' << t << ';'; }));
+    } else if (kind < 88) {
+      if (!a.timers.empty()) {
+        const std::size_t pick = rng.below(a.timers.size());
+        const bool sa = a.sim.stop_timer(a.timers[pick]);
+        const bool sb = b.sim.stop_timer(b.timers[pick]);
+        ASSERT_EQ(sa, sb);
+        a.timers.erase(a.timers.begin() + static_cast<std::ptrdiff_t>(pick));
+        b.timers.erase(b.timers.begin() + static_cast<std::ptrdiff_t>(pick));
+      }
+    } else {
+      // Advance both kernels one chunk.
+      horizon += static_cast<SimTime>(1 + rng.below(2000));
+      a.sim.run_until(horizon);
+      b.sim.run_until(horizon);
+      ASSERT_EQ(a.log.str(), b.log.str())
+          << "divergence before t=" << horizon << " (op " << op << ")";
+    }
+  }
+  // Stop all timers so run() terminates, then drain both queues fully.
+  for (std::size_t i = 0; i < a.timers.size(); ++i) {
+    a.sim.stop_timer(a.timers[i]);
+    b.sim.stop_timer(b.timers[i]);
+  }
+  a.sim.run();
+  b.sim.run();
+  EXPECT_EQ(a.log.str(), b.log.str());
+  EXPECT_EQ(a.sim.events_processed(), b.sim.events_processed());
+  EXPECT_EQ(a.sim.pending_live(), b.sim.pending_live());
+  a.sim.audit_invariants();
+  b.sim.audit_invariants();
+}
+
+TEST(QueueDifferential, HeapAndCalendarAgreeOnRandomOpStreams) {
+  for (const std::uint64_t seed : {7ull, 1337ull, 0xdecafull}) {
+    Driver heap(QueueKind::kHeap);
+    Driver calendar(QueueKind::kCalendar);
+    drive_pair(heap, calendar, OpStream{seed, 4000});
+  }
+}
+
+TEST(QueueDifferential, CancelHeavyStreamsAgree) {
+  // Bias the mix toward cancels by scheduling then cancelling in bursts:
+  // the calendar queue's tombstone + compaction path vs the heap's eager
+  // excision must still pop identically.
+  Driver heap(QueueKind::kHeap);
+  Driver calendar(QueueKind::kCalendar);
+  Rng rng(99);
+  std::uint64_t tag = 1;
+  for (int round = 0; round < 200; ++round) {
+    std::vector<std::uint64_t> burst;
+    for (int i = 0; i < 40; ++i) {
+      const SimTime t =
+          heap.sim.now() + static_cast<SimTime>(rng.below(300));
+      const std::uint64_t this_tag = tag++;
+      heap.schedule(this_tag, t);
+      calendar.schedule(this_tag, t);
+      burst.push_back(this_tag);
+    }
+    for (const std::uint64_t victim : burst) {
+      if (rng.below(100) < 70 && heap.pending.count(victim) != 0) {
+        heap.sim.cancel(heap.pending[victim]);
+        calendar.sim.cancel(calendar.pending[victim]);
+        heap.pending.erase(victim);
+        calendar.pending.erase(victim);
+      }
+    }
+    const SimTime horizon = heap.sim.now() + static_cast<SimTime>(rng.below(150));
+    heap.sim.run_until(horizon);
+    calendar.sim.run_until(horizon);
+    ASSERT_EQ(heap.log.str(), calendar.log.str()) << "round " << round;
+  }
+  heap.sim.run();
+  calendar.sim.run();
+  EXPECT_EQ(heap.log.str(), calendar.log.str());
+}
+
+// Kernel-level snapshot/restore mid-stream: capture (time, seq) of every
+// pending one-shot at a quiescent point, rebuild on a virgin kernel of
+// `restore_kind`, and check the continuation matches the uninterrupted
+// original — including restoring under the other queue implementation.
+void snapshot_midstream(QueueKind run_kind, QueueKind restore_kind) {
+  Driver original(run_kind);
+  Rng rng(4242);
+  // Phase 1: build up state and advance partway.
+  for (int i = 0; i < 500; ++i) {
+    original.schedule(static_cast<std::uint64_t>(i),
+                      static_cast<SimTime>(rng.below(10000)));
+  }
+  original.sim.run_until(3000);
+
+  // Quiescent capture.
+  struct Saved {
+    std::uint64_t tag;
+    SimTime time;
+    std::uint32_t seq;
+  };
+  std::vector<Saved> saved;
+  for (const auto& [tag, id] : original.pending) {
+    const auto info = original.sim.pending_event_info(id);
+    ASSERT_TRUE(info.has_value());
+    saved.push_back(Saved{tag, info->time, info->seq});
+  }
+  const SimTime saved_now = original.sim.now();
+  const std::uint32_t saved_next_seq = original.sim.next_seq();
+  const std::uint64_t saved_processed = original.sim.events_processed();
+
+  // Restore onto a virgin kernel of the other (or same) kind.
+  Driver resumed(restore_kind);
+  resumed.sim.begin_restore(saved_now, saved_next_seq, saved_processed);
+  for (const Saved& s : saved) {
+    const std::uint64_t tag = s.tag;
+    resumed.pending[tag] = resumed.sim.restore_event(s.time, s.seq, [&resumed, tag] {
+      resumed.log << tag << '@' << resumed.sim.now() << ';';
+      resumed.pending.erase(tag);
+    });
+  }
+  ASSERT_TRUE(resumed.sim.finish_restore(saved.size()).is_ok());
+
+  // Phase 2: identical continuation on both kernels.
+  original.log.str("");
+  Rng cont_a(777);
+  Rng cont_b(777);
+  auto continue_on = [](Driver& d, Rng& rng2) {
+    std::uint64_t tag = 100000;
+    for (int i = 0; i < 300; ++i) {
+      d.schedule(tag++, d.sim.now() + static_cast<SimTime>(rng2.below(4000)));
+    }
+    d.sim.run();
+  };
+  continue_on(original, cont_a);
+  continue_on(resumed, cont_b);
+  EXPECT_EQ(original.log.str(), resumed.log.str());
+  EXPECT_EQ(original.sim.events_processed(), resumed.sim.events_processed());
+}
+
+TEST(QueueDifferential, SnapshotRestoreMidStreamHeapToCalendar) {
+  snapshot_midstream(QueueKind::kHeap, QueueKind::kCalendar);
+}
+
+TEST(QueueDifferential, SnapshotRestoreMidStreamCalendarToHeap) {
+  snapshot_midstream(QueueKind::kCalendar, QueueKind::kHeap);
+}
+
+TEST(QueueDifferential, SnapshotRestoreMidStreamCalendarToCalendar) {
+  snapshot_midstream(QueueKind::kCalendar, QueueKind::kCalendar);
+}
+
+TEST(QueueKindNames, RoundTrip) {
+  EXPECT_STREQ(queue_kind_name(QueueKind::kHeap), "heap");
+  EXPECT_STREQ(queue_kind_name(QueueKind::kCalendar), "calendar");
+  EXPECT_EQ(parse_queue_kind("heap"), QueueKind::kHeap);
+  EXPECT_EQ(parse_queue_kind("calendar"), QueueKind::kCalendar);
+  EXPECT_EQ(parse_queue_kind("fifo"), std::nullopt);
+}
+
+// The drain strategy is observable through dispatch_stats(): the calendar
+// queue batches coincident timestamps (its sorted bucket makes pop_batch a
+// copy), the heap dispatches per-event (one sift-down per node either
+// way), and the event count must reconcile exactly under both.
+TEST(BatchedDispatch, CoincidentEventsShareABatchUnderTheCalendar) {
+  for (const QueueKind kind : {QueueKind::kHeap, QueueKind::kCalendar}) {
+    Simulator sim(kind);
+    int fired = 0;
+    for (int i = 0; i < 8; ++i) sim.schedule_at(100, [&fired] { ++fired; });
+    for (int i = 0; i < 3; ++i) sim.schedule_at(200, [&fired] { ++fired; });
+    sim.schedule_at(50, [&fired] { ++fired; });
+    sim.run();
+    EXPECT_EQ(fired, 12);
+    const auto stats = sim.dispatch_stats();
+    EXPECT_EQ(stats.batched_events, 12u);
+    if (kind == QueueKind::kCalendar) {
+      EXPECT_EQ(stats.batches, 3u);  // t=50 (1), t=100 (8), t=200 (3)
+      EXPECT_EQ(stats.max_batch, 8u);
+    } else {
+      EXPECT_EQ(stats.batches, 12u);  // per-event: every round a singleton
+      EXPECT_EQ(stats.max_batch, 1u);
+    }
+  }
+}
+
+// request_stop() mid-batch must re-queue the undispatched same-timestamp
+// remainder with original order preserved across the resume.
+TEST(BatchedDispatch, StopMidBatchResumesInOrder) {
+  for (const QueueKind kind : {QueueKind::kHeap, QueueKind::kCalendar}) {
+    Simulator sim(kind);
+    std::ostringstream log;
+    for (int i = 0; i < 10; ++i) {
+      sim.schedule_at(5, [&, i] {
+        log << i << ';';
+        if (i == 3) sim.request_stop();
+      });
+    }
+    sim.run();
+    EXPECT_EQ(log.str(), "0;1;2;3;");
+    EXPECT_EQ(sim.pending_live(), 6u);
+    sim.run();
+    EXPECT_EQ(log.str(), "0;1;2;3;4;5;6;7;8;9;");
+    EXPECT_EQ(sim.pending_live(), 0u);
+  }
+}
+
+// A batch sibling cancelling a later same-timestamp event: the victim
+// must not fire even though it was already drained into the batch.
+TEST(BatchedDispatch, SiblingCancelWithinBatch) {
+  for (const QueueKind kind : {QueueKind::kHeap, QueueKind::kCalendar}) {
+    Simulator sim(kind);
+    std::ostringstream log;
+    EventId victim = kInvalidEvent;
+    sim.schedule_at(7, [&] {
+      log << "killer;";
+      EXPECT_TRUE(sim.cancel(victim));
+    });
+    victim = sim.schedule_at(7, [&] { log << "victim;"; });
+    sim.schedule_at(7, [&] { log << "tail;"; });
+    sim.run();
+    EXPECT_EQ(log.str(), "killer;tail;");
+    EXPECT_EQ(sim.events_processed(), 2u);
+    sim.audit_invariants();
+  }
+}
+
+}  // namespace
+}  // namespace dc::sim

@@ -1,0 +1,102 @@
+// bench_gate: CI perf-regression gate.
+//
+//   bench_gate <fresh-report.json> <baseline.json> [--label NAME]
+//              [--threshold FRACTION]
+//
+// Compares a fresh google-benchmark JSON report against the `--label`
+// section (default "current") of a committed baseline file such as
+// BENCH_kernel.json. For every benchmark present in the baseline it checks
+// items_per_second (may drop at most `--threshold`) and profile_*_ns
+// counters (may grow at most `--threshold`). Baseline benchmarks missing
+// from the fresh report are reported as skipped, not failed, so a filtered
+// bench run stays usable.
+//
+// Exit codes: 0 = within threshold, 1 = regression detected,
+// 2 = usage / IO / malformed-input error.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "bench_report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: bench_gate <fresh-report.json> <baseline.json>\n"
+               "                  [--label NAME] [--threshold FRACTION]\n");
+  return 2;
+}
+
+dc_bench::JsonPtr load_json(const std::string& path) {
+  std::ifstream file(path);
+  if (!file) {
+    std::fprintf(stderr, "bench_gate: cannot read %s\n", path.c_str());
+    return nullptr;
+  }
+  std::stringstream text;
+  text << file.rdbuf();
+  std::string error;
+  dc_bench::JsonPtr parsed = dc_bench::parse_json(text.str(), &error);
+  if (parsed == nullptr) {
+    std::fprintf(stderr, "bench_gate: %s: %s\n", path.c_str(), error.c_str());
+  }
+  return parsed;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string fresh_path;
+  std::string baseline_path;
+  dc_bench::GateOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--label") {
+      if (++i >= argc) return usage();
+      options.label = argv[i];
+    } else if (arg == "--threshold") {
+      if (++i >= argc) return usage();
+      char* end = nullptr;
+      options.threshold = std::strtod(argv[i], &end);
+      if (end == argv[i] || *end != '\0' || options.threshold < 0 ||
+          options.threshold >= 1) {
+        std::fprintf(stderr, "bench_gate: --threshold wants a fraction in [0, 1)\n");
+        return 2;
+      }
+    } else if (fresh_path.empty()) {
+      fresh_path = arg;
+    } else if (baseline_path.empty()) {
+      baseline_path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (fresh_path.empty() || baseline_path.empty()) return usage();
+
+  dc_bench::JsonPtr fresh = load_json(fresh_path);
+  if (fresh == nullptr) return 2;
+  dc_bench::JsonPtr baseline = load_json(baseline_path);
+  if (baseline == nullptr) return 2;
+
+  dc_bench::GateReport report;
+  std::string error;
+  if (!dc_bench::gate_compare(*fresh, *baseline, options, &report, &error)) {
+    std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("bench_gate: baseline %s [%s], threshold %.0f%%\n",
+              baseline_path.c_str(), options.label.c_str(),
+              options.threshold * 100.0);
+  std::fputs(dc_bench::format_gate_report(report).c_str(), stdout);
+  if (report.regressions > 0) {
+    std::printf("bench_gate: FAIL — %d metric(s) regressed beyond %.0f%%\n",
+                report.regressions, options.threshold * 100.0);
+    return 1;
+  }
+  std::printf("bench_gate: OK — %zu metric(s) within threshold, %zu skipped\n",
+              report.comparisons.size(), report.skipped.size());
+  return 0;
+}

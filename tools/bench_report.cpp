@@ -1,0 +1,459 @@
+#include "bench_report.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <ostream>
+#include <stdexcept>
+
+namespace dc_bench {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : src_(src) {}
+
+  JsonPtr parse() {
+    JsonPtr v = value();
+    skip_ws();
+    if (pos_ != src_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("JSON parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < src_.size() &&
+           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= src_.size()) fail("unexpected end of input");
+    return src_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < src_.size() && src_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonPtr value() {
+    skip_ws();
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Json::str(string());
+      case 't':
+      case 'f':
+        return boolean();
+      case 'n':
+        literal("null");
+        return Json::make(Json::Kind::kNull);
+      default:
+        return number();
+    }
+  }
+
+  void literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p) expect(*p);
+  }
+
+  JsonPtr boolean() {
+    auto v = Json::make(Json::Kind::kBool);
+    if (peek() == 't') {
+      literal("true");
+      v->boolean = true;
+    } else {
+      literal("false");
+    }
+    return v;
+  }
+
+  JsonPtr number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
+            src_[pos_] == '+' || src_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    return Json::num_raw(src_.substr(start, pos_ - start));
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= src_.size()) fail("unterminated string");
+      const char c = src_[pos_++];
+      if (c == '"') break;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= src_.size()) fail("unterminated escape");
+      const char esc = src_[pos_++];
+      switch (esc) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          // Benchmark names are ASCII; keep non-BMP handling out of scope
+          // and pass the escape through verbatim.
+          if (pos_ + 4 > src_.size()) fail("bad \\u escape");
+          out += "\\u" + src_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("bad escape");
+      }
+    }
+    return out;
+  }
+
+  JsonPtr array() {
+    expect('[');
+    auto v = Json::make(Json::Kind::kArray);
+    skip_ws();
+    if (consume(']')) return v;
+    while (true) {
+      v->items.push_back(value());
+      skip_ws();
+      if (consume(']')) return v;
+      expect(',');
+    }
+  }
+
+  JsonPtr object() {
+    expect('{');
+    auto v = Json::make(Json::Kind::kObject);
+    skip_ws();
+    if (consume('}')) return v;
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v->members.emplace_back(std::move(key), value());
+      skip_ws();
+      if (consume('}')) return v;
+      expect(',');
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+};
+
+void write_escaped(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      default: os << c;
+    }
+  }
+  os << '"';
+}
+
+bool starts_with(const std::string& text, const char* prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::char_traits<char>::length(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+}  // namespace
+
+JsonPtr Json::make(Kind k) {
+  auto v = std::make_shared<Json>();
+  v->kind = k;
+  return v;
+}
+
+JsonPtr Json::str(std::string s) {
+  auto v = make(Kind::kString);
+  v->text = std::move(s);
+  return v;
+}
+
+JsonPtr Json::num_raw(std::string raw) {
+  auto v = make(Kind::kNumber);
+  v->number = std::strtod(raw.c_str(), nullptr);
+  v->text = std::move(raw);
+  return v;
+}
+
+const Json* Json::find(const std::string& key) const {
+  for (const auto& [k, v] : members) {
+    if (k == key) return v.get();
+  }
+  return nullptr;
+}
+
+void Json::set(const std::string& key, JsonPtr value) {
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  members.emplace_back(key, std::move(value));
+}
+
+JsonPtr parse_json(const std::string& src, std::string* error) {
+  try {
+    return Parser(src).parse();
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+}
+
+void dump_json(std::ostream& os, const Json& v, int indent) {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string pad_in(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (v.kind) {
+    case Json::Kind::kNull:
+      os << "null";
+      break;
+    case Json::Kind::kBool:
+      os << (v.boolean ? "true" : "false");
+      break;
+    case Json::Kind::kNumber:
+      os << v.text;
+      break;
+    case Json::Kind::kString:
+      write_escaped(os, v.text);
+      break;
+    case Json::Kind::kArray:
+      if (v.items.empty()) {
+        os << "[]";
+        break;
+      }
+      os << "[\n";
+      for (std::size_t i = 0; i < v.items.size(); ++i) {
+        os << pad_in;
+        dump_json(os, *v.items[i], indent + 1);
+        os << (i + 1 < v.items.size() ? ",\n" : "\n");
+      }
+      os << pad << ']';
+      break;
+    case Json::Kind::kObject:
+      if (v.members.empty()) {
+        os << "{}";
+        break;
+      }
+      os << "{\n";
+      for (std::size_t i = 0; i < v.members.size(); ++i) {
+        os << pad_in;
+        write_escaped(os, v.members[i].first);
+        os << ": ";
+        dump_json(os, *v.members[i].second, indent + 1);
+        os << (i + 1 < v.members.size() ? ",\n" : "\n");
+      }
+      os << pad << '}';
+      break;
+  }
+}
+
+std::string round_number(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+JsonPtr condense_report(const Json& report) {
+  auto section = Json::make(Json::Kind::kObject);
+
+  auto context = Json::make(Json::Kind::kObject);
+  if (const Json* ctx = report.find("context")) {
+    for (const char* key :
+         {"date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type"}) {
+      if (const Json* field = ctx->find(key)) {
+        auto copy = std::make_shared<Json>(*field);
+        context->set(key, std::move(copy));
+      }
+    }
+  }
+  section->set("context", std::move(context));
+
+  auto runs = Json::make(Json::Kind::kArray);
+  const Json* benchmarks = report.find("benchmarks");
+  if (benchmarks == nullptr || benchmarks->kind != Json::Kind::kArray) {
+    throw std::runtime_error("report has no \"benchmarks\" array");
+  }
+  for (const JsonPtr& bench : benchmarks->items) {
+    // Keep only plain iterations (skip mean/median/stddev aggregates of
+    // repeated runs) so the section is one record per benchmark.
+    if (const Json* rt = bench->find("run_type");
+        rt != nullptr && rt->text != "iteration") {
+      continue;
+    }
+    auto rec = Json::make(Json::Kind::kObject);
+    if (const Json* name = bench->find("name")) {
+      rec->set("name", Json::str(name->text));
+    }
+    const Json* unit = bench->find("time_unit");
+    for (const char* key : {"real_time", "cpu_time"}) {
+      if (const Json* t = bench->find(key)) {
+        rec->set(std::string(key) + "_" + (unit != nullptr ? unit->text : "ns"),
+                 Json::num_raw(round_number(t->number, 1)));
+      }
+    }
+    if (const Json* ips = bench->find("items_per_second")) {
+      rec->set("items_per_second", Json::num_raw(round_number(ips->number, 0)));
+    }
+    if (const Json* iters = bench->find("iterations")) {
+      rec->set("iterations", Json::num_raw(iters->text));
+    }
+    // Pass through numeric user counters (e.g. the availability ablation's
+    // goodput/wasted/availability fields) verbatim, skipping the structural
+    // fields gbench attaches to every record.
+    static const char* kStructural[] = {
+        "real_time",     "cpu_time",         "items_per_second",
+        "iterations",    "family_index",     "per_family_instance_index",
+        "repetitions",   "repetition_index", "threads"};
+    for (const auto& [key, value] : bench->members) {
+      if (value->kind != Json::Kind::kNumber) continue;
+      bool structural = false;
+      for (const char* field : kStructural) {
+        if (key == field) {
+          structural = true;
+          break;
+        }
+      }
+      if (!structural && rec->find(key) == nullptr) {
+        rec->set(key, Json::num_raw(value->text));
+      }
+    }
+    runs->items.push_back(std::move(rec));
+  }
+  section->set("benchmarks", std::move(runs));
+  return section;
+}
+
+// ---------------------------------------------------------------------------
+// Gate.
+
+bool gate_compare(const Json& fresh_report, const Json& baseline_file,
+                  const GateOptions& options, GateReport* report,
+                  std::string* error) {
+  const Json* section = baseline_file.find(options.label);
+  if (section == nullptr || section->kind != Json::Kind::kObject) {
+    if (error != nullptr) {
+      *error = "baseline has no \"" + options.label + "\" section";
+    }
+    return false;
+  }
+  const Json* baseline_runs = section->find("benchmarks");
+  if (baseline_runs == nullptr || baseline_runs->kind != Json::Kind::kArray) {
+    if (error != nullptr) {
+      *error = "baseline section \"" + options.label +
+               "\" has no \"benchmarks\" array";
+    }
+    return false;
+  }
+  JsonPtr fresh_section;
+  try {
+    fresh_section = condense_report(fresh_report);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = std::string("fresh report: ") + e.what();
+    return false;
+  }
+  const Json* fresh_runs = fresh_section->find("benchmarks");
+
+  // Matching is by full benchmark name: parameterized names keep every
+  // '/' segment ("BM_EventQueueThroughput/calendar/65536").
+  auto find_fresh = [&](const std::string& name) -> const Json* {
+    for (const JsonPtr& run : fresh_runs->items) {
+      if (const Json* n = run->find("name"); n != nullptr && n->text == name) {
+        return run.get();
+      }
+    }
+    return nullptr;
+  };
+
+  for (const JsonPtr& base : baseline_runs->items) {
+    const Json* name = base->find("name");
+    if (name == nullptr) continue;
+    const Json* fresh = find_fresh(name->text);
+    if (fresh == nullptr) {
+      report->skipped.push_back(name->text);
+      continue;
+    }
+    for (const auto& [metric, base_value] : base->members) {
+      if (base_value->kind != Json::Kind::kNumber) continue;
+      // Throughput must not drop; kernel phase totals must not grow.
+      // Everything else in a record (times, iterations, behavioral
+      // counters) is either redundant with these or not a perf signal.
+      const bool higher_is_better = metric == "items_per_second";
+      const bool lower_is_better =
+          starts_with(metric, "profile_") && ends_with(metric, "_ns");
+      if (!higher_is_better && !lower_is_better) continue;
+      const Json* fresh_value = fresh->find(metric);
+      if (fresh_value == nullptr || fresh_value->kind != Json::Kind::kNumber) {
+        continue;
+      }
+      if (base_value->number <= 0) continue;
+      GateComparison cmp;
+      cmp.name = name->text;
+      cmp.metric = metric;
+      cmp.baseline = base_value->number;
+      cmp.fresh = fresh_value->number;
+      cmp.ratio = fresh_value->number / base_value->number;
+      cmp.regressed = higher_is_better
+                          ? cmp.ratio < 1.0 - options.threshold
+                          : cmp.ratio > 1.0 + options.threshold;
+      if (cmp.regressed) ++report->regressions;
+      report->comparisons.push_back(std::move(cmp));
+    }
+  }
+  return true;
+}
+
+std::string format_gate_report(const GateReport& report) {
+  std::string out;
+  char line[256];
+  for (const GateComparison& cmp : report.comparisons) {
+    std::snprintf(line, sizeof(line), "%-9s %-52s %-24s %14.0f %14.0f %6.2fx\n",
+                  cmp.regressed ? "REGRESSED" : "ok", cmp.name.c_str(),
+                  cmp.metric.c_str(), cmp.baseline, cmp.fresh, cmp.ratio);
+    out += line;
+  }
+  for (const std::string& name : report.skipped) {
+    std::snprintf(line, sizeof(line), "%-9s %s (not in fresh report)\n",
+                  "skipped", name.c_str());
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace dc_bench

@@ -1,0 +1,99 @@
+// Shared machinery for the benchmark-baseline tools (bench_to_json,
+// bench_gate) and their tests: a minimal JSON value model + parser, the
+// google-benchmark report condenser that produces the committed
+// BENCH_*.json sections, and the perf-regression gate that compares a
+// fresh report against such a section.
+//
+// Self-contained on purpose: the repo has no JSON dependency, and both
+// google-benchmark's report and the committed baselines are plain JSON.
+// Objects preserve member order so rewritten files diff cleanly.
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dc_bench {
+
+struct Json;
+using JsonPtr = std::shared_ptr<Json>;
+
+struct Json {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0;
+  std::string text;  // string value, or the raw number token as written
+  std::vector<JsonPtr> items;
+  std::vector<std::pair<std::string, JsonPtr>> members;
+
+  static JsonPtr make(Kind k);
+  static JsonPtr str(std::string s);
+  static JsonPtr num_raw(std::string raw);
+
+  const Json* find(const std::string& key) const;
+  void set(const std::string& key, JsonPtr value);
+};
+
+/// Parses `src`; on failure returns nullptr and, when `error` is
+/// non-null, a byte-offset diagnostic.
+JsonPtr parse_json(const std::string& src, std::string* error);
+
+/// Pretty-prints `v` (2-space indent, no trailing newline).
+void dump_json(std::ostream& os, const Json& v, int indent);
+
+/// "%.{decimals}f" of `value` — the rounding the condensed sections use.
+std::string round_number(double value, int decimals);
+
+/// Condenses a google-benchmark JSON report into one baseline section:
+/// trimmed machine context plus one record per benchmark iteration
+/// (aggregates are skipped; numeric user counters pass through).
+/// Benchmark names are opaque strings here — parameterized names with
+/// several '/' segments ("BM_EventQueueThroughput/calendar/65536") are
+/// carried and matched whole, never split.
+JsonPtr condense_report(const Json& report);
+
+// ---------------------------------------------------------------------------
+// Perf-regression gate.
+
+struct GateOptions {
+  /// Baseline section to compare against ("current", "seed", ...).
+  std::string label = "current";
+  /// Allowed relative slack per metric: items_per_second may drop by at
+  /// most this fraction, profile_*_ns counters may grow by at most this
+  /// fraction. Generous by default because CI runners are noisy.
+  double threshold = 0.15;
+};
+
+struct GateComparison {
+  std::string name;    // full benchmark name
+  std::string metric;  // "items_per_second" or a profile_*_ns counter
+  double baseline = 0;
+  double fresh = 0;
+  double ratio = 0;  // fresh / baseline
+  bool regressed = false;
+};
+
+struct GateReport {
+  std::vector<GateComparison> comparisons;
+  /// Baseline benchmarks absent from the fresh report (renamed/not run):
+  /// reported, not failed, so a partial bench run stays usable.
+  std::vector<std::string> skipped;
+  int regressions = 0;
+};
+
+/// Compares a fresh google-benchmark report against the `options.label`
+/// section of a committed baseline file. Matching is by full benchmark
+/// name. Returns false (with `error` set) when the baseline has no such
+/// section or either document has an unexpected shape; individual metric
+/// regressions are reported in `report`, not as errors.
+bool gate_compare(const Json& fresh_report, const Json& baseline_file,
+                  const GateOptions& options, GateReport* report,
+                  std::string* error);
+
+/// Human-readable gate outcome table (one line per comparison).
+std::string format_gate_report(const GateReport& report);
+
+}  // namespace dc_bench

@@ -7,374 +7,14 @@
 // sections: machine context plus one record per benchmark (aggregates are
 // skipped). Only the named label is replaced; other labels are preserved,
 // so `make bench-kernel` can refresh "current" while the "seed" baseline
-// stays fixed for comparison.
-//
-// Self-contained: carries a minimal JSON reader/writer (the repo has no
-// JSON dependency, and google-benchmark's report is plain JSON).
-#include <cctype>
-#include <cmath>
+// stays fixed for comparison. The JSON model and condenser live in
+// bench_report.{hpp,cpp}, shared with bench_gate and its tests.
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
-#include <map>
-#include <memory>
 #include <sstream>
 #include <string>
-#include <utility>
-#include <vector>
 
-namespace {
-
-// ---------------------------------------------------------------------------
-// Minimal JSON value + recursive-descent parser. Objects preserve member
-// order so rewritten files diff cleanly.
-
-struct Json;
-using JsonPtr = std::shared_ptr<Json>;
-
-struct Json {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0;
-  std::string text;  // string value, or the raw number token as written
-  std::vector<JsonPtr> items;
-  std::vector<std::pair<std::string, JsonPtr>> members;
-
-  static JsonPtr make(Kind k) {
-    auto v = std::make_shared<Json>();
-    v->kind = k;
-    return v;
-  }
-  static JsonPtr str(std::string s) {
-    auto v = make(Kind::kString);
-    v->text = std::move(s);
-    return v;
-  }
-  static JsonPtr num_raw(std::string raw) {
-    auto v = make(Kind::kNumber);
-    v->number = std::strtod(raw.c_str(), nullptr);
-    v->text = std::move(raw);
-    return v;
-  }
-
-  const Json* find(const std::string& key) const {
-    for (const auto& [k, v] : members) {
-      if (k == key) return v.get();
-    }
-    return nullptr;
-  }
-  void set(const std::string& key, JsonPtr value) {
-    for (auto& [k, v] : members) {
-      if (k == key) {
-        v = std::move(value);
-        return;
-      }
-    }
-    members.emplace_back(key, std::move(value));
-  }
-};
-
-class Parser {
- public:
-  explicit Parser(const std::string& src) : src_(src) {}
-
-  JsonPtr parse() {
-    JsonPtr v = value();
-    skip_ws();
-    if (pos_ != src_.size()) fail("trailing characters");
-    return v;
-  }
-
- private:
-  [[noreturn]] void fail(const char* what) const {
-    std::fprintf(stderr, "bench_to_json: JSON parse error at byte %zu: %s\n",
-                 pos_, what);
-    std::exit(1);
-  }
-  void skip_ws() {
-    while (pos_ < src_.size() &&
-           std::isspace(static_cast<unsigned char>(src_[pos_]))) {
-      ++pos_;
-    }
-  }
-  char peek() {
-    if (pos_ >= src_.size()) fail("unexpected end of input");
-    return src_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c) fail("unexpected character");
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < src_.size() && src_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonPtr value() {
-    skip_ws();
-    switch (peek()) {
-      case '{':
-        return object();
-      case '[':
-        return array();
-      case '"':
-        return Json::str(string());
-      case 't':
-      case 'f':
-        return boolean();
-      case 'n':
-        literal("null");
-        return Json::make(Json::Kind::kNull);
-      default:
-        return number();
-    }
-  }
-
-  void literal(const char* word) {
-    for (const char* p = word; *p != '\0'; ++p) expect(*p);
-  }
-
-  JsonPtr boolean() {
-    auto v = Json::make(Json::Kind::kBool);
-    if (peek() == 't') {
-      literal("true");
-      v->boolean = true;
-    } else {
-      literal("false");
-    }
-    return v;
-  }
-
-  JsonPtr number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {
-    }
-    while (pos_ < src_.size() &&
-           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
-            src_[pos_] == '.' || src_[pos_] == 'e' || src_[pos_] == 'E' ||
-            src_[pos_] == '+' || src_[pos_] == '-')) {
-      ++pos_;
-    }
-    if (pos_ == start) fail("expected a value");
-    return Json::num_raw(src_.substr(start, pos_ - start));
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    while (true) {
-      if (pos_ >= src_.size()) fail("unterminated string");
-      const char c = src_[pos_++];
-      if (c == '"') break;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      if (pos_ >= src_.size()) fail("unterminated escape");
-      const char esc = src_[pos_++];
-      switch (esc) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'u': {
-          // Benchmark names are ASCII; keep non-BMP handling out of scope
-          // and pass the escape through verbatim.
-          if (pos_ + 4 > src_.size()) fail("bad \\u escape");
-          out += "\\u" + src_.substr(pos_, 4);
-          pos_ += 4;
-          break;
-        }
-        default:
-          fail("bad escape");
-      }
-    }
-    return out;
-  }
-
-  JsonPtr array() {
-    expect('[');
-    auto v = Json::make(Json::Kind::kArray);
-    skip_ws();
-    if (consume(']')) return v;
-    while (true) {
-      v->items.push_back(value());
-      skip_ws();
-      if (consume(']')) return v;
-      expect(',');
-    }
-  }
-
-  JsonPtr object() {
-    expect('{');
-    auto v = Json::make(Json::Kind::kObject);
-    skip_ws();
-    if (consume('}')) return v;
-    while (true) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v->members.emplace_back(std::move(key), value());
-      skip_ws();
-      if (consume('}')) return v;
-      expect(',');
-    }
-  }
-
-  const std::string& src_;
-  std::size_t pos_ = 0;
-};
-
-void write_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\t': os << "\\t"; break;
-      default: os << c;
-    }
-  }
-  os << '"';
-}
-
-void dump(std::ostream& os, const Json& v, int indent) {
-  const std::string pad(indent * 2, ' ');
-  const std::string pad_in((indent + 1) * 2, ' ');
-  switch (v.kind) {
-    case Json::Kind::kNull:
-      os << "null";
-      break;
-    case Json::Kind::kBool:
-      os << (v.boolean ? "true" : "false");
-      break;
-    case Json::Kind::kNumber:
-      os << v.text;
-      break;
-    case Json::Kind::kString:
-      write_escaped(os, v.text);
-      break;
-    case Json::Kind::kArray:
-      if (v.items.empty()) {
-        os << "[]";
-        break;
-      }
-      os << "[\n";
-      for (std::size_t i = 0; i < v.items.size(); ++i) {
-        os << pad_in;
-        dump(os, *v.items[i], indent + 1);
-        os << (i + 1 < v.items.size() ? ",\n" : "\n");
-      }
-      os << pad << ']';
-      break;
-    case Json::Kind::kObject:
-      if (v.members.empty()) {
-        os << "{}";
-        break;
-      }
-      os << "{\n";
-      for (std::size_t i = 0; i < v.members.size(); ++i) {
-        os << pad_in;
-        write_escaped(os, v.members[i].first);
-        os << ": ";
-        dump(os, *v.members[i].second, indent + 1);
-        os << (i + 1 < v.members.size() ? ",\n" : "\n");
-      }
-      os << pad << '}';
-      break;
-  }
-}
-
-// ---------------------------------------------------------------------------
-
-std::string round_number(double value, int decimals) {
-  char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
-  return buf;
-}
-
-JsonPtr condense_report(const Json& report) {
-  auto section = Json::make(Json::Kind::kObject);
-
-  auto context = Json::make(Json::Kind::kObject);
-  if (const Json* ctx = report.find("context")) {
-    for (const char* key :
-         {"date", "host_name", "num_cpus", "mhz_per_cpu", "library_build_type"}) {
-      if (const Json* field = ctx->find(key)) {
-        auto copy = std::make_shared<Json>(*field);
-        context->set(key, std::move(copy));
-      }
-    }
-  }
-  section->set("context", std::move(context));
-
-  auto runs = Json::make(Json::Kind::kArray);
-  const Json* benchmarks = report.find("benchmarks");
-  if (benchmarks == nullptr || benchmarks->kind != Json::Kind::kArray) {
-    std::fprintf(stderr, "bench_to_json: report has no \"benchmarks\" array\n");
-    std::exit(1);
-  }
-  for (const JsonPtr& bench : benchmarks->items) {
-    // Keep only plain iterations (skip mean/median/stddev aggregates of
-    // repeated runs) so the section is one record per benchmark.
-    if (const Json* rt = bench->find("run_type");
-        rt != nullptr && rt->text != "iteration") {
-      continue;
-    }
-    auto rec = Json::make(Json::Kind::kObject);
-    if (const Json* name = bench->find("name")) {
-      rec->set("name", Json::str(name->text));
-    }
-    const Json* unit = bench->find("time_unit");
-    for (const char* key : {"real_time", "cpu_time"}) {
-      if (const Json* t = bench->find(key)) {
-        rec->set(std::string(key) + "_" + (unit != nullptr ? unit->text : "ns"),
-                 Json::num_raw(round_number(t->number, 1)));
-      }
-    }
-    if (const Json* ips = bench->find("items_per_second")) {
-      rec->set("items_per_second", Json::num_raw(round_number(ips->number, 0)));
-    }
-    if (const Json* iters = bench->find("iterations")) {
-      rec->set("iterations", Json::num_raw(iters->text));
-    }
-    // Pass through numeric user counters (e.g. the availability ablation's
-    // goodput/wasted/availability fields) verbatim, skipping the structural
-    // fields gbench attaches to every record.
-    static const char* kStructural[] = {
-        "real_time",     "cpu_time",         "items_per_second",
-        "iterations",    "family_index",     "per_family_instance_index",
-        "repetitions",   "repetition_index", "threads"};
-    for (const auto& [key, value] : bench->members) {
-      if (value->kind != Json::Kind::kNumber) continue;
-      bool structural = false;
-      for (const char* field : kStructural) {
-        if (key == field) {
-          structural = true;
-          break;
-        }
-      }
-      if (!structural && rec->find(key) == nullptr) {
-        rec->set(key, Json::num_raw(value->text));
-      }
-    }
-    runs->items.push_back(std::move(rec));
-  }
-  section->set("benchmarks", std::move(runs));
-  return section;
-}
-
-}  // namespace
+#include "bench_report.hpp"
 
 int main(int argc, char** argv) {
   if (argc != 4) {
@@ -393,24 +33,38 @@ int main(int argc, char** argv) {
   }
   std::stringstream report_text;
   report_text << report_file.rdbuf();
-  JsonPtr report = Parser(report_text.str()).parse();
-  JsonPtr section = condense_report(*report);
+  std::string error;
+  dc_bench::JsonPtr report = dc_bench::parse_json(report_text.str(), &error);
+  if (report == nullptr) {
+    std::fprintf(stderr, "bench_to_json: %s: %s\n", report_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  dc_bench::JsonPtr section;
+  try {
+    section = dc_bench::condense_report(*report);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_to_json: %s: %s\n", report_path.c_str(),
+                 e.what());
+    return 1;
+  }
 
   // Merge into the existing file (if any) so other labels survive.
-  JsonPtr out = Json::make(Json::Kind::kObject);
+  dc_bench::JsonPtr out = dc_bench::Json::make(dc_bench::Json::Kind::kObject);
   if (std::ifstream existing(out_path); existing) {
     std::stringstream existing_text;
     existing_text << existing.rdbuf();
-    out = Parser(existing_text.str()).parse();
-    if (out->kind != Json::Kind::kObject) {
-      std::fprintf(stderr, "bench_to_json: %s is not a JSON object\n",
-                   out_path.c_str());
+    out = dc_bench::parse_json(existing_text.str(), &error);
+    if (out == nullptr || out->kind != dc_bench::Json::Kind::kObject) {
+      std::fprintf(stderr, "bench_to_json: %s is not a JSON object (%s)\n",
+                   out_path.c_str(), error.c_str());
       return 1;
     }
   } else {
     out->set("_comment",
-             Json::str("Benchmark baselines. Regenerate the \"current\" "
-                       "section with the matching `make bench-*` target."));
+             dc_bench::Json::str(
+                 "Benchmark baselines. Regenerate the \"current\" "
+                 "section with the matching `make bench-*` target."));
   }
   out->set(label, std::move(section));
 
@@ -419,7 +73,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_to_json: cannot write %s\n", out_path.c_str());
     return 1;
   }
-  dump(out_file, *out, 0);
+  dc_bench::dump_json(out_file, *out, 0);
   out_file << '\n';
   return 0;
 }

@@ -3,7 +3,7 @@
 //   dawningcloud run --config FILE [--system all|dcs|ssp|drp|dawningcloud]
 //                    [--csv PATH] [--quantum SECONDS]
 //                    [--scheduler first-fit|easy-backfill|conservative-backfill|sjf]
-//                    [--capacity NODES] [--setup SECONDS]
+//                    [--capacity NODES] [--setup SECONDS] [--queue heap|calendar]
 //                    [--mttf DURATION --mttr DURATION [--fault-seed N]]
 //                    [--snapshot-every DURATION --snapshot-dir DIR]
 //                    [--resume auto | --resume-from FILE]
@@ -55,6 +55,7 @@ int usage() {
       "  run         --config FILE [--system NAME] [--csv PATH]\n"
       "              [--quantum SECONDS] [--scheduler NAME]\n"
       "              [--capacity NODES] [--setup SECONDS]\n"
+      "              [--queue heap|calendar]\n"
       "              [--mttf DURATION --mttr DURATION [--fault-seed N]]\n"
       "              [--snapshot-every DURATION --snapshot-dir DIR]\n"
       "              [--resume auto | --resume-from FILE]\n"
@@ -201,6 +202,15 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
       std::fprintf(stderr, "unknown --scheduler %s\n", name.c_str());
       return 2;
     }
+  }
+  if (auto it = flags.find("queue"); it != flags.end()) {
+    auto kind = sim::parse_queue_kind(it->second);
+    if (!kind.has_value()) {
+      std::fprintf(stderr, "unknown --queue %s (heap|calendar)\n",
+                   it->second.c_str());
+      return 2;
+    }
+    options.queue = *kind;
   }
 
   std::string system = "all";

@@ -31,6 +31,10 @@ bool is_traced_subsystem_path(std::string_view path) {
          path.find("src/sim") != std::string_view::npos;
 }
 
+bool is_queue_source_path(std::string_view path) {
+  return is_sim_hot_path(path) && path.find("queue") != std::string_view::npos;
+}
+
 struct Ctx {
   const std::string& path;
   const FileLex& lx;
@@ -508,6 +512,40 @@ void rule_r7(Ctx& ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// dc-r8: floating-point math and hash storage in scheduler-queue sources.
+//
+// The pluggable event queues (src/sim/*queue*) must pop the exact
+// (time, seq) total order on every platform — the heap-vs-calendar
+// differential test and the byte-identical-artifact guarantee depend on
+// it. Floating-point bucket math (calendar width/index computation) can
+// round differently across compilers and FPUs, silently reassigning
+// borderline events to a neighboring bucket; unordered_* containers put
+// hash-order hazards on the same critical path. Bucket indexing must stay
+// integer-only (shifts, adds, compares) and bucket storage must be
+// vectors or ordered containers.
+
+void rule_r8(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier) continue;
+    if (t.text == "float" || t.text == "double") {
+      ctx.report(t.line, "dc-r8", "error",
+                 "'" + t.text +
+                     "' in a scheduler-queue source: floating-point bucket "
+                     "math can round differently across platforms and "
+                     "reassign borderline events; keep calendar/bucket "
+                     "indexing integer-only");
+    } else if (kUnorderedTemplates.count(t.text) != 0) {
+      ctx.report(t.line, "dc-r8", "error",
+                 "'" + t.text +
+                     "' in a scheduler-queue source: hash-ordered storage on "
+                     "the event-dispatch critical path; use vector buckets "
+                     "or an ordered container");
+    }
+  }
+}
+
 void json_escape_into(std::string& out, const std::string& text) {
   for (const char c : text) {
     switch (c) {
@@ -541,6 +579,7 @@ LintResult lint_source(const std::string& display_path, std::string_view source)
   if (is_header_path(display_path)) rule_r5(ctx);
   rule_r6(ctx);
   if (is_traced_subsystem_path(display_path)) rule_r7(ctx);
+  if (is_queue_source_path(display_path)) rule_r8(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;
