@@ -109,7 +109,7 @@ class AdjustmentMeter {
   Status restore(snapshot::SnapshotReader& reader);
 
  private:
-  double seconds_per_node_;
+  double seconds_per_node_;  // dc-volatile: fixed by the billing config
   std::int64_t total_ = 0;
   std::vector<Adjustment> events_;
 };

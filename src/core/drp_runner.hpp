@@ -173,11 +173,11 @@ class DrpRunner : public fault::FaultTarget {
   sim::Simulator::Callback make_retry(const PendingRetry& retry);
 
   sim::Simulator& simulator_;
-  ResourceProvisionService& provision_;
+  ResourceProvisionService& provision_;  // dc-volatile: wiring
   std::string name_;
-  obs::TraceName trace_actor_;  // cached intern of name_
-  ResourceProvisionService::ConsumerId consumer_ = 0;
-  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
+  obs::TraceName trace_actor_;  // dc-volatile: cached intern of name_
+  ResourceProvisionService::ConsumerId consumer_ = 0;  // dc-volatile: reassigned at re-registration
+  obs::TraceSink* trace_ = nullptr;  // dc-volatile: borrowed, may be null
 
   cluster::LeaseLedger ledger_;
   cluster::UsageRecorder held_;
@@ -185,8 +185,8 @@ class DrpRunner : public fault::FaultTarget {
   std::vector<ActiveWork> active_;
   std::int64_t next_work_id_ = 0;
 
-  SimDuration setup_latency_ = 0;
-  fault::FaultRecoveryPolicy recovery_;
+  SimDuration setup_latency_ = 0;       // dc-volatile: fixed by config
+  fault::FaultRecoveryPolicy recovery_;  // dc-volatile: fixed by config
   std::int64_t submitted_ = 0;
   std::vector<SimTime> finish_times_;
   /// (finish, node*seconds) per completion, for horizon-filtered goodput.

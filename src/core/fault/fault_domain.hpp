@@ -92,9 +92,9 @@ class FaultDomain {
                                        std::int64_t failed);
 
   sim::Simulator& simulator_;
-  Config config_;
+  Config config_;  // dc-volatile: reconstructed from the experiment config
   Rng rng_;
-  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
+  obs::TraceSink* trace_ = nullptr;  // dc-volatile: borrowed, may be null
   std::vector<FaultTarget*> watched_;
   /// Snapshot of `watched_` taken at start(); the victim sequence drawn
   /// from the seed only ever sees this set.

@@ -256,9 +256,9 @@ class HtcServer : public fault::FaultTarget {
   sim::Simulator& simulator_;
   ResourceProvisionService& provision_;
   Config config_;
-  obs::TraceName trace_actor_;  // cached intern of config_.name
+  obs::TraceName trace_actor_;  // dc-volatile: cached intern of config_.name
   ResourceProvisionService::ConsumerId consumer_ = 0;
-  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
+  obs::TraceSink* trace_ = nullptr;  // dc-volatile: borrowed, may be null
 
   bool started_ = false;
   bool shutdown_ = false;
@@ -338,8 +338,8 @@ class HtcServer : public fault::FaultTarget {
   };
   std::vector<RetryEvent> retry_events_;
 
-  std::function<void(const sched::Job&)> completion_callback_;
-  std::function<void(SimTime)> drained_callback_;
+  std::function<void(const sched::Job&)> completion_callback_;  // dc-volatile: rewired by the owner
+  std::function<void(SimTime)> drained_callback_;             // dc-volatile: rewired by the owner
 };
 
 }  // namespace dc::core

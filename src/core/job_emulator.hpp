@@ -69,8 +69,8 @@ class JobEmulator {
   };
 
   sim::Simulator* simulator_;
-  double time_scale_;
-  bool passive_;
+  double time_scale_;  // dc-volatile: fixed by config
+  bool passive_;       // dc-volatile: fixed by config
   std::vector<TraceStream> streams_;
   std::vector<OneShot> oneshots_;
 };

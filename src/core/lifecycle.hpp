@@ -112,10 +112,10 @@ class LifecycleService {
   /// Latencies for one request (fixed, or derived from the model).
   Latencies latencies_for(const TreSpec& spec) const;
 
-  sim::Simulator& simulator_;
-  Latencies latencies_;
-  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
-  std::optional<DeploymentModel> deployment_;
+  sim::Simulator& simulator_;  // dc-volatile: wiring
+  Latencies latencies_;        // dc-volatile: fixed by config
+  obs::TraceSink* trace_ = nullptr;  // dc-volatile: borrowed, may be null
+  std::optional<DeploymentModel> deployment_;  // dc-volatile: fixed by config
   std::vector<Record> records_;
   std::vector<Transition> transitions_;
   /// Creation chains whose Running transition has not fired yet.

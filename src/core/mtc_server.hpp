@@ -202,7 +202,7 @@ class MtcServer : public HtcServer {
     workflow::TaskId task;
   };
   std::vector<TaskRef> task_refs_;
-  bool destroy_when_complete_;
+  bool destroy_when_complete_;  // dc-volatile: fixed by config
 };
 
 }  // namespace dc::core

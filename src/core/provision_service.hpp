@@ -130,13 +130,13 @@ class ResourceProvisionService {
   void drain_waiting(SimTime now);
 
   cluster::ResourcePool pool_;
-  ProvisionPolicy policy_;
-  obs::TraceSink* trace_ = nullptr;  // borrowed, may be null
+  ProvisionPolicy policy_;  // dc-volatile: fixed by config
+  obs::TraceSink* trace_ = nullptr;  // dc-volatile: borrowed, may be null
   std::vector<Consumer> consumers_;
   std::vector<WaitingRequest> waiting_;
   std::uint64_t next_sequence_ = 0;
   bool draining_ = false;
-  bool redrain_ = false;
+  bool redrain_ = false;  // dc-volatile: transient re-entrancy latch, false between events
   cluster::UsageRecorder usage_;
   cluster::AdjustmentMeter adjustments_;
   std::int64_t rejected_ = 0;

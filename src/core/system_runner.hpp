@@ -131,23 +131,23 @@ class SystemRunner {
   RunOptions options_;
   SimTime horizon_ = 0;
   Mode mode_;
-  bool finalized_ = false;
+  bool finalized_ = false;  // dc-volatile: snapshots are taken mid-run, never after finalize()
 
   sim::Simulator sim_;
   std::unique_ptr<ResourceProvisionService> provision_;
   std::unique_ptr<LifecycleService> lifecycle_;  // server-based models only
   std::unique_ptr<JobEmulator> emulator_;
 
-  sched::FirstFitScheduler first_fit_;
-  sched::EasyBackfillScheduler easy_;
-  sched::ConservativeBackfillScheduler conservative_;
-  sched::SjfScheduler sjf_;
-  sched::FcfsScheduler fcfs_;
+  sched::FirstFitScheduler first_fit_;              // dc-volatile: stateless
+  sched::EasyBackfillScheduler easy_;               // dc-volatile: stateless
+  sched::ConservativeBackfillScheduler conservative_;  // dc-volatile: stateless
+  sched::SjfScheduler sjf_;                         // dc-volatile: stateless
+  sched::FcfsScheduler fcfs_;                       // dc-volatile: stateless
 
   std::vector<std::unique_ptr<HtcServer>> htc_servers_;
   std::vector<std::unique_ptr<MtcServer>> mtc_servers_;
   std::vector<std::unique_ptr<DrpRunner>> runners_;  // DRP only
-  std::vector<WorkloadType> runner_types_;
+  std::vector<WorkloadType> runner_types_;  // dc-volatile: derived from workload_
   std::optional<fault::FaultDomain> injector_;
   /// Periodic metrics-sampler timer (RunOptions::metrics_every > 0). Part
   /// of the kernel's pending set, so its (next fire, seq) is serialized

@@ -103,10 +103,10 @@ class WssServer : public fault::FaultTarget {
   sim::Simulator::TimerCallback make_idle_check(std::size_t grant_index);
 
   sim::Simulator& simulator_;
-  ResourceProvisionService& provision_;
-  Config config_;
-  workload::DemandProfile profile_;
-  ResourceProvisionService::ConsumerId consumer_ = 0;
+  ResourceProvisionService& provision_;  // dc-volatile: wiring
+  Config config_;                        // dc-volatile: fixed by config
+  workload::DemandProfile profile_;      // dc-volatile: fixed by config
+  ResourceProvisionService::ConsumerId consumer_ = 0;  // dc-volatile: reassigned at re-registration
 
   bool started_ = false;
   bool shutdown_ = false;

@@ -1,0 +1,58 @@
+# Warm-cache invariance check for dc_lint, run as a ctest script:
+#
+#   cmake -DDC_LINT=<binary> -DSOURCE_ROOT=<repo> -DWORK_DIR=<scratch>
+#         -P cache_warm_check.cmake
+#
+# Two identical invocations share a fresh cache. The first run is fully
+# cold (every file a miss); the second must be served entirely from the
+# cache AND reproduce the cold run's report byte-for-byte — a cache hit
+# that changes any conclusion is a correctness bug, not a performance one.
+
+foreach(var DC_LINT SOURCE_ROOT WORK_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "missing -D${var}=...")
+  endif()
+endforeach()
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+set(cache_file "${WORK_DIR}/cache.txt")
+
+set(lint_args
+  --cache "${cache_file}" --stats
+  --baseline "${SOURCE_ROOT}/dc_lint_baseline.txt"
+  src tools bench)
+
+execute_process(
+  COMMAND "${DC_LINT}" ${lint_args}
+  WORKING_DIRECTORY "${SOURCE_ROOT}"
+  OUTPUT_VARIABLE cold_out
+  ERROR_VARIABLE cold_err
+  RESULT_VARIABLE cold_rc)
+if(NOT cold_rc EQUAL 0)
+  message(FATAL_ERROR "cold run failed (rc=${cold_rc}):\n${cold_out}${cold_err}")
+endif()
+if(NOT cold_err MATCHES "cache 0 hit / [1-9][0-9]* miss")
+  message(FATAL_ERROR "cold run was not fully cold:\n${cold_err}")
+endif()
+
+execute_process(
+  COMMAND "${DC_LINT}" ${lint_args}
+  WORKING_DIRECTORY "${SOURCE_ROOT}"
+  OUTPUT_VARIABLE warm_out
+  ERROR_VARIABLE warm_err
+  RESULT_VARIABLE warm_rc)
+if(NOT warm_rc EQUAL 0)
+  message(FATAL_ERROR "warm run failed (rc=${warm_rc}):\n${warm_out}${warm_err}")
+endif()
+if(NOT warm_err MATCHES "cache [1-9][0-9]* hit / 0 miss")
+  message(FATAL_ERROR "warm run was not fully cached:\n${warm_err}")
+endif()
+
+if(NOT cold_out STREQUAL warm_out)
+  message(FATAL_ERROR
+    "warm-cache report diverged from the cold run\n"
+    "--- cold ---\n${cold_out}\n--- warm ---\n${warm_out}")
+endif()
+
+message(STATUS "dc_lint cache: warm run fully cached and byte-identical")

@@ -1,40 +1,142 @@
 // Pins down dc-lint's diagnostic surface against known-violation fixtures:
-// exact counts, rule IDs, line numbers, waiver accounting, and the JSON
-// report shape. If a rule's detection logic drifts, these fail loudly.
+// exact counts, rule IDs, line numbers, waiver accounting, and the report
+// shapes (JSON v2, SARIF 2.1.0). The project-model rules (dc-r9/r10/r12)
+// are exercised both on fixtures and on the real tree sources — including
+// seeded mutations that each rule family must catch.
+#include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "baseline.hpp"
+#include "cache.hpp"
+#include "driver.hpp"
+#include "fixes.hpp"
+#include "project_model.hpp"
 #include "rules.hpp"
+#include "sarif.hpp"
 
 namespace {
 
 // Compile-time path to tests/lint/fixtures/, injected by CMake.
-std::string fixture(const std::string& name) {
-  const std::string path = std::string(DC_LINT_FIXTURE_DIR) + "/" + name;
+std::string fixture_path(const std::string& name) {
+  return std::string(DC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+std::string read_file_or_die(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  EXPECT_TRUE(in.is_open()) << "missing fixture: " << path;
+  EXPECT_TRUE(in.is_open()) << "missing file: " << path;
   std::ostringstream buf;
   buf << in.rdbuf();
   return buf.str();
 }
 
-std::vector<int> lines_of(const dc_lint::LintResult& result) {
+std::string fixture(const std::string& name) {
+  return read_file_or_die(fixture_path(name));
+}
+
+// A tree source, addressed relative to the repository root.
+std::string real_source(const std::string& repo_relative) {
+  return read_file_or_die(std::string(DC_LINT_FIXTURE_DIR) + "/../../../" +
+                          repo_relative);
+}
+
+std::string replace_once(std::string text, const std::string& from,
+                         const std::string& to) {
+  const std::size_t at = text.find(from);
+  EXPECT_NE(at, std::string::npos) << "pattern not found: " << from;
+  if (at != std::string::npos) text.replace(at, from.size(), to);
+  return text;
+}
+
+std::string temp_file(const std::string& name, const std::string& content) {
+  const std::string path = ::testing::TempDir() + "dc_lint_test_" + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  EXPECT_TRUE(out.is_open()) << path;
+  out << content;
+  return path;
+}
+
+std::vector<int> lines_of(const std::vector<dc_lint::Diagnostic>& diagnostics) {
   std::vector<int> lines;
-  for (const auto& d : result.diagnostics) lines.push_back(d.line);
+  for (const auto& d : diagnostics) lines.push_back(d.line);
   return lines;
 }
 
-void expect_all_rule(const dc_lint::LintResult& result, const std::string& rule,
-                     const std::string& severity) {
-  for (const auto& d : result.diagnostics) {
+std::vector<int> lines_of(const dc_lint::LintResult& result) {
+  return lines_of(result.diagnostics);
+}
+
+void expect_all_rule(const std::vector<dc_lint::Diagnostic>& diagnostics,
+                     const std::string& rule, const std::string& severity) {
+  for (const auto& d : diagnostics) {
     EXPECT_EQ(d.rule, rule) << "at line " << d.line;
     EXPECT_EQ(d.severity, severity) << "at line " << d.line;
   }
 }
+
+void expect_all_rule(const dc_lint::LintResult& result, const std::string& rule,
+                     const std::string& severity) {
+  expect_all_rule(result.diagnostics, rule, severity);
+}
+
+// Mirrors the driver's project phase over in-memory (path, source) pairs:
+// pass-1 analysis per file, the cross-TU join, then project diagnostics
+// with inline-waiver consumption.
+struct ProjectRun {
+  std::vector<dc_lint::FileAnalysis> analyses;
+  std::vector<dc_lint::Diagnostic> local;    // pass-1 diagnostics, all files
+  std::vector<dc_lint::Diagnostic> project;  // r9/r10/r12 after waivers
+  int waived = 0;                            // project-rule waivers only
+};
+
+ProjectRun join_project(
+    const std::vector<std::pair<std::string, std::string>>& sources) {
+  ProjectRun run;
+  run.analyses.reserve(sources.size());
+  for (const auto& [path, text] : sources) {
+    run.analyses.push_back(dc_lint::analyze_file(path, text));
+    const auto& a = run.analyses.back();
+    run.local.insert(run.local.end(), a.diagnostics.begin(),
+                     a.diagnostics.end());
+  }
+  std::vector<const dc_lint::FileFacts*> facts;
+  facts.reserve(run.analyses.size());
+  for (const auto& a : run.analyses) facts.push_back(&a.facts);
+  const dc_lint::ProjectModel model(facts);
+
+  std::vector<dc_lint::Diagnostic> diags = model.check_snapshot_semantics();
+  std::vector<dc_lint::Diagnostic> layering = model.check_layering();
+  diags.insert(diags.end(), layering.begin(), layering.end());
+  std::vector<dc_lint::Diagnostic> registry = model.check_name_registry();
+  diags.insert(diags.end(), registry.begin(), registry.end());
+
+  for (dc_lint::Diagnostic& d : diags) {
+    bool consumed = false;
+    for (auto& a : run.analyses) {
+      if (a.facts.path == d.file &&
+          dc_lint::consume_waiver(a.waivers, d.line, d.rule)) {
+        consumed = true;
+        break;
+      }
+    }
+    if (consumed) {
+      ++run.waived;
+      continue;
+    }
+    run.project.push_back(std::move(d));
+  }
+  dc_lint::sort_diagnostics(run.project);
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// Local rules (pass 1), pinned through the lint_source shim.
 
 TEST(DcLintR1, FlagsWallClockAndAmbientRng) {
   const auto result =
@@ -57,14 +159,9 @@ TEST(DcLintR1, FaultInjectionCodeMustUseSeededRng) {
 TEST(DcLintR1, RealFaultSubsystemIsClean) {
   // The shipped failure domain must itself satisfy the rule the fixture
   // demonstrates: every draw comes from the seeded util/rng.
-  const std::string path =
-      std::string(DC_LINT_FIXTURE_DIR) + "/../../../src/core/fault/fault_domain.cpp";
-  std::ifstream in(path, std::ios::binary);
-  ASSERT_TRUE(in.is_open()) << "missing source: " << path;
-  std::ostringstream buf;
-  buf << in.rdbuf();
   const auto result =
-      dc_lint::lint_source("src/core/fault/fault_domain.cpp", buf.str());
+      dc_lint::lint_source("src/core/fault/fault_domain.cpp",
+                           real_source("src/core/fault/fault_domain.cpp"));
   EXPECT_TRUE(result.diagnostics.empty())
       << dc_lint::to_human(result.diagnostics);
 }
@@ -99,10 +196,21 @@ TEST(DcLintR4, FlagsFloatReductionsInParallelCallbacks) {
   const auto result =
       dc_lint::lint_source("tests/lint/fixtures/r4_parallel_reduction.cpp",
                            fixture("r4_parallel_reduction.cpp"));
-  expect_all_rule(result, "dc-r4", "error");
+  std::vector<int> r4_lines;
+  std::vector<int> r11_lines;
+  for (const auto& d : result.diagnostics) {
+    EXPECT_EQ(d.severity, "error") << "at line " << d.line;
+    if (d.rule == "dc-r4") r4_lines.push_back(d.line);
+    else if (d.rule == "dc-r11") r11_lines.push_back(d.line);
+    else ADD_FAILURE() << d.rule << " at line " << d.line;
+  }
   // Scalar double += and vector<float> element -=.
-  EXPECT_EQ(lines_of(result), (std::vector<int>{13, 21}));
-  EXPECT_EQ(result.waived, 1);  // the ordered-reduction annotation
+  EXPECT_EQ(r4_lines, (std::vector<int>{16, 24}));
+  // The captured-ref accumulations are also sweep races; the loop-indexed
+  // bins[i % 8] store is not.
+  EXPECT_EQ(r11_lines, (std::vector<int>{16, 43}));
+  // The ordered-reduction annotation waives both rules on its line.
+  EXPECT_EQ(result.waived, 2);
 }
 
 TEST(DcLintR5, FlagsMissingGuardAndUsingNamespaceStd) {
@@ -118,38 +226,6 @@ TEST(DcLintR5, AcceptsGuardedHeader) {
       "tests/lint/fixtures/r5_good_header.hpp", fixture("r5_good_header.hpp"));
   EXPECT_TRUE(result.diagnostics.empty());
   EXPECT_EQ(result.waived, 0);
-}
-
-TEST(DcLintR6, FlagsSaveRestoreFieldDrift) {
-  const auto result =
-      dc_lint::lint_source("tests/lint/fixtures/r6_snapshot_drift.cpp",
-                           fixture("r6_snapshot_drift.cpp"));
-  expect_all_rule(result, "dc-r6", "error");
-  // Drifted::restore reads 2 of the 3 saved fields; the symmetric
-  // Composite pair is clean and its nested ledger_.save/restore
-  // delegation is not counted; the Waived pair is NOLINT'd.
-  EXPECT_EQ(lines_of(result), (std::vector<int>{24}));
-  ASSERT_EQ(result.diagnostics.size(), 1u);
-  EXPECT_NE(result.diagnostics[0].message.find("writes 3"), std::string::npos);
-  EXPECT_NE(result.diagnostics[0].message.find("reads 2"), std::string::npos);
-  EXPECT_EQ(result.waived, 1);
-}
-
-TEST(DcLintR6, RealSnapshotComponentsAreSymmetric) {
-  // The shipped components must satisfy the rule the fixture demonstrates:
-  // paired save/restore with matching field counts.
-  for (const char* rel : {"/../../../src/core/htc_server.cpp",
-                          "/../../../src/cluster/billing.cpp",
-                          "/../../../src/core/fault/fault_domain.cpp"}) {
-    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
-    std::ifstream in(path, std::ios::binary);
-    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const auto result = dc_lint::lint_source(rel, buf.str());
-    EXPECT_TRUE(result.diagnostics.empty())
-        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
-  }
 }
 
 TEST(DcLintR7, FlagsDirectPrintOnlyUnderCoreAndSim) {
@@ -176,19 +252,12 @@ TEST(DcLintR7, FlagsDirectPrintOnlyUnderCoreAndSim) {
 TEST(DcLintR7, RealInstrumentedSubsystemsAreClean) {
   // The shipped core/sim sources must themselves satisfy dc-r7: all of
   // their narration goes through dc::Log or the DC_TRACE_* macros.
-  for (const char* rel : {"/../../../src/core/htc_server.cpp",
-                          "/../../../src/core/system_runner.cpp",
-                          "/../../../src/sim/simulator.cpp"}) {
-    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
-    std::ifstream in(path, std::ios::binary);
-    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string display =
-        std::string("src/") + (rel + sizeof("/../../../src/") - 1);
-    const auto result = dc_lint::lint_source(display, buf.str());
+  for (const char* rel : {"src/core/htc_server.cpp",
+                          "src/core/system_runner.cpp",
+                          "src/sim/simulator.cpp"}) {
+    const auto result = dc_lint::lint_source(rel, real_source(rel));
     EXPECT_TRUE(result.diagnostics.empty())
-        << display << ":\n" << dc_lint::to_human(result.diagnostics);
+        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
   }
 }
 
@@ -217,22 +286,269 @@ TEST(DcLintR8, FlagsFloatMathAndHashStorageOnlyInQueueSources) {
 TEST(DcLintR8, RealQueueSourcesAreIntegerOnly) {
   // The shipped event queues must satisfy the rule the fixture
   // demonstrates: all bucket/heap math is integer-only, no hash storage.
-  for (const char* rel : {"/../../../src/sim/event_queue.hpp",
-                          "/../../../src/sim/event_queue.cpp",
-                          "/../../../src/sim/calendar_queue.hpp",
-                          "/../../../src/sim/calendar_queue.cpp"}) {
-    const std::string path = std::string(DC_LINT_FIXTURE_DIR) + rel;
-    std::ifstream in(path, std::ios::binary);
-    ASSERT_TRUE(in.is_open()) << "missing source: " << path;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    const std::string display =
-        std::string("src/") + (rel + sizeof("/../../../src/") - 1);
-    const auto result = dc_lint::lint_source(display, buf.str());
+  for (const char* rel : {"src/sim/event_queue.hpp",
+                          "src/sim/event_queue.cpp",
+                          "src/sim/calendar_queue.hpp",
+                          "src/sim/calendar_queue.cpp"}) {
+    const auto result = dc_lint::lint_source(rel, real_source(rel));
     EXPECT_TRUE(result.diagnostics.empty())
-        << display << ":\n" << dc_lint::to_human(result.diagnostics);
+        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
   }
 }
+
+// ---------------------------------------------------------------------------
+// dc-r9: snapshot semantic completeness across translation units.
+
+TEST(DcLintR9, CrossTuNameDriftAndNeverPersistedMember) {
+  const auto run = join_project(
+      {{"tests/lint/fixtures/r9_snapshot_drift.hpp",
+        fixture("r9_snapshot_drift.hpp")},
+       {"tests/lint/fixtures/r9_snapshot_drift.cpp",
+        fixture("r9_snapshot_drift.cpp")}});
+  EXPECT_TRUE(run.local.empty()) << dc_lint::to_human(run.local);
+  expect_all_rule(run.project, "dc-r9", "error");
+  ASSERT_EQ(run.project.size(), 3u) << dc_lint::to_human(run.project);
+
+  // "started" written but never read: reported at the save-side literal.
+  EXPECT_EQ(run.project[0].file, "tests/lint/fixtures/r9_snapshot_drift.cpp");
+  EXPECT_EQ(run.project[0].line, 11);
+  EXPECT_NE(run.project[0].message.find("'started'"), std::string::npos);
+  EXPECT_NE(run.project[0].message.find("never read"), std::string::npos);
+
+  // "legacy" read but never written: reported at the restore-side literal.
+  EXPECT_EQ(run.project[1].file, "tests/lint/fixtures/r9_snapshot_drift.cpp");
+  EXPECT_EQ(run.project[1].line, 21);
+  EXPECT_NE(run.project[1].message.find("'legacy'"), std::string::npos);
+  EXPECT_NE(run.project[1].message.find("never written"), std::string::npos);
+
+  // scratch_ is never persisted: reported at its declaration in the header.
+  EXPECT_EQ(run.project[2].file, "tests/lint/fixtures/r9_snapshot_drift.hpp");
+  EXPECT_EQ(run.project[2].line, 20);
+  EXPECT_NE(run.project[2].message.find("'scratch_'"), std::string::npos);
+
+  // trace_ carries // dc-volatile and must not be flagged; the AliasWaived
+  // drift is suppressed by its NOLINT written against the old dc-r6 id.
+  for (const auto& d : run.project) {
+    EXPECT_EQ(d.message.find("trace_"), std::string::npos) << d.message;
+    EXPECT_EQ(d.message.find("high_water"), std::string::npos) << d.message;
+  }
+  EXPECT_EQ(run.waived, 1);
+}
+
+TEST(DcLintR9, DynamicFieldNamesSkipTheLiteralDiff) {
+  // When either persist body passes computed names, the literal sets are
+  // not comparable and the name-drift half of the rule stays quiet.
+  const char* source =
+      "struct Dyn {\n"
+      "  dc::Status save(dc::snapshot::SnapshotWriter& writer) const;\n"
+      "  dc::Status restore(dc::snapshot::SnapshotReader& reader);\n"
+      "};\n"
+      "dc::Status Dyn::save(dc::snapshot::SnapshotWriter& writer) const {\n"
+      "  for (const auto& [key, value] : table_) writer.field_u64(key, value);\n"
+      "  return dc::Status::ok();\n"
+      "}\n"
+      "dc::Status Dyn::restore(dc::snapshot::SnapshotReader& reader) {\n"
+      "  return dc::Status::ok();\n"
+      "}\n";
+  const auto run = join_project({{"dyn.cpp", source}});
+  EXPECT_TRUE(run.project.empty()) << dc_lint::to_human(run.project);
+}
+
+TEST(DcLintR9, RealSnapshotPairIsCleanAndMutationIsCaught) {
+  const std::string header = real_source("src/core/htc_server.hpp");
+  const std::string body = real_source("src/core/htc_server.cpp");
+
+  // The shipped pair is semantically complete.
+  const auto clean = join_project({{"src/core/htc_server.hpp", header},
+                                   {"src/core/htc_server.cpp", body}});
+  std::vector<dc_lint::Diagnostic> r9;
+  for (const auto& d : clean.project) {
+    if (d.rule == "dc-r9") r9.push_back(d);
+  }
+  EXPECT_TRUE(r9.empty()) << dc_lint::to_human(r9);
+
+  // Seeded mutation: rename one restore-side field literal. The rule must
+  // catch both directions of the resulting drift — this is exactly the
+  // renamed-but-not-restored bug class that desynchronizes resume.
+  const std::string mutated =
+      replace_once(body, "read_i64(\"owned\"", "read_i64(\"owned_nodes\"");
+  const auto drifted = join_project({{"src/core/htc_server.hpp", header},
+                                     {"src/core/htc_server.cpp", mutated}});
+  std::vector<dc_lint::Diagnostic> caught;
+  for (const auto& d : drifted.project) {
+    if (d.rule == "dc-r9") caught.push_back(d);
+  }
+  ASSERT_EQ(caught.size(), 2u) << dc_lint::to_human(drifted.project);
+  EXPECT_NE(caught[0].message.find("'owned'"), std::string::npos);
+  EXPECT_NE(caught[0].message.find("never read"), std::string::npos);
+  EXPECT_NE(caught[1].message.find("'owned_nodes'"), std::string::npos);
+  EXPECT_NE(caught[1].message.find("never written"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// dc-r10: layering against the declared module DAG + include cycles.
+
+TEST(DcLintR10, LayeringViolationAgainstDeclaredDag) {
+  const auto run = join_project(
+      {{"src/sim/engine.hpp", "#pragma once\n#include \"core/server.hpp\"\n"},
+       {"src/core/server.hpp", "#pragma once\n"}});
+  ASSERT_EQ(run.project.size(), 1u) << dc_lint::to_human(run.project);
+  EXPECT_EQ(run.project[0].rule, "dc-r10");
+  EXPECT_EQ(run.project[0].file, "src/sim/engine.hpp");
+  EXPECT_EQ(run.project[0].line, 2);
+  EXPECT_NE(run.project[0].message.find("src/sim may not include src/core"),
+            std::string::npos)
+      << run.project[0].message;
+}
+
+TEST(DcLintR10, DeclaredDependenciesAndSameModuleAreAllowed) {
+  const auto run = join_project(
+      {{"src/obs/exporter.hpp",
+        "#pragma once\n#include \"snapshot/format.hpp\"\n"
+        "#include \"obs/trace.hpp\"\n"},
+       {"src/snapshot/format.hpp", "#pragma once\n"},
+       {"src/obs/trace.hpp", "#pragma once\n"}});
+  EXPECT_TRUE(run.project.empty()) << dc_lint::to_human(run.project);
+}
+
+TEST(DcLintR10, SrcMayNotReachOutsideSrc) {
+  const auto run = join_project(
+      {{"src/util/helper.cpp",
+        "#include \"../../tools/bench_report.hpp\"\n"},
+       {"tools/bench_report.hpp", "#pragma once\n"}});
+  ASSERT_EQ(run.project.size(), 1u) << dc_lint::to_human(run.project);
+  EXPECT_EQ(run.project[0].rule, "dc-r10");
+  EXPECT_NE(run.project[0].message.find("outside src/"), std::string::npos);
+}
+
+TEST(DcLintR10, UnknownModuleMustJoinTheDag) {
+  const auto run = join_project(
+      {{"src/newmod/thing.hpp", "#pragma once\n#include \"util/status.hpp\"\n"},
+       {"src/util/status.hpp", "#pragma once\n"}});
+  ASSERT_EQ(run.project.size(), 1u) << dc_lint::to_human(run.project);
+  EXPECT_EQ(run.project[0].rule, "dc-r10");
+  EXPECT_NE(run.project[0].message.find("not in the declared layering DAG"),
+            std::string::npos);
+}
+
+TEST(DcLintR10, IncludeCycleIsReportedExactlyOnce) {
+  const auto run = join_project(
+      {{"src/util/a.hpp", "#pragma once\n#include \"util/b.hpp\"\n"},
+       {"src/util/b.hpp", "#pragma once\n#include \"util/a.hpp\"\n"}});
+  ASSERT_EQ(run.project.size(), 1u) << dc_lint::to_human(run.project);
+  EXPECT_EQ(run.project[0].rule, "dc-r10");
+  EXPECT_EQ(run.project[0].file, "src/util/a.hpp");
+  EXPECT_NE(run.project[0].message.find(
+                "include cycle: src/util/a.hpp -> src/util/b.hpp -> "
+                "src/util/a.hpp"),
+            std::string::npos)
+      << run.project[0].message;
+}
+
+TEST(DcLintR10, ConditionalEdgesCannotFormCycles) {
+  // Mutually exclusive #if branches cannot close a cycle in any single
+  // build, so the back-edge under #ifdef is exempt.
+  const auto run = join_project(
+      {{"src/util/c1.hpp", "#pragma once\n#include \"util/c2.hpp\"\n"},
+       {"src/util/c2.hpp",
+        "#pragma once\n#ifdef DC_LOOP\n#include \"util/c1.hpp\"\n#endif\n"}});
+  EXPECT_TRUE(run.project.empty()) << dc_lint::to_human(run.project);
+}
+
+TEST(DcLintProjectModel, IncludeResolutionWithinTheAnalyzedSet) {
+  const auto a1 = dc_lint::analyze_file(
+      "src/snapshot/writer.hpp",
+      "#pragma once\n#include \"format.hpp\"\n#include <vector>\n"
+      "#include \"util/status.hpp\"\n#include \"nowhere/missing.hpp\"\n");
+  const auto a2 =
+      dc_lint::analyze_file("src/snapshot/format.hpp", "#pragma once\n");
+  const auto a3 =
+      dc_lint::analyze_file("src/util/status.hpp", "#pragma once\n");
+  const dc_lint::ProjectModel model({&a1.facts, &a2.facts, &a3.facts});
+
+  // Directory-relative and src/-rooted spellings both resolve; angled and
+  // unresolvable includes contribute no edges.
+  EXPECT_EQ(model.includes_of("src/snapshot/writer.hpp"),
+            (std::vector<std::string>{"src/snapshot/format.hpp",
+                                      "src/util/status.hpp"}));
+  EXPECT_EQ(model.edges().size(), 2u);
+  EXPECT_TRUE(model.check_layering().empty());
+}
+
+// ---------------------------------------------------------------------------
+// dc-r11: sweep-race heuristic.
+
+TEST(DcLintR11, FlagsCapturedSharedWritesNotIndexedByLoopVar) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r11_sweep_race.cpp",
+                           fixture("r11_sweep_race.cpp"));
+  expect_all_rule(result, "dc-r11", "error");
+  // Captured-ref accumulate, captured struct field, captured pointer
+  // target; the indexed store, the body-local, and the copy-captured
+  // scalar stay quiet.
+  EXPECT_EQ(lines_of(result), (std::vector<int>{13, 14, 15}));
+  ASSERT_EQ(result.diagnostics.size(), 3u);
+  EXPECT_NE(result.diagnostics[0].message.find("'total'"), std::string::npos);
+  EXPECT_NE(result.diagnostics[1].message.find("'stats'"), std::string::npos);
+  EXPECT_NE(result.diagnostics[2].message.find("'shared'"), std::string::npos);
+  EXPECT_NE(result.diagnostics[0].message.find("loop variable 'i'"),
+            std::string::npos);
+  EXPECT_EQ(result.waived, 1);  // the NOLINT'd monotonic hint
+}
+
+TEST(DcLintR11, RealSweepIsCleanAndMutationIsCaught) {
+  const std::string source = real_source("bench/fig09_blue_sweep.cpp");
+
+  // The shipped sweep writes only callback-locals and its return value.
+  const auto clean =
+      dc_lint::lint_source("bench/fig09_blue_sweep.cpp", source);
+  EXPECT_TRUE(clean.diagnostics.empty())
+      << dc_lint::to_human(clean.diagnostics);
+
+  // Seeded mutation: redirect a callback-local write onto the captured
+  // sweep base — the unsynchronized shared write the rule exists for.
+  const std::string mutated = replace_once(
+      source, "core::HtcWorkloadSpec spec = base;",
+      "core::HtcWorkloadSpec spec = base;\n        base = spec;");
+  const auto raced =
+      dc_lint::lint_source("bench/fig09_blue_sweep.cpp", mutated);
+  ASSERT_EQ(raced.diagnostics.size(), 1u)
+      << dc_lint::to_human(raced.diagnostics);
+  EXPECT_EQ(raced.diagnostics[0].rule, "dc-r11");
+  EXPECT_NE(raced.diagnostics[0].message.find("'base'"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// dc-r12: trace/metric name-registry consistency.
+
+TEST(DcLintR12, RegistryConflictsWithinOneFile) {
+  const auto run =
+      join_project({{"tests/lint/fixtures/r12_name_registry.cpp",
+                     fixture("r12_name_registry.cpp")}});
+  expect_all_rule(run.project, "dc-r12", "error");
+  EXPECT_EQ(lines_of(run.project), (std::vector<int>{7, 14, 16}));
+  ASSERT_EQ(run.project.size(), 3u);
+  EXPECT_NE(run.project[0].message.find("duplicate TraceName"),
+            std::string::npos);
+  EXPECT_NE(run.project[0].message.find("'job.start'"), std::string::npos);
+  EXPECT_NE(run.project[1].message.find("span here"), std::string::npos);
+  EXPECT_NE(run.project[2].message.find("metric 'jobs.completed'"),
+            std::string::npos);
+  EXPECT_NE(run.project[2].message.find("gauge"), std::string::npos);
+}
+
+TEST(DcLintR12, DuplicateTraceNameAcrossFiles) {
+  const auto run = join_project(
+      {{"a.cpp", "const dc::obs::TraceName kA{\"evt.shared\"};\n"},
+       {"b.cpp", "const dc::obs::TraceName kB{\"evt.shared\"};\n"}});
+  ASSERT_EQ(run.project.size(), 1u) << dc_lint::to_human(run.project);
+  EXPECT_EQ(run.project[0].rule, "dc-r12");
+  EXPECT_EQ(run.project[0].file, "b.cpp");
+  EXPECT_NE(run.project[0].message.find("a.cpp:1"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Reports: human, JSON v2, SARIF 2.1.0.
 
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {
   const auto result = dc_lint::lint_source("tests/lint/fixtures/clean.cpp",
@@ -255,14 +571,16 @@ TEST(DcLintOutput, JsonReportShape) {
   const auto result =
       dc_lint::lint_source("tests/lint/fixtures/r1_wall_clock.cpp",
                            fixture("r1_wall_clock.cpp"));
-  const std::string json =
-      dc_lint::to_json(result.diagnostics, /*files_scanned=*/1, result.waived);
+  const std::string json = dc_lint::to_json(
+      result.diagnostics, /*files_scanned=*/1, result.waived, /*baselined=*/2);
   EXPECT_NE(json.find("\"tool\":\"dc-lint\""), std::string::npos) << json;
-  EXPECT_NE(json.find("\"version\":1"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"version\":2"), std::string::npos) << json;
   EXPECT_NE(json.find("\"files_scanned\":1"), std::string::npos) << json;
   EXPECT_NE(json.find("\"rule\":\"dc-r1\""), std::string::npos) << json;
-  EXPECT_NE(json.find("\"summary\":{\"errors\":5,\"warnings\":0,\"waived\":1}"),
-            std::string::npos)
+  EXPECT_NE(
+      json.find(
+          "\"summary\":{\"errors\":5,\"warnings\":0,\"waived\":1,\"baselined\":2}"),
+      std::string::npos)
       << json;
 }
 
@@ -270,10 +588,304 @@ TEST(DcLintOutput, JsonEscapesSpecialCharacters) {
   // A diagnostic whose file path needs escaping must produce valid JSON.
   std::vector<dc_lint::Diagnostic> diags = {
       {"dir\\sub\"quoted\".cpp", 3, "dc-r1", "error", "msg with \"quotes\""}};
-  const std::string json = dc_lint::to_json(diags, 1, 0);
+  const std::string json = dc_lint::to_json(diags, 1, 0, 0);
   EXPECT_NE(json.find("dir\\\\sub\\\"quoted\\\".cpp"), std::string::npos) << json;
   EXPECT_NE(json.find("msg with \\\"quotes\\\""), std::string::npos) << json;
 }
+
+TEST(DcLintSarif, EmitsTheSarif210Shape) {
+  const auto result =
+      dc_lint::lint_source("tests/lint/fixtures/r1_wall_clock.cpp",
+                           fixture("r1_wall_clock.cpp"));
+  const std::string sarif = dc_lint::to_sarif(result.diagnostics, "2.0.0");
+  EXPECT_NE(sarif.find("\"$schema\":\"https://json.schemastore.org/"
+                       "sarif-2.1.0.json\""),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"version\":\"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"name\":\"dc-lint\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"version\":\"2.0.0\""), std::string::npos);
+  // Every rule ships a descriptor, in table order, so ruleIndex is stable.
+  for (const dc_lint::RuleInfo& rule : dc_lint::rule_table()) {
+    EXPECT_NE(sarif.find("{\"id\":\"" + std::string(rule.id) + "\""),
+              std::string::npos)
+        << rule.id;
+  }
+  EXPECT_NE(sarif.find("\"ruleId\":\"dc-r1\",\"ruleIndex\":0,\"level\":"
+                       "\"error\""),
+            std::string::npos)
+      << sarif;
+  EXPECT_NE(sarif.find("\"artifactLocation\":{\"uri\":\"tests/lint/fixtures/"
+                       "r1_wall_clock.cpp\"}"),
+            std::string::npos);
+  EXPECT_NE(sarif.find("\"region\":{\"startLine\":9}"), std::string::npos);
+  EXPECT_NE(sarif.find("\"columnKind\":\"utf16CodeUnits\""), std::string::npos);
+}
+
+TEST(DcLintSarif, EscapesMessageText) {
+  std::vector<dc_lint::Diagnostic> diags = {
+      {"a.cpp", 1, "dc-r1", "error", "say \"hi\"\nnewline"}};
+  const std::string sarif = dc_lint::to_sarif(diags, "2.0.0");
+  EXPECT_NE(sarif.find("say \\\"hi\\\"\\nnewline"), std::string::npos) << sarif;
+}
+
+// ---------------------------------------------------------------------------
+// Incremental cache.
+
+TEST(DcLintCache, RoundTripPreservesTheFullAnalysis) {
+  const std::string path = "tests/lint/fixtures/r9_snapshot_drift.cpp";
+  const std::string source = fixture("r9_snapshot_drift.cpp");
+  const auto analysis = dc_lint::analyze_file(path, source);
+  const std::uint64_t hash = dc_lint::fnv1a_hash(source);
+
+  dc_lint::AnalysisCache cache;
+  cache.store(path, hash, analysis);
+  EXPECT_EQ(cache.size(), 1u);
+  const std::string cache_path = ::testing::TempDir() + "dc_lint_cache_rt.txt";
+  ASSERT_TRUE(cache.save(cache_path));
+
+  dc_lint::AnalysisCache loaded;
+  ASSERT_TRUE(loaded.load(cache_path));
+  dc_lint::FileAnalysis out;
+  ASSERT_TRUE(loaded.lookup(path, hash, out));
+
+  EXPECT_EQ(out.line_count, analysis.line_count);
+  EXPECT_EQ(out.waived, analysis.waived);
+  ASSERT_EQ(out.diagnostics.size(), analysis.diagnostics.size());
+  for (std::size_t i = 0; i < out.diagnostics.size(); ++i) {
+    EXPECT_EQ(out.diagnostics[i].file, analysis.diagnostics[i].file);
+    EXPECT_EQ(out.diagnostics[i].line, analysis.diagnostics[i].line);
+    EXPECT_EQ(out.diagnostics[i].rule, analysis.diagnostics[i].rule);
+    EXPECT_EQ(out.diagnostics[i].message, analysis.diagnostics[i].message);
+  }
+  ASSERT_EQ(out.waivers.size(), analysis.waivers.size());
+  for (std::size_t i = 0; i < out.waivers.size(); ++i) {
+    EXPECT_EQ(out.waivers[i].rule, analysis.waivers[i].rule);
+    EXPECT_EQ(out.waivers[i].target_line, analysis.waivers[i].target_line);
+    EXPECT_EQ(out.waivers[i].group, analysis.waivers[i].group);
+    EXPECT_EQ(out.waivers[i].used, analysis.waivers[i].used);
+  }
+
+  // Facts survive verbatim: the project phase must reach identical
+  // conclusions from a cache hit as from a fresh lex.
+  const auto& facts = analysis.facts;
+  EXPECT_EQ(out.facts.path, facts.path);
+  EXPECT_EQ(out.facts.is_header, facts.is_header);
+  EXPECT_EQ(out.facts.includes.size(), facts.includes.size());
+  EXPECT_EQ(out.facts.classes.size(), facts.classes.size());
+  ASSERT_EQ(out.facts.persists.size(), facts.persists.size());
+  for (std::size_t i = 0; i < out.facts.persists.size(); ++i) {
+    EXPECT_EQ(out.facts.persists[i].class_name, facts.persists[i].class_name);
+    EXPECT_EQ(out.facts.persists[i].is_save, facts.persists[i].is_save);
+    EXPECT_EQ(out.facts.persists[i].names, facts.persists[i].names);
+    EXPECT_EQ(out.facts.persists[i].idents, facts.persists[i].idents);
+  }
+  EXPECT_EQ(out.facts.name_regs.size(), facts.name_regs.size());
+  std::remove(cache_path.c_str());
+}
+
+TEST(DcLintCache, ContentHashAndUnknownFilesMiss) {
+  const std::string source = "int x = 0;\n";
+  const auto analysis = dc_lint::analyze_file("a.cpp", source);
+  const std::uint64_t hash = dc_lint::fnv1a_hash(source);
+
+  dc_lint::AnalysisCache cache;
+  cache.store("a.cpp", hash, analysis);
+  dc_lint::FileAnalysis out;
+  EXPECT_TRUE(cache.lookup("a.cpp", hash, out));
+  EXPECT_FALSE(cache.lookup("a.cpp", hash ^ 1, out));  // content changed
+  EXPECT_FALSE(cache.lookup("b.cpp", hash, out));      // never stored
+}
+
+TEST(DcLintCache, RejectsOtherRulesVersionsAndCorruptFiles) {
+  dc_lint::AnalysisCache cache;
+  EXPECT_FALSE(cache.load(::testing::TempDir() + "dc_lint_no_such_cache"));
+
+  const std::string stale = temp_file(
+      "stale_cache.txt", "dc-lint-cache 1 dc-lint-0.0.1\nF 0 a.cpp\n");
+  EXPECT_FALSE(cache.load(stale));
+  EXPECT_EQ(cache.size(), 0u);
+
+  const std::string garbage = temp_file("garbage_cache.txt", "not a cache\n");
+  EXPECT_FALSE(cache.load(garbage));
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Baseline: parse, match, stale audit, severity overrides, render.
+
+TEST(DcLintBaseline, ParsesMatchesAndReportsStaleEntries) {
+  const std::string path = temp_file(
+      "baseline.txt",
+      "# accepted findings\n"
+      "severity dc-r9 warning\n"
+      "dc-r9|src/a.cpp|msg one\n"
+      "dc-r9|src/b.cpp|msg two\n");
+  std::vector<std::string> errors;
+  dc_lint::Baseline baseline = dc_lint::load_baseline(path, errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_TRUE(baseline.loaded);
+  ASSERT_EQ(baseline.entries.size(), 2u);
+  ASSERT_EQ(baseline.severities.size(), 1u);
+
+  std::vector<dc_lint::Diagnostic> diags = {
+      {"src/a.cpp", 5, "dc-r9", "error", "msg one"}};
+  dc_lint::apply_severity_overrides(baseline, diags);
+  EXPECT_EQ(diags[0].severity, "warning");
+
+  // Entries are line-number-free: code motion does not churn them.
+  EXPECT_TRUE(dc_lint::baseline_match(baseline, diags[0]));
+  EXPECT_FALSE(dc_lint::baseline_match(
+      baseline, {"src/a.cpp", 5, "dc-r9", "error", "different message"}));
+  EXPECT_EQ(dc_lint::stale_baseline_entries(baseline),
+            (std::vector<std::string>{"dc-r9|src/b.cpp|msg two"}));
+}
+
+TEST(DcLintBaseline, MissingFileIsEmptyNotLoaded) {
+  std::vector<std::string> errors;
+  const dc_lint::Baseline baseline = dc_lint::load_baseline(
+      ::testing::TempDir() + "dc_lint_no_such_baseline", errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_FALSE(baseline.loaded);
+  EXPECT_TRUE(baseline.entries.empty());
+}
+
+TEST(DcLintBaseline, MalformedLinesAreReportedWithPositions) {
+  const std::string path = temp_file(
+      "baseline_bad.txt",
+      "severity dc-r99 warning\n"
+      "dc-r1 no pipes here\n");
+  std::vector<std::string> errors;
+  dc_lint::load_baseline(path, errors);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find(":1: malformed severity"), std::string::npos)
+      << errors[0];
+  EXPECT_NE(errors[1].find(":2: malformed entry"), std::string::npos)
+      << errors[1];
+}
+
+TEST(DcLintBaseline, RenderKeepsSeverityDirectives) {
+  dc_lint::Baseline previous;
+  previous.severities.emplace_back("dc-r9", "warning");
+  const std::vector<dc_lint::Diagnostic> diags = {
+      {"src/a.cpp", 5, "dc-r9", "warning", "msg one"}};
+  const std::string text = dc_lint::render_baseline(previous, diags);
+  EXPECT_NE(text.find("severity dc-r9 warning"), std::string::npos) << text;
+  EXPECT_NE(text.find("dc-r9|src/a.cpp|msg one"), std::string::npos) << text;
+}
+
+// ---------------------------------------------------------------------------
+// Mechanical fixes.
+
+TEST(DcLintFixes, InsertsPragmaOnceAfterTheLeadingCommentBlock) {
+  const std::string text =
+      "// Header comment.\n"
+      "// Second line.\n"
+      "\n"
+      "int value();\n";
+  const std::vector<dc_lint::Diagnostic> diags = {
+      {"h.hpp", 1, "dc-r5", "warning",
+       "header is missing '#pragma once' (or a classic include guard)"}};
+  std::vector<std::pair<std::string, int>> fixed;
+  const dc_lint::FixResult result = dc_lint::apply_fixes(text, diags, fixed);
+  EXPECT_TRUE(result.changed);
+  EXPECT_EQ(result.applied, 1);
+  EXPECT_EQ(result.text,
+            "// Header comment.\n"
+            "// Second line.\n"
+            "\n"
+            "#pragma once\n"
+            "int value();\n");
+}
+
+TEST(DcLintFixes, StripsStaleWaiverComments) {
+  const std::string text =
+      "int a = 0;  // NOLINT(dc-r3)\n"
+      "// NOLINTNEXTLINE(dc-r1)\n"
+      "int b = 0;\n";
+  const std::vector<dc_lint::Diagnostic> diags = {
+      {"f.cpp", 1, "dc-waiver", "error", "stale"},
+      {"f.cpp", 2, "dc-waiver", "error", "stale"}};
+  std::vector<std::pair<std::string, int>> fixed;
+  const dc_lint::FixResult result = dc_lint::apply_fixes(text, diags, fixed);
+  EXPECT_TRUE(result.changed);
+  EXPECT_EQ(result.applied, 2);
+  // The trailing comment is trimmed; the full-line comment is deleted.
+  EXPECT_EQ(result.text, "int a = 0;\nint b = 0;\n");
+}
+
+// ---------------------------------------------------------------------------
+// Driver: end-to-end over real files, stale-waiver audit, warm cache.
+
+TEST(DcLintDriver, EndToEndOverTheFixturePair) {
+  dc_lint::DriverOptions options;
+  options.roots = {fixture_path("r9_snapshot_drift.hpp"),
+                   fixture_path("r9_snapshot_drift.cpp")};
+  options.jobs = 2;
+  const dc_lint::DriverResult result = dc_lint::run_driver(options);
+  EXPECT_TRUE(result.errors.empty());
+  EXPECT_EQ(result.files_scanned, 2);
+  EXPECT_EQ(result.diagnostics.size(), 3u)
+      << dc_lint::to_human(result.diagnostics);
+  expect_all_rule(result.diagnostics, "dc-r9", "error");
+  EXPECT_EQ(result.waived, 1);  // the dc-r6 alias NOLINT
+}
+
+TEST(DcLintDriver, StaleWaiverIsAuditedAndFixed) {
+  const std::string path = temp_file(
+      "stale_waiver.cpp",
+      "int answer() { return 42; }  // NOLINT(dc-r1)\n"
+      "int other() { return 7; }\n");
+
+  dc_lint::DriverOptions options;
+  options.roots = {path};
+  const dc_lint::DriverResult audited = dc_lint::run_driver(options);
+  ASSERT_EQ(audited.diagnostics.size(), 1u)
+      << dc_lint::to_human(audited.diagnostics);
+  EXPECT_EQ(audited.diagnostics[0].rule, "dc-waiver");
+  EXPECT_EQ(audited.diagnostics[0].line, 1);
+
+  // --fix strips the comment, drops the diagnostic, and leaves the file
+  // clean for the next run.
+  options.fix = true;
+  const dc_lint::DriverResult fixed = dc_lint::run_driver(options);
+  EXPECT_EQ(fixed.fixes_applied, 1);
+  EXPECT_TRUE(fixed.diagnostics.empty())
+      << dc_lint::to_human(fixed.diagnostics);
+  EXPECT_EQ(read_file_or_die(path),
+            "int answer() { return 42; }\nint other() { return 7; }\n");
+
+  options.fix = false;
+  const dc_lint::DriverResult rerun = dc_lint::run_driver(options);
+  EXPECT_TRUE(rerun.diagnostics.empty());
+  std::remove(path.c_str());
+}
+
+TEST(DcLintDriver, WarmCacheRunReproducesTheColdRun) {
+  dc_lint::DriverOptions options;
+  options.roots = {fixture_path("r9_snapshot_drift.hpp"),
+                   fixture_path("r9_snapshot_drift.cpp")};
+  options.cache_path = ::testing::TempDir() + "dc_lint_driver_cache.txt";
+  std::remove(options.cache_path.c_str());
+
+  const dc_lint::DriverResult cold = dc_lint::run_driver(options);
+  EXPECT_EQ(cold.cache_hits, 0);
+  EXPECT_EQ(cold.cache_misses, 2);
+
+  const dc_lint::DriverResult warm = dc_lint::run_driver(options);
+  EXPECT_EQ(warm.cache_hits, 2);
+  EXPECT_EQ(warm.cache_misses, 0);
+
+  // A cache hit must reach identical conclusions, including the project
+  // phase re-run over the cached facts and the waiver accounting.
+  EXPECT_EQ(dc_lint::to_human(warm.diagnostics),
+            dc_lint::to_human(cold.diagnostics));
+  EXPECT_EQ(warm.waived, cold.waived);
+  std::remove(options.cache_path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Waivers.
 
 TEST(DcLintWaivers, UnrelatedNolintDoesNotSuppress) {
   // A NOLINT for a different rule must not waive a dc-r1 diagnostic.
@@ -282,6 +894,25 @@ TEST(DcLintWaivers, UnrelatedNolintDoesNotSuppress) {
   ASSERT_EQ(result.diagnostics.size(), 1u);
   EXPECT_EQ(result.diagnostics[0].rule, "dc-r1");
   EXPECT_EQ(result.waived, 0);
+}
+
+TEST(DcLintWaivers, DcR6AliasConsumesDcR9ButNotOthers) {
+  std::vector<dc_lint::WaiverSite> sites = {{"dc-r6", 10, 10, 0, false}};
+  EXPECT_FALSE(dc_lint::consume_waiver(sites, 10, "dc-r10"));
+  EXPECT_FALSE(sites[0].used);
+  EXPECT_TRUE(dc_lint::consume_waiver(sites, 10, "dc-r9"));
+  EXPECT_TRUE(sites[0].used);
+}
+
+TEST(DcLintWaivers, UnusedSitesKeepTheirGroupForTheAudit) {
+  const auto analysis = dc_lint::analyze_file(
+      "x.cpp",
+      "long t() { return time(nullptr); }  // NOLINT(dc-r1)\n"
+      "int unused() { return 0; }  // NOLINT(dc-r2)\n");
+  ASSERT_EQ(analysis.waivers.size(), 2u);
+  EXPECT_TRUE(analysis.waivers[0].used);   // consumed by the dc-r1 hit
+  EXPECT_FALSE(analysis.waivers[1].used);  // matched nothing: audit fodder
+  EXPECT_NE(analysis.waivers[0].group, analysis.waivers[1].group);
 }
 
 }  // namespace

@@ -1,0 +1,36 @@
+// dc-r11 fixture: writes to shared state inside parallel sweep callbacks.
+// Never compiled, only lexed. Integer state throughout so dc-r4 (float
+// reductions) stays quiet and every diagnostic here is dc-r11's.
+#include "util/parallel.hpp"
+
+void sweep(std::vector<long>& out, const Grid& grid) {
+  long total = 0;
+  Stats stats;
+  Stats* shared = &stats;
+  dc::parallel_for_index(out.size(), [&](std::size_t i) {
+    const long local = grid.cell(i);  // body-local: clean
+    out[i] = local * 2;               // loop-indexed store: clean
+    total += local;                   // captured-ref accumulate: fires
+    stats.samples = local;            // captured struct field: fires
+    shared->hits++;                   // captured pointer target: fires
+  });
+}
+
+// A copy-captured scalar is private to the callback: writing it loses
+// updates (a different bug), but no two threads share the location.
+void copy_capture(std::vector<long>& out) {
+  long generation = 7;
+  dc::parallel_for_index(out.size(), [generation, &out](std::size_t i) {
+    out[i] = generation;  // clean: indexed store
+    generation = 0;       // clean for dc-r11: writes the private copy
+  });
+}
+
+// Reviewed exemption: the waiver must suppress the diagnostic and count
+// as used.
+void waived(std::vector<long>& out, long& hint) {
+  dc::parallel_for_index(out.size(), [&](std::size_t i) {
+    hint = static_cast<long>(i);  // NOLINT(dc-r11) monotonic hint, benign
+    out[i] = hint;
+  });
+}

@@ -1,6 +1,9 @@
 // Fixture: dc-r4 violations — floating-point compound reductions inside
 // parallel sweep callbacks, where summation order depends on chunking.
-// Expected: 2 diagnostics (lines 13, 21), 1 waived (line 30).
+// Captured-ref accumulations are also sweep races, so dc-r11 co-fires
+// where the write is not loop-indexed. Expected: dc-r4 at lines 16, 24;
+// dc-r11 at lines 16, 43; the ordered-reduction annotation (line 33)
+// waives both rules.
 #include <cstddef>
 #include <vector>
 
@@ -33,7 +36,8 @@ void waived(std::vector<double>& costs) {
 }
 
 void fine(std::vector<double>& costs) {
-  // No violation: integer accumulation is associative.
+  // No dc-r4: integer accumulation is associative. Still a cross-thread
+  // race on `count`, so dc-r11 fires.
   long count = 0;
   parallel_for_index(costs.size(), [&](std::size_t i) {
     count += static_cast<long>(costs[i] > 0.0);

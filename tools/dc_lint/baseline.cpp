@@ -1,0 +1,102 @@
+#include "baseline.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace dc_lint {
+
+Baseline load_baseline(const std::string& path, std::vector<std::string>& errors) {
+  Baseline baseline;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return baseline;
+  baseline.loaded = true;
+
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+
+    if (line.compare(0, 9, "severity ") == 0) {
+      std::istringstream fields(line.substr(9));
+      std::string rule, level;
+      if (!(fields >> rule >> level) ||
+          (level != "error" && level != "warning") ||
+          find_rule(rule) == nullptr) {
+        errors.push_back(path + ":" + std::to_string(line_no) +
+                         ": malformed severity directive (want `severity "
+                         "dc-rN error|warning`)");
+        continue;
+      }
+      baseline.severities.emplace_back(rule, level);
+      continue;
+    }
+
+    const std::size_t first = line.find('|');
+    const std::size_t second =
+        first == std::string::npos ? std::string::npos : line.find('|', first + 1);
+    if (second == std::string::npos) {
+      errors.push_back(path + ":" + std::to_string(line_no) +
+                       ": malformed entry (want `rule|file|message`)");
+      continue;
+    }
+    BaselineEntry entry;
+    entry.rule = line.substr(0, first);
+    entry.file = line.substr(first + 1, second - first - 1);
+    entry.message = line.substr(second + 1);
+    baseline.entries.push_back(std::move(entry));
+  }
+  return baseline;
+}
+
+void apply_severity_overrides(const Baseline& baseline,
+                              std::vector<Diagnostic>& diagnostics) {
+  if (baseline.severities.empty()) return;
+  for (Diagnostic& d : diagnostics) {
+    for (const auto& [rule, level] : baseline.severities) {
+      if (d.rule == rule) d.severity = level;
+    }
+  }
+}
+
+bool baseline_match(Baseline& baseline, const Diagnostic& d) {
+  bool hit = false;
+  for (BaselineEntry& entry : baseline.entries) {
+    if (entry.rule == d.rule && entry.file == d.file &&
+        entry.message == d.message) {
+      entry.used = true;
+      hit = true;
+    }
+  }
+  return hit;
+}
+
+std::vector<std::string> stale_baseline_entries(const Baseline& baseline) {
+  std::vector<std::string> stale;
+  for (const BaselineEntry& entry : baseline.entries) {
+    if (!entry.used) {
+      stale.push_back(entry.rule + "|" + entry.file + "|" + entry.message);
+    }
+  }
+  return stale;
+}
+
+std::string render_baseline(const Baseline& previous,
+                            const std::vector<Diagnostic>& diagnostics) {
+  std::string out =
+      "# dc-lint baseline: accepted pre-existing findings.\n"
+      "# Regenerate with `dc_lint --write-baseline ...`; entries are\n"
+      "# rule|file|message, matched without line numbers so unrelated\n"
+      "# code motion does not churn this file. Remove entries as the\n"
+      "# findings are fixed — CI reports the stale ones.\n";
+  for (const auto& [rule, level] : previous.severities) {
+    out += "severity " + rule + " " + level + "\n";
+  }
+  for (const Diagnostic& d : diagnostics) {
+    out += d.rule + "|" + d.file + "|" + d.message + "\n";
+  }
+  return out;
+}
+
+}  // namespace dc_lint

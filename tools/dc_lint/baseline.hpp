@@ -1,0 +1,62 @@
+// Checked-in baseline: the warn-first → promote workflow.
+//
+// `dc_lint_baseline.txt` (repo root) holds two kinds of lines:
+//
+//   severity <rule> <level>        e.g. `severity dc-r9 warning`
+//   <rule>|<file>|<message>        one accepted pre-existing finding
+//
+// A `severity` directive downgrades (or upgrades) every diagnostic of a
+// rule — new rules roll out as warnings first, then the directive is
+// deleted to promote them to errors. An entry line suppresses one exact
+// (rule, file, message) finding; entries carry no line number, so code
+// motion above a finding does not churn the baseline, while any change
+// to the finding itself (renamed field, different member) makes the
+// entry stop matching. Entries that match nothing are reported as
+// stale so the baseline only ever shrinks.
+//
+// `--write-baseline` regenerates the entry lines from the current
+// findings, preserving the severity directives.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace dc_lint {
+
+struct BaselineEntry {
+  std::string rule;
+  std::string file;
+  std::string message;
+  bool used = false;  // matched at least one diagnostic this run
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+  std::vector<std::pair<std::string, std::string>> severities;  // rule, level
+  bool loaded = false;  // the file existed and parsed
+};
+
+/// Parses `path`. A missing file yields an empty, not-loaded baseline
+/// (not an error: most checkouts have no accepted findings). Malformed
+/// lines land in `errors` as "<path>:<line>: <what>".
+Baseline load_baseline(const std::string& path, std::vector<std::string>& errors);
+
+/// Applies the baseline's severity overrides in place.
+void apply_severity_overrides(const Baseline& baseline,
+                              std::vector<Diagnostic>& diagnostics);
+
+/// True when `d` matches an entry; the entry (and its duplicates) are
+/// marked used.
+bool baseline_match(Baseline& baseline, const Diagnostic& d);
+
+/// Entries never matched this run, rendered as "<rule>|<file>|<message>".
+std::vector<std::string> stale_baseline_entries(const Baseline& baseline);
+
+/// Renders a baseline file accepting `diagnostics`, keeping the severity
+/// directives of `previous`.
+std::string render_baseline(const Baseline& previous,
+                            const std::vector<Diagnostic>& diagnostics);
+
+}  // namespace dc_lint

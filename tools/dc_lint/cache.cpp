@@ -1,0 +1,266 @@
+#include "cache.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace dc_lint {
+namespace {
+
+// The last field of a record may contain spaces (messages, name
+// literals); newlines and backslashes are the only characters that would
+// break the line framing, so they are the only ones escaped.
+std::string escape_tail(std::string_view text) {
+  std::string out;
+  for (const char c : text) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string unescape_tail(std::string_view text) {
+  std::string out;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\\' && i + 1 < text.size()) {
+      ++i;
+      out += text[i] == 'n' ? '\n' : text[i];
+    } else {
+      out += text[i];
+    }
+  }
+  return out;
+}
+
+// Reads the fixed leading fields of `line` after the record tag, leaving
+// the tail (which may contain spaces) in `tail`.
+bool split_fields(const std::string& line, int fixed, std::vector<std::string>& fields,
+                  std::string& tail) {
+  fields.clear();
+  std::size_t at = 0;
+  for (int k = 0; k < fixed; ++k) {
+    while (at < line.size() && line[at] == ' ') ++at;
+    const std::size_t end = line.find(' ', at);
+    if (at >= line.size()) return false;
+    fields.push_back(line.substr(at, end == std::string::npos ? std::string::npos
+                                                              : end - at));
+    if (end == std::string::npos) {
+      at = line.size();
+      if (k + 1 < fixed) return false;
+    } else {
+      at = end + 1;
+    }
+  }
+  tail = at < line.size() ? line.substr(at) : std::string();
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t fnv1a_hash(std::string_view bytes) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+bool AnalysisCache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string line;
+  if (!std::getline(in, line)) return false;
+  if (line != std::string("dc-lint-cache 1 ") + kLintRulesVersion) return false;
+
+  try {
+    if (load_records(in)) return true;
+    entries_.clear();
+    return false;
+  } catch (...) {
+    // std::stoi / std::stoull throwing means a truncated or corrupt
+    // record — indistinguishable from no cache at all.
+    entries_.clear();
+    return false;
+  }
+}
+
+bool AnalysisCache::load_records(std::istream& in) {
+  std::string line;
+  entries_.clear();
+  Entry* entry = nullptr;
+  ClassInfo* cls = nullptr;
+  PersistMethod* persist = nullptr;
+  std::vector<std::string> f;
+  std::string tail;
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const char tag = line[0];
+    const std::string rest = line.size() > 2 ? line.substr(2) : std::string();
+    switch (tag) {
+      case 'F': {
+        if (!split_fields(rest, 1, f, tail)) return false;
+        Entry& e = entries_[tail];
+        e.hash = std::stoull(f[0], nullptr, 16);
+        e.analysis = FileAnalysis{};
+        e.analysis.facts.path = tail;
+        entry = &e;
+        cls = nullptr;
+        persist = nullptr;
+        break;
+      }
+      case 'A':
+        if (entry == nullptr || !split_fields(rest, 4, f, tail)) return false;
+        entry->analysis.line_count = std::stoi(f[0]);
+        entry->analysis.waived = std::stoi(f[1]);
+        entry->analysis.facts.is_header = f[2] == "1";
+        entry->analysis.facts.has_guard = f[3] == "1";
+        break;
+      case 'I': {
+        if (entry == nullptr || !split_fields(rest, 3, f, tail)) return false;
+        IncludeDirective inc;
+        inc.line = std::stoi(f[0]);
+        inc.angled = f[1] == "1";
+        inc.conditional = f[2] == "1";
+        inc.target = unescape_tail(tail);
+        entry->analysis.facts.includes.push_back(std::move(inc));
+        break;
+      }
+      case 'C': {
+        if (entry == nullptr || !split_fields(rest, 1, f, tail)) return false;
+        entry->analysis.facts.classes.push_back(
+            {unescape_tail(tail), std::stoi(f[0]), {}});
+        cls = &entry->analysis.facts.classes.back();
+        break;
+      }
+      case 'M': {
+        if (cls == nullptr || !split_fields(rest, 2, f, tail)) return false;
+        cls->members.push_back(
+            {unescape_tail(tail), std::stoi(f[0]), f[1] == "1"});
+        break;
+      }
+      case 'P': {
+        if (entry == nullptr || !split_fields(rest, 3, f, tail)) return false;
+        PersistMethod method;
+        method.line = std::stoi(f[0]);
+        method.is_save = f[1] == "1";
+        method.dynamic_names = f[2] == "1";
+        method.class_name = unescape_tail(tail);
+        entry->analysis.facts.persists.push_back(std::move(method));
+        persist = &entry->analysis.facts.persists.back();
+        break;
+      }
+      case 'N':
+        if (persist == nullptr || !split_fields(rest, 1, f, tail)) return false;
+        persist->names.emplace_back(unescape_tail(tail), std::stoi(f[0]));
+        break;
+      case 'D': {
+        if (persist == nullptr) return false;
+        std::istringstream idents(rest);
+        std::string ident;
+        while (idents >> ident) persist->idents.insert(ident);
+        break;
+      }
+      case 'R': {
+        if (entry == nullptr || !split_fields(rest, 2, f, tail)) return false;
+        NameReg reg;
+        reg.kind = static_cast<NameReg::Kind>(std::stoi(f[0]));
+        reg.line = std::stoi(f[1]);
+        reg.name = unescape_tail(tail);
+        entry->analysis.facts.name_regs.push_back(std::move(reg));
+        break;
+      }
+      case 'G': {
+        if (entry == nullptr || !split_fields(rest, 4, f, tail)) return false;
+        entry->analysis.waivers.push_back({tail, std::stoi(f[0]), std::stoi(f[1]),
+                                           std::stoi(f[2]), f[3] == "1"});
+        break;
+      }
+      case 'X': {
+        if (entry == nullptr || !split_fields(rest, 3, f, tail)) return false;
+        entry->analysis.diagnostics.push_back({entry->analysis.facts.path,
+                                               std::stoi(f[0]), f[1], f[2],
+                                               unescape_tail(tail)});
+        break;
+      }
+      default:
+        return false;  // unknown record: treat the cache as corrupt
+    }
+  }
+  return true;
+}
+
+bool AnalysisCache::lookup(const std::string& file, std::uint64_t hash,
+                           FileAnalysis& out) const {
+  const auto it = entries_.find(file);
+  if (it == entries_.end() || it->second.hash != hash) return false;
+  out = it->second.analysis;
+  return true;
+}
+
+void AnalysisCache::store(const std::string& file, std::uint64_t hash,
+                          const FileAnalysis& analysis) {
+  entries_[file] = {hash, analysis};
+}
+
+bool AnalysisCache::save(const std::string& path) const {
+  std::ostringstream out;
+  out << "dc-lint-cache 1 " << kLintRulesVersion << '\n';
+  for (const auto& [file, entry] : entries_) {
+    const FileAnalysis& a = entry.analysis;
+    char hash_hex[32];
+    std::snprintf(hash_hex, sizeof(hash_hex), "%llx",
+                  static_cast<unsigned long long>(entry.hash));
+    out << "F " << hash_hex << ' ' << file << '\n';
+    out << "A " << a.line_count << ' ' << a.waived << ' '
+        << (a.facts.is_header ? 1 : 0) << ' ' << (a.facts.has_guard ? 1 : 0)
+        << '\n';
+    for (const IncludeDirective& inc : a.facts.includes) {
+      out << "I " << inc.line << ' ' << (inc.angled ? 1 : 0) << ' '
+          << (inc.conditional ? 1 : 0) << ' ' << escape_tail(inc.target) << '\n';
+    }
+    for (const ClassInfo& cls : a.facts.classes) {
+      out << "C " << cls.line << ' ' << escape_tail(cls.name) << '\n';
+      for (const MemberField& member : cls.members) {
+        out << "M " << member.line << ' ' << (member.is_volatile ? 1 : 0) << ' '
+            << escape_tail(member.name) << '\n';
+      }
+    }
+    for (const PersistMethod& method : a.facts.persists) {
+      out << "P " << method.line << ' ' << (method.is_save ? 1 : 0) << ' '
+          << (method.dynamic_names ? 1 : 0) << ' '
+          << escape_tail(method.class_name) << '\n';
+      for (const auto& [name, line] : method.names) {
+        out << "N " << line << ' ' << escape_tail(name) << '\n';
+      }
+      if (!method.idents.empty()) {
+        out << "D";
+        for (const std::string& ident : method.idents) out << ' ' << ident;
+        out << '\n';
+      }
+    }
+    for (const NameReg& reg : a.facts.name_regs) {
+      out << "R " << static_cast<int>(reg.kind) << ' ' << reg.line << ' '
+          << escape_tail(reg.name) << '\n';
+    }
+    for (const WaiverSite& site : a.waivers) {
+      out << "G " << site.origin_line << ' ' << site.target_line << ' '
+          << site.group << ' ' << (site.used ? 1 : 0) << ' ' << site.rule
+          << '\n';
+    }
+    for (const Diagnostic& d : a.diagnostics) {
+      out << "X " << d.line << ' ' << d.rule << ' ' << d.severity << ' '
+          << escape_tail(d.message) << '\n';
+    }
+  }
+  std::ofstream file_out(path, std::ios::binary | std::ios::trunc);
+  if (!file_out) return false;
+  const std::string text = out.str();
+  file_out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return static_cast<bool>(file_out);
+}
+
+}  // namespace dc_lint

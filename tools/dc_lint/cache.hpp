@@ -1,0 +1,67 @@
+// Content-hash-keyed incremental cache for pass-1 results.
+//
+// A FileAnalysis depends only on (display path, file bytes, rule set), so
+// it can be reused verbatim while a file is unchanged. The cache persists
+// every entry of the last run — FileFacts, local diagnostics, waiver
+// sites — keyed by FNV-1a of the file content and stamped with
+// kLintRulesVersion; a version mismatch discards the whole cache, which
+// is how rule changes invalidate stale conclusions without any
+// per-rule bookkeeping.
+//
+// The project rules (dc-r9/r10/r12) are NOT cached: they join facts
+// across files, so a one-file edit can change another file's verdict.
+// They re-run over the (mostly cached) facts on every invocation — that
+// join is orders of magnitude cheaper than lexing, which is the point of
+// the split. Cache hits must therefore deliver pristine local state: the
+// driver mutates its own copies during the project phase.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "rules.hpp"
+
+namespace dc_lint {
+
+/// Bump on any rule or serialization change; persisted caches from other
+/// versions are discarded wholesale.
+inline constexpr const char* kLintRulesVersion = "dc-lint-2.0.0";
+
+std::uint64_t fnv1a_hash(std::string_view bytes);
+
+class AnalysisCache {
+ public:
+  /// Loads `path`. Returns false (leaving the cache empty) when the file
+  /// is absent, from another rules version, or corrupt — all equivalent
+  /// to a cold cache.
+  bool load(const std::string& path);
+
+  /// Copies the cached analysis for (`file`, `hash`) into `out`. A path
+  /// match with a different hash is a miss (the file changed).
+  bool lookup(const std::string& file, std::uint64_t hash,
+              FileAnalysis& out) const;
+
+  void store(const std::string& file, std::uint64_t hash,
+             const FileAnalysis& analysis);
+
+  /// Persists every stored entry. Entries for files not seen this run
+  /// were dropped at load time by the driver calling store() only for
+  /// current files — save() writes exactly what was stored/retained.
+  bool save(const std::string& path) const;
+
+  std::size_t size() const { return entries_.size(); }
+
+ private:
+  bool load_records(std::istream& in);
+
+  struct Entry {
+    std::uint64_t hash = 0;
+    FileAnalysis analysis;
+  };
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace dc_lint

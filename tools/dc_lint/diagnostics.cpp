@@ -1,0 +1,166 @@
+#include "diagnostics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dc_lint {
+
+const std::vector<RuleInfo>& rule_table() {
+  static const std::vector<RuleInfo> kRules = {
+      {"dc-r1", "error",
+       "no wall-clock or ambient RNG in simulation code; use "
+       "sim::Simulator::now() and a seeded dc::Rng"},
+      {"dc-r2", "error",
+       "no iteration over unordered containers; hash order is unspecified "
+       "and breaks reproducibility"},
+      {"dc-r3", "error",
+       "no raw new/delete/malloc in src/sim hot-path files; the event slab "
+       "owns allocation there"},
+      {"dc-r4", "error",
+       "no floating-point reductions inside parallel callbacks; FP addition "
+       "is non-associative across thread interleavings"},
+      {"dc-r5", "warning",
+       "header hygiene: include guard or #pragma once, and no "
+       "'using namespace std' in headers"},
+      {"dc-r6", "error",
+       "superseded by dc-r9 (kept as a waiver alias): snapshot save/restore "
+       "field-count drift"},
+      {"dc-r7", "error",
+       "no direct stdio output in src/core or src/sim; narrate through "
+       "dc::Log or DC_TRACE_* macros"},
+      {"dc-r8", "error",
+       "no float/double math or unordered containers in scheduler-queue "
+       "sources; bucket indexing stays integer-only"},
+      {"dc-r9", "error",
+       "snapshot semantic completeness: save/restore field-name sets must "
+       "match, and every data member is persisted, delegated, or marked "
+       "// dc-volatile"},
+      {"dc-r10", "error",
+       "layering: a module may include only its declared dependencies, and "
+       "the include graph must be acyclic"},
+      {"dc-r11", "error",
+       "sweep-race heuristic: no writes through captured references or "
+       "pointers to state not indexed by the loop variable inside parallel "
+       "callbacks"},
+      {"dc-r12", "error",
+       "trace/metrics name registry: no duplicate interned TraceName "
+       "declarations, no literal used as both instant and span, no metric "
+       "name registered under two types"},
+      {"dc-waiver", "error",
+       "stale suppression: a NOLINT(dc-rN) or dc-lint: annotation that no "
+       "longer suppresses anything"},
+  };
+  return kRules;
+}
+
+const RuleInfo* find_rule(std::string_view rule) {
+  for (const RuleInfo& info : rule_table()) {
+    if (rule == info.id) return &info;
+  }
+  return nullptr;
+}
+
+bool waiver_matches(std::string_view waiver_rule, std::string_view diag_rule) {
+  if (waiver_rule == diag_rule) return true;
+  // dc-r9 superseded dc-r6; waivers written against dc-r6 keep working.
+  return waiver_rule == "dc-r6" && diag_rule == "dc-r9";
+}
+
+bool consume_waiver(std::vector<WaiverSite>& sites, int line,
+                    std::string_view rule) {
+  bool hit = false;
+  for (WaiverSite& site : sites) {
+    if (site.target_line == line && waiver_matches(site.rule, rule)) {
+      site.used = true;
+      hit = true;  // keep scanning: duplicate sites all count as used
+    }
+  }
+  return hit;
+}
+
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics) {
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+}
+
+std::string to_human(const std::vector<Diagnostic>& diagnostics) {
+  std::string out;
+  for (const Diagnostic& d : diagnostics) {
+    out += d.file;
+    out += ':';
+    out += std::to_string(d.line);
+    out += ": ";
+    out += d.severity;
+    out += '[';
+    out += d.rule;
+    out += "]: ";
+    out += d.message;
+    out += '\n';
+  }
+  return out;
+}
+
+void json_escape_into(std::string& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+std::string to_json(const std::vector<Diagnostic>& diagnostics, int files_scanned,
+                    int waived, int baselined) {
+  int errors = 0;
+  int warnings = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == "error") ++errors;
+    else ++warnings;
+  }
+  std::string out = "{\"tool\":\"dc-lint\",\"version\":2,\"files_scanned\":";
+  out += std::to_string(files_scanned);
+  out += ",\"diagnostics\":[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"file\":\"";
+    json_escape_into(out, d.file);
+    out += "\",\"line\":";
+    out += std::to_string(d.line);
+    out += ",\"rule\":\"";
+    json_escape_into(out, d.rule);
+    out += "\",\"severity\":\"";
+    json_escape_into(out, d.severity);
+    out += "\",\"message\":\"";
+    json_escape_into(out, d.message);
+    out += "\"}";
+  }
+  out += "],\"summary\":{\"errors\":";
+  out += std::to_string(errors);
+  out += ",\"warnings\":";
+  out += std::to_string(warnings);
+  out += ",\"waived\":";
+  out += std::to_string(waived);
+  out += ",\"baselined\":";
+  out += std::to_string(baselined);
+  out += "}}";
+  return out;
+}
+
+}  // namespace dc_lint

@@ -1,0 +1,80 @@
+// Shared diagnostic surface of dc-lint v2: the Diagnostic record every
+// pass emits, the rule-metadata table (ids, default severities, summaries
+// — the single source for SARIF rule descriptors and the docs table), the
+// inline-waiver model, and the plain-text/JSON renderers.
+//
+// Rule ids and aliases: every diagnostic carries one canonical rule id
+// ("dc-r1" .. "dc-r12", or "dc-waiver" for the stale-suppression audit).
+// A waiver written for an alias keeps working after a rule is superseded:
+// a dc-r6 waiver also waives dc-r9, which replaced the r6 field-count
+// heuristic with name-level matching.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dc_lint {
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string rule;      // canonical id: "dc-r1" .. "dc-r12", "dc-waiver"
+  std::string severity;  // "error" | "warning"
+  std::string message;
+};
+
+/// Static metadata for one rule, consumed by the SARIF emitter, the
+/// baseline's severity overrides, and --help.
+struct RuleInfo {
+  const char* id;
+  const char* default_severity;
+  const char* summary;  // one line, imperative ("no wall clock ...")
+};
+
+/// All rules, in id order. dc-waiver (the stale-suppression audit) is
+/// last.
+const std::vector<RuleInfo>& rule_table();
+
+/// The table row for `rule`, or nullptr for unknown ids.
+const RuleInfo* find_rule(std::string_view rule);
+
+/// True when a waiver written as `waiver_rule` suppresses a diagnostic of
+/// `diag_rule` — identity, plus historical aliases (dc-r6 waives dc-r9).
+bool waiver_matches(std::string_view waiver_rule, std::string_view diag_rule);
+
+/// One harvested suppression site. Sites created by the same comment share
+/// a `group`; the unused-waiver audit only fires for groups where no site
+/// was ever consumed (the dc-r4 `ordered-reduction` annotation registers
+/// two target lines for one comment).
+struct WaiverSite {
+  std::string rule;    // "dc-r1" .. — as written in the comment
+  int origin_line = 0; // line of the comment itself
+  int target_line = 0; // line the waiver applies to
+  int group = 0;       // comment identity for the unused audit
+  bool used = false;   // consumed by at least one diagnostic
+};
+
+/// True when some site covers (`line`, `rule`) — alias-aware via
+/// waiver_matches(). A hit marks every matching site used (for the
+/// stale-suppression audit).
+bool consume_waiver(std::vector<WaiverSite>& sites, int line,
+                    std::string_view rule);
+
+/// Sorts by (file, line, rule) — the stable order every renderer expects.
+void sort_diagnostics(std::vector<Diagnostic>& diagnostics);
+
+/// Renders diagnostics in `file:line: severity[rule]: message` form.
+std::string to_human(const std::vector<Diagnostic>& diagnostics);
+
+/// Renders the machine-readable report:
+/// {"tool":"dc-lint","version":2,"files_scanned":N,
+///  "diagnostics":[{"file","line","rule","severity","message"},...],
+///  "summary":{"errors":N,"warnings":N,"waived":N,"baselined":N}}
+std::string to_json(const std::vector<Diagnostic>& diagnostics, int files_scanned,
+                    int waived, int baselined);
+
+/// Escapes `text` into `out` as a JSON string body (no quotes added).
+void json_escape_into(std::string& out, std::string_view text);
+
+}  // namespace dc_lint

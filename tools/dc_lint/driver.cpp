@@ -1,0 +1,277 @@
+#include "driver.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <thread>
+
+#include "baseline.hpp"
+#include "cache.hpp"
+#include "fixes.hpp"
+#include "project_model.hpp"
+#include "rules.hpp"
+
+namespace dc_lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+bool lintable_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
+         ext == ".hpp" || ext == ".hxx" || ext == ".hh";
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+// Collects lintable files under `arg` (file or directory), in sorted order
+// so output — and therefore CI diffs — are stable across filesystems.
+bool collect(const std::string& arg, std::vector<std::string>& files,
+             std::vector<std::string>& errors) {
+  std::error_code ec;
+  const fs::file_status status = fs::status(arg, ec);
+  if (ec || status.type() == fs::file_type::not_found) {
+    errors.push_back("no such file or directory: " + arg);
+    return false;
+  }
+  if (fs::is_directory(status)) {
+    std::vector<std::string> found;
+    for (fs::recursive_directory_iterator it(arg, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      if (it->is_regular_file() && lintable_extension(it->path())) {
+        found.push_back(it->path().generic_string());
+      }
+    }
+    std::sort(found.begin(), found.end());
+    files.insert(files.end(), found.begin(), found.end());
+  } else {
+    files.push_back(fs::path(arg).generic_string());
+  }
+  return true;
+}
+
+// Stale-suppression audit over one file's waiver sites. A comment (one
+// waiver group) that suppressed nothing anywhere — local rules, project
+// rules — is itself a finding: it documents an exemption that no longer
+// exists, and it would silently swallow the next real diagnostic on that
+// line.
+void audit_waivers(const std::string& file, const std::vector<WaiverSite>& sites,
+                   std::vector<Diagnostic>& out) {
+  std::map<int, bool> group_used;
+  for (const WaiverSite& site : sites) {
+    auto [it, inserted] = group_used.emplace(site.group, site.used);
+    if (!inserted) it->second = it->second || site.used;
+  }
+  std::map<int, bool> reported;
+  for (const WaiverSite& site : sites) {
+    if (group_used[site.group]) continue;
+    if (!reported.emplace(site.group, true).second) continue;
+    out.push_back({file, site.origin_line, "dc-waiver", "error",
+                   "suppression for " + site.rule +
+                       " no longer matches any diagnostic; remove the "
+                       "comment (dc_lint --fix does it mechanically)"});
+  }
+}
+
+}  // namespace
+
+DriverResult run_driver(const DriverOptions& options) {
+  const auto started = std::chrono::steady_clock::now();
+  DriverResult result;
+
+  std::vector<std::string> files;
+  for (const std::string& root : options.roots) {
+    if (!collect(root, files, result.errors)) return result;
+  }
+  result.files_scanned = static_cast<int>(files.size());
+
+  AnalysisCache cache;
+  const bool use_cache = !options.cache_path.empty();
+  if (use_cache) cache.load(options.cache_path);
+
+  // Pass 1, in parallel: each worker pulls the next unclaimed file. The
+  // workers share no mutable state beyond the atomic counter and their
+  // own slots, so no locking is needed.
+  std::vector<FileAnalysis> analyses(files.size());
+  std::vector<std::uint64_t> hashes(files.size(), 0);
+  std::vector<char> read_failed(files.size(), 0);
+  std::vector<char> cache_hit(files.size(), 0);
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= files.size()) break;
+      std::string source;
+      if (!read_file(files[i], source)) {
+        read_failed[i] = 1;
+        continue;
+      }
+      hashes[i] = fnv1a_hash(source);
+      if (use_cache && cache.lookup(files[i], hashes[i], analyses[i])) {
+        cache_hit[i] = 1;
+        continue;
+      }
+      analyses[i] = analyze_file(files[i], source);
+    }
+  };
+  int jobs = options.jobs > 0
+                 ? options.jobs
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (jobs < 1) jobs = 1;
+  jobs = std::min<int>(jobs, std::max<int>(1, static_cast<int>(files.size())));
+  {
+    std::vector<std::thread> pool;
+    for (int t = 1; t < jobs; ++t) pool.emplace_back(worker);
+    worker();
+    for (std::thread& t : pool) t.join();
+  }
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    if (read_failed[i]) result.errors.push_back("cannot read " + files[i]);
+  }
+  if (!result.errors.empty()) return result;
+
+  // Persist the cache now, before the project phase mutates waiver state:
+  // cached entries must hold pass-1 results only.
+  if (use_cache) {
+    AnalysisCache refreshed;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+      refreshed.store(files[i], hashes[i], analyses[i]);
+      if (cache_hit[i]) ++result.cache_hits;
+      else ++result.cache_misses;
+    }
+    if (!refreshed.save(options.cache_path)) {
+      result.notes.push_back("could not write cache: " + options.cache_path);
+    }
+  }
+
+  // Pass 2: the cross-TU join.
+  std::vector<Diagnostic> all;
+  std::map<std::string, std::size_t> index_of;
+  std::vector<const FileFacts*> facts;
+  facts.reserve(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    index_of[files[i]] = i;
+    facts.push_back(&analyses[i].facts);
+    result.waived += analyses[i].waived;
+    all.insert(all.end(), analyses[i].diagnostics.begin(),
+               analyses[i].diagnostics.end());
+  }
+  const ProjectModel model(facts);
+  std::vector<Diagnostic> project = model.check_snapshot_semantics();
+  {
+    std::vector<Diagnostic> layering = model.check_layering();
+    project.insert(project.end(), layering.begin(), layering.end());
+    std::vector<Diagnostic> registry = model.check_name_registry();
+    project.insert(project.end(), registry.begin(), registry.end());
+  }
+  for (Diagnostic& d : project) {
+    const auto at = index_of.find(d.file);
+    if (at != index_of.end() &&
+        consume_waiver(analyses[at->second].waivers, d.line, d.rule)) {
+      ++result.waived;
+      continue;
+    }
+    all.push_back(std::move(d));
+  }
+
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    audit_waivers(files[i], analyses[i].waivers, all);
+  }
+
+  // Baseline.
+  Baseline baseline;
+  if (!options.baseline_path.empty()) {
+    std::vector<std::string> parse_errors;
+    baseline = load_baseline(options.baseline_path, parse_errors);
+    for (std::string& err : parse_errors) result.errors.push_back(std::move(err));
+    if (!result.errors.empty()) return result;
+  }
+  apply_severity_overrides(baseline, all);
+
+  if (options.write_baseline) {
+    sort_diagnostics(all);
+    std::ofstream out(options.baseline_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      result.errors.push_back("cannot write baseline: " + options.baseline_path);
+      return result;
+    }
+    const std::string text = render_baseline(baseline, all);
+    out.write(text.data(), static_cast<std::streamsize>(text.size()));
+    result.notes.push_back("baseline written: " + options.baseline_path + " (" +
+                           std::to_string(all.size()) + " entries)");
+  }
+
+  std::vector<Diagnostic> kept;
+  kept.reserve(all.size());
+  for (Diagnostic& d : all) {
+    if (baseline.loaded && baseline_match(baseline, d)) {
+      ++result.baselined;
+      continue;
+    }
+    kept.push_back(std::move(d));
+  }
+  for (const std::string& entry : stale_baseline_entries(baseline)) {
+    result.notes.push_back("stale baseline entry (fixed? delete it): " + entry);
+  }
+
+  // Mechanical fixes.
+  if (options.fix) {
+    std::map<std::string, std::vector<Diagnostic>> by_file;
+    for (const Diagnostic& d : kept) {
+      if (d.rule == "dc-waiver" ||
+          (d.rule == "dc-r5" &&
+           d.message.find("missing '#pragma once'") != std::string::npos)) {
+        by_file[d.file].push_back(d);
+      }
+    }
+    std::set<std::pair<std::string, std::pair<std::string, int>>> fixed_keys;
+    for (auto& [file, diags] : by_file) {
+      std::string source;
+      if (!read_file(file, source)) continue;
+      std::vector<std::pair<std::string, int>> fixed;
+      const FixResult fix = apply_fixes(source, diags, fixed);
+      if (fix.changed) {
+        std::ofstream out(file, std::ios::binary | std::ios::trunc);
+        if (!out) {
+          result.notes.push_back("could not rewrite " + file);
+          continue;
+        }
+        out.write(fix.text.data(), static_cast<std::streamsize>(fix.text.size()));
+        result.fixes_applied += fix.applied;
+        for (const auto& key : fixed) fixed_keys.insert({file, key});
+      }
+    }
+    if (!fixed_keys.empty()) {
+      std::vector<Diagnostic> remaining;
+      remaining.reserve(kept.size());
+      for (Diagnostic& d : kept) {
+        if (fixed_keys.count({d.file, {d.rule, d.line}}) != 0) continue;
+        remaining.push_back(std::move(d));
+      }
+      kept.swap(remaining);
+    }
+  }
+
+  sort_diagnostics(kept);
+  result.diagnostics = std::move(kept);
+  result.elapsed_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::steady_clock::now() - started)
+                          .count();
+  return result;
+}
+
+}  // namespace dc_lint

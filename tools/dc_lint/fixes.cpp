@@ -1,0 +1,119 @@
+#include "fixes.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dc_lint {
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (const char c : text) {
+    current += c;
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) lines.push_back(std::move(current));
+  return lines;
+}
+
+// 0-based index of the line to insert `#pragma once` before: the first
+// line that is neither blank nor part of the leading comment block.
+std::size_t guard_insert_at(const std::vector<std::string>& lines) {
+  bool in_block_comment = false;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    if (in_block_comment) {
+      if (line.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    std::size_t at = 0;
+    while (at < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[at]))) {
+      ++at;
+    }
+    if (at >= line.size()) continue;  // blank
+    if (line.compare(at, 2, "//") == 0) continue;
+    if (line.compare(at, 2, "/*") == 0) {
+      if (line.find("*/", at + 2) == std::string::npos) in_block_comment = true;
+      continue;
+    }
+    return i;
+  }
+  return lines.size();
+}
+
+// Removes the stale waiver comment on 0-based line `at`. Returns false
+// when no removable line comment is found there (e.g. the annotation sits
+// inside a block comment) — the diagnostic then stays for a human.
+bool strip_waiver_comment(std::vector<std::string>& lines, std::size_t at) {
+  if (at >= lines.size()) return false;
+  std::string& line = lines[at];
+  const std::size_t comment = line.find("//");
+  if (comment == std::string::npos) return false;
+  if (line.find("NOLINT", comment) == std::string::npos &&
+      line.find("dc-lint", comment) == std::string::npos) {
+    return false;
+  }
+  std::string kept = line.substr(0, comment);
+  const bool had_newline = !line.empty() && line.back() == '\n';
+  while (!kept.empty() &&
+         std::isspace(static_cast<unsigned char>(kept.back()))) {
+    kept.pop_back();
+  }
+  if (kept.empty()) {
+    lines.erase(lines.begin() + static_cast<std::ptrdiff_t>(at));
+  } else {
+    line = kept + (had_newline ? "\n" : "");
+  }
+  return true;
+}
+
+}  // namespace
+
+FixResult apply_fixes(const std::string& text,
+                      const std::vector<Diagnostic>& file_diags,
+                      std::vector<std::pair<std::string, int>>& fixed) {
+  FixResult result;
+  std::vector<std::string> lines = split_lines(text);
+
+  // Stale waivers first, bottom-up so earlier line numbers stay valid.
+  std::vector<const Diagnostic*> stale;
+  bool wants_guard = false;
+  int guard_line = 0;
+  for (const Diagnostic& d : file_diags) {
+    if (d.rule == "dc-waiver") stale.push_back(&d);
+    if (d.rule == "dc-r5" &&
+        d.message.find("missing '#pragma once'") != std::string::npos) {
+      wants_guard = true;
+      guard_line = d.line;
+    }
+  }
+  std::sort(stale.begin(), stale.end(),
+            [](const Diagnostic* a, const Diagnostic* b) {
+              return a->line > b->line;
+            });
+  for (const Diagnostic* d : stale) {
+    if (strip_waiver_comment(lines, static_cast<std::size_t>(d->line - 1))) {
+      ++result.applied;
+      fixed.emplace_back(d->rule, d->line);
+    }
+  }
+
+  if (wants_guard) {
+    const std::size_t at = guard_insert_at(lines);
+    lines.insert(lines.begin() + static_cast<std::ptrdiff_t>(at),
+                 "#pragma once\n");
+    ++result.applied;
+    fixed.emplace_back("dc-r5", guard_line);
+  }
+
+  for (const std::string& line : lines) result.text += line;
+  result.changed = result.applied > 0 && result.text != text;
+  return result;
+}
+
+}  // namespace dc_lint

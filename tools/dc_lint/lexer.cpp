@@ -32,10 +32,15 @@ bool two_char_punct(char a, char b) {
   }
 }
 
-// Harvests waiver directives from one comment's text. `line` is the line
-// the comment starts on.
-void harvest_waivers(const std::string& text, int line, FileLex& out) {
-  // NOLINT(...) / NOLINTNEXTLINE(...): collect dc-* entries from the list.
+// Harvests waiver and dc-volatile annotations from one comment's text.
+// `line` is the line the comment starts on. Each distinct directive gets
+// its own waiver group; the two sites of an ordered-reduction annotation
+// share one.
+void harvest_annotations(const std::string& text, int line, FileLex& out,
+                         int& next_group) {
+  // NOLINT(...) / NOLINTNEXTLINE(...): collect known dc rule ids from the
+  // list. Unknown names (clang-tidy checks, documentation placeholders
+  // like dc-rN) are ignored.
   for (std::size_t at = 0; (at = text.find("NOLINT", at)) != std::string::npos;) {
     std::size_t cursor = at + 6;
     int target = line;
@@ -50,7 +55,9 @@ void harvest_waivers(const std::string& text, int line, FileLex& out) {
         for (std::size_t i = cursor + 1; i <= close; ++i) {
           const char c = text[i];
           if (c == ',' || c == ')') {
-            if (item.rfind("dc-", 0) == 0) out.waivers[target].insert(item);
+            if (find_rule(item) != nullptr) {
+              out.waivers.push_back({item, line, target, next_group++, false});
+            }
             item.clear();
           } else if (!std::isspace(static_cast<unsigned char>(c))) {
             item += c;
@@ -60,12 +67,26 @@ void harvest_waivers(const std::string& text, int line, FileLex& out) {
     }
     at = cursor;
   }
-  // The R4 reduction waiver: a statement-level annotation, honored on the
+  // The reduction waiver: a statement-level annotation, honored on the
   // comment's own line and the next (so it can sit above the reduction).
+  // A reviewed reduction covers both concerns a shared accumulation
+  // raises — FP ordering (dc-r4) and the sweep race (dc-r11) — so one
+  // comment registers sites for both rules in one group: consuming any
+  // site satisfies the audit.
   if (text.find("dc-lint: ordered-reduction") != std::string::npos ||
       text.find("dc-lint:ordered-reduction") != std::string::npos) {
-    out.waivers[line].insert("dc-r4");
-    out.waivers[line + 1].insert("dc-r4");
+    out.waivers.push_back({"dc-r4", line, line, next_group, false});
+    out.waivers.push_back({"dc-r4", line, line + 1, next_group, false});
+    out.waivers.push_back({"dc-r11", line, line, next_group, false});
+    out.waivers.push_back({"dc-r11", line, line + 1, next_group, false});
+    ++next_group;
+  }
+  // dc-volatile: marks a data member as intentionally non-persisted for
+  // dc-r9. Covers the comment's line and the next, so it reads naturally
+  // trailing the declaration or on its own line above.
+  if (text.find("dc-volatile") != std::string::npos) {
+    out.volatile_lines.insert(line);
+    out.volatile_lines.insert(line + 1);
   }
 }
 
@@ -76,6 +97,7 @@ FileLex lex(std::string_view src) {
   const std::size_t n = src.size();
   std::size_t i = 0;
   int line = 1;
+  int next_group = 0;
   bool at_line_start = true;  // only whitespace seen since the newline
 
   auto advance = [&](std::size_t count) {
@@ -123,7 +145,7 @@ FileLex lex(std::string_view src) {
         text += src[i];
         advance(1);
       }
-      harvest_waivers(text, start_line, out);
+      harvest_annotations(text, start_line, out, next_group);
       continue;
     }
     if (c == '/' && i + 1 < n && src[i + 1] == '*') {
@@ -135,7 +157,7 @@ FileLex lex(std::string_view src) {
         advance(1);
       }
       advance(2);
-      harvest_waivers(text, start_line, out);
+      harvest_annotations(text, start_line, out, next_group);
       continue;
     }
 

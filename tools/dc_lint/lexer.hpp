@@ -1,22 +1,24 @@
 // dc-lint's C++ token stream.
 //
 // dc-lint is deliberately *not* built on libclang: the rules it enforces
-// (see rules.hpp and docs/STATIC_ANALYSIS.md) are lexical properties —
-// "this identifier is called", "this loop ranges over that variable" — and
-// a hand-rolled lexer keeps the tool a zero-dependency part of the build
-// that compiles in under a second and runs over the whole tree in
-// milliseconds. The lexer understands exactly as much C++ as the rules
-// need: comments (kept separately, for waivers), string/char literals
-// (skipped, so a literal "rand(" never trips a rule), raw strings,
-// preprocessor lines (kept whole, for header-guard checks), identifiers,
-// numbers, and multi-character operators like `+=` and `::`.
+// (see rules.hpp and docs/STATIC_ANALYSIS.md) are lexical and structural
+// properties — "this identifier is called", "this loop ranges over that
+// variable", "this class declares that member" — and a hand-rolled lexer
+// keeps the tool a zero-dependency part of the build that compiles in
+// under a second and runs over the whole tree in milliseconds. The lexer
+// understands exactly as much C++ as the rules need: comments (harvested
+// separately, for waivers and annotations), string/char literals (kept as
+// opaque tokens, so a literal "rand(" never trips a rule), raw strings,
+// preprocessor lines (kept whole, for the include/guard passes),
+// identifiers, numbers, and multi-character operators like `+=` and `::`.
 #pragma once
 
-#include <map>
 #include <set>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "diagnostics.hpp"
 
 namespace dc_lint {
 
@@ -35,17 +37,27 @@ struct Token {
   int line;  // 1-based line of the token's first character
 };
 
-/// A lexed translation unit: the token stream plus the waivers harvested
-/// from comments. `waivers[line]` holds the rule ids (e.g. "dc-r1") that
-/// are suppressed on that line via:
-///   * `// NOLINT(dc-r3)` or `// NOLINT(dc-r3, dc-r1)` — same line;
-///   * `// NOLINTNEXTLINE(dc-r3)` — the following line;
-///   * `// dc-lint: ordered-reduction` — dc-r4, same and following line
-///     (the R4 waiver reads naturally either on the `+=` line or above it).
-/// Non-dc rule names inside NOLINT lists (clang-tidy's, say) are ignored.
+/// A lexed translation unit: the token stream plus the annotations
+/// harvested from comments.
+///
+/// Waivers become WaiverSite records (diagnostics.hpp). Recognized forms:
+///   * `// NOLINT(dc-rN)` or `// NOLINT(dc-rN, dc-rM)` — same line;
+///   * `// NOLINTNEXTLINE(dc-rN)` — the following line;
+///   * the ordered-reduction annotation (a comment reading `dc-lint:`
+///     followed by `ordered-reduction`) — dc-r4, same and following line
+///     (one comment, two sites in one group, so the unused-waiver audit
+///     treats either placement as consumed).
+/// Only ids present in rule_table() are harvested; a clang-tidy name or a
+/// documentation placeholder inside a NOLINT list is ignored.
+///
+/// `volatile_lines` holds the lines covered by a `// dc-volatile`
+/// annotation (the comment's own line and the next, so it reads naturally
+/// trailing a member declaration or on the line above it). dc-r9 exempts
+/// annotated data members from the never-persisted check.
 struct FileLex {
   std::vector<Token> tokens;
-  std::map<int, std::set<std::string>> waivers;
+  std::vector<WaiverSite> waivers;
+  std::set<int> volatile_lines;
   int line_count = 0;
 };
 

@@ -1,125 +1,142 @@
 // dc-lint: the project's determinism & invariant static-analysis pass.
 //
-//   dc_lint [--json] <path>...      paths are files or directories
+//   dc_lint [options] <path>...     paths are files or directories
+//
+//   --json                 machine-readable report (version 2)
+//   --sarif                SARIF 2.1.0 log (GitHub code scanning)
+//   --baseline FILE        suppress findings accepted in FILE; report
+//                          stale entries
+//   --write-baseline FILE  regenerate FILE from the current findings
+//                          (keeps its severity directives)
+//   --cache FILE           incremental cache: unchanged files reuse the
+//                          previous run's per-file analysis
+//   --jobs N               analysis threads (default: hardware)
+//   --fix                  apply mechanical fixes in place (missing
+//                          #pragma once, stale suppression comments)
+//   --stats                print timing and cache hit/miss to stderr
 //
 // Directories are walked recursively for C++ sources (.cpp/.cc/.cxx) and
-// headers (.h/.hpp/.hxx/.hh). Exit status: 0 when no un-waived diagnostics
-// were produced, 1 when there were diagnostics, 2 on usage or I/O errors.
+// headers (.h/.hpp/.hxx/.hh). Exit status: 0 when no un-waived,
+// un-baselined diagnostics were produced, 1 when there were diagnostics,
+// 2 on usage or I/O errors.
 //
 // The CMake `lint` target (and the `dc_lint_tree` ctest) runs
-// `dc_lint src tools bench` from the source root; CI fails on any new
-// diagnostic. Rules and waiver syntax: docs/STATIC_ANALYSIS.md.
-#include <algorithm>
+// `dc_lint --baseline dc_lint_baseline.txt src tools bench` from the
+// source root; CI fails on any new diagnostic. Rules and waiver syntax:
+// docs/STATIC_ANALYSIS.md.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
-#include <filesystem>
-#include <iterator>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
-#include "rules.hpp"
+#include "diagnostics.hpp"
+#include "driver.hpp"
+#include "sarif.hpp"
 
 namespace {
 
-namespace fs = std::filesystem;
+constexpr const char* kVersion = "2.0.0";
 
-bool lintable_extension(const fs::path& path) {
-  const std::string ext = path.extension().string();
-  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".h" ||
-         ext == ".hpp" || ext == ".hxx" || ext == ".hh";
-}
+constexpr const char* kUsage =
+    "usage: dc_lint [--json|--sarif] [--baseline FILE] [--write-baseline FILE]\n"
+    "               [--cache FILE] [--jobs N] [--fix] [--stats] <path>...\n";
 
-bool read_file(const fs::path& path, std::string& out) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  out = buffer.str();
-  return true;
-}
-
-// Collects lintable files under `arg` (file or directory), in sorted order
-// so output — and therefore CI diffs — are stable across filesystems.
-bool collect(const std::string& arg, std::vector<std::string>& files) {
-  std::error_code ec;
-  const fs::file_status status = fs::status(arg, ec);
-  if (ec || status.type() == fs::file_type::not_found) {
-    std::fprintf(stderr, "dc-lint: no such file or directory: %s\n", arg.c_str());
-    return false;
+bool want_value(int argc, char** argv, int& i, const char* flag,
+                std::string& out) {
+  if (std::strcmp(argv[i], flag) != 0) return false;
+  if (i + 1 >= argc) {
+    std::fprintf(stderr, "dc-lint: %s needs a value\n%s", flag, kUsage);
+    out.clear();
+    return true;
   }
-  if (fs::is_directory(status)) {
-    std::vector<std::string> found;
-    for (fs::recursive_directory_iterator it(arg, ec), end; it != end;
-         it.increment(ec)) {
-      if (ec) break;
-      if (it->is_regular_file() && lintable_extension(it->path())) {
-        found.push_back(it->path().generic_string());
-      }
-    }
-    std::sort(found.begin(), found.end());
-    files.insert(files.end(), found.begin(), found.end());
-  } else {
-    files.push_back(fs::path(arg).generic_string());
-  }
+  out = argv[++i];
   return true;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool json = false;
-  std::vector<std::string> roots;
+  enum class Output { kHuman, kJson, kSarif };
+  Output output = Output::kHuman;
+  bool stats = false;
+  dc_lint::DriverOptions options;
+  std::string value;
+
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
-      json = true;
+      output = Output::kJson;
+    } else if (std::strcmp(argv[i], "--sarif") == 0) {
+      output = Output::kSarif;
+    } else if (std::strcmp(argv[i], "--fix") == 0) {
+      options.fix = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
+    } else if (want_value(argc, argv, i, "--baseline", value)) {
+      if (value.empty()) return 2;
+      options.baseline_path = value;
+    } else if (want_value(argc, argv, i, "--write-baseline", value)) {
+      if (value.empty()) return 2;
+      options.baseline_path = value;
+      options.write_baseline = true;
+    } else if (want_value(argc, argv, i, "--cache", value)) {
+      if (value.empty()) return 2;
+      options.cache_path = value;
+    } else if (want_value(argc, argv, i, "--jobs", value)) {
+      if (value.empty()) return 2;
+      options.jobs = std::atoi(value.c_str());
     } else if (std::strcmp(argv[i], "--help") == 0 ||
                std::strcmp(argv[i], "-h") == 0) {
-      std::printf("usage: dc_lint [--json] <path>...\n");
+      std::printf("%s\nrules:\n", kUsage);
+      for (const dc_lint::RuleInfo& rule : dc_lint::rule_table()) {
+        std::printf("  %-9s (%s) %s\n", rule.id, rule.default_severity,
+                    rule.summary);
+      }
       return 0;
     } else if (argv[i][0] == '-') {
-      std::fprintf(stderr, "dc-lint: unknown option: %s\n", argv[i]);
+      std::fprintf(stderr, "dc-lint: unknown option: %s\n%s", argv[i], kUsage);
       return 2;
     } else {
-      roots.emplace_back(argv[i]);
+      options.roots.emplace_back(argv[i]);
     }
   }
-  if (roots.empty()) {
-    std::fprintf(stderr, "usage: dc_lint [--json] <path>...\n");
+  if (options.roots.empty()) {
+    std::fprintf(stderr, "%s", kUsage);
     return 2;
   }
 
-  std::vector<std::string> files;
-  for (const std::string& root : roots) {
-    if (!collect(root, files)) return 2;
+  const dc_lint::DriverResult result = dc_lint::run_driver(options);
+  for (const std::string& err : result.errors) {
+    std::fprintf(stderr, "dc-lint: %s\n", err.c_str());
+  }
+  if (!result.errors.empty()) return 2;
+  for (const std::string& note : result.notes) {
+    std::fprintf(stderr, "dc-lint: %s\n", note.c_str());
+  }
+  if (stats) {
+    std::fprintf(stderr,
+                 "dc-lint: %d file(s) in %lld ms, cache %d hit / %d miss, "
+                 "%d fix(es)\n",
+                 result.files_scanned, result.elapsed_ms, result.cache_hits,
+                 result.cache_misses, result.fixes_applied);
   }
 
-  std::vector<dc_lint::Diagnostic> diagnostics;
-  int waived = 0;
-  for (const std::string& file : files) {
-    std::string source;
-    if (!read_file(file, source)) {
-      std::fprintf(stderr, "dc-lint: cannot read %s\n", file.c_str());
-      return 2;
-    }
-    dc_lint::LintResult result = dc_lint::lint_source(file, source);
-    waived += result.waived;
-    diagnostics.insert(diagnostics.end(),
-                       std::make_move_iterator(result.diagnostics.begin()),
-                       std::make_move_iterator(result.diagnostics.end()));
-  }
-
-  if (json) {
+  if (output == Output::kJson) {
     const std::string report =
-        dc_lint::to_json(diagnostics, static_cast<int>(files.size()), waived);
+        dc_lint::to_json(result.diagnostics, result.files_scanned,
+                         result.waived, result.baselined);
+    std::fwrite(report.data(), 1, report.size(), stdout);
+    std::fputc('\n', stdout);
+  } else if (output == Output::kSarif) {
+    const std::string report = dc_lint::to_sarif(result.diagnostics, kVersion);
     std::fwrite(report.data(), 1, report.size(), stdout);
     std::fputc('\n', stdout);
   } else {
-    const std::string report = dc_lint::to_human(diagnostics);
+    const std::string report = dc_lint::to_human(result.diagnostics);
     std::fwrite(report.data(), 1, report.size(), stdout);
-    std::printf("dc-lint: %zu file(s), %zu diagnostic(s), %d waived\n",
-                files.size(), diagnostics.size(), waived);
+    std::printf("dc-lint: %d file(s), %zu diagnostic(s), %d waived, %d baselined\n",
+                result.files_scanned, result.diagnostics.size(), result.waived,
+                result.baselined);
   }
-  return diagnostics.empty() ? 0 : 1;
+  return result.diagnostics.empty() ? 0 : 1;
 }

@@ -1,0 +1,108 @@
+#include "preprocessor.hpp"
+
+#include <cctype>
+
+namespace dc_lint {
+
+std::string preproc_directive(const std::string& text) {
+  std::size_t i = 0;
+  while (i < text.size() && (text[i] == '#' || text[i] == ' ' || text[i] == '\t')) {
+    ++i;
+  }
+  std::size_t end = i;
+  while (end < text.size() &&
+         !std::isspace(static_cast<unsigned char>(text[end]))) {
+    ++end;
+  }
+  return text.substr(i, end - i);
+}
+
+namespace {
+
+// Extracts the include target from a raw `#include` line. Returns false
+// for computed includes (`#include MACRO`), which carry no literal path.
+bool parse_include_target(const std::string& text, std::string& target,
+                          bool& angled) {
+  std::size_t i = text.find("include");
+  if (i == std::string::npos) return false;
+  i += 7;
+  while (i < text.size() &&
+         std::isspace(static_cast<unsigned char>(text[i]))) {
+    ++i;
+  }
+  if (i >= text.size()) return false;
+  char open = text[i];
+  char close;
+  if (open == '<') close = '>';
+  else if (open == '"') close = '"';
+  else return false;
+  const std::size_t end = text.find(close, i + 1);
+  if (end == std::string::npos) return false;
+  target = text.substr(i + 1, end - i - 1);
+  angled = (open == '<');
+  return true;
+}
+
+}  // namespace
+
+PreprocInfo scan_preproc(const FileLex& lx) {
+  PreprocInfo info;
+  int depth = 0;          // open #if/#ifdef/#ifndef blocks
+  int guard_depth = -1;   // depth at which the file's include guard opened
+  bool first = true;      // no non-guard directive seen yet
+  bool expect_guard_define = false;
+
+  for (const Token& tok : lx.tokens) {
+    if (tok.kind != TokKind::kPreproc) continue;
+    const std::string directive = preproc_directive(tok.text);
+
+    if (expect_guard_define) {
+      expect_guard_define = false;
+      if (directive == "define") {
+        // The classic guard: #ifndef NAME / #define NAME opening the
+        // file. Its block does not count as conditional compilation.
+        info.has_classic_guard = true;
+        guard_depth = depth;  // depth already includes the guard's #if
+        first = false;
+        continue;
+      }
+      first = false;
+    }
+
+    if (directive == "pragma") {
+      if (tok.text.find("once") != std::string::npos) info.has_pragma_once = true;
+      first = false;
+      continue;
+    }
+    if (directive == "if" || directive == "ifdef" || directive == "ifndef") {
+      ++depth;
+      if (first && (directive == "ifndef" || directive == "if")) {
+        expect_guard_define = true;  // confirmed by the next directive
+      } else {
+        first = false;
+      }
+      continue;
+    }
+    if (directive == "endif") {
+      if (depth > 0) --depth;
+      if (guard_depth >= 0 && depth < guard_depth) guard_depth = -1;
+      continue;
+    }
+    if (directive == "include") {
+      IncludeDirective inc;
+      if (parse_include_target(tok.text, inc.target, inc.angled)) {
+        inc.line = tok.line;
+        const int effective = guard_depth >= 0 ? depth - guard_depth : depth;
+        inc.conditional = effective > 0;
+        info.includes.push_back(std::move(inc));
+      }
+      first = false;
+      continue;
+    }
+    // #else/#elif keep the depth; anything else just ends the guard probe.
+    if (directive != "else" && directive != "elif") first = false;
+  }
+  return info;
+}
+
+}  // namespace dc_lint

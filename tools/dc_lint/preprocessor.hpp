@@ -1,0 +1,41 @@
+// Preprocessor-aware pass: walks a lexed file's directive stream in order,
+// tracking conditional-compilation depth, and extracts every #include with
+// its context. The project model resolves quoted targets against the
+// analyzed file set (the includer's directory first, then the source
+// roots) to build the cross-TU include graph that dc-r10 checks.
+//
+// Conditional tracking matters twice: an include guard (#pragma once, or
+// the classic #ifndef/#define pair opening the file) must not count as a
+// conditional block, and includes under a real #if/#ifdef are marked
+// `conditional` so the cycle detector can skip edges that never coexist
+// in one build.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace dc_lint {
+
+struct IncludeDirective {
+  std::string target;        // path as written between the delimiters
+  int line = 0;
+  bool angled = false;       // <...> vs "..."
+  bool conditional = false;  // nested under #if/#ifdef (guard excluded)
+};
+
+struct PreprocInfo {
+  std::vector<IncludeDirective> includes;
+  bool has_pragma_once = false;
+  bool has_classic_guard = false;  // #ifndef/#if!defined + #define opener
+};
+
+/// Extracts the directive-level facts from a lexed file.
+PreprocInfo scan_preproc(const FileLex& lx);
+
+/// The directive keyword of a raw preprocessor line ("include", "ifndef",
+/// "pragma", ...) — leading '#' and whitespace stripped.
+std::string preproc_directive(const std::string& text);
+
+}  // namespace dc_lint

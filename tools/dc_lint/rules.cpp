@@ -2,24 +2,19 @@
 
 #include <algorithm>
 #include <cctype>
-#include <cstdio>
 #include <map>
 #include <set>
 #include <utility>
 
 #include "lexer.hpp"
+#include "token_scan.hpp"
 
 namespace dc_lint {
 namespace {
 
-bool ends_with(std::string_view text, std::string_view suffix) {
-  return text.size() >= suffix.size() &&
-         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 bool is_header_path(std::string_view path) {
-  return ends_with(path, ".h") || ends_with(path, ".hpp") ||
-         ends_with(path, ".hxx") || ends_with(path, ".hh");
+  return str_ends_with(path, ".h") || str_ends_with(path, ".hpp") ||
+         str_ends_with(path, ".hxx") || str_ends_with(path, ".hh");
 }
 
 bool is_sim_hot_path(std::string_view path) {
@@ -38,21 +33,20 @@ bool is_queue_source_path(std::string_view path) {
 struct Ctx {
   const std::string& path;
   const FileLex& lx;
-  LintResult& out;
+  FileAnalysis& out;
 
   const Token& tok(std::size_t i) const { return lx.tokens[i]; }
   std::size_t size() const { return lx.tokens.size(); }
 
   bool ident_at(std::size_t i, std::string_view text) const {
-    return i < size() && tok(i).kind == TokKind::kIdentifier && tok(i).text == text;
+    return tok_ident_at(lx, i, text);
   }
   bool punct_at(std::size_t i, std::string_view text) const {
-    return i < size() && tok(i).kind == TokKind::kPunct && tok(i).text == text;
+    return tok_punct_at(lx, i, text);
   }
 
   void report(int line, const char* rule, const char* severity, std::string message) {
-    const auto it = lx.waivers.find(line);
-    if (it != lx.waivers.end() && it->second.count(rule) != 0) {
+    if (consume_waiver(out.waivers, line, rule)) {
       ++out.waived;
       return;
     }
@@ -60,32 +54,12 @@ struct Ctx {
   }
 };
 
-// Walks past a balanced <...> region. `i` points at the '<'; returns the
-// index just past the matching '>'. Tolerates the lexer's `<<`/`>>` tokens.
 std::size_t skip_angles(const Ctx& ctx, std::size_t i) {
-  int depth = 0;
-  for (; i < ctx.size(); ++i) {
-    const Token& t = ctx.tok(i);
-    if (t.kind != TokKind::kPunct) continue;
-    if (t.text == "<") ++depth;
-    else if (t.text == "<<") depth += 2;
-    else if (t.text == ">") --depth;
-    else if (t.text == ">>") depth -= 2;
-    else if (t.text == ";") break;  // malformed; bail at statement end
-    if (depth <= 0 && t.text[0] == '>') return i + 1;
-  }
-  return i;
+  return tok_skip_angles(ctx.lx, i);
 }
 
-/// Matches a parenthesized region. `i` points at the '('; returns the index
-/// of the matching ')' (or the last token if unbalanced).
 std::size_t match_paren(const Ctx& ctx, std::size_t i) {
-  int depth = 0;
-  for (; i < ctx.size(); ++i) {
-    if (ctx.punct_at(i, "(")) ++depth;
-    else if (ctx.punct_at(i, ")") && --depth == 0) return i;
-  }
-  return ctx.size() - 1;
+  return tok_match_paren(ctx.lx, i);
 }
 
 // --------------------------------------------------------------------------
@@ -340,43 +314,9 @@ void rule_r4(Ctx& ctx) {
 // --------------------------------------------------------------------------
 // dc-r5: header hygiene.
 
-std::string preproc_directive(const std::string& text) {
-  std::size_t i = 0;
-  while (i < text.size() && (text[i] == '#' || text[i] == ' ' || text[i] == '\t')) {
-    ++i;
-  }
-  std::size_t end = i;
-  while (end < text.size() &&
-         !std::isspace(static_cast<unsigned char>(text[end]))) {
-    ++end;
-  }
-  return text.substr(i, end - i);
-}
-
 void rule_r5(Ctx& ctx) {
-  bool guarded = false;
-  std::string first_directive, second_directive;
-  for (std::size_t i = 0; i < ctx.size(); ++i) {
-    if (ctx.tok(i).kind != TokKind::kPreproc) continue;
-    const std::string directive = preproc_directive(ctx.tok(i).text);
-    if (directive == "pragma" && ctx.tok(i).text.find("once") != std::string::npos) {
-      guarded = true;
-      break;
-    }
-    if (first_directive.empty()) {
-      first_directive = directive;
-    } else if (second_directive.empty()) {
-      second_directive = directive;
-      break;
-    }
-  }
-  if (!guarded && first_directive == "ifndef" && second_directive == "define") {
-    guarded = true;  // classic include guard
-  }
-  if (!guarded && first_directive == "if" && second_directive == "define") {
-    guarded = true;  // #if !defined(...) form
-  }
-  if (!guarded) {
+  const PreprocInfo preproc = scan_preproc(ctx.lx);
+  if (!preproc.has_pragma_once && !preproc.has_classic_guard) {
     ctx.report(1, "dc-r5", "warning",
                "header is missing '#pragma once' or an include guard");
   }
@@ -387,85 +327,6 @@ void rule_r5(Ctx& ctx) {
       ctx.report(ctx.tok(i).line, "dc-r5", "warning",
                  "'using namespace std' in a header pollutes every includer");
     }
-  }
-}
-
-// --------------------------------------------------------------------------
-// dc-r6: snapshot save/restore field drift.
-//
-// Every snapshottable component pairs X::save(SnapshotWriter&) with
-// X::restore(SnapshotReader&): save emits fields via field_*() calls and
-// restore consumes them via read_*() calls, in the same order. A field
-// added to one side but not the other shifts every later record and only
-// surfaces as a confusing decode error at resume time, far from the edit.
-// The rule counts call sites in both bodies of each pair defined in the
-// same file and flags any imbalance. Nested `member.save(writer)` /
-// `member.restore(reader)` delegation matches neither prefix, so
-// composite components count only their own fields.
-
-struct MethodBody {
-  bool found = false;
-  int line = 0;
-  int calls = 0;
-};
-
-bool starts_with(std::string_view text, std::string_view prefix) {
-  return text.size() >= prefix.size() &&
-         text.compare(0, prefix.size(), prefix) == 0;
-}
-
-void rule_r6(Ctx& ctx) {
-  // class name -> {save body, restore body}
-  std::map<std::string, std::pair<MethodBody, MethodBody>> pairs;
-  for (std::size_t i = 0; i + 3 < ctx.size(); ++i) {
-    if (ctx.tok(i).kind != TokKind::kIdentifier || !ctx.punct_at(i + 1, "::")) {
-      continue;
-    }
-    const bool is_save = ctx.ident_at(i + 2, "save");
-    if (!is_save && !ctx.ident_at(i + 2, "restore")) continue;
-    if (!ctx.punct_at(i + 3, "(")) continue;
-    const std::size_t close = match_paren(ctx, i + 3);
-    // Definitions only: between the parameter list and the body '{' there
-    // may be qualifiers, nothing else. Calls (`Base::save(w);`,
-    // `if (X::save(w).is_ok())`) never satisfy this.
-    std::size_t open = close + 1;
-    while (ctx.ident_at(open, "const") || ctx.ident_at(open, "noexcept") ||
-           ctx.ident_at(open, "override") || ctx.ident_at(open, "final")) {
-      ++open;
-    }
-    if (!ctx.punct_at(open, "{")) continue;
-    int depth = 0;
-    std::size_t end = open;
-    for (; end < ctx.size(); ++end) {
-      if (ctx.punct_at(end, "{")) ++depth;
-      else if (ctx.punct_at(end, "}") && --depth == 0) break;
-    }
-    MethodBody body;
-    body.found = true;
-    body.line = ctx.tok(i).line;
-    const std::string_view prefix = is_save ? "field_" : "read_";
-    for (std::size_t m = open + 1; m < end; ++m) {
-      if (ctx.tok(m).kind == TokKind::kIdentifier &&
-          starts_with(ctx.tok(m).text, prefix) && ctx.punct_at(m + 1, "(")) {
-        ++body.calls;
-      }
-    }
-    auto& entry = pairs[ctx.tok(i).text];
-    (is_save ? entry.first : entry.second) = body;
-    i = end;
-  }
-
-  for (const auto& [name, entry] : pairs) {
-    const MethodBody& save = entry.first;
-    const MethodBody& restore = entry.second;
-    if (!save.found || !restore.found) continue;
-    if (save.calls == restore.calls) continue;
-    ctx.report(restore.line, "dc-r6", "error",
-               name + "::save writes " + std::to_string(save.calls) +
-                   " field(s) but " + name + "::restore reads " +
-                   std::to_string(restore.calls) +
-                   "; the snapshot field lists have drifted apart and every "
-                   "record after the missing one will decode wrong");
   }
 }
 
@@ -546,100 +407,318 @@ void rule_r8(Ctx& ctx) {
   }
 }
 
-void json_escape_into(std::string& out, const std::string& text) {
-  for (const char c : text) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
+// --------------------------------------------------------------------------
+// dc-r11: writes to shared state inside parallel sweep callbacks.
+//
+// The sweep pattern the thread pool is built for gives each callback
+// invocation exclusive ownership of slot `i`: `out[i] = compute(i)`.
+// A write through a by-reference capture (or any captured pointer) whose
+// target is NOT indexed by the loop variable breaks that ownership — two
+// sweep threads race on one location, and the loser's update vanishes
+// without any deterministic repro. This is a lexical heuristic, not a
+// happens-before proof: it flags `total += x`, `shared.field = v`,
+// `ptr->hits++` inside parallel_for_index/parallel_map_index callbacks,
+// and stays quiet for body-locals and loop-indexed stores.
+
+struct LambdaCaptures {
+  bool by_ref_default = false;   // [&]
+  bool by_copy_default = false;  // [=]
+  std::set<std::string> ref_names;
+  std::set<std::string> copy_names;
+};
+
+// Parses the capture list between '[' at `open` and its matching ']'.
+// Returns the index of the ']'. Init-captures (`name = expr`) introduce
+// `name` as callback-local storage, so they land in copy_names.
+std::size_t parse_captures(const Ctx& ctx, std::size_t open, LambdaCaptures& caps) {
+  std::size_t i = open + 1;
+  int depth = 0;  // nested (), {}, [] inside init-capture expressions
+  bool at_item_start = true;
+  for (; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "(" || t.text == "{" || t.text == "[") { ++depth; continue; }
+      if (t.text == ")" || t.text == "}") { --depth; continue; }
+      if (t.text == "]") {
+        if (depth == 0) break;
+        --depth;
+        continue;
+      }
+      if (depth > 0) continue;
+      if (t.text == ",") { at_item_start = true; continue; }
+      if (t.text == "&" && at_item_start) {
+        const bool next_ident = i + 1 < ctx.size() &&
+                                ctx.tok(i + 1).kind == TokKind::kIdentifier;
+        if (next_ident) {
+          // Both plain `&name` and the init-capture `&name = expr` bind a
+          // reference whose target we cannot see — treat them the same.
+          caps.ref_names.insert(ctx.tok(i + 1).text);
+          ++i;
+        } else if (ctx.punct_at(i + 1, ",") || ctx.punct_at(i + 1, "]")) {
+          caps.by_ref_default = true;
         }
+        at_item_start = false;
+        continue;
+      }
+      if (t.text == "=" && at_item_start) {
+        caps.by_copy_default = true;
+        at_item_start = false;
+        continue;
+      }
+      continue;
     }
+    if (t.kind == TokKind::kIdentifier && at_item_start && depth == 0) {
+      caps.copy_names.insert(t.text);
+      at_item_start = false;
+    }
+  }
+  return i;
+}
+
+// Collects names declared inside the callback body: ordinary declarations
+// (`auto x = ...`, `std::size_t k = 0`, `T v;`), structured bindings, and
+// range-for loop variables. Reference locals (`auto& slot = out[i]`) whose
+// initializer never mentions the loop variable (or another local) keep
+// aliasing shared state, so they go to `suspect_aliases` instead.
+void collect_body_locals(const Ctx& ctx, std::size_t body_open,
+                         std::size_t body_end, std::string_view loop_var,
+                         std::set<std::string>& locals,
+                         std::set<std::string>& suspect_aliases) {
+  for (std::size_t i = body_open + 1; i < body_end; ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier) continue;
+
+    // Structured binding: auto [a, b] = ... / auto& [a, b] : ...
+    if (t.text == "auto" &&
+        (ctx.punct_at(i + 1, "[") ||
+         ((ctx.punct_at(i + 1, "&") || ctx.ident_at(i + 1, "const")) &&
+          ctx.punct_at(i + 2, "[")))) {
+      std::size_t j = i + 1;
+      while (!ctx.punct_at(j, "[") && j < body_end) ++j;
+      for (++j; j < body_end && !ctx.punct_at(j, "]"); ++j) {
+        if (ctx.tok(j).kind == TokKind::kIdentifier) locals.insert(ctx.tok(j).text);
+      }
+      continue;
+    }
+
+    // Declarator: identifier X preceded by a type-ish token and followed
+    // by a terminator that starts storage for X. The previous-token test
+    // is what separates `auto x = ...` from the assignment `x = ...`
+    // (whose previous token is `;`, `{`, `)` or an operator).
+    const bool decl_terminator =
+        ctx.punct_at(i + 1, "=") || ctx.punct_at(i + 1, ";") ||
+        ctx.punct_at(i + 1, "{") || ctx.punct_at(i + 1, "[") ||
+        ctx.punct_at(i + 1, ":");  // range-for: `for (auto& job : jobs)`
+    if (!decl_terminator || i == 0) continue;
+    const Token& prev = ctx.tok(i - 1);
+    const bool ref_decl = prev.kind == TokKind::kPunct && prev.text == "&";
+    const bool type_before =
+        (prev.kind == TokKind::kIdentifier && prev.text != "return" &&
+         prev.text != "else" && prev.text != "do" && prev.text != "co_return") ||
+        (prev.kind == TokKind::kPunct &&
+         (prev.text == "&" || prev.text == "*" || prev.text == ">" ||
+          prev.text == ">>"));
+    if (!type_before) continue;
+
+    if (ref_decl && ctx.punct_at(i + 1, "=")) {
+      // Reference local: safe only if the initializer is pinned to this
+      // iteration (mentions the loop variable or an existing local).
+      bool pinned = false;
+      for (std::size_t j = i + 2; j < body_end && !ctx.punct_at(j, ";"); ++j) {
+        if (ctx.tok(j).kind == TokKind::kIdentifier &&
+            (ctx.tok(j).text == loop_var || locals.count(ctx.tok(j).text) != 0)) {
+          pinned = true;
+          break;
+        }
+      }
+      if (pinned) {
+        locals.insert(t.text);
+      } else {
+        suspect_aliases.insert(t.text);
+      }
+      continue;
+    }
+    locals.insert(t.text);
+  }
+}
+
+// The base identifier of the access chain ending just before token `op`
+// (walking back through `.`/`->`/`::` links and balanced subscripts), and
+// whether any subscript along the chain mentions `loop_var` or a local.
+struct LhsChain {
+  std::string base;
+  bool through_pointer = false;  // a '->' or leading '*' on the chain
+  bool indexed_by_iteration = false;
+};
+
+LhsChain walk_lhs(const Ctx& ctx, std::size_t op, std::size_t lo,
+                  std::string_view loop_var, const std::set<std::string>& locals) {
+  LhsChain chain;
+  std::size_t m = op;
+  while (m > lo) {
+    --m;
+    const Token& t = ctx.tok(m);
+    if (ctx.punct_at(m, "]")) {
+      int depth = 0;
+      const std::size_t sub_end = m;
+      while (m > lo) {
+        if (ctx.punct_at(m, "]")) ++depth;
+        else if (ctx.punct_at(m, "[") && --depth == 0) break;
+        --m;
+      }
+      for (std::size_t j = m + 1; j < sub_end; ++j) {
+        if (ctx.tok(j).kind == TokKind::kIdentifier &&
+            (ctx.tok(j).text == loop_var || locals.count(ctx.tok(j).text) != 0)) {
+          chain.indexed_by_iteration = true;
+        }
+      }
+      continue;
+    }
+    if (t.kind == TokKind::kIdentifier) {
+      chain.base = t.text;
+      // Keep walking: `a.b` has base `a`, so only stop when the next
+      // token back is not a chain link.
+      if (m > lo) {
+        const Token& link = ctx.tok(m - 1);
+        if (link.kind == TokKind::kPunct &&
+            (link.text == "." || link.text == "->" || link.text == "::")) {
+          if (link.text == "->") chain.through_pointer = true;
+          --m;
+          continue;
+        }
+        if (link.kind == TokKind::kPunct && link.text == "*") {
+          chain.through_pointer = true;
+        }
+      }
+      break;
+    }
+    break;
+  }
+  return chain;
+}
+
+void rule_r11(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    if (!(ctx.ident_at(i, "parallel_for_index") ||
+          ctx.ident_at(i, "parallel_map_index"))) {
+      continue;
+    }
+    if (i > 0 && (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) continue;
+    std::size_t j = i + 1;
+    if (ctx.punct_at(j, "<")) j = skip_angles(ctx, j);
+    if (!ctx.punct_at(j, "(")) continue;
+    const std::size_t call_close = match_paren(ctx, j);
+
+    // The lambda argument: the first '[' in the call whose capture list
+    // closes into a parameter list or body.
+    std::size_t cap_open = j + 1;
+    while (cap_open < call_close && !ctx.punct_at(cap_open, "[")) ++cap_open;
+    if (cap_open >= call_close) continue;
+    LambdaCaptures caps;
+    const std::size_t cap_close = parse_captures(ctx, cap_open, caps);
+
+    // Loop variable: the last identifier of the first parameter.
+    std::string loop_var;
+    std::size_t body_open = cap_close + 1;
+    if (ctx.punct_at(body_open, "(")) {
+      const std::size_t params_close = match_paren(ctx, body_open);
+      for (std::size_t p = body_open + 1; p < params_close; ++p) {
+        if (ctx.punct_at(p, ",")) break;
+        if (ctx.tok(p).kind == TokKind::kIdentifier) loop_var = ctx.tok(p).text;
+      }
+      body_open = params_close + 1;
+      while (body_open < call_close && !ctx.punct_at(body_open, "{")) ++body_open;
+    }
+    if (!ctx.punct_at(body_open, "{")) continue;
+    const std::size_t body_end = tok_match_brace(ctx.lx, body_open);
+
+    std::set<std::string> locals;
+    std::set<std::string> suspect_aliases;
+    if (!loop_var.empty()) locals.insert(loop_var);
+    collect_body_locals(ctx, body_open, body_end, loop_var, locals,
+                        suspect_aliases);
+
+    for (std::size_t k = body_open + 1; k < body_end; ++k) {
+      const Token& t = ctx.tok(k);
+      if (t.kind != TokKind::kPunct) continue;
+      const bool compound = t.text == "+=" || t.text == "-=" ||
+                            t.text == "*=" || t.text == "/=";
+      const bool incdec = t.text == "++" || t.text == "--";
+      const bool plain = t.text == "=";
+      if (!compound && !incdec && !plain) continue;
+
+      LhsChain chain;
+      if (incdec && ctx.tok(k + 1).kind == TokKind::kIdentifier &&
+          !(k > body_open &&
+            (ctx.tok(k - 1).kind == TokKind::kIdentifier ||
+             ctx.punct_at(k - 1, "]") || ctx.punct_at(k - 1, ")")))) {
+        // Prefix ++x / ++p->hits: take the forward chain's first base.
+        chain.base = ctx.tok(k + 1).text;
+        if (ctx.punct_at(k + 2, "->")) chain.through_pointer = true;
+      } else {
+        chain = walk_lhs(ctx, k, body_open, loop_var, locals);
+      }
+      if (chain.base.empty()) continue;
+      if (locals.count(chain.base) != 0) continue;
+      if (chain.indexed_by_iteration) continue;
+
+      const bool suspect_alias = suspect_aliases.count(chain.base) != 0;
+      const bool ref_captured = caps.by_ref_default ||
+                                caps.ref_names.count(chain.base) != 0;
+      // A copy-captured pointer still aliases shared state through ->/*;
+      // a copy-captured value does not race (it only loses updates, which
+      // is a different bug). Implicit `this` member writes surface as
+      // bare `member_ = ...` under a default capture.
+      const bool pointer_write = chain.through_pointer &&
+                                 (ref_captured || caps.by_copy_default ||
+                                  caps.copy_names.count(chain.base) != 0 ||
+                                  suspect_alias);
+      if (!pointer_write && !ref_captured && !suspect_alias) continue;
+
+      ctx.report(t.line, "dc-r11", "error",
+                 "write to '" + chain.base + "' inside a parallel sweep "
+                     "callback is not indexed by the loop variable" +
+                     (loop_var.empty() ? std::string()
+                                       : " '" + loop_var + "'") +
+                     "; concurrent sweep threads race on it — store "
+                     "per-index results (out[" +
+                     (loop_var.empty() ? std::string("i") : loop_var) +
+                     "] = ...) and reduce after the join, or make the "
+                     "state thread-local");
+    }
+    i = call_close;
   }
 }
 
 }  // namespace
 
-LintResult lint_source(const std::string& display_path, std::string_view source) {
+FileAnalysis analyze_file(const std::string& display_path,
+                          std::string_view source) {
   const FileLex lx = lex(source);
-  LintResult result;
+  FileAnalysis result;
+  result.waivers = lx.waivers;
+  result.line_count = lx.line_count;
   Ctx ctx{display_path, lx, result};
   rule_r1(ctx);
   rule_r2(ctx);
   if (is_sim_hot_path(display_path)) rule_r3(ctx);
   rule_r4(ctx);
   if (is_header_path(display_path)) rule_r5(ctx);
-  rule_r6(ctx);
   if (is_traced_subsystem_path(display_path)) rule_r7(ctx);
   if (is_queue_source_path(display_path)) rule_r8(ctx);
+  rule_r11(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;
               return a.rule < b.rule;
             });
+  result.facts = extract_facts(display_path, lx);
   return result;
 }
 
-std::string to_human(const std::vector<Diagnostic>& diagnostics) {
-  std::string out;
-  for (const Diagnostic& d : diagnostics) {
-    out += d.file;
-    out += ':';
-    out += std::to_string(d.line);
-    out += ": ";
-    out += d.severity;
-    out += '[';
-    out += d.rule;
-    out += "]: ";
-    out += d.message;
-    out += '\n';
-  }
-  return out;
-}
-
-std::string to_json(const std::vector<Diagnostic>& diagnostics, int files_scanned,
-                    int waived) {
-  int errors = 0;
-  int warnings = 0;
-  for (const Diagnostic& d : diagnostics) {
-    if (d.severity == "error") ++errors;
-    else ++warnings;
-  }
-  std::string out = "{\"tool\":\"dc-lint\",\"version\":1,\"files_scanned\":";
-  out += std::to_string(files_scanned);
-  out += ",\"diagnostics\":[";
-  bool first = true;
-  for (const Diagnostic& d : diagnostics) {
-    if (!first) out += ',';
-    first = false;
-    out += "{\"file\":\"";
-    json_escape_into(out, d.file);
-    out += "\",\"line\":";
-    out += std::to_string(d.line);
-    out += ",\"rule\":\"";
-    json_escape_into(out, d.rule);
-    out += "\",\"severity\":\"";
-    json_escape_into(out, d.severity);
-    out += "\",\"message\":\"";
-    json_escape_into(out, d.message);
-    out += "\"}";
-  }
-  out += "],\"summary\":{\"errors\":";
-  out += std::to_string(errors);
-  out += ",\"warnings\":";
-  out += std::to_string(warnings);
-  out += ",\"waived\":";
-  out += std::to_string(waived);
-  out += "}}";
-  return out;
+LintResult lint_source(const std::string& display_path, std::string_view source) {
+  FileAnalysis analysis = analyze_file(display_path, source);
+  return {std::move(analysis.diagnostics), analysis.waived};
 }
 
 }  // namespace dc_lint

@@ -1,0 +1,20 @@
+// SARIF 2.1.0 output: the interchange format GitHub code scanning (and
+// most editor SARIF viewers) ingest. One run, one tool.driver carrying
+// the full rule_table() as rule descriptors, one result per diagnostic
+// with a physicalLocation region. Paths are emitted as given (the CI
+// job lints from the repo root, so they are already repo-relative URIs).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "diagnostics.hpp"
+
+namespace dc_lint {
+
+/// Renders `diagnostics` as a SARIF 2.1.0 log. `tool_version` lands in
+/// tool.driver.version.
+std::string to_sarif(const std::vector<Diagnostic>& diagnostics,
+                     const std::string& tool_version);
+
+}  // namespace dc_lint

@@ -1,0 +1,72 @@
+// Small token-stream navigation helpers shared by the local rules
+// (rules.cpp) and the project-model extraction (project_model.cpp).
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+#include "lexer.hpp"
+
+namespace dc_lint {
+
+inline bool tok_ident_at(const FileLex& lx, std::size_t i, std::string_view text) {
+  return i < lx.tokens.size() && lx.tokens[i].kind == TokKind::kIdentifier &&
+         lx.tokens[i].text == text;
+}
+
+inline bool tok_punct_at(const FileLex& lx, std::size_t i, std::string_view text) {
+  return i < lx.tokens.size() && lx.tokens[i].kind == TokKind::kPunct &&
+         lx.tokens[i].text == text;
+}
+
+inline bool str_starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+inline bool str_ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Walks past a balanced <...> region. `i` points at the '<'; returns the
+/// index just past the matching '>'. Tolerates the lexer's `<<`/`>>`
+/// tokens and bails at a statement end when unbalanced.
+inline std::size_t tok_skip_angles(const FileLex& lx, std::size_t i) {
+  int depth = 0;
+  for (; i < lx.tokens.size(); ++i) {
+    const Token& t = lx.tokens[i];
+    if (t.kind != TokKind::kPunct) continue;
+    if (t.text == "<") ++depth;
+    else if (t.text == "<<") depth += 2;
+    else if (t.text == ">") --depth;
+    else if (t.text == ">>") depth -= 2;
+    else if (t.text == ";") break;  // malformed; bail at statement end
+    if (depth <= 0 && t.text[0] == '>') return i + 1;
+  }
+  return i;
+}
+
+/// Matches a parenthesized region. `i` points at the '('; returns the
+/// index of the matching ')' (or the last token if unbalanced).
+inline std::size_t tok_match_paren(const FileLex& lx, std::size_t i) {
+  int depth = 0;
+  for (; i < lx.tokens.size(); ++i) {
+    if (tok_punct_at(lx, i, "(")) ++depth;
+    else if (tok_punct_at(lx, i, ")") && --depth == 0) return i;
+  }
+  return lx.tokens.empty() ? 0 : lx.tokens.size() - 1;
+}
+
+/// Matches a braced region. `i` points at the '{'; returns the index of
+/// the matching '}' (or the last token if unbalanced).
+inline std::size_t tok_match_brace(const FileLex& lx, std::size_t i) {
+  int depth = 0;
+  for (; i < lx.tokens.size(); ++i) {
+    if (tok_punct_at(lx, i, "{")) ++depth;
+    else if (tok_punct_at(lx, i, "}") && --depth == 0) return i;
+  }
+  return lx.tokens.empty() ? 0 : lx.tokens.size() - 1;
+}
+
+}  // namespace dc_lint
