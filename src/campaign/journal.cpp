@@ -1,0 +1,329 @@
+#include "campaign/journal.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include "snapshot/format.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dc::campaign {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+std::uint32_t decode_u32le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+StatusOr<CellState> parse_cell_state(std::string_view name) {
+  if (name == "claimed") return CellState::kClaimed;
+  if (name == "running") return CellState::kRunning;
+  if (name == "done") return CellState::kDone;
+  if (name == "failed") return CellState::kFailed;
+  if (name == "quarantined") return CellState::kQuarantined;
+  return Status::invalid_argument("unknown cell state '" + std::string(name) +
+                                  "'");
+}
+
+std::string encode_entry(const JournalEntry& entry) {
+  snapshot::SnapshotWriter writer;
+  writer.begin_section("entry");
+  writer.field_str("kind",
+                   entry.kind == JournalEntry::Kind::kCampaign ? "campaign"
+                                                               : "cell");
+  if (entry.kind == JournalEntry::Kind::kCampaign) {
+    writer.field_u64("spec_digest", entry.spec_digest);
+    writer.field_u64("cell_count", entry.cell_count);
+  } else {
+    writer.field_u64("cell", entry.cell);
+    writer.field_str("state", cell_state_name(entry.state));
+    writer.field_i64("attempt", entry.attempt);
+    writer.field_i64("pid", entry.pid);
+    writer.field_u64("artifact_digest", entry.artifact_digest);
+    writer.field_str("reason", entry.reason);
+  }
+  writer.end_section();
+  const std::string payload = writer.finish();
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(
+        static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  frame += payload;
+  return frame;
+}
+
+Status decode_entry(std::string payload, JournalEntry& out) {
+  auto reader = snapshot::SnapshotReader::from_buffer(std::move(payload));
+  if (!reader.is_ok()) return reader.status();
+  if (Status st = reader->begin_section("entry"); !st.is_ok()) return st;
+  std::string kind;
+  if (Status st = reader->read_str("kind", kind); !st.is_ok()) return st;
+  if (kind == "campaign") {
+    out.kind = JournalEntry::Kind::kCampaign;
+    if (Status st = reader->read_u64("spec_digest", out.spec_digest);
+        !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_u64("cell_count", out.cell_count);
+        !st.is_ok()) {
+      return st;
+    }
+  } else if (kind == "cell") {
+    out.kind = JournalEntry::Kind::kCell;
+    if (Status st = reader->read_u64("cell", out.cell); !st.is_ok()) return st;
+    std::string state;
+    if (Status st = reader->read_str("state", state); !st.is_ok()) return st;
+    auto parsed = parse_cell_state(state);
+    if (!parsed.is_ok()) return parsed.status();
+    out.state = *parsed;
+    if (Status st = reader->read_i64("attempt", out.attempt); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_i64("pid", out.pid); !st.is_ok()) return st;
+    if (Status st = reader->read_u64("artifact_digest", out.artifact_digest);
+        !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_str("reason", out.reason); !st.is_ok()) {
+      return st;
+    }
+  } else {
+    return Status::invalid_argument("unknown journal entry kind '" + kind +
+                                    "'");
+  }
+  return reader->end_section();
+}
+
+}  // namespace
+
+const char* cell_state_name(CellState state) {
+  switch (state) {
+    case CellState::kClaimed: return "claimed";
+    case CellState::kRunning: return "running";
+    case CellState::kDone: return "done";
+    case CellState::kFailed: return "failed";
+    case CellState::kQuarantined: return "quarantined";
+  }
+  return "?";
+}
+
+JournalEntry JournalEntry::campaign(std::uint64_t digest,
+                                    std::uint64_t cells) {
+  JournalEntry entry;
+  entry.kind = Kind::kCampaign;
+  entry.spec_digest = digest;
+  entry.cell_count = cells;
+  return entry;
+}
+
+JournalEntry JournalEntry::cell_state(std::uint64_t cell, CellState state,
+                                      std::int64_t attempt) {
+  JournalEntry entry;
+  entry.kind = Kind::kCell;
+  entry.cell = cell;
+  entry.state = state;
+  entry.attempt = attempt;
+  return entry;
+}
+
+StatusOr<JournalAppender> JournalAppender::open(const std::string& path) {
+#ifndef _WIN32
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::internal("campaign journal: cannot open '" + path +
+                            "' for appending: " + errno_text());
+  }
+  return JournalAppender(fd, path);
+#else
+  return Status::internal("campaign journal: POSIX-only");
+#endif
+}
+
+JournalAppender::JournalAppender(JournalAppender&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+}
+
+JournalAppender& JournalAppender::operator=(JournalAppender&& other) noexcept {
+  if (this != &other) {
+#ifndef _WIN32
+    if (fd_ >= 0) ::close(fd_);
+#endif
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+JournalAppender::~JournalAppender() {
+#ifndef _WIN32
+  if (fd_ >= 0) ::close(fd_);
+#endif
+}
+
+Status JournalAppender::append(const JournalEntry& entry) {
+#ifndef _WIN32
+  if (fd_ < 0) {
+    return Status::failed_precondition("campaign journal: appender is closed");
+  }
+  const std::string frame = encode_entry(entry);
+  std::size_t written = 0;
+  while (written < frame.size()) {
+    const ::ssize_t n =
+        ::write(fd_, frame.data() + written, frame.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::internal("campaign journal: write to '" + path_ +
+                              "' failed: " + errno_text());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd_) != 0) {
+    return Status::internal("campaign journal: fsync of '" + path_ +
+                            "' failed: " + errno_text());
+  }
+  return Status::ok();
+#else
+  (void)entry;
+  return Status::internal("campaign journal: POSIX-only");
+#endif
+}
+
+StatusOr<JournalContents> load_journal(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes.is_ok()) return bytes.status();
+  const std::string& data = *bytes;
+
+  JournalContents contents;
+  std::size_t pos = 0;
+  std::size_t index = 0;
+  while (pos < data.size()) {
+    if (pos + 4 > data.size()) {
+      // Not even a full length prefix: torn tail of a crashed append.
+      contents.truncated_tail = true;
+      break;
+    }
+    const std::uint32_t length = decode_u32le(data.data() + pos);
+    if (pos + 4 + length > data.size()) {
+      contents.truncated_tail = true;
+      break;
+    }
+    JournalEntry entry;
+    if (Status st = decode_entry(data.substr(pos + 4, length), entry);
+        !st.is_ok()) {
+      // A complete frame that fails verification is corruption, not a
+      // crash artifact — refuse to resume from it.
+      return Status::failed_precondition(str_format(
+          "campaign journal '%s' is corrupt at entry %zu (byte offset %zu): "
+          "%s — refusing to resume from damaged campaign state; inspect or "
+          "delete the campaign directory and re-run",
+          path.c_str(), index, pos, st.message().c_str()));
+    }
+    contents.entries.push_back(std::move(entry));
+    pos += 4 + length;
+    ++index;
+  }
+  if (contents.truncated_tail) {
+    Log::raw(LogLevel::kWarn,
+             "campaign journal '%s': dropping torn trailing record at byte "
+             "offset %zu (crash mid-append); resuming from the last complete "
+             "entry",
+             path.c_str(), pos);
+  }
+  return contents;
+}
+
+StatusOr<CampaignLock> CampaignLock::acquire(const std::string& path) {
+#ifndef _WIN32
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      const std::string stamp = str_format("%lld\n", static_cast<long long>(::getpid()));
+      std::size_t written = 0;
+      while (written < stamp.size()) {
+        const ::ssize_t n =
+            ::write(fd, stamp.data() + written, stamp.size() - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          ::close(fd);
+          ::unlink(path.c_str());
+          return Status::internal("campaign lock: write to '" + path +
+                                  "' failed: " + errno_text());
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      ::fsync(fd);
+      ::close(fd);
+      return CampaignLock(path);
+    }
+    if (errno != EEXIST) {
+      return Status::internal("campaign lock: cannot create '" + path +
+                              "': " + errno_text());
+    }
+    // Somebody holds (or held) the lease. A live pid means a concurrent
+    // orchestrator; a dead pid is a stale lease from a crashed one.
+    auto stamp = read_file(path);
+    long long pid = 0;
+    if (stamp.is_ok()) pid = std::strtoll(stamp->c_str(), nullptr, 10);
+    if (pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM)) {
+      return Status::failed_precondition(str_format(
+          "campaign is already being orchestrated by live pid %lld (lock "
+          "'%s'); a campaign may have only one orchestrator — wait for it or "
+          "kill it first",
+          pid, path.c_str()));
+    }
+    Log::raw(LogLevel::kWarn,
+             "campaign lock '%s': breaking stale lease of dead pid %lld",
+             path.c_str(), pid);
+    ::unlink(path.c_str());
+  }
+  return Status::internal("campaign lock: could not acquire '" + path +
+                          "' after breaking a stale lease");
+#else
+  (void)path;
+  return Status::internal("campaign lock: POSIX-only");
+#endif
+}
+
+CampaignLock::CampaignLock(CampaignLock&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+CampaignLock& CampaignLock::operator=(CampaignLock&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+#ifndef _WIN32
+      ::unlink(path_.c_str());
+#endif
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+CampaignLock::~CampaignLock() {
+#ifndef _WIN32
+  if (!path_.empty()) ::unlink(path_.c_str());
+#endif
+}
+
+}  // namespace dc::campaign

@@ -1,0 +1,158 @@
+#include "campaign/worker.hpp"
+
+#include <algorithm>
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "core/description.hpp"
+#include "core/system_runner.hpp"
+#include "metrics/report.hpp"
+#include "snapshot/format.hpp"
+#include "util/csv.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+
+namespace dc::campaign {
+namespace {
+
+/// Exit codes the orchestrator maps back to failure reasons.
+constexpr int kConfigError = 2;
+constexpr int kPoisoned = 3;
+
+int fail(const WorkerContext& ctx, const Status& status) {
+  Log::raw(LogLevel::kError, "cell %llu (%s): %s",
+           static_cast<unsigned long long>(ctx.cell.id),
+           ctx.cell.key().c_str(), status.to_string().c_str());
+  return kConfigError;
+}
+
+/// The liveness signal: a monotonic counter, atomically replaced so the
+/// orchestrator never reads a torn value. Deliberately not a timestamp —
+/// nothing wall-clock-derived may exist under a cell directory (dc-r13).
+void touch_heartbeat(const std::string& path, std::uint64_t counter) {
+  char text[32];
+  std::snprintf(text, sizeof(text), "%llu\n",
+                static_cast<unsigned long long>(counter));
+  // Best effort: a lost heartbeat at worst costs one supervision timeout.
+  (void)atomic_write_file(path, text);
+}
+
+}  // namespace
+
+std::string cell_result_path(const std::string& cell_dir) {
+  return cell_dir + "/result.csv";
+}
+
+std::string cell_heartbeat_path(const std::string& cell_dir) {
+  return cell_dir + "/heartbeat";
+}
+
+StatusOr<std::uint64_t> file_digest(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes.is_ok()) return bytes.status();
+  return snapshot::fnv1a(*bytes);
+}
+
+int run_cell_worker(const WorkerContext& ctx) {
+  if (ctx.drill_poison) {
+    Log::raw(LogLevel::kWarn, "cell %llu (%s): poison drill — failing attempt %lld",
+             static_cast<unsigned long long>(ctx.cell.id),
+             ctx.cell.key().c_str(), static_cast<long long>(ctx.attempt));
+    return kPoisoned;
+  }
+
+  auto workload = core::read_experiment_description(ctx.config_path);
+  if (!workload.is_ok()) return fail(ctx, workload.status());
+  auto plan = plan_cell(ctx.cell);
+  if (!plan.is_ok()) return fail(ctx, plan.status());
+
+  std::error_code ec;
+  std::filesystem::create_directories(ctx.cell_dir, ec);
+  if (ec) {
+    return fail(ctx, Status::internal("cannot create cell directory '" +
+                                      ctx.cell_dir + "': " + ec.message()));
+  }
+  const std::string heartbeat = cell_heartbeat_path(ctx.cell_dir);
+
+  // Per-cell snapshot resume: a retried cell restarts from its newest
+  // valid snapshot instead of from scratch. Chunk boundaries are fixed
+  // multiples of the cadence, so a resumed cell is byte-identical to an
+  // uninterrupted one (docs/SNAPSHOT.md).
+  std::string resume_from;
+  if (ctx.snapshot_every > 0) {
+    auto latest = core::latest_valid_snapshot(ctx.cell_dir, plan->model);
+    if (!latest.is_ok()) return fail(ctx, latest.status());
+    resume_from = *latest;
+  }
+
+  const auto mode = resume_from.empty() ? core::SystemRunner::Mode::kFresh
+                                        : core::SystemRunner::Mode::kRestore;
+  core::SystemRunner runner(plan->model, *workload, plan->options, mode);
+  if (!resume_from.empty()) {
+    if (Status st = runner.restore_file(resume_from); !st.is_ok()) {
+      return fail(ctx, st);
+    }
+  }
+
+  const SimTime horizon = runner.horizon();
+  SimTime t = runner.now();
+  std::uint64_t beats = 0;
+  touch_heartbeat(heartbeat, beats);
+  while (t < horizon) {
+    SimTime next = horizon;
+    if (ctx.snapshot_every > 0) {
+      next = std::min(horizon, (t / ctx.snapshot_every + 1) * ctx.snapshot_every);
+    }
+    runner.run_until(next);
+    t = next;
+    if (ctx.snapshot_every > 0 && t < horizon) {
+      if (Status st =
+              runner.save_file(core::snapshot_path(ctx.cell_dir, plan->model, t));
+          !st.is_ok()) {
+        return fail(ctx, st);
+      }
+    }
+    touch_heartbeat(heartbeat, ++beats);
+    if (ctx.drill_kill_midway && ctx.attempt == 1 && t >= horizon / 2) {
+      // Deterministic worker-crash injection: die at a chunk boundary
+      // with snapshots on disk, so the retry exercises mid-cell resume.
+      std::raise(SIGKILL);
+    }
+    if (ctx.drill_hang && ctx.attempt == 1 && t >= horizon / 2) {
+      // Stop heartbeating without exiting: the orchestrator must detect
+      // the stale heartbeat and SIGKILL us.
+#ifndef _WIN32
+      for (;;) ::pause();  // dc-wallclock: hang drill blocks on signals, no sim state involved
+#endif
+    }
+  }
+
+  const core::SystemResult result = runner.finalize();
+
+  // The artifact is written through the same atomic path as snapshots: a
+  // SIGKILL between any two instructions leaves either no result.csv or a
+  // complete one, never a torn file the orchestrator could digest.
+  const std::string partial = cell_result_path(ctx.cell_dir) + ".partial";
+  {
+    CsvWriter csv(partial);
+    if (!csv.ok()) {
+      return fail(ctx, Status::internal("cannot write '" + partial + "'"));
+    }
+    metrics::write_results_csv(csv, {result});
+  }
+  auto bytes = read_file(partial);
+  if (!bytes.is_ok()) return fail(ctx, bytes.status());
+  if (Status st = atomic_write_file(cell_result_path(ctx.cell_dir), *bytes);
+      !st.is_ok()) {
+    return fail(ctx, st);
+  }
+  std::filesystem::remove(partial, ec);
+  return 0;
+}
+
+}  // namespace dc::campaign

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <fstream>
 
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace dc::snapshot {
@@ -162,25 +163,13 @@ std::string SnapshotWriter::finish() const {
 }
 
 Status SnapshotWriter::write_file(const std::string& path) const {
-  const std::string contents = finish();
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
-    if (!file) {
-      return Status::internal("snapshot: cannot open '" + tmp + "' for writing");
-    }
-    file.write(contents.data(),
-               static_cast<std::streamsize>(contents.size()));
-    file.flush();
-    if (!file) {
-      return Status::internal("snapshot: short write to '" + tmp + "'");
-    }
-  }
-  std::error_code ec;
-  std::filesystem::rename(tmp, path, ec);
-  if (ec) {
-    return Status::internal("snapshot: rename '" + tmp + "' -> '" + path +
-                            "' failed: " + ec.message());
+  // Durability is delegated to atomic_write_file (util/fsio.hpp): the temp
+  // file is fsync'd before the rename and the directory after, and every
+  // failure path unlinks the temp file — a crash mid-write leaves either
+  // the previous complete snapshot or nothing, never a partial file and
+  // never a stale '.tmp'.
+  if (Status st = atomic_write_file(path, finish()); !st.is_ok()) {
+    return Status::internal("snapshot: " + st.message());
   }
   return Status::ok();
 }

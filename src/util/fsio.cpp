@@ -1,0 +1,122 @@
+#include "util/fsio.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "util/strings.hpp"
+
+namespace dc {
+namespace {
+
+#ifndef _WIN32
+
+std::string errno_text() { return std::strerror(errno); }
+
+Status fail_and_unlink(const std::string& tmp, int fd, std::string message) {
+  if (fd >= 0) ::close(fd);
+  ::unlink(tmp.c_str());
+  return Status::internal(std::move(message));
+}
+
+/// fsync the directory containing `path` so the rename itself is durable.
+Status sync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.rfind('/');
+  const std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  const int dirfd = ::open(dir.empty() ? "/" : dir.c_str(),
+                           O_RDONLY | O_DIRECTORY);
+  if (dirfd < 0) {
+    return Status::internal("cannot open directory '" + dir +
+                            "' for fsync: " + errno_text());
+  }
+  // Some filesystems refuse fsync on directory fds (EINVAL); the rename
+  // is still atomic there, so only real I/O errors are fatal.
+  if (::fsync(dirfd) != 0 && errno != EINVAL && errno != ENOSYS) {
+    const std::string message =
+        "fsync of directory '" + dir + "' failed: " + errno_text();
+    ::close(dirfd);
+    return Status::internal(message);
+  }
+  ::close(dirfd);
+  return Status::ok();
+}
+
+#endif  // !_WIN32
+
+}  // namespace
+
+Status atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+#ifndef _WIN32
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::internal("cannot open '" + tmp +
+                            "' for writing: " + errno_text());
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return fail_and_unlink(tmp, fd,
+                             "short write to '" + tmp + "': " + errno_text());
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return fail_and_unlink(tmp, fd,
+                           "fsync of '" + tmp + "' failed: " + errno_text());
+  }
+  if (::close(fd) != 0) {
+    return fail_and_unlink(tmp, -1,
+                           "close of '" + tmp + "' failed: " + errno_text());
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return fail_and_unlink(tmp, -1, "rename '" + tmp + "' -> '" + path +
+                                        "' failed: " + errno_text());
+  }
+  return sync_parent_dir(path);
+#else
+  // Portable fallback: flush-then-rename without the fsync guarantees.
+  {
+    std::ofstream file(tmp, std::ios::binary | std::ios::trunc);
+    if (!file) {
+      return Status::internal("cannot open '" + tmp + "' for writing");
+    }
+    file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    file.flush();
+    if (!file) {
+      std::remove(tmp.c_str());
+      return Status::internal("short write to '" + tmp + "'");
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::internal("rename '" + tmp + "' -> '" + path + "' failed");
+  }
+  return Status::ok();
+#endif
+}
+
+StatusOr<std::string> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::not_found("cannot read '" + path + "'");
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::internal("I/O error reading '" + path + "'");
+  }
+  return buf.str();
+}
+
+}  // namespace dc

@@ -1,0 +1,167 @@
+// Campaign-journal regression: frame round trips, the crash-semantics
+// split (torn tail warn-and-drop vs mid-file corruption refusal), and the
+// pid-lease lock that rejects a second orchestrator.
+#include "campaign/journal.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include "util/log.hpp"
+
+namespace dc::campaign {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void write_sample_journal(const std::string& path) {
+  auto appender = JournalAppender::open(path);
+  ASSERT_TRUE(appender.is_ok()) << appender.status().to_string();
+  ASSERT_TRUE(appender->append(JournalEntry::campaign(0xabcd, 4)).is_ok());
+  ASSERT_TRUE(
+      appender->append(JournalEntry::cell_state(0, CellState::kClaimed, 1))
+          .is_ok());
+  JournalEntry running = JournalEntry::cell_state(0, CellState::kRunning, 1);
+  running.pid = 4242;
+  ASSERT_TRUE(appender->append(running).is_ok());
+  JournalEntry done = JournalEntry::cell_state(0, CellState::kDone, 1);
+  done.artifact_digest = 0xfeedbeef;
+  ASSERT_TRUE(appender->append(done).is_ok());
+  JournalEntry failed = JournalEntry::cell_state(1, CellState::kFailed, 2);
+  failed.reason = "exit code 3";
+  ASSERT_TRUE(appender->append(failed).is_ok());
+}
+
+TEST(Journal, RoundTripsEveryEntryShape) {
+  const std::string path = temp_path("journal_roundtrip.dcj");
+  ::unlink(path.c_str());
+  write_sample_journal(path);
+
+  auto contents = load_journal(path);
+  ASSERT_TRUE(contents.is_ok()) << contents.status().to_string();
+  EXPECT_FALSE(contents->truncated_tail);
+  ASSERT_EQ(contents->entries.size(), 5u);
+
+  EXPECT_EQ(contents->entries[0].kind, JournalEntry::Kind::kCampaign);
+  EXPECT_EQ(contents->entries[0].spec_digest, 0xabcdu);
+  EXPECT_EQ(contents->entries[0].cell_count, 4u);
+
+  EXPECT_EQ(contents->entries[2].state, CellState::kRunning);
+  EXPECT_EQ(contents->entries[2].pid, 4242);
+  EXPECT_EQ(contents->entries[3].artifact_digest, 0xfeedbeefu);
+  EXPECT_EQ(contents->entries[4].attempt, 2);
+  EXPECT_EQ(contents->entries[4].reason, "exit code 3");
+}
+
+TEST(Journal, TornTailIsDroppedWithWarning) {
+  const std::string path = temp_path("journal_torn.dcj");
+  ::unlink(path.c_str());
+  write_sample_journal(path);
+
+  // A crash mid-append: a length prefix promising more bytes than exist.
+  std::string bytes = slurp(path);
+  const std::size_t complete = bytes.size();
+  bytes += std::string("\x40\x00\x00\x00partial", 11);
+  dump(path, bytes);
+
+  ScopedLogLevel quiet(LogLevel::kOff);
+  auto contents = load_journal(path);
+  ASSERT_TRUE(contents.is_ok()) << contents.status().to_string();
+  EXPECT_TRUE(contents->truncated_tail);
+  EXPECT_EQ(contents->entries.size(), 5u);
+
+  // Even a torn length prefix alone (fewer than 4 bytes) is a tail, not
+  // corruption.
+  dump(path, bytes.substr(0, complete) + "\x07");
+  auto short_tail = load_journal(path);
+  ASSERT_TRUE(short_tail.is_ok());
+  EXPECT_TRUE(short_tail->truncated_tail);
+  EXPECT_EQ(short_tail->entries.size(), 5u);
+}
+
+TEST(Journal, MidFileCorruptionRefusesWithPreciseError) {
+  const std::string path = temp_path("journal_corrupt.dcj");
+  ::unlink(path.c_str());
+  write_sample_journal(path);
+
+  // Flip one byte inside the SECOND frame's payload: every frame carries
+  // its own checksum, so the damage is attributed to that entry exactly.
+  std::string bytes = slurp(path);
+  const std::uint32_t first_len = static_cast<unsigned char>(bytes[0]) |
+                                  (static_cast<unsigned char>(bytes[1]) << 8) |
+                                  (static_cast<unsigned char>(bytes[2]) << 16) |
+                                  (static_cast<unsigned char>(bytes[3]) << 24);
+  const std::size_t second_payload = 4 + first_len + 4 + 10;
+  ASSERT_LT(second_payload, bytes.size());
+  bytes[second_payload] ^= 0x5a;
+  dump(path, bytes);
+
+  auto contents = load_journal(path);
+  ASSERT_FALSE(contents.is_ok());
+  EXPECT_NE(contents.status().message().find("corrupt at entry 1"),
+            std::string::npos)
+      << contents.status().message();
+  EXPECT_NE(contents.status().message().find("refusing to resume"),
+            std::string::npos);
+}
+
+TEST(Journal, MissingFileIsNotFound) {
+  auto contents = load_journal(temp_path("no_such_journal.dcj"));
+  ASSERT_FALSE(contents.is_ok());
+}
+
+TEST(CampaignLockTest, SecondAcquireRefusedWhileHolderLives) {
+  const std::string path = temp_path("campaign_lock_live");
+  ::unlink(path.c_str());
+  auto lock = CampaignLock::acquire(path);
+  ASSERT_TRUE(lock.is_ok()) << lock.status().to_string();
+
+  // Our own pid is alive by definition: the second acquire must refuse.
+  auto second = CampaignLock::acquire(path);
+  ASSERT_FALSE(second.is_ok());
+  EXPECT_NE(second.status().message().find("already being orchestrated"),
+            std::string::npos);
+}
+
+TEST(CampaignLockTest, ReleaseAllowsReacquire) {
+  const std::string path = temp_path("campaign_lock_release");
+  ::unlink(path.c_str());
+  {
+    auto lock = CampaignLock::acquire(path);
+    ASSERT_TRUE(lock.is_ok());
+  }
+  auto again = CampaignLock::acquire(path);
+  EXPECT_TRUE(again.is_ok());
+}
+
+TEST(CampaignLockTest, StaleLeaseOfDeadPidIsBroken) {
+  const std::string path = temp_path("campaign_lock_stale");
+  ::unlink(path.c_str());
+  // No live process has a pid this large (kernel pid_max is far below it).
+  dump(path, "2147400000\n");
+
+  ScopedLogLevel quiet(LogLevel::kOff);
+  auto lock = CampaignLock::acquire(path);
+  EXPECT_TRUE(lock.is_ok()) << lock.status().to_string();
+}
+
+}  // namespace
+}  // namespace dc::campaign

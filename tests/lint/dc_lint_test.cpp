@@ -548,6 +548,45 @@ TEST(DcLintR12, DuplicateTraceNameAcrossFiles) {
 }
 
 // ---------------------------------------------------------------------------
+// dc-r13: wall-clock dependence in campaign code.
+
+TEST(DcLintR13, FlagsWallClockOnlyUnderSrcCampaign) {
+  const std::string source = fixture("r13_campaign_wallclock.cpp");
+
+  // Linted as campaign code: the unannotated clock type, sleeps, and the
+  // filesystem timestamp all fire; the two `// dc-wallclock:` annotated
+  // supervision lines stay quiet.
+  const auto hot =
+      dc_lint::lint_source("src/campaign/r13_campaign_wallclock.cpp", source);
+  expect_all_rule(hot, "dc-r13", "error");
+  EXPECT_EQ(lines_of(hot), (std::vector<int>{12, 17, 19, 21}));
+  EXPECT_EQ(hot.waived, 1);  // the NOLINT'd pause()
+  ASSERT_EQ(hot.diagnostics.size(), 4u);
+  EXPECT_NE(hot.diagnostics[0].message.find("'steady_clock'"),
+            std::string::npos);
+  EXPECT_NE(hot.diagnostics[0].message.find("dc-wallclock"), std::string::npos);
+
+  // The same source outside src/campaign is clean: the rule is path-gated.
+  const auto cold = dc_lint::lint_source(
+      "tests/lint/fixtures/r13_campaign_wallclock.cpp", source);
+  EXPECT_TRUE(cold.diagnostics.empty()) << dc_lint::to_human(cold.diagnostics);
+  EXPECT_EQ(cold.waived, 0);
+}
+
+TEST(DcLintR13, RealCampaignSourcesCarryAnnotatedSupervisionOnly) {
+  // The shipped orchestrator/worker use wall time only on annotated
+  // supervision lines — every diagnostic the rule would raise is already
+  // covered by a `// dc-wallclock: <reason>`.
+  for (const char* rel :
+       {"src/campaign/spec.cpp", "src/campaign/journal.cpp",
+        "src/campaign/orchestrator.cpp", "src/campaign/worker.cpp"}) {
+    const auto result = dc_lint::lint_source(rel, real_source(rel));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Reports: human, JSON v2, SARIF 2.1.0.
 
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {

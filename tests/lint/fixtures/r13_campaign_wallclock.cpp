@@ -1,0 +1,43 @@
+// Fixture: dc-r13 violations — wall-clock dependence in campaign code.
+// Expected as src/campaign/*: 4 diagnostics (lines 12, 17, 19, 21),
+// 1 waived (line 33); annotated supervision lines are exempt. The same
+// source outside src/campaign is clean: the rule is path-gated.
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+namespace fixture {
+
+long long stamp_artifact() {
+  auto t0 = std::chrono::steady_clock::now();  // violation: clock type
+  (void)t0;
+  return 0;
+}
+void throttle(const std::filesystem::path& p) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));  // violation
+  // Violation: elapsed wall time via a filesystem timestamp.
+  auto ts = std::filesystem::last_write_time(p);
+  (void)ts;
+  usleep(100);  // violation: POSIX sleep
+}
+void supervise() {
+  // OK: annotated supervision plumbing — staleness needs a real clock.
+  auto mark = std::chrono::steady_clock::now();  // dc-wallclock: heartbeat staleness
+  (void)mark;
+  // dc-wallclock: poll interval between waitpid sweeps
+  std::this_thread::sleep_for(std::chrono::milliseconds(25));
+}
+void waived_site() {
+  // Waived: a reviewed exception recorded the NOLINT way instead of the
+  // annotation; both spellings must keep working.
+  pause();  // NOLINT(dc-r13)
+}
+struct Timer;
+void fine(Timer* timer) {
+  // No violation: member calls named `sleep` belong to someone else.
+  timer->sleep();
+  // No violation: the token only appears in a string: sleep_for(
+  const char* doc = "calls sleep_for( and pause( at runtime";
+  (void)doc;
+}
+}  // namespace fixture

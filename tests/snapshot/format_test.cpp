@@ -179,6 +179,43 @@ TEST(SnapshotFormat, WriteFileIsAtomicAndVerifies) {
   EXPECT_EQ(x, 7u);
 }
 
+TEST(SnapshotFormat, WriteFileFailureLeavesNoDebris) {
+  // write_file goes through the fsync-hardened atomic_write_file path
+  // (util/fsio.hpp): when the target's directory does not exist, the
+  // write must fail without creating the directory, the file, or a stray
+  // temp file — a crashed/failed snapshot write can never be mistaken for
+  // a valid one.
+  const std::string dir = temp_path("no_such_snapshot_dir");
+  std::filesystem::remove_all(dir);
+  const std::string path = dir + "/chunk.dcsnap";
+  SnapshotWriter writer;
+  writer.field_u64("x", 7);
+  const Status st = writer.write_file(path);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_FALSE(std::filesystem::exists(dir));
+  EXPECT_FALSE(std::filesystem::exists(path));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(SnapshotFormat, WriteFileOverwriteStaysValid) {
+  // Overwriting an existing snapshot is all-or-nothing at the rename: the
+  // new bytes must verify end-to-end afterwards.
+  const std::string path = temp_path("overwrite.dcsnap");
+  SnapshotWriter old_writer;
+  old_writer.field_u64("x", 1);
+  ASSERT_TRUE(old_writer.write_file(path).is_ok());
+  SnapshotWriter new_writer;
+  new_writer.field_u64("x", 2);
+  new_writer.field_str("extra", "grown");
+  ASSERT_TRUE(new_writer.write_file(path).is_ok());
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto reader = SnapshotReader::from_file(path);
+  ASSERT_TRUE(reader.is_ok()) << reader.status().to_string();
+  std::uint64_t x = 0;
+  ASSERT_TRUE(reader->read_u64("x", x).is_ok());
+  EXPECT_EQ(x, 2u);
+}
+
 TEST(SnapshotFormat, ReadRecordsDecodesTheWholeStream) {
   const std::string path = temp_path("records.dcsnap");
   write_bytes(path, sample_stream());

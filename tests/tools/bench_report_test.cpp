@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <string>
 
 namespace dc_bench {
@@ -228,6 +229,61 @@ TEST(GateCompare, WiderThresholdTolersLargerDrop) {
   wide.threshold = 0.35;
   ASSERT_TRUE(gate_compare(*fresh, *baseline, wide, &loose, &error));
   EXPECT_EQ(loose.regressions, 0);
+}
+
+// load_json_file must name the broken-input shape, not just throw a parse
+// error: an empty file (killed producer), a truncated document (killed
+// mid-write), and plain non-JSON each get their own diagnostic.
+std::string fixture_file(const std::string& name, const std::string& bytes) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  return path;
+}
+
+TEST(LoadJsonFile, MissingFileIsNamed) {
+  std::string error;
+  EXPECT_EQ(load_json_file(::testing::TempDir() + "no_such_report.json",
+                           &error),
+            nullptr);
+  EXPECT_NE(error.find("cannot read"), std::string::npos) << error;
+}
+
+TEST(LoadJsonFile, EmptyFileIsNamed) {
+  std::string error;
+  EXPECT_EQ(load_json_file(fixture_file("empty.json", ""), &error), nullptr);
+  EXPECT_NE(error.find("is empty"), std::string::npos) << error;
+  // Whitespace-only counts as empty too.
+  error.clear();
+  EXPECT_EQ(load_json_file(fixture_file("blank.json", " \n\t\n"), &error),
+            nullptr);
+  EXPECT_NE(error.find("is empty"), std::string::npos) << error;
+}
+
+TEST(LoadJsonFile, TruncatedDocumentIsNamed) {
+  std::string error;
+  EXPECT_EQ(load_json_file(
+                fixture_file("truncated.json", "{\"context\": {\"num_cpus\": 8"),
+                &error),
+            nullptr);
+  EXPECT_NE(error.find("truncated"), std::string::npos) << error;
+}
+
+TEST(LoadJsonFile, NonJsonIsNamed) {
+  std::string error;
+  EXPECT_EQ(load_json_file(
+                fixture_file("notjson.txt", "benchmark exploded: SIGSEGV\n"),
+                &error),
+            nullptr);
+  EXPECT_NE(error.find("not valid JSON"), std::string::npos) << error;
+}
+
+TEST(LoadJsonFile, ValidDocumentParses) {
+  std::string error;
+  JsonPtr parsed =
+      load_json_file(fixture_file("ok.json", "{\"a\": [1, 2]}"), &error);
+  ASSERT_NE(parsed, nullptr) << error;
+  EXPECT_EQ(parsed->kind, Json::Kind::kObject);
 }
 
 }  // namespace

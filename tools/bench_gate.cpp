@@ -31,17 +31,10 @@ int usage() {
 }
 
 dc_bench::JsonPtr load_json(const std::string& path) {
-  std::ifstream file(path);
-  if (!file) {
-    std::fprintf(stderr, "bench_gate: cannot read %s\n", path.c_str());
-    return nullptr;
-  }
-  std::stringstream text;
-  text << file.rdbuf();
   std::string error;
-  dc_bench::JsonPtr parsed = dc_bench::parse_json(text.str(), &error);
+  dc_bench::JsonPtr parsed = dc_bench::load_json_file(path, &error);
   if (parsed == nullptr) {
-    std::fprintf(stderr, "bench_gate: %s: %s\n", path.c_str(), error.c_str());
+    std::fprintf(stderr, "bench_gate: %s\n", error.c_str());
   }
   return parsed;
 }

@@ -3,7 +3,9 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <stdexcept>
 
 namespace dc_bench {
@@ -235,6 +237,50 @@ JsonPtr parse_json(const std::string& src, std::string* error) {
     if (error != nullptr) *error = e.what();
     return nullptr;
   }
+}
+
+JsonPtr load_json_file(const std::string& path, std::string* error) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) {
+    if (error != nullptr) {
+      *error = "cannot read " + path + " (missing or unreadable)";
+    }
+    return nullptr;
+  }
+  std::stringstream buffer;
+  buffer << file.rdbuf();
+  const std::string src = buffer.str();
+
+  const std::size_t first = src.find_first_not_of(" \t\r\n");
+  if (first == std::string::npos) {
+    if (error != nullptr) {
+      *error = path +
+               " is empty — expected a JSON document (a google-benchmark "
+               "report or a BENCH_*.json baseline); was the producing run "
+               "interrupted?";
+    }
+    return nullptr;
+  }
+
+  std::string parse_error;
+  JsonPtr parsed = parse_json(src, &parse_error);
+  if (parsed == nullptr) {
+    if (error != nullptr) {
+      // A document that opens as JSON but stops mid-stream is almost
+      // always a killed producer, not a syntax bug — say so.
+      const char head = src[first];
+      const char tail = src[src.find_last_not_of(" \t\r\n")];
+      if ((head == '{' || head == '[') && tail != '}' && tail != ']') {
+        *error = path + ": " + parse_error +
+                 " — the document stops mid-stream (looks truncated); "
+                 "re-run the producer";
+      } else {
+        *error = path + ": " + parse_error + " — not valid JSON";
+      }
+    }
+    return nullptr;
+  }
+  return parsed;
 }
 
 void dump_json(std::ostream& os, const Json& v, int indent) {

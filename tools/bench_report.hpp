@@ -41,6 +41,13 @@ struct Json {
 /// non-null, a byte-offset diagnostic.
 JsonPtr parse_json(const std::string& src, std::string* error);
 
+/// Reads and parses a JSON file, turning the common broken-input shapes
+/// into precise one-line diagnostics instead of a bare parse error: a
+/// missing/unreadable file, an empty (or whitespace-only) file from an
+/// interrupted producer, and a document that stops mid-stream (looks
+/// truncated) are each named as such. Returns nullptr with `error` set.
+JsonPtr load_json_file(const std::string& path, std::string* error);
+
 /// Pretty-prints `v` (2-space indent, no trailing newline).
 void dump_json(std::ostream& os, const Json& v, int indent);
 

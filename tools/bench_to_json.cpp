@@ -26,18 +26,10 @@ int main(int argc, char** argv) {
   const std::string label = argv[2];
   const std::string out_path = argv[3];
 
-  std::ifstream report_file(report_path);
-  if (!report_file) {
-    std::fprintf(stderr, "bench_to_json: cannot read %s\n", report_path.c_str());
-    return 1;
-  }
-  std::stringstream report_text;
-  report_text << report_file.rdbuf();
   std::string error;
-  dc_bench::JsonPtr report = dc_bench::parse_json(report_text.str(), &error);
+  dc_bench::JsonPtr report = dc_bench::load_json_file(report_path, &error);
   if (report == nullptr) {
-    std::fprintf(stderr, "bench_to_json: %s: %s\n", report_path.c_str(),
-                 error.c_str());
+    std::fprintf(stderr, "bench_to_json: %s\n", error.c_str());
     return 1;
   }
   dc_bench::JsonPtr section;
@@ -51,13 +43,15 @@ int main(int argc, char** argv) {
 
   // Merge into the existing file (if any) so other labels survive.
   dc_bench::JsonPtr out = dc_bench::Json::make(dc_bench::Json::Kind::kObject);
-  if (std::ifstream existing(out_path); existing) {
-    std::stringstream existing_text;
-    existing_text << existing.rdbuf();
-    out = dc_bench::parse_json(existing_text.str(), &error);
-    if (out == nullptr || out->kind != dc_bench::Json::Kind::kObject) {
-      std::fprintf(stderr, "bench_to_json: %s is not a JSON object (%s)\n",
-                   out_path.c_str(), error.c_str());
+  if (std::ifstream(out_path)) {
+    out = dc_bench::load_json_file(out_path, &error);
+    if (out == nullptr) {
+      std::fprintf(stderr, "bench_to_json: %s\n", error.c_str());
+      return 1;
+    }
+    if (out->kind != dc_bench::Json::Kind::kObject) {
+      std::fprintf(stderr, "bench_to_json: %s is not a JSON object\n",
+                   out_path.c_str());
       return 1;
     }
   } else {

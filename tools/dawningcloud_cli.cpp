@@ -13,6 +13,15 @@
 //   dawningcloud trace-stats --swf FILE
 //   dawningcloud snapshot-diff --golden FILE --other FILE
 //   dawningcloud trace-summary --trace FILE [--other FILE]
+//   dawningcloud sweep run --spec FILE --dir DIR [--workers N] [--resume]
+//   dawningcloud sweep report --dir DIR
+//
+// `sweep` (alias `campaign`) is the crash-resilient campaign
+// orchestrator: it expands a declarative parameter grid into cells, runs
+// them under supervised worker subprocesses with a journaled state
+// machine, and survives SIGKILL of the orchestrator at any instant — a
+// `--resume` invocation re-runs only incomplete cells and produces
+// byte-identical merged results. See docs/SWEEP.md.
 //
 // Observability (docs/OBSERVABILITY.md): `run` takes --trace-out FILE
 // (Chrome trace JSON, or CSV when FILE ends in .csv), --trace-filter
@@ -28,6 +37,8 @@
 #include <map>
 #include <string>
 
+#include "campaign/orchestrator.hpp"
+#include "campaign/spec.hpp"
 #include "core/description.hpp"
 #include "core/paper.hpp"
 #include "core/system_runner.hpp"
@@ -51,7 +62,7 @@ using namespace dc;
 int usage() {
   std::fputs(
       "usage: dawningcloud <run|paper|tune|describe|trace-stats|snapshot-diff"
-      "|trace-summary> [options]\n"
+      "|trace-summary|sweep> [options]\n"
       "  run         --config FILE [--system NAME] [--csv PATH]\n"
       "              [--quantum SECONDS] [--scheduler NAME]\n"
       "              [--capacity NODES] [--setup SECONDS]\n"
@@ -68,7 +79,14 @@ int usage() {
       "  describe    --config FILE\n"
       "  trace-stats --swf FILE\n"
       "  snapshot-diff --golden FILE --other FILE\n"
-      "  trace-summary --trace FILE [--other FILE]\n",
+      "  trace-summary --trace FILE [--other FILE]\n"
+      "  sweep run    --spec FILE --dir DIR [--set KEY=V1,V2;...]\n"
+      "               [--workers N] [--max-attempts N] [--resume]\n"
+      "               [--heartbeat-timeout-ms N] [--poll-ms N]\n"
+      "               [--backoff-ms N] [--backoff-cap-ms N]\n"
+      "               [--drill MODE [--drill-cell N] [--drill-after N]]\n"
+      "  sweep report --dir DIR\n"
+      "  (`campaign` is an alias for `sweep`)\n",
       stderr);
   return 2;
 }
@@ -77,10 +95,10 @@ int usage() {
 /// flag (or the end of the argument list) is bare and maps to "" —
 /// `--profile` needs no value.
 std::map<std::string, std::string> parse_flags(int argc, char** argv,
-                                               bool& ok) {
+                                               bool& ok, int start = 2) {
   std::map<std::string, std::string> flags;
   ok = true;
-  for (int i = 2; i < argc; ++i) {
+  for (int i = start; i < argc; ++i) {
     if (std::strncmp(argv[i], "--", 2) != 0) {
       ok = false;
       return flags;
@@ -562,8 +580,132 @@ int cmd_trace_stats(const std::map<std::string, std::string>& flags) {
 
 }  // namespace
 
+/// Parses an optional integer flag into `out`; false (with a message) on a
+/// malformed value.
+bool flag_int(const std::map<std::string, std::string>& flags, const char* key,
+              std::int64_t& out) {
+  const auto it = flags.find(key);
+  if (it == flags.end()) return true;
+  auto parsed = parse_int(it->second);
+  if (!parsed.is_ok()) {
+    std::fprintf(stderr, "sweep: bad --%s '%s': %s\n", key,
+                 it->second.c_str(), parsed.status().message().c_str());
+    return false;
+  }
+  out = *parsed;
+  return true;
+}
+
+int cmd_sweep_run(const std::map<std::string, std::string>& flags) {
+  const auto spec_it = flags.find("spec");
+  if (spec_it == flags.end()) {
+    std::fputs("sweep run: missing --spec FILE\n", stderr);
+    return 2;
+  }
+  auto spec = campaign::read_sweep_spec(spec_it->second);
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "%s\n", spec.status().to_string().c_str());
+    return 1;
+  }
+  if (const auto set_it = flags.find("set"); set_it != flags.end()) {
+    if (Status st = campaign::apply_spec_overrides(*spec, set_it->second);
+        !st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+  }
+
+  campaign::OrchestratorConfig config;
+  const auto dir_it = flags.find("dir");
+  if (dir_it == flags.end()) {
+    std::fputs("sweep run: missing --dir DIR\n", stderr);
+    return 2;
+  }
+  config.campaign_dir = dir_it->second;
+  config.resume = flags.count("resume") > 0;
+
+  std::int64_t workers = config.workers;
+  std::int64_t max_attempts = config.max_attempts;
+  if (!flag_int(flags, "workers", workers) ||
+      !flag_int(flags, "max-attempts", max_attempts) ||
+      !flag_int(flags, "heartbeat-timeout-ms", config.heartbeat_timeout_ms) ||
+      !flag_int(flags, "poll-ms", config.poll_interval_ms) ||
+      !flag_int(flags, "backoff-ms", config.backoff_base_ms) ||
+      !flag_int(flags, "backoff-cap-ms", config.backoff_cap_ms)) {
+    return 2;
+  }
+  config.workers = static_cast<int>(workers);
+  config.max_attempts = static_cast<int>(max_attempts);
+
+  if (const auto drill_it = flags.find("drill"); drill_it != flags.end()) {
+    auto mode = campaign::parse_drill_mode(drill_it->second);
+    if (!mode.is_ok()) {
+      std::fprintf(stderr, "%s\n", mode.status().to_string().c_str());
+      return 2;
+    }
+    config.drill = *mode;
+    std::int64_t cell = 0, after = 1;
+    if (!flag_int(flags, "drill-cell", cell) ||
+        !flag_int(flags, "drill-after", after)) {
+      return 2;
+    }
+    config.drill_cell = static_cast<std::uint64_t>(cell);
+    config.drill_after = static_cast<std::uint64_t>(after);
+  }
+
+  auto report = campaign::run_campaign(*spec, config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 1;
+  }
+  std::printf(
+      "campaign complete: %llu/%llu cells done (%llu verified-skipped on "
+      "resume), %llu quarantined\n",
+      static_cast<unsigned long long>(report->done),
+      static_cast<unsigned long long>(report->total_cells),
+      static_cast<unsigned long long>(report->verified_skipped),
+      static_cast<unsigned long long>(report->quarantined));
+  for (const auto& outcome : report->outcomes) {
+    if (outcome.state != campaign::CellState::kQuarantined) continue;
+    std::printf("  quarantined cell %llu (%s): %s\n",
+                static_cast<unsigned long long>(outcome.cell),
+                outcome.key.c_str(), outcome.reason.c_str());
+  }
+  std::printf("results: %s\n         %s\n", report->results_csv_path.c_str(),
+              report->results_json_path.c_str());
+  // 0 = every cell done; 3 = completed but with quarantined cells (the
+  // campaign itself never aborts on a bad cell).
+  return report->quarantined == 0 ? 0 : 3;
+}
+
+int cmd_sweep_report(const std::map<std::string, std::string>& flags) {
+  const auto dir_it = flags.find("dir");
+  if (dir_it == flags.end()) {
+    std::fputs("sweep report: missing --dir DIR\n", stderr);
+    return 2;
+  }
+  auto status = campaign::fold_campaign_journal(dir_it->second);
+  if (!status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(campaign::format_campaign_status(*status).c_str(), stdout);
+  return 0;
+}
+
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
+  const std::string command_name = argv[1];
+  if (command_name == "sweep" || command_name == "campaign") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return usage();
+    const std::string action = argv[2];
+    bool sweep_flags_ok = true;
+    const auto sweep_flags = parse_flags(argc, argv, sweep_flags_ok, 3);
+    if (!sweep_flags_ok) return usage();
+    if (action == "run") return cmd_sweep_run(sweep_flags);
+    if (action == "report") return cmd_sweep_report(sweep_flags);
+    return usage();
+  }
   const std::string command = argv[1];
   bool flags_ok = false;
   const auto flags = parse_flags(argc, argv, flags_ok);

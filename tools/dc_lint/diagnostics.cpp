@@ -46,6 +46,10 @@ const std::vector<RuleInfo>& rule_table() {
        "trace/metrics name registry: no duplicate interned TraceName "
        "declarations, no literal used as both instant and span, no metric "
        "name registered under two types"},
+      {"dc-r13", "error",
+       "campaign artifacts must not depend on wall time: no clocks or "
+       "sleeps in src/campaign except supervision plumbing annotated "
+       "// dc-wallclock: <reason>"},
       {"dc-waiver", "error",
        "stale suppression: a NOLINT(dc-rN) or dc-lint: annotation that no "
        "longer suppresses anything"},

@@ -88,6 +88,13 @@ void harvest_annotations(const std::string& text, int line, FileLex& out,
     out.volatile_lines.insert(line);
     out.volatile_lines.insert(line + 1);
   }
+  // dc-wallclock: marks a line of supervision plumbing (heartbeat clock,
+  // poll sleep, timeout kill) as intentionally wall-clock for dc-r13.
+  // Same coverage as dc-volatile: the comment's line and the next.
+  if (text.find("dc-wallclock") != std::string::npos) {
+    out.wallclock_lines.insert(line);
+    out.wallclock_lines.insert(line + 1);
+  }
 }
 
 }  // namespace

@@ -54,10 +54,15 @@ struct Token {
 /// annotation (the comment's own line and the next, so it reads naturally
 /// trailing a member declaration or on the line above it). dc-r9 exempts
 /// annotated data members from the never-persisted check.
+///
+/// `wallclock_lines` works the same way for `// dc-wallclock: <reason>`:
+/// dc-r13 exempts annotated supervision-plumbing lines (heartbeat clocks,
+/// poll sleeps, timeout kills) from the campaign wall-clock ban.
 struct FileLex {
   std::vector<Token> tokens;
   std::vector<WaiverSite> waivers;
   std::set<int> volatile_lines;
+  std::set<int> wallclock_lines;
   int line_count = 0;
 };
 

@@ -30,6 +30,10 @@ bool is_queue_source_path(std::string_view path) {
   return is_sim_hot_path(path) && path.find("queue") != std::string_view::npos;
 }
 
+bool is_campaign_path(std::string_view path) {
+  return path.find("src/campaign") != std::string_view::npos;
+}
+
 struct Ctx {
   const std::string& path;
   const FileLex& lx;
@@ -690,6 +694,53 @@ void rule_r11(Ctx& ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// dc-r13: wall-clock dependence in campaign code.
+//
+// The sweep orchestrator's crash-resume guarantee is that merged results
+// are byte-identical whether a campaign ran uninterrupted or was SIGKILLed
+// and resumed — which holds only if nothing on the artifact path reads a
+// clock. dc-r1 already bans the calendar clocks (system_clock, time());
+// this rule closes the remaining gap for src/campaign: steady_clock,
+// sleeps, and filesystem timestamps are deterministic-looking but still
+// encode elapsed wall time. Supervision plumbing legitimately needs them
+// (heartbeat staleness, poll intervals, timeout kills), so each such line
+// carries a reviewed `// dc-wallclock: <reason>` annotation; anything
+// unannotated is an error, keeping artifact code honest by default.
+
+const std::set<std::string, std::less<>> kSupervisionClockCalls = {
+    "steady_clock",     "high_resolution_clock", "sleep_for",
+    "sleep_until",      "sleep",                 "usleep",
+    "nanosleep",        "pause",                 "last_write_time"};
+
+void rule_r13(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier ||
+        kSupervisionClockCalls.count(t.text) == 0) {
+      continue;
+    }
+    // Identifiers that merely *name* these calls (a parameter called
+    // `sleep`, a member `pause()` on our own type) are someone else's;
+    // require either a call or the chrono clock-type usage.
+    const bool clock_type =
+        t.text == "steady_clock" || t.text == "high_resolution_clock";
+    if (!clock_type && !ctx.punct_at(i + 1, "(")) continue;
+    if (!clock_type && i > 0 &&
+        (ctx.punct_at(i - 1, ".") || ctx.punct_at(i - 1, "->"))) {
+      continue;
+    }
+    if (ctx.lx.wallclock_lines.count(t.line) != 0) continue;
+    ctx.report(t.line, "dc-r13", "error",
+               "'" + t.text +
+                   "' in campaign code reads or waits on wall time; "
+                   "artifacts must be a pure function of the spec, so keep "
+                   "this out of the result path — supervision plumbing "
+                   "(heartbeats, poll sleeps, timeout kills) must carry a "
+                   "'// dc-wallclock: <reason>' annotation");
+  }
+}
+
 }  // namespace
 
 FileAnalysis analyze_file(const std::string& display_path,
@@ -707,6 +758,7 @@ FileAnalysis analyze_file(const std::string& display_path,
   if (is_traced_subsystem_path(display_path)) rule_r7(ctx);
   if (is_queue_source_path(display_path)) rule_r8(ctx);
   rule_r11(ctx);
+  if (is_campaign_path(display_path)) rule_r13(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -1,0 +1,337 @@
+// sweep_drill: the campaign crash-recovery drill (see docs/SWEEP.md).
+//
+//   sweep_drill --spec FILE --workdir DIR
+//
+// Exercises every robustness claim the sweep orchestrator makes, against
+// the same spec CI uses:
+//
+//  1. golden   — an uninterrupted campaign; its merged results.csv and
+//                results.json are the reference bytes;
+//  2. kill-orchestrator — a forked orchestrator SIGKILLs itself after the
+//                first cell completes; a --resume invocation must break
+//                the stale lease, wait out orphaned workers, verify the
+//                completed cell by artifact digest (not re-run it), and
+//                reproduce the golden bytes exactly;
+//  3. kill-worker — one worker SIGKILLs itself mid-horizon; the retry
+//                must resume from the cell's snapshots and still match;
+//  4. hang-worker — one worker stops heartbeating; the supervisor must
+//                detect the stale heartbeat, SIGKILL it, retry, and match;
+//  5. poison-cell — one cell fails every attempt; it must be quarantined
+//                (reported, campaign completes) and the other cells'
+//                merged rows must be untouched;
+//  6. double-orchestrate — a second orchestrator on a locked campaign
+//                directory must be refused while the lease holder lives.
+//
+// Exit code 0 = every drill passed; 1 = divergence or a missed rejection;
+// 2 = usage/setup error.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <unistd.h>
+
+#include "campaign/journal.hpp"
+#include "campaign/orchestrator.hpp"
+#include "campaign/spec.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace dc;
+namespace fs = std::filesystem;
+
+struct Golden {
+  std::string csv;
+  std::string json;
+};
+
+campaign::OrchestratorConfig base_config(const std::string& dir) {
+  campaign::OrchestratorConfig config;
+  config.campaign_dir = dir;
+  config.workers = 2;
+  config.max_attempts = 3;
+  config.backoff_base_ms = 10;
+  config.backoff_cap_ms = 100;
+  return config;
+}
+
+bool read_results(const std::string& dir, Golden* out) {
+  auto csv = read_file(campaign::campaign_results_csv_path(dir));
+  auto json = read_file(campaign::campaign_results_json_path(dir));
+  if (!csv.is_ok() || !json.is_ok()) return false;
+  out->csv = *csv;
+  out->json = *json;
+  return true;
+}
+
+bool results_match(const char* phase, const std::string& dir,
+                   const Golden& golden) {
+  Golden actual;
+  if (!read_results(dir, &actual)) {
+    std::fprintf(stderr, "[%s] FAIL: merged results missing in %s\n", phase,
+                 dir.c_str());
+    return false;
+  }
+  if (actual.csv != golden.csv) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: results.csv diverges from the golden bytes\n",
+                 phase);
+    return false;
+  }
+  if (actual.json != golden.json) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: results.json diverges from the golden bytes\n",
+                 phase);
+    return false;
+  }
+  std::fprintf(stderr, "[%s] merged results are byte-identical\n", phase);
+  return true;
+}
+
+int drill_kill_orchestrator(const campaign::SweepSpec& spec,
+                            const std::string& workdir, const Golden& golden) {
+  const char* phase = "kill-orchestrator";
+  const std::string dir = workdir + "/kill_orchestrator";
+  fs::remove_all(dir);
+
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return 2;
+  }
+  if (pid == 0) {
+    campaign::OrchestratorConfig config = base_config(dir);
+    config.drill = campaign::DrillMode::kKillOrchestrator;
+    config.drill_after = 1;
+    auto report = campaign::run_campaign(spec, config);
+    // The drill raises SIGKILL before run_campaign can return success.
+    std::fprintf(stderr, "[%s] victim orchestrator was not killed (%s)\n",
+                 phase,
+                 report.is_ok() ? "completed" : report.status().message().c_str());
+    _exit(7);
+  }
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (!WIFSIGNALED(wstatus) || WTERMSIG(wstatus) != SIGKILL) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: orchestrator did not die by SIGKILL mid-campaign\n",
+                 phase);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] orchestrator killed mid-campaign\n", phase);
+
+  auto folded = campaign::fold_campaign_journal(dir);
+  if (!folded.is_ok()) {
+    std::fprintf(stderr, "[%s] FAIL: journal unreadable after the kill: %s\n",
+                 phase, folded.status().to_string().c_str());
+    return 1;
+  }
+
+  campaign::OrchestratorConfig config = base_config(dir);
+  config.resume = true;
+  auto report = campaign::run_campaign(spec, config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "[%s] FAIL: resume errored: %s\n", phase,
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  if (report->quarantined != 0 || report->done != report->total_cells) {
+    std::fprintf(stderr, "[%s] FAIL: resume did not complete every cell\n",
+                 phase);
+    return 1;
+  }
+  if (report->verified_skipped < 1) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: resume re-ran the completed cell instead of "
+                 "verifying its artifact digest\n",
+                 phase);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] resumed: %llu cell(s) verified-skipped\n", phase,
+               static_cast<unsigned long long>(report->verified_skipped));
+  return results_match(phase, dir, golden) ? 0 : 1;
+}
+
+int drill_worker_death(const campaign::SweepSpec& spec,
+                       const std::string& workdir, const Golden& golden,
+                       campaign::DrillMode mode, const char* phase) {
+  const std::string dir = workdir + "/" + phase;
+  fs::remove_all(dir);
+  campaign::OrchestratorConfig config = base_config(dir);
+  config.drill = mode;
+  config.drill_cell = 1;
+  if (mode == campaign::DrillMode::kHangWorker) {
+    config.heartbeat_timeout_ms = 1500;
+  }
+  auto report = campaign::run_campaign(spec, config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "[%s] FAIL: campaign errored: %s\n", phase,
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  if (report->quarantined != 0 || report->done != report->total_cells) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: the killed worker's cell did not recover\n",
+                 phase);
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] campaign absorbed the worker death\n", phase);
+  return results_match(phase, dir, golden) ? 0 : 1;
+}
+
+int drill_poison(const campaign::SweepSpec& spec, const std::string& workdir,
+                 const Golden& golden) {
+  const char* phase = "poison-cell";
+  const std::string dir = workdir + "/poison";
+  fs::remove_all(dir);
+  campaign::OrchestratorConfig config = base_config(dir);
+  config.drill = campaign::DrillMode::kPoisonCell;
+  config.drill_cell = 1;
+  config.max_attempts = 2;
+  auto report = campaign::run_campaign(spec, config);
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "[%s] FAIL: campaign errored: %s\n", phase,
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  if (report->quarantined != 1 ||
+      report->done != report->total_cells - 1) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: expected exactly one quarantined cell "
+                 "(got %llu quarantined, %llu done)\n",
+                 phase, static_cast<unsigned long long>(report->quarantined),
+                 static_cast<unsigned long long>(report->done));
+    return 1;
+  }
+  bool reported = false;
+  for (const auto& outcome : report->outcomes) {
+    if (outcome.cell != config.drill_cell) continue;
+    reported = outcome.state == campaign::CellState::kQuarantined &&
+               !outcome.reason.empty();
+  }
+  if (!reported) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: quarantined cell missing from the report\n",
+                 phase);
+    return 1;
+  }
+  // The healthy cells' rows must match the golden rows exactly; the
+  // poisoned cell simply contributes none.
+  Golden actual;
+  if (!read_results(dir, &actual)) {
+    std::fprintf(stderr, "[%s] FAIL: merged results missing\n", phase);
+    return 1;
+  }
+  if (actual.csv == golden.csv) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: quarantined cell still contributed rows\n",
+                 phase);
+    return 1;
+  }
+  std::fprintf(stderr,
+               "[%s] cell quarantined and reported; campaign completed\n",
+               phase);
+  return 0;
+}
+
+int drill_double_orchestrate(const campaign::SweepSpec& spec,
+                             const std::string& workdir) {
+  const char* phase = "double-orchestrate";
+  const std::string dir = workdir + "/double";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // Hold the lease ourselves (our own pid is alive by definition); a
+  // second orchestrator must refuse to run.
+  auto lock = campaign::CampaignLock::acquire(campaign::campaign_lock_path(dir));
+  if (!lock.is_ok()) {
+    std::fprintf(stderr, "[%s] setup: %s\n", phase,
+                 lock.status().to_string().c_str());
+    return 2;
+  }
+  campaign::OrchestratorConfig config = base_config(dir);
+  auto report = campaign::run_campaign(spec, config);
+  if (report.is_ok()) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: second orchestrator ran despite the live lease\n",
+                 phase);
+    return 1;
+  }
+  if (report.status().message().find("already being orchestrated") ==
+      std::string::npos) {
+    std::fprintf(stderr, "[%s] FAIL: unexpected error: %s\n", phase,
+                 report.status().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "[%s] second orchestrator refused: OK\n", phase);
+  return 0;
+}
+
+int usage() {
+  std::fputs("usage: sweep_drill --spec FILE --workdir DIR\n", stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string workdir;
+  for (int i = 1; i + 1 < argc; i += 2) {
+    if (std::strcmp(argv[i], "--spec") == 0) {
+      spec_path = argv[i + 1];
+    } else if (std::strcmp(argv[i], "--workdir") == 0) {
+      workdir = argv[i + 1];
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty() || workdir.empty()) return usage();
+
+  auto spec = campaign::read_sweep_spec(spec_path);
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "sweep_drill: %s\n", spec.status().to_string().c_str());
+    return 2;
+  }
+  fs::create_directories(workdir);
+
+  // 1. Golden, uninterrupted.
+  const std::string golden_dir = workdir + "/golden";
+  fs::remove_all(golden_dir);
+  auto golden_report = campaign::run_campaign(*spec, base_config(golden_dir));
+  if (!golden_report.is_ok() || golden_report->quarantined != 0) {
+    std::fprintf(stderr, "[golden] FAIL: %s\n",
+                 golden_report.is_ok()
+                     ? "campaign quarantined cells"
+                     : golden_report.status().to_string().c_str());
+    return 1;
+  }
+  Golden golden;
+  if (!read_results(golden_dir, &golden)) {
+    std::fputs("[golden] FAIL: merged results missing\n", stderr);
+    return 1;
+  }
+  std::fprintf(stderr, "[golden] %llu cells done\n",
+               static_cast<unsigned long long>(golden_report->done));
+
+  int failures = 0;
+  failures += drill_kill_orchestrator(*spec, workdir, golden);
+  failures += drill_worker_death(*spec, workdir, golden,
+                                 campaign::DrillMode::kKillWorker,
+                                 "kill-worker");
+  failures += drill_worker_death(*spec, workdir, golden,
+                                 campaign::DrillMode::kHangWorker,
+                                 "hang-worker");
+  failures += drill_poison(*spec, workdir, golden);
+  failures += drill_double_orchestrate(*spec, workdir);
+
+  if (failures == 0) {
+    std::fputs("sweep_drill: all drills passed\n", stderr);
+  }
+  return failures == 0 ? 0 : 1;
+}
