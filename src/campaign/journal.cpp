@@ -12,6 +12,7 @@
 #endif
 
 #include "snapshot/format.hpp"
+#include "util/faultfs.hpp"
 #include "util/fsio.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -110,6 +111,34 @@ Status decode_entry(std::string payload, JournalEntry& out) {
   return reader->end_section();
 }
 
+#ifndef _WIN32
+bool pid_is_live(long long pid) {
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+#endif
+
+/// Parses a lease stamp. v2 format is "pid <pid>\nstart <ticks>\n"; the
+/// legacy format is a bare decimal pid. Returns false when nothing that
+/// looks like a pid could be recovered (corrupt lease).
+bool parse_lock_stamp(const std::string& stamp, long long& pid,
+                      long long& start, bool& have_start) {
+  pid = 0;
+  start = -1;
+  have_start = false;
+  if (stamp.rfind("pid ", 0) == 0) {
+    pid = std::strtoll(stamp.c_str() + 4, nullptr, 10);
+    const std::size_t at = stamp.find("\nstart ");
+    if (at != std::string::npos) {
+      start = std::strtoll(stamp.c_str() + at + 7, nullptr, 10);
+      have_start = true;
+    }
+    return pid > 0;
+  }
+  // Legacy bare-pid lease (pre start-tick identity).
+  pid = std::strtoll(stamp.c_str(), nullptr, 10);
+  return pid > 0;
+}
+
 }  // namespace
 
 const char* cell_state_name(CellState state) {
@@ -144,7 +173,9 @@ JournalEntry JournalEntry::cell_state(std::uint64_t cell, CellState state,
 
 StatusOr<JournalAppender> JournalAppender::open(const std::string& path) {
 #ifndef _WIN32
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  faultfs::SiteScope site("campaign.journal.create");
+  const int fd =
+      faultfs::xopen(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) {
     return Status::internal("campaign journal: cannot open '" + path +
                             "' for appending: " + errno_text());
@@ -183,11 +214,12 @@ Status JournalAppender::append(const JournalEntry& entry) {
   if (fd_ < 0) {
     return Status::failed_precondition("campaign journal: appender is closed");
   }
+  faultfs::SiteScope site("campaign.journal.append");
   const std::string frame = encode_entry(entry);
   std::size_t written = 0;
   while (written < frame.size()) {
-    const ::ssize_t n =
-        ::write(fd_, frame.data() + written, frame.size() - written);
+    const long n =
+        faultfs::xwrite(fd_, frame.data() + written, frame.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return Status::internal("campaign journal: write to '" + path_ +
@@ -195,7 +227,7 @@ Status JournalAppender::append(const JournalEntry& entry) {
     }
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd_) != 0) {
+  if (faultfs::xfsync(fd_) != 0) {
     return Status::internal("campaign journal: fsync of '" + path_ +
                             "' failed: " + errno_text());
   }
@@ -206,11 +238,8 @@ Status JournalAppender::append(const JournalEntry& entry) {
 #endif
 }
 
-StatusOr<JournalContents> load_journal(const std::string& path) {
-  auto bytes = read_file(path);
-  if (!bytes.is_ok()) return bytes.status();
-  const std::string& data = *bytes;
-
+StatusOr<JournalContents> parse_journal(const std::string& data,
+                                        const std::string& label) {
   JournalContents contents;
   std::size_t pos = 0;
   std::size_t index = 0;
@@ -221,7 +250,7 @@ StatusOr<JournalContents> load_journal(const std::string& path) {
       break;
     }
     const std::uint32_t length = decode_u32le(data.data() + pos);
-    if (pos + 4 + length > data.size()) {
+    if (length > data.size() || pos + 4 + length > data.size()) {
       contents.truncated_tail = true;
       break;
     }
@@ -234,7 +263,7 @@ StatusOr<JournalContents> load_journal(const std::string& path) {
           "campaign journal '%s' is corrupt at entry %zu (byte offset %zu): "
           "%s — refusing to resume from damaged campaign state; inspect or "
           "delete the campaign directory and re-run",
-          path.c_str(), index, pos, st.message().c_str()));
+          label.c_str(), index, pos, st.message().c_str()));
     }
     contents.entries.push_back(std::move(entry));
     pos += 4 + length;
@@ -245,23 +274,62 @@ StatusOr<JournalContents> load_journal(const std::string& path) {
              "campaign journal '%s': dropping torn trailing record at byte "
              "offset %zu (crash mid-append); resuming from the last complete "
              "entry",
-             path.c_str(), pos);
+             label.c_str(), pos);
   }
   return contents;
 }
 
+StatusOr<JournalContents> load_journal(const std::string& path) {
+  auto bytes = read_file(path);
+  if (!bytes.is_ok()) return bytes.status();
+  return parse_journal(*bytes, path);
+}
+
+long long process_start_ticks(long long pid) {
+#ifndef _WIN32
+  if (pid <= 0) return -1;
+  auto stat = read_file(str_format("/proc/%lld/stat", pid));
+  if (!stat.is_ok()) return -1;
+  // Field 2 (comm) may itself contain spaces and parentheses, so fields
+  // are only space-delimited after the LAST ')'. starttime is field 22,
+  // i.e. the 20th space-separated token after the comm.
+  const std::size_t close = stat->rfind(')');
+  if (close == std::string::npos) return -1;
+  int field = 2;  // the token after ')' is field 3 (state)
+  std::size_t i = close + 1;
+  while (i < stat->size()) {
+    while (i < stat->size() && stat->at(i) == ' ') ++i;
+    const std::size_t start = i;
+    while (i < stat->size() && stat->at(i) != ' ' && stat->at(i) != '\n') ++i;
+    if (i == start) break;
+    if (++field == 22) {
+      return std::strtoll(stat->c_str() + start, nullptr, 10);
+    }
+  }
+  return -1;
+#else
+  (void)pid;
+  return -1;
+#endif
+}
+
 StatusOr<CampaignLock> CampaignLock::acquire(const std::string& path) {
 #ifndef _WIN32
+  faultfs::SiteScope site("campaign.lock");
   for (int attempt = 0; attempt < 2; ++attempt) {
-    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    const int fd =
+        faultfs::xopen(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
     if (fd >= 0) {
-      const std::string stamp = str_format("%lld\n", static_cast<long long>(::getpid()));
+      const long long pid = static_cast<long long>(::getpid());
+      const std::string stamp = str_format("pid %lld\nstart %lld\n", pid,
+                                           process_start_ticks(pid));
       std::size_t written = 0;
       while (written < stamp.size()) {
-        const ::ssize_t n =
-            ::write(fd, stamp.data() + written, stamp.size() - written);
+        const long n = faultfs::xwrite(fd, stamp.data() + written,
+                                       stamp.size() - written);
         if (n < 0) {
           if (errno == EINTR) continue;
+          // Cleanup of our own partial lease; never fault-injected.
           ::close(fd);
           ::unlink(path.c_str());
           return Status::internal("campaign lock: write to '" + path +
@@ -269,7 +337,12 @@ StatusOr<CampaignLock> CampaignLock::acquire(const std::string& path) {
         }
         written += static_cast<std::size_t>(n);
       }
-      ::fsync(fd);
+      if (faultfs::xfsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        return Status::internal("campaign lock: fsync of '" + path +
+                                "' failed: " + errno_text());
+      }
       ::close(fd);
       return CampaignLock(path);
     }
@@ -277,21 +350,41 @@ StatusOr<CampaignLock> CampaignLock::acquire(const std::string& path) {
       return Status::internal("campaign lock: cannot create '" + path +
                               "': " + errno_text());
     }
-    // Somebody holds (or held) the lease. A live pid means a concurrent
-    // orchestrator; a dead pid is a stale lease from a crashed one.
+    // Somebody holds (or held) the lease. Only a live pid whose start
+    // tick matches the recorded one is a concurrent orchestrator; a dead
+    // pid, a recycled pid, or an unreadable stamp is a stale lease.
     auto stamp = read_file(path);
     long long pid = 0;
-    if (stamp.is_ok()) pid = std::strtoll(stamp->c_str(), nullptr, 10);
-    if (pid > 0 && (::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM)) {
-      return Status::failed_precondition(str_format(
-          "campaign is already being orchestrated by live pid %lld (lock "
-          "'%s'); a campaign may have only one orchestrator — wait for it or "
-          "kill it first",
-          pid, path.c_str()));
+    long long recorded_start = -1;
+    bool have_start = false;
+    const bool parsed =
+        stamp.is_ok() &&
+        parse_lock_stamp(*stamp, pid, recorded_start, have_start);
+    if (parsed && pid_is_live(pid)) {
+      // Legacy bare-pid leases carry no start tick: fall back to treating
+      // any live pid as the holder, exactly as before.
+      if (!have_start || recorded_start == process_start_ticks(pid)) {
+        return Status::failed_precondition(str_format(
+            "campaign is already being orchestrated by live pid %lld (lock "
+            "'%s'); a campaign may have only one orchestrator — wait for it "
+            "or kill it first",
+            pid, path.c_str()));
+      }
+      Log::raw(LogLevel::kWarn,
+               "campaign lock '%s': recorded pid %lld is alive but its start "
+               "tick differs (pid was recycled by an unrelated process); "
+               "breaking stale lease",
+               path.c_str(), pid);
+    } else if (!parsed) {
+      Log::raw(LogLevel::kWarn,
+               "campaign lock '%s': lease contents are unreadable or corrupt; "
+               "treating as stale and breaking it",
+               path.c_str());
+    } else {
+      Log::raw(LogLevel::kWarn,
+               "campaign lock '%s': breaking stale lease of dead pid %lld",
+               path.c_str(), pid);
     }
-    Log::raw(LogLevel::kWarn,
-             "campaign lock '%s': breaking stale lease of dead pid %lld",
-             path.c_str(), pid);
     ::unlink(path.c_str());
   }
   return Status::internal("campaign lock: could not acquire '" + path +

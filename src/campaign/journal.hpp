@@ -99,9 +99,25 @@ struct JournalContents {
 /// naming the entry index and byte offset.
 StatusOr<JournalContents> load_journal(const std::string& path);
 
-/// A pid-stamped lease file that rejects double resume: holding the lock
-/// means being the campaign's only orchestrator. A lock whose recorded
-/// pid is no longer alive is stale and is broken automatically.
+/// Parses an in-memory journal image (the bytes of a journal file).
+/// `label` is used in diagnostics in place of a file path. This is the
+/// decode core of load_journal, exposed so the fuzzing harness can drive
+/// the frame decoder without touching the filesystem.
+StatusOr<JournalContents> parse_journal(const std::string& data,
+                                        const std::string& label);
+
+/// The kernel start-tick of process `pid` (/proc/<pid>/stat field 22), or
+/// -1 when the process does not exist or the stat line cannot be parsed.
+/// Together with the pid this forms a recycling-proof process identity:
+/// a recycled pid gets a different start tick.
+long long process_start_ticks(long long pid);
+
+/// A lease file that rejects double resume: holding the lock means being
+/// the campaign's only orchestrator. The lease records `pid` plus the
+/// process start tick, so a stale lease whose pid was recycled by an
+/// unrelated live process is still detected as stale. Corrupt or
+/// unparseable lease contents are treated as stale (broken with a
+/// warning), never as fatal.
 class CampaignLock {
  public:
   static StatusOr<CampaignLock> acquire(const std::string& path);

@@ -325,7 +325,7 @@ StatusOr<CampaignReport> run_campaign(const SweepSpec& spec,
   if (!lock.is_ok()) return lock.status();
 
   const std::string journal_path = campaign_journal_path(config.campaign_dir);
-  const bool journal_exists = std::filesystem::exists(journal_path);
+  bool journal_exists = std::filesystem::exists(journal_path);
   CampaignStatus prior;
   if (journal_exists) {
     if (!config.resume) {
@@ -336,7 +336,19 @@ StatusOr<CampaignReport> run_campaign(const SweepSpec& spec,
     }
     auto folded = fold_campaign_journal(config.campaign_dir);
     if (!folded.is_ok()) return folded.status();
-    if (folded->spec_digest != digest || folded->cell_count != cells.size()) {
+    if (folded->spec_digest == 0 && folded->cell_count == 0 &&
+        folded->cells.empty()) {
+      // The file exists but no complete frame survived: a crash during the
+      // very first (header) append. There is no campaign state to honor —
+      // restart the journal as if the file were absent.
+      Log::raw(LogLevel::kWarn,
+               "campaign journal '%s' holds no complete entry (crash during "
+               "the header append); starting the campaign afresh",
+               journal_path.c_str());
+      std::filesystem::remove(journal_path);
+      journal_exists = false;
+    } else if (folded->spec_digest != digest ||
+               folded->cell_count != cells.size()) {
       return Status::failed_precondition(str_format(
           "campaign journal '%s' records a different sweep (spec digest "
           "%016llx over %llu cells; this invocation expands to %016llx over "
@@ -632,13 +644,15 @@ StatusOr<CampaignReport> run_campaign(const SweepSpec& spec,
 
   auto merged = merge_results_csv(config.campaign_dir, report.outcomes);
   if (!merged.is_ok()) return merged.status();
-  if (Status st = atomic_write_file(report.results_csv_path, *merged);
+  if (Status st = atomic_write_file(report.results_csv_path, *merged,
+                                    "campaign.results.csv");
       !st.is_ok()) {
     return st;
   }
   if (Status st = atomic_write_file(
           report.results_json_path,
-          render_results_json(digest, report.outcomes));
+          render_results_json(digest, report.outcomes),
+          "campaign.results.json");
       !st.is_ok()) {
     return st;
   }

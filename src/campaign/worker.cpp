@@ -39,7 +39,7 @@ void touch_heartbeat(const std::string& path, std::uint64_t counter) {
   std::snprintf(text, sizeof(text), "%llu\n",
                 static_cast<unsigned long long>(counter));
   // Best effort: a lost heartbeat at worst costs one supervision timeout.
-  (void)atomic_write_file(path, text);
+  (void)atomic_write_file(path, text, "campaign.heartbeat");
 }
 
 }  // namespace
@@ -147,7 +147,8 @@ int run_cell_worker(const WorkerContext& ctx) {
   }
   auto bytes = read_file(partial);
   if (!bytes.is_ok()) return fail(ctx, bytes.status());
-  if (Status st = atomic_write_file(cell_result_path(ctx.cell_dir), *bytes);
+  if (Status st = atomic_write_file(cell_result_path(ctx.cell_dir), *bytes,
+                                    "campaign.cell.result");
       !st.is_ok()) {
     return fail(ctx, st);
   }

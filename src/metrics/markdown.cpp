@@ -39,10 +39,8 @@ std::string markdown_table(const std::vector<std::string>& header,
 std::string markdown_htc_provider_table(
     const std::vector<core::SystemResult>& systems,
     const std::string& provider) {
-  const std::int64_t baseline =
-      result_for(systems, core::SystemModel::kDcs)
-          .provider(provider)
-          .consumption_node_hours;
+  const core::SystemResult* dcs =
+      find_result(systems, core::SystemModel::kDcs);
   std::vector<std::vector<std::string>> rows;
   for (const core::SystemResult& system : systems) {
     const core::ProviderResult& p = system.provider(provider);
@@ -50,10 +48,13 @@ std::string markdown_htc_provider_table(
         {std::string(system_model_name(system.model)),
          std::to_string(p.completed_jobs),
          std::to_string(p.consumption_node_hours),
-         system.model == core::SystemModel::kDcs
+         system.model == core::SystemModel::kDcs || dcs == nullptr
              ? std::string("—")
-             : str_format("%.1f%%",
-                          saved_percent(baseline, p.consumption_node_hours))});
+             : str_format(
+                   "%.1f%%",
+                   saved_percent(
+                       dcs->provider(provider).consumption_node_hours,
+                       p.consumption_node_hours))});
   }
   return markdown_table(
       {"configuration", "completed jobs", "node·hours", "saved"}, rows);
@@ -62,10 +63,8 @@ std::string markdown_htc_provider_table(
 std::string markdown_mtc_provider_table(
     const std::vector<core::SystemResult>& systems,
     const std::string& provider) {
-  const std::int64_t baseline =
-      result_for(systems, core::SystemModel::kDcs)
-          .provider(provider)
-          .consumption_node_hours;
+  const core::SystemResult* dcs =
+      find_result(systems, core::SystemModel::kDcs);
   std::vector<std::vector<std::string>> rows;
   for (const core::SystemResult& system : systems) {
     const core::ProviderResult& p = system.provider(provider);
@@ -73,10 +72,13 @@ std::string markdown_mtc_provider_table(
         {std::string(system_model_name(system.model)),
          str_format("%.2f", p.tasks_per_second),
          std::to_string(p.consumption_node_hours),
-         system.model == core::SystemModel::kDcs
+         system.model == core::SystemModel::kDcs || dcs == nullptr
              ? std::string("—")
-             : str_format("%.1f%%",
-                          saved_percent(baseline, p.consumption_node_hours))});
+             : str_format(
+                   "%.1f%%",
+                   saved_percent(
+                       dcs->provider(provider).consumption_node_hours,
+                       p.consumption_node_hours))});
   }
   return markdown_table({"configuration", "tasks/s", "node·hours", "saved"},
                         rows);

@@ -18,20 +18,26 @@ double saved_percent(std::int64_t baseline_node_hours, std::int64_t node_hours) 
 
 const SystemResult& result_for(const std::vector<SystemResult>& systems,
                                SystemModel model) {
+  const SystemResult* result = find_result(systems, model);
+  assert(result != nullptr && "missing system result");
+  return result != nullptr ? *result : systems.front();
+}
+
+const SystemResult* find_result(const std::vector<SystemResult>& systems,
+                                SystemModel model) {
   for (const SystemResult& result : systems) {
-    if (result.model == model) return result;
+    if (result.model == model) return &result;
   }
-  assert(false && "missing system result");
-  return systems.front();
+  return nullptr;
 }
 
 std::string format_htc_provider_table(const std::vector<SystemResult>& systems,
                                       const std::string& provider,
                                       const std::string& title) {
-  const std::int64_t baseline =
-      result_for(systems, SystemModel::kDcs)
-          .provider(provider)
-          .consumption_node_hours;
+  // The savings column is relative to the DCS baseline; a report over a
+  // subset of systems that lacks DCS simply has no baseline to compare
+  // against, so the column degrades to "/" instead of crashing.
+  const SystemResult* dcs = find_result(systems, SystemModel::kDcs);
   TextTable table({"configuration", "completed jobs", "resource consumption",
                    "saved resources"});
   for (const SystemResult& system : systems) {
@@ -39,11 +45,13 @@ std::string format_htc_provider_table(const std::vector<SystemResult>& systems,
     table.cell(std::string(system_model_name(system.model)) + " system")
         .cell(p.completed_jobs)
         .cell(p.consumption_node_hours);
-    if (system.model == SystemModel::kDcs) {
+    if (system.model == SystemModel::kDcs || dcs == nullptr) {
       table.cell("/");
     } else {
-      table.cell(str_format("%.1f%%",
-                            saved_percent(baseline, p.consumption_node_hours)));
+      table.cell(str_format(
+          "%.1f%%",
+          saved_percent(dcs->provider(provider).consumption_node_hours,
+                        p.consumption_node_hours)));
     }
     table.end_row();
   }
@@ -53,10 +61,7 @@ std::string format_htc_provider_table(const std::vector<SystemResult>& systems,
 std::string format_mtc_provider_table(const std::vector<SystemResult>& systems,
                                       const std::string& provider,
                                       const std::string& title) {
-  const std::int64_t baseline =
-      result_for(systems, SystemModel::kDcs)
-          .provider(provider)
-          .consumption_node_hours;
+  const SystemResult* dcs = find_result(systems, SystemModel::kDcs);
   TextTable table({"configuration", "tasks per second", "resource consumption",
                    "saved resources"});
   for (const SystemResult& system : systems) {
@@ -64,11 +69,13 @@ std::string format_mtc_provider_table(const std::vector<SystemResult>& systems,
     table.cell(std::string(system_model_name(system.model)) + " system")
         .cell(p.tasks_per_second, 2)
         .cell(p.consumption_node_hours);
-    if (system.model == SystemModel::kDcs) {
+    if (system.model == SystemModel::kDcs || dcs == nullptr) {
       table.cell("/");
     } else {
-      table.cell(str_format("%.1f%%",
-                            saved_percent(baseline, p.consumption_node_hours)));
+      table.cell(str_format(
+          "%.1f%%",
+          saved_percent(dcs->provider(provider).consumption_node_hours,
+                        p.consumption_node_hours)));
     }
     table.end_row();
   }
@@ -77,20 +84,26 @@ std::string format_mtc_provider_table(const std::vector<SystemResult>& systems,
 
 std::string format_resource_provider_report(
     const std::vector<SystemResult>& systems) {
-  const SystemResult& dcs = result_for(systems, SystemModel::kDcs);
+  const SystemResult* dcs = find_result(systems, SystemModel::kDcs);
   TextTable table({"system", "total consumption (node*hour)",
                    "peak (nodes/hour)", "total vs DCS/SSP", "peak vs DCS/SSP"});
   for (const SystemResult& system : systems) {
     table.cell(system_model_name(system.model))
         .cell(system.total_consumption_node_hours)
-        .cell(system.peak_nodes)
-        .cell(str_format("%.1f%%",
-                         saved_percent(dcs.total_consumption_node_hours,
-                                       system.total_consumption_node_hours)))
-        .cell(str_format("%.2fx", dcs.peak_nodes == 0
-                                      ? 0.0
-                                      : static_cast<double>(system.peak_nodes) /
-                                            static_cast<double>(dcs.peak_nodes)));
+        .cell(system.peak_nodes);
+    if (dcs == nullptr) {
+      table.cell("/").cell("/");
+    } else {
+      table
+          .cell(str_format("%.1f%%",
+                           saved_percent(dcs->total_consumption_node_hours,
+                                         system.total_consumption_node_hours)))
+          .cell(str_format("%.2fx",
+                           dcs->peak_nodes == 0
+                               ? 0.0
+                               : static_cast<double>(system.peak_nodes) /
+                                     static_cast<double>(dcs->peak_nodes)));
+    }
     table.end_row();
   }
   return table.render(

@@ -57,6 +57,12 @@ std::string format_model_comparison_table();
 const core::SystemResult& result_for(
     const std::vector<core::SystemResult>& systems, core::SystemModel model);
 
+/// Finds the result for `model`, or nullptr when the run didn't include
+/// it. The report tables use this to degrade their DCS-relative savings
+/// columns to "/" on partial system sets instead of aborting.
+const core::SystemResult* find_result(
+    const std::vector<core::SystemResult>& systems, core::SystemModel model);
+
 /// Writes one CSV row per (system, provider) pair: the machine-readable
 /// companion every bench emits.
 void write_results_csv(CsvWriter& csv,

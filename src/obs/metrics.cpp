@@ -1,8 +1,7 @@
 #include "obs/metrics.hpp"
 
-#include <fstream>
-
 #include "util/csv.hpp"
+#include "util/fsio.hpp"
 #include "util/strings.hpp"
 
 namespace dc::obs {
@@ -87,15 +86,10 @@ std::string MetricsRegistry::timeseries_csv() const {
 }
 
 Status MetricsRegistry::export_timeseries_csv(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::not_found("cannot open for writing: " + path);
-  }
-  const std::string text = timeseries_csv();
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.flush();
-  if (!out.good()) return Status::internal("short write: " + path);
-  return Status::ok();
+  // Atomic tmp+fsync+rename (util/fsio): an interrupted export leaves
+  // either the previous complete CSV or nothing — never a truncated file
+  // a plotting script would silently accept.
+  return atomic_write_file(path, timeseries_csv(), "obs.metrics.csv");
 }
 
 std::string MetricsRegistry::summary() const {

@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <fstream>
 
+#include "util/fsio.hpp"
 #include "util/histogram.hpp"
 #include "util/strings.hpp"
 
@@ -52,16 +53,9 @@ std::uint64_t get_u64le(const char* p) {
   return v;
 }
 
-Status write_text_file(const std::string& path, const std::string& text) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out.is_open()) {
-    return Status::not_found("cannot open for writing: " + path);
-  }
-  out.write(text.data(), static_cast<std::streamsize>(text.size()));
-  out.flush();
-  if (!out.good()) return Status::internal("short write: " + path);
-  return Status::ok();
-}
+// Exports go through util/fsio's atomic tmp+fsync+rename: an interrupted
+// export leaves either the previous complete trace or nothing, never a
+// truncated JSON/CSV that a viewer or the trace-diff would choke on.
 
 // Monotonic sink-lifetime ids for TraceName cache validation. Starts at
 // 1 so a default-constructed cache (epoch 0) never matches any sink.
@@ -288,7 +282,7 @@ std::string TraceSink::chrome_json() const {
 }
 
 Status TraceSink::export_chrome_json(const std::string& path) const {
-  return write_text_file(path, chrome_json());
+  return atomic_write_file(path, chrome_json(), "obs.trace.json");
 }
 
 std::string TraceSink::csv() const {
@@ -306,7 +300,7 @@ std::string TraceSink::csv() const {
 }
 
 Status TraceSink::export_csv(const std::string& path) const {
-  return write_text_file(path, csv());
+  return atomic_write_file(path, csv(), "obs.trace.csv");
 }
 
 void TraceSink::save(snapshot::SnapshotWriter& writer) const {

@@ -168,7 +168,8 @@ Status SnapshotWriter::write_file(const std::string& path) const {
   // failure path unlinks the temp file — a crash mid-write leaves either
   // the previous complete snapshot or nothing, never a partial file and
   // never a stale '.tmp'.
-  if (Status st = atomic_write_file(path, finish()); !st.is_ok()) {
+  if (Status st = atomic_write_file(path, finish(), "snapshot.save");
+      !st.is_ok()) {
     return Status::internal("snapshot: " + st.message());
   }
   return Status::ok();
@@ -413,14 +414,20 @@ StatusOr<std::vector<SnapshotRecord>> read_records(const std::string& path) {
   }
   std::string buf((std::istreambuf_iterator<char>(file)),
                   std::istreambuf_iterator<char>());
+  auto records = decode_records(std::move(buf));
+  if (!records.is_ok()) {
+    return Status(records.status().code(),
+                  "'" + path + "': " + records.status().message());
+  }
+  return records;
+}
+
+StatusOr<std::vector<SnapshotRecord>> decode_records(std::string buf) {
   {
     // Verify magic/version/checksum before walking the raw stream, so
     // structural errors below indicate an encoder bug, not corruption.
     auto verified = SnapshotReader::from_buffer(buf);
-    if (!verified.is_ok()) {
-      return Status(verified.status().code(),
-                    "'" + path + "': " + verified.status().message());
-    }
+    if (!verified.is_ok()) return verified.status();
   }
   buf.resize(buf.size() - 8);  // drop the checksum footer
   std::size_t pos = sizeof(kMagic) + 4;

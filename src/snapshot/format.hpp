@@ -151,6 +151,12 @@ struct SnapshotRecord {
 /// Decodes a verified snapshot file into its full record list.
 StatusOr<std::vector<SnapshotRecord>> read_records(const std::string& path);
 
+/// The verify-and-walk core of read_records, operating on an in-memory
+/// buffer: checks magic/version/checksum via SnapshotReader, then decodes
+/// every tagged record with section balancing. Exposed so the fuzzing
+/// harness can drive the decoder without touching the filesystem.
+StatusOr<std::vector<SnapshotRecord>> decode_records(std::string buffer);
+
 /// Walks two snapshot files in lockstep and reports the first diverging
 /// record (section, field, both values) into `report`. Returns true when
 /// the snapshots are identical. Errors (unreadable/corrupt input) come

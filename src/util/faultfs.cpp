@@ -1,0 +1,501 @@
+#include "util/faultfs.hpp"
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+#include "util/strings.hpp"
+
+namespace dc::faultfs {
+namespace {
+
+// Whole-layer state. A single mutex guards it: the hooked primitives sit
+// on cold persistence paths (snapshot boundaries, campaign transitions,
+// end-of-run exports), never on the simulation hot path. The atomic
+// `g_armed` flag keeps the no-plan, no-trace case to one relaxed load.
+std::atomic<bool> g_armed{false};
+std::mutex g_mutex;
+
+struct RuleState {
+  FaultRule rule;
+  std::uint64_t seen = 0;
+  bool fired = false;
+};
+
+struct LayerState {
+  std::vector<RuleState> rules;
+  std::string trace_path;
+  std::string marker_dir;
+  std::uint64_t fired = 0;
+  // fd -> path, so write/fsync/close hits can name the file they touch
+  // in the trace and kTruncate can reach the destination.
+  std::map<int, std::string> fd_paths;
+};
+
+LayerState& state() {
+  static LayerState* instance = new LayerState();
+  return *instance;
+}
+
+thread_local std::vector<std::string> t_site_stack;
+
+void rearm_flag_locked() {
+  const LayerState& s = state();
+  g_armed.store(!s.rules.empty() || !s.trace_path.empty(),
+                std::memory_order_relaxed);
+}
+
+bool site_matches(std::string_view pattern, std::string_view site) {
+  if (pattern == "*") return true;
+  if (!pattern.empty() && pattern.back() == '*') {
+    const std::string_view prefix = pattern.substr(0, pattern.size() - 1);
+    return site.substr(0, prefix.size()) == prefix;
+  }
+  return pattern == site;
+}
+
+#ifndef _WIN32
+
+/// One raw O_APPEND write per line: whole lines interleave across the
+/// orchestrator and its forked workers sharing a trace file. This is the
+/// drill's observer channel, so it bypasses the hooks on purpose.
+void trace_line_locked(const std::string& line) {
+  const LayerState& s = state();
+  if (s.trace_path.empty()) return;
+  const int fd =
+      ::open(s.trace_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return;
+  (void)!::write(fd, line.data(), line.size());
+  ::close(fd);
+}
+
+/// Marker files make `once` rules exactly-once per drill, not per
+/// process: a retried campaign worker inherits the plan but finds the
+/// marker and runs clean — a transient host fault, not a poisoned cell.
+bool claim_once_marker_locked(const RuleState& rs) {
+  LayerState& s = state();
+  if (s.marker_dir.empty()) return true;  // no dir: once == per-process
+  std::string name = rs.rule.site + "." + op_name(rs.rule.op) + "." +
+                     std::to_string(rs.rule.nth) + "." +
+                     fault_kind_name(rs.rule.kind);
+  for (char& c : name) {
+    if (c == '/' || c == '*') c = '_';
+  }
+  const std::string path = s.marker_dir + "/" + name + ".fired";
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;  // already claimed by an earlier process
+  ::close(fd);
+  return true;
+}
+
+[[noreturn]] void crash_now() { ::_exit(kCrashExitCode); }
+
+/// The injection decision for one hooked operation. Returns the rule to
+/// apply, or nullptr for a clean passthrough. Counters advance on every
+/// match, fired or not, so (site, op, nth) addressing stays stable.
+const FaultRule* consult_locked(Op op, const std::string& path) {
+  LayerState& s = state();
+  const std::string_view site = current_site();
+  if (!s.trace_path.empty() && !site.empty()) {
+    trace_line_locked("HIT " + std::string(site) + " " +
+                      std::string(op_name(op)) + " " + path + "\n");
+  }
+  const FaultRule* hit = nullptr;
+  for (RuleState& rs : s.rules) {
+    if (rs.rule.op != op || !site_matches(rs.rule.site, site)) continue;
+    ++rs.seen;
+    if (hit != nullptr || rs.fired) continue;
+    const bool due = rs.rule.nth == 0 || rs.seen == rs.rule.nth;
+    if (!due) continue;
+    if (rs.rule.once && !claim_once_marker_locked(rs)) {
+      rs.fired = true;  // claimed by an earlier process: disarm here too
+      continue;
+    }
+    rs.fired = true;
+    ++s.fired;
+    trace_line_locked("FIRED " + std::string(site) + " " +
+                      std::string(op_name(op)) + " " +
+                      fault_kind_name(rs.rule.kind) + "\n");
+    hit = &rs.rule;
+  }
+  return hit;
+}
+
+std::string fd_path_locked(int fd) {
+  const auto it = state().fd_paths.find(fd);
+  return it == state().fd_paths.end() ? std::string("?") : it->second;
+}
+
+#endif  // !_WIN32
+
+StatusOr<FaultRule> parse_rule(std::string_view text) {
+  FaultRule rule;
+  bool have_fault = false;
+  for (std::string_view token : split_char(text, ' ')) {
+    token = trim(token);
+    if (token.empty()) continue;
+    if (token == "once") {
+      rule.once = true;
+      continue;
+    }
+    const std::size_t eq = token.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::invalid_argument("fault plan: token '" +
+                                      std::string(token) +
+                                      "' is not key=value (rule: '" +
+                                      std::string(text) + "')");
+    }
+    const std::string_view key = token.substr(0, eq);
+    const std::string_view value = token.substr(eq + 1);
+    if (key == "site") {
+      rule.site = std::string(value);
+    } else if (key == "op") {
+      auto op = parse_op(value);
+      if (!op.is_ok()) return op.status();
+      rule.op = *op;
+    } else if (key == "nth" || key == "bytes") {
+      std::uint64_t parsed = 0;
+      for (char c : value) {
+        if (c < '0' || c > '9') {
+          return Status::invalid_argument(
+              "fault plan: " + std::string(key) + "='" + std::string(value) +
+              "' is not a number (rule: '" + std::string(text) + "')");
+        }
+        parsed = parsed * 10 + static_cast<std::uint64_t>(c - '0');
+      }
+      (key == "nth" ? rule.nth : rule.bytes) = parsed;
+    } else if (key == "fault") {
+      have_fault = true;
+      if (value == "eio") {
+        rule.kind = FaultKind::kErrno;
+        rule.error = EIO;
+      } else if (value == "enospc") {
+        rule.kind = FaultKind::kErrno;
+        rule.error = ENOSPC;
+      } else if (value == "short") {
+        rule.kind = FaultKind::kShort;
+      } else if (value == "torn") {
+        rule.kind = FaultKind::kTorn;
+      } else if (value == "crash") {
+        rule.kind = FaultKind::kCrashBefore;
+      } else if (value == "crash-after") {
+        rule.kind = FaultKind::kCrashAfter;
+      } else if (value == "trunc") {
+        rule.kind = FaultKind::kTruncate;
+      } else {
+        return Status::invalid_argument(
+            "fault plan: unknown fault '" + std::string(value) +
+            "' (valid: eio, enospc, short, torn, crash, crash-after, trunc)");
+      }
+    } else {
+      return Status::invalid_argument("fault plan: unknown key '" +
+                                      std::string(key) + "' (rule: '" +
+                                      std::string(text) + "')");
+    }
+  }
+  if (!have_fault) {
+    return Status::invalid_argument("fault plan: rule '" + std::string(text) +
+                                    "' names no fault= class");
+  }
+  return rule;
+}
+
+}  // namespace
+
+const char* op_name(Op op) {
+  switch (op) {
+    case Op::kOpen: return "open";
+    case Op::kWrite: return "write";
+    case Op::kFsync: return "fsync";
+    case Op::kRename: return "rename";
+    case Op::kClose: return "close";
+  }
+  return "?";
+}
+
+StatusOr<Op> parse_op(std::string_view text) {
+  if (text == "open") return Op::kOpen;
+  if (text == "write") return Op::kWrite;
+  if (text == "fsync") return Op::kFsync;
+  if (text == "rename") return Op::kRename;
+  if (text == "close") return Op::kClose;
+  return Status::invalid_argument(
+      "fault plan: unknown op '" + std::string(text) +
+      "' (valid: open, write, fsync, rename, close)");
+}
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kErrno: return "errno";
+    case FaultKind::kShort: return "short";
+    case FaultKind::kTorn: return "torn";
+    case FaultKind::kCrashBefore: return "crash";
+    case FaultKind::kCrashAfter: return "crash-after";
+    case FaultKind::kTruncate: return "trunc";
+  }
+  return "?";
+}
+
+StatusOr<FaultPlan> parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  // ';' and newline both end a rule, so a whole plan fits in one
+  // environment variable.
+  std::string normalized(text);
+  for (char& c : normalized) {
+    if (c == ';') c = '\n';
+  }
+  for (std::string_view line : split_char(normalized, '\n')) {
+    line = trim(line);
+    if (line.empty() || line.front() == '#') continue;
+    auto rule = parse_rule(line);
+    if (!rule.is_ok()) return rule.status();
+    plan.rules.push_back(std::move(*rule));
+  }
+  return plan;
+}
+
+void install_plan(FaultPlan plan) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  LayerState& s = state();
+  s.rules.clear();
+  for (FaultRule& rule : plan.rules) {
+    s.rules.push_back({std::move(rule), 0, false});
+  }
+  s.fired = 0;
+  rearm_flag_locked();
+}
+
+void reset() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  LayerState& s = state();
+  s.rules.clear();
+  s.trace_path.clear();
+  s.marker_dir.clear();
+  s.fired = 0;
+  s.fd_paths.clear();
+  rearm_flag_locked();
+}
+
+bool plan_active() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return !state().rules.empty();
+}
+
+std::uint64_t fired_total() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return state().fired;
+}
+
+void set_trace_path(std::string path) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  state().trace_path = std::move(path);
+  rearm_flag_locked();
+}
+
+void set_marker_dir(std::string dir) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  state().marker_dir = std::move(dir);
+}
+
+Status install_from_env() {
+  const char* inline_plan = std::getenv("DC_FAULT_PLAN");
+  const char* plan_file = std::getenv("DC_FAULT_PLAN_FILE");
+  const char* trace = std::getenv("DC_FAULT_TRACE");
+  const char* markers = std::getenv("DC_FAULT_ONCE_DIR");
+  if (inline_plan != nullptr && plan_file != nullptr) {
+    return Status::invalid_argument(
+        "both DC_FAULT_PLAN and DC_FAULT_PLAN_FILE are set; pick one");
+  }
+  std::string text;
+  if (inline_plan != nullptr) {
+    text = inline_plan;
+  } else if (plan_file != nullptr) {
+    // Read raw: the plan file is drill input, not a hooked artifact.
+    std::FILE* f = std::fopen(plan_file, "rb");  // dc-rawio: drill input channel, outside the injected surface
+    if (f == nullptr) {
+      return Status::not_found(std::string("cannot read DC_FAULT_PLAN_FILE '") +
+                               plan_file + "'");
+    }
+    char buf[4096];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+  }
+  if (!text.empty()) {
+    auto plan = parse_fault_plan(text);
+    if (!plan.is_ok()) return plan.status();
+    install_plan(std::move(*plan));
+  }
+  if (trace != nullptr && trace[0] != '\0') set_trace_path(trace);
+  if (markers != nullptr && markers[0] != '\0') set_marker_dir(markers);
+  return Status::ok();
+}
+
+SiteScope::SiteScope(std::string_view site) {
+  t_site_stack.emplace_back(site);
+}
+
+SiteScope::~SiteScope() { t_site_stack.pop_back(); }
+
+std::string_view current_site() {
+  if (t_site_stack.empty()) return {};
+  return t_site_stack.back();
+}
+
+#ifndef _WIN32
+
+int xopen(const char* path, int flags, int mode) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultRule* rule = consult_locked(Op::kOpen, path);
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case FaultKind::kCrashBefore: crash_now();
+        case FaultKind::kCrashAfter: {
+          const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+          (void)fd;
+          crash_now();
+        }
+        default:
+          errno = rule->error != 0 ? rule->error : EIO;
+          return -1;
+      }
+    }
+    const int fd = ::open(path, flags, static_cast<mode_t>(mode));
+    if (fd >= 0) state().fd_paths[fd] = path;
+    return fd;
+  }
+  return ::open(path, flags, static_cast<mode_t>(mode));
+}
+
+long xwrite(int fd, const void* buf, std::size_t count) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultRule* rule = consult_locked(Op::kWrite, fd_path_locked(fd));
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case FaultKind::kShort: {
+          const std::size_t n =
+              rule->bytes < count ? static_cast<std::size_t>(rule->bytes) : count;
+          return ::write(fd, buf, n);
+        }
+        case FaultKind::kTorn: {
+          const std::size_t n =
+              rule->bytes < count ? static_cast<std::size_t>(rule->bytes) : count;
+          (void)!::write(fd, buf, n);
+          crash_now();
+        }
+        case FaultKind::kCrashBefore: crash_now();
+        case FaultKind::kCrashAfter: {
+          (void)!::write(fd, buf, count);
+          crash_now();
+        }
+        case FaultKind::kTruncate: {
+          const ::ssize_t n = ::write(fd, buf, count);
+          if (n >= 0) (void)!::ftruncate(fd, static_cast<off_t>(rule->bytes));
+          return n;
+        }
+        case FaultKind::kErrno:
+          errno = rule->error != 0 ? rule->error : EIO;
+          return -1;
+      }
+    }
+  }
+  return ::write(fd, buf, count);
+}
+
+int xfsync(int fd) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultRule* rule = consult_locked(Op::kFsync, fd_path_locked(fd));
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case FaultKind::kCrashBefore: crash_now();
+        case FaultKind::kCrashAfter: {
+          (void)::fsync(fd);
+          crash_now();
+        }
+        default:
+          errno = rule->error != 0 ? rule->error : EIO;
+          return -1;
+      }
+    }
+  }
+  return ::fsync(fd);
+}
+
+int xrename(const char* from, const char* to) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultRule* rule =
+        consult_locked(Op::kRename, std::string(from) + " -> " + to);
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case FaultKind::kCrashBefore: crash_now();  // torn: tmp exists, target stale
+        case FaultKind::kCrashAfter: {
+          (void)::rename(from, to);  // renamed, directory never synced
+          crash_now();
+        }
+        case FaultKind::kTruncate: {
+          const int rc = ::rename(from, to);
+          if (rc == 0) (void)::truncate(to, static_cast<off_t>(rule->bytes));
+          return rc;
+        }
+        default:
+          errno = rule->error != 0 ? rule->error : EIO;
+          return -1;
+      }
+    }
+  }
+  return ::rename(from, to);
+}
+
+int xclose(int fd) {
+  if (g_armed.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    const FaultRule* rule = consult_locked(Op::kClose, fd_path_locked(fd));
+    state().fd_paths.erase(fd);
+    if (rule != nullptr) {
+      switch (rule->kind) {
+        case FaultKind::kCrashBefore: crash_now();
+        case FaultKind::kCrashAfter: {
+          (void)::close(fd);
+          crash_now();
+        }
+        default:
+          // The fd is gone either way (close failing still closes on
+          // Linux); report the injected error.
+          (void)::close(fd);
+          errno = rule->error != 0 ? rule->error : EIO;
+          return -1;
+      }
+    }
+  }
+  return ::close(fd);
+}
+
+#else  // _WIN32: no injection; fsio takes its portable fallback path.
+
+int xopen(const char*, int, int) { return -1; }
+long xwrite(int, const void*, std::size_t) { return -1; }
+int xfsync(int) { return -1; }
+int xrename(const char* from, const char* to) {
+  return std::rename(from, to);
+}
+int xclose(int) { return -1; }
+
+#endif
+
+}  // namespace dc::faultfs

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #ifndef _WIN32
@@ -11,6 +12,7 @@
 #include <unistd.h>
 #endif
 
+#include "util/faultfs.hpp"
 #include "util/strings.hpp"
 
 namespace dc {
@@ -21,6 +23,8 @@ namespace {
 std::string errno_text() { return std::strerror(errno); }
 
 Status fail_and_unlink(const std::string& tmp, int fd, std::string message) {
+  // Cleanup is raw on purpose: the faultfs layer never injects into the
+  // unlink that restores the zero-debris invariant after a failed write.
   if (fd >= 0) ::close(fd);
   ::unlink(tmp.c_str());
   return Status::internal(std::move(message));
@@ -38,7 +42,7 @@ Status sync_parent_dir(const std::string& path) {
   }
   // Some filesystems refuse fsync on directory fds (EINVAL); the rename
   // is still atomic there, so only real I/O errors are fatal.
-  if (::fsync(dirfd) != 0 && errno != EINVAL && errno != ENOSYS) {
+  if (faultfs::xfsync(dirfd) != 0 && errno != EINVAL && errno != ENOSYS) {
     const std::string message =
         "fsync of directory '" + dir + "' failed: " + errno_text();
     ::close(dirfd);
@@ -52,18 +56,21 @@ Status sync_parent_dir(const std::string& path) {
 
 }  // namespace
 
-Status atomic_write_file(const std::string& path, std::string_view bytes) {
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         std::string_view site) {
+  std::optional<faultfs::SiteScope> scope;
+  if (!site.empty()) scope.emplace(site);
   const std::string tmp = path + ".tmp";
 #ifndef _WIN32
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd = faultfs::xopen(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
   if (fd < 0) {
     return Status::internal("cannot open '" + tmp +
                             "' for writing: " + errno_text());
   }
   std::size_t written = 0;
   while (written < bytes.size()) {
-    const ::ssize_t n =
-        ::write(fd, bytes.data() + written, bytes.size() - written);
+    const long n =
+        faultfs::xwrite(fd, bytes.data() + written, bytes.size() - written);
     if (n < 0) {
       if (errno == EINTR) continue;
       return fail_and_unlink(tmp, fd,
@@ -71,15 +78,15 @@ Status atomic_write_file(const std::string& path, std::string_view bytes) {
     }
     written += static_cast<std::size_t>(n);
   }
-  if (::fsync(fd) != 0) {
+  if (faultfs::xfsync(fd) != 0) {
     return fail_and_unlink(tmp, fd,
                            "fsync of '" + tmp + "' failed: " + errno_text());
   }
-  if (::close(fd) != 0) {
+  if (faultfs::xclose(fd) != 0) {
     return fail_and_unlink(tmp, -1,
                            "close of '" + tmp + "' failed: " + errno_text());
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (faultfs::xrename(tmp.c_str(), path.c_str()) != 0) {
     return fail_and_unlink(tmp, -1, "rename '" + tmp + "' -> '" + path +
                                         "' failed: " + errno_text());
   }

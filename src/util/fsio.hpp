@@ -15,6 +15,14 @@
 // On every failure path the temp file is unlinked, so an interrupted or
 // failed write never litters the directory with stale `.tmp` files, and
 // a pre-existing `path` is left untouched.
+//
+// Every primitive inside atomic_write_file goes through the util/faultfs
+// seam (docs/ROBUSTNESS.md): under an installed fault plan the open,
+// each write, the fsyncs, the close, and the rename can individually
+// fail, short-write, or crash the process, and tools/io_drill verifies
+// the contract above actually holds at every such point. The `site`
+// argument names the I/O site for fault addressing and enumeration
+// ("snapshot.save", "campaign.results.csv", ...).
 #pragma once
 
 #include <string>
@@ -28,7 +36,10 @@ namespace dc {
 /// The destination directory must exist; atomic_write_file never creates
 /// directories. Readers see either the previous complete contents or the
 /// new complete contents, never a mix and never a partial file.
-Status atomic_write_file(const std::string& path, std::string_view bytes);
+/// `site` names the durable-write site for faultfs addressing; callers
+/// already inside a faultfs::SiteScope may omit it.
+Status atomic_write_file(const std::string& path, std::string_view bytes,
+                         std::string_view site = {});
 
 /// Reads a whole file into a string. NotFound when the file does not
 /// exist; other I/O failures come back as internal errors.

@@ -163,5 +163,58 @@ TEST(CampaignLockTest, StaleLeaseOfDeadPidIsBroken) {
   EXPECT_TRUE(lock.is_ok()) << lock.status().to_string();
 }
 
+TEST(CampaignLockTest, CorruptLeaseIsTreatedAsStaleNotFatal) {
+  const std::string path = temp_path("campaign_lock_corrupt");
+  ::unlink(path.c_str());
+  dump(path, "\x00\xff not a pid at all \x7f");
+
+  ScopedLogLevel quiet(LogLevel::kOff);
+  auto lock = CampaignLock::acquire(path);
+  EXPECT_TRUE(lock.is_ok()) << lock.status().to_string();
+}
+
+TEST(CampaignLockTest, RecycledPidWithWrongStartTickIsStale) {
+  const std::string path = temp_path("campaign_lock_recycled");
+  ::unlink(path.c_str());
+  // Model a recycled pid: OUR pid is certainly alive, but the lease
+  // records a start tick that cannot match the live process — as if the
+  // original holder died and the kernel reissued its pid.
+  const long long pid = static_cast<long long>(::getpid());
+  const long long actual = process_start_ticks(pid);
+  ASSERT_GE(actual, 0);
+  std::ostringstream stamp;
+  stamp << "pid " << pid << "\nstart " << (actual + 987654321) << "\n";
+  dump(path, stamp.str());
+
+  ScopedLogLevel quiet(LogLevel::kOff);
+  auto lock = CampaignLock::acquire(path);
+  EXPECT_TRUE(lock.is_ok()) << lock.status().to_string();
+}
+
+TEST(CampaignLockTest, LivePidWithMatchingStartTickIsRefused) {
+  const std::string path = temp_path("campaign_lock_identity");
+  ::unlink(path.c_str());
+  const long long pid = static_cast<long long>(::getpid());
+  std::ostringstream stamp;
+  stamp << "pid " << pid << "\nstart " << process_start_ticks(pid) << "\n";
+  dump(path, stamp.str());
+
+  auto lock = CampaignLock::acquire(path);
+  ASSERT_FALSE(lock.is_ok());
+  EXPECT_NE(lock.status().message().find("already being orchestrated"),
+            std::string::npos);
+  ::unlink(path.c_str());
+}
+
+TEST(CampaignLockTest, ProcessStartTicksOfSelfIsStable) {
+  const long long pid = static_cast<long long>(::getpid());
+  const long long a = process_start_ticks(pid);
+  const long long b = process_start_ticks(pid);
+  EXPECT_GE(a, 0);
+  EXPECT_EQ(a, b);
+  // A pid nothing can hold reports no identity.
+  EXPECT_EQ(process_start_ticks(2147400000LL), -1);
+}
+
 }  // namespace
 }  // namespace dc::campaign

@@ -1,0 +1,30 @@
+// Fuzz target: the bench-report JSON parser (dc_bench::parse_json).
+//
+// This is the one hand-rolled recursive-descent JSON parser in the tree
+// (tools/bench_report.hpp); it ingests BENCH_*.json baselines in CI, so
+// stack depth on deeply nested input and hostile numbers/strings are the
+// interesting surface.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bench_report.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 18;
+
+void fuzz_one(std::string_view data) {
+  if (data.size() > kMaxInput) return;
+  std::string error;
+  auto json = dc_bench::parse_json(std::string(data), &error);
+  if (json == nullptr && error.empty()) __builtin_trap();  // error contract
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

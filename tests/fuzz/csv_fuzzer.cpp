@@ -1,0 +1,30 @@
+// Fuzz target: the RFC-4180 CSV parser (dc::parse_csv).
+//
+// Runs both option shapes (uniform-columns required and relaxed) over the
+// same bytes; malformed input must surface as a typed Status with a
+// line/column, never an assert or crash.
+#include <cstdint>
+#include <string_view>
+
+#include "util/csv.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 20;
+
+void fuzz_one(std::string_view data) {
+  if (data.size() > kMaxInput) return;
+  (void)dc::parse_csv(data, {.require_uniform_columns = true});
+  auto rows = dc::parse_csv(data, {.require_uniform_columns = false});
+  if (rows.is_ok()) {
+    for (const auto& row : *rows) (void)row.size();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,0 +1,34 @@
+// Fuzz target: the experiment-description DSL parser.
+//
+// Descriptions are the primary user-authored input (provider stanzas,
+// trace/workflow sources, tuning knobs). base_dir points at a path that
+// cannot exist so relative trace/workflow references fail with a clean
+// not_found instead of touching the real filesystem. The input cap is
+// tighter than the other targets because a valid `synthetic:` stanza
+// makes the parser generate a bounded-but-nontrivial trace per provider.
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "core/description.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 14;
+
+void fuzz_one(std::string_view data) {
+  if (data.size() > kMaxInput) return;
+  auto workload = dc::core::parse_experiment_description_string(
+      std::string(data), "/dc-fuzz-base");
+  if (workload.is_ok()) {
+    (void)(workload->htc.size() + workload->mtc.size());
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

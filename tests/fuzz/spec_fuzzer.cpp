@@ -1,0 +1,30 @@
+// Fuzz target: the sweep-spec parser and the CLI override grammar.
+//
+// Sweep specs come from user-edited files, so the parser sees the worst
+// text first. After a successful parse the overrides path is exercised
+// too (the same `key=v1,v2;...` grammar `dc sweep --set` accepts).
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "campaign/spec.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 18;
+
+void fuzz_one(std::string_view data) {
+  if (data.size() > kMaxInput) return;
+  auto spec = dc::campaign::parse_sweep_spec_string(data, "/dc-fuzz-base");
+  if (spec.is_ok()) {
+    (void)dc::campaign::apply_spec_overrides(*spec, "quantum=15m");
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Fuzz target: the Chrome-trace JSON reader (obs::parse_chrome_json).
+//
+// The parser tolerates exactly the shape the exporter writes plus
+// whitespace; everything else must be a typed error with an offset.
+#include <cstdint>
+#include <string_view>
+
+#include "obs/trace.hpp"
+
+namespace {
+
+constexpr std::size_t kMaxInput = 1 << 20;
+
+void fuzz_one(std::string_view data) {
+  if (data.size() > kMaxInput) return;
+  auto events = dc::obs::parse_chrome_json(data);
+  if (events.is_ok()) {
+    for (const auto& event : *events) (void)event.name.size();
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_one(std::string_view(reinterpret_cast<const char*>(data), size));
+  return 0;
+}

@@ -15,7 +15,7 @@ import sys
 
 EXPECTED_RULES = [
     "dc-r1", "dc-r2", "dc-r3", "dc-r4", "dc-r5", "dc-r6", "dc-r7", "dc-r8",
-    "dc-r9", "dc-r10", "dc-r11", "dc-r12", "dc-r13", "dc-waiver",
+    "dc-r9", "dc-r10", "dc-r11", "dc-r12", "dc-r13", "dc-r14", "dc-waiver",
 ]
 
 

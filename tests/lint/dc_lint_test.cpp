@@ -587,6 +587,53 @@ TEST(DcLintR13, RealCampaignSourcesCarryAnnotatedSupervisionOnly) {
 }
 
 // ---------------------------------------------------------------------------
+// dc-r14: raw writes in durable-artifact paths.
+
+TEST(DcLintR14, FlagsRawWritesOnlyInDurableArtifactPaths) {
+  const std::string source = fixture("r14_raw_io.cpp");
+
+  // Linted as an obs source: the ofstream, the two write-mode/computed-mode
+  // fopens, the write-flag open, and creat all fire; read-side I/O, the
+  // project's own open() method, and the dc-rawio annotated channel stay
+  // quiet.
+  const auto hot = dc_lint::lint_source("src/obs/r14_raw_io.cpp", source);
+  expect_all_rule(hot, "dc-r14", "error");
+  EXPECT_EQ(lines_of(hot), (std::vector<int>{14, 19, 22, 27, 31}));
+  EXPECT_EQ(hot.waived, 1);  // the NOLINT'd ofstream
+  ASSERT_EQ(hot.diagnostics.size(), 5u);
+  EXPECT_NE(hot.diagnostics[0].message.find("std::ofstream"),
+            std::string::npos);
+  EXPECT_NE(hot.diagnostics[0].message.find("dc-rawio"), std::string::npos);
+  EXPECT_NE(hot.diagnostics[3].message.find("::open()"), std::string::npos);
+
+  // The other two durable-artifact subsystems are gated identically.
+  expect_all_rule(dc_lint::lint_source("src/snapshot/r14_raw_io.cpp", source),
+                  "dc-r14", "error");
+  expect_all_rule(dc_lint::lint_source("src/campaign/r14_raw_io.cpp", source),
+                  "dc-r14", "error");
+
+  // The same source outside those directories is clean.
+  const auto cold =
+      dc_lint::lint_source("tests/lint/fixtures/r14_raw_io.cpp", source);
+  EXPECT_TRUE(cold.diagnostics.empty()) << dc_lint::to_human(cold.diagnostics);
+  EXPECT_EQ(cold.waived, 0);
+}
+
+TEST(DcLintR14, RealDurableArtifactSourcesWriteThroughFsio) {
+  // The shipped snapshot/campaign/obs writers all route through
+  // util/fsio's atomic_write_file or the faultfs primitives — the rule
+  // raises nothing against them.
+  for (const char* rel :
+       {"src/snapshot/format.cpp", "src/campaign/journal.cpp",
+        "src/campaign/orchestrator.cpp", "src/campaign/worker.cpp",
+        "src/obs/metrics.cpp", "src/obs/trace.cpp"}) {
+    const auto result = dc_lint::lint_source(rel, real_source(rel));
+    EXPECT_TRUE(result.diagnostics.empty())
+        << rel << ":\n" << dc_lint::to_human(result.diagnostics);
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Reports: human, JSON v2, SARIF 2.1.0.
 
 TEST(DcLintClean, CleanFileProducesNoDiagnostics) {

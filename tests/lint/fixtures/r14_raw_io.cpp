@@ -1,0 +1,52 @@
+// Fixture: dc-r14 violations — raw writes in durable-artifact paths.
+// Expected as src/obs/*: 5 diagnostics (lines 14, 19, 22, 27, 31),
+// 1 waived (line 49); read-side I/O, our own open() methods, and the
+// annotated raw channel are exempt. The same source outside
+// src/snapshot|src/campaign|src/obs is clean: the rule is path-gated.
+#include <cstdio>
+#include <fcntl.h>
+#include <fstream>
+
+namespace fixture {
+
+void export_report(const char* path) {
+  // Violation: buffered stream write, outside the crash-atomic path.
+  std::ofstream out(path);
+  out << "x";
+}
+const char* mode_of();
+void append_log(const char* path) {
+  std::FILE* f = std::fopen(path, "ab");  // violation: stdio write mode
+  (void)f;
+  // Violation: a computed mode is flagged conservatively.
+  std::FILE* g = std::fopen(path, mode_of());
+  (void)g;
+}
+int raw_fd(const char* path) {
+  // Violation: POSIX open with write-side flags.
+  return ::open(path, O_WRONLY | O_CREAT, 0644);
+}
+int legacy_fd(const char* path) {
+  // Violation: creat always writes.
+  return ::creat(path, 0644);
+}
+void read_side(const char* path) {
+  std::ifstream in(path);                  // OK: read stream
+  std::FILE* f = std::fopen(path, "rb");   // OK: read mode
+  const int fd = ::open(path, O_RDONLY);   // OK: no write flags
+  (void)in, (void)f, (void)fd;
+}
+struct Appender {
+  static Appender open(const char* path);  // OK: our own open(), no O_ flags
+};
+void routed(const char* path) { (void)Appender::open(path); }
+void tracer(const char* path) {
+  // OK: a reviewed out-of-band channel carries the annotation.
+  const int fd = ::open(path, O_WRONLY | O_APPEND, 0644);  // dc-rawio: trace append channel
+  (void)fd;
+}
+void waived(const char* path) {
+  std::ofstream out(path);  // NOLINT(dc-r14)
+  (void)out;
+}
+}  // namespace fixture

@@ -1,0 +1,231 @@
+// Fault-injection layer regression: plan parsing, (site, op, nth)
+// addressing, each fault class observed through util/fsio, the trace
+// observer channel, and `once` marker semantics. Crash faults are
+// exercised as gtest death tests (the child must die with
+// kCrashExitCode, not a signal).
+#include "util/faultfs.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include "util/fsio.hpp"
+
+namespace dc {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+bool file_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+class FaultFsTest : public ::testing::Test {
+ protected:
+  void TearDown() override { faultfs::reset(); }
+
+  void install(const std::string& plan_text) {
+    auto plan = faultfs::parse_fault_plan(plan_text);
+    ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+    faultfs::install_plan(std::move(*plan));
+  }
+};
+
+TEST_F(FaultFsTest, ParsesMultiRulePlansWithCommentsAndSemicolons) {
+  auto plan = faultfs::parse_fault_plan(
+      "# drill: snapshot fsync dies, journal append tears\n"
+      "site=snapshot.save op=fsync nth=1 fault=enospc\n"
+      "site=campaign.journal.append op=write nth=2 fault=torn bytes=5 once; "
+      "site=obs.* op=rename fault=eio");
+  ASSERT_TRUE(plan.is_ok()) << plan.status().to_string();
+  ASSERT_EQ(plan->rules.size(), 3u);
+
+  EXPECT_EQ(plan->rules[0].site, "snapshot.save");
+  EXPECT_EQ(plan->rules[0].op, faultfs::Op::kFsync);
+  EXPECT_EQ(plan->rules[0].nth, 1u);
+  EXPECT_EQ(plan->rules[0].kind, faultfs::FaultKind::kErrno);
+  EXPECT_EQ(plan->rules[0].error, ENOSPC);
+  EXPECT_FALSE(plan->rules[0].once);
+
+  EXPECT_EQ(plan->rules[1].kind, faultfs::FaultKind::kTorn);
+  EXPECT_EQ(plan->rules[1].nth, 2u);
+  EXPECT_EQ(plan->rules[1].bytes, 5u);
+  EXPECT_TRUE(plan->rules[1].once);
+
+  EXPECT_EQ(plan->rules[2].site, "obs.*");
+  EXPECT_EQ(plan->rules[2].op, faultfs::Op::kRename);
+  EXPECT_EQ(plan->rules[2].error, EIO);
+}
+
+TEST_F(FaultFsTest, RejectsMalformedPlans) {
+  EXPECT_FALSE(faultfs::parse_fault_plan("site=x op=write nth=1").is_ok())
+      << "a rule without fault= must be rejected";
+  EXPECT_FALSE(faultfs::parse_fault_plan("op=scribble fault=eio").is_ok());
+  EXPECT_FALSE(faultfs::parse_fault_plan("fault=lightning").is_ok());
+  EXPECT_FALSE(faultfs::parse_fault_plan("nth=three fault=eio").is_ok());
+  EXPECT_FALSE(faultfs::parse_fault_plan("flavor=spicy fault=eio").is_ok());
+  EXPECT_FALSE(faultfs::parse_fault_plan("bare-token fault=eio").is_ok());
+  EXPECT_TRUE(faultfs::parse_fault_plan("# only a comment\n\n").is_ok());
+}
+
+TEST_F(FaultFsTest, UnarmedLayerIsPassthrough) {
+  ASSERT_FALSE(faultfs::plan_active());
+  const std::string path = temp_path("faultfs_passthrough.txt");
+  ASSERT_TRUE(atomic_write_file(path, "hello", "t.alpha").is_ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, "hello");
+}
+
+TEST_F(FaultFsTest, ErrnoFaultFailsTypedWithZeroDebris) {
+  install("site=t.alpha op=write nth=1 fault=eio");
+  const std::string path = temp_path("faultfs_eio.txt");
+  ::unlink(path.c_str());
+
+  Status st = atomic_write_file(path, "doomed payload", "t.alpha");
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find(std::strerror(EIO)), std::string::npos)
+      << st.message();
+  EXPECT_FALSE(file_exists(path)) << "failed write must not create the target";
+  EXPECT_FALSE(file_exists(path + ".tmp")) << "failed write must leave no tmp";
+  EXPECT_EQ(faultfs::fired_total(), 1u);
+
+  // The rule is spent: the retry goes through clean.
+  ASSERT_TRUE(atomic_write_file(path, "doomed payload", "t.alpha").is_ok());
+}
+
+TEST_F(FaultFsTest, FaultsAddressSitesExactly) {
+  install("site=t.other op=write nth=1 fault=eio");
+  const std::string path = temp_path("faultfs_site_miss.txt");
+  EXPECT_TRUE(atomic_write_file(path, "x", "t.alpha").is_ok());
+  EXPECT_EQ(faultfs::fired_total(), 0u);
+
+  install("site=t.* op=write nth=1 fault=eio");
+  EXPECT_FALSE(atomic_write_file(path, "x", "t.alpha").is_ok())
+      << "trailing-* site patterns are prefix matches";
+  EXPECT_EQ(faultfs::fired_total(), 1u);
+}
+
+TEST_F(FaultFsTest, NthCounterAddressesASpecificOperation) {
+  install("site=t.alpha op=write nth=2 fault=enospc");
+  const std::string path = temp_path("faultfs_nth.txt");
+  EXPECT_TRUE(atomic_write_file(path, "first", "t.alpha").is_ok());
+  Status st = atomic_write_file(path, "second", "t.alpha");
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_NE(st.message().find(std::strerror(ENOSPC)), std::string::npos);
+  // The first (complete) artifact survives the failed overwrite.
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, "first");
+}
+
+TEST_F(FaultFsTest, ShortWriteIsAbsorbedByCallerRetryLoops) {
+  install("site=t.alpha op=write nth=1 fault=short bytes=3");
+  const std::string path = temp_path("faultfs_short.txt");
+  ASSERT_TRUE(atomic_write_file(path, "0123456789", "t.alpha").is_ok());
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, "0123456789")
+      << "a short write must be completed by the retry loop, not truncate";
+  EXPECT_EQ(faultfs::fired_total(), 1u);
+}
+
+TEST_F(FaultFsTest, TruncateOnRenameModelsWritebackLoss) {
+  install("site=t.alpha op=rename nth=1 fault=trunc bytes=4");
+  const std::string path = temp_path("faultfs_trunc.txt");
+  ASSERT_TRUE(atomic_write_file(path, "0123456789", "t.alpha").is_ok())
+      << "writeback loss is invisible to the writer";
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, "0123")
+      << "the destination must carry only the surviving prefix";
+}
+
+TEST_F(FaultFsTest, TraceChannelRecordsHitsAndFires) {
+  const std::string trace = temp_path("faultfs_trace.log");
+  ::unlink(trace.c_str());
+  faultfs::set_trace_path(trace);
+  install("site=t.alpha op=write nth=1 fault=eio");
+
+  const std::string path = temp_path("faultfs_traced.txt");
+  (void)atomic_write_file(path, "x", "t.alpha");
+
+  auto lines = read_file(trace);
+  ASSERT_TRUE(lines.is_ok());
+  EXPECT_NE(lines->find("HIT t.alpha open"), std::string::npos) << *lines;
+  EXPECT_NE(lines->find("HIT t.alpha write"), std::string::npos) << *lines;
+  EXPECT_NE(lines->find("FIRED t.alpha write errno"), std::string::npos)
+      << *lines;
+}
+
+TEST_F(FaultFsTest, OnceMarkerDisarmsAcrossReinstalls) {
+  // Markers persist on disk by design (that is the point of the feature),
+  // so a stale marker from a previous test run would pre-disarm the rule:
+  // start from an empty directory.
+  const std::string markers = temp_path("faultfs_markers");
+  std::filesystem::remove_all(markers);
+  ::mkdir(markers.c_str(), 0755);
+  faultfs::set_marker_dir(markers);
+
+  const std::string plan = "site=t.alpha op=write nth=1 fault=eio once";
+  install(plan);
+  const std::string path = temp_path("faultfs_once.txt");
+  EXPECT_FALSE(atomic_write_file(path, "x", "t.alpha").is_ok());
+
+  // A fresh install resets counters — as a retried worker process would
+  // see — but the marker file keeps the rule exactly-once per drill.
+  install(plan);
+  faultfs::set_marker_dir(markers);
+  EXPECT_TRUE(atomic_write_file(path, "x", "t.alpha").is_ok());
+  EXPECT_EQ(faultfs::fired_total(), 0u);
+}
+
+using FaultFsDeathTest = FaultFsTest;
+
+TEST_F(FaultFsDeathTest, TornWriteLandsPrefixThenDies) {
+  const std::string path = temp_path("faultfs_torn.txt");
+  ::unlink(path.c_str());
+  EXPECT_EXIT(
+      {
+        auto plan = faultfs::parse_fault_plan(
+            "site=t.alpha op=write nth=1 fault=torn bytes=6");
+        faultfs::install_plan(std::move(*plan));
+        (void)atomic_write_file(path, "0123456789", "t.alpha");
+      },
+      ::testing::ExitedWithCode(faultfs::kCrashExitCode), "");
+  // The crash struck between write and rename: the torn prefix is still
+  // under the tmp name, the destination never appeared.
+  EXPECT_FALSE(file_exists(path));
+  auto tmp = read_file(path + ".tmp");
+  ASSERT_TRUE(tmp.is_ok());
+  EXPECT_EQ(*tmp, "012345");
+  ::unlink((path + ".tmp").c_str());
+}
+
+TEST_F(FaultFsDeathTest, CrashAfterRenameLeavesCompleteArtifact) {
+  const std::string path = temp_path("faultfs_crash_after.txt");
+  ::unlink(path.c_str());
+  EXPECT_EXIT(
+      {
+        auto plan = faultfs::parse_fault_plan(
+            "site=t.alpha op=rename nth=1 fault=crash-after");
+        faultfs::install_plan(std::move(*plan));
+        (void)atomic_write_file(path, "published", "t.alpha");
+      },
+      ::testing::ExitedWithCode(faultfs::kCrashExitCode), "");
+  auto back = read_file(path);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(*back, "published");
+  EXPECT_FALSE(file_exists(path + ".tmp"));
+}
+
+}  // namespace
+}  // namespace dc

@@ -50,6 +50,17 @@ class Parser {
   }
 
   JsonPtr value() {
+    // Recursion guard: value() descends once per '['/'{' nesting level, so
+    // hostile input like "[[[[..." would otherwise exhaust the stack. Real
+    // benchmark reports nest 4-5 levels deep.
+    if (depth_ >= kMaxDepth) fail("nesting too deep");
+    ++depth_;
+    JsonPtr v = value_inner();
+    --depth_;
+    return v;
+  }
+
+  JsonPtr value_inner() {
     skip_ws();
     switch (peek()) {
       case '{':
@@ -165,8 +176,11 @@ class Parser {
     }
   }
 
+  static constexpr int kMaxDepth = 64;
+
   const std::string& src_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 void write_escaped(std::ostream& os, const std::string& s) {

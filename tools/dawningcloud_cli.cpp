@@ -50,6 +50,7 @@
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
 #include "snapshot/format.hpp"
+#include "util/faultfs.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
@@ -694,6 +695,29 @@ int cmd_sweep_report(const std::map<std::string, std::string>& flags) {
 }
 
 int main(int argc, char** argv) {
+  // Chaos hooks (docs/ROBUSTNESS.md): a fault plan from the environment
+  // (DC_FAULT_PLAN / DC_FAULT_PLAN_FILE) or the global --fault-plan flag
+  // arms the faultfs layer before any subcommand touches the filesystem.
+  // --fault-plan is stripped here so subcommand flag parsing never sees it.
+  {
+    auto env = faultfs::install_from_env();
+    if (!env.is_ok()) {
+      std::fprintf(stderr, "%s\n", env.to_string().c_str());
+      return 2;
+    }
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--fault-plan") != 0) continue;
+      auto plan = faultfs::parse_fault_plan(argv[i + 1]);
+      if (!plan.is_ok()) {
+        std::fprintf(stderr, "%s\n", plan.status().to_string().c_str());
+        return 2;
+      }
+      faultfs::install_plan(std::move(*plan));
+      for (int j = i; j + 2 < argc; ++j) argv[j] = argv[j + 2];
+      argc -= 2;
+      break;
+    }
+  }
   if (argc < 2) return usage();
   const std::string command_name = argv[1];
   if (command_name == "sweep" || command_name == "campaign") {

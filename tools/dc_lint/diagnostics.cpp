@@ -50,6 +50,11 @@ const std::vector<RuleInfo>& rule_table() {
        "campaign artifacts must not depend on wall time: no clocks or "
        "sleeps in src/campaign except supervision plumbing annotated "
        "// dc-wallclock: <reason>"},
+      {"dc-r14", "error",
+       "durable-artifact paths (src/snapshot, src/campaign, src/obs) must "
+       "write through util/fsio or util/faultfs, never raw "
+       "ofstream/fopen/open; deliberate raw channels carry "
+       "// dc-rawio: <reason>"},
       {"dc-waiver", "error",
        "stale suppression: a NOLINT(dc-rN) or dc-lint: annotation that no "
        "longer suppresses anything"},

@@ -95,6 +95,13 @@ void harvest_annotations(const std::string& text, int line, FileLex& out,
     out.wallclock_lines.insert(line);
     out.wallclock_lines.insert(line + 1);
   }
+  // dc-rawio: marks a write that deliberately bypasses util/fsio and the
+  // faultfs primitives for dc-r14. Same coverage: the comment's line and
+  // the next.
+  if (text.find("dc-rawio") != std::string::npos) {
+    out.rawio_lines.insert(line);
+    out.rawio_lines.insert(line + 1);
+  }
 }
 
 }  // namespace

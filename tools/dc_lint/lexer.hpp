@@ -58,11 +58,17 @@ struct Token {
 /// `wallclock_lines` works the same way for `// dc-wallclock: <reason>`:
 /// dc-r13 exempts annotated supervision-plumbing lines (heartbeat clocks,
 /// poll sleeps, timeout kills) from the campaign wall-clock ban.
+///
+/// `rawio_lines` works the same way for `// dc-rawio: <reason>`: dc-r14
+/// exempts annotated lines from the raw-write ban in durable-artifact
+/// paths (writes that deliberately bypass util/fsio + util/faultfs, like
+/// the fault tracer's own append channel).
 struct FileLex {
   std::vector<Token> tokens;
   std::vector<WaiverSite> waivers;
   std::set<int> volatile_lines;
   std::set<int> wallclock_lines;
+  std::set<int> rawio_lines;
   int line_count = 0;
 };
 

@@ -741,6 +741,84 @@ void rule_r13(Ctx& ctx) {
   }
 }
 
+// --------------------------------------------------------------------------
+// dc-r14: raw writes in durable-artifact paths.
+//
+// Everything src/snapshot, src/campaign, and src/obs persist — snapshots,
+// journal frames, campaign results, metric/trace exports — must flow
+// through util/fsio's atomic_write_file or the util/faultfs primitives
+// (xopen/xwrite/...): that is what makes the artifacts crash-atomic and
+// what puts them inside the fault-injection surface io_drill exercises. A
+// raw ofstream, fopen("w"), or ::open(O_WRONLY|...) in those subsystems
+// silently escapes both guarantees. Read-side I/O (ifstream, fopen("r"),
+// open(O_RDONLY)) is untouched. A write that must stay raw — e.g. an
+// out-of-band debug channel — carries `// dc-rawio: <reason>`.
+
+bool is_durable_artifact_path(std::string_view path) {
+  return path.find("src/snapshot") != std::string_view::npos ||
+         path.find("src/campaign") != std::string_view::npos ||
+         path.find("src/obs") != std::string_view::npos;
+}
+
+const std::set<std::string, std::less<>> kOpenWriteFlags = {
+    "O_WRONLY", "O_RDWR", "O_CREAT", "O_TRUNC", "O_APPEND"};
+
+void rule_r14(Ctx& ctx) {
+  for (std::size_t i = 0; i < ctx.size(); ++i) {
+    const Token& t = ctx.tok(i);
+    if (t.kind != TokKind::kIdentifier) continue;
+    bool raw_write = false;
+    std::string detail;
+    if (t.text == "ofstream") {
+      raw_write = true;
+      detail = "std::ofstream";
+    } else if (t.text == "fopen" || t.text == "freopen") {
+      if (!ctx.punct_at(i + 1, "(")) continue;
+      // Write iff the mode literal contains w/a/+. A computed (non-literal)
+      // mode is flagged conservatively.
+      const std::size_t close = match_paren(ctx, i + 1);
+      bool literal_mode = false;
+      bool writes = true;
+      for (std::size_t j = i + 2; j < close; ++j) {
+        if (ctx.tok(j).kind != TokKind::kString) continue;
+        literal_mode = true;
+        const std::string& mode = ctx.tok(j).text;
+        writes = mode.find('w') != std::string::npos ||
+                 mode.find('a') != std::string::npos ||
+                 mode.find('+') != std::string::npos;
+      }
+      if (literal_mode && !writes) continue;
+      raw_write = true;
+      detail = t.text + "()";
+    } else if (t.text == "open" || t.text == "openat" || t.text == "creat") {
+      if (!ctx.punct_at(i + 1, "(")) continue;
+      if (t.text == "creat") {
+        raw_write = true;
+      } else {
+        // `open` is a common method name (JournalAppender::open); only the
+        // POSIX call with write-side O_* flags in its argument list counts.
+        const std::size_t close = match_paren(ctx, i + 1);
+        for (std::size_t j = i + 2; j < close && !raw_write; ++j) {
+          raw_write = ctx.tok(j).kind == TokKind::kIdentifier &&
+                      kOpenWriteFlags.count(ctx.tok(j).text) != 0;
+        }
+        if (!raw_write) continue;
+      }
+      detail = "::" + t.text + "()";
+    } else {
+      continue;
+    }
+    if (ctx.lx.rawio_lines.count(t.line) != 0) continue;
+    ctx.report(t.line, "dc-r14", "error",
+               detail +
+                   " writes through a raw descriptor in a durable-artifact "
+                   "path; route it through util/fsio (atomic_write_file) or "
+                   "the util/faultfs primitives so crash-atomicity and fault "
+                   "injection cover it — a deliberately raw channel must "
+                   "carry a '// dc-rawio: <reason>' annotation");
+  }
+}
+
 }  // namespace
 
 FileAnalysis analyze_file(const std::string& display_path,
@@ -759,6 +837,7 @@ FileAnalysis analyze_file(const std::string& display_path,
   if (is_queue_source_path(display_path)) rule_r8(ctx);
   rule_r11(ctx);
   if (is_campaign_path(display_path)) rule_r13(ctx);
+  if (is_durable_artifact_path(display_path)) rule_r14(ctx);
   std::sort(result.diagnostics.begin(), result.diagnostics.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               if (a.line != b.line) return a.line < b.line;

@@ -25,6 +25,11 @@
 //          parallel_map_index callback, no write through a captured
 //          reference or pointer to state that is not indexed by the
 //          callback's loop variable.
+//   dc-r14 raw writes in durable-artifact paths: src/snapshot,
+//          src/campaign, and src/obs must persist through util/fsio /
+//          util/faultfs (crash-atomicity + fault-injection coverage), not
+//          ofstream, fopen with a write mode, or ::open with write-side
+//          O_* flags. `// dc-rawio: <reason>` waives a reviewed line.
 //
 // dc-r6 (the v1 save/restore field-count heuristic) is gone: dc-r9 now
 // matches field names across translation units. Waivers written against

@@ -1,0 +1,583 @@
+// io_drill: the I/O fault-point enumerator and recovery-invariant drill
+// (see docs/ROBUSTNESS.md).
+//
+//   io_drill --spec FILE --workdir DIR
+//            [--scenario sweep|snaprun|exports|all] [--enumerate-only]
+//
+// The drill runs three scenarios that together reach every durable-write
+// site in the toolchain:
+//
+//   sweep    a 2-cell campaign (lock, journal create/append, worker
+//            heartbeats, per-cell snapshots, cell results, merged
+//            results.csv/results.json);
+//   snaprun  a chunked run_system_snapshotted run with periodic
+//            snapshots plus an atomically written results artifact;
+//   exports  the observability exporters (metrics CSV, Chrome trace
+//            JSON, trace CSV).
+//
+// Phase 1 (enumerate): each scenario runs uninterrupted in a forked child
+// with DC_FAULT_TRACE-style tracing armed. The trace's "HIT <site> <op>"
+// lines are the discovered fault points, and the run's artifacts are the
+// golden bytes.
+//
+// Phase 2 (inject): for every discovered (site, op) pair the drill forks
+// the scenario again with a one-rule fault plan (`once`, marker files in
+// a control directory) and verifies the recovery invariant:
+//
+//   * exit 0           the fault was absorbed (retry loops, worker
+//                      retries, best-effort sites): the artifacts must be
+//                      byte-identical to golden and the tree debris-free;
+//   * typed failure    a Status error reached the top: zero filesystem
+//                      debris (no *.tmp / *.partial), and a resume run —
+//                      same plan, marker already claimed — must complete
+//                      and reproduce the golden bytes;
+//   * crash (exit 86)  the injected crash struck: a resume run must
+//                      recover to the golden bytes with zero debris.
+//
+// Two composed drills ride along: a torn mid-campaign journal append
+// (crash + resume across a dropped torn tail) and a truncated snapshot
+// followed by a crash (resume must fall back past the damaged snapshot).
+//
+// Exit code 0 = every probe held the invariant; 1 = a violated invariant
+// or a rule that never fired; 2 = usage/setup error.
+#include <sys/types.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "campaign/orchestrator.hpp"
+#include "campaign/spec.hpp"
+#include "core/description.hpp"
+#include "core/system_runner.hpp"
+#include "metrics/report.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/csv.hpp"
+#include "util/faultfs.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace dc;
+namespace fs = std::filesystem;
+
+constexpr int kTypedFailure = 3;
+constexpr int kSetupFailure = 4;
+constexpr SimDuration kSnapEvery = 12 * kHour;
+
+enum class ScenarioKind { kSweep, kSnapRun, kExports };
+
+const char* scenario_name(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kSweep: return "sweep";
+    case ScenarioKind::kSnapRun: return "snaprun";
+    case ScenarioKind::kExports: return "exports";
+  }
+  return "?";
+}
+
+struct DrillContext {
+  campaign::SweepSpec spec;                // sweep scenario
+  core::ConsolidationWorkload workload;    // snaprun scenario
+  std::string workdir;
+};
+
+int scenario_exit(const Status& st) {
+  if (st.is_ok()) return 0;
+  std::fprintf(stderr, "io_drill scenario: %s\n", st.to_string().c_str());
+  return kTypedFailure;
+}
+
+// --- scenario bodies (run inside a forked child) -------------------------
+
+int run_sweep_scenario(const campaign::SweepSpec& spec, const std::string& dir,
+                       bool resume) {
+  campaign::OrchestratorConfig config;
+  config.campaign_dir = dir;
+  config.workers = 1;
+  config.max_attempts = 3;
+  config.backoff_base_ms = 10;
+  config.backoff_cap_ms = 50;
+  config.resume = resume;
+  auto report = campaign::run_campaign(spec, config);
+  if (!report.is_ok()) return scenario_exit(report.status());
+  if (report->quarantined != 0 || report->done != report->total_cells) {
+    std::fprintf(stderr,
+                 "io_drill scenario: campaign quarantined %llu of %llu "
+                 "cell(s) — a transient fault must not exhaust the retry "
+                 "budget\n",
+                 static_cast<unsigned long long>(report->quarantined),
+                 static_cast<unsigned long long>(report->total_cells));
+    return kTypedFailure;
+  }
+  return 0;
+}
+
+int run_snaprun_scenario(const core::ConsolidationWorkload& workload,
+                         const std::string& dir, const std::string& ctrl,
+                         bool resume) {
+  core::RunOptions options;
+  core::SnapshotPolicy policy;
+  policy.every = kSnapEvery;
+  policy.dir = dir;
+  policy.resume = resume;
+  auto result = core::run_system_snapshotted(core::SystemModel::kDcs, workload,
+                                             options, policy);
+  if (!result.is_ok()) return scenario_exit(result.status());
+  // Results go through the same atomic site discipline as everything
+  // else; the raw scratch CSV lives in the control tree, outside the
+  // artifact directory the drill scans for debris.
+  const std::string scratch = ctrl + "/scratch.csv";
+  {
+    CsvWriter csv(scratch);
+    if (!csv.ok()) return kSetupFailure;
+    metrics::write_results_csv(csv, {*result});
+  }
+  auto bytes = read_file(scratch);
+  if (!bytes.is_ok()) return scenario_exit(bytes.status());
+  return scenario_exit(
+      atomic_write_file(dir + "/result.csv", *bytes, "run.result"));
+}
+
+int run_exports_scenario(const std::string& dir) {
+  obs::MetricsRegistry registry;
+  registry.add_counter("drill.exports", 1);
+  for (int i = 0; i < 16; ++i) {
+    registry.sample(i * kMinute, "drill.queue_depth", 1.5 * i);
+  }
+  obs::TraceSink sink;
+  for (int i = 0; i < 8; ++i) {
+    sink.instant(i * kMinute, obs::TraceCategory::kKernel, "drill.tick",
+                 "drill", i);
+    sink.span(i * kMinute, 30, obs::TraceCategory::kJob, "drill.window",
+              "drill", i, 2 * i);
+  }
+  if (Status st = registry.export_timeseries_csv(dir + "/metrics.csv");
+      !st.is_ok()) {
+    return scenario_exit(st);
+  }
+  if (Status st = sink.export_chrome_json(dir + "/trace.json"); !st.is_ok()) {
+    return scenario_exit(st);
+  }
+  return scenario_exit(sink.export_csv(dir + "/trace.csv"));
+}
+
+/// Forks the scenario with `plan` installed (empty = trace-only run).
+/// Returns the child's exit code, or -signal on a signal death.
+int spawn_scenario(ScenarioKind kind, const DrillContext& ctx,
+                   const std::string& dir, const std::string& ctrl,
+                   const std::string& plan, bool resume) {
+  const pid_t pid = fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return kSetupFailure;
+  }
+  if (pid == 0) {
+    if (!plan.empty()) {
+      auto parsed = faultfs::parse_fault_plan(plan);
+      if (!parsed.is_ok()) {
+        std::fprintf(stderr, "io_drill: bad plan: %s\n",
+                     parsed.status().to_string().c_str());
+        _exit(kSetupFailure);
+      }
+      faultfs::install_plan(std::move(*parsed));
+      faultfs::set_marker_dir(ctrl + "/markers");
+    }
+    faultfs::set_trace_path(ctrl + "/fault_trace.log");
+    int code = kSetupFailure;
+    switch (kind) {
+      case ScenarioKind::kSweep:
+        code = run_sweep_scenario(ctx.spec, dir, resume);
+        break;
+      case ScenarioKind::kSnapRun:
+        code = run_snaprun_scenario(ctx.workload, dir, ctrl, resume);
+        break;
+      case ScenarioKind::kExports:
+        code = run_exports_scenario(dir);
+        break;
+    }
+    _exit(code);
+  }
+  int wstatus = 0;
+  waitpid(pid, &wstatus, 0);
+  if (WIFEXITED(wstatus)) return WEXITSTATUS(wstatus);
+  return WIFSIGNALED(wstatus) ? -WTERMSIG(wstatus) : kSetupFailure;
+}
+
+// --- verification helpers ------------------------------------------------
+
+std::vector<std::string> artifact_names(ScenarioKind kind) {
+  switch (kind) {
+    case ScenarioKind::kSweep: return {"results.csv", "results.json"};
+    case ScenarioKind::kSnapRun: return {"result.csv"};
+    case ScenarioKind::kExports:
+      return {"metrics.csv", "trace.json", "trace.csv"};
+  }
+  return {};
+}
+
+using Golden = std::map<std::string, std::string>;
+
+bool read_artifacts(ScenarioKind kind, const std::string& dir, Golden* out) {
+  for (const std::string& name : artifact_names(kind)) {
+    auto bytes = read_file(dir + "/" + name);
+    if (!bytes.is_ok()) return false;
+    (*out)[name] = std::move(*bytes);
+  }
+  return true;
+}
+
+bool ends_with(const std::string& text, const char* suffix) {
+  const std::size_t n = std::strlen(suffix);
+  return text.size() >= n && text.compare(text.size() - n, n, suffix) == 0;
+}
+
+std::vector<std::string> find_debris(const std::string& dir) {
+  std::vector<std::string> hits;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (ends_with(name, ".tmp") || ends_with(name, ".partial")) {
+      hits.push_back(it->path().string());
+    }
+  }
+  return hits;
+}
+
+bool check_clean_and_golden(const char* label, ScenarioKind kind,
+                            const std::string& dir, const Golden& golden) {
+  const std::vector<std::string> debris = find_debris(dir);
+  if (!debris.empty()) {
+    std::fprintf(stderr, "[%s] FAIL: filesystem debris: %s\n", label,
+                 debris.front().c_str());
+    return false;
+  }
+  Golden actual;
+  if (!read_artifacts(kind, dir, &actual)) {
+    std::fprintf(stderr, "[%s] FAIL: artifacts missing\n", label);
+    return false;
+  }
+  for (const auto& [name, bytes] : golden) {
+    if (actual[name] != bytes) {
+      std::fprintf(stderr, "[%s] FAIL: %s diverges from the golden bytes\n",
+                   label, name.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// "HIT <site> <op> <path>" lines -> unique (site, op) pairs.
+std::set<std::pair<std::string, std::string>> parse_hits(
+    const std::string& trace) {
+  std::set<std::pair<std::string, std::string>> pairs;
+  std::size_t pos = 0;
+  while (pos < trace.size()) {
+    std::size_t eol = trace.find('\n', pos);
+    if (eol == std::string::npos) eol = trace.size();
+    const std::string line = trace.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("HIT ", 0) != 0) continue;
+    const std::size_t s1 = line.find(' ', 4);
+    if (s1 == std::string::npos) continue;
+    std::size_t s2 = line.find(' ', s1 + 1);
+    if (s2 == std::string::npos) s2 = line.size();
+    pairs.emplace(line.substr(4, s1 - 4), line.substr(s1 + 1, s2 - s1 - 1));
+  }
+  return pairs;
+}
+
+bool trace_fired(const std::string& ctrl) {
+  auto trace = read_file(ctrl + "/fault_trace.log");
+  return trace.is_ok() && trace->find("FIRED ") != std::string::npos;
+}
+
+/// The fault classes probed per op. Each (site, op) pair gets one class,
+/// round-robin across the sites that expose the op, so every class is
+/// exercised somewhere without running the full cross product.
+const std::vector<std::string>& faults_for(const std::string& op) {
+  static const std::vector<std::string> kOpen = {"fault=eio", "fault=crash"};
+  static const std::vector<std::string> kWrite = {
+      "fault=eio", "fault=short bytes=1", "fault=torn bytes=1"};
+  static const std::vector<std::string> kFsync = {"fault=enospc",
+                                                  "fault=crash-after"};
+  static const std::vector<std::string> kRename = {
+      "fault=eio", "fault=crash", "fault=crash-after"};
+  static const std::vector<std::string> kClose = {"fault=eio"};
+  static const std::vector<std::string> kNone = {};
+  if (op == "open") return kOpen;
+  if (op == "write") return kWrite;
+  if (op == "fsync") return kFsync;
+  if (op == "rename") return kRename;
+  if (op == "close") return kClose;
+  return kNone;
+}
+
+std::string sanitize(std::string text) {
+  for (char& c : text) {
+    if (c == '/' || c == '*' || c == ' ' || c == '=') c = '_';
+  }
+  return text;
+}
+
+// --- the drill -----------------------------------------------------------
+
+/// One probe: inject `fault` at the first `op` inside `site`, then hold
+/// the recovery invariant. Returns 0 on pass, 1 on a violation.
+int run_probe(ScenarioKind kind, const DrillContext& ctx,
+              const std::string& site, const std::string& op,
+              const std::string& fault, const Golden& golden) {
+  const std::string label = std::string(scenario_name(kind)) + "/" + site +
+                            ":" + op + ":" + fault.substr(fault.find('=') + 1);
+  const std::string pdir =
+      ctx.workdir + "/" + scenario_name(kind) + "/" + sanitize(site + "-" + op);
+  const std::string art = pdir + "/art";
+  const std::string ctrl = pdir + "/ctrl";
+  fs::remove_all(pdir);
+  fs::create_directories(art);
+  fs::create_directories(ctrl + "/markers");
+
+  const std::string plan =
+      "site=" + site + " op=" + op + " nth=1 " + fault + " once";
+  const int code = spawn_scenario(kind, ctx, art, ctrl, plan, false);
+
+  if (!trace_fired(ctrl)) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: the rule never fired (site unreachable or "
+                 "marker setup broken)\n",
+                 label.c_str());
+    return 1;
+  }
+
+  if (code == 0) {
+    if (!check_clean_and_golden(label.c_str(), kind, art, golden)) return 1;
+    std::fprintf(stderr, "[%s] absorbed; golden\n", label.c_str());
+    return 0;
+  }
+
+  if (code == kTypedFailure) {
+    // A typed error must leave zero debris even before any recovery.
+    const std::vector<std::string> debris = find_debris(art);
+    if (!debris.empty()) {
+      std::fprintf(stderr, "[%s] FAIL: typed error left debris: %s\n",
+                   label.c_str(), debris.front().c_str());
+      return 1;
+    }
+  } else if (code != faultfs::kCrashExitCode) {
+    std::fprintf(stderr, "[%s] FAIL: unexpected scenario exit %d\n",
+                 label.c_str(), code);
+    return 1;
+  }
+
+  // Recovery: same plan, same markers (the rule is already claimed), with
+  // resume semantics. It must complete and land on the golden bytes.
+  const int recovered = spawn_scenario(kind, ctx, art, ctrl, plan, true);
+  if (recovered != 0) {
+    std::fprintf(stderr, "[%s] FAIL: recovery run exited %d\n", label.c_str(),
+                 recovered);
+    return 1;
+  }
+  if (!check_clean_and_golden(label.c_str(), kind, art, golden)) return 1;
+  std::fprintf(stderr, "[%s] %s; recovered to golden\n", label.c_str(),
+               code == kTypedFailure ? "typed error" : "crash");
+  return 0;
+}
+
+/// A composed plan expected to crash the scenario; recovery must land on
+/// golden. Used for the mid-campaign torn append and the truncated
+/// snapshot + crash drill.
+int run_composed(ScenarioKind kind, const DrillContext& ctx, const char* name,
+                 const std::string& plan, const Golden& golden) {
+  const std::string label = std::string(scenario_name(kind)) + "/" + name;
+  const std::string pdir =
+      ctx.workdir + "/" + scenario_name(kind) + "/" + sanitize(name);
+  const std::string art = pdir + "/art";
+  const std::string ctrl = pdir + "/ctrl";
+  fs::remove_all(pdir);
+  fs::create_directories(art);
+  fs::create_directories(ctrl + "/markers");
+
+  const int code = spawn_scenario(kind, ctx, art, ctrl, plan, false);
+  if (code != faultfs::kCrashExitCode) {
+    std::fprintf(stderr, "[%s] FAIL: expected an injected crash, got exit %d\n",
+                 label.c_str(), code);
+    return 1;
+  }
+  const int recovered = spawn_scenario(kind, ctx, art, ctrl, plan, true);
+  if (recovered != 0) {
+    std::fprintf(stderr, "[%s] FAIL: recovery run exited %d\n", label.c_str(),
+                 recovered);
+    return 1;
+  }
+  if (!check_clean_and_golden(label.c_str(), kind, art, golden)) return 1;
+  std::fprintf(stderr, "[%s] crash; recovered to golden\n", label.c_str());
+  return 0;
+}
+
+int drill_scenario(ScenarioKind kind, const DrillContext& ctx,
+                   bool enumerate_only) {
+  const char* name = scenario_name(kind);
+  const std::string base = ctx.workdir + "/" + name;
+  const std::string golden_dir = base + "/golden";
+  fs::remove_all(base);
+  fs::create_directories(golden_dir + "/art");
+  fs::create_directories(golden_dir + "/ctrl/markers");
+
+  const int code = spawn_scenario(kind, ctx, golden_dir + "/art",
+                                  golden_dir + "/ctrl", "", false);
+  if (code != 0) {
+    std::fprintf(stderr, "[%s/golden] FAIL: uninterrupted run exited %d\n",
+                 name, code);
+    return 1;
+  }
+  Golden golden;
+  if (!read_artifacts(kind, golden_dir + "/art", &golden)) {
+    std::fprintf(stderr, "[%s/golden] FAIL: artifacts missing\n", name);
+    return 1;
+  }
+  auto trace = read_file(golden_dir + "/ctrl/fault_trace.log");
+  if (!trace.is_ok()) {
+    std::fprintf(stderr, "[%s/golden] FAIL: no fault trace recorded\n", name);
+    return 1;
+  }
+  const auto pairs = parse_hits(*trace);
+  std::fprintf(stderr, "[%s/golden] %zu I/O site/op pair(s) discovered\n",
+               name, pairs.size());
+  if (pairs.empty()) {
+    std::fprintf(stderr, "[%s/golden] FAIL: a run with no hooked I/O means "
+                 "the seams are unplugged\n", name);
+    return 1;
+  }
+  if (enumerate_only) {
+    for (const auto& [site, op] : pairs) {
+      std::fprintf(stdout, "%s %s %s\n", name, site.c_str(), op.c_str());
+    }
+    return 0;
+  }
+
+  int failures = 0;
+  std::map<std::string, std::size_t> round_robin;
+  for (const auto& [site, op] : pairs) {
+    const std::vector<std::string>& classes = faults_for(op);
+    if (classes.empty()) continue;
+    const std::string fault = classes[round_robin[op]++ % classes.size()];
+    failures += run_probe(kind, ctx, site, op, fault, golden);
+  }
+
+  if (kind == ScenarioKind::kSweep) {
+    // Torn mid-campaign append: the resume must drop the torn tail and
+    // replay from the last complete journal entry.
+    failures += run_composed(
+        kind, ctx, "torn-journal",
+        "site=campaign.journal.append op=write nth=5 fault=torn bytes=2 once",
+        golden);
+  }
+  if (kind == ScenarioKind::kSnapRun) {
+    // Truncated snapshot then a crash: the resume must skip the damaged
+    // snapshot (writeback loss) and fall back to the previous boundary.
+    failures += run_composed(
+        kind, ctx, "trunc-snapshot",
+        "site=snapshot.save op=rename nth=2 fault=trunc bytes=64 once; "
+        "site=snapshot.save op=open nth=3 fault=crash once",
+        golden);
+  }
+  return failures;
+}
+
+int usage() {
+  std::fputs(
+      "usage: io_drill --spec FILE --workdir DIR "
+      "[--scenario sweep|snaprun|exports|all] [--enumerate-only]\n",
+      stderr);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string spec_path;
+  std::string workdir;
+  std::string scenario = "all";
+  bool enumerate_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--enumerate-only") == 0) {
+      enumerate_only = true;
+    } else if (std::strcmp(argv[i], "--spec") == 0 && i + 1 < argc) {
+      spec_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--workdir") == 0 && i + 1 < argc) {
+      workdir = argv[++i];
+    } else if (std::strcmp(argv[i], "--scenario") == 0 && i + 1 < argc) {
+      scenario = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty() || workdir.empty()) return usage();
+
+  DrillContext ctx;
+  ctx.workdir = workdir;
+
+  auto spec = campaign::read_sweep_spec(spec_path);
+  if (!spec.is_ok()) {
+    std::fprintf(stderr, "io_drill: %s\n", spec.status().to_string().c_str());
+    return 2;
+  }
+  // Shrink the grid to one quantum: the drill needs site coverage, not a
+  // wide sweep — every campaign probe re-runs the whole campaign.
+  if (Status st = campaign::apply_spec_overrides(*spec, "quantum=15m");
+      !st.is_ok()) {
+    std::fprintf(stderr, "io_drill: %s\n", st.to_string().c_str());
+    return 2;
+  }
+  ctx.spec = std::move(*spec);
+
+  auto workload = core::read_experiment_description(ctx.spec.config_path);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "io_drill: %s\n",
+                 workload.status().to_string().c_str());
+    return 2;
+  }
+  ctx.workload = std::move(*workload);
+
+  std::error_code ec;
+  fs::create_directories(workdir, ec);
+  if (ec) {
+    std::fprintf(stderr, "io_drill: cannot create '%s': %s\n", workdir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+
+  std::vector<ScenarioKind> kinds;
+  if (scenario == "all") {
+    kinds = {ScenarioKind::kExports, ScenarioKind::kSnapRun,
+             ScenarioKind::kSweep};
+  } else if (scenario == "sweep") {
+    kinds = {ScenarioKind::kSweep};
+  } else if (scenario == "snaprun") {
+    kinds = {ScenarioKind::kSnapRun};
+  } else if (scenario == "exports") {
+    kinds = {ScenarioKind::kExports};
+  } else {
+    return usage();
+  }
+
+  int failures = 0;
+  for (const ScenarioKind kind : kinds) {
+    failures += drill_scenario(kind, ctx, enumerate_only);
+  }
+  if (failures == 0 && !enumerate_only) {
+    std::fputs("io_drill: every probe held the recovery invariant\n", stderr);
+  }
+  return failures == 0 ? 0 : 1;
+}
