@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "util/pidlock.hpp"
 #include "util/status.hpp"
 
 namespace dc::campaign {
@@ -106,34 +107,30 @@ StatusOr<JournalContents> load_journal(const std::string& path);
 StatusOr<JournalContents> parse_journal(const std::string& data,
                                         const std::string& label);
 
-/// The kernel start-tick of process `pid` (/proc/<pid>/stat field 22), or
-/// -1 when the process does not exist or the stat line cannot be parsed.
-/// Together with the pid this forms a recycling-proof process identity:
-/// a recycled pid gets a different start tick.
+/// The kernel start-tick of process `pid` — forwards to
+/// dc::process_start_ticks (util/pidlock.hpp), kept here for the
+/// campaign-layer callers and tests that adopted this name first.
 long long process_start_ticks(long long pid);
 
 /// A lease file that rejects double resume: holding the lock means being
-/// the campaign's only orchestrator. The lease records `pid` plus the
-/// process start tick, so a stale lease whose pid was recycled by an
-/// unrelated live process is still detected as stale. Corrupt or
-/// unparseable lease contents are treated as stale (broken with a
-/// warning), never as fatal.
+/// the campaign's only orchestrator. The campaign flavour of
+/// util/pidlock.hpp's PidLease: pid + start-tick identity, stale leases
+/// (dead pid, recycled pid, corrupt stamp) broken with a warning, a live
+/// matching holder refused with campaign wording.
 class CampaignLock {
  public:
   static StatusOr<CampaignLock> acquire(const std::string& path);
 
-  CampaignLock(CampaignLock&& other) noexcept;
-  CampaignLock& operator=(CampaignLock&& other) noexcept;
+  CampaignLock(CampaignLock&&) noexcept = default;
+  CampaignLock& operator=(CampaignLock&&) noexcept = default;
   CampaignLock(const CampaignLock&) = delete;
   CampaignLock& operator=(const CampaignLock&) = delete;
-  /// Releases (unlinks) the lease.
-  ~CampaignLock();
 
-  const std::string& path() const { return path_; }
+  const std::string& path() const { return lease_.path(); }
 
  private:
-  explicit CampaignLock(std::string path) : path_(std::move(path)) {}
-  std::string path_;  // empty = released / moved-from
+  explicit CampaignLock(PidLease lease) : lease_(std::move(lease)) {}
+  PidLease lease_;  // released (unlinked) on destruction
 };
 
 }  // namespace dc::campaign

@@ -14,6 +14,8 @@
 #endif
 
 #include "campaign/worker.hpp"
+#include "rundb/store.hpp"
+#include "util/csv.hpp"
 #include "util/fsio.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -175,6 +177,71 @@ std::string render_results_json(std::uint64_t spec_digest,
   }
   json += "  ]\n}\n";
   return json;
+}
+
+/// Registers the merged campaign results into the campaign's run store
+/// (`<campaign_dir>/rundb`, docs/OBSERVABILITY.md "Time-travel analysis"):
+/// one record per (done cell × provider) row of the merged CSV, with the
+/// cell's axis assignment plus the row's identity columns as params and
+/// every numeric column as a metric. append_records dedups by content and
+/// rewrites atomically, so a campaign resumed across any interruption
+/// leaves a store byte-identical to the uninterrupted one.
+Status register_campaign_store(const std::string& campaign_dir,
+                               std::uint64_t digest,
+                               const std::vector<CellSpec>& cells,
+                               const std::string& merged_csv) {
+  auto rows = parse_csv(merged_csv);
+  if (!rows.is_ok()) return rows.status();
+  if (rows->empty()) return Status::ok();  // nothing done, nothing to index
+  const std::vector<std::string>& header = (*rows)[0];
+
+  const std::string source =
+      str_format("campaign:%016llx", static_cast<unsigned long long>(digest));
+  std::vector<rundb::RunRecord> records;
+  for (std::size_t r = 1; r < rows->size(); ++r) {
+    const std::vector<std::string>& row = (*rows)[r];
+    rundb::RunRecord record;
+    record.kind = "campaign-cell";
+    record.source = source;
+    std::uint64_t cell_id = 0;
+    std::string system, provider;
+    for (std::size_t c = 0; c < header.size() && c < row.size(); ++c) {
+      const std::string& name = header[c];
+      if (name == "cell") {
+        auto parsed = parse_int(row[c]);
+        if (parsed.is_ok()) cell_id = static_cast<std::uint64_t>(*parsed);
+        record.params.emplace_back(name, row[c]);
+      } else if (name == "cell_key") {
+        continue;  // redundant with the expanded axis params below
+      } else if (name == "system" || name == "provider" || name == "type") {
+        if (name == "system") system = row[c];
+        if (name == "provider") provider = row[c];
+        record.params.emplace_back(name, row[c]);
+      } else {
+        record.metrics.emplace_back(name, std::strtod(row[c].c_str(), nullptr));
+      }
+    }
+    for (const CellSpec& cell : cells) {
+      if (cell.id != cell_id) continue;
+      for (const auto& [key, value] : cell.assignment) {
+        record.params.emplace_back(key, value);
+      }
+      break;
+    }
+    record.label =
+        str_format("cell-%06llu/%s/%s",
+                   static_cast<unsigned long long>(cell_id), system.c_str(),
+                   provider.c_str());
+    records.push_back(std::move(record));
+  }
+  auto appended = rundb::append_records(campaign_dir + "/rundb", records);
+  if (!appended.is_ok()) return appended.status();
+  Log::raw(LogLevel::kInfo,
+           "campaign: registered %llu run-store record(s) into %s/rundb "
+           "(%zu already present)",
+           static_cast<unsigned long long>(*appended), campaign_dir.c_str(),
+           records.size() - static_cast<std::size_t>(*appended));
+  return Status::ok();
 }
 
 #endif  // !_WIN32
@@ -653,6 +720,11 @@ StatusOr<CampaignReport> run_campaign(const SweepSpec& spec,
           report.results_json_path,
           render_results_json(digest, report.outcomes),
           "campaign.results.json");
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st =
+          register_campaign_store(config.campaign_dir, digest, cells, *merged);
       !st.is_ok()) {
     return st;
   }

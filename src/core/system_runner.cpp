@@ -483,16 +483,29 @@ Status SystemRunner::restore(snapshot::SnapshotReader& reader) {
   if (auto st = reader.begin_section("obs"); !st.is_ok()) return st;
   bool has_trace = false;
   if (auto st = reader.read_bool("has_trace", has_trace); !st.is_ok()) return st;
-  if (has_trace != (options_.trace != nullptr)) {
-    return Status::failed_precondition(
-        has_trace ? "snapshot carries a trace ring but this resume has no "
-                    "trace sink — resume with --trace-out (the ring is part "
-                    "of the byte-identity contract)"
-                  : "this resume has a trace sink but the snapshot carries "
-                    "no trace ring — the original run was not traced");
-  }
-  if (options_.trace != nullptr) {
-    if (auto st = options_.trace->restore(reader); !st.is_ok()) return st;
+  if (options_.replay) {
+    // Replay-attach (docs/OBSERVABILITY.md "Time-travel analysis"): the
+    // snapshot's ring describes the past — everything emitted before the
+    // boundary — but a replay wants only the window ahead, and may attach
+    // a sink to a run that was never traced. Decode a saved ring into a
+    // discarded scratch sink so the reader stays aligned; the caller's
+    // sink (if any) starts empty at the boundary.
+    if (has_trace) {
+      obs::TraceSink scratch;
+      if (auto st = scratch.restore(reader); !st.is_ok()) return st;
+    }
+  } else {
+    if (has_trace != (options_.trace != nullptr)) {
+      return Status::failed_precondition(
+          has_trace ? "snapshot carries a trace ring but this resume has no "
+                      "trace sink — resume with --trace-out (the ring is part "
+                      "of the byte-identity contract)"
+                    : "this resume has a trace sink but the snapshot carries "
+                      "no trace ring — the original run was not traced");
+    }
+    if (options_.trace != nullptr) {
+      if (auto st = options_.trace->restore(reader); !st.is_ok()) return st;
+    }
   }
   bool sampler_pending = false;
   if (auto st = reader.read_bool("sampler_pending", sampler_pending);

@@ -84,6 +84,12 @@ class SystemRunner {
   SimTime horizon() const { return horizon_; }
   SimTime now() const { return sim_.now(); }
   sim::Simulator& simulator() { return sim_; }
+  /// True when the periodic metrics sampler is armed (fresh-armed or
+  /// re-armed by restore()). A replay can only "force metrics on" for a
+  /// window if the original run carried the sampler timer — the timer is
+  /// part of the kernel's pending set, and injecting a new one would
+  /// change the event sequence. `dc replay` uses this to warn instead.
+  bool sampler_armed() const { return sampler_timer_ != sim::kInvalidTimer; }
 
   /// Advances the simulation; quiescent snapshot points are exactly the
   /// instants between run_until calls. With RunOptions::profile set, the

@@ -208,6 +208,17 @@ struct RunOptions {
   SimDuration metrics_every = 0;
   /// Wall-clock phase profiler (dispatch, snapshot save/restore).
   obs::PhaseProfiler* profile = nullptr;
+
+  /// Replay-attach mode (docs/OBSERVABILITY.md "Time-travel analysis").
+  /// A normal resume must carry the original run's observability
+  /// configuration forward (the trace ring is part of the byte-identity
+  /// contract); a replay deliberately does not: `dc replay` restores a
+  /// snapshot with tracing forced on to watch a window of an *untraced*
+  /// run, or with a fresh sink to capture only the window's events. When
+  /// set, restore() decodes a snapshot's trace ring into a discarded
+  /// scratch sink instead of refusing on a trace/no-trace mismatch, and
+  /// any caller-provided sink starts empty at the boundary.
+  bool replay = false;
 };
 
 /// Runs one system over the workload. Deterministic.

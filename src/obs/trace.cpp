@@ -595,6 +595,17 @@ StatusOr<std::vector<ParsedTraceEvent>> read_chrome_trace(
   return parsed;
 }
 
+Status validate_trace_nonempty(const std::vector<ParsedTraceEvent>& events,
+                               const std::string& label) {
+  if (!events.empty()) return Status::ok();
+  return Status::failed_precondition(str_format(
+      "trace '%s' parses but records zero events (empty or header-only "
+      "export) — a summary or diff over it would be vacuous, not a "
+      "no-divergence verdict; re-run with --trace-out and a category "
+      "filter that matches at least one event",
+      label.c_str()));
+}
+
 std::string summarize_trace(const std::vector<ParsedTraceEvent>& events) {
   // Per-category counts in taxonomy order, then per-name span percentiles.
   std::string out;

@@ -225,6 +225,15 @@ StatusOr<std::vector<ParsedTraceEvent>> parse_chrome_json(
 StatusOr<std::vector<ParsedTraceEvent>> read_chrome_trace(
     const std::string& path);
 
+/// Typed guard for trace-analysis inputs: an empty or header-only trace
+/// export (zero parsed events) yields a failed_precondition naming
+/// `label`, so "this file records nothing" is never mistaken for a
+/// zero-row summary or a no-divergence verdict. Every consumer that
+/// draws conclusions from a parsed trace (trace-summary, trace diff,
+/// the replay bisector) checks this before reporting.
+Status validate_trace_nonempty(const std::vector<ParsedTraceEvent>& events,
+                               const std::string& label);
+
 /// Per-category counts and span-duration percentiles, rendered as an
 /// aligned table — the `trace-summary` report body.
 std::string summarize_trace(const std::vector<ParsedTraceEvent>& events);

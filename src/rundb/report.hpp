@@ -1,0 +1,68 @@
+// Run-store querying and comparison — the `dc report` engine
+// (docs/OBSERVABILITY.md "Time-travel analysis").
+//
+// A report is a pure function of the store contents and the query, so
+// its output is byte-stable: the same store answers the same query with
+// the same bytes, which makes reports diffable artifacts in their own
+// right (CI smoke-compares them the way it smoke-compares results CSVs).
+//
+// Two verbs:
+//  * query — filter records by kind/source/label and param equality,
+//    project selected metrics, render as an aligned table, CSV, or JSON;
+//  * compare — match two filtered record sets label-by-label and report
+//    per-metric deltas, plus a first-divergence pointer: when two runs of
+//    the same experiment disagree, the report names the first differing
+//    metric and points at `dc replay bisect`, which localizes the cause
+//    to one snapshot interval and one trace record.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "rundb/store.hpp"
+#include "util/status.hpp"
+
+namespace dc::rundb {
+
+enum class ReportFormat { kTable, kCsv, kJson };
+
+/// "table" | "csv" | "json" (anything else is an error listing them).
+StatusOr<ReportFormat> parse_report_format(std::string_view name);
+
+struct ReportQuery {
+  std::string kind;    // exact record kind, "" = any
+  std::string source;  // exact source, "" = any
+  std::string label;   // exact label, "" = any
+  /// Param equality filters (AND-ed): keep records where param(key) == value.
+  std::vector<std::pair<std::string, std::string>> filters;
+  /// Metric projection, in this order; empty = every metric any surviving
+  /// record carries, in first-seen order.
+  std::vector<std::string> select;
+  ReportFormat format = ReportFormat::kTable;
+};
+
+/// The records of `records` surviving the query's filters, store order.
+std::vector<RunRecord> filter_records(const std::vector<RunRecord>& records,
+                                      const ReportQuery& query);
+
+/// Renders the filtered records: identity columns (kind, label), the
+/// union of param keys (first-seen order), then the projected metrics.
+/// Missing values render as "-" (table/CSV) or are omitted (JSON).
+StatusOr<std::string> render_report(const std::vector<RunRecord>& records,
+                                    const ReportQuery& query);
+
+/// Compares two filtered record sets (e.g. two campaigns, or a run and
+/// its golden), matched label-by-label in `a`'s order: per-metric values
+/// from both sides with absolute and relative deltas, unmatched labels
+/// called out, and — when anything differs — a first-divergence pointer
+/// naming the first differing (label, metric) and the `dc replay bisect`
+/// invocation that localizes it. `name_a`/`name_b` title the two sides.
+StatusOr<std::string> render_comparison(const std::vector<RunRecord>& a,
+                                        const std::vector<RunRecord>& b,
+                                        const ReportQuery& query,
+                                        const std::string& name_a,
+                                        const std::string& name_b,
+                                        std::size_t* differing_out = nullptr);
+
+}  // namespace dc::rundb

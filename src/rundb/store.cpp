@@ -1,0 +1,459 @@
+#include "rundb/store.hpp"
+
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+#include "snapshot/format.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+#include "util/pidlock.hpp"
+#include "util/strings.hpp"
+
+namespace dc::rundb {
+namespace {
+
+std::uint32_t decode_u32le(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+void append_u32le_prefix(std::string& out, const std::string& payload) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<char>((payload.size() >> (8 * i)) & 0xff));
+  }
+  out += payload;
+}
+
+/// One frame of the store image: u32 LE length prefix + encoded record.
+std::string encode_frame(const RunRecord& record) {
+  const std::string payload = encode_run_record(record);
+  std::string frame;
+  frame.reserve(payload.size() + 4);
+  append_u32le_prefix(frame, payload);
+  return frame;
+}
+
+}  // namespace
+
+std::uint64_t RunRecord::run_id() const {
+  return snapshot::fnv1a(encode_run_record(*this));
+}
+
+std::string RunRecord::param(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return v;
+  }
+  return {};
+}
+
+std::string encode_run_record(const RunRecord& record) {
+  snapshot::SnapshotWriter writer;
+  writer.begin_section("run");
+  writer.field_str("kind", record.kind);
+  writer.field_str("source", record.source);
+  writer.field_str("label", record.label);
+  writer.begin_section("params");
+  writer.field_u64("count", record.params.size());
+  for (const auto& [key, value] : record.params) {
+    writer.field_str("key", key);
+    writer.field_str("value", value);
+  }
+  writer.end_section();
+  writer.begin_section("metrics");
+  writer.field_u64("count", record.metrics.size());
+  for (const auto& [name, value] : record.metrics) {
+    writer.field_str("name", name);
+    writer.field_f64("value", value);
+  }
+  writer.end_section();
+  writer.begin_section("trace");
+  writer.field_u64("events", record.trace_events);
+  writer.field_u64("dropped", record.trace_dropped);
+  writer.field_str("digest", record.trace_digest);
+  writer.end_section();
+  writer.end_section();
+  return writer.finish();
+}
+
+StatusOr<RunRecord> decode_run_record(const std::string& payload) {
+  auto reader = snapshot::SnapshotReader::from_buffer(payload);
+  if (!reader.is_ok()) return reader.status();
+  RunRecord record;
+  if (Status st = reader->begin_section("run"); !st.is_ok()) return st;
+  if (Status st = reader->read_str("kind", record.kind); !st.is_ok()) return st;
+  if (Status st = reader->read_str("source", record.source); !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->read_str("label", record.label); !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->begin_section("params"); !st.is_ok()) return st;
+  std::uint64_t count = 0;
+  if (Status st = reader->read_u64("count", count); !st.is_ok()) return st;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    // Defensive: a lying count in a corrupt frame must not spin past the
+    // section (read_str would fail anyway, but fail with the better
+    // message).
+    if (reader->at_section_end()) {
+      return Status::invalid_argument(
+          str_format("run record: params count %llu exceeds encoded entries "
+                     "(%s)",
+                     static_cast<unsigned long long>(count),
+                     reader->context().c_str()));
+    }
+    std::string key, value;
+    if (Status st = reader->read_str("key", key); !st.is_ok()) return st;
+    if (Status st = reader->read_str("value", value); !st.is_ok()) return st;
+    record.params.emplace_back(std::move(key), std::move(value));
+  }
+  if (Status st = reader->end_section(); !st.is_ok()) return st;
+  if (Status st = reader->begin_section("metrics"); !st.is_ok()) return st;
+  if (Status st = reader->read_u64("count", count); !st.is_ok()) return st;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (reader->at_section_end()) {
+      return Status::invalid_argument(
+          str_format("run record: metrics count %llu exceeds encoded entries "
+                     "(%s)",
+                     static_cast<unsigned long long>(count),
+                     reader->context().c_str()));
+    }
+    std::string name;
+    double value = 0.0;
+    if (Status st = reader->read_str("name", name); !st.is_ok()) return st;
+    if (Status st = reader->read_f64("value", value); !st.is_ok()) return st;
+    record.metrics.emplace_back(std::move(name), value);
+  }
+  if (Status st = reader->end_section(); !st.is_ok()) return st;
+  if (Status st = reader->begin_section("trace"); !st.is_ok()) return st;
+  if (Status st = reader->read_u64("events", record.trace_events);
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->read_u64("dropped", record.trace_dropped);
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->read_str("digest", record.trace_digest);
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->end_section(); !st.is_ok()) return st;
+  return record;
+}
+
+StatusOr<StoreContents> parse_store(const std::string& data,
+                                    const std::string& label) {
+  StoreContents contents;
+  std::size_t pos = 0;
+  std::size_t index = 0;
+  while (pos < data.size()) {
+    if (pos + 4 > data.size()) {
+      contents.truncated_tail = true;
+      break;
+    }
+    const std::uint32_t length = decode_u32le(data.data() + pos);
+    if (length > data.size() || pos + 4 + length > data.size()) {
+      contents.truncated_tail = true;
+      break;
+    }
+    auto record = decode_run_record(data.substr(pos + 4, length));
+    if (!record.is_ok()) {
+      // A complete frame that fails verification is corruption, not a
+      // crash artifact — refuse rather than report from damaged data.
+      return Status::failed_precondition(str_format(
+          "run store '%s' is corrupt at record %zu (byte offset %zu): %s — "
+          "refusing to report from damaged run data; delete the store "
+          "directory and re-register",
+          label.c_str(), index, pos, record.status().message().c_str()));
+    }
+    contents.records.push_back(std::move(*record));
+    pos += 4 + length;
+    ++index;
+  }
+  if (contents.truncated_tail) {
+    Log::raw(LogLevel::kWarn,
+             "run store '%s': dropping torn trailing record at byte offset "
+             "%zu; the atomic write path never tears — the store was "
+             "damaged externally",
+             label.c_str(), pos);
+  }
+  return contents;
+}
+
+std::string encode_store_index(const StoreIndex& index) {
+  snapshot::SnapshotWriter writer;
+  writer.begin_section("index");
+  writer.field_u64("store_bytes", index.store_bytes);
+  writer.field_u64("store_digest", index.store_digest);
+  writer.begin_section("entries");
+  writer.field_u64("count", index.entries.size());
+  for (const StoreIndex::Entry& entry : index.entries) {
+    writer.begin_section("entry");
+    writer.field_u64("run_id", entry.run_id);
+    writer.field_u64("offset", entry.offset);
+    writer.field_u64("length", entry.length);
+    writer.field_str("kind", entry.kind);
+    writer.field_str("label", entry.label);
+    writer.end_section();
+  }
+  writer.end_section();
+  writer.end_section();
+  return writer.finish();
+}
+
+StatusOr<StoreIndex> parse_store_index(const std::string& data,
+                                       const std::string& label) {
+  auto reader = snapshot::SnapshotReader::from_buffer(data);
+  if (!reader.is_ok()) {
+    return Status::failed_precondition(
+        str_format("run-store index '%s': %s", label.c_str(),
+                   reader.status().message().c_str()));
+  }
+  StoreIndex index;
+  if (Status st = reader->begin_section("index"); !st.is_ok()) return st;
+  if (Status st = reader->read_u64("store_bytes", index.store_bytes);
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->read_u64("store_digest", index.store_digest);
+      !st.is_ok()) {
+    return st;
+  }
+  if (Status st = reader->begin_section("entries"); !st.is_ok()) return st;
+  std::uint64_t count = 0;
+  if (Status st = reader->read_u64("count", count); !st.is_ok()) return st;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (reader->at_section_end()) {
+      return Status::invalid_argument(
+          str_format("run-store index '%s': entry count %llu exceeds encoded "
+                     "entries",
+                     label.c_str(), static_cast<unsigned long long>(count)));
+    }
+    StoreIndex::Entry entry;
+    if (Status st = reader->begin_section("entry"); !st.is_ok()) return st;
+    if (Status st = reader->read_u64("run_id", entry.run_id); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_u64("offset", entry.offset); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_u64("length", entry.length); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_str("kind", entry.kind); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->read_str("label", entry.label); !st.is_ok()) {
+      return st;
+    }
+    if (Status st = reader->end_section(); !st.is_ok()) return st;
+    index.entries.push_back(std::move(entry));
+  }
+  if (Status st = reader->end_section(); !st.is_ok()) return st;
+  if (Status st = reader->end_section(); !st.is_ok()) return st;
+  return index;
+}
+
+StoreIndex build_store_index(const std::string& data,
+                             const StoreContents& contents) {
+  StoreIndex index;
+  index.store_bytes = data.size();
+  index.store_digest = snapshot::fnv1a(data);
+  std::uint64_t offset = 0;
+  for (const RunRecord& record : contents.records) {
+    StoreIndex::Entry entry;
+    entry.run_id = record.run_id();
+    entry.offset = offset;
+    entry.length = encode_run_record(record).size();
+    entry.kind = record.kind;
+    entry.label = record.label;
+    offset += 4 + entry.length;
+    index.entries.push_back(std::move(entry));
+  }
+  return index;
+}
+
+std::string store_data_path(const std::string& dir) {
+  return dir + "/store.dcrun";
+}
+
+std::string store_index_path(const std::string& dir) {
+  return dir + "/store.idx";
+}
+
+std::string store_lock_path(const std::string& dir) { return dir + "/LOCK"; }
+
+StatusOr<StoreContents> load_store(const std::string& dir) {
+  auto bytes = read_file(store_data_path(dir));
+  if (!bytes.is_ok()) {
+    if (bytes.status().code() == StatusCode::kNotFound) {
+      return StoreContents{};
+    }
+    return bytes.status();
+  }
+  return parse_store(*bytes, store_data_path(dir));
+}
+
+Status verify_store_index(const std::string& dir) {
+  auto index_bytes = read_file(store_index_path(dir));
+  if (!index_bytes.is_ok()) return index_bytes.status();
+  auto index = parse_store_index(*index_bytes, store_index_path(dir));
+  if (!index.is_ok()) return index.status();
+  auto store_bytes = read_file(store_data_path(dir));
+  const std::string data = store_bytes.is_ok() ? *store_bytes : std::string();
+  if (index->store_bytes != data.size() ||
+      index->store_digest != snapshot::fnv1a(data)) {
+    return Status::failed_precondition(str_format(
+        "run-store index '%s' is stale: it pins %llu bytes (digest %016llx) "
+        "but the store holds %zu bytes (digest %016llx) — the index is "
+        "derived; re-register any record to rebuild it",
+        store_index_path(dir).c_str(),
+        static_cast<unsigned long long>(index->store_bytes),
+        static_cast<unsigned long long>(index->store_digest), data.size(),
+        static_cast<unsigned long long>(snapshot::fnv1a(data))));
+  }
+  return Status::ok();
+}
+
+StatusOr<std::uint64_t> append_records(const std::string& dir,
+                                       const std::vector<RunRecord>& records) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::internal("run store: cannot create directory '" + dir +
+                            "': " + ec.message());
+  }
+  PidLease::Wording wording;
+  wording.site = "rundb.lock";
+  wording.busy_prefix = "run store is already being written by";
+  wording.busy_suffix =
+      "writers serialize through the store lock — retry once it is released";
+  // Registration is quick (read + rewrite + two atomic writes), so a
+  // briefly-held lease is worth waiting out before reporting contention.
+  StatusOr<PidLease> lease = Status::internal("run store: lease not attempted");
+  for (int attempt = 0;; ++attempt) {
+    lease = PidLease::acquire(store_lock_path(dir), wording);
+    if (lease.is_ok() ||
+        lease.status().code() != StatusCode::kFailedPrecondition ||
+        attempt >= 50) {
+      break;
+    }
+#ifndef _WIN32
+    ::usleep(100 * 1000);  // dc-wallclock: writer-contention backoff
+#endif
+  }
+  if (!lease.is_ok()) return lease.status();
+
+  auto existing = load_store(dir);
+  if (!existing.is_ok()) return existing.status();
+
+  // Rebuild the canonical image: every already-present frame in order,
+  // then each genuinely new record. Dedup by content identity makes the
+  // whole operation idempotent — replaying a registration (a resumed
+  // sweep re-merging, a re-run bench) leaves the bytes untouched.
+  std::vector<std::uint64_t> seen;
+  std::string image;
+  for (const RunRecord& record : existing->records) {
+    seen.push_back(record.run_id());
+    image += encode_frame(record);
+  }
+  std::uint64_t appended = 0;
+  StoreContents merged = std::move(*existing);
+  for (const RunRecord& record : records) {
+    const std::uint64_t id = record.run_id();
+    bool duplicate = false;
+    for (std::uint64_t have : seen) {
+      if (have == id) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) continue;
+    seen.push_back(id);
+    image += encode_frame(record);
+    merged.records.push_back(record);
+    ++appended;
+  }
+
+  // Rewrite unconditionally: even a no-op append repairs a missing or
+  // stale index, and a store whose tail was torn externally is healed to
+  // its valid prefix.
+  if (Status st = atomic_write_file(store_data_path(dir), image,
+                                    "rundb.store");
+      !st.is_ok()) {
+    return st;
+  }
+  const StoreIndex index = build_store_index(image, merged);
+  if (Status st = atomic_write_file(store_index_path(dir),
+                                    encode_store_index(index), "rundb.index");
+      !st.is_ok()) {
+    return st;
+  }
+  return appended;
+}
+
+std::vector<std::pair<std::string, double>> provider_metrics(
+    const core::SystemResult& system, const core::ProviderResult& provider) {
+  // Mirrors metrics::write_results_csv column-for-column (minus the three
+  // leading string columns, which are record identity, not metrics).
+  // tests/rundb asserts this list against the real CSV header.
+  return {
+      {"submitted", static_cast<double>(provider.submitted_jobs)},
+      {"completed", static_cast<double>(provider.completed_jobs)},
+      {"tasks_per_second", provider.tasks_per_second},
+      {"consumption_node_hours",
+       static_cast<double>(provider.consumption_node_hours)},
+      {"exact_node_hours", provider.exact_node_hours},
+      {"provider_peak_nodes", static_cast<double>(provider.peak_nodes)},
+      {"makespan_seconds", static_cast<double>(provider.makespan)},
+      {"mean_wait_seconds", provider.mean_wait_seconds},
+      {"max_wait_seconds", static_cast<double>(provider.max_wait_seconds)},
+      {"jobs_killed", static_cast<double>(provider.jobs_killed)},
+      {"jobs_failed", static_cast<double>(provider.jobs_failed)},
+      {"grant_timeouts", static_cast<double>(provider.grant_timeouts)},
+      {"goodput_node_hours", provider.goodput_node_hours},
+      {"wasted_node_hours", provider.wasted_node_hours},
+      {"availability", provider.availability},
+      {"platform_total_node_hours",
+       static_cast<double>(system.total_consumption_node_hours)},
+      {"platform_peak_nodes", static_cast<double>(system.peak_nodes)},
+      {"adjusted_nodes", static_cast<double>(system.adjusted_nodes)},
+      {"overhead_seconds", system.overhead_seconds},
+  };
+}
+
+std::vector<RunRecord> make_run_records(
+    const std::string& source, const core::SystemResult& result,
+    const std::vector<std::pair<std::string, std::string>>& params,
+    std::uint64_t trace_events, std::uint64_t trace_dropped,
+    const std::string& trace_digest) {
+  std::vector<RunRecord> records;
+  for (const core::ProviderResult& provider : result.providers) {
+    RunRecord record;
+    record.kind = "run";
+    record.source = source;
+    record.label = str_format("%s/%s", core::system_model_name(result.model),
+                              provider.provider.c_str());
+    record.params = params;
+    record.params.emplace_back("system", core::system_model_name(result.model));
+    record.params.emplace_back("provider", provider.provider);
+    record.params.emplace_back("type",
+                               core::workload_type_name(provider.type));
+    record.metrics = provider_metrics(result, provider);
+    record.trace_events = trace_events;
+    record.trace_dropped = trace_dropped;
+    record.trace_digest = trace_digest;
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+}  // namespace dc::rundb

@@ -1,0 +1,188 @@
+#include "util/pidlock.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#ifndef _WIN32
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+#endif
+
+#include "util/faultfs.hpp"
+#include "util/fsio.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+namespace dc {
+namespace {
+
+std::string errno_text() { return std::strerror(errno); }
+
+#ifndef _WIN32
+bool pid_is_live(long long pid) {
+  return ::kill(static_cast<pid_t>(pid), 0) == 0 || errno == EPERM;
+}
+#endif
+
+/// Parses a lease stamp. v2 format is "pid <pid>\nstart <ticks>\n"; the
+/// legacy format is a bare decimal pid. Returns false when nothing that
+/// looks like a pid could be recovered (corrupt lease).
+bool parse_lease_stamp(const std::string& stamp, long long& pid,
+                       long long& start, bool& have_start) {
+  pid = 0;
+  start = -1;
+  have_start = false;
+  if (stamp.rfind("pid ", 0) == 0) {
+    pid = std::strtoll(stamp.c_str() + 4, nullptr, 10);
+    const std::size_t at = stamp.find("\nstart ");
+    if (at != std::string::npos) {
+      start = std::strtoll(stamp.c_str() + at + 7, nullptr, 10);
+      have_start = true;
+    }
+    return pid > 0;
+  }
+  // Legacy bare-pid lease (pre start-tick identity).
+  pid = std::strtoll(stamp.c_str(), nullptr, 10);
+  return pid > 0;
+}
+
+}  // namespace
+
+long long process_start_ticks(long long pid) {
+#ifndef _WIN32
+  if (pid <= 0) return -1;
+  auto stat = read_file(str_format("/proc/%lld/stat", pid));
+  if (!stat.is_ok()) return -1;
+  // Field 2 (comm) may itself contain spaces and parentheses, so fields
+  // are only space-delimited after the LAST ')'. starttime is field 22,
+  // i.e. the 20th space-separated token after the comm.
+  const std::size_t close = stat->rfind(')');
+  if (close == std::string::npos) return -1;
+  int field = 2;  // the token after ')' is field 3 (state)
+  std::size_t i = close + 1;
+  while (i < stat->size()) {
+    while (i < stat->size() && stat->at(i) == ' ') ++i;
+    const std::size_t start = i;
+    while (i < stat->size() && stat->at(i) != ' ' && stat->at(i) != '\n') ++i;
+    if (i == start) break;
+    if (++field == 22) {
+      return std::strtoll(stat->c_str() + start, nullptr, 10);
+    }
+  }
+  return -1;
+#else
+  (void)pid;
+  return -1;
+#endif
+}
+
+StatusOr<PidLease> PidLease::acquire(const std::string& path,
+                                     const Wording& wording) {
+#ifndef _WIN32
+  faultfs::SiteScope site(wording.site);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const int fd =
+        faultfs::xopen(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+    if (fd >= 0) {
+      const long long pid = static_cast<long long>(::getpid());
+      const std::string stamp = str_format("pid %lld\nstart %lld\n", pid,
+                                           process_start_ticks(pid));
+      std::size_t written = 0;
+      while (written < stamp.size()) {
+        const long n = faultfs::xwrite(fd, stamp.data() + written,
+                                       stamp.size() - written);
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          // Cleanup of our own partial lease; never fault-injected.
+          ::close(fd);
+          ::unlink(path.c_str());
+          return Status::internal("pid lease: write to '" + path +
+                                  "' failed: " + errno_text());
+        }
+        written += static_cast<std::size_t>(n);
+      }
+      if (faultfs::xfsync(fd) != 0) {
+        ::close(fd);
+        ::unlink(path.c_str());
+        return Status::internal("pid lease: fsync of '" + path +
+                                "' failed: " + errno_text());
+      }
+      ::close(fd);
+      return PidLease(path);
+    }
+    if (errno != EEXIST) {
+      return Status::internal("pid lease: cannot create '" + path +
+                              "': " + errno_text());
+    }
+    // Somebody holds (or held) the lease. Only a live pid whose start
+    // tick matches the recorded one is a concurrent holder; a dead pid,
+    // a recycled pid, or an unreadable stamp is a stale lease.
+    auto stamp = read_file(path);
+    long long pid = 0;
+    long long recorded_start = -1;
+    bool have_start = false;
+    const bool parsed =
+        stamp.is_ok() &&
+        parse_lease_stamp(*stamp, pid, recorded_start, have_start);
+    if (parsed && pid_is_live(pid)) {
+      // Legacy bare-pid leases carry no start tick: fall back to treating
+      // any live pid as the holder, exactly as before.
+      if (!have_start || recorded_start == process_start_ticks(pid)) {
+        return Status::failed_precondition(
+            str_format("%s live pid %lld (lock '%s'); %s",
+                       wording.busy_prefix.c_str(), pid, path.c_str(),
+                       wording.busy_suffix.c_str()));
+      }
+      Log::raw(LogLevel::kWarn,
+               "pid lease '%s': recorded pid %lld is alive but its start "
+               "tick differs (pid was recycled by an unrelated process); "
+               "breaking stale lease",
+               path.c_str(), pid);
+    } else if (!parsed) {
+      Log::raw(LogLevel::kWarn,
+               "pid lease '%s': lease contents are unreadable or corrupt; "
+               "treating as stale and breaking it",
+               path.c_str());
+    } else {
+      Log::raw(LogLevel::kWarn,
+               "pid lease '%s': breaking stale lease of dead pid %lld",
+               path.c_str(), pid);
+    }
+    ::unlink(path.c_str());
+  }
+  return Status::internal("pid lease: could not acquire '" + path +
+                          "' after breaking a stale lease");
+#else
+  (void)path;
+  (void)wording;
+  return Status::internal("pid lease: POSIX-only");
+#endif
+}
+
+PidLease::PidLease(PidLease&& other) noexcept : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+PidLease& PidLease::operator=(PidLease&& other) noexcept {
+  if (this != &other) {
+    if (!path_.empty()) {
+#ifndef _WIN32
+      ::unlink(path_.c_str());
+#endif
+    }
+    path_ = std::move(other.path_);
+    other.path_.clear();
+  }
+  return *this;
+}
+
+PidLease::~PidLease() {
+#ifndef _WIN32
+  if (!path_.empty()) ::unlink(path_.c_str());
+#endif
+}
+
+}  // namespace dc

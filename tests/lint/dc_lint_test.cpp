@@ -411,6 +411,29 @@ TEST(DcLintR10, DeclaredDependenciesAndSameModuleAreAllowed) {
   EXPECT_TRUE(run.project.empty()) << dc_lint::to_human(run.project);
 }
 
+TEST(DcLintR10, RundbSitsAboveCoreButBelowCampaign) {
+  // The run-store module may reach down into core/obs/snapshot/util (and
+  // campaign may reach into it), but nothing below may include it.
+  const auto ok = join_project(
+      {{"src/rundb/replay.hpp",
+        "#pragma once\n#include \"core/systems.hpp\"\n"
+        "#include \"obs/trace.hpp\"\n"},
+       {"src/campaign/orchestrator.cpp", "#include \"rundb/store.hpp\"\n"},
+       {"src/rundb/store.hpp", "#pragma once\n"},
+       {"src/core/systems.hpp", "#pragma once\n"},
+       {"src/obs/trace.hpp", "#pragma once\n"}});
+  EXPECT_TRUE(ok.project.empty()) << dc_lint::to_human(ok.project);
+
+  const auto bad = join_project(
+      {{"src/core/runner.cpp", "#include \"rundb/store.hpp\"\n"},
+       {"src/rundb/store.hpp", "#pragma once\n"}});
+  ASSERT_EQ(bad.project.size(), 1u) << dc_lint::to_human(bad.project);
+  EXPECT_EQ(bad.project[0].rule, "dc-r10");
+  EXPECT_NE(bad.project[0].message.find("src/core may not include src/rundb"),
+            std::string::npos)
+      << bad.project[0].message;
+}
+
 TEST(DcLintR10, SrcMayNotReachOutsideSrc) {
   const auto run = join_project(
       {{"src/util/helper.cpp",
@@ -606,10 +629,12 @@ TEST(DcLintR14, FlagsRawWritesOnlyInDurableArtifactPaths) {
   EXPECT_NE(hot.diagnostics[0].message.find("dc-rawio"), std::string::npos);
   EXPECT_NE(hot.diagnostics[3].message.find("::open()"), std::string::npos);
 
-  // The other two durable-artifact subsystems are gated identically.
+  // The other durable-artifact subsystems are gated identically.
   expect_all_rule(dc_lint::lint_source("src/snapshot/r14_raw_io.cpp", source),
                   "dc-r14", "error");
   expect_all_rule(dc_lint::lint_source("src/campaign/r14_raw_io.cpp", source),
+                  "dc-r14", "error");
+  expect_all_rule(dc_lint::lint_source("src/rundb/r14_raw_io.cpp", source),
                   "dc-r14", "error");
 
   // The same source outside those directories is clean.
@@ -620,13 +645,15 @@ TEST(DcLintR14, FlagsRawWritesOnlyInDurableArtifactPaths) {
 }
 
 TEST(DcLintR14, RealDurableArtifactSourcesWriteThroughFsio) {
-  // The shipped snapshot/campaign/obs writers all route through
+  // The shipped snapshot/campaign/rundb/obs writers all route through
   // util/fsio's atomic_write_file or the faultfs primitives — the rule
   // raises nothing against them.
   for (const char* rel :
        {"src/snapshot/format.cpp", "src/campaign/journal.cpp",
         "src/campaign/orchestrator.cpp", "src/campaign/worker.cpp",
-        "src/obs/metrics.cpp", "src/obs/trace.cpp"}) {
+        "src/rundb/store.cpp", "src/rundb/replay.cpp",
+        "src/rundb/report.cpp", "src/obs/metrics.cpp",
+        "src/obs/trace.cpp"}) {
     const auto result = dc_lint::lint_source(rel, real_source(rel));
     EXPECT_TRUE(result.diagnostics.empty())
         << rel << ":\n" << dc_lint::to_human(result.diagnostics);

@@ -1,0 +1,166 @@
+// The `dc report` engine: filtering is exact and AND-ed, every render
+// format is a pure byte-stable function of (records, query), a typo'd
+// --select is an error rather than an all-dash column, and comparison
+// emits per-metric deltas with a first-divergence pointer.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rundb/report.hpp"
+#include "rundb/store.hpp"
+
+namespace dc {
+namespace {
+
+std::vector<rundb::RunRecord> sample_records() {
+  rundb::RunRecord a;
+  a.kind = "run";
+  a.source = "exp.dcfg";
+  a.label = "DCS/NASA";
+  a.params = {{"system", "DCS"}, {"quantum", "15m"}};
+  a.metrics = {{"completed", 100.0}, {"makespan_seconds", 5000.0}};
+  a.trace_events = 10;
+  a.trace_digest = "aaaa";
+
+  rundb::RunRecord b = a;
+  b.label = "DCS/BLUE";
+  b.params = {{"system", "DCS"}, {"quantum", "1h"}};
+  b.metrics = {{"completed", 80.0}, {"makespan_seconds", 6000.0}};
+  b.trace_digest = "bbbb";
+
+  rundb::RunRecord c;
+  c.kind = "campaign-cell";
+  c.source = "campaign:0123456789abcdef";
+  c.label = "cell-000000/DCS/NASA";
+  c.params = {{"cell", "0"}, {"system", "DCS"}};
+  c.metrics = {{"completed", 100.0}};
+  return {a, b, c};
+}
+
+TEST(Report, FiltersAreExactAndAnded) {
+  const auto records = sample_records();
+  rundb::ReportQuery query;
+  query.kind = "run";
+  EXPECT_EQ(rundb::filter_records(records, query).size(), 2u);
+  query.filters = {{"quantum", "15m"}};
+  const auto kept = rundb::filter_records(records, query);
+  ASSERT_EQ(kept.size(), 1u);
+  EXPECT_EQ(kept[0].label, "DCS/NASA");
+  query.filters.emplace_back("system", "SSP");
+  EXPECT_TRUE(rundb::filter_records(records, query).empty());
+}
+
+TEST(Report, RenderIsByteStableAcrossCalls) {
+  const auto records = sample_records();
+  for (const auto format : {rundb::ReportFormat::kTable,
+                            rundb::ReportFormat::kCsv,
+                            rundb::ReportFormat::kJson}) {
+    rundb::ReportQuery query;
+    query.format = format;
+    auto first = rundb::render_report(records, query);
+    auto second = rundb::render_report(records, query);
+    ASSERT_TRUE(first.is_ok());
+    ASSERT_TRUE(second.is_ok());
+    EXPECT_EQ(*first, *second);
+    EXPECT_FALSE(first->empty());
+  }
+}
+
+TEST(Report, CsvProjectsSelectedMetricsInOrder) {
+  const auto records = sample_records();
+  rundb::ReportQuery query;
+  query.format = rundb::ReportFormat::kCsv;
+  query.select = {"makespan_seconds", "completed"};
+  auto rendered = rundb::render_report(records, query);
+  ASSERT_TRUE(rendered.is_ok()) << rendered.status().to_string();
+  EXPECT_EQ(rendered->substr(0, rendered->find('\n')),
+            "kind,label,system,quantum,cell,makespan_seconds,completed");
+  // The campaign cell has no makespan: an empty CSV cell, never a zero.
+  EXPECT_NE(rendered->find("campaign-cell,cell-000000/DCS/NASA,DCS,,0,,100"),
+            std::string::npos)
+      << *rendered;
+}
+
+TEST(Report, UnknownSelectedMetricIsAnError) {
+  const auto records = sample_records();
+  rundb::ReportQuery query;
+  query.select = {"no_such_metric"};
+  auto rendered = rundb::render_report(records, query);
+  ASSERT_FALSE(rendered.is_ok());
+  EXPECT_NE(rendered.status().message().find("no_such_metric"),
+            std::string::npos);
+}
+
+TEST(Report, EmptyRecordSetRendersInEveryFormat) {
+  for (const auto format : {rundb::ReportFormat::kTable,
+                            rundb::ReportFormat::kCsv,
+                            rundb::ReportFormat::kJson}) {
+    rundb::ReportQuery query;
+    query.format = format;
+    auto rendered = rundb::render_report({}, query);
+    ASSERT_TRUE(rendered.is_ok()) << rendered.status().to_string();
+  }
+}
+
+TEST(Report, ParseFormatRejectsUnknownNames) {
+  EXPECT_TRUE(rundb::parse_report_format("table").is_ok());
+  EXPECT_TRUE(rundb::parse_report_format("csv").is_ok());
+  EXPECT_TRUE(rundb::parse_report_format("json").is_ok());
+  EXPECT_FALSE(rundb::parse_report_format("yaml").is_ok());
+}
+
+TEST(Report, ComparisonReportsDeltasAndFirstDivergence) {
+  auto a = sample_records();
+  a.resize(2);  // the two "run" records
+  auto b = a;
+  b[1].metrics[0].second = 90.0;  // DCS/BLUE completed: 80 -> 90
+
+  std::size_t differing = 0;
+  auto rendered =
+      rundb::render_comparison(a, b, {}, "left", "right", &differing);
+  ASSERT_TRUE(rendered.is_ok()) << rendered.status().to_string();
+  EXPECT_EQ(differing, 1u);
+  EXPECT_NE(rendered->find("first divergence: label DCS/BLUE, completed"),
+            std::string::npos)
+      << *rendered;
+  EXPECT_NE(rendered->find("replay bisect"), std::string::npos);
+  EXPECT_NE(rendered->find("+12.500%"), std::string::npos) << *rendered;
+}
+
+TEST(Report, ComparisonOfIdenticalSetsReportsNoDivergence) {
+  auto a = sample_records();
+  std::size_t differing = 99;
+  auto rendered = rundb::render_comparison(a, a, {}, "a", "b", &differing);
+  ASSERT_TRUE(rendered.is_ok());
+  EXPECT_EQ(differing, 0u);
+  EXPECT_NE(rendered->find("no divergence"), std::string::npos);
+}
+
+TEST(Report, ComparisonFlagsTraceDigestDivergenceWhenMetricsAgree) {
+  auto a = sample_records();
+  a.resize(1);
+  auto b = a;
+  b[0].trace_digest = "ffff";  // same metrics, different event stream
+  std::size_t differing = 0;
+  auto rendered =
+      rundb::render_comparison(a, b, {}, "left", "right", &differing);
+  ASSERT_TRUE(rendered.is_ok());
+  EXPECT_EQ(differing, 1u);
+  EXPECT_NE(rendered->find("trace digest"), std::string::npos) << *rendered;
+}
+
+TEST(Report, ComparisonCallsOutUnmatchedLabels) {
+  auto a = sample_records();
+  std::vector<rundb::RunRecord> b = {a[0]};
+  std::size_t differing = 0;
+  auto rendered =
+      rundb::render_comparison(a, b, {}, "left", "right", &differing);
+  ASSERT_TRUE(rendered.is_ok());
+  EXPECT_NE(rendered->find("only in left: DCS/BLUE cell-000000/DCS/NASA"),
+            std::string::npos)
+      << *rendered;
+}
+
+}  // namespace
+}  // namespace dc

@@ -1,7 +1,7 @@
 // bench_to_json: fold a google-benchmark JSON report into the committed
 // BENCH_kernel.json.
 //
-//   bench_to_json <gbench-report.json> <label> <out.json>
+//   bench_to_json <gbench-report.json> <label> <out.json> [--db DIR]
 //
 // The output file maps labels ("seed", "current", ...) to condensed
 // sections: machine context plus one record per benchmark (aggregates are
@@ -9,17 +9,82 @@
 // so `make bench-kernel` can refresh "current" while the "seed" baseline
 // stays fixed for comparison. The JSON model and condenser live in
 // bench_report.{hpp,cpp}, shared with bench_gate and its tests.
+//
+// With --db DIR the condensed records are also registered into the run
+// store at DIR (kind "bench", one record per benchmark), so `dawningcloud
+// report` can query and compare bench numbers next to simulation metrics
+// (docs/OBSERVABILITY.md "Time-travel analysis").
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
 
 #include "bench_report.hpp"
+#include "rundb/store.hpp"
+
+namespace {
+
+/// One run-store record per condensed benchmark entry: the numeric
+/// members become metrics, the label becomes a param axis so stores
+/// holding several bench campaigns stay filterable.
+int register_into_store(const dc_bench::Json& section,
+                        const std::string& report_path,
+                        const std::string& label, const std::string& db_dir) {
+  const dc_bench::Json* benchmarks = section.find("benchmarks");
+  if (benchmarks == nullptr ||
+      benchmarks->kind != dc_bench::Json::Kind::kArray) {
+    std::fprintf(stderr, "bench_to_json: condensed section of %s has no "
+                         "benchmarks array\n",
+                 report_path.c_str());
+    return 1;
+  }
+  std::vector<dc::rundb::RunRecord> records;
+  for (const dc_bench::JsonPtr& entry : benchmarks->items) {
+    if (entry == nullptr || entry->kind != dc_bench::Json::Kind::kObject) {
+      continue;
+    }
+    const dc_bench::Json* name = entry->find("name");
+    if (name == nullptr || name->kind != dc_bench::Json::Kind::kString) {
+      continue;
+    }
+    dc::rundb::RunRecord record;
+    record.kind = "bench";
+    record.source = label;
+    record.label = label + "/" + name->text;
+    record.params.emplace_back("label", label);
+    record.params.emplace_back("benchmark", name->text);
+    for (const auto& [key, value] : entry->members) {
+      if (value != nullptr && value->kind == dc_bench::Json::Kind::kNumber) {
+        record.metrics.emplace_back(key, value->number);
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  auto appended = dc::rundb::append_records(db_dir, records);
+  if (!appended.is_ok()) {
+    std::fprintf(stderr, "bench_to_json: %s\n",
+                 appended.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("bench_to_json: registered %llu record(s) into %s "
+              "(%zu already present)\n",
+              static_cast<unsigned long long>(*appended), db_dir.c_str(),
+              records.size() - static_cast<std::size_t>(*appended));
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
+  std::string db_dir;
+  if (argc == 6 && std::string(argv[4]) == "--db") {
+    db_dir = argv[5];
+    argc = 4;
+  }
   if (argc != 4) {
     std::fprintf(stderr,
-                 "usage: bench_to_json <gbench-report.json> <label> <out.json>\n");
+                 "usage: bench_to_json <gbench-report.json> <label> <out.json>"
+                 " [--db DIR]\n");
     return 2;
   }
   const std::string report_path = argv[1];
@@ -69,5 +134,12 @@ int main(int argc, char** argv) {
   }
   dc_bench::dump_json(out_file, *out, 0);
   out_file << '\n';
+
+  if (!db_dir.empty()) {
+    const dc_bench::Json* fresh = out->find(label);
+    if (fresh != nullptr) {
+      return register_into_store(*fresh, report_path, label, db_dir);
+    }
+  }
   return 0;
 }

@@ -49,8 +49,12 @@
 #include "obs/metrics.hpp"
 #include "obs/profile.hpp"
 #include "obs/trace.hpp"
+#include "rundb/replay.hpp"
+#include "rundb/report.hpp"
+#include "rundb/store.hpp"
 #include "snapshot/format.hpp"
 #include "util/faultfs.hpp"
+#include "util/fsio.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "workload/swf.hpp"
@@ -63,7 +67,7 @@ using namespace dc;
 int usage() {
   std::fputs(
       "usage: dawningcloud <run|paper|tune|describe|trace-stats|snapshot-diff"
-      "|trace-summary|sweep> [options]\n"
+      "|trace-summary|sweep|replay|report> [options]\n"
       "  run         --config FILE [--system NAME] [--csv PATH]\n"
       "              [--quantum SECONDS] [--scheduler NAME]\n"
       "              [--capacity NODES] [--setup SECONDS]\n"
@@ -73,7 +77,7 @@ int usage() {
       "              [--resume auto | --resume-from FILE]\n"
       "              [--trace-out FILE [--trace-filter CATEGORIES]]\n"
       "              [--metrics-every DURATION --metrics-out FILE]\n"
-      "              [--profile]\n"
+      "              [--profile] [--db DIR]\n"
       "  paper       (no options) run the built-in paper experiment\n"
       "  report-md   [--config FILE] emit markdown result tables\n"
       "  tune        --config FILE --provider NAME [--tolerance FRACTION]\n"
@@ -87,7 +91,19 @@ int usage() {
       "               [--backoff-ms N] [--backoff-cap-ms N]\n"
       "               [--drill MODE [--drill-cell N] [--drill-after N]]\n"
       "  sweep report --dir DIR\n"
-      "  (`campaign` is an alias for `sweep`)\n",
+      "  (`campaign` is an alias for `sweep`)\n"
+      "  replay list   --snapshot-dir DIR --system NAME\n"
+      "  replay window --config FILE --system NAME\n"
+      "                (--snapshot FILE | --snapshot-dir DIR --from T)\n"
+      "                [--until T] [--trace-out FILE] [--trace-filter CATS]\n"
+      "                [--trace-capacity N] [world flags as for `run`]\n"
+      "  replay bisect --golden-dir DIR --other-dir DIR --system NAME\n"
+      "                [--golden-trace FILE --other-trace FILE]\n"
+      "  report query   --db DIR [--kind K] [--source S] [--label L]\n"
+      "                 [--where k=v,k=v] [--select m1,m2]\n"
+      "                 [--format table|csv|json]\n"
+      "  report compare --db DIR [--db-b DIR] --a SOURCE --b SOURCE\n"
+      "                 [query filters as above]\n",
       stderr);
   return 2;
 }
@@ -160,13 +176,22 @@ void print_full_report(const std::vector<core::SystemResult>& results,
   std::puts(metrics::format_overhead_report(results).c_str());
 }
 
-int cmd_run(const std::map<std::string, std::string>& flags) {
-  auto workload = load_workload(flags);
-  if (!workload.is_ok()) {
-    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
-    return 1;
-  }
-  core::RunOptions options;
+/// "dcs"/"ssp"/"drp"/"dawningcloud" → model; false on anything else.
+bool parse_system_model(const std::string& name, core::SystemModel& model) {
+  if (name == "dcs") model = core::SystemModel::kDcs;
+  else if (name == "ssp") model = core::SystemModel::kSsp;
+  else if (name == "drp") model = core::SystemModel::kDrp;
+  else if (name == "dawningcloud") model = core::SystemModel::kDawningCloud;
+  else return false;
+  return true;
+}
+
+/// World-shaping flags shared by `run` and `replay window` (a replay must
+/// rebuild the same world the original run had — same quantum, scheduler,
+/// capacity, faults — or restore() refuses the snapshot). Returns 0 on
+/// success, else the exit code.
+int parse_world_options(const std::map<std::string, std::string>& flags,
+                        core::RunOptions& options) {
   if (auto it = flags.find("quantum"); it != flags.end()) {
     auto quantum = core::parse_duration(it->second);
     if (!quantum.is_ok() || *quantum <= 0) {
@@ -231,6 +256,34 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     }
     options.queue = *kind;
   }
+  return 0;
+}
+
+/// The world-shaping flags a run was invoked with, in a fixed order —
+/// the parameter axes a `run --db` registration records. Only flags
+/// actually given are recorded (the config file pins the defaults).
+std::vector<std::pair<std::string, std::string>> world_params(
+    const std::map<std::string, std::string>& flags) {
+  static const char* kAxes[] = {"config", "quantum",    "scheduler",
+                                "capacity", "setup",    "queue",
+                                "mttf",     "mttr",     "fault-seed"};
+  std::vector<std::pair<std::string, std::string>> params;
+  for (const char* axis : kAxes) {
+    if (auto it = flags.find(axis); it != flags.end()) {
+      params.emplace_back(axis, it->second);
+    }
+  }
+  return params;
+}
+
+int cmd_run(const std::map<std::string, std::string>& flags) {
+  auto workload = load_workload(flags);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+  core::RunOptions options;
+  if (int rc = parse_world_options(flags, options); rc != 0) return rc;
 
   std::string system = "all";
   if (auto it = flags.find("system"); it != flags.end()) system = it->second;
@@ -334,11 +387,7 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     results = core::run_all_systems(*workload, options);
   } else {
     core::SystemModel model;
-    if (system == "dcs") model = core::SystemModel::kDcs;
-    else if (system == "ssp") model = core::SystemModel::kSsp;
-    else if (system == "drp") model = core::SystemModel::kDrp;
-    else if (system == "dawningcloud") model = core::SystemModel::kDawningCloud;
-    else {
+    if (!parse_system_model(system, model)) {
       std::fprintf(stderr, "unknown --system %s\n", system.c_str());
       return 2;
     }
@@ -407,6 +456,40 @@ int cmd_run(const std::map<std::string, std::string>& flags) {
     }
   }
   if (options.profile != nullptr) std::fputs(profiler.table().c_str(), stdout);
+
+  // Run-database registration (docs/OBSERVABILITY.md "Time-travel
+  // analysis"): one record per provider row, queryable with `dc report`.
+  if (auto it = flags.find("db"); it != flags.end()) {
+    if (it->second.empty()) {
+      std::fprintf(stderr, "--db needs a directory\n");
+      return 2;
+    }
+    const auto params = world_params(flags);
+    std::uint64_t trace_events = 0, trace_dropped = 0;
+    std::string trace_digest;
+    if (options.trace != nullptr) {
+      trace_events = sink.emitted();
+      trace_dropped = sink.dropped();
+      trace_digest =
+          str_format("%016llx", static_cast<unsigned long long>(
+                                    snapshot::fnv1a(sink.chrome_json())));
+    }
+    std::vector<rundb::RunRecord> records;
+    for (const auto& result : results) {
+      auto batch =
+          rundb::make_run_records(flags.at("config"), result, params,
+                                  trace_events, trace_dropped, trace_digest);
+      records.insert(records.end(), batch.begin(), batch.end());
+    }
+    auto appended = rundb::append_records(it->second, records);
+    if (!appended.is_ok()) {
+      std::fprintf(stderr, "%s\n", appended.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("registered %llu record(s) into %s (%zu already present)\n",
+                static_cast<unsigned long long>(*appended), it->second.c_str(),
+                records.size() - static_cast<std::size_t>(*appended));
+  }
   return 0;
 }
 
@@ -539,11 +622,23 @@ int cmd_trace_summary(const std::map<std::string, std::string>& flags) {
     std::fprintf(stderr, "%s\n", events.status().to_string().c_str());
     return 1;
   }
+  // An empty export must refuse, not summarize: a zero-row summary (or a
+  // diff of two empty traces) is indistinguishable from "no divergence".
+  if (Status st = obs::validate_trace_nonempty(*events, trace_it->second);
+      !st.is_ok()) {
+    std::fprintf(stderr, "%s\n", st.to_string().c_str());
+    return 2;
+  }
   if (auto other_it = flags.find("other"); other_it != flags.end()) {
     auto other = obs::read_chrome_trace(other_it->second);
     if (!other.is_ok()) {
       std::fprintf(stderr, "%s\n", other.status().to_string().c_str());
       return 1;
+    }
+    if (Status st = obs::validate_trace_nonempty(*other, other_it->second);
+        !st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 2;
     }
     std::string report;
     if (obs::diff_traces(*events, *other, &report)) {
@@ -694,6 +789,295 @@ int cmd_sweep_report(const std::map<std::string, std::string>& flags) {
   return 0;
 }
 
+/// Required --system NAME (single model — replays restore one world).
+bool replay_system(const std::map<std::string, std::string>& flags,
+                   core::SystemModel& model) {
+  const auto it = flags.find("system");
+  if (it == flags.end() || !parse_system_model(it->second, model)) {
+    std::fputs("replay: need --system dcs|ssp|drp|dawningcloud (a replay "
+               "restores exactly one world)\n",
+               stderr);
+    return false;
+  }
+  return true;
+}
+
+int cmd_replay_list(const std::map<std::string, std::string>& flags) {
+  core::SystemModel model;
+  if (!replay_system(flags, model)) return 2;
+  const auto dir_it = flags.find("snapshot-dir");
+  if (dir_it == flags.end()) {
+    std::fputs("replay list: missing --snapshot-dir DIR\n", stderr);
+    return 2;
+  }
+  auto boundaries = rundb::list_snapshot_boundaries(dir_it->second, model);
+  if (!boundaries.is_ok()) {
+    std::fprintf(stderr, "%s\n", boundaries.status().to_string().c_str());
+    return 1;
+  }
+  for (const auto& boundary : *boundaries) {
+    std::printf("t=%lld  %s\n", static_cast<long long>(boundary.time),
+                boundary.path.c_str());
+  }
+  std::printf("%zu snapshot boundar%s\n", boundaries->size(),
+              boundaries->size() == 1 ? "y" : "ies");
+  return 0;
+}
+
+int cmd_replay_window(const std::map<std::string, std::string>& flags) {
+  auto workload = load_workload(flags);
+  if (!workload.is_ok()) {
+    std::fprintf(stderr, "%s\n", workload.status().to_string().c_str());
+    return 1;
+  }
+  core::SystemModel model;
+  if (!replay_system(flags, model)) return 2;
+  core::RunOptions options;
+  if (int rc = parse_world_options(flags, options); rc != 0) return rc;
+
+  std::string snapshot_file;
+  if (auto it = flags.find("snapshot"); it != flags.end()) {
+    snapshot_file = it->second;
+  } else if (auto dir_it = flags.find("snapshot-dir"); dir_it != flags.end()) {
+    const auto from_it = flags.find("from");
+    if (from_it == flags.end()) {
+      std::fputs("replay window: --snapshot-dir needs --from T (a boundary "
+                 "instant; see `replay list`)\n",
+                 stderr);
+      return 2;
+    }
+    auto from = core::parse_duration(from_it->second);
+    if (!from.is_ok() || *from < 0) {
+      std::fputs("replay window: bad --from\n", stderr);
+      return 2;
+    }
+    snapshot_file = core::snapshot_path(dir_it->second, model, *from);
+  } else {
+    std::fputs("replay window: need --snapshot FILE or --snapshot-dir DIR "
+               "--from T\n",
+               stderr);
+    return 2;
+  }
+
+  SimTime until = 0;
+  if (auto it = flags.find("until"); it != flags.end()) {
+    auto parsed = core::parse_duration(it->second);
+    if (!parsed.is_ok() || *parsed <= 0) {
+      std::fputs("replay window: bad --until\n", stderr);
+      return 2;
+    }
+    until = *parsed;
+  }
+  std::uint32_t mask = obs::kTraceAll;
+  if (auto it = flags.find("trace-filter"); it != flags.end()) {
+    auto parsed = obs::parse_trace_filter(it->second);
+    if (!parsed.is_ok()) {
+      std::fprintf(stderr, "%s\n", parsed.status().to_string().c_str());
+      return 2;
+    }
+    mask = *parsed;
+  }
+  std::int64_t capacity = 0;
+  if (!flag_int(flags, "trace-capacity", capacity) || capacity < 0) return 2;
+
+  auto window = rundb::replay_window(model, *workload, options, snapshot_file,
+                                     until, static_cast<std::size_t>(capacity),
+                                     mask);
+  if (!window.is_ok()) {
+    std::fprintf(stderr, "%s\n", window.status().to_string().c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "replayed %s window (t=%lld, t=%lld]: %llu events "
+               "(%llu dropped)%s\n",
+               system_model_name(model),
+               static_cast<long long>(window->start),
+               static_cast<long long>(window->end),
+               static_cast<unsigned long long>(window->events),
+               static_cast<unsigned long long>(window->dropped),
+               window->sampler_armed
+                   ? ", metrics sampler re-armed"
+                   : "; note: the original run carried no metrics sampler, "
+                     "so none could be re-armed (the timer is part of the "
+                     "event sequence)");
+  if (auto it = flags.find("trace-out"); it != flags.end()) {
+    const std::string& out = it->second;
+    const bool as_csv =
+        out.size() >= 4 && out.compare(out.size() - 4, 4, ".csv") == 0;
+    if (Status st = atomic_write_file(
+            out, as_csv ? window->csv : window->chrome_json, "replay.trace");
+        !st.is_ok()) {
+      std::fprintf(stderr, "%s\n", st.to_string().c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", out.c_str());
+  } else {
+    std::fputs(window->csv.c_str(), stdout);
+  }
+  return 0;
+}
+
+int cmd_replay_bisect(const std::map<std::string, std::string>& flags) {
+  core::SystemModel model;
+  if (!replay_system(flags, model)) return 2;
+  const auto golden_it = flags.find("golden-dir");
+  const auto other_it = flags.find("other-dir");
+  if (golden_it == flags.end() || other_it == flags.end()) {
+    std::fputs("replay bisect: missing --golden-dir DIR / --other-dir DIR\n",
+               stderr);
+    return 2;
+  }
+  const auto golden_trace_it = flags.find("golden-trace");
+  const auto other_trace_it = flags.find("other-trace");
+  if ((golden_trace_it == flags.end()) != (other_trace_it == flags.end())) {
+    std::fputs("replay bisect: --golden-trace and --other-trace must be "
+               "given together\n",
+               stderr);
+    return 2;
+  }
+  auto report = rundb::bisect_divergence(
+      golden_it->second, other_it->second, model,
+      golden_trace_it != flags.end() ? golden_trace_it->second : "",
+      other_trace_it != flags.end() ? other_trace_it->second : "");
+  if (!report.is_ok()) {
+    std::fprintf(stderr, "%s\n", report.status().to_string().c_str());
+    return 2;
+  }
+  std::fputs(report->summary.c_str(), stdout);
+  return report->diverged ? 1 : 0;
+}
+
+/// Shared query-flag parsing for `report query` / `report compare`.
+int parse_report_query(const std::map<std::string, std::string>& flags,
+                       rundb::ReportQuery& query) {
+  if (auto it = flags.find("kind"); it != flags.end()) query.kind = it->second;
+  if (auto it = flags.find("source"); it != flags.end()) {
+    query.source = it->second;
+  }
+  if (auto it = flags.find("label"); it != flags.end()) {
+    query.label = it->second;
+  }
+  if (auto it = flags.find("where"); it != flags.end()) {
+    for (std::string_view clause : split_char(it->second, ',')) {
+      const std::size_t eq = clause.find('=');
+      if (eq == std::string_view::npos || eq == 0) {
+        std::fprintf(stderr,
+                     "report: bad --where clause '%.*s' (expected key=value)\n",
+                     static_cast<int>(clause.size()), clause.data());
+        return 2;
+      }
+      query.filters.emplace_back(std::string(clause.substr(0, eq)),
+                                 std::string(clause.substr(eq + 1)));
+    }
+  }
+  if (auto it = flags.find("select"); it != flags.end()) {
+    for (std::string_view name : split_char(it->second, ',')) {
+      if (!name.empty()) query.select.emplace_back(name);
+    }
+  }
+  if (auto it = flags.find("format"); it != flags.end()) {
+    auto format = rundb::parse_report_format(it->second);
+    if (!format.is_ok()) {
+      std::fprintf(stderr, "%s\n", format.status().to_string().c_str());
+      return 2;
+    }
+    query.format = *format;
+  }
+  return 0;
+}
+
+int cmd_report_query(const std::map<std::string, std::string>& flags) {
+  const auto db_it = flags.find("db");
+  if (db_it == flags.end()) {
+    std::fputs("report query: missing --db DIR\n", stderr);
+    return 2;
+  }
+  rundb::ReportQuery query;
+  if (int rc = parse_report_query(flags, query); rc != 0) return rc;
+  auto store = rundb::load_store(db_it->second);
+  if (!store.is_ok()) {
+    std::fprintf(stderr, "%s\n", store.status().to_string().c_str());
+    return 1;
+  }
+  auto rendered =
+      rundb::render_report(rundb::filter_records(store->records, query), query);
+  if (!rendered.is_ok()) {
+    std::fprintf(stderr, "%s\n", rendered.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(rendered->c_str(), stdout);
+  return 0;
+}
+
+int cmd_report_compare(const std::map<std::string, std::string>& flags) {
+  const auto db_it = flags.find("db");
+  if (db_it == flags.end()) {
+    std::fputs("report compare: missing --db DIR\n", stderr);
+    return 2;
+  }
+  const std::string db_b =
+      flags.count("db-b") != 0 ? flags.at("db-b") : db_it->second;
+  const auto a_it = flags.find("a");
+  const auto b_it = flags.find("b");
+  if (db_b == db_it->second &&
+      (a_it == flags.end() || b_it == flags.end())) {
+    std::fputs("report compare: within one store, --a SOURCE and --b SOURCE "
+               "pick the two sides (or use --db-b DIR for a second store)\n",
+               stderr);
+    return 2;
+  }
+  rundb::ReportQuery base;
+  if (int rc = parse_report_query(flags, base); rc != 0) return rc;
+
+  auto store_a = rundb::load_store(db_it->second);
+  if (!store_a.is_ok()) {
+    std::fprintf(stderr, "%s\n", store_a.status().to_string().c_str());
+    return 1;
+  }
+  rundb::StoreContents contents_b;
+  if (db_b == db_it->second) {
+    contents_b = *store_a;
+  } else {
+    auto loaded = rundb::load_store(db_b);
+    if (!loaded.is_ok()) {
+      std::fprintf(stderr, "%s\n", loaded.status().to_string().c_str());
+      return 1;
+    }
+    contents_b = std::move(*loaded);
+  }
+  // --a/--b select each side: `key=value` filters on a param axis (two
+  // runs in one store usually differ only in a param), anything else
+  // matches the record source (run config path or campaign id).
+  const auto apply_side = [](rundb::ReportQuery& query,
+                             const std::string& selector) {
+    const std::size_t eq = selector.find('=');
+    if (eq != std::string::npos && eq > 0) {
+      query.filters.emplace_back(selector.substr(0, eq),
+                                 selector.substr(eq + 1));
+    } else {
+      query.source = selector;
+    }
+  };
+  rundb::ReportQuery qa = base;
+  rundb::ReportQuery qb = base;
+  if (a_it != flags.end()) apply_side(qa, a_it->second);
+  if (b_it != flags.end()) apply_side(qb, b_it->second);
+  const std::string name_a =
+      a_it != flags.end() ? a_it->second : db_it->second;
+  const std::string name_b = b_it != flags.end() ? b_it->second : db_b;
+  std::size_t differing = 0;
+  auto rendered = rundb::render_comparison(
+      rundb::filter_records(store_a->records, qa),
+      rundb::filter_records(contents_b.records, qb), base, name_a, name_b,
+      &differing);
+  if (!rendered.is_ok()) {
+    std::fprintf(stderr, "%s\n", rendered.status().to_string().c_str());
+    return 1;
+  }
+  std::fputs(rendered->c_str(), stdout);
+  return differing == 0 ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   // Chaos hooks (docs/ROBUSTNESS.md): a fault plan from the environment
   // (DC_FAULT_PLAN / DC_FAULT_PLAN_FILE) or the global --fault-plan flag
@@ -728,6 +1112,27 @@ int main(int argc, char** argv) {
     if (!sweep_flags_ok) return usage();
     if (action == "run") return cmd_sweep_run(sweep_flags);
     if (action == "report") return cmd_sweep_report(sweep_flags);
+    return usage();
+  }
+  if (command_name == "replay") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return usage();
+    const std::string action = argv[2];
+    bool replay_flags_ok = true;
+    const auto replay_flags = parse_flags(argc, argv, replay_flags_ok, 3);
+    if (!replay_flags_ok) return usage();
+    if (action == "list") return cmd_replay_list(replay_flags);
+    if (action == "window") return cmd_replay_window(replay_flags);
+    if (action == "bisect") return cmd_replay_bisect(replay_flags);
+    return usage();
+  }
+  if (command_name == "report") {
+    if (argc < 3 || std::strncmp(argv[2], "--", 2) == 0) return usage();
+    const std::string action = argv[2];
+    bool report_flags_ok = true;
+    const auto report_flags = parse_flags(argc, argv, report_flags_ok, 3);
+    if (!report_flags_ok) return usage();
+    if (action == "query") return cmd_report_query(report_flags);
+    if (action == "compare") return cmd_report_compare(report_flags);
     return usage();
   }
   const std::string command = argv[1];

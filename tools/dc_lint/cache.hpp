@@ -28,7 +28,7 @@ namespace dc_lint {
 
 /// Bump on any rule or serialization change; persisted caches from other
 /// versions are discarded wholesale.
-inline constexpr const char* kLintRulesVersion = "dc-lint-2.2.0";
+inline constexpr const char* kLintRulesVersion = "dc-lint-2.3.0";
 
 std::uint64_t fnv1a_hash(std::string_view bytes);
 

@@ -402,7 +402,8 @@ const std::set<std::string>* module_dependencies(std::string_view module) {
               "snapshot", "obs"}},
             {"metrics", {"util", "core"}},
             {"cost", {"util", "cluster"}},
-            {"campaign", {"util", "snapshot", "core", "metrics"}},
+            {"rundb", {"util", "snapshot", "obs", "core"}},
+            {"campaign", {"util", "snapshot", "core", "metrics", "rundb"}},
         };
         std::map<std::string, std::set<std::string>, std::less<>> closure;
         for (const auto& [name, deps] : direct) {

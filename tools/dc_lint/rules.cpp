@@ -744,8 +744,9 @@ void rule_r13(Ctx& ctx) {
 // --------------------------------------------------------------------------
 // dc-r14: raw writes in durable-artifact paths.
 //
-// Everything src/snapshot, src/campaign, and src/obs persist — snapshots,
-// journal frames, campaign results, metric/trace exports — must flow
+// Everything src/snapshot, src/campaign, src/rundb, and src/obs persist —
+// snapshots, journal frames, campaign results, run-store frames,
+// metric/trace exports — must flow
 // through util/fsio's atomic_write_file or the util/faultfs primitives
 // (xopen/xwrite/...): that is what makes the artifacts crash-atomic and
 // what puts them inside the fault-injection surface io_drill exercises. A
@@ -757,6 +758,7 @@ void rule_r13(Ctx& ctx) {
 bool is_durable_artifact_path(std::string_view path) {
   return path.find("src/snapshot") != std::string_view::npos ||
          path.find("src/campaign") != std::string_view::npos ||
+         path.find("src/rundb") != std::string_view::npos ||
          path.find("src/obs") != std::string_view::npos;
 }
 

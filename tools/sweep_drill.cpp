@@ -37,6 +37,7 @@
 
 #include "campaign/journal.hpp"
 #include "campaign/orchestrator.hpp"
+#include "rundb/store.hpp"
 #include "campaign/spec.hpp"
 #include "util/fsio.hpp"
 #include "util/log.hpp"
@@ -49,6 +50,7 @@ namespace fs = std::filesystem;
 struct Golden {
   std::string csv;
   std::string json;
+  std::string store;  // <dir>/rundb/store.dcrun — the registered run store
 };
 
 campaign::OrchestratorConfig base_config(const std::string& dir) {
@@ -64,9 +66,11 @@ campaign::OrchestratorConfig base_config(const std::string& dir) {
 bool read_results(const std::string& dir, Golden* out) {
   auto csv = read_file(campaign::campaign_results_csv_path(dir));
   auto json = read_file(campaign::campaign_results_json_path(dir));
-  if (!csv.is_ok() || !json.is_ok()) return false;
+  auto store = read_file(rundb::store_data_path(dir + "/rundb"));
+  if (!csv.is_ok() || !json.is_ok() || !store.is_ok()) return false;
   out->csv = *csv;
   out->json = *json;
+  out->store = *store;
   return true;
 }
 
@@ -87,6 +91,15 @@ bool results_match(const char* phase, const std::string& dir,
   if (actual.json != golden.json) {
     std::fprintf(stderr,
                  "[%s] FAIL: results.json diverges from the golden bytes\n",
+                 phase);
+    return false;
+  }
+  // The registered run store must be byte-identical too: an interrupted
+  // campaign that re-registers on resume dedups to the same frames.
+  if (actual.store != golden.store) {
+    std::fprintf(stderr,
+                 "[%s] FAIL: rundb/store.dcrun diverges from the golden "
+                 "bytes\n",
                  phase);
     return false;
   }
